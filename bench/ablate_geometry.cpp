@@ -1,0 +1,67 @@
+// Ablation A4 (extension): cache geometry interactions on the Fig 7
+// kernel — associativity and line size alongside the paper's size axis.
+//
+// The kernel's 128-byte stride makes it a conflict-miss story — and a
+// cautionary one: because the stride is a power of two, adding ways while
+// holding capacity halves the set count and the same lines still collide,
+// so associativity buys nothing here; only capacity (4 KB) does.  Line
+// size never changes the miss count (one word per line is touched) but
+// directly scales the cost of each fill.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "liquid/reconfig_server.hpp"
+#include "sasm/assembler.hpp"
+
+namespace {
+
+using namespace la;
+
+int run() {
+  const auto img = sasm::assemble_or_throw(bench::fig7_kernel(200000));
+
+  liquid::SynthesisModel syn;
+  liquid::ReconfigurationCache cache;
+
+  liquid::ConfigSpace space;
+  space.dcache_sizes = {1024, 2048, 4096, 8192};
+  space.line_sizes = {16, 32, 64};
+  space.way_counts = {1, 2};
+  cache.pregenerate(space, syn);
+
+  std::printf("Ablation A4: geometry sweep on the Fig 7 kernel (bound=200000)\n\n");
+  std::printf("%-8s %-6s %-6s %12s %12s %10s\n", "size", "line", "ways",
+              "cycles", "d-misses", "fmax");
+
+  for (const auto& cfg : space.enumerate()) {
+    sim::LiquidSystem node;
+    node.run(100);
+    liquid::ReconfigurationServer server(node, cache, syn);
+    const auto job = server.run_job(cfg, img, img.symbol("cycles"), 1);
+    if (!job.ok) {
+      std::printf("%uKB/%u/%u FAILED: %s\n", cfg.dcache_bytes / 1024,
+                  cfg.dcache_line, cfg.dcache_ways, job.error.c_str());
+      continue;
+    }
+    const auto u = syn.estimate(cfg);
+    std::printf("%4uKB   %4uB  %4u  %12u %12llu %7.1fMHz\n",
+                cfg.dcache_bytes / 1024, cfg.dcache_line, cfg.dcache_ways,
+                job.readback.at(0),
+                static_cast<unsigned long long>(
+                    node.cpu().dcache().stats().read_misses),
+                u.fmax_mhz);
+  }
+
+  std::printf(
+      "\nExpected shape: the 128B power-of-two stride defeats associativity\n"
+      "(doubling ways halves the set count, so the same lines still\n"
+      "collide) — only capacity fixes it, at 4KB for every geometry.\n"
+      "Line size never changes the miss count (one word touched per line)\n"
+      "but scales the fill cost: 16B lines are cheapest below 4KB, and\n"
+      "64B lines waste the most fill bandwidth.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

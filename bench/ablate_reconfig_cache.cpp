@@ -1,0 +1,72 @@
+// Ablation A3 (Section 1): what the reconfiguration cache buys.
+//
+// "Each such instance requires ~1 hour to synthesize, and the results are
+// captured in the reconfiguration cache.  At runtime, an application can
+// switch between these pre-generated modules to improve performance."
+//
+// We run the adaptation loop on the Fig 7 kernel twice: once with a cold
+// cache (every image costs a synthesis run) and once after the offline
+// pre-generation pass (switching costs only the bitstream download), and
+// report the wall-clock difference and the break-even point.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "liquid/adaptation.hpp"
+#include "sasm/assembler.hpp"
+
+namespace {
+
+using namespace la;
+
+double run_loop(liquid::ReconfigurationCache& cache, const char* label) {
+  const auto img =
+      sasm::assemble_or_throw(bench::fig7_kernel(bench::kPaperBound));
+  liquid::SynthesisModel syn;
+  sim::LiquidSystem node;
+  node.run(100);
+  liquid::ReconfigurationServer server(node, cache, syn);
+  liquid::AdaptationEngine engine(server, liquid::ConfigSpace{});
+
+  const auto out = engine.adapt(img, img.symbol("cycles"), 1, 4);
+  double overhead = 0.0;
+  std::printf("%s\n", label);
+  std::printf("  %-10s %-28s %12s %10s %12s\n", "round", "config", "cycles",
+              "img hit", "overhead(s)");
+  for (std::size_t i = 0; i < out.steps.size(); ++i) {
+    const auto& s = out.steps[i];
+    overhead += s.overhead_seconds;
+    std::printf("  %-10zu %-28s %12llu %10s %12.1f\n", i,
+                s.config.key().c_str(),
+                static_cast<unsigned long long>(s.cycles),
+                s.cache_hit ? "yes" : "NO", s.overhead_seconds);
+  }
+  std::printf("  speedup first->last: %.2fx; total overhead %.1f s\n\n",
+              out.speedup(), overhead);
+  return overhead;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A3: reconfiguration cache amortization\n\n");
+  la::liquid::SynthesisModel syn;
+
+  la::liquid::ReconfigurationCache cold;
+  const double cold_overhead = run_loop(cold, "cold cache (no pre-generation):");
+
+  la::liquid::ReconfigurationCache warm;
+  const double pregen = warm.pregenerate(la::liquid::ConfigSpace{}, syn);
+  std::printf("offline pre-generation of the 5-point space: %.1f s (%.2f h)\n\n",
+              pregen, pregen / 3600.0);
+  const double warm_overhead = run_loop(warm, "warm cache (pre-generated):");
+
+  std::printf("runtime overhead: cold %.1f s vs warm %.1f s\n", cold_overhead,
+              warm_overhead);
+  if (warm_overhead > 0) {
+    std::printf(
+        "the pre-generation pass pays for itself after ~%.0f adaptation\n"
+        "episodes that would otherwise synthesize on the critical path.\n",
+        pregen / std::max(1.0, cold_overhead - warm_overhead) + 1);
+  }
+  return 0;
+}

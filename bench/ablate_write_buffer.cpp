@@ -1,0 +1,79 @@
+// Ablation A6 (extension): the write-through store buffer.
+//
+// LEON's write-through cache pairs with a store buffer that hides the bus
+// write behind subsequent instructions.  Without it every store stalls
+// for the full AHB write (SRAM) or the RMW handshake pair (SDRAM) — a
+// microarchitectural knob the liquid space can trade against its (small)
+// area cost.
+#include <cstdio>
+
+#include "ctrl/client.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace {
+
+using namespace la;
+
+std::string store_kernel(const char* base) {
+  return std::string(R"(
+      .org 0x40000100
+  _start:
+      set 0x80000500, %g1
+      mov 1, %g2
+      st %g2, [%g1]
+      set )") + base + R"(, %o0
+      set 4096, %o5
+      mov 0, %o1
+  loop:
+      st %o1, [%o0 + %o1]
+      add %o1, 4, %o1
+      cmp %o1, %o5
+      bl loop
+      nop
+      st %g0, [%g1]
+      ld [%g1 + 4], %o4
+      set cycles, %g3
+      st %o4, [%g3]
+      jmp 0x40
+      nop
+      .align 4
+  cycles: .skip 4
+  )";
+}
+
+u32 measure(const char* base, unsigned depth) {
+  sim::SystemConfig scfg;
+  scfg.pipeline.write_buffer_depth = depth;
+  sim::LiquidSystem node(scfg);
+  node.run(100);
+  ctrl::LiquidClient client(node);
+  const auto img = sasm::assemble_or_throw(store_kernel(base));
+  if (!client.run_program(img)) return 0;
+  const auto r = client.read_memory(img.symbol("cycles"), 1);
+  return r ? (*r)[0] : 0;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation A6: write buffer on a store-dense kernel "
+              "(1024 word stores)\n\n");
+  std::printf("%-10s %16s %16s\n", "target", "buffered cycles",
+              "unbuffered cycles");
+  const struct {
+    const char* name;
+    const char* base;
+  } targets[] = {{"SRAM", "0x40020000"}, {"SDRAM", "0x60000000"}};
+  for (const auto& t : targets) {
+    const u32 buffered = measure(t.base, 1);
+    const u32 unbuffered = measure(t.base, 0);
+    std::printf("%-10s %16u %16u   (%.2fx)\n", t.name, buffered, unbuffered,
+                buffered ? static_cast<double>(unbuffered) / buffered : 0.0);
+  }
+  std::printf(
+      "\nThe buffer hides the write-through traffic as long as the next\n"
+      "store arrives after the previous one drained; the SDRAM RMW pair\n"
+      "drains slower, so back-to-back stores stall even with the buffer.\n");
+  return 0;
+}

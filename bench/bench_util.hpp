@@ -1,0 +1,59 @@
+// Shared pieces for the reproduction benches: the paper's Fig 7 kernel and
+// helpers for driving measured runs through the full remote-control flow.
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace la::bench {
+
+/// The Fig 7 kernel, faithfully translated:
+///
+///   _start() { for (i = 0; i < bound; i = i + 32) {
+///                  address = i % 1024; x = count[address]; } }
+///
+/// `count` is a 4 KB int array, so the byte offset is address*4: 32
+/// accesses, 128 bytes apart — 1 KB of distinct lines spread over 4 KB.
+/// The program starts/stops the hardware cycle counter around the loop
+/// (the paper's measurement state machine), stores the reading, and jumps
+/// back to the boot ROM's polling loop.
+inline std::string fig7_kernel(u32 bound) {
+  return R"(
+      .org 0x40000100
+  _start:
+      set 0x80000500, %g1    ! cycle counter
+      mov 1, %g2
+      st %g2, [%g1]          ! start counting
+      set count, %o0
+      mov 0, %o1             ! i
+      set )" + std::to_string(bound) + R"(, %o2
+  loop:
+      and %o1, 1023, %o3     ! address = i % 1024
+      sll %o3, 2, %o3        ! int indexing: byte offset = address * 4
+      ld [%o0 + %o3], %o4    ! x = count[address]
+      add %o1, 32, %o1       ! i = i + 32
+      cmp %o1, %o2
+      bl loop
+      nop
+      st %g0, [%g1]          ! stop counting
+      ld [%g1 + 4], %o5      ! read the measurement
+      set cycles, %g3
+      st %o5, [%g3]
+      jmp 0x40               ! return to the polling loop
+      nop
+      .align 4
+  cycles:
+      .skip 4
+      .align 32
+  count:
+      .skip 4096
+  )";
+}
+
+/// The loop bound the paper's Fig 7 shows truncated ("i < ___0000"); one
+/// million gives 31250 iterations, large enough that the initial cache
+/// loading the paper excludes is noise.
+inline constexpr u32 kPaperBound = 1000000;
+
+}  // namespace la::bench

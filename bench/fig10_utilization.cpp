@@ -1,0 +1,51 @@
+// Figure 10 reproduction: "Liquid Processor System Statistics" — device
+// utilization of the shipped configuration after place and route on the
+// Xilinx Virtex XCV2000E, from the synthesis model, plus the per-component
+// breakdown and the utilization trend across the Fig 8 sweep (the data the
+// reconfiguration cache reasons about).
+#include <cstdio>
+
+#include "liquid/synthesis.hpp"
+
+namespace {
+
+using namespace la;
+
+int run() {
+  const liquid::SynthesisModel syn;
+  const liquid::Device& dev = syn.device();
+  const liquid::ArchConfig baseline = liquid::ArchConfig::paper_baseline();
+  const liquid::Utilization u = syn.estimate(baseline);
+
+  std::printf("Figure 10: Liquid Processor System Statistics (%s)\n\n",
+              dev.name.c_str());
+  std::printf("%s", liquid::format_utilization(u, dev).c_str());
+
+  std::printf("\nPaper's row: 7900 of 19200 slices (41%%), 54%% of the\n");
+  std::printf("BlockRAMs, 309 external IOBs, synthesized at 30 MHz.\n");
+
+  std::printf("\nPer-component breakdown (model):\n");
+  std::printf("  %-24s %7s %7s\n", "component", "slices", "BRAMs");
+  for (const auto& c : u.breakdown) {
+    std::printf("  %-24s %7u %7u\n", c.name.c_str(), c.slices, c.brams);
+  }
+
+  std::printf("\nUtilization across the Fig 8 D-cache sweep:\n");
+  std::printf("  %-8s %8s %8s %8s %8s  %s\n", "dcache", "slices", "slice%",
+              "BRAMs", "BRAM%", "fmax");
+  liquid::ConfigSpace space;
+  for (const auto& cfg : space.enumerate()) {
+    const auto uu = syn.estimate(cfg);
+    std::printf("  %4uKB   %8u %7.1f%% %8u %7.1f%%  %.0f MHz%s\n",
+                cfg.dcache_bytes / 1024, uu.slices, uu.slice_pct(dev),
+                uu.brams, uu.bram_pct(dev), uu.fmax_mhz,
+                uu.fits ? "" : "  DOES NOT FIT");
+    std::printf("           (synthesis: %.0f s)\n",
+                syn.synthesis_seconds(cfg));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,91 @@
+// Figure 5 demonstration: original vs modified LEON boot code.
+//
+// The original LEON boot waits for a UART event before doing anything —
+// useless for a network-controlled platform.  The paper's modification
+// polls a main-memory mailbox instead, which is what lets leon_ctrl start
+// programs remotely.  This bench boots both flavours, attempts the same
+// remote program start on each, and shows what each ROM actually executes.
+#include <cstdio>
+
+#include "ctrl/client.hpp"
+#include "isa/disasm.hpp"
+#include "mem/boot_rom.hpp"
+#include "mem/memory_map.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace {
+
+using namespace la;
+
+sasm::Image hello_program() {
+  return sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set result, %g1
+      set 0x600d, %g2
+      st %g2, [%g1]
+      jmp 0x40
+      nop
+      .align 4
+  result: .skip 4
+  )");
+}
+
+void listing(const char* title, const std::string& source) {
+  std::printf("%s\n", title);
+  const auto img = sasm::assemble_or_throw(source);
+  for (Addr a = img.base; a + 4 <= img.end() && a < img.base + 0x80;
+       a += 4) {
+    const u32 w = img.word_at(a);
+    if (w == 0) continue;  // skip the .org padding
+    std::printf("  %08x: %s\n", a, isa::disassemble_word(w, a).c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 5: original vs modified LEON boot code\n\n");
+
+  listing("original boot (waits for a UART event):",
+          mem::original_boot_source(
+              mem::map::kRomBase,
+              mem::map::kApbBase + mem::map::kUartOffset + 4));
+  listing("modified boot (polls the SRAM mailbox, Fig 5 right):",
+          mem::modified_boot_source(mem::map::kRomBase,
+                                    mem::map::kProgAddrMailbox));
+
+  const auto img = hello_program();
+
+  for (const bool original : {true, false}) {
+    sim::SystemConfig cfg;
+    cfg.use_original_boot = original;
+    sim::LiquidSystem node(cfg);
+    node.run(200);
+    ctrl::LiquidClient client(node);
+
+    const bool loaded = client.load_program(img);
+    const bool started = client.start(img.entry);
+    // Give it plenty of time either way.
+    client.pump(50000);
+    const bool done = node.controller().state() == net::LeonState::kDone;
+    const u32 result =
+        done ? node.sram().backdoor_word(img.symbol("result")) : 0;
+
+    std::printf("%-10s boot: load=%s start-cmd=%s program-ran=%s",
+                original ? "original" : "modified", loaded ? "ok" : "FAIL",
+                started ? "acked" : "FAIL", done ? "YES" : "no");
+    if (done) std::printf(" (result=0x%x)", result);
+    std::printf("  cpu pc=0x%08x\n", node.cpu().state().pc);
+  }
+
+  std::printf(
+      "\nBoth ROMs accept the load (leon_ctrl owns memory either way) and\n"
+      "ack the start command, but only the modified ROM's polling loop\n"
+      "ever dispatches the program — the original is still parked waiting\n"
+      "for a UART character that will never come.  That gap is what\n"
+      "Section 3.1's boot modification closes.\n");
+  return 0;
+}

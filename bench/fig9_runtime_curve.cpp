@@ -1,0 +1,83 @@
+// Figure 9 reproduction: the Fig 8 data as a curve ("Average running time
+// under different cache sizes"), emitted as a plottable series plus an
+// ASCII rendering.  The paper averages multiple runs; the simulator is
+// deterministic, but we still run each point three times and average, to
+// mirror the methodology.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "liquid/reconfig_server.hpp"
+#include "sasm/assembler.hpp"
+
+namespace {
+
+using namespace la;
+
+int run() {
+  const auto img =
+      sasm::assemble_or_throw(bench::fig7_kernel(bench::kPaperBound));
+
+  liquid::SynthesisModel syn;
+  liquid::ReconfigurationCache cache;
+  liquid::ConfigSpace space;
+  cache.pregenerate(space, syn);
+
+  struct Point {
+    u32 kb;
+    double cycles;
+  };
+  std::vector<Point> series;
+
+  for (const liquid::ArchConfig& cfg : space.enumerate()) {
+    double sum = 0;
+    const int kRuns = 3;
+    for (int r = 0; r < kRuns; ++r) {
+      sim::LiquidSystem node;
+      node.run(100);
+      liquid::ReconfigurationServer server(node, cache, syn);
+      const liquid::JobResult job =
+          server.run_job(cfg, img, img.symbol("cycles"), 1);
+      if (!job.ok) {
+        std::printf("FAILED: %s\n", job.error.c_str());
+        return 1;
+      }
+      sum += job.readback.at(0);
+    }
+    series.push_back({cfg.dcache_bytes / 1024, sum / kRuns});
+  }
+
+  std::printf("Figure 9: Average running time under different cache sizes\n");
+  std::printf("\n# dcache_kb  avg_cycles   (plottable series)\n");
+  for (const Point& p : series) {
+    std::printf("%10u  %11.0f\n", p.kb, p.cycles);
+  }
+
+  // ASCII curve, normalized to the worst point.
+  const double worst =
+      std::max_element(series.begin(), series.end(),
+                       [](const Point& a, const Point& b) {
+                         return a.cycles < b.cycles;
+                       })
+          ->cycles;
+  std::printf("\n");
+  for (const Point& p : series) {
+    const int bars = static_cast<int>(60.0 * p.cycles / worst + 0.5);
+    std::printf("%4uKB |", p.kb);
+    for (int i = 0; i < bars; ++i) std::printf("#");
+    std::printf(" %.0f\n", p.cycles);
+  }
+
+  const double cliff = series[1].cycles / series[2].cycles;  // 2KB vs 4KB
+  const double flat = series[2].cycles / series.back().cycles;
+  std::printf(
+      "\nShape check: 2KB/4KB ratio = %.2fx (expect >> 1, the cliff);\n"
+      "             4KB/16KB ratio = %.3f (expect ~1.0, the flat tail).\n",
+      cliff, flat);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return run(); }

@@ -1,0 +1,139 @@
+// Simulator throughput microbenchmarks (google-benchmark): how fast the
+// models themselves run on the host — useful when sizing experiments.
+#include <benchmark/benchmark.h>
+
+#include "bus/ahb.hpp"
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+#include "cpu/flat_memory.hpp"
+#include "cpu/integer_unit.hpp"
+#include "cpu/leon_pipeline.hpp"
+#include "isa/decode.hpp"
+#include "mem/sram.hpp"
+#include "net/packet.hpp"
+#include "sasm/assembler.hpp"
+
+namespace {
+
+using namespace la;
+
+const char* kLoop = R"(
+    .org 0x100
+_start:
+    set 1000000000, %g1
+loop:
+    subcc %g1, 1, %g1
+    xor %g2, %g1, %g2
+    add %g3, %g2, %g3
+    bne loop
+    nop
+done: ba done
+    nop
+)";
+
+void BM_Decode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<u32> words(4096);
+  for (auto& w : words) w = rng.next_u32();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(isa::decode(words[i++ & 4095]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Decode);
+
+void BM_IntegerUnitStep(benchmark::State& state) {
+  const auto img = sasm::assemble_or_throw(kLoop);
+  cpu::FlatMemory mem(1 << 16);
+  mem.load(img.base, img.data);
+  cpu::IntegerUnit iu(cpu::CpuConfig{}, mem);
+  iu.reset(img.entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(iu.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("instructions/sec");
+}
+BENCHMARK(BM_IntegerUnitStep);
+
+bool everything_cacheable(Addr) { return true; }
+
+void BM_PipelineStep(benchmark::State& state) {
+  const auto img = sasm::assemble_or_throw(kLoop);
+  mem::Sram sram(0, 1 << 16);
+  sram.backdoor_write(img.base, img.data);
+  bus::AhbBus bus;
+  bus.attach(0, 1 << 16, &sram);
+  Cycles clock = 0;
+  cpu::LeonPipeline pipe(cpu::PipelineConfig{}, bus, &clock,
+                         &everything_cacheable);
+  pipe.reset(img.entry);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipe.step());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("instructions/sec");
+}
+BENCHMARK(BM_PipelineStep);
+
+void BM_CacheAccess(benchmark::State& state) {
+  cache::Cache c(cache::CacheConfig{.size_bytes = 4096,
+                                    .line_bytes = 32,
+                                    .ways = static_cast<u32>(state.range(0))});
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.access(rng.next_u32() & 0xffff, false));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_AhbSingleRead(benchmark::State& state) {
+  mem::Sram sram(0, 1 << 16);
+  bus::AhbBus bus;
+  bus.attach(0, 1 << 16, &sram);
+  u32 v = 0;
+  Addr a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.read32(bus::Master::kCpuData, a, v));
+    a = (a + 4) & 0xfffc;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AhbSingleRead);
+
+void BM_UdpPacketRoundTrip(benchmark::State& state) {
+  net::UdpDatagram d;
+  d.src_ip = net::make_ip(10, 0, 0, 1);
+  d.dst_ip = net::make_ip(10, 0, 0, 2);
+  d.src_port = 1;
+  d.dst_port = 2;
+  d.payload.assign(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    const Bytes pkt = net::build_udp_packet(d);
+    benchmark::DoNotOptimize(net::parse_udp_packet(pkt));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          (static_cast<i64>(d.payload.size()) + 28));
+}
+BENCHMARK(BM_UdpPacketRoundTrip)->Arg(64)->Arg(1024);
+
+void BM_Assembler(benchmark::State& state) {
+  std::string src = ".org 0x100\n_start:\n";
+  for (int i = 0; i < 200; ++i) {
+    src += "    add %g1, " + std::to_string(i & 1023) + ", %g2\n";
+    src += "l" + std::to_string(i) + ": st %g2, [%g1 + 8]\n";
+  }
+  sasm::Assembler as;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(as.assemble(src));
+  }
+  state.SetItemsProcessed(state.iterations() * 400);
+  state.SetLabel("statements/sec");
+}
+BENCHMARK(BM_Assembler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

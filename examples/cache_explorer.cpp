@@ -1,0 +1,124 @@
+// Cache explorer: the paper's headline use case as a tool.
+//
+// Give it a stride and a footprint and it sweeps the pre-generated
+// configuration space, running the access kernel under every D-cache
+// geometry and reporting cycle counts, miss ratios, and the FPGA resources
+// each point costs — the exact tradeoff a Liquid Architecture user is
+// supposed to explore before picking an image.
+//
+// Usage: cache_explorer [footprint_bytes] [stride_bytes]
+//   default: the paper's kernel (4096-byte span, 128-byte stride).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "liquid/reconfig_server.hpp"
+#include "sasm/assembler.hpp"
+
+namespace {
+
+using namespace la;
+
+std::string make_kernel(u32 footprint, u32 stride, u32 iterations) {
+  return R"(
+      .org 0x40000100
+  _start:
+      set 0x80000500, %g1
+      mov 1, %g2
+      st %g2, [%g1]          ! start the cycle counter
+      set )" + std::to_string(iterations) + R"(, %g6
+  outer:
+      set array, %o0
+      set )" + std::to_string(footprint) + R"(, %o5
+      mov 0, %o1
+  walk:
+      ld [%o0 + %o1], %o2
+      add %o1, )" + std::to_string(stride) + R"(, %o1
+      cmp %o1, %o5
+      bl walk
+      nop
+      subcc %g6, 1, %g6
+      bne outer
+      nop
+      st %g0, [%g1]          ! stop the counter
+      ld [%g1 + 4], %o4
+      set cycles, %g3
+      st %o4, [%g3]
+      jmp 0x40
+      nop
+      .align 4
+  cycles:
+      .skip 4
+      .align 32
+  array:
+      .skip )" + std::to_string(footprint) + "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u32 footprint = argc > 1 ? static_cast<u32>(std::atoi(argv[1])) : 4096;
+  const u32 stride = argc > 2 ? static_cast<u32>(std::atoi(argv[2])) : 128;
+  if (footprint == 0 || stride == 0 || stride > footprint ||
+      footprint > 262144) {
+    std::fprintf(stderr, "usage: cache_explorer [footprint<=256K] [stride]\n");
+    return 2;
+  }
+  const u32 iterations = 200;
+
+  const auto img = sasm::assemble_or_throw(
+      make_kernel(footprint, stride, iterations));
+
+  liquid::SynthesisModel syn;
+  liquid::ReconfigurationCache cache;
+  liquid::ConfigSpace space;  // 1..16 KB D-caches
+  std::printf("pre-generating %zu images (%.1f simulated hours of synthesis)\n",
+              space.enumerate().size(),
+              cache.pregenerate(space, syn) / 3600.0);
+
+  std::printf(
+      "\nworkload: %u passes over %u bytes with a %u-byte stride\n\n",
+      iterations, footprint, stride);
+  std::printf("%-8s %12s %12s %10s %10s %8s\n", "dcache", "cycles",
+              "d-misses", "missrate", "BRAMs", "fmax");
+
+  Cycles best_cycles = ~Cycles{0};
+  u32 best_kb = 0;
+  for (const auto& cfg : space.enumerate()) {
+    sim::LiquidSystem node;
+    node.run(100);
+    liquid::ReconfigurationServer server(node, cache, syn);
+    liquid::TraceAnalyzer analyzer;
+    const auto job =
+        server.run_job(cfg, img, img.symbol("cycles"), 1, &analyzer);
+    if (!job.ok) {
+      std::printf("%4uKB   FAILED: %s\n", cfg.dcache_bytes / 1024,
+                  job.error.c_str());
+      continue;
+    }
+    const auto& d = node.cpu().dcache().stats();
+    const auto u = syn.estimate(cfg);
+    std::printf("%4uKB   %12u %12llu %9.1f%% %10u %5.0fMHz\n",
+                cfg.dcache_bytes / 1024, job.readback.at(0),
+                static_cast<unsigned long long>(d.read_misses),
+                100.0 * d.miss_ratio(), u.brams, u.fmax_mhz);
+    if (job.readback.at(0) < best_cycles) {
+      best_cycles = job.readback.at(0);
+      best_kb = cfg.dcache_bytes / 1024;
+    }
+  }
+
+  std::printf("\nbest configuration for this workload: %uKB\n", best_kb);
+
+  // What would the trace analyzer have picked, from one profiling run?
+  sim::LiquidSystem node;
+  node.run(100);
+  liquid::ReconfigurationServer server(node, cache, syn);
+  liquid::TraceAnalyzer analyzer;
+  server.run_job(liquid::ArchConfig::paper_baseline(), img,
+                 img.symbol("cycles"), 1, &analyzer);
+  const auto rec = analyzer.recommend(space);
+  std::printf("trace analyzer recommends: %uKB (from one profiled run)\n",
+              rec.dcache_bytes / 1024);
+  return 0;
+}

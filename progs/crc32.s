@@ -1,0 +1,63 @@
+! Bitwise CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a
+! 256-byte table.  A dense shift/branch kernel — the opposite personality
+! from the Fig 7 memory walker.  Result word: `crc`.
+    .org 0x40000100
+_start:
+    set 0x80000500, %g1
+    mov 1, %g2
+    st %g2, [%g1]          ! start the cycle counter
+    set data, %o0
+    set 256, %o1           ! length in bytes
+    set 0xffffffff, %o2    ! crc
+    set 0xedb88320, %o3    ! polynomial
+byteloop:
+    ldub [%o0], %o4
+    xor %o2, %o4, %o2
+    mov 8, %o5
+bitloop:
+    and %o2, 1, %g3
+    srl %o2, 1, %o2
+    cmp %g3, 0
+    be nosub
+    nop
+    xor %o2, %o3, %o2
+nosub:
+    subcc %o5, 1, %o5
+    bne bitloop
+    nop
+    add %o0, 1, %o0
+    subcc %o1, 1, %o1
+    bne byteloop
+    nop
+    not %o2                ! final inversion
+    st %g0, [%g1]          ! stop the counter
+    ld [%g1 + 4], %o5
+    set cycles, %g4
+    st %o5, [%g4]
+    set crc, %g5
+    st %o2, [%g5]
+    jmp 0x40
+    nop
+    .align 4
+crc:
+    .skip 4
+cycles:
+    .skip 4
+    .align 4
+data:                      ! 256 bytes: 0, 1, 2, ..., 255
+    .word 0x00010203, 0x04050607, 0x08090a0b, 0x0c0d0e0f
+    .word 0x10111213, 0x14151617, 0x18191a1b, 0x1c1d1e1f
+    .word 0x20212223, 0x24252627, 0x28292a2b, 0x2c2d2e2f
+    .word 0x30313233, 0x34353637, 0x38393a3b, 0x3c3d3e3f
+    .word 0x40414243, 0x44454647, 0x48494a4b, 0x4c4d4e4f
+    .word 0x50515253, 0x54555657, 0x58595a5b, 0x5c5d5e5f
+    .word 0x60616263, 0x64656667, 0x68696a6b, 0x6c6d6e6f
+    .word 0x70717273, 0x74757677, 0x78797a7b, 0x7c7d7e7f
+    .word 0x80818283, 0x84858687, 0x88898a8b, 0x8c8d8e8f
+    .word 0x90919293, 0x94959697, 0x98999a9b, 0x9c9d9e9f
+    .word 0xa0a1a2a3, 0xa4a5a6a7, 0xa8a9aaab, 0xacadaeaf
+    .word 0xb0b1b2b3, 0xb4b5b6b7, 0xb8b9babb, 0xbcbdbebf
+    .word 0xc0c1c2c3, 0xc4c5c6c7, 0xc8c9cacb, 0xcccdcecf
+    .word 0xd0d1d2d3, 0xd4d5d6d7, 0xd8d9dadb, 0xdcdddedf
+    .word 0xe0e1e2e3, 0xe4e5e6e7, 0xe8e9eaeb, 0xecedeeef
+    .word 0xf0f1f2f3, 0xf4f5f6f7, 0xf8f9fafb, 0xfcfdfeff

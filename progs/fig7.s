@@ -1,0 +1,32 @@
+! The paper's Fig 7 kernel, exactly as the evaluation runs it:
+!   for (i = 0; i < 1000000; i = i + 32) { address = i % 1024; x = count[address]; }
+! The hardware cycle counter brackets the loop; the measurement lands in
+! `cycles` for readback ("lsim --sweep --read cycles progs/fig7.s").
+    .org 0x40000100
+_start:
+    set 0x80000500, %g1    ! cycle counter device
+    mov 1, %g2
+    st %g2, [%g1]          ! start counting
+    set count, %o0
+    mov 0, %o1             ! i
+    set 1000000, %o2
+loop:
+    and %o1, 1023, %o3     ! address = i % 1024
+    sll %o3, 2, %o3        ! int indexing
+    ld [%o0 + %o3], %o4    ! x = count[address]
+    add %o1, 32, %o1
+    cmp %o1, %o2
+    bl loop
+    nop
+    st %g0, [%g1]          ! stop counting
+    ld [%g1 + 4], %o5
+    set cycles, %g3
+    st %o5, [%g3]
+    jmp 0x40               ! back to the boot ROM polling loop
+    nop
+    .align 4
+cycles:
+    .skip 4
+    .align 32
+count:
+    .skip 4096

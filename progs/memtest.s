@@ -1,0 +1,86 @@
+! SDRAM memory test: three walking patterns over a 16 KB window behind the
+! FPX SDRAM controller/adapter (address-in-address, complement, checker).
+! Result: `errors` (0 on pass), `words_tested`.
+    .org 0x40000100
+
+BASE = 0x60000000
+WORDS = 4096
+
+_start:
+    mov 0, %g6             ! error count
+    ! --- pass 1: a[i] = address ---
+    set BASE, %o0
+    set WORDS, %o1
+w1: st %o0, [%o0]
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne w1
+    nop
+    set BASE, %o0
+    set WORDS, %o1
+r1: ld [%o0], %o2
+    cmp %o2, %o0
+    be r1ok
+    nop
+    add %g6, 1, %g6
+r1ok:
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne r1
+    nop
+    ! --- pass 2: a[i] = ~address ---
+    set BASE, %o0
+    set WORDS, %o1
+w2: not %o0, %o3
+    st %o3, [%o0]
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne w2
+    nop
+    set BASE, %o0
+    set WORDS, %o1
+r2: ld [%o0], %o2
+    not %o0, %o3
+    cmp %o2, %o3
+    be r2ok
+    nop
+    add %g6, 1, %g6
+r2ok:
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne r2
+    nop
+    ! --- pass 3: checkerboard ---
+    set 0xa5a55a5a, %g5
+    set BASE, %o0
+    set WORDS, %o1
+w3: st %g5, [%o0]
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne w3
+    nop
+    set BASE, %o0
+    set WORDS, %o1
+r3: ld [%o0], %o2
+    cmp %o2, %g5
+    be r3ok
+    nop
+    add %g6, 1, %g6
+r3ok:
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne r3
+    nop
+    ! --- report ---
+    set errors, %g1
+    st %g6, [%g1]
+    set WORDS * 3, %g2
+    set words_tested, %g3
+    st %g2, [%g3]
+    jmp 0x40
+    nop
+    .align 4
+errors:
+    .skip 4
+words_tested:
+    .skip 4

@@ -1,0 +1,79 @@
+! Recursive quicksort (Lomuto partition) over 64 unsigned words.
+! Exercises the full call/window machinery: assemble together with the
+! runtime library (lsim --runtime progs/quicksort.s), which provides
+! rt_init and the window overflow/underflow handlers.
+!
+! Readback: `data` (64 sorted words) and `done_flag` (1 when finished).
+    .org 0x40000100
+_start:
+    call rt_init
+    nop
+    set data, %o0          ! lo = &data[0]
+    set data + 252, %o1    ! hi = &data[63]
+    call qsort
+    nop
+    set done_flag, %g1
+    mov 1, %g2
+    st %g2, [%g1]
+    jmp 0x40
+    nop
+
+! void qsort(word* lo, word* hi)  — inclusive word addresses
+qsort:
+    save %sp, -96, %sp
+    cmp %i0, %i1
+    bgeu qdone             ! lo >= hi: nothing to sort
+    nop
+    ld [%i1], %l0          ! pivot = *hi
+    mov %i0, %l1           ! i (store slot)
+    mov %i0, %l2           ! j (scan)
+ploop:
+    cmp %l2, %i1
+    bgeu pdone
+    nop
+    ld [%l2], %l3
+    cmp %l3, %l0
+    bgu pnext              ! keep scanning when a[j] > pivot (unsigned)
+    nop
+    ld [%l1], %l4          ! swap a[i] <-> a[j]
+    st %l3, [%l1]
+    st %l4, [%l2]
+    add %l1, 4, %l1
+pnext:
+    add %l2, 4, %l2
+    ba ploop
+    nop
+pdone:
+    ld [%l1], %l4          ! swap a[i] <-> *hi (pivot into place)
+    ld [%i1], %l5
+    st %l5, [%l1]
+    st %l4, [%i1]
+    cmp %l1, %i0           ! left part: [lo, i-1]
+    bleu skipleft
+    nop
+    mov %i0, %o0
+    sub %l1, 4, %o1
+    call qsort
+    nop
+skipleft:
+    add %l1, 4, %o0        ! right part: [i+1, hi]
+    mov %i1, %o1
+    call qsort
+    nop
+qdone:
+    ret
+    restore
+
+    .align 4
+done_flag:
+    .word 0
+    .align 4
+data:                      ! 64 words, adversarially unsorted
+    .word 0xdeadbeef, 17, 0xffffffff, 3, 92, 0x80000000, 41, 7
+    .word 1000000, 0, 55, 55, 55, 2, 999, 123456
+    .word 31, 30, 29, 28, 27, 26, 25, 24
+    .word 1, 2, 3, 4, 5, 6, 7, 8
+    .word 0xcafebabe, 0x12345678, 0x0badf00d, 77, 77, 13, 42, 9
+    .word 501, 502, 500, 499, 498, 0x7fffffff, 11, 64
+    .word 1024, 512, 256, 128, 4096, 2048, 8192, 16384
+    .word 6, 66, 666, 6666, 66666, 666666, 6666666, 66666666

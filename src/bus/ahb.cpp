@@ -1,0 +1,75 @@
+#include "bus/ahb.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace la::bus {
+
+void AhbBus::attach(Addr base, u64 size, AhbSlave* slave) {
+  assert(slave != nullptr && size > 0);
+  for (const Mapping& m : map_) {
+    const bool overlap =
+        base < m.base + m.size && m.base < static_cast<u64>(base) + size;
+    if (overlap) {
+      throw std::logic_error("AHB mapping overlap with " +
+                             std::string(m.slave->name()));
+    }
+  }
+  map_.push_back({base, size, slave});
+}
+
+AhbSlave* AhbBus::slave_at(Addr addr) const {
+  for (const Mapping& m : map_) {
+    if (addr >= m.base && addr - m.base < m.size) return m.slave;
+  }
+  return nullptr;
+}
+
+Cycles AhbBus::transfer(Master m, AhbTransfer& t) {
+  AhbMasterStats& st = stats_.per_master[static_cast<int>(m)];
+  ++st.transfers;
+  st.beats += t.beats;
+
+  AhbSlave* slave = slave_at(t.addr);
+  Cycles cycles;
+  if (slave == nullptr) {
+    // Two-cycle ERROR response per the AHB spec.
+    t.error = true;
+    ++stats_.unmapped;
+    ++st.errors;
+    cycles = 1 + 2;
+  } else {
+    cycles = 1 + slave->transfer(t);  // 1 address-phase cycle
+    if (t.error) ++st.errors;
+  }
+  st.cycles += cycles;
+  return cycles;
+}
+
+bool AhbBus::debug_read(Addr addr, unsigned size, u64& out) const {
+  AhbSlave* s = slave_at(addr);
+  return s != nullptr && s->debug_read(addr, size, out);
+}
+
+bool AhbBus::debug_write(Addr addr, unsigned size, u64 value) const {
+  AhbSlave* s = slave_at(addr);
+  return s != nullptr && s->debug_write(addr, size, value);
+}
+
+Cycles AhbBus::read32(Master m, Addr addr, u32& value) {
+  AhbTransfer t;
+  t.addr = addr;
+  t.data = &value;
+  const Cycles c = transfer(m, t);
+  return c;
+}
+
+Cycles AhbBus::write32(Master m, Addr addr, u32 value) {
+  AhbTransfer t;
+  t.addr = addr;
+  t.write = true;
+  t.data = &value;
+  return transfer(m, t);
+}
+
+}  // namespace la::bus

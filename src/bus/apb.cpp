@@ -1,0 +1,63 @@
+#include "bus/apb.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace la::bus {
+
+namespace {
+// APB transfers take two bus cycles: SETUP and ENABLE.
+constexpr Cycles kApbAccess = 2;
+}  // namespace
+
+void ApbBridge::attach(u32 offset, u32 size, ApbSlave* dev) {
+  assert(dev != nullptr && size > 0);
+  for (const Mapping& m : map_) {
+    const bool overlap = offset < m.offset + m.size &&
+                         m.offset < offset + size;
+    if (overlap) {
+      throw std::logic_error("APB mapping overlap with " +
+                             std::string(m.dev->name()));
+    }
+  }
+  map_.push_back({offset, size, dev});
+}
+
+ApbSlave* ApbBridge::device_at(u32 offset) const {
+  for (const Mapping& m : map_) {
+    if (offset >= m.offset && offset - m.offset < m.size) return m.dev;
+  }
+  return nullptr;
+}
+
+Cycles ApbBridge::transfer(AhbTransfer& t) {
+  // APB supports word accesses only; the bridge also rejects bursts, which
+  // LEON never issues to peripheral space.
+  Cycles total = 0;
+  for (unsigned b = 0; b < t.beats; ++b) {
+    const Addr abs = t.addr + b * t.beat_bytes;
+    const u32 offset = abs - base_;
+    ApbSlave* dev = device_at(offset);
+    if (dev == nullptr || t.beat_bytes != 4) {
+      t.error = true;
+      return total + 2;  // ERROR response
+    }
+    const u32 local = offset - [&] {
+      for (const Mapping& m : map_) {
+        if (offset >= m.offset && offset - m.offset < m.size) return m.offset;
+      }
+      return 0u;
+    }();
+    if (t.write) {
+      dev->write(local, t.data[b]);
+    } else {
+      t.data[b] = dev->read(local);
+    }
+    apb_cycles_ += kApbAccess;
+    total += kApbAccess;
+  }
+  return total;
+}
+
+}  // namespace la::bus

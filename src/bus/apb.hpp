@@ -1,0 +1,54 @@
+// AMBA APB: the low-bandwidth peripheral bus behind the AHB/APB bridge
+// (LEON hangs its UART, timers, interrupt controller, and I/O ports here).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "common/types.hpp"
+
+namespace la::bus {
+
+/// APB peripherals are register files: word reads/writes at small offsets.
+class ApbSlave {
+ public:
+  virtual ~ApbSlave() = default;
+  /// Read the 32-bit register at byte offset `offset` (within the device).
+  virtual u32 read(u32 offset) = 0;
+  virtual void write(u32 offset, u32 value) = 0;
+  virtual std::string_view name() const = 0;
+};
+
+/// The AHB/APB bridge: an AHB slave that forwards single-beat accesses to
+/// APB devices.  Every APB access costs the classic two APB cycles (setup
+/// + access) on top of the AHB data phase.
+class ApbBridge final : public AhbSlave {
+ public:
+  /// `ahb_base` is where the bridge sits on AHB; device offsets are
+  /// relative to it.
+  explicit ApbBridge(Addr ahb_base) : base_(ahb_base) {}
+
+  void attach(u32 offset, u32 size, ApbSlave* dev);
+
+  Cycles transfer(AhbTransfer& t) override;
+  std::string_view name() const override { return "apb-bridge"; }
+
+  ApbSlave* device_at(u32 offset) const;
+
+  /// Cycles consumed on the APB side (for bus-utilization reporting).
+  Cycles apb_cycles() const { return apb_cycles_; }
+
+ private:
+  struct Mapping {
+    u32 offset;
+    u32 size;
+    ApbSlave* dev;
+  };
+
+  Addr base_;
+  std::vector<Mapping> map_;
+  Cycles apb_cycles_ = 0;
+};
+
+}  // namespace la::bus

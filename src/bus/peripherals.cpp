@@ -1,0 +1,182 @@
+#include "bus/peripherals.hpp"
+
+namespace la::bus {
+
+// ---- UART -----------------------------------------------------------------
+
+u32 Uart::read(u32 offset) {
+  switch (offset) {
+    case reg::kUartData: {
+      if (rx_.empty()) return 0;
+      const u8 c = rx_.front();
+      rx_.pop_front();
+      return c;
+    }
+    case reg::kUartStatus:
+      return 1u | (rx_.empty() ? 0u : 2u);  // TX ready | RX available
+    case reg::kUartCtrl:
+      return ctrl_;
+    default:
+      return 0;
+  }
+}
+
+void Uart::write(u32 offset, u32 value) {
+  switch (offset) {
+    case reg::kUartData:
+      tx_.push_back(static_cast<char>(value & 0xff));
+      break;
+    case reg::kUartCtrl:
+      ctrl_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+// ---- Timer ------------------------------------------------------------------
+
+u32 LeonTimer::read(u32 offset) {
+  switch (offset) {
+    case reg::kTimerCounter: return counter_;
+    case reg::kTimerReload: return reload_;
+    case reg::kTimerCtrl: return ctrl_;
+    default: return 0;
+  }
+}
+
+void LeonTimer::write(u32 offset, u32 value) {
+  switch (offset) {
+    case reg::kTimerCounter: counter_ = value; break;
+    case reg::kTimerReload: reload_ = value; break;
+    case reg::kTimerCtrl: ctrl_ = value; break;
+    default: break;
+  }
+}
+
+void LeonTimer::advance(Cycles cycles) {
+  if (!enabled()) return;
+  while (cycles > 0) {
+    if (counter_ >= cycles) {
+      counter_ -= static_cast<u32>(cycles);
+      return;
+    }
+    cycles -= counter_ + 1;  // count down through zero
+    ++underflows_;
+    if ((ctrl_ & kCtrlIrqEnable) && raise_) raise_(irq_level_);
+    if (ctrl_ & kCtrlAutoReload) {
+      counter_ = reload_;
+    } else {
+      counter_ = 0;
+      ctrl_ &= ~kCtrlEnable;
+      return;
+    }
+  }
+}
+
+// ---- IRQ controller ---------------------------------------------------------
+
+u32 IrqController::read(u32 offset) {
+  switch (offset) {
+    case reg::kIrqPending: return pending_;
+    case reg::kIrqMask: return mask_;
+    default: return 0;
+  }
+}
+
+void IrqController::write(u32 offset, u32 value) {
+  switch (offset) {
+    case reg::kIrqMask:
+      mask_ = value & 0xfffe;
+      break;
+    case reg::kIrqForce:
+      pending_ |= value & 0xfffe;
+      break;
+    case reg::kIrqClear:
+      pending_ &= ~value;
+      break;
+    default:
+      break;
+  }
+  update();
+}
+
+void IrqController::raise(u8 level) {
+  if (level == 0 || level > 15) return;
+  pending_ |= 1u << level;
+  update();
+}
+
+void IrqController::clear(u8 level) {
+  pending_ &= ~(1u << level);
+  update();
+}
+
+u8 IrqController::current_level() const {
+  const u32 active = pending_ & mask_;
+  for (int l = 15; l >= 1; --l) {
+    if (active & (1u << l)) return static_cast<u8>(l);
+  }
+  return 0;
+}
+
+void IrqController::update() {
+  if (set_) set_(current_level());
+}
+
+// ---- GPIO / LED --------------------------------------------------------------
+
+u32 GpioPort::read(u32 offset) {
+  switch (offset) {
+    case reg::kGpioOut: return out_;
+    case reg::kGpioIn: return in_;
+    default: return 0;
+  }
+}
+
+void GpioPort::write(u32 offset, u32 value) {
+  if (offset == reg::kGpioOut) {
+    out_ = value;
+    history_.push_back(value);
+  }
+}
+
+// ---- Cycle counter -------------------------------------------------------------
+
+Cycles CycleCounter::measured() const {
+  return running_ ? accumulated_ + (now_() - started_at_) : accumulated_;
+}
+
+u32 CycleCounter::read(u32 offset) {
+  switch (offset) {
+    case reg::kCycCtrl: return running_ ? 1u : 0u;
+    case reg::kCycCount: return static_cast<u32>(measured());
+    default: return 0;
+  }
+}
+
+void CycleCounter::write(u32 offset, u32 value) {
+  if (offset != reg::kCycCtrl) return;
+  switch (value) {
+    case kStart:
+      if (!running_) {
+        running_ = true;
+        started_at_ = now_();
+      }
+      break;
+    case kStop:
+      if (running_) {
+        accumulated_ += now_() - started_at_;
+        running_ = false;
+      }
+      break;
+    case kReset:
+      running_ = false;
+      accumulated_ = 0;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace la::bus

@@ -1,0 +1,168 @@
+// LEON-style APB peripherals: UART, timer, interrupt controller, LED port,
+// and the cycle-counter "hardware state machine" the paper uses to time
+// its experiments (Section 4: "A hardware state machine counts and returns
+// the number of clock cycles to run this program").
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "bus/apb.hpp"
+#include "common/types.hpp"
+
+namespace la::bus {
+
+/// Register offsets for each device (word registers, byte offsets).
+namespace reg {
+// UART
+inline constexpr u32 kUartData = 0x0;
+inline constexpr u32 kUartStatus = 0x4;
+inline constexpr u32 kUartCtrl = 0x8;
+// Timer
+inline constexpr u32 kTimerCounter = 0x0;
+inline constexpr u32 kTimerReload = 0x4;
+inline constexpr u32 kTimerCtrl = 0x8;
+// IRQ controller
+inline constexpr u32 kIrqPending = 0x0;
+inline constexpr u32 kIrqMask = 0x4;
+inline constexpr u32 kIrqForce = 0x8;
+inline constexpr u32 kIrqClear = 0xc;
+// GPIO / LED
+inline constexpr u32 kGpioOut = 0x0;
+inline constexpr u32 kGpioIn = 0x4;
+// Cycle counter
+inline constexpr u32 kCycCtrl = 0x0;
+inline constexpr u32 kCycCount = 0x4;
+}  // namespace reg
+
+/// Simple UART: transmitted bytes append to a host-visible log; the host
+/// can queue receive bytes.  Status bit0 = TX ready (always), bit1 = RX
+/// data available.
+class Uart final : public ApbSlave {
+ public:
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "uart"; }
+
+  const std::string& tx_log() const { return tx_; }
+  void host_send(std::string_view s) {
+    for (char c : s) rx_.push_back(static_cast<u8>(c));
+  }
+
+ private:
+  std::string tx_;
+  std::deque<u8> rx_;
+  u32 ctrl_ = 0;
+};
+
+/// Down-counting timer with auto-reload; raises an interrupt level when it
+/// underflows.  `advance()` is called by the system as simulated time
+/// passes.
+class LeonTimer final : public ApbSlave {
+ public:
+  using IrqRaise = std::function<void(u8 level)>;
+
+  explicit LeonTimer(u8 irq_level = 8, IrqRaise raise = nullptr)
+      : irq_level_(irq_level), raise_(std::move(raise)) {}
+
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "timer"; }
+
+  /// Advance simulated time by `cycles` bus clocks.
+  void advance(Cycles cycles);
+
+  bool enabled() const { return (ctrl_ & 1u) != 0; }
+  u64 underflows() const { return underflows_; }
+
+  static constexpr u32 kCtrlEnable = 1u << 0;
+  static constexpr u32 kCtrlAutoReload = 1u << 1;
+  static constexpr u32 kCtrlIrqEnable = 1u << 2;
+
+ private:
+  u32 counter_ = 0;
+  u32 reload_ = 0;
+  u32 ctrl_ = 0;
+  u8 irq_level_;
+  IrqRaise raise_;
+  u64 underflows_ = 0;
+};
+
+/// Interrupt controller: 15 level lines (1..15).  Pending & mask feed the
+/// CPU's irq input via a callback so the integer unit sees the highest
+/// unmasked pending level.
+class IrqController final : public ApbSlave {
+ public:
+  using CpuIrqSet = std::function<void(u8 level)>;
+
+  explicit IrqController(CpuIrqSet set = nullptr) : set_(std::move(set)) {}
+
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "irqctrl"; }
+
+  /// Hardware line assertion (from timer, UART, network logic).
+  void raise(u8 level);
+  /// Acknowledge from software usually goes through kIrqClear writes.
+  void clear(u8 level);
+
+  u32 pending() const { return pending_; }
+  u8 current_level() const;
+
+ private:
+  void update();
+
+  u32 pending_ = 0;  // bit n = level n pending (bits 1..15)
+  u32 mask_ = 0xfffe;  // all levels enabled by default
+  CpuIrqSet set_;
+};
+
+/// Output port driving the FPX board LEDs (the paper's Figure 3 shows an
+/// LED module on the APB).  Keeps a change history for tests/examples.
+class GpioPort final : public ApbSlave {
+ public:
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "gpio-led"; }
+
+  u32 out() const { return out_; }
+  void set_in(u32 v) { in_ = v; }
+  const std::vector<u32>& history() const { return history_; }
+
+ private:
+  u32 out_ = 0;
+  u32 in_ = 0;
+  std::vector<u32> history_;
+};
+
+/// The measurement device: counts bus clock cycles between start and stop.
+/// Reads the global cycle counter through a callback so it never drifts
+/// from the simulation clock.
+class CycleCounter final : public ApbSlave {
+ public:
+  using Now = std::function<Cycles()>;
+
+  explicit CycleCounter(Now now) : now_(std::move(now)) {}
+
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "cyclecounter"; }
+
+  static constexpr u32 kStart = 1;
+  static constexpr u32 kStop = 0;
+  static constexpr u32 kReset = 2;
+
+  /// Measured cycles (valid after a stop; live value while running).
+  Cycles measured() const;
+  bool running() const { return running_; }
+
+ private:
+  Now now_;
+  bool running_ = false;
+  Cycles started_at_ = 0;
+  Cycles accumulated_ = 0;
+};
+
+}  // namespace la::bus

@@ -1,0 +1,142 @@
+#include "cache/cache.hpp"
+
+namespace la::cache {
+
+Cache::Cache(const CacheConfig& cfg, u64 seed)
+    : cfg_(cfg),
+      ways_(cfg.num_lines()),
+      data_(static_cast<std::size_t>(cfg.num_lines()) * cfg.line_bytes, 0),
+      rng_(seed) {
+  assert(cfg.valid());
+}
+
+Cache::Way* Cache::find(u32 set, u32 tag) {
+  Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+const Cache::Way* Cache::find(u32 set, u32 tag) const {
+  const Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (base[w].valid && base[w].tag == tag) return &base[w];
+  }
+  return nullptr;
+}
+
+std::size_t Cache::choose_victim(u32 set) {
+  const std::size_t first = static_cast<std::size_t>(set) * cfg_.ways;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    if (!ways_[first + w].valid) return first + w;
+  }
+  if (cfg_.replacement == Replacement::kRandom) {
+    return first + rng_.below(cfg_.ways);
+  }
+  std::size_t victim = first;
+  for (u32 w = 1; w < cfg_.ways; ++w) {
+    if (ways_[first + w].lru < ways_[victim].lru) victim = first + w;
+  }
+  return victim;
+}
+
+AccessOutcome Cache::access(Addr addr, bool is_write) {
+  const u32 set = set_of(addr);
+  const u32 tag = tag_of(addr);
+  AccessOutcome out;
+  out.line_addr = static_cast<Addr>(align_down(addr, cfg_.line_bytes));
+  ++tick_;
+
+  if (Way* w = find(set, tag)) {
+    out.hit = true;
+    out.data = slot_data(static_cast<std::size_t>(w - ways_.data()));
+    w->lru = tick_;
+    if (is_write) {
+      ++stats_.write_hits;
+      if (cfg_.write_policy == WritePolicy::kWriteBackAllocate) {
+        w->dirty = true;
+      }
+    } else {
+      ++stats_.read_hits;
+    }
+    return out;
+  }
+
+  // Miss.
+  if (is_write) {
+    ++stats_.write_misses;
+    if (cfg_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
+      return out;  // write-around: no fill, memory updated by caller
+    }
+  } else {
+    ++stats_.read_misses;
+  }
+
+  // Fill path (read miss always; write miss only with allocate policy).
+  out.fill = true;
+  const std::size_t vi = choose_victim(set);
+  Way& v = ways_[vi];
+  if (v.valid) {
+    ++stats_.evictions;
+    if (v.dirty) {
+      ++stats_.writebacks;
+      out.writeback = true;
+      out.victim_addr = line_base(set, v.tag);
+    }
+  }
+  v.valid = true;
+  v.dirty = is_write && cfg_.write_policy == WritePolicy::kWriteBackAllocate;
+  v.tag = tag;
+  v.lru = tick_;
+  out.data = slot_data(vi);  // still holds the victim's bytes; caller saves
+  return out;
+}
+
+bool Cache::probe(Addr addr) const {
+  return find(set_of(addr), tag_of(addr)) != nullptr;
+}
+
+const u8* Cache::peek_line(Addr addr) const {
+  const Way* w = find(set_of(addr), tag_of(addr));
+  if (w == nullptr) return nullptr;
+  return slot_data(static_cast<std::size_t>(w - ways_.data()));
+}
+
+void Cache::flush(std::vector<DirtyLine>* dirty_out) {
+  ++stats_.flushes;
+  for (u32 set = 0; set < cfg_.num_sets(); ++set) {
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      const std::size_t i = static_cast<std::size_t>(set) * cfg_.ways + w;
+      Way& way = ways_[i];
+      if (way.valid && way.dirty && dirty_out != nullptr) {
+        DirtyLine d;
+        d.addr = line_base(set, way.tag);
+        d.data.assign(slot_data(i), slot_data(i) + cfg_.line_bytes);
+        dirty_out->push_back(std::move(d));
+      }
+      way = Way{};
+    }
+  }
+}
+
+bool Cache::invalidate_line(Addr addr, DirtyLine* dirty_out) {
+  if (Way* w = find(set_of(addr), tag_of(addr))) {
+    const std::size_t i = static_cast<std::size_t>(w - ways_.data());
+    if (w->dirty && dirty_out != nullptr) {
+      dirty_out->addr = line_base(set_of(addr), w->tag);
+      dirty_out->data.assign(slot_data(i), slot_data(i) + cfg_.line_bytes);
+    }
+    *w = Way{};
+    return true;
+  }
+  return false;
+}
+
+u32 Cache::valid_lines() const {
+  u32 n = 0;
+  for (const Way& w : ways_) n += w.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace la::cache

@@ -1,0 +1,163 @@
+// Parameterized set-associative cache model with line data storage.
+//
+// This is the structure the paper's headline experiment reconfigures: the
+// LEON2 data cache (direct-mapped, write-through, no-allocate) swept from
+// 1 KB to 16 KB with 32-byte lines.  The model keeps both tags and line
+// data, so stale-data effects are faithful: a write performed behind the
+// processor's back (the leon_ctrl/user path of Fig 6) stays invisible
+// until the line is flushed — which is why the paper's modified boot ROM
+// executes a `flush` inside its mailbox polling loop (Fig 5).
+//
+// Beyond the LEON scheme, write-back/allocate and multi-way LRU/random
+// configurations are implemented as liquid-architecture extension points
+// (Section 1 lists variable cache schemes as the motivating
+// reconfiguration axis).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace la::cache {
+
+enum class WritePolicy : u8 {
+  kWriteThroughNoAllocate,  // LEON2's scheme
+  kWriteBackAllocate,       // extension
+};
+
+enum class Replacement : u8 {
+  kLru,
+  kRandom,
+};
+
+struct CacheConfig {
+  u32 size_bytes = 1024;
+  u32 line_bytes = 32;
+  u32 ways = 1;  // LEON2 caches are direct-mapped
+  Replacement replacement = Replacement::kLru;
+  WritePolicy write_policy = WritePolicy::kWriteThroughNoAllocate;
+
+  bool valid() const {
+    return is_pow2(size_bytes) && is_pow2(line_bytes) && is_pow2(ways) &&
+           line_bytes >= 4 && ways >= 1 &&
+           static_cast<u64>(line_bytes) * ways <= size_bytes;
+  }
+
+  u32 num_lines() const { return size_bytes / line_bytes; }
+  u32 num_sets() const { return num_lines() / ways; }
+  u32 words_per_line() const { return line_bytes / 4; }
+};
+
+struct CacheStats {
+  u64 read_hits = 0;
+  u64 read_misses = 0;
+  u64 write_hits = 0;
+  u64 write_misses = 0;
+  u64 evictions = 0;    // valid lines displaced by fills
+  u64 writebacks = 0;   // dirty lines written back (write-back policy only)
+  u64 flushes = 0;
+
+  u64 reads() const { return read_hits + read_misses; }
+  u64 writes() const { return write_hits + write_misses; }
+  u64 accesses() const { return reads() + writes(); }
+  u64 misses() const { return read_misses + write_misses; }
+  double miss_ratio() const {
+    return accesses() == 0 ? 0.0
+                           : static_cast<double>(misses()) /
+                                 static_cast<double>(accesses());
+  }
+};
+
+/// A dirty line expelled by flush or invalidation (write-back policy).
+struct DirtyLine {
+  Addr addr = 0;
+  std::vector<u8> data;
+};
+
+/// What the pipeline must do to service one access.
+struct AccessOutcome {
+  bool hit = false;
+  bool fill = false;       // fetch the line from memory into `data`
+  bool writeback = false;  // write the dirty victim back first
+  Addr line_addr = 0;      // line-aligned address of this access
+  Addr victim_addr = 0;    // line-aligned victim address when writeback
+  /// Storage of the (new) line inside the cache; null only for a
+  /// write-through write miss (write-around, nothing allocated).
+  /// When `writeback` is set this still holds the VICTIM's bytes — the
+  /// caller must save them before filling.
+  u8* data = nullptr;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg, u64 seed = 0);
+
+  /// Look up (and update) the cache for an access at `addr`:
+  ///   * read miss: a line is allocated (outcome.fill), the victim possibly
+  ///     needs writing back first
+  ///   * write, write-through: a hit exposes the line for update (the
+  ///     caller also writes memory); a miss does not allocate
+  ///   * write, write-back: miss allocates; the line is marked dirty
+  AccessOutcome access(Addr addr, bool is_write);
+
+  /// Lookup without disturbing replacement state or statistics.
+  bool probe(Addr addr) const;
+  /// Read-only view of a resident line's bytes (nullptr if absent).
+  const u8* peek_line(Addr addr) const;
+
+  /// Invalidate everything.  Dirty lines are appended to `dirty_out` if
+  /// provided (write-back policy); null discards them, which is correct
+  /// for LEON's write-through caches.
+  void flush(std::vector<DirtyLine>* dirty_out = nullptr);
+
+  /// Invalidate one line if present (FLUSH instruction; coherence hook).
+  /// A dirty victim is returned through `dirty_out` when given.
+  bool invalidate_line(Addr addr, DirtyLine* dirty_out = nullptr);
+
+  const CacheConfig& config() const { return cfg_; }
+  const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  /// Number of currently valid lines (test/diagnostic aid).
+  u32 valid_lines() const;
+
+ private:
+  struct Way {
+    bool valid = false;
+    bool dirty = false;
+    u32 tag = 0;
+    u64 lru = 0;  // higher = more recently used
+  };
+
+  u32 set_of(Addr addr) const {
+    return (addr / cfg_.line_bytes) & (cfg_.num_sets() - 1);
+  }
+  u32 tag_of(Addr addr) const {
+    return addr / cfg_.line_bytes / cfg_.num_sets();
+  }
+  Addr line_base(u32 set, u32 tag) const {
+    return (tag * cfg_.num_sets() + set) * cfg_.line_bytes;
+  }
+  u8* slot_data(std::size_t way_index) {
+    return &data_[way_index * cfg_.line_bytes];
+  }
+  const u8* slot_data(std::size_t way_index) const {
+    return &data_[way_index * cfg_.line_bytes];
+  }
+
+  Way* find(u32 set, u32 tag);
+  const Way* find(u32 set, u32 tag) const;
+  std::size_t choose_victim(u32 set);
+
+  CacheConfig cfg_;
+  std::vector<Way> ways_;  // num_sets * ways, set-major
+  std::vector<u8> data_;   // line storage, parallel to ways_
+  CacheStats stats_;
+  Rng rng_;
+  u64 tick_ = 0;
+};
+
+}  // namespace la::cache

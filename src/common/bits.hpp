@@ -1,0 +1,61 @@
+// Bit-manipulation helpers shared by the decoder, caches, and bus models.
+#pragma once
+
+#include <bit>
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace la {
+
+/// Extract bits [lo, hi] (inclusive, hi >= lo) of `v`, shifted down to bit 0.
+constexpr u32 bits(u32 v, unsigned hi, unsigned lo) {
+  assert(hi >= lo && hi < 32);
+  const u32 width = hi - lo + 1;
+  const u32 mask = (width >= 32) ? ~0u : ((1u << width) - 1u);
+  return (v >> lo) & mask;
+}
+
+/// Single bit `n` of `v` as 0/1.
+constexpr u32 bit(u32 v, unsigned n) {
+  assert(n < 32);
+  return (v >> n) & 1u;
+}
+
+/// Sign-extend the low `width` bits of `v` to a full 32-bit signed value.
+constexpr i32 sign_extend(u32 v, unsigned width) {
+  assert(width >= 1 && width <= 32);
+  if (width == 32) return static_cast<i32>(v);
+  const u32 sign = 1u << (width - 1);
+  const u32 mask = (1u << width) - 1u;
+  v &= mask;
+  return static_cast<i32>((v ^ sign) - sign);
+}
+
+constexpr bool is_pow2(u64 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)) for v > 0.
+constexpr unsigned ilog2(u64 v) {
+  assert(v != 0);
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+constexpr u64 align_down(u64 v, u64 a) {
+  assert(is_pow2(a));
+  return v & ~(a - 1);
+}
+
+constexpr u64 align_up(u64 v, u64 a) {
+  assert(is_pow2(a));
+  return (v + a - 1) & ~(a - 1);
+}
+
+constexpr bool is_aligned(u64 v, u64 a) { return align_down(v, a) == v; }
+
+/// ceil(n / d) for positive integers.
+constexpr u64 ceil_div(u64 n, u64 d) {
+  assert(d != 0);
+  return (n + d - 1) / d;
+}
+
+}  // namespace la

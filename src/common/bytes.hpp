@@ -1,0 +1,100 @@
+// Big-endian byte buffer.  SPARC V8 and network byte order are both
+// big-endian, so one buffer type serves memory images and packets alike.
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace la {
+
+using Bytes = std::vector<u8>;
+
+/// Read/write big-endian scalars out of a raw byte span.
+/// All accessors bounds-check and throw std::out_of_range on overrun —
+/// packets come from a (simulated) network, so trust nothing.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const u8> data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t position() const { return pos_; }
+  bool empty() const { return remaining() == 0; }
+
+  u8 read_u8() { return data_[take(1)]; }
+
+  u16 read_u16() {
+    const std::size_t p = take(2);
+    return static_cast<u16>((u16{data_[p]} << 8) | data_[p + 1]);
+  }
+
+  u32 read_u32() {
+    const std::size_t p = take(4);
+    return (u32{data_[p]} << 24) | (u32{data_[p + 1]} << 16) |
+           (u32{data_[p + 2]} << 8) | u32{data_[p + 3]};
+  }
+
+  Bytes read_bytes(std::size_t n) {
+    const std::size_t p = take(n);
+    return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(p),
+                 data_.begin() + static_cast<std::ptrdiff_t>(p + n));
+  }
+
+  void skip(std::size_t n) { take(n); }
+
+ private:
+  std::size_t take(std::size_t n) {
+    if (remaining() < n) {
+      throw std::out_of_range("ByteReader: read past end (want " +
+                              std::to_string(n) + ", have " +
+                              std::to_string(remaining()) + ")");
+    }
+    const std::size_t p = pos_;
+    pos_ += n;
+    return p;
+  }
+
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Append-only big-endian serializer.
+class ByteWriter {
+ public:
+  const Bytes& bytes() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void write_u8(u8 v) { buf_.push_back(v); }
+
+  void write_u16(u16 v) {
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+
+  void write_u32(u32 v) {
+    buf_.push_back(static_cast<u8>(v >> 24));
+    buf_.push_back(static_cast<u8>(v >> 16));
+    buf_.push_back(static_cast<u8>(v >> 8));
+    buf_.push_back(static_cast<u8>(v));
+  }
+
+  void write_bytes(std::span<const u8> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Patch a previously written big-endian u16 in place (checksums).
+  void patch_u16(std::size_t offset, u16 v) {
+    buf_.at(offset) = static_cast<u8>(v >> 8);
+    buf_.at(offset + 1) = static_cast<u8>(v);
+  }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace la

@@ -1,0 +1,56 @@
+// Small formatting helpers (hex dumps, fixed-width hex) used by the
+// disassembler, packet tracing, and test diagnostics.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace la {
+
+/// "0xDEADBEEF"-style fixed-width hex.
+inline std::string hex32(u32 v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string s = "0x";
+  for (int shift = 28; shift >= 0; shift -= 4) {
+    s.push_back(digits[(v >> shift) & 0xf]);
+  }
+  return s;
+}
+
+inline std::string hex16(u16 v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string s = "0x";
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    s.push_back(digits[(v >> shift) & 0xf]);
+  }
+  return s;
+}
+
+inline std::string hex8(u8 v) {
+  static constexpr char digits[] = "0123456789abcdef";
+  return std::string{"0x"} + digits[v >> 4] + digits[v & 0xf];
+}
+
+/// Classic 16-bytes-per-line hex dump, for packet/memory diagnostics.
+inline std::string hex_dump(std::span<const u8> data) {
+  static constexpr char digits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = 0; i < data.size(); i += 16) {
+    const u32 off = static_cast<u32>(i);
+    for (int shift = 12; shift >= 0; shift -= 4) {
+      out.push_back(digits[(off >> shift) & 0xf]);
+    }
+    out += ": ";
+    for (std::size_t j = i; j < i + 16 && j < data.size(); ++j) {
+      out.push_back(digits[data[j] >> 4]);
+      out.push_back(digits[data[j] & 0xf]);
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace la

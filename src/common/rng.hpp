@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (random cache replacement,
+// channel loss, fuzzing in the property tests) draws from this generator so
+// that a run is fully reproducible from its seed.
+#pragma once
+
+#include <cassert>
+
+#include "common/types.hpp"
+
+namespace la {
+
+/// splitmix64 — used to expand a user seed into xoshiro state.
+constexpr u64 splitmix64(u64& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x11901dull) {
+    u64 sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  u32 below(u32 bound) {
+    assert(bound != 0);
+    u64 m = u64{next_u32()} * bound;
+    auto lo = static_cast<u32>(m);
+    if (lo < bound) {
+      const u32 threshold = (0u - bound) % bound;
+      while (lo < threshold) {
+        m = u64{next_u32()} * bound;
+        lo = static_cast<u32>(m);
+      }
+    }
+    return static_cast<u32>(m >> 32);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  u32 between(u32 lo, u32 hi) {
+    assert(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return to_unit(next_u64()) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return to_unit(next_u64()); }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double to_unit(u64 v) {
+    return static_cast<double>(v >> 11) * 0x1.0p-53;
+  }
+
+  u64 s_[4]{};
+};
+
+}  // namespace la

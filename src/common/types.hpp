@@ -1,0 +1,25 @@
+// Fixed-width integer aliases and a few ubiquitous vocabulary types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace la {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// A clock-cycle count.  Everything that charges time in the simulator
+/// speaks in Cycles so that a misplaced nanosecond can't sneak in.
+using Cycles = u64;
+
+/// A 32-bit physical address on the LEON/AHB address space.
+using Addr = u32;
+
+}  // namespace la

@@ -1,0 +1,112 @@
+// Functional SPARC V8 integer unit — the architectural reference model.
+//
+// Executes one instruction per step() with full V8 semantics: register
+// windows, delayed control transfer with annulment, the complete trap
+// model (including error mode), multiply/divide with the Y register,
+// tagged arithmetic, and the atomic memory operations.
+//
+// Timing is nominal (config latencies, no memory stalls); the LeonPipeline
+// model layers real cache/bus/memory timing on an independently written
+// datapath and is property-tested against this class.
+#pragma once
+
+#include "common/types.hpp"
+#include "cpu/config.hpp"
+#include "cpu/memory_port.hpp"
+#include "cpu/state.hpp"
+#include "isa/decode.hpp"
+#include "isa/isa.hpp"
+#include "isa/traps.hpp"
+
+namespace la::cpu {
+
+/// What happened during one step() — consumed by tracing and tests.
+struct StepResult {
+  Addr pc = 0;            // address of the (attempted) instruction
+  u32 raw = 0;            // fetched word (0 if the fetch itself faulted)
+  isa::Instruction ins;   // decoded form
+  bool annulled = false;  // instruction was in an annulled delay slot
+  bool trapped = false;   // a trap was taken this step
+  u8 tt = 0;              // trap type when trapped
+  Cycles cycles = 1;      // nominal cycles charged by the functional model
+  // Memory side effects (at most one data access per V8 instruction,
+  // except LDD/STD/SWAP/LDSTUB which we report as their primary access).
+  bool mem_access = false;
+  bool mem_write = false;
+  Addr mem_addr = 0;
+  u8 mem_size = 0;
+};
+
+/// Observer for execution tracing (drives liquid::TraceAnalyzer).
+class ExecObserver {
+ public:
+  virtual ~ExecObserver() = default;
+  virtual void on_step(const StepResult& r) = 0;
+};
+
+class IntegerUnit {
+ public:
+  IntegerUnit(const CpuConfig& cfg, MemoryPort& mem);
+
+  CpuState& state() { return st_; }
+  const CpuState& state() const { return st_; }
+  const CpuConfig& config() const { return cfg_; }
+
+  /// Reset: supervisor mode, traps disabled, PC at `entry`.
+  void reset(Addr entry = 0);
+
+  /// Execute one instruction (or take one trap).  No-op in error mode.
+  StepResult step();
+
+  /// Run until `steps` instructions retired, error mode, or the PC hits
+  /// `halt_pc` (use the address of a self-branch / final instruction).
+  /// Returns the number of steps actually executed.
+  u64 run(u64 max_steps, Addr halt_pc = 0xffffffff);
+
+  /// Assert an external interrupt at `level` (1..15); 0 clears.
+  void set_irq(u8 level) { irq_level_ = level; }
+
+  u64 instret() const { return instret_; }
+  Cycles cycle_count() const { return cycles_; }
+
+  void set_observer(ExecObserver* obs) { obs_ = obs; }
+
+ private:
+  // Trap entry per V8 §7: decrement CWP (unchecked), save pc/npc into the
+  // new window's l1/l2, vector through TBR.  Trap with ET=0 => error mode.
+  void take_trap(u8 tt);
+
+  // Execute the decoded instruction; returns a pending trap or kNone.
+  // On success fills the next-pc pair.
+  u8 execute(const isa::Instruction& ins, StepResult& res);
+
+  // Operand fetch helpers.
+  u32 op2_of(const isa::Instruction& ins) const {
+    return ins.imm ? static_cast<u32>(ins.simm13) : st_.reg(ins.rs2);
+  }
+
+  /// Valid-bit mask for WIM given the configured window count.
+  u32 window_mask() const {
+    return cfg_.nwindows == 32 ? ~0u : ((1u << cfg_.nwindows) - 1u);
+  }
+
+  void set_icc_logic(u32 res);
+  void set_icc_add(u32 a, u32 b, u32 res, bool carry_in);
+  void set_icc_sub(u32 a, u32 b, u32 res, bool carry_in);
+
+  CpuConfig cfg_;
+  MemoryPort& mem_;
+  CpuState st_;
+
+  bool annul_next_ = false;
+  u8 irq_level_ = 0;
+  u64 instret_ = 0;
+  Cycles cycles_ = 0;
+  ExecObserver* obs_ = nullptr;
+
+  // Set by execute() for control transfers: next npc after the delay slot.
+  bool cti_taken_ = false;
+  Addr cti_target_ = 0;
+};
+
+}  // namespace la::cpu

@@ -1,0 +1,897 @@
+#include "cpu/leon_pipeline.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "isa/decode.hpp"
+#include "isa/traps.hpp"
+
+namespace la::cpu {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Mnemonic;
+using isa::Trap;
+
+namespace {
+constexpr u8 kNoTrap = static_cast<u8>(Trap::kNone);
+constexpr u8 tt_of(Trap t) { return static_cast<u8>(t); }
+
+bus::HBurst burst_for(unsigned beats) {
+  switch (beats) {
+    case 4: return bus::HBurst::kIncr4;
+    case 8: return bus::HBurst::kIncr8;
+    case 16: return bus::HBurst::kIncr16;
+    default: return beats == 1 ? bus::HBurst::kSingle : bus::HBurst::kIncr;
+  }
+}
+
+/// Big-endian scalar access into a cache line's byte storage.
+u64 line_read(const u8* line, u32 off, unsigned size) {
+  u64 v = 0;
+  for (unsigned i = 0; i < size; ++i) v = (v << 8) | line[off + i];
+  return v;
+}
+
+void line_write(u8* line, u32 off, unsigned size, u64 v) {
+  for (unsigned i = 0; i < size; ++i) {
+    line[off + i] = static_cast<u8>(v >> (8 * (size - 1 - i)));
+  }
+}
+
+/// Pack a line's bytes into 32-bit AHB beats (big-endian words).
+void line_to_beats(const u8* line, u32 line_bytes, u32* beats) {
+  for (u32 w = 0; w < line_bytes / 4; ++w) {
+    beats[w] = static_cast<u32>(line_read(line, w * 4, 4));
+  }
+}
+
+void beats_to_line(const u32* beats, u32 line_bytes, u8* line) {
+  for (u32 w = 0; w < line_bytes / 4; ++w) {
+    line_write(line, w * 4, 4, beats[w]);
+  }
+}
+}  // namespace
+
+LeonPipeline::LeonPipeline(const PipelineConfig& cfg, bus::AhbBus& bus,
+                           Cycles* clock, CacheableFn cacheable)
+    : cfg_(cfg),
+      bus_(bus),
+      clock_(clock),
+      cacheable_(cacheable),
+      icache_(cfg.icache, /*seed=*/1),
+      dcache_(cfg.dcache, /*seed=*/2),
+      st_(cfg.cpu) {
+  assert(cfg.cpu.valid() && cfg.icache.valid() && cfg.dcache.valid());
+  assert(clock != nullptr && cacheable != nullptr);
+  // Doubleword accesses must never straddle a line.
+  assert(cfg.icache.line_bytes >= 8 && cfg.dcache.line_bytes >= 8);
+}
+
+void LeonPipeline::reset(Addr entry) {
+  st_ = CpuState(cfg_.cpu);
+  st_.pc = entry;
+  st_.npc = entry + 4;
+  st_.psr.s = true;
+  st_.psr.et = false;
+  annul_next_ = false;
+  irq_level_ = 0;
+  wb_free_at_ = 0;
+  flush_caches();
+}
+
+void LeonPipeline::flush_caches() {
+  icache_.flush();
+  // LEON's caches are write-through: dirty data cannot exist, so a plain
+  // invalidate is a correct flush for the default policy.  For the
+  // write-back extension the victims are pushed out over the bus.
+  std::vector<cache::DirtyLine> dirty;
+  dcache_.flush(&dirty);
+  for (const cache::DirtyLine& d : dirty) {
+    *clock_ += writeback_line(d.addr, d.data.data());
+  }
+}
+
+Cycles LeonPipeline::writeback_line(Addr addr, const u8* bytes) {
+  const unsigned beats = cfg_.dcache.line_bytes / 4;
+  std::vector<u32> buf(beats);
+  line_to_beats(bytes, cfg_.dcache.line_bytes, buf.data());
+  bus::AhbTransfer t;
+  t.addr = addr;
+  t.write = true;
+  t.beats = beats;
+  t.burst = burst_for(beats);
+  t.data = buf.data();
+  return bus_.transfer(bus::Master::kCpuData, t);
+}
+
+u32 LeonPipeline::cache_control() const {
+  u32 ccr = 0;
+  if (cfg_.icache_enabled) ccr |= 0x3;        // ICS = enabled
+  if (cfg_.dcache_enabled) ccr |= 0x3 << 2;   // DCS = enabled
+  return ccr;
+}
+
+// ---------------------------------------------------------------------------
+// Timed memory paths
+// ---------------------------------------------------------------------------
+
+Cycles LeonPipeline::line_fill(bus::Master m, Addr line_addr, u32 line_bytes) {
+  const unsigned beats = line_bytes / 4;
+  std::vector<u32> buf(beats);
+  bus::AhbTransfer t;
+  t.addr = line_addr;
+  t.beats = beats;
+  t.burst = burst_for(beats);
+  t.data = buf.data();
+  return bus_.transfer(m, t);
+}
+
+LeonPipeline::MemResult LeonPipeline::ifetch(Addr pc, u32& word) {
+  MemResult r;
+  const bool cached = cfg_.icache_enabled && cacheable_(pc);
+  if (!cached) {
+    u32 v = 0;
+    bus::AhbTransfer t;
+    t.addr = pc;
+    t.data = &v;
+    r.cycles = bus_.transfer(bus::Master::kCpuInstr, t);
+    r.ok = !t.error;
+    word = v;
+    return r;
+  }
+  const auto out = icache_.access(pc, /*is_write=*/false);
+  if (!out.hit) {
+    bus::AhbTransfer t;
+    const unsigned beats = cfg_.icache.line_bytes / 4;
+    std::vector<u32> buf(beats);
+    t.addr = out.line_addr;
+    t.beats = beats;
+    t.burst = burst_for(beats);
+    t.data = buf.data();
+    r.cycles = bus_.transfer(bus::Master::kCpuInstr, t);
+    stats_.icache_stall += r.cycles;
+    if (t.error) {
+      icache_.invalidate_line(pc);
+      r.ok = false;
+      return r;
+    }
+    beats_to_line(buf.data(), cfg_.icache.line_bytes, out.data);
+    word = buf[(pc - out.line_addr) / 4];
+    return r;
+  }
+  word = static_cast<u32>(line_read(out.data, pc - out.line_addr, 4));
+  return r;
+}
+
+LeonPipeline::MemResult LeonPipeline::data_read(Addr addr, unsigned size) {
+  MemResult r;
+  const bool cached = cfg_.dcache_enabled && cacheable_(addr);
+  if (!cached) {
+    if (size == 8) {
+      u32 buf[2] = {};
+      bus::AhbTransfer t;
+      t.addr = addr;
+      t.beats = 2;
+      t.burst = bus::HBurst::kIncr;
+      t.data = buf;
+      r.cycles = bus_.transfer(bus::Master::kCpuData, t);
+      r.ok = !t.error;
+      r.value = (u64{buf[0]} << 32) | buf[1];
+    } else {
+      u32 v = 0;
+      bus::AhbTransfer t;
+      t.addr = addr;
+      t.beat_bytes = size;
+      t.data = &v;
+      r.cycles = bus_.transfer(bus::Master::kCpuData, t);
+      r.ok = !t.error;
+      r.value = v;
+    }
+    stats_.dcache_stall += r.cycles;
+    return r;
+  }
+
+  const auto out = dcache_.access(addr, /*is_write=*/false);
+  if (out.writeback) {
+    // Dirty victim (write-back extension): push its bytes out before the
+    // fill overwrites the slot.
+    r.cycles += writeback_line(out.victim_addr, out.data);
+  }
+  if (out.fill) {
+    bus::AhbTransfer t;
+    const unsigned beats = cfg_.dcache.line_bytes / 4;
+    std::vector<u32> buf(beats);
+    t.addr = out.line_addr;
+    t.beats = beats;
+    t.burst = burst_for(beats);
+    t.data = buf.data();
+    r.cycles += bus_.transfer(bus::Master::kCpuData, t);
+    stats_.dcache_stall += r.cycles;
+    if (t.error) {
+      dcache_.invalidate_line(addr);
+      r.ok = false;
+      return r;
+    }
+    beats_to_line(buf.data(), cfg_.dcache.line_bytes, out.data);
+  }
+  r.value = line_read(out.data, addr - out.line_addr, size);
+  return r;
+}
+
+LeonPipeline::MemResult LeonPipeline::data_write(Addr addr, unsigned size,
+                                                 u64 value) {
+  MemResult r;
+  const bool cached = cfg_.dcache_enabled && cacheable_(addr);
+  const bool write_back =
+      cfg_.dcache.write_policy == cache::WritePolicy::kWriteBackAllocate;
+
+  if (cached && write_back) {
+    const auto out = dcache_.access(addr, /*is_write=*/true);
+    if (out.writeback) {
+      r.cycles += writeback_line(out.victim_addr, out.data);
+    }
+    if (out.fill) {
+      // Write-allocate: fetch the line, then merge the store into it.
+      bus::AhbTransfer t;
+      const unsigned beats = cfg_.dcache.line_bytes / 4;
+      std::vector<u32> buf(beats);
+      t.addr = out.line_addr;
+      t.beats = beats;
+      t.burst = burst_for(beats);
+      t.data = buf.data();
+      r.cycles += bus_.transfer(bus::Master::kCpuData, t);
+      if (t.error) {
+        dcache_.invalidate_line(addr);
+        r.ok = false;
+        return r;
+      }
+      beats_to_line(buf.data(), cfg_.dcache.line_bytes, out.data);
+    }
+    line_write(out.data, addr - out.line_addr, size, value);
+    stats_.dcache_stall += r.cycles;
+    return r;
+  }
+
+  // Write-through (or uncached): the store goes on the bus.
+  if (cached) {
+    const auto out = dcache_.access(addr, /*is_write=*/true);
+    if (out.hit) {
+      // Keep the resident line coherent with the memory write below.
+      line_write(out.data, addr - out.line_addr, size, value);
+    }
+  }
+
+  Cycles bus_cost = 0;
+  bool error = false;
+  if (size == 8) {
+    u32 buf[2] = {static_cast<u32>(value >> 32), static_cast<u32>(value)};
+    bus::AhbTransfer t;
+    t.addr = addr;
+    t.write = true;
+    t.beats = 2;
+    t.burst = bus::HBurst::kIncr;
+    t.data = buf;
+    bus_cost = bus_.transfer(bus::Master::kCpuData, t);
+    error = t.error;
+  } else {
+    u32 v = static_cast<u32>(value);
+    bus::AhbTransfer t;
+    t.addr = addr;
+    t.write = true;
+    t.beat_bytes = size;
+    t.data = &v;
+    bus_cost = bus_.transfer(bus::Master::kCpuData, t);
+    error = t.error;
+  }
+  if (error) {
+    r.ok = false;
+    r.cycles = bus_cost;
+    return r;
+  }
+
+  const bool buffered = cached && cfg_.write_buffer_depth > 0;
+  if (!buffered) {
+    r.cycles = bus_cost;
+    stats_.dcache_stall += bus_cost;
+    return r;
+  }
+  // Write buffer: the store retires immediately unless the buffer is still
+  // draining a previous store (single-entry drain model).
+  const Cycles now = *clock_;
+  const Cycles start = std::max(now, wb_free_at_);
+  const Cycles stall = start - now;
+  wb_free_at_ = start + bus_cost;
+  r.cycles = stall;
+  stats_.store_stall += stall;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Trap machinery (independent implementation; see integer_unit.cpp for the
+// reference model)
+// ---------------------------------------------------------------------------
+
+void LeonPipeline::take_trap(u8 tt) {
+  ++stats_.traps;
+  if (!st_.psr.et && tt != tt_of(Trap::kReset)) {
+    st_.set_tbr_tt(tt);
+    st_.error_mode = true;
+    return;
+  }
+  st_.psr.et = false;
+  st_.psr.ps = st_.psr.s;
+  st_.psr.s = true;
+  st_.psr.cwp =
+      static_cast<u8>((st_.psr.cwp + st_.nwindows - 1) % st_.nwindows);
+  st_.set_reg(17, st_.pc);
+  st_.set_reg(18, st_.npc);
+  st_.set_tbr_tt(tt);
+  st_.pc = (st_.tbr & 0xfffff000u) + (u32{tt} << 4);
+  st_.npc = st_.pc + 4;
+  annul_next_ = false;
+}
+
+void LeonPipeline::icc_from(u32 res, bool v, bool c) {
+  st_.psr.n = (res >> 31) != 0;
+  st_.psr.z = res == 0;
+  st_.psr.v = v;
+  st_.psr.c = c;
+}
+
+u32 LeonPipeline::op2val(const Instruction& ins) const {
+  return ins.imm ? static_cast<u32>(ins.simm13) : st_.reg(ins.rs2);
+}
+
+bool LeonPipeline::asi_access(const Instruction& ins, StepResult& res,
+                              u8& tt) {
+  // LEON ASI 2: system control registers — address 0 is the cache control
+  // register.  Flush bits FI (21) and FD (22) invalidate the caches.
+  if (ins.asi != 2) return false;
+  const Addr ea = st_.reg(ins.rs1) + st_.reg(ins.rs2);
+  if (ea != 0) return false;
+  tt = kNoTrap;
+  if (ins.mn == Mnemonic::kLda) {
+    st_.set_reg(ins.rd, cache_control());
+    res.cycles += cfg_.cpu.load_extra;
+    return true;
+  }
+  if (ins.mn == Mnemonic::kSta) {
+    const u32 v = st_.reg(ins.rd);
+    if (v & (1u << 21)) icache_.flush();
+    if (v & (1u << 22)) {
+      std::vector<cache::DirtyLine> dirty;
+      dcache_.flush(&dirty);
+      for (const cache::DirtyLine& d : dirty) {
+        res.cycles += writeback_line(d.addr, d.data.data());
+      }
+    }
+    res.cycles += cfg_.cpu.store_extra;
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
+  auto& st = st_;
+  const Addr pc = st.pc;
+  const u32 ra = st.reg(ins.rs1);
+  const u32 rb = op2val(ins);
+
+  const auto branch_target = [&] {
+    return pc + (static_cast<u32>(ins.disp) << 2);
+  };
+
+  switch (ins.mn) {
+    case Mnemonic::kInvalid:
+    case Mnemonic::kUnimp:
+      return tt_of(Trap::kIllegalInstruction);
+
+    case Mnemonic::kCall:
+      st.set_reg(15, pc);
+      cti_taken_ = true;
+      cti_target_ = branch_target();
+      res.cycles += cfg_.cpu.cti_extra;
+      return kNoTrap;
+
+    case Mnemonic::kBicc: {
+      const bool taken =
+          isa::eval_cond(ins.cond, st.psr.n, st.psr.z, st.psr.v, st.psr.c);
+      if (ins.cond == Cond::kA) {
+        cti_taken_ = true;
+        cti_target_ = branch_target();
+        annul_next_ = ins.annul;
+        res.cycles += cfg_.cpu.cti_extra;
+      } else if (taken) {
+        cti_taken_ = true;
+        cti_target_ = branch_target();
+        res.cycles += cfg_.cpu.cti_extra;
+      } else if (ins.annul) {
+        annul_next_ = true;
+      }
+      return kNoTrap;
+    }
+
+    case Mnemonic::kFbfcc:
+      return tt_of(Trap::kFpDisabled);
+    case Mnemonic::kCbccc:
+      return tt_of(Trap::kCpDisabled);
+
+    case Mnemonic::kJmpl: {
+      const Addr target = ra + rb;
+      if ((target & 3u) != 0) return tt_of(Trap::kMemAddressNotAligned);
+      st.set_reg(ins.rd, pc);
+      cti_taken_ = true;
+      cti_target_ = target;
+      res.cycles += cfg_.cpu.cti_extra;
+      return kNoTrap;
+    }
+
+    case Mnemonic::kRett: {
+      if (st.psr.et) {
+        return st.psr.s ? tt_of(Trap::kIllegalInstruction)
+                        : tt_of(Trap::kPrivilegedInstruction);
+      }
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      const unsigned ncwp = (st.psr.cwp + 1) % st.nwindows;
+      if ((st.wim >> ncwp) & 1u) return tt_of(Trap::kWindowUnderflow);
+      const Addr target = ra + rb;
+      if ((target & 3u) != 0) return tt_of(Trap::kMemAddressNotAligned);
+      st.psr.cwp = static_cast<u8>(ncwp);
+      st.psr.s = st.psr.ps;
+      st.psr.et = true;
+      cti_taken_ = true;
+      cti_target_ = target;
+      res.cycles += cfg_.cpu.cti_extra;
+      return kNoTrap;
+    }
+
+    case Mnemonic::kTicc: {
+      if (!isa::eval_cond(ins.cond, st.psr.n, st.psr.z, st.psr.v, st.psr.c)) {
+        return kNoTrap;
+      }
+      return static_cast<u8>(0x80u + ((ra + rb) & 0x7fu));
+    }
+
+    case Mnemonic::kFlush: {
+      // LEON flush: invalidate the I- and D-cache lines holding the
+      // effective address (this is what makes the boot ROM's mailbox poll
+      // see writes performed behind the processor's back, Fig 5).
+      const Addr ea = ra + rb;
+      icache_.invalidate_line(ea);
+      cache::DirtyLine d;
+      if (dcache_.invalidate_line(ea, &d) && !d.data.empty()) {
+        res.cycles += writeback_line(d.addr, d.data.data());
+      }
+      return kNoTrap;
+    }
+
+    case Mnemonic::kSethi:
+      st.set_reg(ins.rd, ins.imm22 << 10);
+      return kNoTrap;
+
+    // Logical ---------------------------------------------------------------
+    case Mnemonic::kAnd: st.set_reg(ins.rd, ra & rb); return kNoTrap;
+    case Mnemonic::kOr: st.set_reg(ins.rd, ra | rb); return kNoTrap;
+    case Mnemonic::kXor: st.set_reg(ins.rd, ra ^ rb); return kNoTrap;
+    case Mnemonic::kAndn: st.set_reg(ins.rd, ra & ~rb); return kNoTrap;
+    case Mnemonic::kOrn: st.set_reg(ins.rd, ra | ~rb); return kNoTrap;
+    case Mnemonic::kXnor: st.set_reg(ins.rd, ~(ra ^ rb)); return kNoTrap;
+    case Mnemonic::kAndcc: case Mnemonic::kOrcc: case Mnemonic::kXorcc:
+    case Mnemonic::kAndncc: case Mnemonic::kOrncc: case Mnemonic::kXnorcc: {
+      u32 v = 0;
+      switch (ins.mn) {
+        case Mnemonic::kAndcc: v = ra & rb; break;
+        case Mnemonic::kOrcc: v = ra | rb; break;
+        case Mnemonic::kXorcc: v = ra ^ rb; break;
+        case Mnemonic::kAndncc: v = ra & ~rb; break;
+        case Mnemonic::kOrncc: v = ra | ~rb; break;
+        default: v = ~(ra ^ rb); break;
+      }
+      icc_from(v, false, false);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+
+    // Shifts ------------------------------------------------------------------
+    case Mnemonic::kSll: st.set_reg(ins.rd, ra << (rb & 31u)); return kNoTrap;
+    case Mnemonic::kSrl: st.set_reg(ins.rd, ra >> (rb & 31u)); return kNoTrap;
+    case Mnemonic::kSra:
+      st.set_reg(ins.rd, static_cast<u32>(static_cast<i32>(ra) >> (rb & 31u)));
+      return kNoTrap;
+
+    // Add / subtract ------------------------------------------------------------
+    case Mnemonic::kAdd: st.set_reg(ins.rd, ra + rb); return kNoTrap;
+    case Mnemonic::kSub: st.set_reg(ins.rd, ra - rb); return kNoTrap;
+    case Mnemonic::kAddx:
+      st.set_reg(ins.rd, ra + rb + (st.psr.c ? 1u : 0u));
+      return kNoTrap;
+    case Mnemonic::kSubx:
+      st.set_reg(ins.rd, ra - rb - (st.psr.c ? 1u : 0u));
+      return kNoTrap;
+    case Mnemonic::kAddcc:
+    case Mnemonic::kAddxcc: {
+      const u32 cin =
+          (ins.mn == Mnemonic::kAddxcc && st.psr.c) ? 1u : 0u;
+      const u64 wide = u64{ra} + rb + cin;
+      const u32 v = static_cast<u32>(wide);
+      const bool ovf = ((~(ra ^ rb) & (ra ^ v)) >> 31) != 0;
+      icc_from(v, ovf, (wide >> 32) != 0);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+    case Mnemonic::kSubcc:
+    case Mnemonic::kSubxcc: {
+      const u32 cin =
+          (ins.mn == Mnemonic::kSubxcc && st.psr.c) ? 1u : 0u;
+      const u32 v = ra - rb - cin;
+      const bool ovf = (((ra ^ rb) & (ra ^ v)) >> 31) != 0;
+      const bool borrow = u64{ra} < u64{rb} + cin;
+      icc_from(v, ovf, borrow);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+
+    // Tagged ---------------------------------------------------------------------
+    case Mnemonic::kTaddcc:
+    case Mnemonic::kTaddcctv: {
+      const u64 wide = u64{ra} + rb;
+      const u32 v = static_cast<u32>(wide);
+      const bool ovf = ((~(ra ^ rb) & (ra ^ v)) >> 31) != 0 ||
+                       ((ra | rb) & 3u) != 0;
+      if (ovf && ins.mn == Mnemonic::kTaddcctv) {
+        return tt_of(Trap::kTagOverflow);
+      }
+      icc_from(v, ovf, (wide >> 32) != 0);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+    case Mnemonic::kTsubcc:
+    case Mnemonic::kTsubcctv: {
+      const u32 v = ra - rb;
+      const bool ovf = (((ra ^ rb) & (ra ^ v)) >> 31) != 0 ||
+                       ((ra | rb) & 3u) != 0;
+      if (ovf && ins.mn == Mnemonic::kTsubcctv) {
+        return tt_of(Trap::kTagOverflow);
+      }
+      icc_from(v, ovf, u64{ra} < u64{rb});
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+
+    // Multiply / divide -------------------------------------------------------------
+    case Mnemonic::kMulscc: {
+      const u32 v1 = ((st.psr.n != st.psr.v) ? 0x80000000u : 0u) | (ra >> 1);
+      const u32 v2 = (st.y & 1u) ? rb : 0u;
+      const u64 wide = u64{v1} + v2;
+      const u32 v = static_cast<u32>(wide);
+      const bool ovf = ((~(v1 ^ v2) & (v1 ^ v)) >> 31) != 0;
+      icc_from(v, ovf, (wide >> 32) != 0);
+      st.y = (st.y >> 1) | ((ra & 1u) << 31);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+    case Mnemonic::kUmul:
+    case Mnemonic::kUmulcc:
+    case Mnemonic::kSmul:
+    case Mnemonic::kSmulcc: {
+      if (!cfg_.cpu.has_mul) return tt_of(Trap::kIllegalInstruction);
+      const bool sign =
+          ins.mn == Mnemonic::kSmul || ins.mn == Mnemonic::kSmulcc;
+      const u64 p = sign ? static_cast<u64>(i64{static_cast<i32>(ra)} *
+                                            i64{static_cast<i32>(rb)})
+                         : u64{ra} * u64{rb};
+      st.y = static_cast<u32>(p >> 32);
+      const u32 v = static_cast<u32>(p);
+      if (ins.mn == Mnemonic::kUmulcc || ins.mn == Mnemonic::kSmulcc) {
+        icc_from(v, false, false);
+      }
+      st.set_reg(ins.rd, v);
+      res.cycles = cfg_.cpu.mul_latency;
+      return kNoTrap;
+    }
+    case Mnemonic::kUdiv:
+    case Mnemonic::kUdivcc: {
+      if (!cfg_.cpu.has_div) return tt_of(Trap::kIllegalInstruction);
+      if (rb == 0) return tt_of(Trap::kDivisionByZero);
+      const u64 dividend = (u64{st.y} << 32) | ra;
+      u64 q = dividend / rb;
+      const bool ovf = q > 0xffffffffull;
+      if (ovf) q = 0xffffffffull;
+      const u32 v = static_cast<u32>(q);
+      if (ins.mn == Mnemonic::kUdivcc) icc_from(v, ovf, false);
+      st.set_reg(ins.rd, v);
+      res.cycles = cfg_.cpu.div_latency;
+      return kNoTrap;
+    }
+    case Mnemonic::kSdiv:
+    case Mnemonic::kSdivcc: {
+      if (!cfg_.cpu.has_div) return tt_of(Trap::kIllegalInstruction);
+      if (rb == 0) return tt_of(Trap::kDivisionByZero);
+      const i64 dividend = static_cast<i64>((u64{st.y} << 32) | ra);
+      i64 q = dividend / static_cast<i32>(rb);
+      bool ovf = false;
+      if (q > 0x7fffffffll) { q = 0x7fffffffll; ovf = true; }
+      if (q < -0x80000000ll) { q = -0x80000000ll; ovf = true; }
+      const u32 v = static_cast<u32>(static_cast<u64>(q));
+      if (ins.mn == Mnemonic::kSdivcc) icc_from(v, ovf, false);
+      st.set_reg(ins.rd, v);
+      res.cycles = cfg_.cpu.div_latency;
+      return kNoTrap;
+    }
+
+    // State registers ------------------------------------------------------------------
+    case Mnemonic::kRdy: st.set_reg(ins.rd, st.y); return kNoTrap;
+    case Mnemonic::kRdasr:
+      st.set_reg(ins.rd, st.asr[ins.rs1]);
+      return kNoTrap;
+    case Mnemonic::kRdpsr:
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      st.set_reg(ins.rd, st.psr.pack());
+      return kNoTrap;
+    case Mnemonic::kRdwim:
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      st.set_reg(ins.rd, st.wim & window_mask());
+      return kNoTrap;
+    case Mnemonic::kRdtbr:
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      st.set_reg(ins.rd, st.tbr);
+      return kNoTrap;
+    case Mnemonic::kWry: st.y = ra ^ rb; return kNoTrap;
+    case Mnemonic::kWrasr: st.asr[ins.rd] = ra ^ rb; return kNoTrap;
+    case Mnemonic::kWrpsr: {
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      const u32 v = ra ^ rb;
+      if ((v & 0x1fu) >= st.nwindows) return tt_of(Trap::kIllegalInstruction);
+      st.psr.unpack(v);
+      return kNoTrap;
+    }
+    case Mnemonic::kWrwim:
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      st.wim = (ra ^ rb) & window_mask();
+      return kNoTrap;
+    case Mnemonic::kWrtbr:
+      if (!st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+      st.tbr = (st.tbr & 0x00000ff0u) | ((ra ^ rb) & 0xfffff000u);
+      return kNoTrap;
+
+    // Windows ----------------------------------------------------------------------------
+    case Mnemonic::kSave:
+    case Mnemonic::kRestore: {
+      const unsigned ncwp =
+          ins.mn == Mnemonic::kSave
+              ? (st.psr.cwp + st.nwindows - 1) % st.nwindows
+              : (st.psr.cwp + 1) % st.nwindows;
+      if ((st.wim >> ncwp) & 1u) {
+        return ins.mn == Mnemonic::kSave ? tt_of(Trap::kWindowOverflow)
+                                         : tt_of(Trap::kWindowUnderflow);
+      }
+      const u32 v = ra + rb;
+      st.psr.cwp = static_cast<u8>(ncwp);
+      st.set_reg(ins.rd, v);
+      return kNoTrap;
+    }
+
+    case Mnemonic::kFpop1: case Mnemonic::kFpop2:
+      return tt_of(Trap::kFpDisabled);
+    case Mnemonic::kCpop1: case Mnemonic::kCpop2:
+      return tt_of(Trap::kCpDisabled);
+
+    // Memory -----------------------------------------------------------------------------
+    default:
+      break;
+  }
+
+  // Loads, stores, atomics.
+  const bool alt = isa::is_alternate_space(ins.mn);
+  if (alt && !st.psr.s) return tt_of(Trap::kPrivilegedInstruction);
+
+  if (alt) {
+    u8 tt = kNoTrap;
+    if (asi_access(ins, res, tt)) return tt;
+  }
+
+  const bool ld = isa::is_load(ins.mn);
+  const bool stq = isa::is_store(ins.mn);
+  const unsigned size = isa::access_size(ins.mn);
+  const bool dbl = size == 8;
+  const Addr ea = ra + (ins.imm ? static_cast<u32>(ins.simm13)
+                                : st.reg(ins.rs2));
+
+  if (dbl && (ins.rd & 1u)) return tt_of(Trap::kIllegalInstruction);
+  const unsigned align = size;
+  if ((ea & (align - 1)) != 0 && size > 1) {
+    return tt_of(Trap::kMemAddressNotAligned);
+  }
+
+  if (ld && stq) {
+    // Atomics: ldstub / swap.
+    const unsigned asz = (ins.mn == Mnemonic::kLdstub ||
+                          ins.mn == Mnemonic::kLdstuba)
+                             ? 1
+                             : 4;
+    MemResult rr = data_read(ea, asz);
+    if (!rr.ok) return tt_of(Trap::kDataAccess);
+    const u64 newv =
+        (asz == 1) ? 0xffull : u64{st.reg(ins.rd)};
+    MemResult wr = data_write(ea, asz, newv);
+    if (!wr.ok) return tt_of(Trap::kDataAccess);
+    st.set_reg(ins.rd, static_cast<u32>(rr.value));
+    res.cycles =
+        1 + cfg_.cpu.load_extra + cfg_.cpu.store_extra + rr.cycles + wr.cycles;
+    res.mem_access = true;
+    res.mem_write = true;
+    res.mem_addr = ea;
+    res.mem_size = static_cast<u8>(asz);
+    return kNoTrap;
+  }
+
+  if (ld) {
+    // FP/CP loads were already dispatched to traps via is_load? No — they
+    // reach here; reject them first.
+    switch (ins.mn) {
+      case Mnemonic::kLdf: case Mnemonic::kLdfsr: case Mnemonic::kLddf:
+        return tt_of(Trap::kFpDisabled);
+      case Mnemonic::kLdc: case Mnemonic::kLdcsr: case Mnemonic::kLddc:
+        return tt_of(Trap::kCpDisabled);
+      default: break;
+    }
+    MemResult rr = data_read(ea, size);
+    if (!rr.ok) return tt_of(Trap::kDataAccess);
+    if (dbl) {
+      st.set_reg(ins.rd, static_cast<u32>(rr.value >> 32));
+      st.set_reg(static_cast<u8>(ins.rd | 1u), static_cast<u32>(rr.value));
+      res.cycles = 1 + cfg_.cpu.load_double_extra + rr.cycles;
+    } else {
+      u32 v = static_cast<u32>(rr.value);
+      const bool sign = ins.mn == Mnemonic::kLdsb ||
+                        ins.mn == Mnemonic::kLdsh ||
+                        ins.mn == Mnemonic::kLdsba ||
+                        ins.mn == Mnemonic::kLdsha;
+      if (sign && size < 4) v = static_cast<u32>(sign_extend(v, size * 8));
+      st.set_reg(ins.rd, v);
+      res.cycles = 1 + cfg_.cpu.load_extra + rr.cycles;
+    }
+    res.mem_access = true;
+    res.mem_addr = ea;
+    res.mem_size = static_cast<u8>(size);
+    return kNoTrap;
+  }
+
+  if (stq) {
+    switch (ins.mn) {
+      case Mnemonic::kStf: case Mnemonic::kStfsr: case Mnemonic::kStdfq:
+      case Mnemonic::kStdf:
+        return tt_of(Trap::kFpDisabled);
+      case Mnemonic::kStc: case Mnemonic::kStcsr: case Mnemonic::kStdcq:
+      case Mnemonic::kStdc:
+        return tt_of(Trap::kCpDisabled);
+      default: break;
+    }
+    u64 v;
+    if (dbl) {
+      v = (u64{st.reg(ins.rd)} << 32) | st.reg(static_cast<u8>(ins.rd | 1u));
+    } else {
+      v = st.reg(ins.rd);
+    }
+    MemResult wr = data_write(ea, size, v);
+    if (!wr.ok) return tt_of(Trap::kDataAccess);
+    res.cycles = 1 +
+                 (dbl ? cfg_.cpu.store_double_extra : cfg_.cpu.store_extra) +
+                 wr.cycles;
+    res.mem_access = true;
+    res.mem_write = true;
+    res.mem_addr = ea;
+    res.mem_size = static_cast<u8>(size);
+    return kNoTrap;
+  }
+
+  return tt_of(Trap::kIllegalInstruction);
+}
+
+StepResult LeonPipeline::step() {
+  StepResult res;
+  res.pc = st_.pc;
+  if (st_.error_mode) return res;
+
+  if (st_.psr.et && irq_level_ != 0 &&
+      (irq_level_ == 15 || irq_level_ > st_.psr.pil)) {
+    const u8 tt = static_cast<u8>(0x10 + (irq_level_ & 0xf));
+    take_trap(tt);
+    res.trapped = true;
+    res.tt = tt;
+    res.cycles = cfg_.cpu.trap_latency;
+    *clock_ += res.cycles;
+    stats_.cycles += res.cycles;
+    if (obs_) obs_->on_step(res);
+    return res;
+  }
+
+  u32 word = 0;
+  const MemResult f = ifetch(st_.pc, word);
+  if (!f.ok) {
+    take_trap(tt_of(Trap::kInstructionAccess));
+    res.trapped = true;
+    res.tt = tt_of(Trap::kInstructionAccess);
+    res.cycles = cfg_.cpu.trap_latency + f.cycles;
+    *clock_ += res.cycles;
+    stats_.cycles += res.cycles;
+    if (obs_) obs_->on_step(res);
+    return res;
+  }
+  res.raw = word;
+  res.ins = isa::decode(word);
+
+  if (annul_next_) {
+    annul_next_ = false;
+    res.annulled = true;
+    st_.pc = st_.npc;
+    st_.npc += 4;
+    res.cycles = 1 + f.cycles;
+    ++stats_.annulled;
+    *clock_ += res.cycles;
+    stats_.cycles += res.cycles;
+    if (obs_) obs_->on_step(res);
+    return res;
+  }
+
+  cti_taken_ = false;
+  res.cycles = 1;
+  const u8 tt = execute(res.ins, res);
+  if (tt != kNoTrap) {
+    take_trap(tt);
+    res.trapped = true;
+    res.tt = tt;
+    res.cycles = cfg_.cpu.trap_latency + f.cycles;
+  } else {
+    res.cycles += f.cycles;
+    const Addr new_pc = st_.npc;
+    const Addr new_npc = cti_taken_ ? cti_target_ : st_.npc + 4;
+    st_.pc = new_pc;
+    st_.npc = new_npc;
+    ++stats_.instructions;
+    // Instruction-mix accounting (retired instructions only).
+    switch (res.ins.mn) {
+      case Mnemonic::kBicc:
+        ++stats_.branches;
+        if (cti_taken_) ++stats_.taken_branches;
+        break;
+      case Mnemonic::kCall:
+      case Mnemonic::kJmpl:
+        ++stats_.calls;
+        break;
+      case Mnemonic::kUmul: case Mnemonic::kUmulcc:
+      case Mnemonic::kSmul: case Mnemonic::kSmulcc:
+      case Mnemonic::kUdiv: case Mnemonic::kUdivcc:
+      case Mnemonic::kSdiv: case Mnemonic::kSdivcc:
+        ++stats_.muldiv;
+        break;
+      default:
+        break;
+    }
+    if (res.mem_access) {
+      if (res.mem_write) ++stats_.stores;
+      if (isa::is_load(res.ins.mn)) ++stats_.loads;
+    }
+  }
+  *clock_ += res.cycles;
+  stats_.cycles += res.cycles;
+  if (obs_) obs_->on_step(res);
+  return res;
+}
+
+u64 LeonPipeline::run(u64 max_steps, Addr halt_pc) {
+  u64 n = 0;
+  while (n < max_steps && !st_.error_mode && st_.pc != halt_pc) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace la::cpu

@@ -1,0 +1,134 @@
+// LEON2-style timed processor model.
+//
+// This is the CPU the Liquid system actually runs: a single-issue in-order
+// integer pipeline with LEON2 instruction latencies, configurable I/D
+// caches, a write-through store path with a small write buffer, and all
+// memory traffic routed over the AMBA AHB (so SDRAM handshakes, burst
+// behaviour, and peripheral access costs all land in the cycle count the
+// paper's hardware counter measures).
+//
+// The architectural semantics here are implemented independently of
+// cpu::IntegerUnit; tests/property/cpu_equivalence_test.cpp runs random
+// programs through both and requires identical architectural state.
+#pragma once
+
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "cache/cache.hpp"
+#include "common/types.hpp"
+#include "cpu/config.hpp"
+#include "cpu/integer_unit.hpp"  // StepResult + ExecObserver
+#include "cpu/state.hpp"
+
+namespace la::cpu {
+
+struct PipelineConfig {
+  CpuConfig cpu;
+  cache::CacheConfig icache{.size_bytes = 1024, .line_bytes = 32, .ways = 1};
+  cache::CacheConfig dcache{.size_bytes = 1024, .line_bytes = 32, .ways = 1};
+  bool icache_enabled = true;
+  bool dcache_enabled = true;
+  /// Write buffer entries for the write-through store path; 0 makes every
+  /// store wait for its bus write synchronously.
+  unsigned write_buffer_depth = 1;
+};
+
+struct PipelineStats {
+  u64 instructions = 0;
+  u64 annulled = 0;
+  u64 traps = 0;
+  Cycles cycles = 0;
+  Cycles icache_stall = 0;   // cycles waiting on instruction line fills
+  Cycles dcache_stall = 0;   // cycles waiting on data fills / uncached data
+  Cycles store_stall = 0;    // cycles waiting on the write buffer
+
+  // Instruction mix (retired instructions only).
+  u64 loads = 0;
+  u64 stores = 0;
+  u64 branches = 0;        // Bicc (+FB/CB) encountered
+  u64 taken_branches = 0;  // control actually transferred
+  u64 calls = 0;           // call + jmpl
+  u64 muldiv = 0;
+};
+
+/// Cacheability decision for an address (the system wires this to its
+/// memory map; tests can cache everything).
+using CacheableFn = bool (*)(Addr);
+
+class LeonPipeline {
+ public:
+  /// `clock` is the global cycle counter the pipeline advances; sharing it
+  /// with the SDRAM adapter and peripherals keeps one timebase.
+  LeonPipeline(const PipelineConfig& cfg, bus::AhbBus& bus, Cycles* clock,
+               CacheableFn cacheable);
+
+  void reset(Addr entry);
+  StepResult step();
+  u64 run(u64 max_steps, Addr halt_pc = 0xffffffff);
+
+  CpuState& state() { return st_; }
+  const CpuState& state() const { return st_; }
+
+  cache::Cache& icache() { return icache_; }
+  cache::Cache& dcache() { return dcache_; }
+  const PipelineStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = PipelineStats{}; }
+
+  void set_irq(u8 level) { irq_level_ = level; }
+  void set_observer(ExecObserver* obs) { obs_ = obs; }
+
+  /// Invalidate both caches (reconfiguration, leon_ctrl restart).
+  void flush_caches();
+
+  Cycles now() const { return *clock_; }
+
+  /// LEON cache control register (ASI 2 at address 0).
+  u32 cache_control() const;
+
+ private:
+  // --- timed memory paths ---------------------------------------------------
+  struct MemResult {
+    bool ok = true;
+    Cycles cycles = 0;  // stall cycles beyond the base instruction cost
+    u64 value = 0;
+  };
+
+  MemResult ifetch(Addr pc, u32& word);
+  MemResult data_read(Addr addr, unsigned size);
+  MemResult data_write(Addr addr, unsigned size, u64 value);
+  Cycles line_fill(bus::Master m, Addr line_addr, u32 line_bytes);
+  /// Timed burst write of a full line's bytes (dirty victim eviction).
+  Cycles writeback_line(Addr addr, const u8* bytes);
+
+  // --- architectural execution ----------------------------------------------
+  u8 execute(const isa::Instruction& ins, StepResult& res);
+  void take_trap(u8 tt);
+  u32 op2val(const isa::Instruction& ins) const;
+  u32 window_mask() const {
+    return cfg_.cpu.nwindows == 32 ? ~0u : ((1u << cfg_.cpu.nwindows) - 1u);
+  }
+  void icc_from(u32 res, bool v, bool c);
+
+  // ASI-mediated cache control (lda/sta with asi 2).
+  bool asi_access(const isa::Instruction& ins, StepResult& res, u8& tt);
+
+  PipelineConfig cfg_;
+  bus::AhbBus& bus_;
+  Cycles* clock_;
+  CacheableFn cacheable_;
+
+  cache::Cache icache_;
+  cache::Cache dcache_;
+  CpuState st_;
+  PipelineStats stats_;
+
+  bool annul_next_ = false;
+  u8 irq_level_ = 0;
+  bool cti_taken_ = false;
+  Addr cti_target_ = 0;
+  Cycles wb_free_at_ = 0;  // when the write buffer can accept a new store
+  ExecObserver* obs_ = nullptr;
+};
+
+}  // namespace la::cpu

@@ -1,0 +1,179 @@
+#include "ctrl/client.hpp"
+
+#include "ctrl/loader.hpp"
+
+namespace la::ctrl {
+
+LiquidClient::LiquidClient(sim::LiquidSystem& node, ClientConfig cfg)
+    : node_(node), cfg_(cfg), up_(cfg.uplink), down_(cfg.downlink) {}
+
+void LiquidClient::send_command(Bytes payload) {
+  net::UdpDatagram d;
+  d.src_ip = cfg_.client_ip;
+  d.src_port = cfg_.client_port;
+  d.dst_ip = node_.config().node_ip;
+  d.dst_port = node_.config().node_port;
+  d.payload = std::move(payload);
+  up_.send(net::build_udp_packet(d));
+  ++stats_.commands_sent;
+}
+
+void LiquidClient::pump(u64 node_steps) {
+  while (auto f = up_.receive()) node_.ingress_frame(*f);
+  node_.run(node_steps);
+  while (auto f = node_.egress_frame()) down_.send(std::move(*f));
+}
+
+std::optional<net::UdpDatagram> LiquidClient::next_client_datagram() {
+  while (auto f = down_.receive()) {
+    auto d = net::parse_udp_packet(*f);
+    if (!d) continue;
+    if (d->dst_port != cfg_.client_port) {
+      if (extra_handler_) extra_handler_(*d);
+      continue;
+    }
+    return d;
+  }
+  return std::nullopt;
+}
+
+void LiquidClient::drain_downlink() {
+  pump(0);
+  while (next_client_datagram()) {
+    // Stale control responses: nothing waits for them any more.
+  }
+}
+
+std::optional<Bytes> LiquidClient::await(net::ResponseCode code,
+                                         unsigned rounds) {
+  for (unsigned r = 0; r < rounds; ++r) {
+    pump(cfg_.pump_steps);
+    while (auto d = next_client_datagram()) {
+      if (d->payload.empty()) continue;
+      ++stats_.responses;
+      if (d->payload[0] == static_cast<u8>(code)) {
+        return Bytes(d->payload.begin() + 1, d->payload.end());
+      }
+      // A different code: stale duplicate or error — keep draining.
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<StatusReport> LiquidClient::status() {
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    send_command(net::simple_command(net::CommandCode::kStatus));
+    if (auto body = await(net::ResponseCode::kStatus)) {
+      ByteReader r(*body);
+      if (r.remaining() < 4) continue;
+      StatusReport s;
+      s.state = static_cast<net::LeonState>(r.read_u8());
+      s.total_packets = r.read_u8();
+      s.received_packets = r.read_u16();
+      return s;
+    }
+  }
+  ++stats_.gave_up;
+  return std::nullopt;
+}
+
+bool LiquidClient::load_program(const sasm::Image& img) {
+  const auto chunks = packetize(img, cfg_.load_chunk);
+  std::vector<bool> acked(chunks.size(), false);
+  std::size_t acked_count = 0;
+
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    // (Re)send every unacked chunk.
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (!acked[i]) send_command(chunks[i].serialize());
+    }
+    // Collect acks for a few rounds.
+    for (unsigned round = 0; round < 20 && acked_count < chunks.size();
+         ++round) {
+      pump(cfg_.pump_steps);
+      while (auto d = next_client_datagram()) {
+        if (d->payload.empty() ||
+            d->payload[0] != static_cast<u8>(net::ResponseCode::kLoadAck)) {
+          continue;
+        }
+        ++stats_.responses;
+        ByteReader r(std::span<const u8>(d->payload).subspan(1));
+        if (r.remaining() < 3) continue;
+        const u16 seq = r.read_u16();
+        if (seq < acked.size() && !acked[seq]) {
+          acked[seq] = true;
+          ++acked_count;
+        }
+      }
+    }
+    if (acked_count == chunks.size()) {
+      // Double-check the controller agrees the image is complete.
+      const auto s = status();
+      if (s && s->state == net::LeonState::kReady) return true;
+    }
+  }
+  ++stats_.gave_up;
+  return false;
+}
+
+bool LiquidClient::start(Addr entry) {
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    send_command(net::StartCmd{entry}.serialize());
+    if (await(net::ResponseCode::kStarted)) return true;
+    // The start may have landed even if the ack was lost; status tells.
+    const auto s = status();
+    if (s && (s->state == net::LeonState::kRunning ||
+              s->state == net::LeonState::kDone)) {
+      return true;
+    }
+  }
+  ++stats_.gave_up;
+  return false;
+}
+
+std::optional<std::vector<u32>> LiquidClient::read_memory(Addr addr,
+                                                          u16 words) {
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    send_command(net::ReadMemoryCmd{addr, words}.serialize());
+    if (auto body = await(net::ResponseCode::kMemoryData)) {
+      ByteReader r(*body);
+      if (r.remaining() < 4u + 4u * words) continue;
+      if (r.read_u32() != addr) continue;  // stale response
+      std::vector<u32> out;
+      out.reserve(words);
+      for (u16 i = 0; i < words; ++i) out.push_back(r.read_u32());
+      return out;
+    }
+  }
+  ++stats_.gave_up;
+  return std::nullopt;
+}
+
+bool LiquidClient::restart() {
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    send_command(net::simple_command(net::CommandCode::kRestart));
+    if (await(net::ResponseCode::kStatus)) return true;
+  }
+  ++stats_.gave_up;
+  return false;
+}
+
+bool LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
+  if (!load_program(img)) return false;
+  if (!start(img.entry)) return false;
+  u64 stepped = 0;
+  while (stepped < max_steps) {
+    const u64 slice = std::min<u64>(20000, max_steps - stepped);
+    pump(slice);
+    stepped += slice;
+    if (node_.controller().state() == net::LeonState::kDone) return true;
+  }
+  return node_.controller().state() == net::LeonState::kDone;
+}
+
+}  // namespace la::ctrl

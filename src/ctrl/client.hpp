@@ -1,0 +1,103 @@
+// The web-based control software's network core (Fig 4): builds command
+// packets, ships them over an (unreliable) channel to the FPX, collects
+// responses, and retries what the channel ate.  The Java servlet / UDP
+// client of the paper collapses into this class; the "Java emulator of the
+// hardware" role is played by the LiquidSystem itself.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/commands.hpp"
+#include "sasm/image.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::ctrl {
+
+struct ClientConfig {
+  net::Ipv4Addr client_ip = net::make_ip(192, 168, 100, 1);
+  u16 client_port = 40000;
+  unsigned max_retries = 10;      // resends per command before giving up
+  u64 pump_steps = 200;           // node instructions per wait round
+  std::size_t load_chunk = 1024;  // bytes per Load-program packet
+  net::ChannelConfig uplink;      // client -> FPX
+  net::ChannelConfig downlink;    // FPX -> client
+};
+
+struct StatusReport {
+  net::LeonState state = net::LeonState::kIdle;
+  u8 total_packets = 0;
+  u16 received_packets = 0;
+};
+
+class LiquidClient {
+ public:
+  LiquidClient(sim::LiquidSystem& node, ClientConfig cfg = {});
+
+  /// LEON status command (retried).  nullopt if the node never answered.
+  std::optional<StatusReport> status();
+
+  /// Load a program image (multi-packet, per-chunk acks, missing chunks
+  /// resent).  True when the controller reports the load complete.
+  bool load_program(const sasm::Image& img);
+
+  /// Start execution at `entry`.
+  bool start(Addr entry);
+
+  /// Read back `words` 32-bit words from `addr`.
+  std::optional<std::vector<u32>> read_memory(Addr addr, u16 words);
+
+  /// Reset the node's processor and control state machine.
+  bool restart();
+
+  /// Convenience: load + start + run the node until leon_ctrl reports the
+  /// program done (or `max_steps` node instructions pass).
+  bool run_program(const sasm::Image& img, u64 max_steps = 10'000'000);
+
+  /// Let simulated time pass: deliver queued frames, step the node, and
+  /// collect its responses.
+  void pump(u64 node_steps);
+
+  /// Frames addressed to other host ports (e.g. streamed execution traces
+  /// on net::kTracePort) are handed to this callback instead of being
+  /// discarded.
+  using ExtraFrameHandler = std::function<void(const net::UdpDatagram&)>;
+  void set_extra_frame_handler(ExtraFrameHandler h) {
+    extra_handler_ = std::move(h);
+  }
+
+  /// Drain everything currently queued on the downlink, dispatching
+  /// non-control frames to the extra handler (stale control responses are
+  /// discarded).  Call after a run to collect trailing trace datagrams.
+  void drain_downlink();
+
+  struct Stats {
+    u64 commands_sent = 0;
+    u64 retries = 0;
+    u64 responses = 0;
+    u64 gave_up = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const net::Channel& uplink() const { return up_; }
+  const net::Channel& downlink() const { return down_; }
+
+ private:
+  void send_command(Bytes payload);
+  /// Next datagram addressed to this client; everything else on the
+  /// downlink is dispatched to the extra handler along the way.
+  std::optional<net::UdpDatagram> next_client_datagram();
+  /// Pump until a response with `code` arrives; nullopt after the round
+  /// budget is spent.  Other responses encountered are discarded (stale
+  /// duplicates from earlier retries).
+  std::optional<Bytes> await(net::ResponseCode code, unsigned rounds = 20);
+
+  sim::LiquidSystem& node_;
+  ClientConfig cfg_;
+  net::Channel up_;
+  net::Channel down_;
+  ExtraFrameHandler extra_handler_;
+  Stats stats_;
+};
+
+}  // namespace la::ctrl

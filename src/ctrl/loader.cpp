@@ -1,0 +1,36 @@
+#include "ctrl/loader.hpp"
+
+#include <stdexcept>
+
+#include "common/bits.hpp"
+
+namespace la::ctrl {
+
+std::vector<net::LoadProgramCmd> packetize(const sasm::Image& img,
+                                           std::size_t max_chunk) {
+  if (max_chunk == 0) throw std::invalid_argument("max_chunk must be > 0");
+  if (img.data.empty()) throw std::invalid_argument("empty program image");
+  const u64 packets = ceil_div(img.data.size(), max_chunk);
+  if (packets > 255) {
+    throw std::invalid_argument(
+        "program needs " + std::to_string(packets) +
+        " packets; the 1-byte packet count allows at most 255 — "
+        "increase max_chunk");
+  }
+  std::vector<net::LoadProgramCmd> out;
+  out.reserve(packets);
+  for (u64 p = 0; p < packets; ++p) {
+    net::LoadProgramCmd c;
+    c.total_packets = static_cast<u8>(packets);
+    c.sequence = static_cast<u16>(p);
+    c.address = img.base + static_cast<Addr>(p * max_chunk);
+    const std::size_t off = p * max_chunk;
+    const std::size_t n = std::min(max_chunk, img.data.size() - off);
+    c.data.assign(img.data.begin() + static_cast<std::ptrdiff_t>(off),
+                  img.data.begin() + static_cast<std::ptrdiff_t>(off + n));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace la::ctrl

@@ -1,0 +1,21 @@
+// Program conversion: assembled image -> sequence of "Load program" UDP
+// payloads.  This is the paper's binary-to-IP conversion step (Fig 4 step
+// 5, done there by a Forth program): the binary is split into chunks, each
+// tagged with a sequence number so the FPX can reassemble them in any
+// order.
+#pragma once
+
+#include <vector>
+
+#include "net/commands.hpp"
+#include "sasm/image.hpp"
+
+namespace la::ctrl {
+
+/// Split `img` into Load-program command payloads of at most `max_chunk`
+/// data bytes each.  Throws std::invalid_argument if the image needs more
+/// than 255 packets (the protocol's 1-byte packet count).
+std::vector<net::LoadProgramCmd> packetize(const sasm::Image& img,
+                                           std::size_t max_chunk = 1024);
+
+}  // namespace la::ctrl

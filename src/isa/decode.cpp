@@ -1,0 +1,190 @@
+#include "isa/decode.hpp"
+
+#include "common/bits.hpp"
+
+namespace la::isa {
+namespace {
+
+/// op=2 op3 field -> mnemonic (kInvalid where the manual leaves a hole).
+constexpr Mnemonic kArithOp3[64] = {
+    /*0x00*/ Mnemonic::kAdd,      Mnemonic::kAnd,     Mnemonic::kOr,
+    /*0x03*/ Mnemonic::kXor,      Mnemonic::kSub,     Mnemonic::kAndn,
+    /*0x06*/ Mnemonic::kOrn,      Mnemonic::kXnor,    Mnemonic::kAddx,
+    /*0x09*/ Mnemonic::kInvalid,  Mnemonic::kUmul,    Mnemonic::kSmul,
+    /*0x0c*/ Mnemonic::kSubx,     Mnemonic::kInvalid, Mnemonic::kUdiv,
+    /*0x0f*/ Mnemonic::kSdiv,
+    /*0x10*/ Mnemonic::kAddcc,    Mnemonic::kAndcc,   Mnemonic::kOrcc,
+    /*0x13*/ Mnemonic::kXorcc,    Mnemonic::kSubcc,   Mnemonic::kAndncc,
+    /*0x16*/ Mnemonic::kOrncc,    Mnemonic::kXnorcc,  Mnemonic::kAddxcc,
+    /*0x19*/ Mnemonic::kInvalid,  Mnemonic::kUmulcc,  Mnemonic::kSmulcc,
+    /*0x1c*/ Mnemonic::kSubxcc,   Mnemonic::kInvalid, Mnemonic::kUdivcc,
+    /*0x1f*/ Mnemonic::kSdivcc,
+    /*0x20*/ Mnemonic::kTaddcc,   Mnemonic::kTsubcc,  Mnemonic::kTaddcctv,
+    /*0x23*/ Mnemonic::kTsubcctv, Mnemonic::kMulscc,  Mnemonic::kSll,
+    /*0x26*/ Mnemonic::kSrl,      Mnemonic::kSra,     Mnemonic::kRdy,
+    /*0x29*/ Mnemonic::kRdpsr,    Mnemonic::kRdwim,   Mnemonic::kRdtbr,
+    /*0x2c*/ Mnemonic::kInvalid,  Mnemonic::kInvalid, Mnemonic::kInvalid,
+    /*0x2f*/ Mnemonic::kInvalid,
+    /*0x30*/ Mnemonic::kWry,      Mnemonic::kWrpsr,   Mnemonic::kWrwim,
+    /*0x33*/ Mnemonic::kWrtbr,    Mnemonic::kFpop1,   Mnemonic::kFpop2,
+    /*0x36*/ Mnemonic::kCpop1,    Mnemonic::kCpop2,   Mnemonic::kJmpl,
+    /*0x39*/ Mnemonic::kRett,     Mnemonic::kTicc,    Mnemonic::kFlush,
+    /*0x3c*/ Mnemonic::kSave,     Mnemonic::kRestore, Mnemonic::kInvalid,
+    /*0x3f*/ Mnemonic::kInvalid,
+};
+
+/// op=3 op3 field -> mnemonic.
+constexpr Mnemonic kMemOp3[64] = {
+    /*0x00*/ Mnemonic::kLd,      Mnemonic::kLdub,    Mnemonic::kLduh,
+    /*0x03*/ Mnemonic::kLdd,     Mnemonic::kSt,      Mnemonic::kStb,
+    /*0x06*/ Mnemonic::kSth,     Mnemonic::kStd,     Mnemonic::kInvalid,
+    /*0x09*/ Mnemonic::kLdsb,    Mnemonic::kLdsh,    Mnemonic::kInvalid,
+    /*0x0c*/ Mnemonic::kInvalid, Mnemonic::kLdstub,  Mnemonic::kInvalid,
+    /*0x0f*/ Mnemonic::kSwap,
+    /*0x10*/ Mnemonic::kLda,     Mnemonic::kLduba,   Mnemonic::kLduha,
+    /*0x13*/ Mnemonic::kLdda,    Mnemonic::kSta,     Mnemonic::kStba,
+    /*0x16*/ Mnemonic::kStha,    Mnemonic::kStda,    Mnemonic::kInvalid,
+    /*0x19*/ Mnemonic::kLdsba,   Mnemonic::kLdsha,   Mnemonic::kInvalid,
+    /*0x1c*/ Mnemonic::kInvalid, Mnemonic::kLdstuba, Mnemonic::kInvalid,
+    /*0x1f*/ Mnemonic::kSwapa,
+    /*0x20*/ Mnemonic::kLdf,     Mnemonic::kLdfsr,   Mnemonic::kInvalid,
+    /*0x23*/ Mnemonic::kLddf,    Mnemonic::kStf,     Mnemonic::kStfsr,
+    /*0x26*/ Mnemonic::kStdfq,   Mnemonic::kStdf,    Mnemonic::kInvalid,
+    /*0x29*/ Mnemonic::kInvalid, Mnemonic::kInvalid, Mnemonic::kInvalid,
+    /*0x2c*/ Mnemonic::kInvalid, Mnemonic::kInvalid, Mnemonic::kInvalid,
+    /*0x2f*/ Mnemonic::kInvalid,
+    /*0x30*/ Mnemonic::kLdc,     Mnemonic::kLdcsr,   Mnemonic::kInvalid,
+    /*0x33*/ Mnemonic::kLddc,    Mnemonic::kStc,     Mnemonic::kStcsr,
+    /*0x36*/ Mnemonic::kStdcq,   Mnemonic::kStdc,    Mnemonic::kInvalid,
+    /*0x39*/ Mnemonic::kInvalid, Mnemonic::kInvalid, Mnemonic::kInvalid,
+    /*0x3c*/ Mnemonic::kInvalid, Mnemonic::kInvalid, Mnemonic::kInvalid,
+    /*0x3f*/ Mnemonic::kInvalid,
+};
+
+Instruction decode_format0(u32 w) {
+  Instruction ins;
+  ins.raw = w;
+  const u32 op2 = bits(w, 24, 22);
+  switch (op2) {
+    case 0:  // UNIMP
+      ins.mn = Mnemonic::kUnimp;
+      ins.imm22 = bits(w, 21, 0);
+      return ins;
+    case 4:  // SETHI
+      ins.mn = Mnemonic::kSethi;
+      ins.rd = static_cast<u8>(bits(w, 29, 25));
+      ins.imm22 = bits(w, 21, 0);
+      // SETHI with rd=0, imm=0 is the canonical NOP; it needs no special
+      // mnemonic — writing %g0 is architecturally a no-op anyway.
+      return ins;
+    case 2:  // Bicc
+    case 6:  // FBfcc
+    case 7:  // CBccc
+      ins.mn = (op2 == 2)   ? Mnemonic::kBicc
+               : (op2 == 6) ? Mnemonic::kFbfcc
+                            : Mnemonic::kCbccc;
+      ins.cond = static_cast<Cond>(bits(w, 28, 25));
+      ins.annul = bit(w, 29) != 0;
+      ins.disp = sign_extend(bits(w, 21, 0), 22);
+      return ins;
+    default:
+      return ins;  // invalid
+  }
+}
+
+Instruction decode_format23(u32 w) {
+  Instruction ins;
+  ins.raw = w;
+  const u32 op = bits(w, 31, 30);
+  const u32 op3 = bits(w, 24, 19);
+  ins.mn = (op == 2) ? kArithOp3[op3] : kMemOp3[op3];
+  ins.rd = static_cast<u8>(bits(w, 29, 25));
+  ins.rs1 = static_cast<u8>(bits(w, 18, 14));
+  ins.imm = bit(w, 13) != 0;
+  if (ins.imm) {
+    ins.simm13 = sign_extend(bits(w, 12, 0), 13);
+  } else {
+    ins.rs2 = static_cast<u8>(bits(w, 4, 0));
+    // The asi field only exists on format-3 (memory) encodings; for
+    // format 2 the bits are reserved don't-cares.
+    if (op == 3) ins.asi = static_cast<u8>(bits(w, 12, 5));
+  }
+  switch (ins.mn) {
+    case Mnemonic::kRdy:
+      // RDY is RDASR with rs1 == 0; other rs1 values read ancillary state.
+      if (ins.rs1 != 0) ins.mn = Mnemonic::kRdasr;
+      // Remaining source fields are don't-cares for RDY and RDASR alike.
+      ins.rs2 = 0;
+      ins.imm = false;
+      ins.simm13 = 0;
+      break;
+    case Mnemonic::kWry:
+      if (ins.rd != 0) ins.mn = Mnemonic::kWrasr;
+      break;
+    case Mnemonic::kFlush:
+    case Mnemonic::kRett:
+      ins.rd = 0;  // rd is a reserved don't-care for these
+      break;
+    case Mnemonic::kWrpsr:
+    case Mnemonic::kWrwim:
+    case Mnemonic::kWrtbr:
+      ins.rd = 0;  // reserved (rd only selects WRASR on the WRY opcode)
+      break;
+    case Mnemonic::kRdpsr:
+    case Mnemonic::kRdwim:
+    case Mnemonic::kRdtbr:
+      // Source-operand fields are don't-cares on the state-register reads.
+      ins.rs1 = 0;
+      ins.rs2 = 0;
+      ins.imm = false;
+      ins.simm13 = 0;
+      break;
+    case Mnemonic::kTicc:
+      // Ticc reuses the branch cond field in rd's position (bits 28:25);
+      // bit 29 and the asi field are reserved — canonicalize them away so
+      // decode/encode round-trips.  The trap number is (rs1 + operand2)
+      // mod 128, so an immediate only matters through its low 7 bits.
+      ins.cond = static_cast<Cond>(bits(w, 28, 25));
+      ins.rd = static_cast<u8>(bits(w, 28, 25));
+      ins.asi = 0;
+      if (ins.imm) ins.simm13 &= 0x7f;
+      break;
+    case Mnemonic::kFpop1:
+    case Mnemonic::kFpop2:
+    case Mnemonic::kCpop1:
+    case Mnemonic::kCpop2:
+      ins.opf = static_cast<u16>(bits(w, 13, 5));
+      ins.rs2 = static_cast<u8>(bits(w, 4, 0));
+      ins.imm = false;
+      break;
+    default:
+      break;
+  }
+  // Alternate-space ops require i == 0 per the manual; with i == 1 the
+  // encoding is undefined, which we surface as an illegal instruction.
+  if (is_alternate_space(ins.mn) && ins.imm) ins.mn = Mnemonic::kInvalid;
+  // Non-alternate memory ops carry an implicit ASI; the field bits are
+  // don't-cares and are canonicalized away.
+  if (!is_alternate_space(ins.mn)) ins.asi = 0;
+  return ins;
+}
+
+}  // namespace
+
+Instruction decode(u32 w) {
+  switch (bits(w, 31, 30)) {
+    case 0:
+      return decode_format0(w);
+    case 1: {
+      Instruction ins;
+      ins.raw = w;
+      ins.mn = Mnemonic::kCall;
+      ins.disp = sign_extend(bits(w, 29, 0), 30);
+      return ins;
+    }
+    default:
+      return decode_format23(w);
+  }
+}
+
+}  // namespace la::isa

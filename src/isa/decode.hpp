@@ -1,0 +1,13 @@
+// SPARC V8 instruction word -> decoded Instruction.
+#pragma once
+
+#include "isa/isa.hpp"
+
+namespace la::isa {
+
+/// Decode one 32-bit instruction word.  Unrecognized encodings return an
+/// Instruction with mn == Mnemonic::kInvalid (the executor raises
+/// illegal_instruction for those); the decoder itself never fails.
+Instruction decode(u32 word);
+
+}  // namespace la::isa

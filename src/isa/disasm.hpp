@@ -1,0 +1,20 @@
+// Disassembler: decoded Instruction -> assembler-compatible text.
+//
+// Output uses the same syntax the sasm assembler accepts, so
+// assemble(disassemble(x)) round-trips (property-tested).
+#pragma once
+
+#include <string>
+
+#include "isa/isa.hpp"
+
+namespace la::isa {
+
+/// Render one instruction.  `pc` is used to print absolute branch/call
+/// targets as comments; pass 0 if unknown.
+std::string disassemble(const Instruction& ins, Addr pc = 0);
+
+/// Decode + render a raw word.
+std::string disassemble_word(u32 word, Addr pc = 0);
+
+}  // namespace la::isa

@@ -1,0 +1,64 @@
+// Integer register naming: the flat 0..31 window-relative numbering used in
+// encodings, plus the textual names the assembler and disassembler share.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace la::isa {
+
+// Window-relative register groups.
+inline constexpr u8 kGlobal0 = 0;   // %g0..%g7 = r0..r7
+inline constexpr u8 kOut0 = 8;      // %o0..%o7 = r8..r15
+inline constexpr u8 kLocal0 = 16;   // %l0..%l7 = r16..r23
+inline constexpr u8 kIn0 = 24;      // %i0..%i7 = r24..r31
+
+inline constexpr u8 kSp = 14;       // %sp = %o6
+inline constexpr u8 kFp = 30;       // %fp = %i6
+inline constexpr u8 kLink = 15;     // %o7 (call return address)
+
+/// "%g0".."%i7" for a register number 0..31 (%sp/%fp for their aliases,
+/// matching what gas prints).
+inline std::string reg_name(u8 r) {
+  if (r == kSp) return "%sp";
+  if (r == kFp) return "%fp";
+  static constexpr char group[] = {'g', 'o', 'l', 'i'};
+  std::string s = "%";
+  s.push_back(group[(r >> 3) & 3]);
+  s.push_back(static_cast<char>('0' + (r & 7)));
+  return s;
+}
+
+/// Parse "%g0".."%i7" plus aliases "%sp", "%fp", "%r0".."%r31".
+/// Returns nullopt on anything else.
+inline std::optional<u8> parse_reg(std::string_view s) {
+  if (s.size() < 3 || s[0] != '%') return std::nullopt;
+  s.remove_prefix(1);
+  if (s == "sp") return kSp;
+  if (s == "fp") return kFp;
+  if (s[0] == 'r') {
+    // %r0..%r31
+    u32 n = 0;
+    if (s.size() < 2 || s.size() > 3) return std::nullopt;
+    for (std::size_t i = 1; i < s.size(); ++i) {
+      if (s[i] < '0' || s[i] > '9') return std::nullopt;
+      n = n * 10 + static_cast<u32>(s[i] - '0');
+    }
+    if (n > 31) return std::nullopt;
+    return static_cast<u8>(n);
+  }
+  if (s.size() != 2 || s[1] < '0' || s[1] > '7') return std::nullopt;
+  const u8 idx = static_cast<u8>(s[1] - '0');
+  switch (s[0]) {
+    case 'g': return static_cast<u8>(kGlobal0 + idx);
+    case 'o': return static_cast<u8>(kOut0 + idx);
+    case 'l': return static_cast<u8>(kLocal0 + idx);
+    case 'i': return static_cast<u8>(kIn0 + idx);
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace la::isa

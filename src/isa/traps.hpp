@@ -1,0 +1,77 @@
+// SPARC V8 trap types (tt values placed into TBR.tt when a trap is taken).
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace la::isa {
+
+enum class Trap : u8 {
+  kNone = 0xff,  // sentinel: no trap pending (0xff is an unused tt here)
+
+  kReset = 0x00,
+  kInstructionAccess = 0x01,
+  kIllegalInstruction = 0x02,
+  kPrivilegedInstruction = 0x03,
+  kFpDisabled = 0x04,
+  kWindowOverflow = 0x05,
+  kWindowUnderflow = 0x06,
+  kMemAddressNotAligned = 0x07,
+  kFpException = 0x08,
+  kDataAccess = 0x09,
+  kTagOverflow = 0x0a,
+  kCpDisabled = 0x24,
+  kDivisionByZero = 0x2a,
+  // Ticc traps occupy 0x80 + (operand & 0x7f); interrupts 0x11-0x1f.
+  kTrapInstructionBase = 0x80,
+  kInterruptBase = 0x10,
+};
+
+/// Priority per the V8 manual: lower number = higher priority.
+/// Used when multiple exceptional conditions coincide.
+constexpr int trap_priority(u8 tt) {
+  switch (tt) {
+    case 0x00: return 1;   // reset
+    case 0x01: return 5;   // instruction access
+    case 0x03: return 6;   // privileged instruction
+    case 0x02: return 7;   // illegal instruction
+    case 0x04: return 8;   // fp disabled
+    case 0x24: return 8;   // cp disabled
+    case 0x05: return 9;   // window overflow
+    case 0x06: return 9;   // window underflow
+    case 0x07: return 10;  // mem address not aligned
+    case 0x08: return 11;  // fp exception
+    case 0x09: return 13;  // data access
+    case 0x0a: return 14;  // tag overflow
+    case 0x2a: return 15;  // division by zero
+    default:
+      if (tt >= 0x80) return 16;            // trap instruction
+      if (tt >= 0x11 && tt <= 0x1f) return 32 - (tt - 0x10);  // interrupts
+      return 20;
+  }
+}
+
+constexpr std::string_view trap_name(u8 tt) {
+  switch (tt) {
+    case 0x00: return "reset";
+    case 0x01: return "instruction_access_exception";
+    case 0x02: return "illegal_instruction";
+    case 0x03: return "privileged_instruction";
+    case 0x04: return "fp_disabled";
+    case 0x05: return "window_overflow";
+    case 0x06: return "window_underflow";
+    case 0x07: return "mem_address_not_aligned";
+    case 0x08: return "fp_exception";
+    case 0x09: return "data_access_exception";
+    case 0x0a: return "tag_overflow";
+    case 0x24: return "cp_disabled";
+    case 0x2a: return "division_by_zero";
+    default:
+      if (tt >= 0x80) return "trap_instruction";
+      if (tt >= 0x11 && tt <= 0x1f) return "interrupt";
+      return "unknown_trap";
+  }
+}
+
+}  // namespace la::isa

@@ -1,0 +1,32 @@
+#include "liquid/adaptation.hpp"
+
+namespace la::liquid {
+
+AdaptationOutcome AdaptationEngine::adapt(const sasm::Image& program,
+                                          Addr result_addr, u16 result_words,
+                                          unsigned max_rounds) {
+  AdaptationOutcome out;
+  ArchConfig current = server_.current();
+
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    TraceAnalyzer analyzer;
+    const JobResult job = server_.run_job(current, program, result_addr,
+                                          result_words, &analyzer);
+    AdaptationStep step;
+    step.config = current;
+    step.cycles = job.cycles;
+    step.reconfigured = job.reconfigured;
+    step.cache_hit = job.bitfile_cache_hit;
+    step.overhead_seconds = job.synthesis_seconds + job.reprogram_seconds;
+    step.trace = analyzer.report();
+    out.steps.push_back(step);
+    if (!job.ok) break;
+
+    const ArchConfig next = analyzer.recommend(space_);
+    if (next == current) break;  // converged
+    current = next;
+  }
+  return out;
+}
+
+}  // namespace la::liquid

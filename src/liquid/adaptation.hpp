@@ -1,0 +1,53 @@
+// Dynamic adaptation (Fig 1, right loop).
+//
+// "At runtime, an application can be dynamically optimized by
+// reconfiguring the FPGA to use a different precompiled image."
+// The engine closes the loop: run the application while tracing, let the
+// trace analyzer recommend a configuration from the pre-generated space,
+// swap the image if it differs, and measure the improvement.
+#pragma once
+
+#include <vector>
+
+#include "liquid/reconfig_server.hpp"
+#include "liquid/trace.hpp"
+
+namespace la::liquid {
+
+struct AdaptationStep {
+  ArchConfig config;          // configuration the phase ran under
+  Cycles cycles = 0;          // measured execution time
+  bool reconfigured = false;  // did this step swap the image?
+  bool cache_hit = false;     // was the new image pre-generated?
+  double overhead_seconds = 0.0;  // synthesis + reprogramming paid
+  TraceReport trace;
+};
+
+struct AdaptationOutcome {
+  std::vector<AdaptationStep> steps;
+  /// cycles(first) / cycles(last): > 1 means adaptation helped.
+  double speedup() const {
+    if (steps.size() < 2 || steps.back().cycles == 0) return 1.0;
+    return static_cast<double>(steps.front().cycles) /
+           static_cast<double>(steps.back().cycles);
+  }
+};
+
+class AdaptationEngine {
+ public:
+  AdaptationEngine(ReconfigurationServer& server, ConfigSpace space)
+      : server_(server), space_(std::move(space)) {}
+
+  /// Run `program` under the server's current configuration while tracing,
+  /// ask the analyzer for a better point, reconfigure if it differs, and
+  /// re-run.  Iterates until the recommendation is stable or `max_rounds`
+  /// is hit.  `result_addr/words` are passed through for readback.
+  AdaptationOutcome adapt(const sasm::Image& program, Addr result_addr,
+                          u16 result_words, unsigned max_rounds = 3);
+
+ private:
+  ReconfigurationServer& server_;
+  ConfigSpace space_;
+};
+
+}  // namespace la::liquid

@@ -1,0 +1,95 @@
+#include "liquid/arch_config.hpp"
+
+#include "common/bits.hpp"
+
+namespace la::liquid {
+namespace {
+
+std::string size_tag(u32 bytes) {
+  if (bytes >= 1024 && bytes % 1024 == 0) {
+    return std::to_string(bytes / 1024) + "k";
+  }
+  return std::to_string(bytes);
+}
+
+cache::CacheConfig cache_cfg(u32 bytes, u32 line, u32 ways,
+                             cache::Replacement repl,
+                             cache::WritePolicy wp) {
+  cache::CacheConfig c;
+  c.size_bytes = bytes;
+  c.line_bytes = line;
+  c.ways = ways;
+  c.replacement = repl;
+  c.write_policy = wp;
+  return c;
+}
+
+}  // namespace
+
+bool ArchConfig::valid() const {
+  const cache::CacheConfig ic = cache_cfg(
+      icache_bytes, icache_line, icache_ways, replacement,
+      cache::WritePolicy::kWriteThroughNoAllocate);
+  const cache::CacheConfig dc =
+      cache_cfg(dcache_bytes, dcache_line, dcache_ways, replacement,
+                write_policy);
+  const bool mul_ok =
+      !has_mul || mul_latency == 1 || mul_latency == 2 || mul_latency == 4 ||
+      mul_latency == 5;
+  return ic.valid() && dc.valid() && icache_line >= 8 && dcache_line >= 8 &&
+         nwindows >= 2 && nwindows <= 32 && mul_ok;
+}
+
+std::string ArchConfig::key() const {
+  std::string k = "i" + size_tag(icache_bytes) +
+                  std::to_string(icache_line) + "x" +
+                  std::to_string(icache_ways);
+  k += "-d" + size_tag(dcache_bytes) + std::to_string(dcache_line) + "x" +
+       std::to_string(dcache_ways);
+  k += replacement == cache::Replacement::kLru ? "-lru" : "-rnd";
+  k += write_policy == cache::WritePolicy::kWriteThroughNoAllocate ? "-wt"
+                                                                   : "-wb";
+  k += has_mul ? ("-m" + std::to_string(mul_latency)) : "-m0";
+  k += has_div ? "-dv" : "-d0";
+  k += "-w" + std::to_string(nwindows);
+  return k;
+}
+
+cpu::PipelineConfig ArchConfig::to_pipeline() const {
+  cpu::PipelineConfig p;
+  p.icache = cache_cfg(icache_bytes, icache_line, icache_ways, replacement,
+                       cache::WritePolicy::kWriteThroughNoAllocate);
+  p.dcache = cache_cfg(dcache_bytes, dcache_line, dcache_ways, replacement,
+                       write_policy);
+  p.cpu.has_mul = has_mul;
+  p.cpu.has_div = has_div;
+  p.cpu.mul_latency = mul_latency;
+  p.cpu.nwindows = nwindows;
+  return p;
+}
+
+ArchConfig ArchConfig::paper_baseline() { return ArchConfig{}; }
+
+std::vector<ArchConfig> ConfigSpace::enumerate() const {
+  std::vector<ArchConfig> out;
+  for (const u32 ic : icache_sizes) {
+    for (const u32 dc : dcache_sizes) {
+      for (const u32 line : line_sizes) {
+        for (const u32 ways : way_counts) {
+          for (const Cycles ml : mul_latencies) {
+            ArchConfig c;
+            c.icache_bytes = ic;
+            c.dcache_bytes = dc;
+            c.icache_line = c.dcache_line = line;
+            c.icache_ways = c.dcache_ways = ways;
+            c.mul_latency = ml;
+            if (c.valid()) out.push_back(c);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace la::liquid

@@ -1,0 +1,71 @@
+// The liquid architecture configuration space.
+//
+// Section 1 of the paper: "the instruction set, the coprocessors, and the
+// supporting structures such as cache, pipelines, and memory controllers
+// can be dynamically reconfigured".  ArchConfig captures the axes our
+// LEON-on-FPX system exposes; ConfigSpace enumerates the pre-generated
+// points (the paper pre-synthesizes an FPGA image per point and swaps
+// between them at runtime).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cpu/leon_pipeline.hpp"
+
+namespace la::liquid {
+
+struct ArchConfig {
+  // Cache geometry (the paper's demonstrated axis).
+  u32 icache_bytes = 1024;
+  u32 icache_line = 32;
+  u32 icache_ways = 1;
+  u32 dcache_bytes = 1024;
+  u32 dcache_line = 32;
+  u32 dcache_ways = 1;
+  cache::Replacement replacement = cache::Replacement::kLru;
+  cache::WritePolicy write_policy =
+      cache::WritePolicy::kWriteThroughNoAllocate;
+
+  // Functional-unit axes (paper: "specialized hardware to accelerate
+  // frequently used instructions").
+  bool has_mul = true;
+  bool has_div = true;
+  Cycles mul_latency = 5;  // LEON2 multiplier variants: 1/2/4/5 cycles
+
+  unsigned nwindows = 8;
+
+  bool valid() const;
+
+  /// Stable identity string, e.g. "i1k32x1-d4k32x1-lru-wt-m5-dv-w8";
+  /// used as the reconfiguration-cache key.
+  std::string key() const;
+
+  /// Lower the liquid description onto the simulator's pipeline config.
+  cpu::PipelineConfig to_pipeline() const;
+
+  /// The configuration the paper shipped (Fig 10's utilization row):
+  /// 1 KB I-cache, 1 KB D-cache, 32 B lines, direct-mapped, write-through.
+  static ArchConfig paper_baseline();
+
+  bool operator==(const ArchConfig&) const = default;
+};
+
+/// The enumerable space of pre-generated images.  The default mirrors the
+/// paper's experiment: D-cache 1..16 KB with everything else fixed.
+struct ConfigSpace {
+  std::vector<u32> dcache_sizes = {1024, 2048, 4096, 8192, 16384};
+  std::vector<u32> icache_sizes = {1024};
+  std::vector<u32> line_sizes = {32};
+  std::vector<u32> way_counts = {1};
+  std::vector<Cycles> mul_latencies = {5};
+
+  /// All combinations (invalid ones skipped).
+  std::vector<ArchConfig> enumerate() const;
+
+  /// Number of valid points.
+  std::size_t size() const { return enumerate().size(); }
+};
+
+}  // namespace la::liquid

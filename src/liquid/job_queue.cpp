@@ -1,0 +1,57 @@
+#include "liquid/job_queue.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace la::liquid {
+
+std::vector<std::size_t> JobQueue::plan(SchedulePolicy policy) const {
+  std::vector<std::size_t> order(pending_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (policy == SchedulePolicy::kFifo) return order;
+
+  // Group by configuration key; groups run in order of their first
+  // submission, jobs stay FIFO inside a group.  The currently loaded
+  // configuration's group goes first — its jobs need no reprogramming.
+  std::map<std::string, std::size_t> first_seen;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const std::string key = pending_[i].config.key();
+    if (!first_seen.count(key)) first_seen[key] = i;
+  }
+  const std::string loaded = server_.current().key();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const std::string ka = pending_[a].config.key();
+                     const std::string kb = pending_[b].config.key();
+                     if (ka == kb) return a < b;
+                     const bool la = ka == loaded;
+                     const bool lb = kb == loaded;
+                     if (la != lb) return la;
+                     return first_seen.at(ka) < first_seen.at(kb);
+                   });
+  return order;
+}
+
+BatchReport JobQueue::run_all(SchedulePolicy policy) {
+  BatchReport report;
+  const std::vector<std::size_t> order = plan(policy);
+  for (const std::size_t i : order) {
+    const Job& job = pending_[i];
+    JobResult r = server_.run_job(job.config, job.program, job.result_addr,
+                                  job.result_words);
+    BatchReport::Item item;
+    item.owner = job.owner;
+    item.config_key = job.config.key();
+    if (r.reconfigured) ++report.reconfigurations;
+    report.total_reprogram_seconds += r.reprogram_seconds;
+    report.total_synthesis_seconds += r.synthesis_seconds;
+    report.total_cycles += r.cycles;
+    if (!r.ok) ++report.failures;
+    item.result = std::move(r);
+    report.items.push_back(std::move(item));
+  }
+  pending_.clear();
+  return report;
+}
+
+}  // namespace la::liquid

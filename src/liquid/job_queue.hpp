@@ -1,0 +1,65 @@
+// Batch job scheduling for the Reconfiguration Server.
+//
+// "The Reconfiguration Server controls access to the FPX Platform,
+// sequencing the loading and execution of applications."  Multiple users
+// submit (architecture, program) jobs; reprogramming the FPGA between
+// jobs costs real time, so the scheduler may reorder the batch to group
+// jobs by configuration — classic setup-time minimization — while FIFO
+// order stays available for fairness.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "liquid/reconfig_server.hpp"
+
+namespace la::liquid {
+
+struct Job {
+  std::string owner;       // who submitted it (reporting only)
+  ArchConfig config;
+  sasm::Image program;
+  Addr result_addr = 0;
+  u16 result_words = 0;
+};
+
+enum class SchedulePolicy : u8 {
+  kFifo,           // strict submission order
+  kGroupByConfig,  // minimize reconfigurations, stable within groups
+};
+
+struct BatchReport {
+  struct Item {
+    std::string owner;
+    std::string config_key;
+    JobResult result;
+  };
+  std::vector<Item> items;
+  u64 reconfigurations = 0;
+  double total_reprogram_seconds = 0.0;
+  double total_synthesis_seconds = 0.0;
+  Cycles total_cycles = 0;
+  u64 failures = 0;
+};
+
+class JobQueue {
+ public:
+  explicit JobQueue(ReconfigurationServer& server) : server_(server) {}
+
+  void submit(Job job) { pending_.push_back(std::move(job)); }
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Run every pending job and drain the queue.
+  BatchReport run_all(SchedulePolicy policy = SchedulePolicy::kGroupByConfig);
+
+  /// The execution order `policy` would choose (indices into the current
+  /// queue) — exposed for tests and for showing users their position.
+  std::vector<std::size_t> plan(SchedulePolicy policy) const;
+
+ private:
+  ReconfigurationServer& server_;
+  std::deque<Job> pending_;
+};
+
+}  // namespace la::liquid

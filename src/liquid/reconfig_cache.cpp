@@ -1,0 +1,70 @@
+#include "liquid/reconfig_cache.hpp"
+
+#include <algorithm>
+
+namespace la::liquid {
+
+void ReconfigurationCache::touch(const std::string& key) {
+  lru_.remove(key);
+  lru_.push_front(key);
+}
+
+void ReconfigurationCache::evict_if_needed() {
+  while (capacity_ != 0 && entries_.size() > capacity_) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+ReconfigurationCache::Result ReconfigurationCache::get_or_synthesize(
+    const ArchConfig& cfg, const SynthesisModel& syn) {
+  Result r;
+  const std::string key = cfg.key();
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    ++stats_.hits;
+    touch(key);
+    r.bitfile = &it->second;
+    r.hit = true;
+    return r;
+  }
+
+  ++stats_.misses;
+  r.seconds = syn.synthesis_seconds(cfg);
+  stats_.synth_seconds += r.seconds;
+
+  const Utilization u = syn.estimate(cfg);
+  if (!u.fits) {
+    ++stats_.failed_synth;
+    return r;  // the hour is spent; the tools report overmapping
+  }
+
+  Bitfile b;
+  b.config = cfg;
+  b.key = key;
+  b.size_bytes = syn.bitstream_bytes();
+  b.utilization = u;
+  b.synthesis_seconds = r.seconds;
+  b.id = next_id_++;
+  auto [it, inserted] = entries_.emplace(key, std::move(b));
+  touch(key);
+  evict_if_needed();
+  // The entry may have been evicted immediately only if capacity is 0-size
+  // (capacity >= 1 keeps the most recent entry alive).
+  const auto again = entries_.find(key);
+  r.bitfile = again != entries_.end() ? &again->second : nullptr;
+  (void)inserted;
+  return r;
+}
+
+double ReconfigurationCache::pregenerate(const ConfigSpace& space,
+                                         const SynthesisModel& syn) {
+  double total = 0.0;
+  for (const ArchConfig& cfg : space.enumerate()) {
+    if (!contains(cfg)) total += get_or_synthesize(cfg, syn).seconds;
+  }
+  return total;
+}
+
+}  // namespace la::liquid

@@ -1,0 +1,82 @@
+// The reconfiguration cache (Fig 1, right).
+//
+// "As features are identified for reconfiguration, instances of those
+// features are pre-generated in the user- or application-defined parameter
+// space.  Each such instance requires ~1 hour to synthesize, and the
+// results are captured in the reconfiguration cache.  At runtime, an
+// application can switch between these pre-generated modules."
+//
+// The cache maps configuration keys to synthesized bitfiles, charges the
+// synthesis model's wall-clock on misses, and evicts LRU when its capacity
+// (disk budget of stored bitstreams) is exceeded.
+#pragma once
+
+#include <list>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "liquid/arch_config.hpp"
+#include "liquid/synthesis.hpp"
+
+namespace la::liquid {
+
+/// A synthesized FPGA image for one configuration point.
+struct Bitfile {
+  ArchConfig config;
+  std::string key;
+  u64 size_bytes = 0;
+  Utilization utilization;
+  double synthesis_seconds = 0.0;
+  u64 id = 0;  // monotonically increasing build number
+};
+
+class ReconfigurationCache {
+ public:
+  /// `capacity` = maximum number of stored bitfiles (0 = unlimited).
+  explicit ReconfigurationCache(std::size_t capacity = 0)
+      : capacity_(capacity) {}
+
+  struct Result {
+    const Bitfile* bitfile = nullptr;  // null only if synthesis failed
+    bool hit = false;
+    double seconds = 0.0;  // wall-clock charged (0 on a hit)
+  };
+
+  /// Return the bitfile for `cfg`, synthesizing (and charging ~1 h) on a
+  /// miss.  Configurations that do not fit the device return a null
+  /// bitfile (the synthesis attempt is still charged — you find out the
+  /// hard way, just like with real tools).
+  Result get_or_synthesize(const ArchConfig& cfg, const SynthesisModel& syn);
+
+  /// Pre-populate the cache for every point of a configuration space
+  /// (the paper's offline pre-generation pass).  Returns total seconds.
+  double pregenerate(const ConfigSpace& space, const SynthesisModel& syn);
+
+  bool contains(const ArchConfig& cfg) const {
+    return entries_.count(cfg.key()) != 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  struct Stats {
+    u64 hits = 0;
+    u64 misses = 0;
+    u64 evictions = 0;
+    u64 failed_synth = 0;
+    double synth_seconds = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void touch(const std::string& key);
+  void evict_if_needed();
+
+  std::size_t capacity_;
+  std::map<std::string, Bitfile> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  Stats stats_;
+  u64 next_id_ = 1;
+};
+
+}  // namespace la::liquid

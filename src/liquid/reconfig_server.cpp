@@ -1,0 +1,101 @@
+#include "liquid/reconfig_server.hpp"
+
+namespace la::liquid {
+
+ReconfigurationServer::ReconfigurationServer(sim::LiquidSystem& node,
+                                             ReconfigurationCache& cache,
+                                             const SynthesisModel& syn,
+                                             ServerConfig cfg)
+    : node_(node), cache_(cache), syn_(syn), cfg_(cfg) {}
+
+JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
+                                         const sasm::Image& program,
+                                         Addr result_addr, u16 result_words,
+                                         TraceAnalyzer* analyzer) {
+  JobResult r;
+  r.config = arch;
+  ++stats_.jobs;
+
+  if (!arch.valid()) {
+    ++stats_.failures;
+    r.error = "invalid architecture configuration";
+    return r;
+  }
+
+  // 1. Obtain the bitfile (cache hit or ~1 h synthesis).
+  const auto got = cache_.get_or_synthesize(arch, syn_);
+  r.bitfile_cache_hit = got.hit;
+  r.synthesis_seconds = got.seconds;
+  if (got.bitfile == nullptr) {
+    ++stats_.failures;
+    r.error = "configuration does not fit the device";
+    return r;
+  }
+
+  // 2. Reprogram the FPGA if the loaded image differs.
+  if (!(current_ == arch)) {
+    node_.reconfigure(arch.to_pipeline());
+    r.reconfigured = true;
+    r.reprogram_seconds = static_cast<double>(got.bitfile->size_bytes) /
+                          cfg_.reprogram_bytes_per_second;
+    stats_.reprogram_seconds += r.reprogram_seconds;
+    ++stats_.reconfigurations;
+    current_ = arch;
+    node_.run(100);  // let the fresh boot reach its polling loop
+  }
+
+  // 3. Load and execute over the control network.
+  ctrl::LiquidClient client(node_, cfg_.client);
+  net::TraceReceiver trace_rx;
+  if (analyzer != nullptr) {
+    // Profile the application, not the boot ROM's polling spin.
+    analyzer->set_focus(mem::map::kSramBase,
+                        mem::map::kSramBase + node_.config().sram_size - 1);
+    if (cfg_.stream_traces) {
+      // The node instruments itself and streams trace datagrams to us.
+      node_.enable_trace_stream(cfg_.client.client_ip, net::kTracePort);
+      client.set_extra_frame_handler([&](const net::UdpDatagram& d) {
+        if (d.dst_port != net::kTracePort) return;
+        for (const auto& t : trace_rx.ingest(d.payload)) {
+          analyzer->ingest(t);
+        }
+      });
+    } else {
+      node_.cpu().set_observer(analyzer);
+    }
+  }
+  node_.cpu().reset_stats();
+  const bool ran = client.run_program(program);
+  if (analyzer != nullptr) {
+    if (cfg_.stream_traces) {
+      node_.flush_trace_stream();
+      client.drain_downlink();
+      node_.disable_trace_stream();
+    } else {
+      node_.cpu().set_observer(nullptr);
+    }
+  }
+  if (!ran) {
+    ++stats_.failures;
+    r.error = "program did not complete";
+    return r;
+  }
+  // Timed exactly as the paper does it: the hardware state machine counts
+  // cycles from Start to the return into the polling loop.
+  r.cycles = node_.controller().last_run_cycles();
+
+  // 4. Read the results back.
+  if (result_words > 0) {
+    const auto mem = client.read_memory(result_addr, result_words);
+    if (!mem) {
+      ++stats_.failures;
+      r.error = "readback failed";
+      return r;
+    }
+    r.readback = *mem;
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace la::liquid

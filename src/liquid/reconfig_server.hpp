@@ -1,0 +1,81 @@
+// The Reconfiguration Server (Fig 1): controls access to the FPX platform
+// and sequences the loading and execution of applications — including the
+// FPGA reprogramming step when a job asks for a different architecture
+// than the one currently loaded.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ctrl/client.hpp"
+#include "liquid/reconfig_cache.hpp"
+#include "liquid/trace.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::liquid {
+
+struct ServerConfig {
+  /// Bitstream download rate over the network/SelectMap path — sets the
+  /// reconfiguration latency (XCV2000E ~1.27 MB at ~5 MB/s: ~0.25 s).
+  double reprogram_bytes_per_second = 5e6;
+  /// When true, profiled runs collect their trace over the network (the
+  /// node streams instrumented-trace datagrams to the analysis host, the
+  /// paper's Fig 2 path) instead of probing the pipeline directly.
+  bool stream_traces = false;
+  ctrl::ClientConfig client;
+};
+
+/// Outcome of one job: load + (re)configure + execute + read back.
+struct JobResult {
+  bool ok = false;
+  std::string error;
+
+  ArchConfig config;
+  bool reconfigured = false;
+  bool bitfile_cache_hit = false;
+
+  Cycles cycles = 0;             // execution cycles on the node
+  double synthesis_seconds = 0;  // charged only on a bitfile-cache miss
+  double reprogram_seconds = 0;  // FPGA download time when reconfigured
+  std::vector<u32> readback;     // result words
+
+  /// Total wall-clock the user waited (synthesis dominates on a miss —
+  /// the whole point of the reconfiguration cache).
+  double wall_seconds(double mhz = 30.0) const {
+    return synthesis_seconds + reprogram_seconds +
+           static_cast<double>(cycles) / (mhz * 1e6);
+  }
+};
+
+class ReconfigurationServer {
+ public:
+  ReconfigurationServer(sim::LiquidSystem& node, ReconfigurationCache& cache,
+                        const SynthesisModel& syn, ServerConfig cfg = {});
+
+  /// Run `program` under `arch`, reading `result_words` words back from
+  /// `result_addr` afterwards.  An optional analyzer traces the run.
+  JobResult run_job(const ArchConfig& arch, const sasm::Image& program,
+                    Addr result_addr, u16 result_words,
+                    TraceAnalyzer* analyzer = nullptr);
+
+  /// The architecture currently loaded in the FPGA.
+  const ArchConfig& current() const { return current_; }
+
+  struct Stats {
+    u64 jobs = 0;
+    u64 failures = 0;
+    u64 reconfigurations = 0;
+    double reprogram_seconds = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  sim::LiquidSystem& node_;
+  ReconfigurationCache& cache_;
+  const SynthesisModel& syn_;
+  ServerConfig cfg_;
+  ArchConfig current_ = ArchConfig::paper_baseline();
+  Stats stats_;
+};
+
+}  // namespace la::liquid

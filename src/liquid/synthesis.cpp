@@ -1,0 +1,133 @@
+#include "liquid/synthesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+
+namespace la::liquid {
+namespace {
+
+/// 4 Kbit BlockRAMs needed for `bits` of storage.
+u32 brams_for_bits(u64 bits) {
+  return bits == 0 ? 0 : static_cast<u32>(ceil_div(bits, 4096));
+}
+
+/// Cache cost: data array + tag array + controller logic.
+ComponentCost cache_cost(const std::string& name, u32 size_bytes, u32 line,
+                         u32 ways, cache::WritePolicy wp) {
+  ComponentCost c;
+  c.name = name;
+  const u32 lines = size_bytes / line;
+  const u32 tag_bits_per_line =
+      (32 - ilog2(size_bytes / ways)) + 2;  // tag + valid + dirty
+  c.brams = brams_for_bits(u64{size_bytes} * 8) +
+            brams_for_bits(u64{lines} * tag_bits_per_line);
+  c.slices = 150 + 40 * (ways - 1) +
+             (wp == cache::WritePolicy::kWriteBackAllocate ? 120 : 0);
+  return c;
+}
+
+double mul_fmax(const ArchConfig& cfg) {
+  if (!cfg.has_mul) return 45.0;
+  switch (cfg.mul_latency) {
+    case 5: return 40.0;
+    case 4: return 34.0;
+    case 2: return 30.5;
+    default: return 26.0;  // single-cycle array multiplier: long path
+  }
+}
+
+u32 mul_slices(const ArchConfig& cfg) {
+  if (!cfg.has_mul) return 0;
+  switch (cfg.mul_latency) {
+    case 5: return 350;   // iterative, smallest (the shipped variant)
+    case 4: return 600;
+    case 2: return 900;
+    default: return 1400;  // full array multiplier
+  }
+}
+
+}  // namespace
+
+Utilization SynthesisModel::estimate(const ArchConfig& cfg) const {
+  Utilization u;
+  auto add = [&u](std::string name, u32 slices, u32 brams) {
+    u.breakdown.push_back({std::move(name), slices, brams});
+    u.slices += slices;
+    u.brams += brams;
+  };
+
+  // Register file: dual-ported BRAM storage (one extra block for the
+  // second read port).
+  const u32 regfile_words = 8 + 16 * cfg.nwindows;
+  const u32 regfile_brams = brams_for_bits(u64{regfile_words} * 32) + 1;
+
+  add("leon-integer-unit", 3200, 7);
+  add("register-file", 0, regfile_brams);
+  add("multiplier", mul_slices(cfg), 0);
+  add("divider", cfg.has_div ? 300 : 0, 0);
+
+  const ComponentCost ic = cache_cost("icache", cfg.icache_bytes,
+                                      cfg.icache_line, cfg.icache_ways,
+                                      cache::WritePolicy::kWriteThroughNoAllocate);
+  const ComponentCost dc = cache_cost("dcache", cfg.dcache_bytes,
+                                      cfg.dcache_line, cfg.dcache_ways,
+                                      cfg.write_policy);
+  add(ic.name, ic.slices, ic.brams);
+  add(dc.name, dc.slices, dc.brams);
+
+  add("amba-ahb-apb", 450, 0);
+  add("peripherals", 520, 1);
+  add("boot-rom", 0, 16);
+  add("sdram-ctrl+adapter", 680, 12);
+  add("protocol-wrappers", 1150, 24);
+  add("cpp+leon_ctrl+pktgen", 850, 16);
+  add("cycle-counter", 100, 0);
+  add("uart-buffers", 0, 1);
+
+  // Board pinout is fixed regardless of the internal configuration.
+  u.iobs = 309;
+
+  // Critical path: the slowest of the competing structural paths.
+  const u32 max_cache = std::max(cfg.icache_bytes, cfg.dcache_bytes);
+  const u32 max_ways = std::max(cfg.icache_ways, cfg.dcache_ways);
+  const double cache_path =
+      34.0 - 1.5 * std::log2(static_cast<double>(max_cache) / 1024.0) -
+      1.0 * (max_ways - 1);
+  const double iu_path = 33.0;
+  const double mem_path = 30.0;
+  u.fmax_mhz = std::min({iu_path, cache_path, mul_fmax(cfg), mem_path});
+
+  u.fits = u.slices <= device_.slices && u.brams <= device_.brams &&
+           u.iobs <= device_.iobs;
+  return u;
+}
+
+double SynthesisModel::synthesis_seconds(const ArchConfig& cfg) const {
+  const Utilization u = estimate(cfg);
+  return 3600.0 * (0.7 + 0.6 * u.slices / device_.slices +
+                   0.25 * static_cast<double>(u.brams) / device_.brams);
+}
+
+std::string format_utilization(const Utilization& u, const Device& d) {
+  char buf[160];
+  std::string s;
+  s += "Resources        Device Utilization   Utilization %\n";
+  std::snprintf(buf, sizeof(buf), "Logic Slices     %5u of %5u       %5.1f%%\n",
+                u.slices, d.slices, u.slice_pct(d));
+  s += buf;
+  std::snprintf(buf, sizeof(buf), "BlockRAMs        %5u of %5u       %5.1f%%\n",
+                u.brams, d.brams, u.bram_pct(d));
+  s += buf;
+  std::snprintf(buf, sizeof(buf), "External IOBs    %5u of %5u       %5.1f%%\n",
+                u.iobs, d.iobs, u.iob_pct(d));
+  s += buf;
+  std::snprintf(buf, sizeof(buf), "Frequency        %.0f MHz%s\n", u.fmax_mhz,
+                u.fits ? "" : "   (DOES NOT FIT)");
+  s += buf;
+  return s;
+}
+
+}  // namespace la::liquid

@@ -1,0 +1,71 @@
+// Synthesis / place-and-route model for the Xilinx Virtex XCV2000E.
+//
+// The paper's Fig 10 reports the shipped system's device utilization:
+// 7900 of 19200 logic slices (41%), 54% of the BlockRAMs, 309 external
+// IOBs, synthesized at 30 MHz — and notes that each configuration-space
+// instance costs ~1 hour of synthesis (Section 1, reconfiguration cache).
+// This analytical model produces those numbers for the baseline and
+// extrapolates resource/frequency trends across the configuration space,
+// which is what the reconfiguration cache needs to reason about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "liquid/arch_config.hpp"
+
+namespace la::liquid {
+
+/// Target FPGA description.
+struct Device {
+  std::string name = "XCV2000E";
+  u32 slices = 19200;
+  u32 brams = 160;     // 4 Kbit BlockRAMs
+  u32 iobs = 404;      // user I/O in the FG680 package
+};
+
+struct ComponentCost {
+  std::string name;
+  u32 slices = 0;
+  u32 brams = 0;
+};
+
+struct Utilization {
+  u32 slices = 0;
+  u32 brams = 0;
+  u32 iobs = 0;
+  double fmax_mhz = 0.0;
+  bool fits = true;  // false when the design exceeds the device
+  std::vector<ComponentCost> breakdown;
+
+  double slice_pct(const Device& d) const {
+    return 100.0 * slices / d.slices;
+  }
+  double bram_pct(const Device& d) const { return 100.0 * brams / d.brams; }
+  double iob_pct(const Device& d) const { return 100.0 * iobs / d.iobs; }
+};
+
+class SynthesisModel {
+ public:
+  explicit SynthesisModel(Device device = {}) : device_(device) {}
+
+  /// Estimate post-place-and-route utilization for one configuration.
+  Utilization estimate(const ArchConfig& cfg) const;
+
+  /// Wall-clock cost of synthesizing this configuration, in seconds
+  /// (~1 hour per instance, growing with design size).
+  double synthesis_seconds(const ArchConfig& cfg) const;
+
+  /// Configuration bitstream size for the device (full-device image).
+  u64 bitstream_bytes() const { return 1271512; }  // XCV2000E bitstream
+
+  const Device& device() const { return device_; }
+
+ private:
+  Device device_;
+};
+
+/// Render a Fig 10-style utilization table.
+std::string format_utilization(const Utilization& u, const Device& d);
+
+}  // namespace la::liquid

@@ -1,0 +1,86 @@
+// The AHB <-> FPX-SDRAM-controller adapter of Section 3.2.
+//
+// Bridges the 32-bit AMBA AHB world to the 64-bit FPX SDRAM controller:
+//   * READS always issue a short sequential burst of 4 32-bit words
+//     (2 x 64-bit) per handshake — "only a couple of cycles are wasted
+//     when the burst length is shorter, but a significant amount of time
+//     is gained by avoiding additional handshakes for 4-word bursts".
+//     AHB bursts needing more than 4 words take additional handshakes.
+//   * WRITES are read-modify-write: the 64-bit word is read, the 32-bit
+//     half (or byte/halfword lane) is merged, and the word is written
+//     back — "two separate handshakes for each write request,
+//     significantly impairing performance".  Write bursts are not used
+//     because the AHB does not announce burst length up front.
+//
+// The two behaviours are configurable so the benches can ablate them
+// (bench/ablate_burst, bench/ablate_rmw).
+#pragma once
+
+#include <string_view>
+
+#include "bus/ahb.hpp"
+#include "common/types.hpp"
+#include "mem/sdram.hpp"
+
+namespace la::mem {
+
+struct AdapterConfig {
+  /// Words-64 fetched per read handshake (paper: 2, i.e. 4 x 32-bit).
+  u32 read_burst_words64 = 2;
+  /// If false, every read is a single 64-bit handshake (ablation).
+  bool always_short_burst = true;
+  /// If true (paper behaviour), each 32-bit write performs a read-modify-
+  /// write pair of handshakes.  If false, full 64-bit-aligned word pairs
+  /// written in one AHB burst are combined and written directly (ablation:
+  /// what a smarter adapter could do).
+  bool rmw_writes = true;
+};
+
+struct AdapterStats {
+  u64 read_handshakes = 0;
+  u64 write_handshakes = 0;
+  u64 rmw_reads = 0;       // extra reads caused by RMW
+  u64 wasted_words64 = 0;  // fetched 64-bit words never consumed by AHB
+};
+
+class AhbSdramAdapter final : public bus::AhbSlave {
+ public:
+  /// `clock` points at the global cycle counter (for controller busy
+  /// modelling); `base` is the AHB base address of SDRAM space.
+  AhbSdramAdapter(FpxSdramController& ctrl, Addr base, u32 size,
+                  const Cycles* clock, AdapterConfig cfg = {},
+                  SdramPort port = SdramPort::kLeon)
+      : ctrl_(ctrl),
+        base_(base),
+        size_(size),
+        clock_(clock),
+        cfg_(cfg),
+        port_(port) {}
+
+  Cycles transfer(bus::AhbTransfer& t) override;
+  std::string_view name() const override { return "ahb-sdram-adapter"; }
+  bool debug_read(Addr addr, unsigned size, u64& out) override;
+  bool debug_write(Addr addr, unsigned size, u64 value) override;
+
+  const AdapterStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = AdapterStats{}; }
+  const AdapterConfig& config() const { return cfg_; }
+
+ private:
+  Cycles do_read(bus::AhbTransfer& t);
+  Cycles do_write(bus::AhbTransfer& t);
+
+  bool contains(Addr a, u64 len) const {
+    return a >= base_ && a - base_ + len <= size_;
+  }
+
+  FpxSdramController& ctrl_;
+  Addr base_;
+  u32 size_;
+  const Cycles* clock_;
+  AdapterConfig cfg_;
+  SdramPort port_;
+  AdapterStats stats_;
+};
+
+}  // namespace la::mem

@@ -1,0 +1,50 @@
+// Boot ROM: read-only AHB slave whose contents come from assembled boot
+// code, plus the two boot programs of Fig 5 (the original LEON flavour
+// that waits for a UART event, and the paper's modified flavour that polls
+// the SRAM mailbox for a program start address).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "common/types.hpp"
+
+namespace la::mem {
+
+class BootRom final : public bus::AhbSlave {
+ public:
+  BootRom(Addr base, u32 size, std::vector<u8> contents,
+          Cycles read_wait = 1);
+
+  Cycles transfer(bus::AhbTransfer& t) override;
+  std::string_view name() const override { return "bootrom"; }
+  bool debug_read(Addr addr, unsigned size, u64& out) override;
+
+  Addr base() const { return base_; }
+  u32 size() const { return static_cast<u32>(data_.size()); }
+
+ private:
+  Addr base_;
+  std::vector<u8> data_;
+  Cycles read_wait_;
+};
+
+/// Assembly source of the paper's *modified* boot code (Fig 5, right):
+/// set up PSR/WIM/TBR, then poll the mailbox word at `mailbox` until it
+/// holds a non-zero program start address, flush the caches so the poll
+/// sees backdoor writes, and jump.  Returning programs jump back to the
+/// polling loop (label `check_ready`, at a fixed, documented offset).
+std::string modified_boot_source(Addr rom_base, Addr mailbox);
+
+/// Assembly source of the *original* LEON boot code (Fig 5, left): waits
+/// for a UART event before loading.  Provided for the bench comparing the
+/// two flavours and for completeness; uses the UART status register.
+std::string original_boot_source(Addr rom_base, Addr uart_status);
+
+/// Offset of the polling loop entry within the modified boot ROM — user
+/// programs jump to rom_base + this to signal completion (Section 3.1).
+inline constexpr u32 kCheckReadyOffset = 0x40;
+
+}  // namespace la::mem

@@ -1,0 +1,24 @@
+#include "mem/disconnect.hpp"
+
+namespace la::mem {
+
+Cycles DisconnectSwitch::transfer(bus::AhbTransfer& t) {
+  if (connected_) return sram_.transfer(t);
+
+  // Disconnected: drive zeros on reads, swallow writes.  Timing matches a
+  // normal SRAM access — the processor cannot tell it is unplugged.
+  Cycles cycles = 0;
+  for (unsigned b = 0; b < t.beats; ++b) {
+    if (t.write) {
+      ++stats_.blocked_writes;
+      cycles += 1 + sram_.timing().write_wait;
+    } else {
+      t.data[b] = 0;
+      ++stats_.blocked_reads;
+      cycles += 1 + sram_.timing().read_wait;
+    }
+  }
+  return cycles;
+}
+
+}  // namespace la::mem

@@ -1,0 +1,58 @@
+// The external disconnect circuitry of Fig 6.
+//
+// Sits between the LEON processor and main memory (SRAM).  While the
+// processor is disconnected its reads see all-zero data ("always drive 0s
+// on the LEON processor's data bus") and its writes are dropped; the user
+// path (leon_ctrl) meanwhile loads programs through the backdoor and
+// plants the start address in the mailbox word.
+#pragma once
+
+#include <string_view>
+
+#include "bus/ahb.hpp"
+#include "common/types.hpp"
+#include "mem/sram.hpp"
+
+namespace la::mem {
+
+class DisconnectSwitch final : public bus::AhbSlave {
+ public:
+  explicit DisconnectSwitch(Sram& sram) : sram_(sram) {}
+
+  /// CPU-side AHB path: forwarded when connected, nulled when not.
+  Cycles transfer(bus::AhbTransfer& t) override;
+  std::string_view name() const override { return "disconnect-switch"; }
+
+  bool debug_read(Addr addr, unsigned size, u64& out) override {
+    if (!connected_) {
+      out = 0;  // the switch drives zeros while the CPU is unplugged
+      return true;
+    }
+    return sram_.debug_read(addr, size, out);
+  }
+  bool debug_write(Addr addr, unsigned size, u64 value) override {
+    if (!connected_) return true;  // swallowed
+    return sram_.debug_write(addr, size, value);
+  }
+
+  void set_connected(bool on) { connected_ = on; }
+  bool connected() const { return connected_; }
+
+  /// User-side (leon_ctrl) path — always available, regardless of the
+  /// switch position; this is the bus the external circuitry drives.
+  Sram& user_port() { return sram_; }
+  const Sram& user_port() const { return sram_; }
+
+  struct Stats {
+    u64 blocked_reads = 0;
+    u64 blocked_writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Sram& sram_;
+  bool connected_ = true;
+  Stats stats_;
+};
+
+}  // namespace la::mem

@@ -1,0 +1,51 @@
+// Canonical address map of the Liquid processor system.
+//
+// Mirrors the paper's layout: boot ROM at 0, FPX SRAM at 0x40000000 (the
+// polling location for the program start address is the first SRAM word,
+// Section 3.1), SDRAM behind the adapter, and the APB peripherals.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace la::mem::map {
+
+inline constexpr Addr kRomBase = 0x00000000;
+inline constexpr u32 kRomSize = 0x2000;  // 8 KiB boot ROM
+
+inline constexpr Addr kSramBase = 0x40000000;
+inline constexpr u32 kSramSize = 0x100000;  // 1 MiB FPX SRAM
+
+inline constexpr Addr kSdramBase = 0x60000000;
+inline constexpr u32 kSdramSize = 0x4000000;  // 64 MiB FPX SDRAM
+
+inline constexpr Addr kApbBase = 0x80000000;
+inline constexpr u32 kApbSize = 0x100000;
+
+// APB device offsets (relative to kApbBase).
+inline constexpr u32 kUartOffset = 0x100;
+inline constexpr u32 kTimerOffset = 0x200;
+inline constexpr u32 kIrqOffset = 0x300;
+inline constexpr u32 kGpioOffset = 0x400;
+inline constexpr u32 kCycleCounterOffset = 0x500;
+inline constexpr u32 kDeviceSize = 0x100;
+
+/// The polled mailbox: leon_ctrl writes the user program's start address
+/// here; the boot ROM spins until it reads a non-zero value (Fig 5).
+inline constexpr Addr kProgAddrMailbox = kSramBase;
+
+/// Default load address for user programs (leaves the mailbox word and a
+/// small scratch region free).
+inline constexpr Addr kUserProgramBase = kSramBase + 0x100;
+
+inline constexpr bool in_range(Addr a, Addr base, u64 size) {
+  return a >= base && a - base < size;
+}
+
+/// Cacheable regions (ROM and the two RAMs); peripherals are never cached.
+inline constexpr bool cacheable(Addr a) {
+  return in_range(a, kRomBase, kRomSize) ||
+         in_range(a, kSramBase, kSramSize) ||
+         in_range(a, kSdramBase, kSdramSize);
+}
+
+}  // namespace la::mem::map

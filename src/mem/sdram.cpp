@@ -1,0 +1,118 @@
+#include "mem/sdram.hpp"
+
+#include <algorithm>
+
+namespace la::mem {
+
+SdramDevice::SdramDevice(u32 size_bytes, SdramTiming timing)
+    : timing_(timing),
+      data_(size_bytes, 0),
+      open_row_(timing.banks, -1) {
+  assert(is_pow2(size_bytes) && is_pow2(timing.banks) &&
+         is_pow2(timing.row_bytes));
+}
+
+Cycles SdramDevice::row_cost(Addr addr) {
+  const u32 bank = (addr / timing_.row_bytes) & (timing_.banks - 1);
+  const i64 row = static_cast<i64>(addr / (timing_.row_bytes * timing_.banks));
+  if (open_row_[bank] == row) {
+    ++stats_.row_hits;
+    return 0;
+  }
+  if (open_row_[bank] < 0) {
+    ++stats_.row_misses;
+    open_row_[bank] = row;
+    return timing_.trcd;
+  }
+  ++stats_.row_conflicts;
+  open_row_[bank] = row;
+  return timing_.trp + timing_.trcd;
+}
+
+Cycles SdramDevice::read_burst(Addr addr, std::span<u64> out) {
+  assert(is_aligned(addr, 8) && addr + out.size() * 8 <= data_.size());
+  Cycles c = row_cost(addr) + timing_.cas;
+  for (std::size_t w = 0; w < out.size(); ++w) {
+    u64 v = 0;
+    const std::size_t o = addr + w * 8;
+    for (unsigned i = 0; i < 8; ++i) v = (v << 8) | data_[o + i];
+    out[w] = v;
+    c += 1;  // one word per clock once the pipe is primed
+  }
+  ++stats_.reads;
+  return c;
+}
+
+Cycles SdramDevice::write_burst(Addr addr, std::span<const u64> in) {
+  assert(is_aligned(addr, 8) && addr + in.size() * 8 <= data_.size());
+  Cycles c = row_cost(addr);
+  for (std::size_t w = 0; w < in.size(); ++w) {
+    const std::size_t o = addr + w * 8;
+    for (unsigned i = 0; i < 8; ++i) {
+      data_[o + i] = static_cast<u8>(in[w] >> (8 * (7 - i)));
+    }
+    c += 1;
+  }
+  ++stats_.writes;
+  return c;
+}
+
+u64 SdramDevice::backdoor_word64(Addr addr) const {
+  assert(is_aligned(addr, 8) && addr + 8 <= data_.size());
+  u64 v = 0;
+  for (unsigned i = 0; i < 8; ++i) v = (v << 8) | data_[addr + i];
+  return v;
+}
+
+void SdramDevice::backdoor_write_word64(Addr addr, u64 v) {
+  assert(is_aligned(addr, 8) && addr + 8 <= data_.size());
+  for (unsigned i = 0; i < 8; ++i) {
+    data_[addr + i] = static_cast<u8>(v >> (8 * (7 - i)));
+  }
+}
+
+Cycles FpxSdramController::read(SdramPort p, Cycles now, Addr addr,
+                                std::span<u64> out) {
+  const int pi = static_cast<int>(p);
+  Cycles t = now;
+  if (busy_until_ > t) {
+    stats_.wait_cycles += busy_until_ - t;
+    t = busy_until_;
+  }
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::size_t n = std::min<std::size_t>(max_burst_, out.size() - done);
+    ++stats_.handshakes[pi];
+    stats_.words[pi] += n;
+    t += kHandshakeCycles +
+         dev_.read_burst(addr + static_cast<Addr>(done * 8),
+                         out.subspan(done, n));
+    done += n;
+  }
+  busy_until_ = t;
+  return t - now;
+}
+
+Cycles FpxSdramController::write(SdramPort p, Cycles now, Addr addr,
+                                 std::span<const u64> in) {
+  const int pi = static_cast<int>(p);
+  Cycles t = now;
+  if (busy_until_ > t) {
+    stats_.wait_cycles += busy_until_ - t;
+    t = busy_until_;
+  }
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const std::size_t n = std::min<std::size_t>(max_burst_, in.size() - done);
+    ++stats_.handshakes[pi];
+    stats_.words[pi] += n;
+    t += kHandshakeCycles +
+         dev_.write_burst(addr + static_cast<Addr>(done * 8),
+                          in.subspan(done, n));
+    done += n;
+  }
+  busy_until_ = t;
+  return t - now;
+}
+
+}  // namespace la::mem

@@ -1,0 +1,114 @@
+// FPX SDRAM subsystem: a banked SDRAM device model and the multi-module
+// arbitrated controller of [Dharmapurikar & Lockwood, WUCS-01-26] that the
+// paper uses instead of LEON's bundled controller (Section 2.4):
+//   * 64-bit data path
+//   * request/grant/ack handshake per transfer
+//   * up to three client modules with round-robin arbitration
+//   * sequential read AND write bursts (the AHB adapter chooses not to use
+//     write bursts, Section 3.2 — but the controller supports them)
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/types.hpp"
+
+namespace la::mem {
+
+struct SdramTiming {
+  Cycles trcd = 2;  // RAS-to-CAS (activate -> column command)
+  Cycles trp = 2;   // precharge
+  Cycles cas = 2;   // CAS latency (read data appears cas cycles after cmd)
+  u32 banks = 4;
+  u32 row_bytes = 4096;
+};
+
+/// Raw SDRAM device: storage plus open-row timing.  Addresses are byte
+/// addresses, accesses are whole 64-bit words.
+class SdramDevice {
+ public:
+  SdramDevice(u32 size_bytes, SdramTiming timing = {});
+
+  u32 size() const { return static_cast<u32>(data_.size()); }
+  const SdramTiming& timing() const { return timing_; }
+
+  /// Burst-read `out.size()` consecutive 64-bit words starting at the
+  /// 8-byte-aligned byte offset `addr`.  Returns device cycles.
+  Cycles read_burst(Addr addr, std::span<u64> out);
+  /// Burst-write; returns device cycles.
+  Cycles write_burst(Addr addr, std::span<const u64> in);
+
+  struct Stats {
+    u64 row_hits = 0;
+    u64 row_misses = 0;   // activate on idle bank
+    u64 row_conflicts = 0;  // precharge + activate
+    u64 reads = 0;
+    u64 writes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  // Backdoor for test setup.
+  u64 backdoor_word64(Addr addr) const;
+  void backdoor_write_word64(Addr addr, u64 v);
+
+ private:
+  /// Open-row bookkeeping: cycles to make the row of `addr` active.
+  Cycles row_cost(Addr addr);
+
+  SdramTiming timing_;
+  std::vector<u8> data_;
+  std::vector<i64> open_row_;  // per bank, -1 = all precharged
+  Stats stats_;
+};
+
+/// Client ports of the FPX SDRAM controller.
+enum class SdramPort : u8 { kLeon = 0, kNetwork = 1, kAux = 2, kCount };
+
+class FpxSdramController {
+ public:
+  /// `max_burst_words` — longest sequential burst (in 64-bit words) one
+  /// handshake can carry.
+  FpxSdramController(SdramDevice& dev, u32 max_burst_words = 8)
+      : dev_(dev), max_burst_(max_burst_words) {
+    assert(max_burst_words >= 1);
+  }
+
+  /// One handshaked transfer: request -> grant -> command -> data -> ack.
+  /// `now` is the current global cycle (for modelling port contention);
+  /// the return value is the total cycles until completion as seen by the
+  /// caller.  Bursts longer than max_burst_words are split into multiple
+  /// handshakes internally (and counted as such).
+  Cycles read(SdramPort p, Cycles now, Addr addr, std::span<u64> out);
+  Cycles write(SdramPort p, Cycles now, Addr addr, std::span<const u64> in);
+
+  struct Stats {
+    u64 handshakes[static_cast<int>(SdramPort::kCount)] = {};
+    u64 words[static_cast<int>(SdramPort::kCount)] = {};
+    Cycles wait_cycles = 0;  // arbitration/busy waiting
+    u64 total_handshakes() const {
+      u64 n = 0;
+      for (u64 h : handshakes) n += h;
+      return n;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats() { stats_ = Stats{}; }
+
+  u32 max_burst_words() const { return max_burst_; }
+  SdramDevice& device() { return dev_; }
+
+  /// Fixed handshake overhead per transfer (request + grant + ack).
+  static constexpr Cycles kHandshakeCycles = 3;
+
+ private:
+  SdramDevice& dev_;
+  u32 max_burst_;
+  Cycles busy_until_ = 0;
+  Stats stats_;
+};
+
+}  // namespace la::mem

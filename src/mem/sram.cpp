@@ -1,0 +1,78 @@
+#include "mem/sram.hpp"
+
+#include <algorithm>
+
+namespace la::mem {
+
+Cycles Sram::transfer(bus::AhbTransfer& t) {
+  Cycles cycles = 0;
+  for (unsigned b = 0; b < t.beats; ++b) {
+    const Addr a = t.addr + b * t.beat_bytes;
+    if (!contains(a, t.beat_bytes)) {
+      t.error = true;
+      return cycles + 2;
+    }
+    const std::size_t o = a - base_;
+    if (t.write) {
+      const u32 v = t.data[b];
+      for (unsigned i = 0; i < t.beat_bytes; ++i) {
+        data_[o + i] = static_cast<u8>(v >> (8 * (t.beat_bytes - 1 - i)));
+      }
+      cycles += 1 + timing_.write_wait;
+    } else {
+      u32 v = 0;
+      for (unsigned i = 0; i < t.beat_bytes; ++i) v = (v << 8) | data_[o + i];
+      t.data[b] = v;
+      cycles += 1 + timing_.read_wait;
+    }
+  }
+  return cycles;
+}
+
+bool Sram::debug_read(Addr addr, unsigned size, u64& out) {
+  if (!contains(addr, size)) return false;
+  const std::size_t o = addr - base_;
+  u64 v = 0;
+  for (unsigned i = 0; i < size; ++i) v = (v << 8) | data_[o + i];
+  out = v;
+  return true;
+}
+
+bool Sram::debug_write(Addr addr, unsigned size, u64 value) {
+  if (!contains(addr, size)) return false;
+  const std::size_t o = addr - base_;
+  for (unsigned i = 0; i < size; ++i) {
+    data_[o + i] = static_cast<u8>(value >> (8 * (size - 1 - i)));
+  }
+  return true;
+}
+
+bool Sram::backdoor_write(Addr addr, std::span<const u8> bytes) {
+  if (!contains(addr, bytes.size())) return false;
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + (addr - base_));
+  return true;
+}
+
+bool Sram::backdoor_read(Addr addr, std::span<u8> out) const {
+  if (!contains(addr, out.size())) return false;
+  std::copy_n(data_.begin() + (addr - base_), out.size(), out.begin());
+  return true;
+}
+
+u32 Sram::backdoor_word(Addr addr) const {
+  u8 b[4] = {};
+  const bool ok = backdoor_read(addr, b);
+  assert(ok);
+  (void)ok;
+  return (u32{b[0]} << 24) | (u32{b[1]} << 16) | (u32{b[2]} << 8) | u32{b[3]};
+}
+
+void Sram::backdoor_write_word(Addr addr, u32 value) {
+  const u8 b[4] = {static_cast<u8>(value >> 24), static_cast<u8>(value >> 16),
+                   static_cast<u8>(value >> 8), static_cast<u8>(value)};
+  const bool ok = backdoor_write(addr, b);
+  assert(ok);
+  (void)ok;
+}
+
+}  // namespace la::mem

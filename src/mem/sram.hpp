@@ -1,0 +1,53 @@
+// FPX SRAM model: zero-turnaround (ZBT-style) synchronous SRAM on AHB,
+// with a backdoor port for the leon_ctrl/user path that loads programs
+// while the processor is disconnected (Section 3.1).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "bus/ahb.hpp"
+#include "common/types.hpp"
+
+namespace la::mem {
+
+struct SramTiming {
+  Cycles read_wait = 1;   // wait states per read beat
+  Cycles write_wait = 1;  // wait states per write beat
+};
+
+class Sram final : public bus::AhbSlave {
+ public:
+  Sram(Addr base, u32 size, SramTiming timing = {})
+      : base_(base), timing_(timing), data_(size, 0) {
+    assert(size > 0);
+  }
+
+  Cycles transfer(bus::AhbTransfer& t) override;
+  std::string_view name() const override { return "sram"; }
+  bool debug_read(Addr addr, unsigned size, u64& out) override;
+  bool debug_write(Addr addr, unsigned size, u64 value) override;
+
+  Addr base() const { return base_; }
+  u32 size() const { return static_cast<u32>(data_.size()); }
+  const SramTiming& timing() const { return timing_; }
+
+  // Backdoor (user-path) access: byte-exact, no bus timing.
+  bool backdoor_write(Addr addr, std::span<const u8> bytes);
+  bool backdoor_read(Addr addr, std::span<u8> out) const;
+  u32 backdoor_word(Addr addr) const;
+  void backdoor_write_word(Addr addr, u32 value);
+
+ private:
+  bool contains(Addr addr, u64 len) const {
+    return addr >= base_ && addr - base_ + len <= data_.size();
+  }
+
+  Addr base_;
+  SramTiming timing_;
+  std::vector<u8> data_;
+};
+
+}  // namespace la::mem

@@ -1,0 +1,34 @@
+#include "net/channel.hpp"
+
+namespace la::net {
+
+void Channel::send(Bytes frame) {
+  ++stats_.sent;
+  if (rng_.chance(cfg_.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool dup = rng_.chance(cfg_.duplicate);
+  if (rng_.chance(cfg_.reorder) && !q_.empty()) {
+    // Jump ahead of a random number of queued frames.
+    const u32 skip = rng_.below(static_cast<u32>(q_.size())) + 1;
+    q_.insert(q_.end() - skip, frame);
+    ++stats_.reordered;
+  } else {
+    q_.push_back(frame);
+  }
+  if (dup) {
+    q_.push_back(frame);
+    ++stats_.duplicated;
+  }
+}
+
+std::optional<Bytes> Channel::receive() {
+  if (q_.empty()) return std::nullopt;
+  Bytes f = std::move(q_.front());
+  q_.pop_front();
+  ++stats_.delivered;
+  return f;
+}
+
+}  // namespace la::net

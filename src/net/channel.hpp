@@ -1,0 +1,51 @@
+// A simulated unreliable IP channel: frames queue up and may be dropped,
+// duplicated, or reordered — UDP's contract — driven by a seeded RNG so
+// every failure pattern is reproducible.  This is the "Internet" between
+// the control software and the FPX (Fig 4).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace la::net {
+
+struct ChannelConfig {
+  double drop = 0.0;       // probability a frame vanishes
+  double duplicate = 0.0;  // probability a frame is delivered twice
+  double reorder = 0.0;    // probability a frame jumps the queue
+  u64 seed = 1;
+};
+
+class Channel {
+ public:
+  explicit Channel(ChannelConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
+
+  /// Offer a frame to the channel (loss/duplication/reordering applied).
+  void send(Bytes frame);
+
+  /// Take the next deliverable frame, if any.
+  std::optional<Bytes> receive();
+
+  bool empty() const { return q_.empty(); }
+  std::size_t pending() const { return q_.size(); }
+
+  struct Stats {
+    u64 sent = 0;
+    u64 dropped = 0;
+    u64 duplicated = 0;
+    u64 reordered = 0;
+    u64 delivered = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ChannelConfig cfg_;
+  Rng rng_;
+  std::deque<Bytes> q_;
+  Stats stats_;
+};
+
+}  // namespace la::net

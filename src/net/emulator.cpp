@@ -1,0 +1,63 @@
+#include "net/emulator.hpp"
+
+namespace la::net {
+
+NodeEmulator::NodeEmulator(EmulatorConfig cfg)
+    : cfg_(cfg),
+      sram_(mem::map::kSramBase, cfg.sram_size),
+      wrappers_(cfg.node_ip) {
+  switch_ = std::make_unique<mem::DisconnectSwitch>(sram_);
+  pktgen_ = std::make_unique<PacketGenerator>(cfg.node_ip, cfg.node_port);
+  LeonCtrlConfig lcfg;
+  lcfg.mailbox = mem::map::kProgAddrMailbox;
+  lcfg.check_ready = mem::map::kRomBase + mem::kCheckReadyOffset;
+  lcfg.load_min = mem::map::kSramBase + 4;
+  lcfg.load_max = mem::map::kSramBase + cfg.sram_size - 1;
+  lcfg.user_code_min = mem::map::kSramBase;
+  ctrl_ = std::make_unique<LeonController>(
+      lcfg, *switch_, *pktgen_, [this] { run_active_ = false; },
+      [this] { return clock_; });
+}
+
+void NodeEmulator::ingress_frame(std::span<const u8> frame) {
+  auto d = wrappers_.ingress_frame(frame);
+  if (!d) return;
+  if (d->dst_port == cfg_.node_port) {
+    ctrl_->handle(*d);
+    // Detect a fresh Start: the stub begins "executing".
+    if (ctrl_->state() == LeonState::kRunning && !run_active_) {
+      run_active_ = true;
+      running_for_ = 0;
+    }
+  }
+  while (auto resp = pktgen_->pop()) {
+    egress_.push_back(wrappers_.egress_frame(*resp));
+  }
+}
+
+std::optional<Bytes> NodeEmulator::egress_frame() {
+  if (egress_.empty()) return std::nullopt;
+  Bytes f = std::move(egress_.front());
+  egress_.pop_front();
+  return f;
+}
+
+void NodeEmulator::step() {
+  ++clock_;
+  if (!run_active_) return;
+  ++running_for_;
+  if (running_for_ == 1) {
+    // First emulated instruction: the stub "entered user code".
+    ctrl_->on_cpu_pc(mem::map::kSramBase + 0x100);
+  }
+  if (running_for_ >= cfg_.run_steps) {
+    // The stub "returned to the polling loop".
+    ctrl_->on_cpu_pc(mem::map::kRomBase + mem::kCheckReadyOffset);
+    run_active_ = false;
+  }
+  while (auto resp = pktgen_->pop()) {
+    egress_.push_back(wrappers_.egress_frame(*resp));
+  }
+}
+
+}  // namespace la::net

@@ -1,0 +1,64 @@
+// Node emulator (Fig 4: "Java Emulator of the H/W (for debugging)").
+//
+// While the FPGA hardware was being developed, the paper's control
+// software was tested against a software emulator speaking the same UDP
+// protocol.  This is that emulator: the full network/control path (real
+// wrappers, real leon_ctrl, real SRAM image) with the processor replaced
+// by a stub that "completes" a run after a configurable number of steps.
+// Its observable protocol behaviour must match the real node's — the
+// differential test in tests/net/emulator_test.cpp holds it to that.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "mem/disconnect.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/sram.hpp"
+#include "mem/boot_rom.hpp"
+#include "net/leon_ctrl.hpp"
+#include "net/wrappers.hpp"
+
+namespace la::net {
+
+struct EmulatorConfig {
+  Ipv4Addr node_ip = make_ip(192, 168, 100, 10);
+  u16 node_port = kLeonControlPort;
+  u32 sram_size = mem::map::kSramSize;
+  /// Emulated steps between Start and the faked return to the polling
+  /// loop (the stub "runs" this long).
+  u64 run_steps = 50;
+};
+
+class NodeEmulator {
+ public:
+  explicit NodeEmulator(EmulatorConfig cfg = {});
+
+  void ingress_frame(std::span<const u8> frame);
+  std::optional<Bytes> egress_frame();
+
+  /// One emulated step (the stand-in for a CPU instruction).
+  void step();
+  void run(u64 steps) {
+    for (u64 i = 0; i < steps; ++i) step();
+  }
+
+  LeonController& controller() { return *ctrl_; }
+  mem::Sram& sram() { return sram_; }
+  const EmulatorConfig& config() const { return cfg_; }
+
+ private:
+  EmulatorConfig cfg_;
+  Cycles clock_ = 0;
+  mem::Sram sram_;
+  std::unique_ptr<mem::DisconnectSwitch> switch_;
+  LayeredWrappers wrappers_;
+  std::unique_ptr<PacketGenerator> pktgen_;
+  std::unique_ptr<LeonController> ctrl_;
+  std::deque<Bytes> egress_;
+  u64 running_for_ = 0;
+  bool run_active_ = false;
+};
+
+}  // namespace la::net

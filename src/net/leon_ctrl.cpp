@@ -1,0 +1,229 @@
+#include "net/leon_ctrl.hpp"
+
+namespace la::net {
+
+void PacketGenerator::emit(Ipv4Addr dst_ip, u16 dst_port, ResponseCode code,
+                           Bytes payload) {
+  UdpDatagram d;
+  d.src_ip = node_ip_;
+  d.src_port = node_port_;
+  d.dst_ip = dst_ip;
+  d.dst_port = dst_port;
+  d.payload.reserve(payload.size() + 1);
+  d.payload.push_back(static_cast<u8>(code));
+  d.payload.insert(d.payload.end(), payload.begin(), payload.end());
+  queue_.push_back(std::move(d));
+  ++emitted_;
+}
+
+std::optional<UdpDatagram> PacketGenerator::pop() {
+  if (queue_.empty()) return std::nullopt;
+  UdpDatagram d = std::move(queue_.front());
+  queue_.pop_front();
+  return d;
+}
+
+LeonController::LeonController(const LeonCtrlConfig& cfg,
+                               mem::DisconnectSwitch& sw,
+                               PacketGenerator& gen, ResetCpu reset_cpu,
+                               Now now)
+    : cfg_(cfg),
+      sw_(sw),
+      gen_(gen),
+      reset_cpu_(std::move(reset_cpu)),
+      now_(std::move(now)) {
+  // At power-on the processor spins in its polling loop on a zero mailbox;
+  // it starts connected so the poll actually reads memory.
+  sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
+  sw_.set_connected(true);
+}
+
+void LeonController::respond(ResponseCode code, Bytes payload) {
+  gen_.emit(client_ip_, client_port_, code, std::move(payload));
+}
+
+void LeonController::respond_status() {
+  ByteWriter w;
+  w.write_u8(static_cast<u8>(state_));
+  w.write_u8(expected_packets_);
+  w.write_u16(static_cast<u16>(received_count_));
+  respond(ResponseCode::kStatus, w.take());
+}
+
+void LeonController::respond_error(u8 code) {
+  respond(ResponseCode::kError, Bytes{code});
+}
+
+void LeonController::handle(const UdpDatagram& d) {
+  ++stats_.commands;
+  client_ip_ = d.src_ip;
+  client_port_ = d.src_port;
+  ByteReader r(d.payload);
+  if (r.empty()) {
+    ++stats_.bad_commands;
+    respond_error(0x01);
+    return;
+  }
+  const u8 code = r.read_u8();
+  switch (static_cast<CommandCode>(code)) {
+    case CommandCode::kStatus:
+      respond_status();
+      return;
+    case CommandCode::kLoadProgram:
+      handle_load(r);
+      return;
+    case CommandCode::kStart:
+      handle_start(r);
+      return;
+    case CommandCode::kReadMemory:
+      handle_read(r);
+      return;
+    case CommandCode::kRestart:
+      handle_restart();
+      return;
+    default:
+      ++stats_.bad_commands;
+      respond_error(0x02);
+      return;
+  }
+}
+
+void LeonController::handle_load(ByteReader& r) {
+  if (state_ == LeonState::kRunning) {
+    ++stats_.bad_commands;
+    respond_error(0x10);  // busy
+    return;
+  }
+  const auto cmd = LoadProgramCmd::parse(r);
+  if (!cmd) {
+    ++stats_.bad_commands;
+    respond_error(0x11);
+    return;
+  }
+  if (cmd->address < cfg_.load_min ||
+      static_cast<u64>(cmd->address) + cmd->data.size() - 1 > cfg_.load_max) {
+    ++stats_.bad_commands;
+    respond_error(0x12);  // out of the loadable SRAM window
+    return;
+  }
+
+  // A chunk whose (total, sequence) matches an already-received one is a
+  // retransmission (lost ack, duplicating channel): rewrite the bytes and
+  // re-ack, but never regress a completed load back to kLoading.
+  const bool retransmission =
+      expected_packets_ == cmd->total_packets &&
+      cmd->sequence < received_.size() && received_[cmd->sequence] &&
+      (state_ == LeonState::kLoading || state_ == LeonState::kReady);
+
+  if (!retransmission &&
+      (state_ != LeonState::kLoading ||
+       expected_packets_ != cmd->total_packets)) {
+    // First chunk of a new load session.
+    state_ = LeonState::kLoading;
+    expected_packets_ = cmd->total_packets;
+    received_.assign(cmd->total_packets, false);
+    received_count_ = 0;
+    // The external circuitry unplugs the processor while memory is owned
+    // by the user path (§3.1).
+    sw_.set_connected(false);
+  }
+
+  if (received_[cmd->sequence]) {
+    ++stats_.duplicate_chunks;
+  } else {
+    received_[cmd->sequence] = true;
+    ++received_count_;
+    ++stats_.chunks_loaded;
+  }
+  sw_.user_port().backdoor_write(cmd->address, cmd->data);
+
+  if (state_ == LeonState::kLoading &&
+      received_count_ == expected_packets_) {
+    state_ = LeonState::kReady;
+  }
+  ByteWriter w;
+  w.write_u16(cmd->sequence);
+  w.write_u8(static_cast<u8>(state_));
+  respond(ResponseCode::kLoadAck, w.take());
+}
+
+void LeonController::handle_start(ByteReader& r) {
+  const auto cmd = StartCmd::parse(r);
+  if (!cmd) {
+    ++stats_.bad_commands;
+    respond_error(0x21);
+    return;
+  }
+  if (state_ == LeonState::kRunning || state_ == LeonState::kLoading) {
+    ++stats_.bad_commands;
+    respond_error(0x20);  // not startable now
+    return;
+  }
+  // Plant the start address in the mailbox and reconnect: the polling
+  // loop's next (flushed) read jumps to the user program.
+  sw_.user_port().backdoor_write_word(cfg_.mailbox, cmd->address);
+  sw_.set_connected(true);
+  state_ = LeonState::kRunning;
+  seen_user_code_ = false;  // completion arms once the CPU enters user code
+  if (now_) run_started_at_ = now_();
+  ++stats_.programs_started;
+  respond(ResponseCode::kStarted);
+}
+
+void LeonController::handle_read(ByteReader& r) {
+  const auto cmd = ReadMemoryCmd::parse(r);
+  if (!cmd) {
+    ++stats_.bad_commands;
+    respond_error(0x31);
+    return;
+  }
+  ByteWriter w;
+  w.write_u32(cmd->address);
+  for (u16 i = 0; i < cmd->words; ++i) {
+    u8 bytes[4] = {};
+    if (!sw_.user_port().backdoor_read(cmd->address + 4u * i, bytes)) {
+      ++stats_.bad_commands;
+      respond_error(0x32);
+      return;
+    }
+    w.write_bytes(bytes);
+  }
+  respond(ResponseCode::kMemoryData, w.take());
+}
+
+void LeonController::handle_restart() {
+  sw_.set_connected(false);
+  sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
+  if (reset_cpu_) reset_cpu_();
+  sw_.set_connected(true);
+  state_ = LeonState::kIdle;
+  expected_packets_ = 0;
+  received_.clear();
+  received_count_ = 0;
+  respond_status();
+}
+
+void LeonController::on_cpu_pc(Addr pc) {
+  if (state_ != LeonState::kRunning) return;
+  if (pc >= cfg_.user_code_min) {
+    seen_user_code_ = true;
+    return;
+  }
+  if (seen_user_code_ && pc == cfg_.check_ready) {
+    // The program's final jump landed back in the polling loop: detection
+    // disconnects the processor and clears the mailbox before the poll can
+    // re-read the stale start address.
+    sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
+    sw_.set_connected(false);
+    state_ = LeonState::kDone;
+    if (now_) last_run_cycles_ = now_() - run_started_at_;
+    ++stats_.programs_completed;
+  }
+}
+
+void LeonController::force_error(u8 code) {
+  state_ = LeonState::kError;
+  respond_error(code);
+}
+
+}  // namespace la::net

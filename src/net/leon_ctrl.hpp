@@ -1,0 +1,145 @@
+// The Control Packet Processor and leon_ctrl state machine (Fig 3, §3.1).
+//
+// The CPP routes UDP traffic arriving on the LEON control port into the
+// controller; everything else would flow on to other FPX modules (we count
+// it).  The controller is the paper's "external circuitry" (Fig 6): it
+// loads programs into SRAM through the user port while the processor is
+// disconnected, plants the start address in the mailbox word, watches the
+// processor's address bus for the return to the boot ROM's polling loop,
+// and answers with response packets via the packet generator.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "mem/disconnect.hpp"
+#include "net/commands.hpp"
+#include "net/packet.hpp"
+
+namespace la::net {
+
+/// Response packets waiting to leave through the wrappers.
+class PacketGenerator {
+ public:
+  PacketGenerator(Ipv4Addr node_ip, u16 node_port)
+      : node_ip_(node_ip), node_port_(node_port) {}
+
+  /// Queue a response to `dst`.
+  void emit(Ipv4Addr dst_ip, u16 dst_port, ResponseCode code,
+            Bytes payload = {});
+
+  std::optional<UdpDatagram> pop();
+  bool empty() const { return queue_.empty(); }
+  u64 emitted() const { return emitted_; }
+
+ private:
+  Ipv4Addr node_ip_;
+  u16 node_port_;
+  std::deque<UdpDatagram> queue_;
+  u64 emitted_ = 0;
+};
+
+struct LeonCtrlConfig {
+  Addr mailbox = 0x40000000;       // polled program-address word
+  Addr check_ready = 0x40;         // boot ROM polling loop entry
+  Addr load_min = 0x40000004;      // loads must stay inside SRAM
+  Addr load_max = 0x400fffff;
+  /// PCs at or above this are user code; completion detection only arms
+  /// after the processor has been observed executing out there (otherwise
+  /// the poll loop's own visit to check_ready would read as "returned").
+  Addr user_code_min = 0x40000000;
+};
+
+class LeonController {
+ public:
+  using ResetCpu = std::function<void()>;
+  using Now = std::function<Cycles()>;
+
+  /// `now` reads the node clock so the controller can time runs (the
+  /// hardware cycle-counting state machine of §4); may be null.
+  LeonController(const LeonCtrlConfig& cfg, mem::DisconnectSwitch& sw,
+                 PacketGenerator& gen, ResetCpu reset_cpu,
+                 Now now = nullptr);
+
+  /// Handle one control datagram (already filtered to the control port).
+  void handle(const UdpDatagram& d);
+
+  /// Called by the system after every processor step with the PC of the
+  /// instruction just executed (the circuit "probes LEON's address bus").
+  void on_cpu_pc(Addr pc);
+
+  LeonState state() const { return state_; }
+
+  /// Cycles from the last Start command to the program's return to the
+  /// polling loop (valid once state reaches kDone; 0 before any run).
+  Cycles last_run_cycles() const { return last_run_cycles_; }
+
+  /// Debug hook of §4.1: force the state machine into an error state; an
+  /// error packet is transmitted to the last requester.
+  void force_error(u8 code);
+
+  struct Stats {
+    u64 commands = 0;
+    u64 bad_commands = 0;
+    u64 chunks_loaded = 0;
+    u64 duplicate_chunks = 0;
+    u64 programs_started = 0;
+    u64 programs_completed = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void respond(ResponseCode code, Bytes payload = {});
+  void respond_status();
+  void respond_error(u8 code);
+  void handle_load(ByteReader& r);
+  void handle_start(ByteReader& r);
+  void handle_read(ByteReader& r);
+  void handle_restart();
+
+  LeonCtrlConfig cfg_;
+  mem::DisconnectSwitch& sw_;
+  PacketGenerator& gen_;
+  ResetCpu reset_cpu_;
+  Now now_;
+  Cycles run_started_at_ = 0;
+  Cycles last_run_cycles_ = 0;
+
+  LeonState state_ = LeonState::kIdle;
+  bool seen_user_code_ = false;  // armed once the CPU leaves the boot ROM
+  // Multi-packet load tracking.
+  u8 expected_packets_ = 0;
+  std::vector<bool> received_;
+  u32 received_count_ = 0;
+  // Requester of the most recent command (responses go back there).
+  Ipv4Addr client_ip_ = 0;
+  u16 client_port_ = 0;
+  Stats stats_;
+};
+
+/// Routes ingress datagrams: control traffic to the controller, the rest
+/// onward (counted; other FPX modules are out of scope).
+class ControlPacketProcessor {
+ public:
+  explicit ControlPacketProcessor(LeonController& ctrl) : ctrl_(ctrl) {}
+
+  void ingress(const UdpDatagram& d) {
+    if (d.dst_port == kLeonControlPort) {
+      ++control_;
+      ctrl_.handle(d);
+    } else {
+      ++passthrough_;
+    }
+  }
+
+  u64 control_packets() const { return control_; }
+  u64 passthrough_packets() const { return passthrough_; }
+
+ private:
+  LeonController& ctrl_;
+  u64 control_ = 0;
+  u64 passthrough_ = 0;
+};
+
+}  // namespace la::net

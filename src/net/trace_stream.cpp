@@ -1,0 +1,82 @@
+#include "net/trace_stream.hpp"
+
+#include "isa/isa.hpp"
+
+namespace la::net {
+
+TraceRecord TraceRecord::from_step(const cpu::StepResult& r) {
+  TraceRecord t;
+  t.pc = r.pc;
+  t.annulled = r.annulled;
+  t.trapped = r.trapped;
+  t.mem_access = r.mem_access;
+  t.mem_write = r.mem_write;
+  t.mem_addr = r.mem_access ? r.mem_addr : 0;
+  switch (r.ins.mn) {
+    case isa::Mnemonic::kUmul: case isa::Mnemonic::kUmulcc:
+    case isa::Mnemonic::kSmul: case isa::Mnemonic::kSmulcc:
+      t.is_mul = true;
+      break;
+    case isa::Mnemonic::kUdiv: case isa::Mnemonic::kUdivcc:
+    case isa::Mnemonic::kSdiv: case isa::Mnemonic::kSdivcc:
+      t.is_div = true;
+      break;
+    default:
+      break;
+  }
+  t.is_load = isa::is_load(r.ins.mn);
+  return t;
+}
+
+void TraceStreamer::on_step(const cpu::StepResult& r) {
+  if (in_buf_ == 0) {
+    buf_ = ByteWriter{};
+    buf_.write_u32(seq_++);
+  }
+  const TraceRecord t = TraceRecord::from_step(r);
+  buf_.write_u32(t.pc);
+  buf_.write_u8(t.flags());
+  buf_.write_u32(t.mem_addr);
+  ++in_buf_;
+  ++records_;
+  if (in_buf_ >= batch_) flush();
+}
+
+void TraceStreamer::flush() {
+  if (in_buf_ == 0) return;
+  emit_(buf_.take());
+  in_buf_ = 0;
+  ++datagrams_;
+}
+
+std::vector<TraceRecord> TraceReceiver::ingest(std::span<const u8> payload) {
+  std::vector<TraceRecord> out;
+  if (payload.size() < 4 ||
+      (payload.size() - 4) % TraceRecord::kWireBytes != 0) {
+    ++malformed_;
+    return out;
+  }
+  ByteReader r(payload);
+  const u32 seq = r.read_u32();
+  if (last_seq_ && seq > *last_seq_ + 1) lost_ += seq - *last_seq_ - 1;
+  last_seq_ = seq;
+  ++datagrams_;
+  while (r.remaining() >= TraceRecord::kWireBytes) {
+    TraceRecord t;
+    t.pc = r.read_u32();
+    const u8 f = r.read_u8();
+    t.annulled = f & 1;
+    t.trapped = f & 2;
+    t.mem_access = f & 4;
+    t.mem_write = f & 8;
+    t.is_load = f & 16;
+    t.is_mul = f & 32;
+    t.is_div = f & 64;
+    t.mem_addr = r.read_u32();
+    out.push_back(t);
+    ++records_;
+  }
+  return out;
+}
+
+}  // namespace la::net

@@ -1,0 +1,41 @@
+#include "net/wrappers.hpp"
+
+namespace la::net {
+
+std::optional<UdpDatagram> LayeredWrappers::ingress_cell(const Cell& c) {
+  ++stats_.cells_in;
+  auto frame = reasm_.push(c);
+  if (!frame) return std::nullopt;
+  return ingress_frame(*frame);
+}
+
+std::optional<UdpDatagram> LayeredWrappers::ingress_frame(
+    std::span<const u8> frame) {
+  ++stats_.frames_in;
+  auto d = parse_udp_packet(frame);
+  if (!d) {
+    ++stats_.ip_bad;
+    return std::nullopt;
+  }
+  if (node_ip_ != 0 && d->dst_ip != node_ip_) {
+    ++stats_.ip_wrong_addr;
+    return std::nullopt;
+  }
+  ++stats_.datagrams_in;
+  return d;
+}
+
+Bytes LayeredWrappers::egress_frame(const UdpDatagram& d) {
+  ++stats_.datagrams_out;
+  ++stats_.frames_out;
+  return build_udp_packet(d, next_ip_id_++);
+}
+
+std::vector<Cell> LayeredWrappers::egress(const UdpDatagram& d) {
+  const Bytes frame = egress_frame(d);
+  auto cells = segment_frame(frame);
+  stats_.cells_out += cells.size();
+  return cells;
+}
+
+}  // namespace la::net

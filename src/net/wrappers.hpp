@@ -1,0 +1,58 @@
+// Layered protocol wrappers (Fig 3, [Braun/Lockwood/Waldvogel]).
+//
+// The FPX processes network traffic as a stack of wrappers: the cell layer
+// reassembles fixed-size cells into frames, the IP layer parses/validates
+// IPv4, and the UDP layer delivers datagrams.  Egress runs the stack in
+// reverse.  Each layer keeps drop statistics, because a lossy channel plus
+// checksum verification is what makes the control protocol's sequence
+// numbers earn their keep.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace la::net {
+
+struct WrapperStats {
+  u64 cells_in = 0;
+  u64 cells_out = 0;
+  u64 frames_in = 0;
+  u64 frames_out = 0;
+  u64 ip_bad = 0;         // malformed / bad checksum
+  u64 ip_wrong_addr = 0;  // not for this node
+  u64 udp_bad = 0;
+  u64 datagrams_in = 0;
+  u64 datagrams_out = 0;
+};
+
+class LayeredWrappers {
+ public:
+  /// `node_ip` filters ingress traffic; 0 accepts everything.
+  explicit LayeredWrappers(Ipv4Addr node_ip = 0) : node_ip_(node_ip) {}
+
+  /// Ingress one cell; a completed, valid UDP datagram pops out when the
+  /// cell closes a frame that survives all layers.
+  std::optional<UdpDatagram> ingress_cell(const Cell& c);
+
+  /// Ingress a whole frame (convenience for frame-granular channels).
+  std::optional<UdpDatagram> ingress_frame(std::span<const u8> frame);
+
+  /// Egress: wrap a datagram into an IP/UDP frame and segment into cells.
+  std::vector<Cell> egress(const UdpDatagram& d);
+
+  /// Egress straight to a frame (for frame-granular channels).
+  Bytes egress_frame(const UdpDatagram& d);
+
+  Ipv4Addr node_ip() const { return node_ip_; }
+  const WrapperStats& stats() const { return stats_; }
+
+ private:
+  Ipv4Addr node_ip_;
+  CellReassembler reasm_;
+  WrapperStats stats_;
+  u16 next_ip_id_ = 1;
+};
+
+}  // namespace la::net

@@ -1,0 +1,35 @@
+// Two-pass SPARC V8 assembler.
+//
+// Dialect: a practical subset of GNU as SPARC syntax —
+//   * labels (`loop:`), `name = expr`, and `.equ name, expr`
+//   * directives: .org .align .word .half .byte .ascii .asciz .skip
+//     .global (no-op) .text/.data/.section (no-op) .set/.equ
+//   * full integer instruction set with `%hi(...)`/`%lo(...)` operands
+//   * synthetic instructions: nop set mov cmp tst clr inc dec not neg
+//     btst bset bclr btog jmp ret retl plus bare save/restore
+//   * `!` and `#` comments, `;` statement separators
+//
+// Programs (the paper's kernels, trap handlers, boot code) are written in
+// this dialect; the assembler emits the big-endian image the control
+// software ships to the FPX in "Load program" UDP packets.
+#pragma once
+
+#include <string_view>
+
+#include "sasm/image.hpp"
+
+namespace la::sasm {
+
+class Assembler {
+ public:
+  /// Assemble a complete source text.  Never throws; syntax and semantic
+  /// problems are returned as diagnostics with line numbers.
+  AsmResult assemble(std::string_view source);
+};
+
+/// Convenience wrapper that throws std::runtime_error with the collected
+/// diagnostics on failure — for tests and examples where the source is
+/// known-good.
+Image assemble_or_throw(std::string_view source);
+
+}  // namespace la::sasm

@@ -1,0 +1,59 @@
+// Output of the assembler: a contiguous big-endian memory image plus the
+// symbol table.  This is what gets packed into UDP "Load program" packets.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace la::sasm {
+
+struct Image {
+  Addr base = 0;     // address of data[0]
+  Bytes data;        // gap-filled with zero bytes between .org regions
+  Addr entry = 0;    // `_start` symbol if defined, else base
+  std::map<std::string, u32, std::less<>> symbols;
+
+  Addr end() const { return base + static_cast<Addr>(data.size()); }
+
+  /// Word at an absolute address (asserts range; test convenience).
+  u32 word_at(Addr addr) const {
+    const std::size_t o = addr - base;
+    return (u32{data.at(o)} << 24) | (u32{data.at(o + 1)} << 16) |
+           (u32{data.at(o + 2)} << 8) | u32{data.at(o + 3)};
+  }
+
+  /// Symbol lookup; throws std::out_of_range if missing.
+  u32 symbol(std::string_view name) const {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) {
+      throw std::out_of_range("no such symbol: " + std::string(name));
+    }
+    return it->second;
+  }
+};
+
+/// One assembly diagnostic.
+struct Diagnostic {
+  unsigned line = 0;  // 1-based source line
+  std::string message;
+};
+
+struct AsmResult {
+  bool ok = false;
+  Image image;
+  std::vector<Diagnostic> errors;
+
+  /// All error messages joined, for test failure output.
+  std::string error_text() const {
+    std::string s;
+    for (const auto& e : errors) {
+      s += "line " + std::to_string(e.line) + ": " + e.message + "\n";
+    }
+    return s;
+  }
+};
+
+}  // namespace la::sasm

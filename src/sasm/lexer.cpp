@@ -1,0 +1,192 @@
+#include "sasm/lexer.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "isa/registers.hpp"
+
+namespace la::sasm {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+         c == '$';
+}
+
+[[noreturn]] void fail(unsigned col, const std::string& what) {
+  throw std::runtime_error("col " + std::to_string(col) + ": " + what);
+}
+
+u64 parse_int(std::string_view s, unsigned col) {
+  u64 v = 0;
+  std::size_t i = 0;
+  unsigned base = 10;
+  if (s.size() >= 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    i = 2;
+  } else if (s.size() >= 2 && s[0] == '0' && (s[1] == 'b' || s[1] == 'B')) {
+    base = 2;
+    i = 2;
+  } else if (s.size() >= 2 && s[0] == '0') {
+    base = 8;
+    i = 1;
+  }
+  if (i >= s.size()) {
+    if (s == "0") return 0;
+    fail(col, "malformed integer literal '" + std::string(s) + "'");
+  }
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else fail(col, "bad digit in integer literal '" + std::string(s) + "'");
+    if (digit >= base) {
+      fail(col, "digit out of range for base in '" + std::string(s) + "'");
+    }
+    v = v * base + digit;
+    if (v > 0xffffffffull) {
+      fail(col, "integer literal overflows 32 bits: '" + std::string(s) + "'");
+    }
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const auto col = [&] { return static_cast<unsigned>(i + 1); };
+
+  while (i < line.size()) {
+    const char c = line[i];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '!' || c == '#') break;  // comment
+
+    Token t;
+    t.col = col();
+
+    if (c == '%') {
+      std::size_t j = i + 1;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      const std::string_view name = line.substr(i, j - i);
+      if (auto r = isa::parse_reg(name)) {
+        t.kind = TokKind::kReg;
+        t.value = *r;
+        t.text = std::string(name);
+      } else {
+        const std::string_view bare = name.substr(1);
+        if (bare == "hi" || bare == "lo") {
+          t.kind = TokKind::kHiLo;
+          t.text = std::string(bare);
+        } else if (bare == "y" || bare == "psr" || bare == "wim" ||
+                   bare == "tbr" || bare == "fsr") {
+          t.kind = TokKind::kSpecial;
+          t.text = std::string(bare);
+        } else if (bare.size() > 3 && bare.substr(0, 3) == "asr") {
+          u32 n = 0;
+          for (char d : bare.substr(3)) {
+            if (d < '0' || d > '9') fail(t.col, "bad ASR name");
+            n = n * 10 + static_cast<u32>(d - '0');
+          }
+          if (n > 31) fail(t.col, "ASR index out of range");
+          t.kind = TokKind::kSpecial;
+          t.text = "asr";
+          t.value = n;
+        } else {
+          fail(t.col, "unknown register or %-name '" + std::string(name) +
+                          "'");
+        }
+      }
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < line.size() &&
+             (std::isalnum(static_cast<unsigned char>(line[j])))) {
+        ++j;
+      }
+      t.kind = TokKind::kInt;
+      t.text = std::string(line.substr(i, j - i));
+      t.value = static_cast<u32>(parse_int(t.text, t.col));
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < line.size() && ident_char(line[j])) ++j;
+      t.kind = TokKind::kIdent;
+      t.text = std::string(line.substr(i, j - i));
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    if (c == '"') {
+      std::string s;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < line.size()) {
+        if (line[j] == '"') {
+          closed = true;
+          ++j;
+          break;
+        }
+        if (line[j] == '\\' && j + 1 < line.size()) {
+          ++j;
+          switch (line[j]) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case '0': s.push_back('\0'); break;
+            case '\\': s.push_back('\\'); break;
+            case '"': s.push_back('"'); break;
+            default: s.push_back(line[j]); break;
+          }
+          ++j;
+        } else {
+          s.push_back(line[j]);
+          ++j;
+        }
+      }
+      if (!closed) fail(t.col, "unterminated string literal");
+      t.kind = TokKind::kString;
+      t.text = std::move(s);
+      i = j;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    switch (c) {
+      case ',': case '[': case ']': case '+': case '-': case '*':
+      case '/': case '(': case ')': case ':': case '=':
+        t.kind = TokKind::kPunct;
+        t.text = std::string(1, c);
+        ++i;
+        out.push_back(std::move(t));
+        continue;
+      default:
+        fail(t.col, std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.col = col();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace la::sasm

@@ -1,0 +1,36 @@
+// Line-oriented tokenizer for the SPARC assembly dialect sasm accepts.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace la::sasm {
+
+enum class TokKind : u8 {
+  kEnd,      // end of line
+  kIdent,    // bare identifier or directive (".word" comes as ident ".word")
+  kReg,      // %g0..%i7 / %sp / %fp / %rN  (value = register number)
+  kSpecial,  // %y %psr %wim %tbr %fsr, or %asrN (value = N)
+  kHiLo,     // %hi / %lo  (text distinguishes)
+  kInt,      // integer literal (value)
+  kString,   // quoted string (text is the unescaped contents)
+  kPunct,    // single punctuation char in text[0]: , [ ] + - * / ( ) : =
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;   // raw or processed text
+  u32 value = 0;      // integer value / register number / asr index
+  unsigned col = 0;   // 1-based column, for diagnostics
+};
+
+/// Tokenize one statement (the driver has already split lines on ';').
+/// Comments start with '!' or '#' and run to the end of the line.
+/// Throws std::runtime_error with a message on malformed input
+/// (bad number, unterminated string, unknown % name).
+std::vector<Token> tokenize(std::string_view line);
+
+}  // namespace la::sasm

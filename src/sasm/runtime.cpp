@@ -1,0 +1,124 @@
+#include "sasm/runtime.hpp"
+
+#include <cassert>
+
+#include "common/bits.hpp"
+#include "common/hex.hpp"
+
+namespace la::sasm::rt {
+
+std::string runtime_source(const RuntimeOptions& opt) {
+  assert(is_aligned(opt.trap_table_base, 0x1000));
+  assert(opt.nwindows >= 4 && opt.nwindows <= 32);
+  const unsigned nw = opt.nwindows;
+  std::string s;
+  s.reserve(24000);
+
+  // --- trap table: 256 entries x 16 bytes --------------------------------
+  s += "! ---- runtime: trap table + window handlers + rt_init ----\n";
+  s += "    .org " + hex32(opt.trap_table_base) + "\n";
+  s += "trap_table:\n";
+  for (unsigned tt = 0; tt < 256; ++tt) {
+    s += "    .org " + hex32(opt.trap_table_base + tt * 16) + "\n";
+    if (const auto it = opt.custom_handlers.find(static_cast<u8>(tt));
+        it != opt.custom_handlers.end()) {
+      s += "    ba " + it->second + "\n    nop\n";
+    } else if (tt == 0x05) {
+      s += "    ba rt_window_overflow\n    nop\n";
+    } else if (tt == 0x06) {
+      s += "    ba rt_window_underflow\n    nop\n";
+    } else {
+      s += "    ba rt_unexpected\n    nop\n";
+    }
+  }
+  s += "    .org " + hex32(opt.trap_table_base + 0x1000) + "\n";
+
+  // --- window overflow: spill the oldest frame ---------------------------
+  // Entered (ET=0) in the invalid window W-1 after a save from W trapped.
+  // One more save lands in W-2, the oldest frame; its %sp points at its
+  // 64-byte register save area (SPARC ABI).  WIM rotates right.
+  s += "rt_window_overflow:\n";
+  s += "    mov %g1, %l7           ! preserve the global we scratch\n";
+  s += "    rd %wim, %g1\n";
+  s += "    srl %g1, 1, %l6\n";
+  s += "    sll %g1, " + std::to_string(nw - 1) + ", %l5\n";
+  s += "    or %l5, %l6, %g1       ! WIM rotated right by one\n";
+  s += "    save                   ! into the window being spilled\n";
+  s += "    wr %g1, %g0, %wim      ! it becomes the new invalid window\n";
+  s += "    std %l0, [%sp]\n";
+  s += "    std %l2, [%sp + 8]\n";
+  s += "    std %l4, [%sp + 16]\n";
+  s += "    std %l6, [%sp + 24]\n";
+  s += "    std %i0, [%sp + 32]\n";
+  s += "    std %i2, [%sp + 40]\n";
+  s += "    std %i4, [%sp + 48]\n";
+  s += "    std %i6, [%sp + 56]\n";
+  s += "    restore                ! back to the trap window\n";
+  s += "    mov %l7, %g1\n";
+  s += "    jmp %l1                ! retry the trapped save\n";
+  s += "    rett %l2\n";
+
+  // --- window underflow: refill the frame being restored into ------------
+  // Entered (ET=0) in W-1 after a restore from W into invalid W+1 trapped.
+  // WIM rotates left first so the two restores pass; W+1's %sp aliases
+  // the app window's %fp, which is exactly the frame's spill area.
+  s += "rt_window_underflow:\n";
+  s += "    rd %wim, %l3\n";
+  s += "    sll %l3, 1, %l4\n";
+  s += "    srl %l3, " + std::to_string(nw - 1) + ", %l5\n";
+  s += "    or %l4, %l5, %l3       ! WIM rotated left by one\n";
+  s += "    wr %l3, %g0, %wim\n";
+  s += "    restore                ! to the app window\n";
+  s += "    restore                ! to the window being refilled\n";
+  s += "    ldd [%sp], %l0\n";
+  s += "    ldd [%sp + 8], %l2\n";
+  s += "    ldd [%sp + 16], %l4\n";
+  s += "    ldd [%sp + 24], %l6\n";
+  s += "    ldd [%sp + 32], %i0\n";
+  s += "    ldd [%sp + 40], %i2\n";
+  s += "    ldd [%sp + 48], %i4\n";
+  s += "    ldd [%sp + 56], %i6\n";
+  s += "    save\n";
+  s += "    save                   ! back to the trap window\n";
+  s += "    jmp %l1                ! retry the trapped restore\n";
+  s += "    rett %l2\n";
+
+  // --- unexpected traps: record tt and spin -------------------------------
+  s += "rt_unexpected:\n";
+  s += "    rd %tbr, %l3\n";
+  s += "    srl %l3, 4, %l3\n";
+  s += "    and %l3, 0xff, %l3\n";
+  s += "    set " + hex32(opt.fault_word) + ", %l4\n";
+  s += "    st %l3, [%l4]\n";
+  s += "rt_spin:\n";
+  s += "    ba rt_spin\n";
+  s += "    nop\n";
+
+  // --- rt_umul: software unsigned multiply via MULScc ----------------------
+  // For configurations without the hardware multiplier (has_mul = false):
+  // %o0 * %o1 -> %o0 (low 32 bits), the canonical 33-step sequence.
+  s += "rt_umul:\n";
+  s += "    wr %g0, %o0, %y        ! multiplier into Y\n";
+  s += "    andcc %g0, %g0, %o4    ! clear partial product and icc\n";
+  for (int i = 0; i < 32; ++i) s += "    mulscc %o4, %o1, %o4\n";
+  s += "    mulscc %o4, %g0, %o4   ! final shift step\n";
+  s += "    retl\n";
+  s += "    rd %y, %o0\n";
+
+  // --- rt_init: call once before anything that saves ----------------------
+  const u32 psr = 0x80u | 0x20u | ((u32{opt.pil} & 0xfu) << 8);  // S ET PIL
+  s += "rt_init:\n";
+  s += "    set trap_table, %g1\n";
+  s += "    wr %g1, 0, %tbr\n";
+  s += "    wr %g0, 2, %wim        ! window 1 is the guard (CWP starts 0)\n";
+  s += "    set " + hex32(opt.stack_top) + ", %sp\n";
+  s += "    set " + hex32(psr) + ", %g1\n";
+  s += "    wr %g1, 0, %psr        ! S=1 ET=1, traps live from here on\n";
+  s += "    nop\n";
+  s += "    retl\n";
+  s += "    nop\n";
+
+  return s;
+}
+
+}  // namespace la::sasm::rt

@@ -1,0 +1,49 @@
+// SPARC V8 runtime support in assembly: a trap table, the canonical
+// register-window overflow/underflow handlers, and a crt0-style init —
+// everything a call-heavy program needs to run on the Liquid processor.
+//
+// LEON programs (the paper compiles C with LECCS/gcc) rely on exactly
+// this machinery: the compiler emits save/restore per function and the
+// runtime spills/fills windows through traps.  Appending
+// `runtime_source()` to a program and calling `rt_init` first gives it a
+// working stack discipline with any number of hardware windows.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace la::sasm::rt {
+
+struct RuntimeOptions {
+  /// Base of the trap table; must be 4 KiB aligned (TBR format) and lie
+  /// in loadable SRAM.
+  Addr trap_table_base = 0x40020000;
+  /// Initial stack pointer (grows down; keep it inside SRAM).
+  Addr stack_top = 0x400ff000;
+  /// Hardware window count the WIM rotation is built for.  The classic
+  /// two-restore/two-save underflow handler needs the rotated guard to
+  /// stay clear of the trap window, so at least 4 windows are required.
+  unsigned nwindows = 8;
+  /// Processor interrupt level installed by rt_init (0 = all enabled).
+  u8 pil = 0;
+  /// Unhandled traps store their tt here before spinning (diagnosable
+  /// from the host via Read Memory).
+  Addr fault_word = 0x40000020;
+  /// Route specific trap types to program-defined labels (e.g. interrupt
+  /// service routines: tt 0x10+level).  The label must exist in the
+  /// program the blob is appended to.
+  std::map<u8, std::string> custom_handlers;
+};
+
+/// Assembly blob providing:
+///   * `trap_table`   — 256-entry table at `trap_table_base`
+///   * `rt_init`      — call once: installs TBR/WIM/PSR and the stack,
+///                      enables traps, returns via retl
+///   * window overflow/underflow handlers (full spill/fill)
+///   * `rt_unexpected`— default handler: records tt, spins
+/// Append it to a program's source (it .org's itself out of the way).
+std::string runtime_source(const RuntimeOptions& opt = {});
+
+}  // namespace la::sasm::rt

@@ -1,0 +1,189 @@
+#include "sasm/srec.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace la::sasm {
+namespace {
+
+constexpr char kHex[] = "0123456789ABCDEF";
+
+void put_byte(std::string& s, u8 b, u8& sum) {
+  s.push_back(kHex[b >> 4]);
+  s.push_back(kHex[b & 0xf]);
+  sum = static_cast<u8>(sum + b);
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_srec(const Image& img, std::string_view header,
+                    unsigned bytes_per_record) {
+  bytes_per_record = std::clamp(bytes_per_record, 1u, 250u);
+  std::string out;
+
+  // S0: header record at address 0.
+  {
+    std::string line = "S0";
+    u8 sum = 0;
+    const u8 count = static_cast<u8>(2 + 1 + header.size());
+    put_byte(line, count, sum);
+    put_byte(line, 0, sum);
+    put_byte(line, 0, sum);
+    for (const char c : header) put_byte(line, static_cast<u8>(c), sum);
+    put_byte(line, static_cast<u8>(~sum), sum);
+    out += line;
+    out += '\n';
+  }
+
+  // S3 data records: 4-byte addresses.
+  for (std::size_t off = 0; off < img.data.size();
+       off += bytes_per_record) {
+    const std::size_t n =
+        std::min<std::size_t>(bytes_per_record, img.data.size() - off);
+    const u32 addr = img.base + static_cast<u32>(off);
+    std::string line = "S3";
+    u8 sum = 0;
+    put_byte(line, static_cast<u8>(4 + n + 1), sum);
+    put_byte(line, static_cast<u8>(addr >> 24), sum);
+    put_byte(line, static_cast<u8>(addr >> 16), sum);
+    put_byte(line, static_cast<u8>(addr >> 8), sum);
+    put_byte(line, static_cast<u8>(addr), sum);
+    for (std::size_t i = 0; i < n; ++i) put_byte(line, img.data[off + i], sum);
+    put_byte(line, static_cast<u8>(~sum), sum);
+    out += line;
+    out += '\n';
+  }
+
+  // S7: 32-bit entry point, terminates the block.
+  {
+    std::string line = "S7";
+    u8 sum = 0;
+    put_byte(line, 5, sum);
+    put_byte(line, static_cast<u8>(img.entry >> 24), sum);
+    put_byte(line, static_cast<u8>(img.entry >> 16), sum);
+    put_byte(line, static_cast<u8>(img.entry >> 8), sum);
+    put_byte(line, static_cast<u8>(img.entry), sum);
+    put_byte(line, static_cast<u8>(~sum), sum);
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+SrecResult from_srec(std::string_view text) {
+  SrecResult res;
+  std::map<u32, Bytes> chunks;
+  bool have_entry = false;
+  u32 entry = 0;
+  unsigned line_no = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? std::string_view::npos
+                                          : nl - pos);
+    ++line_no;
+    pos = (nl == std::string_view::npos) ? text.size() + 1 : nl + 1;
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+
+    const auto fail = [&](const std::string& what) {
+      res.error = "line " + std::to_string(line_no) + ": " + what;
+    };
+
+    if (line.size() < 4 || (line[0] != 'S' && line[0] != 's')) {
+      fail("not an S-record");
+      return res;
+    }
+    const char type = line[1];
+    // Decode hex payload.
+    Bytes raw;
+    u32 sum = 0;
+    if ((line.size() - 2) % 2 != 0) {
+      fail("odd hex length");
+      return res;
+    }
+    for (std::size_t i = 2; i + 1 < line.size(); i += 2) {
+      const int hi = hex_digit(line[i]);
+      const int lo = hex_digit(line[i + 1]);
+      if (hi < 0 || lo < 0) {
+        fail("bad hex digit");
+        return res;
+      }
+      raw.push_back(static_cast<u8>((hi << 4) | lo));
+    }
+    if (raw.size() < 3 || raw[0] != raw.size() - 1) {
+      fail("byte count mismatch");
+      return res;
+    }
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) sum += raw[i];
+    if (static_cast<u8>(~sum) != raw.back()) {
+      fail("checksum mismatch");
+      return res;
+    }
+
+    unsigned addr_bytes = 0;
+    switch (type) {
+      case '0': continue;  // header: ignored
+      case '1': addr_bytes = 2; break;
+      case '2': addr_bytes = 3; break;
+      case '3': addr_bytes = 4; break;
+      case '5': case '6': continue;  // record counts: ignored
+      case '7': addr_bytes = 4; break;
+      case '8': addr_bytes = 3; break;
+      case '9': addr_bytes = 2; break;
+      default:
+        fail(std::string("unsupported record type S") + type);
+        return res;
+    }
+    if (raw.size() < 1 + addr_bytes + 1) {
+      fail("record too short");
+      return res;
+    }
+    u32 addr = 0;
+    for (unsigned i = 0; i < addr_bytes; ++i) addr = (addr << 8) | raw[1 + i];
+
+    if (type == '7' || type == '8' || type == '9') {
+      have_entry = true;
+      entry = addr;
+      continue;
+    }
+    Bytes data(raw.begin() + 1 + addr_bytes, raw.end() - 1);
+    if (!data.empty()) chunks[addr] = std::move(data);
+  }
+
+  if (chunks.empty()) {
+    res.error = "no data records";
+    return res;
+  }
+  const u32 base = chunks.begin()->first;
+  u64 end = base;
+  for (const auto& [addr, data] : chunks) {
+    end = std::max<u64>(end, u64{addr} + data.size());
+  }
+  if (end - base > (64u << 20)) {
+    res.error = "image span exceeds 64 MiB";
+    return res;
+  }
+  res.image.base = base;
+  res.image.data.assign(end - base, 0);
+  for (const auto& [addr, data] : chunks) {
+    std::copy(data.begin(), data.end(),
+              res.image.data.begin() + (addr - base));
+  }
+  res.image.entry = have_entry ? entry : base;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace la::sasm

@@ -1,0 +1,38 @@
+// Motorola S-record (SREC) serialization of program images.
+//
+// The paper's build flow converts the linked binary with OBJCOPY before
+// packetizing it (Fig 4, steps 4-5); S-records are the classic interchange
+// format for exactly this hop, and give the repository a stable on-disk
+// program format: `lsim --srec` emits it, images round-trip through it,
+// and external SPARC toolchains can produce it.
+//
+// We emit S0 (header), S3 (32-bit address data), S7 (entry) records with
+// standard per-record checksums, and accept S1/S2/S3 plus S7/S8/S9 on
+// input.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sasm/image.hpp"
+
+namespace la::sasm {
+
+/// Render `img` as S-records.  `bytes_per_record` data bytes per line
+/// (max 250).  The image's symbols are not representable in SREC and are
+/// dropped (only `entry` survives, in the S7 record).
+std::string to_srec(const Image& img, std::string_view header = "lsim",
+                    unsigned bytes_per_record = 32);
+
+struct SrecResult {
+  bool ok = false;
+  Image image;
+  std::string error;  // first problem found (line number included)
+};
+
+/// Parse S-records back into an image.  Verifies every record checksum;
+/// rejects overlapping or non-contiguous-unfriendly data gracefully (gaps
+/// are zero-filled, like the assembler's .org).
+SrecResult from_srec(std::string_view text);
+
+}  // namespace la::sasm

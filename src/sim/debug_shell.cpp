@@ -1,0 +1,158 @@
+#include "sim/debug_shell.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "isa/disasm.hpp"
+
+namespace la::sim {
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> toks;
+  std::string t;
+  while (is >> t) toks.push_back(t);
+  return toks;
+}
+
+const char* kHelp =
+    "s [n]        step            c [n]     continue\n"
+    "b A  / d A   break/delete    w A [len] watch writes\n"
+    "rw A [len]   watch reads     regs      register dump\n"
+    "x A [n]      examine words   dis [A]   disassemble\n"
+    "hist [n]     history         report    statistics\n"
+    "sym NAME     resolve symbol  q         quit\n";
+
+std::string stop_text(const Monitor::Stop& st) {
+  std::string out;
+  switch (st.reason) {
+    case Monitor::StopReason::kBreakpoint:
+      out = "breakpoint at " + hex32(st.pc);
+      break;
+    case Monitor::StopReason::kWatchpoint:
+      out = "watchpoint hit: access to " + hex32(st.access) + ", pc now " +
+            hex32(st.pc);
+      break;
+    case Monitor::StopReason::kStepLimit:
+      out = "step limit reached, pc " + hex32(st.pc);
+      break;
+    case Monitor::StopReason::kErrorMode:
+      out = "CPU in ERROR MODE at " + hex32(st.pc);
+      break;
+  }
+  out += " (" + std::to_string(st.steps) + " steps)\n";
+  return out;
+}
+
+}  // namespace
+
+std::optional<Addr> DebugShell::parse_addr(const std::string& tok) const {
+  if (!tok.empty() && (std::isdigit(static_cast<unsigned char>(tok[0])))) {
+    try {
+      return static_cast<Addr>(std::stoull(tok, nullptr, 0));
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  }
+  if (image_ != nullptr) {
+    const auto it = image_->symbols.find(tok);
+    if (it != image_->symbols.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::string DebugShell::execute(const std::string& line) {
+  const auto toks = split(line);
+  if (toks.empty()) return "";
+  const std::string& cmd = toks[0];
+  const auto arg_addr = [&](std::size_t i) -> std::optional<Addr> {
+    return i < toks.size() ? parse_addr(toks[i]) : std::nullopt;
+  };
+  const auto arg_num = [&](std::size_t i, u64 dflt) -> u64 {
+    if (i >= toks.size()) return dflt;
+    try {
+      return std::stoull(toks[i], nullptr, 0);
+    } catch (const std::exception&) {
+      return dflt;
+    }
+  };
+
+  if (cmd == "help" || cmd == "h" || cmd == "?") return kHelp;
+  if (cmd == "q" || cmd == "quit") {
+    quit_ = true;
+    return "bye\n";
+  }
+  if (cmd == "s" || cmd == "step") {
+    const u64 n = arg_num(1, 1);
+    cpu::StepResult last;
+    for (u64 i = 0; i < n; ++i) last = mon_.step_one();
+    return hex32(last.pc).substr(2) + ": " +
+           isa::disassemble(last.ins, last.pc) +
+           (last.annulled ? "  [annulled]" : "") +
+           (last.trapped ? "  [trap]" : "") + "\n";
+  }
+  if (cmd == "c" || cmd == "cont") {
+    return stop_text(mon_.cont(arg_num(1, 1'000'000)));
+  }
+  if (cmd == "b" || cmd == "break") {
+    const auto a = arg_addr(1);
+    if (!a) return "b: bad or missing address\n";
+    mon_.add_breakpoint(*a);
+    return "breakpoint at " + hex32(*a) + "\n";
+  }
+  if (cmd == "d" || cmd == "delete") {
+    const auto a = arg_addr(1);
+    if (!a) return "d: bad or missing address\n";
+    mon_.remove_breakpoint(*a);
+    return "deleted " + hex32(*a) + "\n";
+  }
+  if (cmd == "w" || cmd == "rw") {
+    const auto a = arg_addr(1);
+    if (!a) return cmd + ": bad or missing address\n";
+    const u64 len = arg_num(2, 4);
+    mon_.add_watchpoint(*a, *a + static_cast<Addr>(len) - 1,
+                        cmd == "w" ? Monitor::Watch::kWrite
+                                   : Monitor::Watch::kRead);
+    return "watching " + hex32(*a) + " +" + std::to_string(len) + " (" +
+           (cmd == "w" ? "writes" : "reads") + ")\n";
+  }
+  if (cmd == "regs") return mon_.registers();
+  if (cmd == "x") {
+    const auto a = arg_addr(1);
+    if (!a) return "x: bad or missing address\n";
+    const u64 n = arg_num(2, 4);
+    std::string out;
+    for (u64 i = 0; i < n; ++i) {
+      const Addr addr = *a + static_cast<Addr>(4 * i);
+      const auto w = mon_.read_word(addr);
+      out += hex32(addr).substr(2) + ": " +
+             (w ? hex32(*w) : std::string("<unmapped>")) + "\n";
+    }
+    return out;
+  }
+  if (cmd == "dis") {
+    const Addr at = arg_addr(1).value_or(sys_.cpu().state().pc);
+    return mon_.disassemble_around(at);
+  }
+  if (cmd == "hist") {
+    std::string out;
+    for (const auto& [pc, text] : mon_.history(arg_num(1, 8))) {
+      out += hex32(pc).substr(2) + ": " + text + "\n";
+    }
+    return out.empty() ? "no history yet\n" : out;
+  }
+  if (cmd == "report") return system_report(sys_);
+  if (cmd == "sym") {
+    if (toks.size() < 2 || image_ == nullptr) return "sym: no symbols\n";
+    const auto it = image_->symbols.find(toks[1]);
+    if (it == image_->symbols.end()) return "sym: not found\n";
+    return toks[1] + " = " + hex32(it->second) + "\n";
+  }
+  return "unknown command '" + cmd + "' (try help)\n";
+}
+
+}  // namespace la::sim

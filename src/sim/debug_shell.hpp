@@ -1,0 +1,49 @@
+// Command-driven debug shell over the Monitor: the interactive front end
+// of `lsim --debug`, factored as a pure text-in/text-out engine so it can
+// be unit-tested (and scripted).
+//
+// Commands:
+//   s [n]            step n instructions (default 1), show the last
+//   c [n]            continue (up to n steps, default 1e6)
+//   b ADDR|SYM       set breakpoint        d ADDR|SYM   delete breakpoint
+//   w ADDR [LEN]     watch writes          rw ADDR [LEN] watch reads
+//   regs             register dump
+//   x ADDR [N]       examine N words       dis [ADDR]   disassemble window
+//   hist [N]         recent instructions   report       system statistics
+//   sym NAME         resolve a program symbol
+//   help             command list          q            quit
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sasm/image.hpp"
+#include "sim/monitor.hpp"
+#include "sim/report.hpp"
+
+namespace la::sim {
+
+class DebugShell {
+ public:
+  /// `image` supplies the symbol table for address arguments (optional).
+  DebugShell(LiquidSystem& sys, const sasm::Image* image = nullptr)
+      : sys_(sys), mon_(sys), image_(image) {}
+
+  /// Execute one command line; returns the text to display.
+  /// Sets quit() once `q` is seen.
+  std::string execute(const std::string& line);
+
+  bool quit_requested() const { return quit_; }
+  Monitor& monitor() { return mon_; }
+
+ private:
+  /// Parse "0x40000100", "1234", or a program symbol.
+  std::optional<Addr> parse_addr(const std::string& tok) const;
+
+  LiquidSystem& sys_;
+  Monitor mon_;
+  const sasm::Image* image_;
+  bool quit_ = false;
+};
+
+}  // namespace la::sim

@@ -1,0 +1,153 @@
+#include "sim/liquid_system.hpp"
+
+#include "sasm/assembler.hpp"
+
+namespace la::sim {
+
+namespace map = mem::map;
+
+LiquidSystem::LiquidSystem(const SystemConfig& cfg)
+    : cfg_(cfg),
+      sram_(map::kSramBase, cfg.sram_size, cfg.sram_timing),
+      bridge_(map::kApbBase),
+      timer_(cfg.timer_irq_level,
+             [this](u8 level) { irqctrl_->raise(level); }),
+      wrappers_(cfg.node_ip) {
+  // ---- memory stack ----
+  switch_ = std::make_unique<mem::DisconnectSwitch>(sram_);
+  sdram_ = std::make_unique<mem::SdramDevice>(cfg.sdram_size,
+                                              cfg.sdram_timing);
+  sdram_ctrl_ = std::make_unique<mem::FpxSdramController>(*sdram_);
+  adapter_ = std::make_unique<mem::AhbSdramAdapter>(
+      *sdram_ctrl_, map::kSdramBase, cfg.sdram_size, &clock_, cfg.adapter);
+
+  const auto boot = sasm::assemble_or_throw(
+      cfg.use_original_boot
+          ? mem::original_boot_source(
+                map::kRomBase,
+                map::kApbBase + map::kUartOffset + bus::reg::kUartStatus)
+          : mem::modified_boot_source(map::kRomBase,
+                                      map::kProgAddrMailbox));
+  rom_ = std::make_unique<mem::BootRom>(map::kRomBase, map::kRomSize,
+                                        boot.data);
+
+  // ---- peripherals ----
+  cyc_ = std::make_unique<bus::CycleCounter>([this] { return clock_; });
+  irqctrl_ = std::make_unique<bus::IrqController>(
+      [this](u8 level) { if (pipe_) pipe_->set_irq(level); });
+  bridge_.attach(map::kUartOffset, map::kDeviceSize, &uart_);
+  bridge_.attach(map::kTimerOffset, map::kDeviceSize, &timer_);
+  bridge_.attach(map::kIrqOffset, map::kDeviceSize, irqctrl_.get());
+  bridge_.attach(map::kGpioOffset, map::kDeviceSize, &gpio_);
+  bridge_.attach(map::kCycleCounterOffset, map::kDeviceSize, cyc_.get());
+
+  // ---- AHB map ----
+  bus_.attach(map::kRomBase, map::kRomSize, rom_.get());
+  bus_.attach(map::kSramBase, cfg.sram_size, switch_.get());
+  bus_.attach(map::kSdramBase, cfg.sdram_size, adapter_.get());
+  bus_.attach(map::kApbBase, map::kApbSize, &bridge_);
+
+  // ---- processor ----
+  pipe_ = std::make_unique<cpu::LeonPipeline>(cfg.pipeline, bus_, &clock_,
+                                              &map::cacheable);
+  pipe_->reset(map::kRomBase);
+
+  // ---- network / control ----
+  pktgen_ = std::make_unique<net::PacketGenerator>(cfg.node_ip,
+                                                   cfg.node_port);
+  net::LeonCtrlConfig lcfg;
+  lcfg.mailbox = map::kProgAddrMailbox;
+  lcfg.check_ready = check_ready_addr();
+  lcfg.load_min = map::kSramBase + 4;
+  lcfg.load_max = map::kSramBase + cfg.sram_size - 1;
+  lcfg.user_code_min = map::kSramBase;
+  ctrl_ = std::make_unique<net::LeonController>(
+      lcfg, *switch_, *pktgen_, [this] { reset_cpu(); },
+      [this] { return clock_; });
+  cpp_ = std::make_unique<net::ControlPacketProcessor>(*ctrl_);
+}
+
+void LiquidSystem::ingress_frame(std::span<const u8> frame) {
+  if (auto d = wrappers_.ingress_frame(frame)) {
+    cpp_->ingress(*d);
+    // Control commands can complete without any CPU involvement (status,
+    // read memory): drain the generator immediately.
+    while (auto resp = pktgen_->pop()) {
+      egress_.push_back(wrappers_.egress_frame(*resp));
+    }
+  }
+}
+
+std::optional<Bytes> LiquidSystem::egress_frame() {
+  if (egress_.empty()) return std::nullopt;
+  Bytes f = std::move(egress_.front());
+  egress_.pop_front();
+  return f;
+}
+
+cpu::StepResult LiquidSystem::step() {
+  const Cycles before = clock_;
+  const cpu::StepResult r = pipe_->step();
+  ctrl_->on_cpu_pc(r.pc);
+  timer_.advance(clock_ - before);
+  while (auto resp = pktgen_->pop()) {
+    egress_.push_back(wrappers_.egress_frame(*resp));
+  }
+  return r;
+}
+
+void LiquidSystem::run(u64 max_steps) {
+  for (u64 i = 0; i < max_steps && !pipe_->state().error_mode; ++i) step();
+}
+
+bool LiquidSystem::run_until(net::LeonState state, u64 max_steps) {
+  for (u64 i = 0; i < max_steps; ++i) {
+    if (ctrl_->state() == state) return true;
+    if (pipe_->state().error_mode) return false;
+    step();
+  }
+  return ctrl_->state() == state;
+}
+
+void LiquidSystem::reconfigure(const cpu::PipelineConfig& pcfg) {
+  cfg_.pipeline = pcfg;
+  pipe_ = std::make_unique<cpu::LeonPipeline>(pcfg, bus_, &clock_,
+                                              &map::cacheable);
+  pipe_->reset(map::kRomBase);
+  // An active trace stream survives the new image.
+  if (tracer_) pipe_->set_observer(tracer_.get());
+}
+
+void LiquidSystem::reset_cpu() {
+  pipe_->reset(map::kRomBase);
+}
+
+void LiquidSystem::enable_trace_stream(net::Ipv4Addr dst_ip, u16 dst_port,
+                                       std::size_t batch) {
+  tracer_ = std::make_unique<net::TraceStreamer>(
+      [this, dst_ip, dst_port](Bytes payload) {
+        net::UdpDatagram d;
+        d.src_ip = cfg_.node_ip;
+        d.src_port = net::kTracePort;
+        d.dst_ip = dst_ip;
+        d.dst_port = dst_port;
+        d.payload = std::move(payload);
+        egress_.push_back(wrappers_.egress_frame(d));
+      },
+      batch);
+  pipe_->set_observer(tracer_.get());
+}
+
+void LiquidSystem::flush_trace_stream() {
+  if (tracer_) tracer_->flush();
+}
+
+void LiquidSystem::disable_trace_stream() {
+  if (tracer_) {
+    tracer_->flush();
+    pipe_->set_observer(nullptr);
+    tracer_.reset();
+  }
+}
+
+}  // namespace la::sim

@@ -1,0 +1,135 @@
+// The complete Liquid processor node (Fig 3): LEON pipeline + caches on
+// AHB, boot ROM, SRAM behind the disconnect switch, SDRAM behind the
+// FPX controller/adapter, APB peripherals, layered protocol wrappers,
+// control packet processor, leon_ctrl, and packet generator — one clocked
+// system with a network ingress/egress on the outside.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bus/apb.hpp"
+#include "bus/peripherals.hpp"
+#include "cpu/leon_pipeline.hpp"
+#include "mem/ahb_sdram_adapter.hpp"
+#include "mem/boot_rom.hpp"
+#include "mem/disconnect.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/sdram.hpp"
+#include "mem/sram.hpp"
+#include "net/channel.hpp"
+#include "net/leon_ctrl.hpp"
+#include "net/trace_stream.hpp"
+#include "net/wrappers.hpp"
+
+namespace la::sim {
+
+struct SystemConfig {
+  cpu::PipelineConfig pipeline;
+  net::Ipv4Addr node_ip = net::make_ip(192, 168, 100, 10);
+  u16 node_port = net::kLeonControlPort;
+  mem::SramTiming sram_timing;
+  mem::SdramTiming sdram_timing;
+  mem::AdapterConfig adapter;
+  u32 sram_size = mem::map::kSramSize;
+  u32 sdram_size = 1u << 22;  // 4 MiB simulated module (64 MiB is legal
+                              // but pointlessly large for the workloads)
+  u8 timer_irq_level = 8;
+  /// Boot the *original* LEON ROM (waits for a UART event, Fig 5 left)
+  /// instead of the paper's modified mailbox-polling ROM.  Remote program
+  /// start does not work in this mode — that is the point of Fig 5.
+  bool use_original_boot = false;
+};
+
+class LiquidSystem {
+ public:
+  explicit LiquidSystem(const SystemConfig& cfg = {});
+
+  // ---- network side ----
+  /// Deliver one IP frame from the wire into the wrappers.
+  void ingress_frame(std::span<const u8> frame);
+  /// Take one outbound IP frame, if any response is queued.
+  std::optional<Bytes> egress_frame();
+
+  // ---- time ----
+  /// One processor step; advances peripherals and drains responses.
+  cpu::StepResult step();
+  /// Run up to `max_steps` instructions.
+  void run(u64 max_steps);
+  /// Run until leon_ctrl reaches `state` (true) or `max_steps` elapse.
+  bool run_until(net::LeonState state, u64 max_steps);
+
+  Cycles now() const { return clock_; }
+
+  /// Hot-swap the processor micro-architecture: the paper's runtime
+  /// reconfiguration.  Memory contents survive (they live off-chip); the
+  /// processor restarts from the boot ROM.  Returns the configuration
+  /// actually installed.
+  void reconfigure(const cpu::PipelineConfig& pcfg);
+
+  /// Reset the CPU to the boot ROM entry (leon_ctrl Restart path).
+  void reset_cpu();
+
+  /// Stream instrumented execution traces to `dst` as UDP datagrams (the
+  /// paper's trace path to the Trace Analyzer).  Claims the pipeline's
+  /// observer slot.  `batch` = records per datagram.
+  void enable_trace_stream(net::Ipv4Addr dst_ip, u16 dst_port,
+                           std::size_t batch = 100);
+  /// Force out a partial trace batch (end of a measurement window).
+  void flush_trace_stream();
+  void disable_trace_stream();
+  const net::TraceStreamer* trace_streamer() const { return tracer_.get(); }
+
+  // ---- component access ----
+  cpu::LeonPipeline& cpu() { return *pipe_; }
+  const cpu::LeonPipeline& cpu() const { return *pipe_; }
+  net::LeonController& controller() { return *ctrl_; }
+  net::ControlPacketProcessor& cpp() { return *cpp_; }
+  net::LayeredWrappers& wrappers() { return wrappers_; }
+  mem::DisconnectSwitch& disconnect() { return *switch_; }
+  mem::Sram& sram() { return sram_; }
+  mem::FpxSdramController& sdram_controller() { return *sdram_ctrl_; }
+  mem::AhbSdramAdapter& sdram_adapter() { return *adapter_; }
+  bus::AhbBus& ahb() { return bus_; }
+  bus::Uart& uart() { return uart_; }
+  bus::LeonTimer& timer() { return timer_; }
+  bus::IrqController& irq() { return *irqctrl_; }
+  bus::GpioPort& gpio() { return gpio_; }
+  bus::CycleCounter& cycle_counter() { return *cyc_; }
+  const SystemConfig& config() const { return cfg_; }
+
+  /// Address user programs jump to when finished (the polling loop).
+  Addr check_ready_addr() const {
+    return mem::map::kRomBase + mem::kCheckReadyOffset;
+  }
+
+ private:
+  SystemConfig cfg_;
+  Cycles clock_ = 0;
+
+  bus::AhbBus bus_;
+  mem::Sram sram_;
+  std::unique_ptr<mem::DisconnectSwitch> switch_;
+  std::unique_ptr<mem::SdramDevice> sdram_;
+  std::unique_ptr<mem::FpxSdramController> sdram_ctrl_;
+  std::unique_ptr<mem::AhbSdramAdapter> adapter_;
+  std::unique_ptr<mem::BootRom> rom_;
+
+  bus::ApbBridge bridge_;
+  bus::Uart uart_;
+  bus::LeonTimer timer_;
+  std::unique_ptr<bus::IrqController> irqctrl_;
+  bus::GpioPort gpio_;
+  std::unique_ptr<bus::CycleCounter> cyc_;
+
+  std::unique_ptr<cpu::LeonPipeline> pipe_;
+
+  net::LayeredWrappers wrappers_;
+  std::unique_ptr<net::TraceStreamer> tracer_;
+  std::unique_ptr<net::PacketGenerator> pktgen_;
+  std::unique_ptr<net::LeonController> ctrl_;
+  std::unique_ptr<net::ControlPacketProcessor> cpp_;
+  std::deque<Bytes> egress_;
+};
+
+}  // namespace la::sim

@@ -1,0 +1,132 @@
+#include "sim/monitor.hpp"
+
+#include <cstdio>
+
+#include "common/hex.hpp"
+#include "isa/disasm.hpp"
+#include "isa/registers.hpp"
+
+namespace la::sim {
+
+void Monitor::record(const cpu::StepResult& r) {
+  trail_.push_back(r);
+  if (trail_.size() > kHistory) trail_.pop_front();
+}
+
+bool Monitor::watches_hit(const cpu::StepResult& r, Addr& which) const {
+  if (!r.mem_access) return false;
+  for (const Watchpoint& w : watchpoints_) {
+    if (r.mem_addr < w.lo || r.mem_addr > w.hi) continue;
+    const bool want_write = w.kind != Watch::kRead;
+    const bool want_read = w.kind != Watch::kWrite;
+    if ((r.mem_write && want_write) || (!r.mem_write && want_read)) {
+      which = r.mem_addr;
+      return true;
+    }
+  }
+  return false;
+}
+
+cpu::StepResult Monitor::step_one() {
+  const cpu::StepResult r = sys_.step();
+  record(r);
+  return r;
+}
+
+Monitor::Stop Monitor::cont(u64 max_steps) {
+  Stop stop;
+  for (u64 n = 0; n < max_steps; ++n) {
+    if (sys_.cpu().state().error_mode) {
+      stop.reason = StopReason::kErrorMode;
+      stop.pc = sys_.cpu().state().pc;
+      stop.steps = n;
+      return stop;
+    }
+    const Addr next = sys_.cpu().state().pc;
+    if (n > 0 && breakpoints_.count(next)) {
+      stop.reason = StopReason::kBreakpoint;
+      stop.pc = next;
+      stop.steps = n;
+      return stop;
+    }
+    const cpu::StepResult r = step_one();
+    Addr which = 0;
+    if (watches_hit(r, which)) {
+      stop.reason = StopReason::kWatchpoint;
+      stop.pc = sys_.cpu().state().pc;
+      stop.access = which;
+      stop.steps = n + 1;
+      return stop;
+    }
+  }
+  stop.reason = StopReason::kStepLimit;
+  stop.pc = sys_.cpu().state().pc;
+  stop.steps = max_steps;
+  return stop;
+}
+
+std::optional<u32> Monitor::read_word(Addr addr) const {
+  u64 v = 0;
+  if (!sys_.ahb().debug_read(addr, 4, v)) return std::nullopt;
+  return static_cast<u32>(v);
+}
+
+std::string Monitor::disassemble_around(Addr pc, unsigned before,
+                                        unsigned after) const {
+  std::string out;
+  const Addr lo = pc - 4u * before;
+  for (Addr a = lo; a <= pc + 4u * after; a += 4) {
+    const auto w = read_word(a);
+    out += (a == pc) ? "=> " : "   ";
+    out += hex32(a).substr(2) + ": ";
+    if (w) {
+      out += hex32(*w).substr(2) + "  " + isa::disassemble_word(*w, a);
+    } else {
+      out += "<unmapped>";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Monitor::registers() const {
+  const cpu::CpuState& st = sys_.cpu().state();
+  std::string out;
+  char buf[96];
+  for (unsigned g = 0; g < 8; ++g) {
+    std::snprintf(buf, sizeof(buf), "%%g%u=%08x %%o%u=%08x %%l%u=%08x "
+                  "%%i%u=%08x\n",
+                  g, st.reg(static_cast<u8>(g)), g,
+                  st.reg(static_cast<u8>(8 + g)), g,
+                  st.reg(static_cast<u8>(16 + g)), g,
+                  st.reg(static_cast<u8>(24 + g)));
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "pc=%08x npc=%08x psr=%08x y=%08x wim=%08x tbr=%08x\n",
+                st.pc, st.npc, st.psr.pack(), st.y, st.wim, st.tbr);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "cwp=%u et=%d s=%d pil=%u icc[n=%d z=%d v=%d c=%d]%s\n",
+                st.psr.cwp, st.psr.et, st.psr.s, st.psr.pil, st.psr.n,
+                st.psr.z, st.psr.v, st.psr.c,
+                st.error_mode ? " ERROR-MODE" : "");
+  out += buf;
+  return out;
+}
+
+std::vector<std::pair<Addr, std::string>> Monitor::history(
+    std::size_t n) const {
+  std::vector<std::pair<Addr, std::string>> out;
+  const std::size_t start = trail_.size() > n ? trail_.size() - n : 0;
+  for (std::size_t i = start; i < trail_.size(); ++i) {
+    const cpu::StepResult& r = trail_[i];
+    std::string text = isa::disassemble(r.ins, r.pc);
+    if (r.annulled) text += "  [annulled]";
+    if (r.trapped) text += "  [trap tt=" + hex8(r.tt) + "]";
+    out.emplace_back(r.pc, std::move(text));
+  }
+  return out;
+}
+
+}  // namespace la::sim

@@ -1,0 +1,15 @@
+// Human-readable statistics report for a Liquid system run: caches, bus
+// masters, SDRAM controller, wrappers, leon_ctrl — one call for examples,
+// benches, and post-mortems.
+#pragma once
+
+#include <string>
+
+#include "sim/liquid_system.hpp"
+
+namespace la::sim {
+
+/// Full statistics snapshot, formatted as an indented text block.
+std::string system_report(LiquidSystem& sys);
+
+}  // namespace la::sim

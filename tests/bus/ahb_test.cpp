@@ -1,0 +1,139 @@
+// AHB bus: decode, error responses, burst accounting, stats.
+#include "bus/ahb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/sram.hpp"
+
+namespace la::bus {
+namespace {
+
+TEST(AhbBus, ReadWriteRoundTrip) {
+  mem::Sram sram(0x1000, 4096);
+  AhbBus bus;
+  bus.attach(0x1000, 4096, &sram);
+
+  ASSERT_GT(bus.write32(Master::kCpuData, 0x1100, 0xdeadbeef), 0u);
+  u32 v = 0;
+  ASSERT_GT(bus.read32(Master::kCpuData, 0x1100, v), 0u);
+  EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(AhbBus, UnmappedAddressErrors) {
+  AhbBus bus;
+  u32 v = 0;
+  AhbTransfer t;
+  t.addr = 0x5000;
+  t.data = &v;
+  const Cycles c = bus.transfer(Master::kCpuData, t);
+  EXPECT_TRUE(t.error);
+  EXPECT_EQ(c, 3u);  // 1 addr + 2-cycle ERROR response
+  EXPECT_EQ(bus.stats().unmapped, 1u);
+}
+
+TEST(AhbBus, OverlappingAttachRejected) {
+  mem::Sram a(0x0, 4096), b(0x800, 4096);
+  AhbBus bus;
+  bus.attach(0x0, 4096, &a);
+  EXPECT_THROW(bus.attach(0x800, 4096, &b), std::logic_error);
+}
+
+TEST(AhbBus, BurstIsCheaperThanSingles) {
+  mem::Sram sram(0, 65536);
+  AhbBus bus;
+  bus.attach(0, 65536, &sram);
+
+  u32 buf[8] = {};
+  AhbTransfer burst;
+  burst.addr = 0x100;
+  burst.beats = 8;
+  burst.burst = HBurst::kIncr8;
+  burst.data = buf;
+  const Cycles burst_cost = bus.transfer(Master::kCpuData, burst);
+
+  Cycles singles_cost = 0;
+  for (int i = 0; i < 8; ++i) {
+    u32 v;
+    singles_cost += bus.read32(Master::kCpuData, 0x200 + 4 * i, v);
+  }
+  // The burst pays one address phase; singles pay eight.
+  EXPECT_EQ(singles_cost - burst_cost, 7u);
+}
+
+TEST(AhbBus, SubWordBeats) {
+  mem::Sram sram(0, 4096);
+  AhbBus bus;
+  bus.attach(0, 4096, &sram);
+  u32 w = 0x11223344;
+  AhbTransfer t;
+  t.addr = 0x10;
+  t.write = true;
+  t.data = &w;
+  bus.transfer(Master::kCpuData, t);
+
+  u32 b = 0;
+  AhbTransfer rb;
+  rb.addr = 0x11;
+  rb.beat_bytes = 1;
+  rb.data = &b;
+  bus.transfer(Master::kCpuData, rb);
+  EXPECT_EQ(b, 0x22u);
+
+  u32 h = 0xbeef;
+  AhbTransfer wh;
+  wh.addr = 0x12;
+  wh.write = true;
+  wh.beat_bytes = 2;
+  wh.data = &h;
+  bus.transfer(Master::kCpuData, wh);
+  u32 v;
+  bus.read32(Master::kCpuData, 0x10, v);
+  EXPECT_EQ(v, 0x1122beefu);
+}
+
+TEST(AhbBus, PerMasterStats) {
+  mem::Sram sram(0, 4096);
+  AhbBus bus;
+  bus.attach(0, 4096, &sram);
+  u32 v;
+  bus.read32(Master::kCpuInstr, 0, v);
+  bus.read32(Master::kCpuInstr, 4, v);
+  bus.write32(Master::kCpuData, 8, 1);
+  EXPECT_EQ(bus.stats().of(Master::kCpuInstr).transfers, 2u);
+  EXPECT_EQ(bus.stats().of(Master::kCpuData).transfers, 1u);
+  EXPECT_EQ(bus.stats().of(Master::kDma).transfers, 0u);
+  EXPECT_GT(bus.stats().total_cycles(), 0u);
+  bus.reset_stats();
+  EXPECT_EQ(bus.stats().total_cycles(), 0u);
+}
+
+TEST(AhbBus, DebugAccessBypassesTiming) {
+  mem::Sram sram(0, 4096);
+  AhbBus bus;
+  bus.attach(0, 4096, &sram);
+  ASSERT_TRUE(bus.debug_write(0x20, 4, 0xcafef00dull));
+  u64 v = 0;
+  ASSERT_TRUE(bus.debug_read(0x20, 4, v));
+  EXPECT_EQ(v, 0xcafef00dull);
+  // No stats recorded for debug traffic.
+  EXPECT_EQ(bus.stats().total_cycles(), 0u);
+  // Out of range fails.
+  EXPECT_FALSE(bus.debug_read(0x9000, 4, v));
+}
+
+TEST(AhbBus, SramRangeErrorMidBurst) {
+  mem::Sram sram(0, 64);
+  AhbBus bus;
+  bus.attach(0, 4096, &sram);  // window larger than the device
+  u32 buf[8] = {};
+  AhbTransfer t;
+  t.addr = 48;
+  t.beats = 8;  // runs off the 64-byte SRAM
+  t.burst = HBurst::kIncr8;
+  t.data = buf;
+  bus.transfer(Master::kCpuData, t);
+  EXPECT_TRUE(t.error);
+}
+
+}  // namespace
+}  // namespace la::bus

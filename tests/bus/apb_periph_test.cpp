@@ -1,0 +1,144 @@
+// APB bridge and the LEON peripherals.
+#include <gtest/gtest.h>
+
+#include "bus/apb.hpp"
+#include "bus/peripherals.hpp"
+
+namespace la::bus {
+namespace {
+
+struct ApbFixture : ::testing::Test {
+  ApbFixture() : bridge(0x80000000), cyc([this] { return clock; }) {
+    bridge.attach(0x100, 0x100, &uart);
+    bridge.attach(0x200, 0x100, &timer);
+    bridge.attach(0x300, 0x100, &irq);
+    bridge.attach(0x400, 0x100, &gpio);
+    bridge.attach(0x500, 0x100, &cyc);
+    bus.attach(0x80000000, 0x100000, &bridge);
+  }
+
+  u32 rd(Addr a) {
+    u32 v = 0;
+    bus.read32(Master::kCpuData, a, v);
+    return v;
+  }
+  void wr(Addr a, u32 v) { bus.write32(Master::kCpuData, a, v); }
+
+  Cycles clock = 0;
+  AhbBus bus;
+  ApbBridge bridge;
+  Uart uart;
+  LeonTimer timer{8};
+  IrqController irq;
+  GpioPort gpio;
+  CycleCounter cyc;
+};
+
+TEST_F(ApbFixture, UartTransmitCollects) {
+  for (char c : std::string("FPX")) wr(0x80000100, static_cast<u32>(c));
+  EXPECT_EQ(uart.tx_log(), "FPX");
+  EXPECT_EQ(rd(0x80000104) & 1u, 1u);  // TX always ready
+}
+
+TEST_F(ApbFixture, UartReceivePath) {
+  EXPECT_EQ(rd(0x80000104) & 2u, 0u);  // no RX data
+  uart.host_send("ok");
+  EXPECT_EQ(rd(0x80000104) & 2u, 2u);
+  EXPECT_EQ(rd(0x80000100), u32{'o'});
+  EXPECT_EQ(rd(0x80000100), u32{'k'});
+  EXPECT_EQ(rd(0x80000104) & 2u, 0u);  // drained
+}
+
+TEST_F(ApbFixture, TimerCountsDownAndReloads) {
+  wr(0x80000204, 100);  // reload
+  wr(0x80000200, 10);   // counter
+  wr(0x80000208, LeonTimer::kCtrlEnable | LeonTimer::kCtrlAutoReload);
+  timer.advance(5);
+  EXPECT_EQ(rd(0x80000200), 5u);
+  timer.advance(6);  // crosses zero -> reload to 100
+  EXPECT_EQ(rd(0x80000200), 100u);
+  EXPECT_EQ(timer.underflows(), 1u);
+}
+
+TEST_F(ApbFixture, TimerOneShotStops) {
+  wr(0x80000200, 3);
+  wr(0x80000208, LeonTimer::kCtrlEnable);
+  timer.advance(10);
+  EXPECT_FALSE(timer.enabled());
+  EXPECT_EQ(rd(0x80000200), 0u);
+  EXPECT_EQ(timer.underflows(), 1u);
+}
+
+TEST_F(ApbFixture, TimerRaisesIrqThroughController) {
+  u8 cpu_level = 0;
+  IrqController ic([&](u8 l) { cpu_level = l; });
+  LeonTimer t2(9, [&](u8 l) { ic.raise(l); });
+  t2.write(reg::kTimerCounter, 1);
+  t2.write(reg::kTimerCtrl,
+           LeonTimer::kCtrlEnable | LeonTimer::kCtrlIrqEnable);
+  t2.advance(5);
+  EXPECT_EQ(cpu_level, 9u);
+  ic.clear(9);
+  EXPECT_EQ(cpu_level, 0u);
+}
+
+TEST_F(ApbFixture, IrqPriorityAndMask) {
+  u8 cpu_level = 0;
+  IrqController ic([&](u8 l) { cpu_level = l; });
+  ic.raise(3);
+  ic.raise(11);
+  EXPECT_EQ(cpu_level, 11u);  // highest pending wins
+  ic.write(reg::kIrqMask, ~(1u << 11));  // mask level 11
+  EXPECT_EQ(cpu_level, 3u);
+  ic.write(reg::kIrqClear, 1u << 3);
+  EXPECT_EQ(cpu_level, 0u);
+  EXPECT_EQ(ic.pending(), 1u << 11);  // still latched, just masked
+}
+
+TEST_F(ApbFixture, IrqForceRegister) {
+  wr(0x80000308, 1u << 5);
+  EXPECT_EQ(rd(0x80000300), 1u << 5);
+}
+
+TEST_F(ApbFixture, GpioHistory) {
+  wr(0x80000400, 0x1);
+  wr(0x80000400, 0x3);
+  EXPECT_EQ(gpio.out(), 0x3u);
+  ASSERT_EQ(gpio.history().size(), 2u);
+  gpio.set_in(0xaa);
+  EXPECT_EQ(rd(0x80000404), 0xaau);
+}
+
+TEST_F(ApbFixture, CycleCounterMeasuresWindow) {
+  clock = 100;
+  wr(0x80000500, CycleCounter::kStart);
+  clock = 350;
+  wr(0x80000500, CycleCounter::kStop);
+  EXPECT_EQ(rd(0x80000504), 250u);
+  // Accumulates across start/stop pairs.
+  clock = 400;
+  wr(0x80000500, CycleCounter::kStart);
+  clock = 410;
+  wr(0x80000500, CycleCounter::kStop);
+  EXPECT_EQ(rd(0x80000504), 260u);
+  wr(0x80000500, CycleCounter::kReset);
+  EXPECT_EQ(rd(0x80000504), 0u);
+}
+
+TEST_F(ApbFixture, UnmappedApbOffsetErrors) {
+  u32 v = 0;
+  AhbTransfer t;
+  t.addr = 0x80000900;
+  t.data = &v;
+  bus.transfer(Master::kCpuData, t);
+  EXPECT_TRUE(t.error);
+}
+
+TEST_F(ApbFixture, ApbCostsMoreThanZero) {
+  const Cycles c = bus.write32(Master::kCpuData, 0x80000400, 1);
+  EXPECT_GE(c, 3u);  // 1 AHB addr + 2 APB cycles
+  EXPECT_GT(bridge.apb_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace la::bus

@@ -1,0 +1,120 @@
+// Property tests: the cache model against a brute-force reference
+// implementation, across a parameter sweep of geometries.
+#include <gtest/gtest.h>
+
+#include <list>
+#include <map>
+#include <tuple>
+
+#include "cache/cache.hpp"
+#include "common/rng.hpp"
+
+namespace la::cache {
+namespace {
+
+/// Reference model: per-set list of line addresses in LRU order.
+/// Intentionally naive — correctness by construction.
+class RefCache {
+ public:
+  explicit RefCache(const CacheConfig& cfg) : cfg_(cfg) {}
+
+  bool access(Addr addr, bool is_write) {
+    const Addr line = addr / cfg_.line_bytes * cfg_.line_bytes;
+    const u32 set = (addr / cfg_.line_bytes) % cfg_.num_sets();
+    auto& l = sets_[set];
+    for (auto it = l.begin(); it != l.end(); ++it) {
+      if (*it == line) {
+        l.erase(it);
+        l.push_front(line);  // most recent at front
+        return true;
+      }
+    }
+    // Miss.
+    const bool allocate =
+        !is_write ||
+        cfg_.write_policy == WritePolicy::kWriteBackAllocate;
+    if (allocate) {
+      if (l.size() == cfg_.ways) l.pop_back();
+      l.push_front(line);
+    }
+    return false;
+  }
+
+ private:
+  CacheConfig cfg_;
+  std::map<u32, std::list<Addr>> sets_;
+};
+
+using Geometry = std::tuple<u32, u32, u32>;  // size, line, ways
+
+class CacheVsReference : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheVsReference, HitMissSequencesMatch) {
+  const auto [size, line, ways] = GetParam();
+  CacheConfig cfg{.size_bytes = size, .line_bytes = line, .ways = ways};
+  ASSERT_TRUE(cfg.valid());
+  Cache dut(cfg);
+  RefCache ref(cfg);
+  Rng rng(size * 31 + line * 7 + ways);
+
+  // Mixed footprint: hot region (2x cache), cold region (8x cache).
+  for (int i = 0; i < 20000; ++i) {
+    const bool hot = rng.chance(0.7);
+    const u32 span = hot ? size * 2 : size * 8;
+    const Addr a = rng.below(span) & ~3u;
+    const bool w = rng.chance(0.3);
+    const bool dut_hit = dut.access(a, w).hit;
+    const bool ref_hit = ref.access(a, w);
+    ASSERT_EQ(dut_hit, ref_hit)
+        << "iteration " << i << " addr " << a << " write " << w;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheVsReference,
+    ::testing::Values(Geometry{1024, 32, 1}, Geometry{2048, 32, 1},
+                      Geometry{4096, 32, 1}, Geometry{8192, 32, 1},
+                      Geometry{16384, 32, 1}, Geometry{1024, 16, 1},
+                      Geometry{1024, 64, 1}, Geometry{1024, 32, 2},
+                      Geometry{4096, 32, 4}, Geometry{8192, 64, 2},
+                      Geometry{512, 16, 4}, Geometry{65536, 32, 1}));
+
+class CacheInvariants : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheInvariants, CapacityNeverExceeded) {
+  const auto [size, line, ways] = GetParam();
+  CacheConfig cfg{.size_bytes = size, .line_bytes = line, .ways = ways};
+  Cache dut(cfg);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    dut.access(rng.next_u32() & 0xffffff & ~3u, rng.chance(0.5));
+    ASSERT_LE(dut.valid_lines(), cfg.num_lines());
+  }
+  // Stats must be internally consistent.
+  const auto& s = dut.stats();
+  EXPECT_EQ(s.accesses(), 5000u);
+  EXPECT_LE(s.evictions, s.read_misses + s.write_misses);
+}
+
+TEST_P(CacheInvariants, AccessesWithinOneLineAfterFillAlwaysHit) {
+  const auto [size, line, ways] = GetParam();
+  CacheConfig cfg{.size_bytes = size, .line_bytes = line, .ways = ways};
+  Cache dut(cfg);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const Addr base = (rng.next_u32() & 0xfffff) / line * line;
+    dut.access(base, false);
+    for (u32 off = 0; off < line; off += 4) {
+      ASSERT_TRUE(dut.access(base + off, false).hit) << base << "+" << off;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheInvariants,
+    ::testing::Values(Geometry{1024, 32, 1}, Geometry{4096, 32, 2},
+                      Geometry{2048, 64, 4}, Geometry{512, 16, 1},
+                      Geometry{16384, 32, 1}));
+
+}  // namespace
+}  // namespace la::cache

@@ -1,0 +1,66 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la {
+namespace {
+
+TEST(Bits, ExtractField) {
+  EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+  EXPECT_EQ(bits(0xdeadbeef, 3, 0), 0xfu);
+  EXPECT_EQ(bits(0xdeadbeef, 31, 0), 0xdeadbeefu);
+  EXPECT_EQ(bits(0xffffffff, 15, 8), 0xffu);
+  EXPECT_EQ(bits(0x00000100, 8, 8), 1u);
+}
+
+TEST(Bits, SingleBit) {
+  EXPECT_EQ(bit(0x80000000, 31), 1u);
+  EXPECT_EQ(bit(0x80000000, 30), 0u);
+  EXPECT_EQ(bit(1, 0), 1u);
+}
+
+TEST(Bits, SignExtendPositive) {
+  EXPECT_EQ(sign_extend(0x0fff, 13), 0x0fff);
+  EXPECT_EQ(sign_extend(0, 13), 0);
+  EXPECT_EQ(sign_extend(1, 1), -1);
+}
+
+TEST(Bits, SignExtendNegative) {
+  EXPECT_EQ(sign_extend(0x1fff, 13), -1);
+  EXPECT_EQ(sign_extend(0x1000, 13), -4096);
+  EXPECT_EQ(sign_extend(0x3fffff, 22), -1);
+  EXPECT_EQ(sign_extend(0x200000, 22), -2097152);
+}
+
+TEST(Bits, SignExtendFullWidth) {
+  EXPECT_EQ(sign_extend(0xffffffffu, 32), -1);
+  EXPECT_EQ(sign_extend(0x7fffffffu, 32), 0x7fffffff);
+}
+
+TEST(Bits, Pow2AndLog2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1u << 31), 31u);
+}
+
+TEST(Bits, Alignment) {
+  EXPECT_EQ(align_down(0x1234, 16), 0x1230u);
+  EXPECT_EQ(align_up(0x1234, 16), 0x1240u);
+  EXPECT_EQ(align_up(0x1230, 16), 0x1230u);
+  EXPECT_TRUE(is_aligned(0x1000, 4096));
+  EXPECT_FALSE(is_aligned(0x1001, 2));
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+}
+
+}  // namespace
+}  // namespace la

@@ -1,0 +1,64 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la {
+namespace {
+
+TEST(ByteWriter, BigEndianScalars) {
+  ByteWriter w;
+  w.write_u8(0xab);
+  w.write_u16(0x1234);
+  w.write_u32(0xdeadbeef);
+  const Bytes expect = {0xab, 0x12, 0x34, 0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(w.bytes(), expect);
+}
+
+TEST(ByteWriter, PatchU16) {
+  ByteWriter w;
+  w.write_u32(0);
+  w.patch_u16(1, 0xbeef);
+  const Bytes expect = {0x00, 0xbe, 0xef, 0x00};
+  EXPECT_EQ(w.bytes(), expect);
+}
+
+TEST(ByteReader, RoundTrip) {
+  ByteWriter w;
+  w.write_u32(0x01020304);
+  w.write_u16(0xa0b0);
+  w.write_u8(0x7f);
+  const Bytes b = w.take();
+  ByteReader r(b);
+  EXPECT_EQ(r.read_u32(), 0x01020304u);
+  EXPECT_EQ(r.read_u16(), 0xa0b0u);
+  EXPECT_EQ(r.read_u8(), 0x7fu);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(ByteReader, ReadBytesAndSkip) {
+  const Bytes b = {1, 2, 3, 4, 5};
+  ByteReader r(b);
+  r.skip(1);
+  const Bytes got = r.read_bytes(3);
+  const Bytes expect = {2, 3, 4};
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(ByteReader, OverrunThrows) {
+  const Bytes b = {1, 2};
+  ByteReader r(b);
+  EXPECT_THROW(r.read_u32(), std::out_of_range);
+  // Failed read must not consume anything.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.read_u16(), 0x0102u);
+}
+
+TEST(ByteReader, EmptyReader) {
+  ByteReader r({});
+  EXPECT_TRUE(r.empty());
+  EXPECT_THROW(r.read_u8(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace la

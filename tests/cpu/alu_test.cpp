@@ -1,0 +1,225 @@
+// ALU semantics of the functional integer unit: arithmetic, logic, shifts,
+// condition codes, and tagged arithmetic.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(Alu, BasicArithmetic) {
+  TestCpu c(R"(
+      mov 10, %g1
+      mov 3, %g2
+      add %g1, %g2, %g3
+      sub %g1, %g2, %g4
+      add %g1, -5, %g5
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 13u);
+  EXPECT_EQ(c.g(4), 7u);
+  EXPECT_EQ(c.g(5), 5u);
+}
+
+TEST(Alu, G0IsAlwaysZero) {
+  TestCpu c(R"(
+      mov 42, %g0
+      add %g0, %g0, %g1
+      or %g0, 7, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(0), 0u);
+  EXPECT_EQ(c.g(1), 0u);
+  EXPECT_EQ(c.g(2), 7u);
+}
+
+TEST(Alu, LogicOps) {
+  TestCpu c(R"(
+      set 0xff00ff00, %g1
+      set 0x0ff00ff0, %g2
+      and %g1, %g2, %g3
+      or %g1, %g2, %g4
+      xor %g1, %g2, %g5
+      andn %g1, %g2, %g6
+      orn %g1, %g2, %g7
+      xnor %g1, %g2, %o0
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0xff00ff00u & 0x0ff00ff0u);
+  EXPECT_EQ(c.g(4), 0xff00ff00u | 0x0ff00ff0u);
+  EXPECT_EQ(c.g(5), 0xff00ff00u ^ 0x0ff00ff0u);
+  EXPECT_EQ(c.g(6), 0xff00ff00u & ~0x0ff00ff0u);
+  EXPECT_EQ(c.g(7), 0xff00ff00u | ~0x0ff00ff0u);
+  EXPECT_EQ(c.o(0), 0xff00ff00u ^ ~0x0ff00ff0u);
+}
+
+TEST(Alu, Shifts) {
+  TestCpu c(R"(
+      set 0x80000001, %g1
+      sll %g1, 4, %g2
+      srl %g1, 4, %g3
+      sra %g1, 4, %g4
+      mov 36, %g5          ! shift counts use only the low 5 bits
+      sll %g1, %g5, %g6
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0x00000010u);
+  EXPECT_EQ(c.g(3), 0x08000000u);
+  EXPECT_EQ(c.g(4), 0xf8000000u);
+  EXPECT_EQ(c.g(6), 0x80000001u << 4);  // 36 & 31 == 4
+}
+
+TEST(Alu, AddccFlags) {
+  // 0x7fffffff + 1 overflows: N=1 V=1 Z=0 C=0.
+  TestCpu c(R"(
+      set 0x7fffffff, %g1
+      addcc %g1, 1, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0x80000000u);
+  EXPECT_TRUE(c.psr().n);
+  EXPECT_FALSE(c.psr().z);
+  EXPECT_TRUE(c.psr().v);
+  EXPECT_FALSE(c.psr().c);
+}
+
+TEST(Alu, AddccCarry) {
+  // 0xffffffff + 1 = 0 with carry out: Z=1 C=1 V=0.
+  TestCpu c(R"(
+      set 0xffffffff, %g1
+      addcc %g1, 1, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0u);
+  EXPECT_TRUE(c.psr().z);
+  EXPECT_TRUE(c.psr().c);
+  EXPECT_FALSE(c.psr().v);
+  EXPECT_FALSE(c.psr().n);
+}
+
+TEST(Alu, SubccBorrowAndOverflow) {
+  // 0 - 1: borrow (C=1), negative.
+  TestCpu c(R"(
+      subcc %g0, 1, %g1
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0xffffffffu);
+  EXPECT_TRUE(c.psr().c);
+  EXPECT_TRUE(c.psr().n);
+  EXPECT_FALSE(c.psr().v);
+
+  // INT_MIN - 1 overflows.
+  TestCpu d(R"(
+      set 0x80000000, %g1
+      subcc %g1, 1, %g2
+  done: ba done
+      nop
+  )");
+  d.run_to("done");
+  EXPECT_EQ(d.g(2), 0x7fffffffu);
+  EXPECT_TRUE(d.psr().v);
+}
+
+TEST(Alu, AddxSubxUseCarry) {
+  // 64-bit add: 0x00000001_ffffffff + 1 via addcc/addx.
+  TestCpu c(R"(
+      set 0xffffffff, %g1   ! low
+      mov 1, %g2            ! high
+      addcc %g1, 1, %g3     ! low sum, sets C
+      addx %g2, 0, %g4      ! high sum + carry
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0u);
+  EXPECT_EQ(c.g(4), 2u);
+}
+
+TEST(Alu, SethiLoadsUpper22) {
+  TestCpu c(R"(
+      sethi %hi(0xdeadbeef), %g1
+      or %g1, %lo(0xdeadbeef), %g1
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0xdeadbeefu);
+}
+
+TEST(Alu, TaddccSetsTagOverflow) {
+  // Operands with nonzero low 2 bits set V.
+  TestCpu c(R"(
+      mov 5, %g1           ! tag bits 01
+      taddcc %g1, 4, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 9u);
+  EXPECT_TRUE(c.psr().v);
+
+  TestCpu d(R"(
+      mov 4, %g1           ! clean tags
+      taddcc %g1, 8, %g2
+  done: ba done
+      nop
+  )");
+  d.run_to("done");
+  EXPECT_EQ(d.g(2), 12u);
+  EXPECT_FALSE(d.psr().v);
+}
+
+TEST(Alu, YRegisterReadWrite) {
+  TestCpu c(R"(
+      set 0xcafebabe, %g1
+      wr %g0, %g1, %y
+      rd %y, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0xcafebabeu);
+}
+
+TEST(Alu, WrIsXorOfOperands) {
+  // wr rs1, op2, %y writes rs1 XOR op2 (a classic SPARC trap for the
+  // unwary — the manual really does specify xor).
+  TestCpu c(R"(
+      mov 0xf0, %g1
+      wr %g1, 0x0f, %y
+      rd %y, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0xffu);
+}
+
+TEST(Alu, AsrReadWrite) {
+  TestCpu c(R"(
+      mov 99, %g1
+      wr %g1, 0, %asr17
+      rd %asr17, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 99u);
+}
+
+}  // namespace
+}  // namespace la::test

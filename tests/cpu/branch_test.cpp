@@ -1,0 +1,185 @@
+// Delayed control transfer: delay slots, annulment, call/jmpl linkage.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(Branch, DelaySlotExecutesOnTakenBranch) {
+  TestCpu c(R"(
+      mov 0, %g1
+      ba over
+      mov 1, %g1        ! delay slot: must execute
+      mov 2, %g1        ! skipped
+  over:
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 1u);
+}
+
+TEST(Branch, AnnulledSlotOnUntakenConditional) {
+  TestCpu c(R"(
+      cmp %g0, 0          ! Z=1
+      bne,a target        ! not taken, a=1 -> delay slot annulled
+      mov 1, %g1          ! must NOT execute
+      mov 2, %g2
+  target:
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0u);
+  EXPECT_EQ(c.g(2), 2u);
+}
+
+TEST(Branch, TakenConditionalWithAnnulExecutesSlot) {
+  TestCpu c(R"(
+      cmp %g0, 0
+      be,a target         ! taken, a=1 -> delay slot EXECUTES
+      mov 1, %g1
+      mov 2, %g1          ! skipped
+  target:
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 1u);
+}
+
+TEST(Branch, BranchAlwaysAnnulledSkipsSlot) {
+  TestCpu c(R"(
+      ba,a target         ! ba with a=1 annuls its delay slot
+      mov 1, %g1          ! must NOT execute
+      mov 2, %g1
+  target:
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0u);
+}
+
+TEST(Branch, BranchNeverIsNop) {
+  TestCpu c(R"(
+      bn target
+      mov 1, %g1          ! delay slot of untaken bn executes (a=0)
+      mov 2, %g2
+  target:
+      mov 3, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 1u);
+  EXPECT_EQ(c.g(2), 2u);
+  EXPECT_EQ(c.g(3), 3u);
+}
+
+TEST(Branch, ConditionalLoop) {
+  TestCpu c(R"(
+      mov 0, %g1
+      mov 0, %g2
+  loop:
+      add %g2, %g1, %g2   ! g2 += g1
+      add %g1, 1, %g1
+      cmp %g1, 10
+      bl loop
+      nop
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 10u);
+  EXPECT_EQ(c.g(2), 45u);
+}
+
+TEST(Branch, UnsignedConditions) {
+  TestCpu c(R"(
+      set 0x80000000, %g1
+      cmp %g1, 1
+      bgu upos            ! unsigned: 0x80000000 > 1
+      nop
+      mov 0, %g2
+      ba join
+      nop
+  upos:
+      mov 1, %g2
+  join:
+      cmp %g1, 1
+      bg spos             ! signed: 0x80000000 < 1, not taken
+      nop
+      mov 0, %g3
+      ba done
+      nop
+  spos:
+      mov 1, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 1u);
+  EXPECT_EQ(c.g(3), 0u);
+}
+
+TEST(Branch, CallWritesO7) {
+  TestCpu c(R"(
+      .org 0x100
+  _start:
+      call func
+      nop
+      mov 7, %g2
+  done: ba done
+      nop
+  func:
+      mov 1, %g1
+      retl
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 1u);
+  EXPECT_EQ(c.g(2), 7u);
+  EXPECT_EQ(c.o(7), 0x100u);  // pc of the call itself
+}
+
+TEST(Branch, JmplIndirect) {
+  TestCpu c(R"(
+      set target, %g1
+      jmpl %g1, %g5       ! g5 = pc of jmpl
+      nop
+      mov 9, %g2          ! skipped
+  target:
+      mov 1, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0u);
+  EXPECT_EQ(c.g(3), 1u);
+  EXPECT_EQ(c.g(5), c.image().symbol("target") - 12);
+}
+
+TEST(Branch, BackToBackCti) {
+  // A CTI in the delay slot of another CTI (a "DCTI couple"): the first
+  // transfer happens, its delay-slot CTI redirects the following flow.
+  TestCpu c(R"(
+      ba a
+      ba b
+      nop
+  a:  mov 1, %g1          ! executed: target of first ba
+      ba done
+      nop
+  b:  mov 2, %g2          ! executed: target of second ba (after one insn at a)
+  done: ba done
+      nop
+  )");
+  // pc sequence: ba a; ba b (slot); a: mov; b: mov2 ... per V8 DCTI rules.
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 1u);
+  EXPECT_EQ(c.g(2), 2u);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,59 @@
+// Shared harness for CPU tests: assemble a source string, load it into a
+// flat RAM, and run the functional integer unit until a label is reached.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "common/bits.hpp"
+#include "cpu/flat_memory.hpp"
+#include "cpu/integer_unit.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::test {
+
+class TestCpu {
+ public:
+  explicit TestCpu(std::string_view source, cpu::CpuConfig cfg = {})
+      : img_(sasm::assemble_or_throw(source)),
+        mem_(kMemBytes, static_cast<Addr>(align_down(img_.base, 0x10000))),
+        iu_(cfg, mem_) {
+    mem_.load(img_.base, img_.data);
+    iu_.reset(img_.entry);
+  }
+
+  /// Run until the PC reaches `label` (or `max` steps elapse) and assert
+  /// the label was reached without entering error mode.
+  void run_to(std::string_view label, u64 max = 100000) {
+    const Addr halt = img_.symbol(label);
+    iu_.run(max, halt);
+    ASSERT_FALSE(iu_.state().error_mode)
+        << "CPU entered error mode, tt=" << int{iu_.state().tbr_tt()};
+    ASSERT_EQ(iu_.state().pc, halt) << "did not reach label " << label;
+  }
+
+  u32 reg(u8 r) const { return iu_.state().reg(r); }
+  u32 g(unsigned n) const { return reg(static_cast<u8>(n)); }
+  u32 o(unsigned n) const { return reg(static_cast<u8>(8 + n)); }
+  u32 l(unsigned n) const { return reg(static_cast<u8>(16 + n)); }
+  u32 in(unsigned n) const { return reg(static_cast<u8>(24 + n)); }
+
+  const sasm::Image& image() const { return img_; }
+  cpu::FlatMemory& mem() { return mem_; }
+  cpu::IntegerUnit& iu() { return iu_; }
+  const cpu::Psr& psr() const { return iu_.state().psr; }
+
+ private:
+  static constexpr std::size_t kMemBytes = 2u << 20;
+
+  sasm::Image img_;
+  cpu::FlatMemory mem_;
+  cpu::IntegerUnit iu_;
+};
+
+/// Standard prologue: supervisor mode with traps enabled (PIL=10, CWP=0).
+inline constexpr std::string_view kEnableTraps =
+    "    wr %g0, 0xaa0, %psr   ! S=1 ET=1 PIL=10 CWP=0\n";
+
+}  // namespace la::test

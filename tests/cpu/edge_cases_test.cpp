@@ -1,0 +1,211 @@
+// Directed edge cases pinned against the V8 manual: trap-on-overflow
+// semantics, alignment traps for every access size, %g0-pair doubleword
+// loads, privilege transitions, and condition-code preservation.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(EdgeCases, TaddcctvTrapsWithoutModifyingState) {
+  TestCpu c(R"(
+      mov 5, %g1            ! tagged bits set -> overflow
+      mov 77, %g2           ! pre-existing value in the would-be rd
+      addcc %g0, 1, %g0     ! icc := known state (Z=0,N=0,V=0,C=0)
+      taddcctv %g1, 3, %g2
+  )");
+  u8 tt = 0;
+  for (int i = 0; i < 10 && !tt; ++i) {
+    const auto r = c.iu().step();
+    if (r.trapped) tt = r.tt;
+  }
+  EXPECT_EQ(tt, 0x0a);  // tag_overflow
+  EXPECT_EQ(c.g(2), 77u);       // rd untouched
+  EXPECT_FALSE(c.psr().v);      // icc untouched
+  EXPECT_FALSE(c.psr().z);
+}
+
+TEST(EdgeCases, TsubcctvCleanOperandsDoNotTrap) {
+  TestCpu c(R"(
+      mov 8, %g1
+      tsubcctv %g1, 4, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 4u);
+}
+
+TEST(EdgeCases, SwapMisalignedTraps) {
+  TestCpu c(R"(
+      set buf, %g1
+      swap [%g1 + 2], %g2
+      .align 4
+  buf:  .skip 8
+  )");
+  c.iu().run(10);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x07);
+}
+
+TEST(EdgeCases, JmplToMisalignedAddressTraps) {
+  TestCpu c(R"(
+      set 0x40000102, %g1
+      jmpl %g1, %g0
+      nop
+  )");
+  c.iu().run(10);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x07);
+}
+
+TEST(EdgeCases, RettWithTrapsEnabledIsIllegal) {
+  TestCpu c(R"(
+      wr %g0, 0xa0, %psr   ! S=1 ET=1
+      nop
+      rett %g0 + 4
+  )");
+  u8 tt = 0;
+  for (int i = 0; i < 10 && !tt; ++i) {
+    const auto r = c.iu().step();
+    if (r.trapped) tt = r.tt;
+  }
+  EXPECT_EQ(tt, 0x02);  // illegal_instruction (supervisor, ET=1)
+}
+
+TEST(EdgeCases, LddIntoG0PairDiscardsHighWord) {
+  TestCpu c(R"(
+      set buf, %g2
+      ldd [%g2], %g0       ! rd=0: high word -> %g0 (lost), low -> %g1
+  done: ba done
+      nop
+      .align 8
+  buf:  .word 0x11111111, 0x22222222
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(0), 0u);
+  EXPECT_EQ(c.g(1), 0x22222222u);
+}
+
+TEST(EdgeCases, NonCcOpsPreserveIcc) {
+  TestCpu c(R"(
+      subcc %g0, 1, %g0    ! N=1 C=1
+      add %g1, 5, %g1
+      umul %g1, %g1, %g2
+      sll %g2, 3, %g2
+      ldub [%g3 + dummy], %g4
+  done: ba done
+      nop
+  dummy: .byte 1
+      .align 4
+  )");
+  c.run_to("done");
+  EXPECT_TRUE(c.psr().n);
+  EXPECT_TRUE(c.psr().c);
+}
+
+TEST(EdgeCases, UserModeCannotWritePsr) {
+  TestCpu c(R"(
+      wr %g0, 0x20, %psr   ! drop to user, traps on
+      nop
+      wr %g0, 0xa0, %psr   ! attempt to re-enter supervisor
+  )");
+  u8 tt = 0;
+  for (int i = 0; i < 10 && !tt; ++i) {
+    const auto r = c.iu().step();
+    if (r.trapped) tt = r.tt;
+  }
+  EXPECT_EQ(tt, 0x03);  // privileged_instruction
+}
+
+TEST(EdgeCases, SupervisorBitReadableFromPsr) {
+  TestCpu c(R"(
+      rd %psr, %g1
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ((c.g(1) >> 7) & 1u, 1u);  // S bit after reset
+}
+
+TEST(EdgeCases, TiccRegisterPlusImmediateForm) {
+  TestCpu c(R"(
+      mov 0x40, %g1
+      ta %g1 + 5           ! trap number (0x40 + 5) & 0x7f = 0x45
+  )");
+  c.iu().run(10);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x80 + 0x45);
+}
+
+TEST(EdgeCases, BackwardBranchWithNegativeDisplacement) {
+  TestCpu c(R"(
+      mov 3, %g1
+      ba fwd
+      nop
+  back:
+      subcc %g1, 1, %g1
+  fwd:
+      bne back
+      nop
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0u);
+}
+
+TEST(EdgeCases, CallReturnAddressIsCallSite) {
+  TestCpu c(R"(
+      .org 0x40000100
+  _start:
+      call f
+      mov 7, %o0           ! delay slot executes before f
+  done: ba done
+      nop
+  f:
+      add %o7, 0, %g1      ! capture return address
+      retl
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0x40000100u);
+  EXPECT_EQ(c.o(0), 7u);
+}
+
+TEST(EdgeCases, SethiDoesNotTouchLowBits) {
+  TestCpu c(R"(
+      sethi %hi(0xfffffc00), %g1
+      sethi 1, %g2          ! raw imm22 form: g2 = 1 << 10
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 0xfffffc00u);
+  EXPECT_EQ(c.g(2), 1u << 10);
+}
+
+TEST(EdgeCases, FlagsAfterUmulccZeroResult) {
+  TestCpu c(R"(
+      set 0x10000, %g1
+      set 0x10000, %g2
+      umulcc %g1, %g2, %g3  ! low 32 bits are zero -> Z set
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_TRUE(c.psr().z);
+  EXPECT_FALSE(c.psr().n);
+}
+
+TEST(EdgeCases, StoreDoubleOddRdIllegal) {
+  TestCpu c(R"(
+      set buf, %g2
+      std %g3, [%g2]       ! odd rd
+      .align 8
+  buf:  .skip 8
+  )");
+  c.iu().run(10);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x02);
+}
+
+}  // namespace
+}  // namespace la::test

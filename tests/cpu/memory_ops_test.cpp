@@ -1,0 +1,195 @@
+// Loads, stores, sign extension, doubleword ops, atomics, and alignment.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(MemoryOps, WordStoreLoad) {
+  TestCpu c(R"(
+      set buf, %g1
+      set 0xcafef00d, %g2
+      st %g2, [%g1]
+      ld [%g1], %g3
+  done: ba done
+      nop
+      .align 4
+  buf:  .skip 64
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0xcafef00du);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("buf")), 0xcafef00du);
+}
+
+TEST(MemoryOps, ByteAndHalfSignExtension) {
+  TestCpu c(R"(
+      set buf, %g1
+      ldub [%g1], %g2      ! 0x80 zero-extended
+      ldsb [%g1], %g3      ! 0x80 sign-extended
+      lduh [%g1 + 2], %g4  ! 0x8001 zero-extended
+      ldsh [%g1 + 2], %g5  ! 0x8001 sign-extended
+  done: ba done
+      nop
+      .align 4
+  buf:  .byte 0x80, 0x00
+      .half 0x8001
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0x80u);
+  EXPECT_EQ(c.g(3), 0xffffff80u);
+  EXPECT_EQ(c.g(4), 0x8001u);
+  EXPECT_EQ(c.g(5), 0xffff8001u);
+}
+
+TEST(MemoryOps, BigEndianByteOrder) {
+  TestCpu c(R"(
+      set buf, %g1
+      set 0x11223344, %g2
+      st %g2, [%g1]
+      ldub [%g1], %g3       ! most significant byte at lowest address
+      ldub [%g1 + 3], %g4
+  done: ba done
+      nop
+      .align 4
+  buf:  .skip 8
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0x11u);
+  EXPECT_EQ(c.g(4), 0x44u);
+}
+
+TEST(MemoryOps, DoublewordPair) {
+  TestCpu c(R"(
+      set buf, %g1
+      ldd [%g1], %g2        ! g2 = first word, g3 = second
+      set dst, %g4
+      std %g2, [%g4]
+  done: ba done
+      nop
+      .align 8
+  buf:  .word 0x01020304, 0x05060708
+      .align 8
+  dst:  .skip 8
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0x01020304u);
+  EXPECT_EQ(c.g(3), 0x05060708u);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("dst")), 0x01020304u);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("dst") + 4), 0x05060708u);
+}
+
+TEST(MemoryOps, LddOddRdIsIllegal) {
+  // ldd with odd rd must raise illegal_instruction; with traps disabled
+  // the CPU enters error mode.
+  TestCpu c(R"(
+      set buf, %g1
+      ldd [%g1], %g3        ! odd rd
+      .align 8
+  buf:  .skip 8
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+}
+
+TEST(MemoryOps, MisalignedWordTraps) {
+  TestCpu c(R"(
+      set buf, %g1
+      ld [%g1 + 1], %g2
+      .align 4
+  buf:  .skip 8
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x07);  // recorded even in error mode
+}
+
+TEST(MemoryOps, MisalignedHalfTraps) {
+  TestCpu c(R"(
+      set buf, %g1
+      lduh [%g1 + 1], %g2
+      .align 4
+  buf:  .skip 8
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+}
+
+TEST(MemoryOps, LdstubReadsThenSetsFF) {
+  TestCpu c(R"(
+      set lock, %g1
+      ldstub [%g1], %g2     ! acquire: old value 0
+      ldstub [%g1], %g3     ! second acquire sees 0xff
+  done: ba done
+      nop
+      .align 4
+  lock: .byte 0
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0u);
+  EXPECT_EQ(c.g(3), 0xffu);
+}
+
+TEST(MemoryOps, SwapExchanges) {
+  TestCpu c(R"(
+      set buf, %g1
+      mov 111, %g2
+      swap [%g1], %g2
+  done: ba done
+      nop
+      .align 4
+  buf:  .word 222
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 222u);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("buf")), 111u);
+}
+
+TEST(MemoryOps, UnmappedAccessFaults) {
+  // FlatMemory covers 2 MiB from the image base; far beyond it faults.
+  TestCpu c(R"(
+      set 0x0fff0000, %g1
+      ld [%g1], %g2
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x09);  // data_access_exception
+}
+
+TEST(MemoryOps, AlternateSpaceRequiresSupervisor) {
+  // Drop to user mode, then try sta: privileged_instruction.
+  TestCpu c(R"(
+      wr %g0, 0x20, %psr    ! S=0 ET=1
+      nop
+      set buf, %g1
+      sta %g2, [%g1 + %g0] 11
+      .align 4
+  buf:  .skip 8
+  )");
+  u8 seen_tt = 0;
+  for (int i = 0; i < 20 && !seen_tt; ++i) {
+    const auto r = c.iu().step();
+    if (r.trapped) seen_tt = r.tt;
+  }
+  EXPECT_EQ(seen_tt, 0x03);
+}
+
+TEST(MemoryOps, StackFrameStyleAccess) {
+  TestCpu c(R"(
+      set stacktop, %sp
+      sub %sp, 96, %sp
+      mov 42, %g1
+      st %g1, [%sp + 64]
+      ld [%sp + 64], %g2
+  done: ba done
+      nop
+      .skip 256
+      .align 8
+  stacktop:
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 42u);
+}
+
+}  // namespace
+}  // namespace la::test

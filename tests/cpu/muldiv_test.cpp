@@ -1,0 +1,194 @@
+// Multiply, divide, MULScc multiply-step, and the Y register.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(MulDiv, UmulProducesY) {
+  TestCpu c(R"(
+      set 0x10000, %g1
+      set 0x10000, %g2
+      umul %g1, %g2, %g3    ! 2^32: low = 0, Y = 1
+      rd %y, %g4
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0u);
+  EXPECT_EQ(c.g(4), 1u);
+}
+
+TEST(MulDiv, SmulSignExtendsIntoY) {
+  TestCpu c(R"(
+      mov -2, %g1
+      mov 3, %g2
+      smul %g1, %g2, %g3    ! -6: Y = 0xffffffff
+      rd %y, %g4
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), static_cast<u32>(-6));
+  EXPECT_EQ(c.g(4), 0xffffffffu);
+}
+
+TEST(MulDiv, UmulccFlagsFromLow32) {
+  TestCpu c(R"(
+      set 0x80000000, %g1
+      mov 1, %g2
+      umulcc %g1, %g2, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_TRUE(c.psr().n);
+  EXPECT_FALSE(c.psr().z);
+}
+
+TEST(MulDiv, UdivBasic) {
+  TestCpu c(R"(
+      wr %g0, 0, %y
+      mov 100, %g1
+      udiv %g1, 7, %g2
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 14u);
+}
+
+TEST(MulDiv, UdivUsesYAsHighWord) {
+  // dividend = (1 << 32) | 0 = 4294967296; / 2 = 2147483648.
+  TestCpu c(R"(
+      mov 1, %g1
+      wr %g0, %g1, %y
+      mov 0, %g2
+      udiv %g2, 2, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0x80000000u);
+}
+
+TEST(MulDiv, UdivOverflowSaturates) {
+  // dividend = (4 << 32); / 2 = 2^33 overflows -> 0xffffffff, V set by cc.
+  TestCpu c(R"(
+      mov 4, %g1
+      wr %g0, %g1, %y
+      udivcc %g0, 2, %g3
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), 0xffffffffu);
+  EXPECT_TRUE(c.psr().v);
+}
+
+TEST(MulDiv, SdivNegative) {
+  TestCpu c(R"(
+      wr %g0, 0xaa0, %psr
+      set 0xffffffff, %g1   ! Y = sign extension of -100
+      wr %g0, %g1, %y
+      mov -100, %g2
+      sdiv %g2, 7, %g3      ! -14 (truncating)
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(3), static_cast<u32>(-14));
+}
+
+TEST(MulDiv, DivisionByZeroTraps) {
+  TestCpu c(R"(
+      mov 10, %g1
+      udiv %g1, %g0, %g2
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x2a);
+}
+
+TEST(MulDiv, MulsccComputesProduct) {
+  // Classic 32x32 multiply via 32 MULScc steps + final shift-correct:
+  // multiply 7 * 9 = 63 (small operands keep it simple).
+  // Sequence per the V8 manual's B.18 recipe for unsigned multiply of
+  // the value in %o0 by the multiplier in %y.
+  TestCpu c(R"(
+      mov 9, %g1
+      wr %g0, %g1, %y       ! multiplier in Y
+      mov 7, %o0            ! multiplicand
+      andcc %g0, %g0, %o4   ! clear partial product and icc
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %o0, %o4
+      mulscc %o4, %g0, %o4  ! final shift step
+      rd %y, %o5            ! low 32 bits of the product
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.o(5), 63u);
+}
+
+TEST(MulDiv, NoHardwareMulTrapsIllegal) {
+  cpu::CpuConfig cfg;
+  cfg.has_mul = false;
+  TestCpu c(R"(
+      mov 2, %g1
+      umul %g1, %g1, %g2
+  )",
+            cfg);
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x02);
+}
+
+TEST(MulDiv, LatencyCharged) {
+  cpu::CpuConfig cfg;
+  cfg.mul_latency = 5;
+  TestCpu c(R"(
+      umul %g0, %g0, %g1
+  done: ba done
+      nop
+  )",
+            cfg);
+  const Cycles before = c.iu().cycle_count();
+  const auto r = c.iu().step();
+  EXPECT_EQ(r.cycles, 5u);
+  EXPECT_EQ(c.iu().cycle_count() - before, 5u);
+}
+
+}  // namespace
+}  // namespace la::test

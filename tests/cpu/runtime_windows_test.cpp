@@ -1,0 +1,217 @@
+// The runtime library's window spill/fill machinery under deep call
+// trees, on both CPU models and across window counts — the workload shape
+// LEON's C compiler actually produces.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+#include "pipeline_test_util.hpp"
+#include "sasm/runtime.hpp"
+
+namespace la::test {
+namespace {
+
+/// Recursive fib with real stack frames (save/restore per call).
+std::string fib_program(unsigned n) {
+  std::string s = R"(
+      .org 0x40000100
+  _start:
+      call rt_init
+      nop
+      mov )" + std::to_string(n) + R"(, %o0
+      call fib
+      nop
+      set result, %g2
+      st %o0, [%g2]
+  done: ba done
+      nop
+
+  fib:                        ! int fib(int n): n < 2 ? n : f(n-1)+f(n-2)
+      save %sp, -96, %sp
+      cmp %i0, 2
+      bl fib_base
+      nop
+      sub %i0, 1, %o0
+      call fib
+      nop
+      mov %o0, %l0
+      sub %i0, 2, %o0
+      call fib
+      nop
+      add %l0, %o0, %i0
+  fib_base:
+      ret
+      restore
+
+      .align 4
+  result:
+      .skip 4
+  )";
+  return s;
+}
+
+u32 fib_ref(u32 n) { return n < 2 ? n : fib_ref(n - 1) + fib_ref(n - 2); }
+
+TEST(RuntimeWindows, DeepRecursionOnFunctionalModel) {
+  sasm::rt::RuntimeOptions opt;
+  TestCpu c(fib_program(12) + sasm::rt::runtime_source(opt));
+  c.run_to("done", 2000000);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("result")), fib_ref(12));
+  EXPECT_EQ(c.mem().word_at(opt.fault_word), 0u);  // no unexpected traps
+}
+
+TEST(RuntimeWindows, DeepRecursionOnTimedPipeline) {
+  sasm::rt::RuntimeOptions opt;
+  PipeSys s(fib_program(12) + sasm::rt::runtime_source(opt));
+  s.run_to("done", 2000000);
+  EXPECT_EQ(s.sram().backdoor_word(s.image().symbol("result")), fib_ref(12));
+  EXPECT_GT(s.pipe().stats().traps, 10u);  // spills/fills really happened
+}
+
+class RuntimeWindowCounts : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RuntimeWindowCounts, FibCorrectForAnyWindowCount) {
+  const unsigned nw = GetParam();
+  sasm::rt::RuntimeOptions opt;
+  opt.nwindows = nw;
+  cpu::CpuConfig cfg;
+  cfg.nwindows = nw;
+  TestCpu c(fib_program(11) + sasm::rt::runtime_source(opt), cfg);
+  c.run_to("done", 4000000);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("result")), fib_ref(11))
+      << "nwindows=" << nw;
+  EXPECT_EQ(c.mem().word_at(opt.fault_word), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowCounts, RuntimeWindowCounts,
+                         ::testing::Values(4u, 5u, 6u, 8u, 16u, 32u));
+
+TEST(RuntimeWindows, FewerWindowsMeansMoreTraps) {
+  // Same program, 4 vs 8 windows: the 4-window machine must spill/fill
+  // much more often — the cost the nwindows axis of the liquid space
+  // trades against area.
+  auto traps_with = [](unsigned nw) {
+    sasm::rt::RuntimeOptions opt;
+    opt.nwindows = nw;
+    cpu::PipelineConfig pcfg;
+    pcfg.cpu.nwindows = nw;
+    PipeSys s(fib_program(12) + sasm::rt::runtime_source(opt), pcfg);
+    s.run_to("done", 4000000);
+    EXPECT_EQ(s.sram().backdoor_word(s.image().symbol("result")),
+              fib_ref(12));
+    return s.pipe().stats().traps;
+  };
+  const u64 traps4 = traps_with(4);
+  const u64 traps8 = traps_with(8);
+  EXPECT_GT(traps4, traps8 * 2);
+}
+
+TEST(RuntimeWindows, MutualRecursionAcrossManyFrames) {
+  // is_even/is_odd mutual recursion 30 deep: every window boundary gets
+  // crossed repeatedly in both directions.
+  const std::string prog = R"(
+      .org 0x40000100
+  _start:
+      call rt_init
+      nop
+      mov 30, %o0
+      call is_even
+      nop
+      set result, %g2
+      st %o0, [%g2]
+  done: ba done
+      nop
+
+  is_even:                    ! returns 1 if n even
+      save %sp, -96, %sp
+      cmp %i0, 0
+      bne even_rec
+      nop
+      mov 1, %i0
+      ret
+      restore
+  even_rec:
+      sub %i0, 1, %o0
+      call is_odd
+      nop
+      mov %o0, %i0
+      ret
+      restore
+
+  is_odd:
+      save %sp, -96, %sp
+      cmp %i0, 0
+      bne odd_rec
+      nop
+      mov 0, %i0
+      ret
+      restore
+  odd_rec:
+      sub %i0, 1, %o0
+      call is_even
+      nop
+      mov %o0, %i0
+      ret
+      restore
+
+      .align 4
+  result:
+      .skip 4
+  )";
+  sasm::rt::RuntimeOptions opt;
+  opt.nwindows = 4;
+  cpu::CpuConfig cfg;
+  cfg.nwindows = 4;
+  TestCpu c(prog + sasm::rt::runtime_source(opt), cfg);
+  c.run_to("done", 2000000);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("result")), 1u);
+}
+
+TEST(RuntimeWindows, UnexpectedTrapRecordsTt) {
+  const std::string prog = R"(
+      .org 0x40000100
+  _start:
+      call rt_init
+      nop
+      ta 9                   ! -> tt 0x89: routed to rt_unexpected
+      nop
+  done: ba done
+      nop
+  )";
+  sasm::rt::RuntimeOptions opt;
+  TestCpu c(prog + sasm::rt::runtime_source(opt));
+  c.iu().run(20000, c.image().symbol("done"));
+  // The default handler spins after recording the trap type.
+  EXPECT_EQ(c.mem().word_at(opt.fault_word), 0x89u);
+  EXPECT_FALSE(c.iu().state().error_mode);
+}
+
+TEST(RuntimeWindows, CustomHandlerRouting) {
+  const std::string prog = R"(
+      .org 0x40000100
+  _start:
+      call rt_init
+      nop
+      ta 5                   ! tt 0x85 -> my_handler
+      nop
+  after:
+      set result, %g2
+      st %g7, [%g2]
+  done: ba done
+      nop
+  my_handler:
+      mov 123, %g7
+      jmp %l2                ! skip the ta
+      rett %l2 + 4
+      .align 4
+  result:
+      .skip 4
+  )";
+  sasm::rt::RuntimeOptions opt;
+  opt.custom_handlers[0x85] = "my_handler";
+  TestCpu c(prog + sasm::rt::runtime_source(opt));
+  c.run_to("done", 50000);
+  EXPECT_EQ(c.mem().word_at(c.image().symbol("result")), 123u);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,118 @@
+// Architectural state plumbing: PSR pack/unpack and register-window
+// aliasing invariants.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cpu/state.hpp"
+
+namespace la::cpu {
+namespace {
+
+TEST(Psr, PackUnpackRoundTrip) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    Psr p;
+    p.n = rng.chance(0.5);
+    p.z = rng.chance(0.5);
+    p.v = rng.chance(0.5);
+    p.c = rng.chance(0.5);
+    p.ec = rng.chance(0.5);
+    p.ef = rng.chance(0.5);
+    p.pil = static_cast<u8>(rng.below(16));
+    p.s = rng.chance(0.5);
+    p.ps = rng.chance(0.5);
+    p.et = rng.chance(0.5);
+    p.cwp = static_cast<u8>(rng.below(32));
+    Psr q;
+    q.unpack(p.pack());
+    EXPECT_EQ(q.pack(), p.pack());
+    EXPECT_EQ(q.pil, p.pil);
+    EXPECT_EQ(q.cwp, p.cwp);
+  }
+}
+
+TEST(Psr, ImplVerFieldsConstant) {
+  Psr p;
+  p.unpack(0);  // attempt to zero everything
+  EXPECT_EQ(p.pack() >> 24, (Psr::kImpl << 4) | Psr::kVer);
+}
+
+TEST(RegisterFile, G0AlwaysZero) {
+  RegisterFile rf(8);
+  rf.set(0, 0, 0xffffffff);
+  EXPECT_EQ(rf.get(0, 0), 0u);
+  EXPECT_EQ(rf.get(5, 0), 0u);
+}
+
+TEST(RegisterFile, GlobalsSharedAcrossWindows) {
+  RegisterFile rf(8);
+  rf.set(0, 1, 111);
+  for (unsigned w = 0; w < 8; ++w) EXPECT_EQ(rf.get(w, 1), 111u);
+}
+
+TEST(RegisterFile, InsAliasNextWindowsOuts) {
+  // ins(w) == outs((w+1) mod N), for every window and register.
+  for (const unsigned nw : {4u, 8u, 32u}) {
+    RegisterFile rf(nw);
+    for (unsigned w = 0; w < nw; ++w) {
+      for (u8 r = 0; r < 8; ++r) {
+        const u32 v = w * 100 + r + 1;
+        rf.set(w, static_cast<u8>(24 + r), v);  // write %iN of window w
+        EXPECT_EQ(rf.get((w + 1) % nw, static_cast<u8>(8 + r)), v)
+            << "nw=" << nw << " w=" << w << " r=" << int{r};
+      }
+    }
+  }
+}
+
+TEST(RegisterFile, LocalsArePrivate) {
+  RegisterFile rf(8);
+  for (unsigned w = 0; w < 8; ++w) {
+    rf.set(w, 16, w + 1);  // %l0
+  }
+  for (unsigned w = 0; w < 8; ++w) {
+    EXPECT_EQ(rf.get(w, 16), w + 1);
+  }
+}
+
+TEST(RegisterFile, FullWalkIsConsistent) {
+  // Write a unique value through every (window, reg) port, then read the
+  // whole file back through the aliasing map and require consistency.
+  Rng rng(9);
+  RegisterFile rf(8);
+  // Model: 8 globals + 8*16 window slots.
+  std::vector<u32> shadow(8 + 8 * 16, 0);
+  const auto slot = [&](unsigned w, u8 r) -> int {
+    if (r == 0) return -1;
+    if (r < 8) return r;
+    if (r < 16) return 8 + static_cast<int>(w * 16 + (r - 8));
+    if (r < 24) return 8 + static_cast<int>(w * 16 + 8 + (r - 16));
+    return 8 + static_cast<int>(((w + 1) % 8) * 16 + (r - 24));
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const unsigned w = rng.below(8);
+    const u8 r = static_cast<u8>(rng.below(32));
+    if (rng.chance(0.5)) {
+      const u32 v = rng.next_u32();
+      rf.set(w, r, v);
+      if (slot(w, r) >= 0) shadow[static_cast<std::size_t>(slot(w, r))] = v;
+    } else {
+      const u32 expect =
+          slot(w, r) < 0 ? 0u
+                         : shadow[static_cast<std::size_t>(slot(w, r))];
+      ASSERT_EQ(rf.get(w, r), expect) << "w=" << w << " r=" << int{r};
+    }
+  }
+}
+
+TEST(CpuState, TbrTtField) {
+  CpuState st;
+  st.tbr = 0x40020000;
+  st.set_tbr_tt(0x85);
+  EXPECT_EQ(st.tbr_tt(), 0x85);
+  EXPECT_EQ(st.tbr & 0xfffff000u, 0x40020000u);  // base preserved
+  EXPECT_EQ(st.tbr & 0xfu, 0u);                  // low bits zero
+}
+
+}  // namespace
+}  // namespace la::cpu

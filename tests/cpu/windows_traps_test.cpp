@@ -1,0 +1,298 @@
+// Register windows, SAVE/RESTORE, WIM, trap entry/exit, Ticc, interrupts.
+#include <gtest/gtest.h>
+
+#include "cpu_test_util.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(Windows, OutsBecomeIns) {
+  TestCpu c(R"(
+      mov 41, %o0
+      save %sp, -96, %sp
+      add %i0, 1, %i0      ! caller's %o0 is callee's %i0
+      restore %i0, 0, %o0  ! result back into caller's %o0 via restore
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.o(0), 42u);
+}
+
+TEST(Windows, LocalsArePrivatePerWindow) {
+  TestCpu c(R"(
+      mov 1, %l0
+      save %sp, -96, %sp
+      mov 2, %l0
+      save %sp, -96, %sp
+      mov 3, %l0
+      restore
+      mov %l0, %g1         ! middle window's local
+      restore
+      mov %l0, %g2         ! outer window's local
+  done: ba done
+      nop
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(1), 2u);
+  EXPECT_EQ(c.g(2), 1u);
+}
+
+TEST(Windows, CwpDecrementsOnSaveModulo) {
+  cpu::CpuConfig cfg;
+  cfg.nwindows = 4;
+  TestCpu c(R"(
+      save
+      save
+      save
+  done: ba done
+      nop
+  )",
+            cfg);
+  c.run_to("done");
+  EXPECT_EQ(c.psr().cwp, (0u + 4 - 3) % 4);
+}
+
+TEST(Windows, SaveIntoWimWindowOverflows) {
+  // WIM marks window 7 (with nwindows=8, cwp=0): first save hits it.
+  TestCpu c(R"(
+      wr %g0, 0x80, %wim   ! invalid window = 7
+      save
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);  // ET=0 -> error mode
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x05);
+}
+
+TEST(Windows, RestoreIntoWimWindowUnderflows) {
+  TestCpu c(R"(
+      wr %g0, 2, %wim      ! invalid window = 1
+      restore
+  )");
+  c.iu().run(10);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x06);
+}
+
+TEST(Windows, WimBitsAboveNwindowsReadZero) {
+  cpu::CpuConfig cfg;
+  cfg.nwindows = 4;
+  TestCpu c(R"(
+      set 0xffffffff, %g1
+      wr %g1, 0, %wim
+      rd %wim, %g2
+  done: ba done
+      nop
+  )",
+            cfg);
+  c.run_to("done");
+  EXPECT_EQ(c.g(2), 0xfu);
+}
+
+TEST(Traps, TiccVectorsThroughTbr) {
+  // Install a trap "table" at 0x1000: handler for tt 0x80+3 = 0x83 lives
+  // at 0x1000 + 0x83*16 = 0x1830.
+  TestCpu c(R"(
+      .org 0
+  _start:
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0xaa0, %psr  ! enable traps
+      nop
+      ta 3
+      nop
+  after:
+      ba after
+      nop
+
+      .org 0x1830          ! handler for tt = 0x83
+  handler:
+      mov 99, %g7
+  hdone: ba hdone
+      nop
+  )");
+  c.run_to("hdone");
+  EXPECT_EQ(c.g(7), 99u);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x83);
+  EXPECT_FALSE(c.psr().et);      // traps disabled in handler
+  EXPECT_TRUE(c.psr().s);
+  EXPECT_EQ(c.psr().cwp, 7u);    // decremented from 0 (mod 8)
+}
+
+TEST(Traps, TrapSavesPcNpcInNewWindowLocals) {
+  TestCpu c(R"(
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0xaa0, %psr
+      nop
+  trap_site:
+      ta 0
+      nop
+
+      .org 0x1800          ! tt = 0x80
+  handler:
+      mov %l1, %g2         ! saved pc
+      mov %l2, %g3         ! saved npc
+  hdone: ba hdone
+      nop
+  )");
+  c.run_to("hdone");
+  EXPECT_EQ(c.g(2), c.image().symbol("trap_site"));
+  EXPECT_EQ(c.g(3), c.image().symbol("trap_site") + 4);
+}
+
+TEST(Traps, RettReturnsAndReenables) {
+  TestCpu c(R"(
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0xaa0, %psr
+      nop
+      ta 1
+      mov 5, %g4           ! delay slot of ta: runs after return (npc)
+  after:
+      mov 6, %g5
+  done: ba done
+      nop
+
+      .org 0x1810          ! tt = 0x81
+  handler:
+      mov 7, %g6
+      jmpl %l1, %g0        ! retry path: return to trapped pc? no — skip:
+      rett %l2             ! jmp l1 + rett l2 resumes at pc. For a Ticc we
+                           ! want l2 (npc): use jmp %l2; rett %l2+4 instead
+  )");
+  // The handler above is intentionally the *classic* "retry" sequence:
+  // jmp %l1; rett %l2 re-executes the trapping instruction. For Ticc that
+  // would loop forever... but the second time around the condition codes
+  // are unchanged, so `ta` traps again; we bound the run and then check
+  // that the handler really did run and the trap return machinery works.
+  c.iu().run(60);
+  EXPECT_EQ(c.g(6), 7u);          // handler executed
+  EXPECT_FALSE(c.iu().state().error_mode);
+}
+
+TEST(Traps, RettSkipSequenceResumesAfterTicc) {
+  TestCpu c(R"(
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0xaa0, %psr
+      nop
+      ta 1
+      mov 5, %g4           ! delay-slot instruction (npc target)
+      mov 6, %g5
+  done: ba done
+      nop
+
+      .org 0x1810
+  handler:
+      mov 7, %g6
+      jmp %l2              ! skip the trapping instruction: return to npc
+      rett %l2 + 4
+  )");
+  c.run_to("done");
+  EXPECT_EQ(c.g(4), 5u);
+  EXPECT_EQ(c.g(5), 6u);
+  EXPECT_EQ(c.g(6), 7u);
+  EXPECT_TRUE(c.psr().et);        // rett re-enabled traps
+  EXPECT_EQ(c.psr().cwp, 0u);     // window restored
+}
+
+TEST(Traps, IllegalInstructionTt) {
+  TestCpu c(R"(
+      unimp 0
+  )");
+  c.iu().run(5);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x02);
+}
+
+TEST(Traps, PrivilegedFromUserMode) {
+  TestCpu c(R"(
+      wr %g0, 0x20, %psr   ! S=0 ET=1
+      nop
+      rd %psr, %g1         ! privileged in user mode
+  )");
+  u8 tt = 0;
+  for (int i = 0; i < 10 && !tt; ++i) {
+    const auto r = c.iu().step();
+    if (r.trapped) tt = r.tt;
+  }
+  EXPECT_EQ(tt, 0x03);
+}
+
+TEST(Traps, InterruptDeliveredAbovePil) {
+  TestCpu c(R"(
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0x5a0, %psr  ! S=1 ET=1 PIL=5
+      nop
+  spin:
+      ba spin
+      nop
+
+      .org 0x1000 + 0x1b * 16   ! interrupt level 11 -> tt 0x1b
+  handler:
+      mov 1, %g7
+  hdone: ba hdone
+      nop
+  )");
+  c.iu().run(5);
+  c.iu().set_irq(11);
+  c.run_to("hdone", 100);
+  EXPECT_EQ(c.g(7), 1u);
+}
+
+TEST(Traps, InterruptMaskedAtOrBelowPil) {
+  TestCpu c(R"(
+      wr %g0, 0x5a0, %psr  ! PIL=5
+      nop
+  spin:
+      ba spin
+      nop
+  )");
+  c.iu().run(5);
+  c.iu().set_irq(4);  // below PIL: must be ignored
+  c.iu().run(50);
+  EXPECT_FALSE(c.iu().state().error_mode);
+  // Still inside the two-instruction spin loop, no trap vectored.
+  const Addr spin = c.image().symbol("spin");
+  EXPECT_TRUE(c.iu().state().pc == spin || c.iu().state().pc == spin + 4);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0u);
+}
+
+TEST(Traps, Level15NonMaskable) {
+  TestCpu c(R"(
+      set 0x1000, %g1
+      wr %g1, 0, %tbr
+      wr %g0, 0xfa0, %psr  ! PIL=15
+      nop
+  spin:
+      ba spin
+      nop
+
+      .org 0x1000 + 0x1f * 16
+  handler:
+      mov 1, %g7
+  hdone: ba hdone
+      nop
+  )");
+  c.iu().run(5);
+  c.iu().set_irq(15);
+  c.run_to("hdone", 100);
+  EXPECT_EQ(c.g(7), 1u);
+}
+
+TEST(Traps, WrpsrInvalidCwpIsIllegal) {
+  cpu::CpuConfig cfg;
+  cfg.nwindows = 4;
+  TestCpu c(R"(
+      wr %g0, 0x87, %psr   ! CWP=7 but only 4 windows
+  )",
+            cfg);
+  c.iu().run(5);
+  EXPECT_TRUE(c.iu().state().error_mode);
+  EXPECT_EQ(c.iu().state().tbr_tt(), 0x02);
+}
+
+}  // namespace
+}  // namespace la::test

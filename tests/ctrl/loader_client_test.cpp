@@ -1,0 +1,125 @@
+// Host-side control software: program packetization and client failure
+// behaviour on dead/terrible channels.
+#include <gtest/gtest.h>
+
+#include "ctrl/client.hpp"
+#include "ctrl/loader.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::ctrl {
+namespace {
+
+sasm::Image image_of_size(std::size_t bytes) {
+  std::string src = "    .org 0x40000100\n_start:\n    .skip " +
+                    std::to_string(bytes) + ", 0x5a\n";
+  return sasm::assemble_or_throw(src);
+}
+
+TEST(Loader, SingleChunkForSmallImage) {
+  const auto chunks = packetize(image_of_size(100), 1024);
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].total_packets, 1);
+  EXPECT_EQ(chunks[0].sequence, 0);
+  EXPECT_EQ(chunks[0].address, 0x40000100u);
+  EXPECT_EQ(chunks[0].data.size(), 100u);
+  EXPECT_EQ(chunks[0].data[0], 0x5a);
+}
+
+TEST(Loader, ChunkMathIsExact) {
+  const auto chunks = packetize(image_of_size(2500), 1024);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].data.size(), 1024u);
+  EXPECT_EQ(chunks[1].data.size(), 1024u);
+  EXPECT_EQ(chunks[2].data.size(), 452u);
+  EXPECT_EQ(chunks[1].address, 0x40000100u + 1024);
+  EXPECT_EQ(chunks[2].address, 0x40000100u + 2048);
+  for (const auto& c : chunks) EXPECT_EQ(c.total_packets, 3);
+}
+
+TEST(Loader, ExactMultipleBoundary) {
+  const auto chunks = packetize(image_of_size(2048), 1024);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[1].data.size(), 1024u);
+}
+
+TEST(Loader, TooManyPacketsRejected) {
+  EXPECT_THROW(packetize(image_of_size(256 * 64), 64),
+               std::invalid_argument);
+  // 255 * 64 exactly fits.
+  EXPECT_EQ(packetize(image_of_size(255 * 64), 64).size(), 255u);
+}
+
+TEST(Loader, DegenerateArgumentsRejected) {
+  EXPECT_THROW(packetize(image_of_size(10), 0), std::invalid_argument);
+  sasm::Image empty;
+  EXPECT_THROW(packetize(empty, 64), std::invalid_argument);
+}
+
+TEST(Loader, SerializedChunkParsesBack) {
+  const auto chunks = packetize(image_of_size(300), 128);
+  for (const auto& c : chunks) {
+    const Bytes wire = c.serialize();
+    ByteReader r(wire);
+    EXPECT_EQ(r.read_u8(),
+              static_cast<u8>(net::CommandCode::kLoadProgram));
+    const auto back = net::LoadProgramCmd::parse(r);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->sequence, c.sequence);
+    EXPECT_EQ(back->address, c.address);
+    EXPECT_EQ(back->data, c.data);
+  }
+}
+
+TEST(Client, GivesUpOnDeadChannel) {
+  sim::LiquidSystem node;
+  node.run(100);
+  ClientConfig cfg;
+  cfg.uplink.drop = 1.0;  // nothing gets through
+  cfg.max_retries = 2;
+  cfg.pump_steps = 10;
+  LiquidClient client(node, cfg);
+  EXPECT_FALSE(client.status().has_value());
+  EXPECT_GT(client.stats().gave_up, 0u);
+  EXPECT_FALSE(client.start(0x40000100));
+  EXPECT_FALSE(client.read_memory(0x40000100, 1).has_value());
+}
+
+TEST(Client, DeadDownlinkAlsoGivesUpButNodeActed) {
+  sim::LiquidSystem node;
+  node.run(100);
+  ClientConfig cfg;
+  cfg.downlink.drop = 1.0;  // commands arrive, responses vanish
+  cfg.max_retries = 2;
+  cfg.pump_steps = 10;
+  LiquidClient client(node, cfg);
+  EXPECT_FALSE(client.status().has_value());
+  // The node *did* process the commands: responses were generated and lost.
+  EXPECT_GT(node.controller().stats().commands, 0u);
+}
+
+TEST(Client, RestartCommandResetsNode) {
+  sim::LiquidSystem node;
+  node.run(100);
+  LiquidClient client(node);
+  const auto img = sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set result, %g1
+      mov 1, %g2
+      st %g2, [%g1]
+      jmp 0x40
+      nop
+      .align 4
+  result: .skip 4
+  )");
+  ASSERT_TRUE(client.run_program(img));
+  ASSERT_TRUE(client.restart());
+  const auto s = client.status();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, net::LeonState::kIdle);
+  // And the node can run again after the restart.
+  ASSERT_TRUE(client.run_program(img));
+}
+
+}  // namespace
+}  // namespace la::ctrl

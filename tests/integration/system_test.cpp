@@ -1,0 +1,266 @@
+// End-to-end integration: boot, remote program load over UDP, execution,
+// readback — the paper's full operating loop — including over lossy,
+// reordering, duplicating channels, plus runtime reconfiguration.
+#include <gtest/gtest.h>
+
+#include "ctrl/client.hpp"
+#include "mem/memory_map.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::test {
+namespace {
+
+namespace map = mem::map;
+
+/// A user program that sums 1..100 into `result` and returns to the boot
+/// ROM's polling loop (the paper's convention for program completion).
+std::string sum_program() {
+  return R"(
+      .org 0x40000100
+  _start:
+      mov 0, %g1
+      mov 100, %g2
+  loop:
+      add %g1, %g2, %g1
+      subcc %g2, 1, %g2
+      bne loop
+      nop
+      set result, %g3
+      st %g1, [%g3]
+      jmp 0x40             ! back to the boot ROM polling loop
+      nop
+      .align 4
+  result:
+      .skip 4
+  )";
+}
+
+TEST(System, BootsIntoPollingLoop) {
+  sim::LiquidSystem sys;
+  sys.run(200);
+  // The CPU must be spinning inside the ROM polling loop.
+  const Addr pc = sys.cpu().state().pc;
+  EXPECT_GE(pc, sys.check_ready_addr());
+  EXPECT_LT(pc, sys.check_ready_addr() + 12 * 4);
+  EXPECT_FALSE(sys.cpu().state().error_mode);
+}
+
+TEST(System, FullRemoteRunOverReliableChannel) {
+  sim::LiquidSystem sys;
+  sys.run(100);  // let the boot settle
+
+  ctrl::LiquidClient client(sys);
+  const auto img = sasm::assemble_or_throw(sum_program());
+
+  ASSERT_TRUE(client.run_program(img));
+  EXPECT_EQ(sys.controller().state(), net::LeonState::kDone);
+
+  const auto mem = client.read_memory(img.symbol("result"), 1);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ((*mem)[0], 5050u);
+  EXPECT_EQ(client.stats().gave_up, 0u);
+}
+
+TEST(System, StatusReflectsLifecycle) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+
+  auto s = client.status();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, net::LeonState::kIdle);
+
+  const auto img = sasm::assemble_or_throw(sum_program());
+  ASSERT_TRUE(client.load_program(img));
+  s = client.status();
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->state, net::LeonState::kReady);
+
+  ASSERT_TRUE(client.start(img.entry));
+  ASSERT_TRUE(client.run_program(img));  // idempotent reload+rerun
+}
+
+TEST(System, LossyChannelStillDelivers) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::ClientConfig ccfg;
+  ccfg.uplink.drop = 0.3;
+  ccfg.uplink.seed = 11;
+  ccfg.downlink.drop = 0.3;
+  ccfg.downlink.seed = 12;
+  ccfg.load_chunk = 32;  // many packets -> loss really bites
+  ctrl::LiquidClient client(sys, ccfg);
+
+  const auto img = sasm::assemble_or_throw(sum_program());
+  ASSERT_TRUE(client.run_program(img));
+  const auto mem = client.read_memory(img.symbol("result"), 1);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ((*mem)[0], 5050u);
+  EXPECT_GT(client.stats().retries, 0u);
+}
+
+TEST(System, ReorderingAndDuplicationHandled) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::ClientConfig ccfg;
+  ccfg.uplink.reorder = 0.6;
+  ccfg.uplink.duplicate = 0.3;
+  ccfg.uplink.seed = 21;
+  ccfg.downlink.reorder = 0.4;
+  ccfg.downlink.seed = 22;
+  ccfg.load_chunk = 16;
+  ctrl::LiquidClient client(sys, ccfg);
+
+  const auto img = sasm::assemble_or_throw(sum_program());
+  ASSERT_TRUE(client.run_program(img));
+  const auto mem = client.read_memory(img.symbol("result"), 1);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_EQ((*mem)[0], 5050u);
+}
+
+TEST(System, BackToBackProgramsWithDifferentResults) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+
+  const auto sum = sasm::assemble_or_throw(sum_program());
+  ASSERT_TRUE(client.run_program(sum));
+  auto r1 = client.read_memory(sum.symbol("result"), 1);
+  ASSERT_TRUE(r1.has_value());
+  EXPECT_EQ((*r1)[0], 5050u);
+
+  // Second program at the same addresses: multiplies instead.
+  const auto prod = sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      mov 7, %g1
+      mov 6, %g2
+      umul %g1, %g2, %g3
+      set result, %g4
+      st %g3, [%g4]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+  )");
+  ASSERT_TRUE(client.run_program(prod));
+  auto r2 = client.read_memory(prod.symbol("result"), 1);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ((*r2)[0], 42u);
+}
+
+TEST(System, CycleCounterUsableFromUserProgram) {
+  // The paper's measurement flow: the program starts the hardware counter,
+  // runs the kernel, stops it, and stores the reading for readback.
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+
+  const auto img = sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set 0x80000500, %g1
+      mov 1, %g2
+      st %g2, [%g1]        ! start
+      mov 100, %g3
+  loop:
+      subcc %g3, 1, %g3
+      bne loop
+      nop
+      st %g0, [%g1]        ! stop
+      ld [%g1 + 4], %g4
+      set cycles, %g5
+      st %g4, [%g5]
+      jmp 0x40
+      nop
+      .align 4
+  cycles:
+      .skip 4
+  )");
+  ASSERT_TRUE(client.run_program(img));
+  const auto mem = client.read_memory(img.symbol("cycles"), 1);
+  ASSERT_TRUE(mem.has_value());
+  EXPECT_GT((*mem)[0], 300u);   // 3-instruction loop, 100 iterations
+  EXPECT_LT((*mem)[0], 3000u);
+}
+
+TEST(System, ReconfigurationPreservesMemoryAndRuns) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+
+  const auto img = sasm::assemble_or_throw(sum_program());
+  ASSERT_TRUE(client.run_program(img));
+
+  // Swap in a 4x bigger data cache (the liquid step).
+  cpu::PipelineConfig pcfg;
+  pcfg.dcache.size_bytes = 4096;
+  sys.reconfigure(pcfg);
+  EXPECT_EQ(sys.cpu().dcache().config().size_bytes, 4096u);
+
+  // Memory survived the reconfiguration (it is off-chip).
+  auto r = client.read_memory(img.symbol("result"), 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0], 5050u);
+
+  // And the node still runs programs after the swap.
+  ASSERT_TRUE(client.restart());
+  ASSERT_TRUE(client.run_program(img));
+}
+
+TEST(System, DisconnectedCpuSpinsHarmlessly) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  sys.disconnect().set_connected(false);
+  sys.run(500);  // polling loop reads zeros: keeps spinning
+  EXPECT_FALSE(sys.cpu().state().error_mode);
+  const Addr pc = sys.cpu().state().pc;
+  EXPECT_GE(pc, sys.check_ready_addr());
+  EXPECT_LT(pc, sys.check_ready_addr() + 12 * 4);
+}
+
+TEST(System, WrongAddressTrafficIgnored) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  net::UdpDatagram d;
+  d.src_ip = net::make_ip(1, 1, 1, 1);
+  d.dst_ip = net::make_ip(9, 9, 9, 9);  // not this node
+  d.src_port = 1;
+  d.dst_port = net::kLeonControlPort;
+  d.payload = net::simple_command(net::CommandCode::kStatus);
+  sys.ingress_frame(net::build_udp_packet(d));
+  EXPECT_FALSE(sys.egress_frame().has_value());
+  EXPECT_EQ(sys.wrappers().stats().ip_wrong_addr, 1u);
+}
+
+TEST(System, SdramVisibleToPrograms) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+
+  const auto img = sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set 0x60000040, %g1   ! SDRAM
+      set 0xabcdef01, %g2
+      st %g2, [%g1]
+      ld [%g1], %g3
+      set result, %g4
+      st %g3, [%g4]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+  )");
+  ASSERT_TRUE(client.run_program(img));
+  const auto r = client.read_memory(img.symbol("result"), 1);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[0], 0xabcdef01u);
+  EXPECT_GT(sys.sdram_controller().stats().total_handshakes(), 0u);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,62 @@
+// Exhaustive check of integer condition evaluation over all 16 conditions
+// and all 16 flag combinations against the V8 manual's truth table.
+#include <gtest/gtest.h>
+
+#include "isa/isa.hpp"
+
+namespace la::isa {
+namespace {
+
+struct Flags {
+  bool n, z, v, c;
+};
+
+// Reference implementation straight from the manual's boolean formulas.
+bool reference(Cond cond, Flags f) {
+  switch (cond) {
+    case Cond::kA: return true;
+    case Cond::kN: return false;
+    case Cond::kNe: return !f.z;
+    case Cond::kE: return f.z;
+    case Cond::kG: return !(f.z || (f.n != f.v));
+    case Cond::kLe: return f.z || (f.n != f.v);
+    case Cond::kGe: return !(f.n != f.v);
+    case Cond::kL: return f.n != f.v;
+    case Cond::kGu: return !(f.c || f.z);
+    case Cond::kLeu: return f.c || f.z;
+    case Cond::kCc: return !f.c;
+    case Cond::kCs: return f.c;
+    case Cond::kPos: return !f.n;
+    case Cond::kNeg: return f.n;
+    case Cond::kVc: return !f.v;
+    case Cond::kVs: return f.v;
+  }
+  return false;
+}
+
+TEST(Cond, ExhaustiveAgainstManual) {
+  for (unsigned cc = 0; cc < 16; ++cc) {
+    for (unsigned fl = 0; fl < 16; ++fl) {
+      const Flags f{(fl & 8) != 0, (fl & 4) != 0, (fl & 2) != 0,
+                    (fl & 1) != 0};
+      const Cond cond = static_cast<Cond>(cc);
+      EXPECT_EQ(eval_cond(cond, f.n, f.z, f.v, f.c), reference(cond, f))
+          << "cond=" << cc << " flags=" << fl;
+    }
+  }
+}
+
+TEST(Cond, ComplementPairs) {
+  // Conditions 1..7 are the complements of 9..15 (cond ^ 8).
+  for (unsigned cc = 1; cc < 8; ++cc) {
+    for (unsigned fl = 0; fl < 16; ++fl) {
+      const bool n = (fl & 8) != 0, z = (fl & 4) != 0, v = (fl & 2) != 0,
+                 c = (fl & 1) != 0;
+      EXPECT_NE(eval_cond(static_cast<Cond>(cc), n, z, v, c),
+                eval_cond(static_cast<Cond>(cc | 8), n, z, v, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace la::isa

@@ -1,0 +1,169 @@
+// Directed decode tests against hand-assembled SPARC V8 words (encodings
+// cross-checked with the V8 manual's format diagrams).
+#include "isa/decode.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/encode.hpp"
+
+namespace la::isa {
+namespace {
+
+TEST(Decode, CallPositiveDisplacement) {
+  // call .+8  => 0x40000002
+  const Instruction i = decode(0x40000002);
+  EXPECT_EQ(i.mn, Mnemonic::kCall);
+  EXPECT_EQ(i.disp, 2);
+}
+
+TEST(Decode, CallNegativeDisplacement) {
+  // disp30 = -1 => 0x7fffffff
+  const Instruction i = decode(0x7fffffff);
+  EXPECT_EQ(i.mn, Mnemonic::kCall);
+  EXPECT_EQ(i.disp, -1);
+}
+
+TEST(Decode, Sethi) {
+  // sethi %hi(0x12345400), %g1 : imm22 = 0x48d15, rd=1
+  const u32 w = (1u << 25) | (4u << 22) | 0x48d15u;
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kSethi);
+  EXPECT_EQ(i.rd, 1);
+  EXPECT_EQ(i.imm22, 0x48d15u);
+}
+
+TEST(Decode, NopIsSethiZero) {
+  const Instruction i = decode(0x01000000);
+  EXPECT_EQ(i.mn, Mnemonic::kSethi);
+  EXPECT_EQ(i.rd, 0);
+  EXPECT_EQ(i.imm22, 0u);
+}
+
+TEST(Decode, BranchAlwaysAnnulled) {
+  // ba,a .-4 : a=1 cond=8 op2=2 disp=-1
+  const u32 w = (1u << 29) | (8u << 25) | (2u << 22) | 0x3fffffu;
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kBicc);
+  EXPECT_EQ(i.cond, Cond::kA);
+  EXPECT_TRUE(i.annul);
+  EXPECT_EQ(i.disp, -1);
+}
+
+TEST(Decode, BranchNotEqual) {
+  const u32 w = encode_branch(Cond::kNe, false, 16);
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kBicc);
+  EXPECT_EQ(i.cond, Cond::kNe);
+  EXPECT_FALSE(i.annul);
+  EXPECT_EQ(i.disp, 16);
+}
+
+TEST(Decode, Unimp) {
+  const Instruction i = decode(0x00000000);
+  EXPECT_EQ(i.mn, Mnemonic::kUnimp);
+}
+
+TEST(Decode, AddRegReg) {
+  // add %g1, %g2, %g3 : op=2 rd=3 op3=0 rs1=1 i=0 rs2=2
+  const u32 w = (2u << 30) | (3u << 25) | (0u << 19) | (1u << 14) | 2u;
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kAdd);
+  EXPECT_EQ(i.rd, 3);
+  EXPECT_EQ(i.rs1, 1);
+  EXPECT_EQ(i.rs2, 2);
+  EXPECT_FALSE(i.imm);
+}
+
+TEST(Decode, SubImmediateNegative) {
+  // sub %o0, -42, %o1
+  const u32 w = encode_arith_ri(Mnemonic::kSub, 9, 8, -42);
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kSub);
+  EXPECT_TRUE(i.imm);
+  EXPECT_EQ(i.simm13, -42);
+  EXPECT_EQ(i.rs1, 8);
+  EXPECT_EQ(i.rd, 9);
+}
+
+TEST(Decode, LoadWithAsi) {
+  // lda [%g1 + %g2] 0x20, %g3
+  const u32 w = encode_mem_rr(Mnemonic::kLda, 3, 1, 2, 0x20);
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kLda);
+  EXPECT_EQ(i.asi, 0x20);
+  EXPECT_FALSE(i.imm);
+}
+
+TEST(Decode, AlternateSpaceWithImmediateIsInvalid) {
+  // lda with i=1 is undefined per the manual.
+  const u32 w = (3u << 30) | (3u << 25) | (0x10u << 19) | (1u << 14) |
+                (1u << 13) | 4u;
+  EXPECT_EQ(decode(w).mn, Mnemonic::kInvalid);
+}
+
+TEST(Decode, RdyVersusRdasr) {
+  EXPECT_EQ(decode(encode_arith_rr(Mnemonic::kRdy, 1, 0, 0)).mn,
+            Mnemonic::kRdy);
+  EXPECT_EQ(decode(encode_arith_rr(Mnemonic::kRdasr, 1, 17, 0)).mn,
+            Mnemonic::kRdasr);
+}
+
+TEST(Decode, WryVersusWrasr) {
+  EXPECT_EQ(decode(encode_arith_rr(Mnemonic::kWry, 0, 1, 0)).mn,
+            Mnemonic::kWry);
+  EXPECT_EQ(decode(encode_arith_rr(Mnemonic::kWrasr, 17, 1, 0)).mn,
+            Mnemonic::kWrasr);
+}
+
+TEST(Decode, TiccCondInRdField) {
+  const u32 w = encode_ticc(Cond::kA, 0, 5);
+  const Instruction i = decode(w);
+  EXPECT_EQ(i.mn, Mnemonic::kTicc);
+  EXPECT_EQ(i.cond, Cond::kA);
+  EXPECT_TRUE(i.imm);
+  EXPECT_EQ(i.simm13 & 0x7f, 5);
+}
+
+TEST(Decode, HolesAreInvalid) {
+  // op=2, op3=0x09 is a hole in the V8 opcode map.
+  const u32 w = (2u << 30) | (0x09u << 19);
+  EXPECT_EQ(decode(w).mn, Mnemonic::kInvalid);
+  // op=3, op3=0x08 likewise.
+  const u32 w2 = (3u << 30) | (0x08u << 19);
+  EXPECT_EQ(decode(w2).mn, Mnemonic::kInvalid);
+}
+
+TEST(Decode, JmplAndRett) {
+  EXPECT_EQ(decode(encode_arith_ri(Mnemonic::kJmpl, 0, 31, 8)).mn,
+            Mnemonic::kJmpl);
+  EXPECT_EQ(decode(encode_arith_ri(Mnemonic::kRett, 0, 17, 0)).mn,
+            Mnemonic::kRett);
+}
+
+TEST(Decode, FpopCapturesOpf) {
+  Instruction src;
+  src.mn = Mnemonic::kFpop1;
+  src.rd = 2;
+  src.rs1 = 3;
+  src.rs2 = 4;
+  src.opf = 0x41;  // FADDS
+  const Instruction i = decode(encode(src));
+  EXPECT_EQ(i.mn, Mnemonic::kFpop1);
+  EXPECT_EQ(i.opf, 0x41);
+  EXPECT_EQ(i.rs2, 4);
+}
+
+TEST(Decode, MemoryPredicates) {
+  EXPECT_TRUE(is_load(Mnemonic::kLd));
+  EXPECT_FALSE(is_store(Mnemonic::kLd));
+  EXPECT_TRUE(is_store(Mnemonic::kStd));
+  EXPECT_TRUE(is_load(Mnemonic::kSwap));
+  EXPECT_TRUE(is_store(Mnemonic::kSwap));
+  EXPECT_EQ(access_size(Mnemonic::kLdub), 1u);
+  EXPECT_EQ(access_size(Mnemonic::kLduh), 2u);
+  EXPECT_EQ(access_size(Mnemonic::kLd), 4u);
+  EXPECT_EQ(access_size(Mnemonic::kLdd), 8u);
+}
+
+}  // namespace
+}  // namespace la::isa

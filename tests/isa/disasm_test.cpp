@@ -1,0 +1,67 @@
+#include "isa/disasm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/encode.hpp"
+
+namespace la::isa {
+namespace {
+
+TEST(Disasm, Nop) {
+  EXPECT_EQ(disassemble_word(encode_nop()), "nop");
+}
+
+TEST(Disasm, ThreeOperandArith) {
+  EXPECT_EQ(disassemble_word(encode_arith_rr(Mnemonic::kAdd, 3, 1, 2)),
+            "add %g1, %g2, %g3");
+  EXPECT_EQ(disassemble_word(encode_arith_ri(Mnemonic::kSubcc, 9, 8, -4)),
+            "subcc %o0, -4, %o1");
+}
+
+TEST(Disasm, LoadStore) {
+  EXPECT_EQ(disassemble_word(encode_mem_ri(Mnemonic::kLd, 2, 1, 8)),
+            "ld [%g1 + 8], %g2");
+  EXPECT_EQ(disassemble_word(encode_mem_ri(Mnemonic::kSt, 2, 14, -16)),
+            "st %g2, [%sp - 16]");
+  EXPECT_EQ(disassemble_word(encode_mem_rr(Mnemonic::kLdd, 4, 1, 2)),
+            "ldd [%g1 + %g2], %g4");
+}
+
+TEST(Disasm, BranchWithTarget) {
+  // bne,a with pc=0x1000, disp=+4 words -> target 0x1010
+  const u32 w = encode_branch(Cond::kNe, true, 4);
+  EXPECT_EQ(disassemble_word(w, 0x1000), "bne,a 0x00001010");
+}
+
+TEST(Disasm, CallTarget) {
+  EXPECT_EQ(disassemble_word(encode_call(4), 0x2000), "call 0x00002010");
+}
+
+TEST(Disasm, RetAndRetl) {
+  EXPECT_EQ(disassemble_word(encode_arith_ri(Mnemonic::kJmpl, 0, 31, 8)),
+            "ret");
+  EXPECT_EQ(disassemble_word(encode_arith_ri(Mnemonic::kJmpl, 0, 15, 8)),
+            "retl");
+}
+
+TEST(Disasm, SpecialRegisters) {
+  EXPECT_EQ(disassemble_word(encode_arith_rr(Mnemonic::kRdpsr, 1, 0, 0)),
+            "rd %psr, %g1");
+  EXPECT_EQ(disassemble_word(encode_arith_ri(Mnemonic::kWrwim, 0, 2, 0)),
+            "wr %g2, 0, %wim");
+}
+
+TEST(Disasm, InvalidBecomesWordDirective) {
+  // op=2 op3=0x09 is a hole.
+  const u32 w = (2u << 30) | (0x09u << 19);
+  const std::string s = disassemble_word(w);
+  EXPECT_NE(s.find(".word"), std::string::npos);
+  EXPECT_NE(s.find("invalid"), std::string::npos);
+}
+
+TEST(Disasm, Ticc) {
+  EXPECT_EQ(disassemble_word(encode_ticc(Cond::kA, 0, 3)), "ta 3");
+}
+
+}  // namespace
+}  // namespace la::isa

@@ -1,0 +1,93 @@
+#include "liquid/arch_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace la::liquid {
+namespace {
+
+TEST(ArchConfig, BaselineIsValid) {
+  const ArchConfig c = ArchConfig::paper_baseline();
+  EXPECT_TRUE(c.valid());
+  EXPECT_EQ(c.icache_bytes, 1024u);
+  EXPECT_EQ(c.dcache_bytes, 1024u);
+  EXPECT_EQ(c.dcache_ways, 1u);  // LEON2: direct-mapped
+}
+
+TEST(ArchConfig, InvalidGeometriesRejected) {
+  ArchConfig c;
+  c.dcache_bytes = 1000;  // not a power of two
+  EXPECT_FALSE(c.valid());
+  c = ArchConfig{};
+  c.dcache_line = 4;  // < 8: LDD would straddle lines
+  EXPECT_FALSE(c.valid());
+  c = ArchConfig{};
+  c.mul_latency = 3;  // LEON offers 1/2/4/5 only
+  EXPECT_FALSE(c.valid());
+  c = ArchConfig{};
+  c.nwindows = 1;
+  EXPECT_FALSE(c.valid());
+}
+
+TEST(ArchConfig, KeysAreUniquePerPoint) {
+  ConfigSpace space;
+  space.dcache_sizes = {1024, 2048, 4096};
+  space.icache_sizes = {1024, 2048};
+  space.line_sizes = {16, 32};
+  space.way_counts = {1, 2};
+  std::set<std::string> keys;
+  for (const auto& c : space.enumerate()) keys.insert(c.key());
+  EXPECT_EQ(keys.size(), space.enumerate().size());
+}
+
+TEST(ArchConfig, KeyReflectsEveryAxis) {
+  ArchConfig a, b;
+  b.dcache_bytes = 4096;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.write_policy = cache::WritePolicy::kWriteBackAllocate;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.has_mul = false;
+  EXPECT_NE(a.key(), b.key());
+  b = a;
+  b.nwindows = 4;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ArchConfig, LoweringPreservesParameters) {
+  ArchConfig c;
+  c.dcache_bytes = 8192;
+  c.dcache_ways = 2;
+  c.mul_latency = 2;
+  c.nwindows = 16;
+  const cpu::PipelineConfig p = c.to_pipeline();
+  EXPECT_EQ(p.dcache.size_bytes, 8192u);
+  EXPECT_EQ(p.dcache.ways, 2u);
+  EXPECT_EQ(p.cpu.mul_latency, 2u);
+  EXPECT_EQ(p.cpu.nwindows, 16u);
+  EXPECT_TRUE(p.dcache.valid());
+}
+
+TEST(ConfigSpace, DefaultMatchesPaperSweep) {
+  const ConfigSpace space;
+  const auto pts = space.enumerate();
+  ASSERT_EQ(pts.size(), 5u);  // 1/2/4/8/16 KB data caches
+  for (const auto& p : pts) {
+    EXPECT_EQ(p.icache_bytes, 1024u);
+    EXPECT_EQ(p.dcache_line, 32u);
+  }
+  EXPECT_EQ(pts.front().dcache_bytes, 1024u);
+  EXPECT_EQ(pts.back().dcache_bytes, 16384u);
+}
+
+TEST(ConfigSpace, SkipsInvalidCombinations) {
+  ConfigSpace space;
+  space.dcache_sizes = {32};  // smaller than a 32B x 2-way set
+  space.way_counts = {2};
+  EXPECT_TRUE(space.enumerate().empty());
+}
+
+}  // namespace
+}  // namespace la::liquid

@@ -1,0 +1,140 @@
+// Batch scheduling on the reconfiguration server: grouping saves
+// reprogramming time, FIFO preserves order, failures are contained.
+#include <gtest/gtest.h>
+
+#include "liquid/job_queue.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::liquid {
+namespace {
+
+sasm::Image tiny_program(u32 value) {
+  return sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set )" + std::to_string(value) + R"(, %g1
+      set result, %g2
+      st %g1, [%g2]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+  )");
+}
+
+ArchConfig with_dcache(u32 bytes) {
+  ArchConfig c;
+  c.dcache_bytes = bytes;
+  return c;
+}
+
+struct QueueFixture : ::testing::Test {
+  QueueFixture() : server(node, cache, syn), queue(server) {
+    node.run(100);
+    cache.pregenerate(ConfigSpace{}, syn);  // warm: isolate scheduling
+  }
+
+  Job make_job(const std::string& owner, u32 dcache, u32 value) {
+    Job j;
+    j.owner = owner;
+    j.config = with_dcache(dcache);
+    j.program = tiny_program(value);
+    j.result_addr = j.program.symbol("result");
+    j.result_words = 1;
+    return j;
+  }
+
+  sim::LiquidSystem node;
+  SynthesisModel syn;
+  ReconfigurationCache cache{0};
+  ReconfigurationServer server;
+  JobQueue queue;
+};
+
+TEST_F(QueueFixture, FifoRunsInSubmissionOrder) {
+  queue.submit(make_job("alice", 1024, 11));
+  queue.submit(make_job("bob", 4096, 22));
+  queue.submit(make_job("carol", 1024, 33));
+  const auto plan = queue.plan(SchedulePolicy::kFifo);
+  EXPECT_EQ(plan, (std::vector<std::size_t>{0, 1, 2}));
+
+  const BatchReport rep = queue.run_all(SchedulePolicy::kFifo);
+  ASSERT_EQ(rep.items.size(), 3u);
+  EXPECT_EQ(rep.items[0].owner, "alice");
+  EXPECT_EQ(rep.items[1].owner, "bob");
+  EXPECT_EQ(rep.items[2].owner, "carol");
+  EXPECT_EQ(rep.failures, 0u);
+  // FIFO pays: 1k(loaded) -> 4k -> 1k = 2 reprogrammings.
+  EXPECT_EQ(rep.reconfigurations, 2u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST_F(QueueFixture, GroupingMinimizesReconfigurations) {
+  queue.submit(make_job("alice", 1024, 11));
+  queue.submit(make_job("bob", 4096, 22));
+  queue.submit(make_job("carol", 1024, 33));
+  queue.submit(make_job("dave", 4096, 44));
+
+  const auto plan = queue.plan(SchedulePolicy::kGroupByConfig);
+  // Loaded config is the 1 KB baseline: its group first, FIFO inside.
+  EXPECT_EQ(plan, (std::vector<std::size_t>{0, 2, 1, 3}));
+
+  const BatchReport rep = queue.run_all(SchedulePolicy::kGroupByConfig);
+  EXPECT_EQ(rep.reconfigurations, 1u);  // one switch to 4 KB, ever
+  ASSERT_EQ(rep.items.size(), 4u);
+  EXPECT_EQ(rep.items[0].owner, "alice");
+  EXPECT_EQ(rep.items[1].owner, "carol");
+  EXPECT_EQ(rep.items[2].owner, "bob");
+  EXPECT_EQ(rep.items[3].owner, "dave");
+}
+
+TEST_F(QueueFixture, ResultsAreDeliveredPerJob) {
+  queue.submit(make_job("a", 1024, 101));
+  queue.submit(make_job("b", 4096, 202));
+  const BatchReport rep = queue.run_all();
+  for (const auto& item : rep.items) {
+    ASSERT_TRUE(item.result.ok) << item.result.error;
+    ASSERT_EQ(item.result.readback.size(), 1u);
+  }
+  EXPECT_EQ(rep.items[0].result.readback[0], 101u);
+  EXPECT_EQ(rep.items[1].result.readback[0], 202u);
+}
+
+TEST_F(QueueFixture, GroupingSavesWallClockOverFifo) {
+  for (int round = 0; round < 3; ++round) {
+    queue.submit(make_job("x", 1024, 1));
+    queue.submit(make_job("y", 4096, 2));
+  }
+  const BatchReport grouped = queue.run_all(SchedulePolicy::kGroupByConfig);
+  for (int round = 0; round < 3; ++round) {
+    queue.submit(make_job("x", 1024, 1));
+    queue.submit(make_job("y", 4096, 2));
+  }
+  const BatchReport fifo = queue.run_all(SchedulePolicy::kFifo);
+  EXPECT_LT(grouped.reconfigurations, fifo.reconfigurations);
+  EXPECT_LT(grouped.total_reprogram_seconds, fifo.total_reprogram_seconds);
+}
+
+TEST_F(QueueFixture, FailedJobDoesNotPoisonTheBatch) {
+  Job bad = make_job("mallory", 1024, 5);
+  bad.config.dcache_bytes = 512 * 1024;  // will not fit the device
+  queue.submit(make_job("a", 1024, 7));
+  queue.submit(std::move(bad));
+  queue.submit(make_job("b", 1024, 9));
+  const BatchReport rep = queue.run_all(SchedulePolicy::kFifo);
+  EXPECT_EQ(rep.failures, 1u);
+  EXPECT_TRUE(rep.items[0].result.ok);
+  EXPECT_FALSE(rep.items[1].result.ok);
+  EXPECT_TRUE(rep.items[2].result.ok);
+  EXPECT_EQ(rep.items[2].result.readback[0], 9u);
+}
+
+TEST_F(QueueFixture, EmptyQueueRunsCleanly) {
+  const BatchReport rep = queue.run_all();
+  EXPECT_TRUE(rep.items.empty());
+  EXPECT_EQ(rep.reconfigurations, 0u);
+}
+
+}  // namespace
+}  // namespace la::liquid

@@ -1,0 +1,91 @@
+#include "liquid/reconfig_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la::liquid {
+namespace {
+
+ArchConfig with_dcache(u32 bytes) {
+  ArchConfig c;
+  c.dcache_bytes = bytes;
+  return c;
+}
+
+TEST(ReconfigCache, MissSynthesizesThenHits) {
+  SynthesisModel syn;
+  ReconfigurationCache cache;
+  const ArchConfig c = with_dcache(4096);
+
+  const auto first = cache.get_or_synthesize(c, syn);
+  ASSERT_NE(first.bitfile, nullptr);
+  EXPECT_FALSE(first.hit);
+  EXPECT_GT(first.seconds, 3000.0);  // paid the hour
+
+  const auto second = cache.get_or_synthesize(c, syn);
+  ASSERT_NE(second.bitfile, nullptr);
+  EXPECT_TRUE(second.hit);
+  EXPECT_DOUBLE_EQ(second.seconds, 0.0);  // "switch between pre-generated"
+  EXPECT_EQ(second.bitfile->id, first.bitfile->id);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ReconfigCache, BitfileCarriesUtilization) {
+  SynthesisModel syn;
+  ReconfigurationCache cache;
+  const auto r =
+      cache.get_or_synthesize(ArchConfig::paper_baseline(), syn);
+  ASSERT_NE(r.bitfile, nullptr);
+  EXPECT_EQ(r.bitfile->utilization.slices, 7900u);
+  EXPECT_EQ(r.bitfile->size_bytes, syn.bitstream_bytes());
+  EXPECT_EQ(r.bitfile->key, ArchConfig::paper_baseline().key());
+}
+
+TEST(ReconfigCache, LruEvictionAtCapacity) {
+  SynthesisModel syn;
+  ReconfigurationCache cache(2);
+  cache.get_or_synthesize(with_dcache(1024), syn);
+  cache.get_or_synthesize(with_dcache(2048), syn);
+  // Touch 1024 so 2048 becomes LRU.
+  cache.get_or_synthesize(with_dcache(1024), syn);
+  cache.get_or_synthesize(with_dcache(4096), syn);  // evicts 2048
+  EXPECT_TRUE(cache.contains(with_dcache(1024)));
+  EXPECT_FALSE(cache.contains(with_dcache(2048)));
+  EXPECT_TRUE(cache.contains(with_dcache(4096)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // The evicted point costs a fresh synthesis again.
+  const auto again = cache.get_or_synthesize(with_dcache(2048), syn);
+  EXPECT_FALSE(again.hit);
+}
+
+TEST(ReconfigCache, UnmappableConfigFailsButCharges) {
+  SynthesisModel syn;
+  ReconfigurationCache cache;
+  ArchConfig huge;
+  huge.dcache_bytes = 512 * 1024;
+  const auto r = cache.get_or_synthesize(huge, syn);
+  EXPECT_EQ(r.bitfile, nullptr);
+  EXPECT_GT(r.seconds, 0.0);  // the tools run before they tell you no
+  EXPECT_EQ(cache.stats().failed_synth, 1u);
+  EXPECT_FALSE(cache.contains(huge));
+}
+
+TEST(ReconfigCache, PregenerateCoversSpace) {
+  SynthesisModel syn;
+  ReconfigurationCache cache;
+  const ConfigSpace space;  // the paper's 5-point D-cache sweep
+  const double total = cache.pregenerate(space, syn);
+  EXPECT_EQ(cache.size(), 5u);
+  // Five ~1 hour runs.
+  EXPECT_GT(total, 5 * 3000.0);
+  EXPECT_LT(total, 5 * 5400.0);
+  // Now every point is a hit.
+  for (const auto& c : space.enumerate()) {
+    EXPECT_TRUE(cache.get_or_synthesize(c, syn).hit);
+  }
+  // Re-pregenerating costs nothing.
+  EXPECT_DOUBLE_EQ(cache.pregenerate(space, syn), 0.0);
+}
+
+}  // namespace
+}  // namespace la::liquid

@@ -1,0 +1,76 @@
+// Property sweeps over the synthesis model: resources and frequency must
+// behave monotonically along each configuration axis, and the breakdown
+// must always reconcile — trends are the model's whole purpose.
+#include <gtest/gtest.h>
+
+#include "liquid/synthesis.hpp"
+
+namespace la::liquid {
+namespace {
+
+class SynthesisSweep : public ::testing::TestWithParam<u32> {};
+
+TEST_P(SynthesisSweep, MoreDcacheNeverFewerBrams) {
+  const SynthesisModel syn;
+  ArchConfig smaller, larger;
+  smaller.dcache_bytes = GetParam();
+  larger.dcache_bytes = GetParam() * 2;
+  ASSERT_TRUE(smaller.valid() && larger.valid());
+  EXPECT_LE(syn.estimate(smaller).brams, syn.estimate(larger).brams);
+  EXPECT_LE(syn.estimate(larger).fmax_mhz,
+            syn.estimate(smaller).fmax_mhz + 1e-9);
+  EXPECT_LE(syn.synthesis_seconds(smaller),
+            syn.synthesis_seconds(larger) + 1e-9);
+}
+
+TEST_P(SynthesisSweep, BreakdownAlwaysReconciles) {
+  const SynthesisModel syn;
+  for (const u32 ways : {1u, 2u, 4u}) {
+    for (const u32 line : {16u, 32u, 64u}) {
+      ArchConfig c;
+      c.dcache_bytes = GetParam();
+      c.dcache_line = c.icache_line = line;
+      c.dcache_ways = ways;
+      if (!c.valid()) continue;
+      const Utilization u = syn.estimate(c);
+      u32 slices = 0, brams = 0;
+      for (const auto& comp : u.breakdown) {
+        slices += comp.slices;
+        brams += comp.brams;
+      }
+      EXPECT_EQ(slices, u.slices);
+      EXPECT_EQ(brams, u.brams);
+      EXPECT_GT(u.fmax_mhz, 0.0);
+      EXPECT_EQ(u.iobs, 309u);  // board pinout is config-independent
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SynthesisSweep,
+                         ::testing::Values(1024u, 2048u, 4096u, 8192u,
+                                           16384u, 32768u));
+
+TEST(SynthesisProps, MoreWindowsMoreRegfileBrams) {
+  const SynthesisModel syn;
+  ArchConfig few, many;
+  few.nwindows = 4;
+  many.nwindows = 32;
+  EXPECT_LT(syn.estimate(few).brams, syn.estimate(many).brams);
+}
+
+TEST(SynthesisProps, FitsFlagConsistentWithDevice) {
+  const SynthesisModel syn;
+  for (u32 kb = 1; kb <= 512; kb *= 2) {
+    ArchConfig c;
+    c.dcache_bytes = kb * 1024;
+    if (!c.valid()) continue;
+    const Utilization u = syn.estimate(c);
+    EXPECT_EQ(u.fits, u.slices <= syn.device().slices &&
+                          u.brams <= syn.device().brams &&
+                          u.iobs <= syn.device().iobs)
+        << kb << "KB";
+  }
+}
+
+}  // namespace
+}  // namespace la::liquid

@@ -1,0 +1,119 @@
+// The synthesis model must reproduce Fig 10 for the shipped configuration
+// and expose sane trends across the space.
+#include "liquid/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la::liquid {
+namespace {
+
+TEST(Synthesis, Fig10BaselineUtilization) {
+  const SynthesisModel syn;
+  const Utilization u = syn.estimate(ArchConfig::paper_baseline());
+  // Paper: 7900 of 19200 slices (41%), 54% of BlockRAMs, 309 IOBs, 30 MHz.
+  EXPECT_EQ(u.slices, 7900u);
+  EXPECT_NEAR(u.slice_pct(syn.device()), 41.0, 0.2);
+  EXPECT_NEAR(u.bram_pct(syn.device()), 54.0, 0.5);
+  EXPECT_EQ(u.iobs, 309u);
+  EXPECT_DOUBLE_EQ(u.fmax_mhz, 30.0);
+  EXPECT_TRUE(u.fits);
+}
+
+TEST(Synthesis, BreakdownSumsToTotals) {
+  const SynthesisModel syn;
+  ArchConfig c;
+  c.dcache_bytes = 8192;
+  c.dcache_ways = 2;
+  const Utilization u = syn.estimate(c);
+  u32 slices = 0, brams = 0;
+  for (const auto& comp : u.breakdown) {
+    slices += comp.slices;
+    brams += comp.brams;
+  }
+  EXPECT_EQ(slices, u.slices);
+  EXPECT_EQ(brams, u.brams);
+}
+
+TEST(Synthesis, BiggerCachesUseMoreBrams) {
+  const SynthesisModel syn;
+  ArchConfig small, big;
+  big.dcache_bytes = 16384;
+  const auto us = syn.estimate(small);
+  const auto ub = syn.estimate(big);
+  EXPECT_GT(ub.brams, us.brams);
+  // 16 KB of data = 32 BlockRAMs vs 2 for 1 KB: the BRAM budget is the
+  // pressure point that motivates right-sizing caches.
+  EXPECT_GE(ub.brams - us.brams, 30u);
+}
+
+TEST(Synthesis, BigCachesClockSlower) {
+  const SynthesisModel syn;
+  ArchConfig small, big;
+  big.dcache_bytes = 16384;
+  EXPECT_LT(syn.estimate(big).fmax_mhz, syn.estimate(small).fmax_mhz + 0.01);
+  ArchConfig assoc = small;
+  assoc.dcache_ways = 4;
+  assoc.dcache_bytes = 4096;
+  EXPECT_LE(syn.estimate(assoc).fmax_mhz, 30.0);
+}
+
+TEST(Synthesis, FastMultiplierCostsSlicesAndFrequency) {
+  const SynthesisModel syn;
+  ArchConfig iterative, single;
+  iterative.mul_latency = 5;
+  single.mul_latency = 1;
+  const auto ui = syn.estimate(iterative);
+  const auto u1 = syn.estimate(single);
+  EXPECT_GT(u1.slices, ui.slices);
+  EXPECT_LT(u1.fmax_mhz, ui.fmax_mhz);
+}
+
+TEST(Synthesis, OvermappedDesignDoesNotFit) {
+  const SynthesisModel syn;
+  ArchConfig huge;
+  huge.dcache_bytes = 512 * 1024;  // 512 KB: 1024+ BRAMs >> 160
+  huge.icache_bytes = 64 * 1024;
+  ASSERT_TRUE(huge.valid());
+  const auto u = syn.estimate(huge);
+  EXPECT_FALSE(u.fits);
+  EXPECT_GT(u.brams, syn.device().brams);
+}
+
+TEST(Synthesis, SynthesisTakesAboutAnHour) {
+  const SynthesisModel syn;
+  const double s = syn.synthesis_seconds(ArchConfig::paper_baseline());
+  EXPECT_GT(s, 3000.0);  // "~1 hour to synthesize"
+  EXPECT_LT(s, 5400.0);
+  // Bigger designs take longer.
+  ArchConfig big;
+  big.dcache_bytes = 16384;
+  EXPECT_GT(syn.synthesis_seconds(big), s);
+}
+
+TEST(Synthesis, FormatContainsFig10Rows) {
+  const SynthesisModel syn;
+  const std::string table = format_utilization(
+      syn.estimate(ArchConfig::paper_baseline()), syn.device());
+  EXPECT_NE(table.find("Logic Slices"), std::string::npos);
+  EXPECT_NE(table.find("7900 of 19200"), std::string::npos);
+  EXPECT_NE(table.find("BlockRAMs"), std::string::npos);
+  EXPECT_NE(table.find("309"), std::string::npos);
+  EXPECT_NE(table.find("30 MHz"), std::string::npos);
+}
+
+TEST(Synthesis, BitstreamSizeIsDeviceConstant) {
+  const SynthesisModel syn;
+  EXPECT_EQ(syn.bitstream_bytes(), 1271512u);
+}
+
+TEST(Synthesis, NoMulNoDivSavesArea) {
+  const SynthesisModel syn;
+  ArchConfig lean;
+  lean.has_mul = false;
+  lean.has_div = false;
+  EXPECT_LT(syn.estimate(lean).slices,
+            syn.estimate(ArchConfig::paper_baseline()).slices);
+}
+
+}  // namespace
+}  // namespace la::liquid

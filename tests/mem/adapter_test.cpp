@@ -1,0 +1,176 @@
+// The Section 3.2 AHB <-> FPX SDRAM adapter: 32/64-bit bridging,
+// always-burst-4 reads, read-modify-write stores, handshake accounting.
+#include "mem/ahb_sdram_adapter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "mem/sdram.hpp"
+
+namespace la::mem {
+namespace {
+
+struct AdapterFixture : ::testing::Test {
+  AdapterFixture() { rebuild(AdapterConfig{}); }
+
+  void rebuild(AdapterConfig cfg) {
+    dev = std::make_unique<SdramDevice>(1 << 20);
+    ctrl = std::make_unique<FpxSdramController>(*dev);
+    adapter = std::make_unique<AhbSdramAdapter>(*ctrl, kBase, 1 << 20,
+                                                &clock, cfg);
+    bus = std::make_unique<bus::AhbBus>();
+    bus->attach(kBase, 1 << 20, adapter.get());
+  }
+
+  static constexpr Addr kBase = 0x60000000;
+
+  Cycles clock = 0;
+  std::unique_ptr<SdramDevice> dev;
+  std::unique_ptr<FpxSdramController> ctrl;
+  std::unique_ptr<AhbSdramAdapter> adapter;
+  std::unique_ptr<bus::AhbBus> bus;
+};
+
+TEST_F(AdapterFixture, WordWriteReadRoundTrip) {
+  bus->write32(bus::Master::kCpuData, kBase + 0x100, 0xaabbccdd);
+  bus->write32(bus::Master::kCpuData, kBase + 0x104, 0x11223344);
+  u32 v = 0;
+  bus->read32(bus::Master::kCpuData, kBase + 0x100, v);
+  EXPECT_EQ(v, 0xaabbccddu);
+  bus->read32(bus::Master::kCpuData, kBase + 0x104, v);
+  EXPECT_EQ(v, 0x11223344u);
+  // 64-bit lane placement: the pair forms one big-endian doubleword.
+  EXPECT_EQ(dev->backdoor_word64(0x100), 0xaabbccdd11223344ull);
+}
+
+TEST_F(AdapterFixture, ByteAndHalfLanes) {
+  dev->backdoor_write_word64(0x200, 0x0011223344556677ull);
+  u32 b = 0;
+  bus::AhbTransfer t;
+  t.addr = kBase + 0x203;
+  t.beat_bytes = 1;
+  t.data = &b;
+  bus->transfer(bus::Master::kCpuData, t);
+  EXPECT_EQ(b, 0x33u);
+
+  u32 h = 0xbeef;
+  bus::AhbTransfer wh;
+  wh.addr = kBase + 0x206;
+  wh.write = true;
+  wh.beat_bytes = 2;
+  wh.data = &h;
+  bus->transfer(bus::Master::kCpuData, wh);
+  EXPECT_EQ(dev->backdoor_word64(0x200), 0x001122334455beefull);
+}
+
+TEST_F(AdapterFixture, SingleReadStillFetchesFourWords) {
+  u32 v = 0;
+  bus->read32(bus::Master::kCpuData, kBase + 0x300, v);
+  // One handshake carried 2x64-bit = 4x32-bit; one 64-bit word was wasted.
+  EXPECT_EQ(adapter->stats().read_handshakes, 1u);
+  EXPECT_EQ(ctrl->stats().words[0], 2u);
+  EXPECT_EQ(adapter->stats().wasted_words64, 1u);
+}
+
+TEST_F(AdapterFixture, Incr4ReadBurstIsOneHandshake) {
+  u32 buf[4] = {};
+  bus::AhbTransfer t;
+  t.addr = kBase + 0x400;
+  t.beats = 4;
+  t.burst = bus::HBurst::kIncr4;
+  t.data = buf;
+  bus->transfer(bus::Master::kCpuData, t);
+  EXPECT_EQ(adapter->stats().read_handshakes, 1u);
+  EXPECT_EQ(adapter->stats().wasted_words64, 0u);
+}
+
+TEST_F(AdapterFixture, EightWordBurstNeedsSecondHandshake) {
+  u32 buf[8] = {};
+  bus::AhbTransfer t;
+  t.addr = kBase + 0x800;
+  t.beats = 8;
+  t.burst = bus::HBurst::kIncr8;
+  t.data = buf;
+  bus->transfer(bus::Master::kCpuData, t);
+  // Paper: "Sequential bursts that require more than 4 32-bit words will
+  // require at least one additional handshake."
+  EXPECT_EQ(adapter->stats().read_handshakes, 2u);
+}
+
+TEST_F(AdapterFixture, WriteIsReadModifyWrite) {
+  bus->write32(bus::Master::kCpuData, kBase + 0x500, 1);
+  // Two handshakes per 32-bit store: one read, one write.
+  EXPECT_EQ(adapter->stats().rmw_reads, 1u);
+  EXPECT_EQ(adapter->stats().write_handshakes, 1u);
+  EXPECT_EQ(ctrl->stats().total_handshakes(), 2u);
+}
+
+TEST_F(AdapterFixture, RmwPreservesNeighborWord) {
+  dev->backdoor_write_word64(0x600, 0x1111111122222222ull);
+  bus->write32(bus::Master::kCpuData, kBase + 0x604, 0x33333333);
+  EXPECT_EQ(dev->backdoor_word64(0x600), 0x1111111133333333ull);
+}
+
+TEST_F(AdapterFixture, WritesCostMoreThanReads) {
+  u32 v = 0;
+  const Cycles r = bus->read32(bus::Master::kCpuData, kBase + 0x700, v);
+  clock += 1000;  // let the controller drain
+  const Cycles w = bus->write32(bus::Master::kCpuData, kBase + 0x700, 1);
+  EXPECT_GT(w, r - 2);  // RMW's two handshakes vs one read handshake
+}
+
+TEST_F(AdapterFixture, CombiningAblationSkipsRead) {
+  AdapterConfig cfg;
+  cfg.rmw_writes = false;
+  rebuild(cfg);
+  u32 buf[2] = {0xaaaaaaaa, 0xbbbbbbbb};
+  bus::AhbTransfer t;
+  t.addr = kBase + 0x900;  // 8-aligned
+  t.write = true;
+  t.beats = 2;
+  t.burst = bus::HBurst::kIncr;
+  t.data = buf;
+  bus->transfer(bus::Master::kCpuData, t);
+  EXPECT_EQ(adapter->stats().rmw_reads, 0u);
+  EXPECT_EQ(adapter->stats().write_handshakes, 1u);
+  EXPECT_EQ(dev->backdoor_word64(0x900), 0xaaaaaaaabbbbbbbbull);
+}
+
+TEST_F(AdapterFixture, NoShortBurstAblation) {
+  AdapterConfig cfg;
+  cfg.always_short_burst = false;
+  rebuild(cfg);
+  u32 buf[4] = {};
+  bus::AhbTransfer t;
+  t.addr = kBase;
+  t.beats = 4;
+  t.burst = bus::HBurst::kIncr4;
+  t.data = buf;
+  bus->transfer(bus::Master::kCpuData, t);
+  // One handshake per 64-bit word now.
+  EXPECT_EQ(adapter->stats().read_handshakes, 2u);
+}
+
+TEST_F(AdapterFixture, OutOfRangeErrors) {
+  u32 v = 0;
+  bus::AhbTransfer t;
+  t.addr = kBase + (1 << 20) - 2;
+  t.data = &v;
+  t.beat_bytes = 4;
+  bus->transfer(bus::Master::kCpuData, t);
+  EXPECT_TRUE(t.error);
+}
+
+TEST_F(AdapterFixture, DebugPortMatchesBusView) {
+  bus->write32(bus::Master::kCpuData, kBase + 0xa00, 0x12345678);
+  u64 v = 0;
+  ASSERT_TRUE(adapter->debug_read(kBase + 0xa00, 4, v));
+  EXPECT_EQ(v, 0x12345678ull);
+  ASSERT_TRUE(adapter->debug_write(kBase + 0xa02, 2, 0xbeef));
+  u32 back = 0;
+  bus->read32(bus::Master::kCpuData, kBase + 0xa00, back);
+  EXPECT_EQ(back, 0x1234beefu);
+}
+
+}  // namespace
+}  // namespace la::mem

@@ -1,0 +1,108 @@
+// Boot ROM contents/protection and the Fig 6 disconnect circuitry.
+#include <gtest/gtest.h>
+
+#include "bus/ahb.hpp"
+#include "mem/boot_rom.hpp"
+#include "mem/disconnect.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/sram.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::mem {
+namespace {
+
+TEST(BootRom, ModifiedBootAssembles) {
+  const auto img = sasm::assemble_or_throw(
+      modified_boot_source(map::kRomBase, map::kProgAddrMailbox));
+  EXPECT_EQ(img.base, map::kRomBase);
+  EXPECT_EQ(img.symbol("check_ready"), map::kRomBase + kCheckReadyOffset);
+  EXPECT_LE(img.data.size(), map::kRomSize);
+}
+
+TEST(BootRom, OriginalBootAssembles) {
+  const auto img = sasm::assemble_or_throw(original_boot_source(
+      map::kRomBase, map::kApbBase + map::kUartOffset + 4));
+  EXPECT_GT(img.data.size(), 0u);
+  EXPECT_NE(img.symbols.find("load_wait"), img.symbols.end());
+}
+
+TEST(BootRom, ReadOnly) {
+  const auto img = sasm::assemble_or_throw(
+      modified_boot_source(0, map::kProgAddrMailbox));
+  BootRom rom(0, map::kRomSize, img.data);
+  bus::AhbBus bus;
+  bus.attach(0, map::kRomSize, &rom);
+
+  u32 v = 0;
+  bus.read32(bus::Master::kCpuInstr, 0, v);
+  EXPECT_EQ(v, img.word_at(0));
+
+  bus::AhbTransfer t;
+  u32 w = 0xdead;
+  t.addr = 0;
+  t.write = true;
+  t.data = &w;
+  bus.transfer(bus::Master::kCpuData, t);
+  EXPECT_TRUE(t.error);
+  u32 v2 = 0;
+  bus.read32(bus::Master::kCpuInstr, 0, v2);
+  EXPECT_EQ(v2, v);  // unchanged
+}
+
+TEST(Disconnect, ConnectedPassesThrough) {
+  Sram sram(0x40000000, 4096);
+  DisconnectSwitch sw(sram);
+  bus::AhbBus bus;
+  bus.attach(0x40000000, 4096, &sw);
+
+  bus.write32(bus::Master::kCpuData, 0x40000010, 0x1234);
+  u32 v = 0;
+  bus.read32(bus::Master::kCpuData, 0x40000010, v);
+  EXPECT_EQ(v, 0x1234u);
+}
+
+TEST(Disconnect, DisconnectedDrivesZeros) {
+  Sram sram(0x40000000, 4096);
+  sram.backdoor_write_word(0x40000010, 0xfeedface);
+  DisconnectSwitch sw(sram);
+  bus::AhbBus bus;
+  bus.attach(0x40000000, 4096, &sw);
+
+  sw.set_connected(false);
+  u32 v = 1;
+  bus.read32(bus::Master::kCpuData, 0x40000010, v);
+  EXPECT_EQ(v, 0u);  // zeros driven on the data bus
+  EXPECT_EQ(sw.stats().blocked_reads, 1u);
+
+  bus.write32(bus::Master::kCpuData, 0x40000010, 0xbad);
+  EXPECT_EQ(sw.stats().blocked_writes, 1u);
+
+  sw.set_connected(true);
+  bus.read32(bus::Master::kCpuData, 0x40000010, v);
+  EXPECT_EQ(v, 0xfeedfaceu);  // memory itself untouched
+}
+
+TEST(Disconnect, UserPortWorksWhileCpuDisconnected) {
+  Sram sram(0x40000000, 4096);
+  DisconnectSwitch sw(sram);
+  sw.set_connected(false);
+  // The user path (leon_ctrl) loads a program regardless of the switch.
+  const u8 prog[4] = {0xde, 0xad, 0xbe, 0xef};
+  ASSERT_TRUE(sw.user_port().backdoor_write(0x40000100, prog));
+  EXPECT_EQ(sw.user_port().backdoor_word(0x40000100), 0xdeadbeefu);
+}
+
+TEST(Disconnect, TimingMatchesConnectedSram) {
+  Sram sram(0, 4096);
+  DisconnectSwitch sw(sram);
+  bus::AhbBus bus;
+  bus.attach(0, 4096, &sw);
+  u32 v;
+  const Cycles connected = bus.read32(bus::Master::kCpuData, 0, v);
+  sw.set_connected(false);
+  const Cycles disconnected = bus.read32(bus::Master::kCpuData, 0, v);
+  EXPECT_EQ(connected, disconnected);  // the CPU can't tell from timing
+}
+
+}  // namespace
+}  // namespace la::mem

@@ -1,0 +1,255 @@
+// The leon_ctrl state machine in isolation (no CPU): load / start / read /
+// restart sequencing, disconnect behaviour, error responses.
+#include <gtest/gtest.h>
+
+#include "mem/disconnect.hpp"
+#include "mem/sram.hpp"
+#include "net/leon_ctrl.hpp"
+
+namespace la::net {
+namespace {
+
+struct CtrlFixture : ::testing::Test {
+  CtrlFixture()
+      : sram(0x40000000, 1 << 16),
+        sw(sram),
+        gen(make_ip(192, 168, 100, 10), kLeonControlPort),
+        ctrl(make_cfg(), sw, gen, [this] { ++resets; }) {}
+
+  static LeonCtrlConfig make_cfg() {
+    LeonCtrlConfig c;
+    c.mailbox = 0x40000000;
+    c.check_ready = 0x40;
+    c.load_min = 0x40000004;
+    c.load_max = 0x4000ffff;
+    return c;
+  }
+
+  UdpDatagram cmd(Bytes payload) {
+    UdpDatagram d;
+    d.src_ip = make_ip(10, 1, 1, 1);
+    d.src_port = 555;
+    d.dst_ip = make_ip(192, 168, 100, 10);
+    d.dst_port = kLeonControlPort;
+    d.payload = std::move(payload);
+    return d;
+  }
+
+  /// Pop the next response and return (code, body).
+  std::pair<u8, Bytes> response() {
+    auto d = gen.pop();
+    EXPECT_TRUE(d.has_value());
+    if (!d) return {0, {}};
+    EXPECT_EQ(d->dst_ip, make_ip(10, 1, 1, 1));
+    EXPECT_EQ(d->dst_port, 555);
+    return {d->payload.at(0),
+            Bytes(d->payload.begin() + 1, d->payload.end())};
+  }
+
+  mem::Sram sram;
+  mem::DisconnectSwitch sw;
+  PacketGenerator gen;
+  LeonController ctrl;
+  int resets = 0;
+};
+
+TEST_F(CtrlFixture, StatusWhenIdle) {
+  ctrl.handle(cmd(simple_command(CommandCode::kStatus)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kStatus));
+  EXPECT_EQ(body.at(0), static_cast<u8>(LeonState::kIdle));
+}
+
+TEST_F(CtrlFixture, SingleChunkLoadGoesReady) {
+  LoadProgramCmd c;
+  c.total_packets = 1;
+  c.sequence = 0;
+  c.address = 0x40000100;
+  c.data = {0xde, 0xad, 0xbe, 0xef};
+  ctrl.handle(cmd(c.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kReady);
+  EXPECT_FALSE(sw.connected());  // CPU unplugged during/after load
+  EXPECT_EQ(sram.backdoor_word(0x40000100), 0xdeadbeefu);
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kLoadAck));
+}
+
+TEST_F(CtrlFixture, MultiChunkOutOfOrderLoad) {
+  LoadProgramCmd a, b, c;
+  a.total_packets = b.total_packets = c.total_packets = 3;
+  a.sequence = 0; a.address = 0x40000100; a.data = {1, 1, 1, 1};
+  b.sequence = 1; b.address = 0x40000104; b.data = {2, 2, 2, 2};
+  c.sequence = 2; c.address = 0x40000108; c.data = {3, 3, 3, 3};
+  // Delivered out of order.
+  ctrl.handle(cmd(c.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kLoading);
+  ctrl.handle(cmd(a.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kLoading);
+  ctrl.handle(cmd(b.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kReady);
+  EXPECT_EQ(sram.backdoor_word(0x40000104), 0x02020202u);
+  EXPECT_EQ(ctrl.stats().chunks_loaded, 3u);
+}
+
+TEST_F(CtrlFixture, DuplicateChunksAreIdempotent) {
+  LoadProgramCmd a;
+  a.total_packets = 2;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {1, 2, 3, 4};
+  ctrl.handle(cmd(a.serialize()));
+  ctrl.handle(cmd(a.serialize()));  // duplicate mid-load
+  EXPECT_EQ(ctrl.state(), LeonState::kLoading);
+  EXPECT_EQ(ctrl.stats().duplicate_chunks, 1u);
+
+  LoadProgramCmd b = a;
+  b.sequence = 1;
+  b.address = 0x40000104;
+  ctrl.handle(cmd(b.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kReady);
+
+  // A late duplicate after completion must NOT regress the state.
+  ctrl.handle(cmd(a.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kReady);
+  EXPECT_EQ(ctrl.stats().duplicate_chunks, 2u);
+}
+
+TEST_F(CtrlFixture, StartPlantsMailboxAndReconnects) {
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {0, 0, 0, 0};
+  ctrl.handle(cmd(a.serialize()));
+  gen.pop();
+
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kRunning);
+  EXPECT_TRUE(sw.connected());
+  EXPECT_EQ(sram.backdoor_word(0x40000000), 0x40000100u);  // mailbox
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kStarted));
+}
+
+TEST_F(CtrlFixture, ReturnToPollingLoopCompletesRun) {
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {0, 0, 0, 0};
+  ctrl.handle(cmd(a.serialize()));
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  ASSERT_EQ(ctrl.state(), LeonState::kRunning);
+
+  ctrl.on_cpu_pc(0x40000100);  // running in the user program
+  EXPECT_EQ(ctrl.state(), LeonState::kRunning);
+  ctrl.on_cpu_pc(0x40);  // back in the polling loop
+  EXPECT_EQ(ctrl.state(), LeonState::kDone);
+  EXPECT_FALSE(sw.connected());
+  EXPECT_EQ(sram.backdoor_word(0x40000000), 0u);  // mailbox cleared
+  EXPECT_EQ(ctrl.stats().programs_completed, 1u);
+}
+
+TEST_F(CtrlFixture, ReadMemoryReturnsWords) {
+  sram.backdoor_write_word(0x40000200, 0x11111111);
+  sram.backdoor_write_word(0x40000204, 0x22222222);
+  ctrl.handle(cmd(ReadMemoryCmd{0x40000200, 2}.serialize()));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kMemoryData));
+  ByteReader r(body);
+  EXPECT_EQ(r.read_u32(), 0x40000200u);
+  EXPECT_EQ(r.read_u32(), 0x11111111u);
+  EXPECT_EQ(r.read_u32(), 0x22222222u);
+}
+
+TEST_F(CtrlFixture, LoadOutsideWindowRejected) {
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000000;  // the mailbox itself: below load_min
+  a.data = {1, 2, 3, 4};
+  ctrl.handle(cmd(a.serialize()));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(ctrl.state(), LeonState::kIdle);
+}
+
+TEST_F(CtrlFixture, StartWhileLoadingRejected) {
+  LoadProgramCmd a;
+  a.total_packets = 2;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {1, 2, 3, 4};
+  ctrl.handle(cmd(a.serialize()));
+  gen.pop();
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(ctrl.state(), LeonState::kLoading);
+}
+
+TEST_F(CtrlFixture, LoadWhileRunningRejected) {
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {1, 2, 3, 4};
+  ctrl.handle(cmd(a.serialize()));
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  ASSERT_EQ(ctrl.state(), LeonState::kRunning);
+  ctrl.handle(cmd(a.serialize()));
+  EXPECT_EQ(ctrl.state(), LeonState::kRunning);
+  EXPECT_GT(ctrl.stats().bad_commands, 0u);
+}
+
+TEST_F(CtrlFixture, RestartResetsEverything) {
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {1, 2, 3, 4};
+  ctrl.handle(cmd(a.serialize()));
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  ctrl.handle(cmd(simple_command(CommandCode::kRestart)));
+  EXPECT_EQ(ctrl.state(), LeonState::kIdle);
+  EXPECT_EQ(resets, 1);
+  EXPECT_TRUE(sw.connected());
+  EXPECT_EQ(sram.backdoor_word(0x40000000), 0u);
+}
+
+TEST_F(CtrlFixture, UnknownCommandGetsError) {
+  ctrl.handle(cmd(Bytes{0x77}));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(ctrl.stats().bad_commands, 1u);
+}
+
+TEST_F(CtrlFixture, EmptyPayloadGetsError) {
+  ctrl.handle(cmd(Bytes{}));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+}
+
+TEST_F(CtrlFixture, ForcedErrorStateEmitsPacket) {
+  ctrl.handle(cmd(simple_command(CommandCode::kStatus)));
+  gen.pop();
+  ctrl.force_error(0x42);
+  EXPECT_EQ(ctrl.state(), LeonState::kError);
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), 0x42);
+}
+
+TEST_F(CtrlFixture, CppRoutesByPort) {
+  ControlPacketProcessor cpp(ctrl);
+  auto d = cmd(simple_command(CommandCode::kStatus));
+  cpp.ingress(d);
+  EXPECT_EQ(cpp.control_packets(), 1u);
+  d.dst_port = 9999;
+  cpp.ingress(d);
+  EXPECT_EQ(cpp.passthrough_packets(), 1u);
+  EXPECT_EQ(ctrl.stats().commands, 1u);  // only the control one reached it
+}
+
+}  // namespace
+}  // namespace la::net

@@ -1,0 +1,112 @@
+// Layered wrappers (filtering, stats) and the lossy channel model.
+#include <gtest/gtest.h>
+
+#include "net/channel.hpp"
+#include "net/wrappers.hpp"
+
+namespace la::net {
+namespace {
+
+UdpDatagram make_dgram(Ipv4Addr dst) {
+  UdpDatagram d;
+  d.src_ip = make_ip(10, 0, 0, 1);
+  d.dst_ip = dst;
+  d.src_port = 1000;
+  d.dst_port = 2000;
+  d.payload = {0xde, 0xad};
+  return d;
+}
+
+TEST(Wrappers, EgressIngressThroughCells) {
+  const Ipv4Addr node = make_ip(192, 168, 100, 10);
+  LayeredWrappers tx(0), rx(node);
+  const auto cells = tx.egress(make_dgram(node));
+  ASSERT_FALSE(cells.empty());
+  std::optional<UdpDatagram> got;
+  for (const auto& c : cells) {
+    auto r = rx.ingress_cell(c);
+    if (r) got = r;
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, (Bytes{0xde, 0xad}));
+  EXPECT_EQ(rx.stats().datagrams_in, 1u);
+  EXPECT_EQ(rx.stats().cells_in, cells.size());
+}
+
+TEST(Wrappers, WrongAddressFiltered) {
+  const Ipv4Addr node = make_ip(192, 168, 100, 10);
+  LayeredWrappers tx(0), rx(node);
+  const Bytes frame = tx.egress_frame(make_dgram(make_ip(1, 2, 3, 4)));
+  EXPECT_FALSE(rx.ingress_frame(frame).has_value());
+  EXPECT_EQ(rx.stats().ip_wrong_addr, 1u);
+}
+
+TEST(Wrappers, CorruptFrameCounted) {
+  LayeredWrappers tx(0), rx(0);
+  Bytes frame = tx.egress_frame(make_dgram(1));
+  frame[12] ^= 0xff;
+  EXPECT_FALSE(rx.ingress_frame(frame).has_value());
+  EXPECT_EQ(rx.stats().ip_bad, 1u);
+}
+
+TEST(Channel, ReliableByDefault) {
+  Channel ch;
+  for (u8 i = 0; i < 10; ++i) ch.send(Bytes{i});
+  for (u8 i = 0; i < 10; ++i) {
+    auto f = ch.receive();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ((*f)[0], i);  // FIFO order preserved
+  }
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, DropsAtConfiguredRate) {
+  ChannelConfig cfg;
+  cfg.drop = 0.5;
+  cfg.seed = 42;
+  Channel ch(cfg);
+  for (int i = 0; i < 1000; ++i) ch.send(Bytes{1});
+  const double rate =
+      static_cast<double>(ch.stats().dropped) / ch.stats().sent;
+  EXPECT_NEAR(rate, 0.5, 0.06);
+}
+
+TEST(Channel, DuplicatesDeliverTwice) {
+  ChannelConfig cfg;
+  cfg.duplicate = 1.0;
+  Channel ch(cfg);
+  ch.send(Bytes{7});
+  EXPECT_EQ(ch.pending(), 2u);
+  EXPECT_EQ(ch.stats().duplicated, 1u);
+}
+
+TEST(Channel, ReorderChangesOrderDeterministically) {
+  ChannelConfig a;
+  a.reorder = 0.8;
+  a.seed = 7;
+  Channel c1(a), c2(a);
+  for (u8 i = 0; i < 50; ++i) {
+    c1.send(Bytes{i});
+    c2.send(Bytes{i});
+  }
+  EXPECT_GT(c1.stats().reordered, 5u);
+  // Same seed, same behaviour.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*c1.receive(), *c2.receive());
+  }
+}
+
+TEST(Channel, NothingLostWithoutDrop) {
+  ChannelConfig cfg;
+  cfg.reorder = 0.5;
+  cfg.duplicate = 0.2;
+  cfg.seed = 3;
+  Channel ch(cfg);
+  for (int i = 0; i < 100; ++i) ch.send(Bytes{static_cast<u8>(i)});
+  u64 got = 0;
+  while (ch.receive()) ++got;
+  EXPECT_EQ(got, 100u + ch.stats().duplicated);
+}
+
+}  // namespace
+}  // namespace la::net

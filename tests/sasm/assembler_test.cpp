@@ -1,0 +1,295 @@
+#include "sasm/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.hpp"
+#include "isa/encode.hpp"
+
+namespace la::sasm {
+namespace {
+
+using isa::Cond;
+using isa::Mnemonic;
+
+TEST(Assembler, SingleInstruction) {
+  const Image img = assemble_or_throw("add %g1, %g2, %g3\n");
+  ASSERT_EQ(img.data.size(), 4u);
+  EXPECT_EQ(img.word_at(0), isa::encode_arith_rr(Mnemonic::kAdd, 3, 1, 2));
+}
+
+TEST(Assembler, OrgAndLabels) {
+  const Image img = assemble_or_throw(R"(
+      .org 0x1000
+  _start:
+      nop
+  loop:
+      ba loop
+      nop
+  )");
+  EXPECT_EQ(img.base, 0x1000u);
+  EXPECT_EQ(img.entry, 0x1000u);
+  EXPECT_EQ(img.symbol("loop"), 0x1004u);
+  // ba loop at 0x1004: disp = 0
+  EXPECT_EQ(img.word_at(0x1004), isa::encode_branch(Cond::kA, false, 0));
+}
+
+TEST(Assembler, ForwardReferences) {
+  const Image img = assemble_or_throw(R"(
+      b target
+      nop
+      nop
+  target:
+      nop
+  )");
+  // b at 0, target at 12 -> disp = 3 words
+  EXPECT_EQ(img.word_at(0), isa::encode_branch(Cond::kA, false, 3));
+}
+
+TEST(Assembler, SetExpandsToSethiOr) {
+  const Image img = assemble_or_throw("set 0x12345678, %g1\n");
+  ASSERT_EQ(img.data.size(), 8u);
+  EXPECT_EQ(img.word_at(0), isa::encode_sethi(1, 0x12345678u >> 10));
+  EXPECT_EQ(img.word_at(4),
+            isa::encode_arith_ri(Mnemonic::kOr, 1, 1, 0x278));
+}
+
+TEST(Assembler, SethiHiLoPair) {
+  const Image img = assemble_or_throw(R"(
+      value = 0xdeadbeef
+      sethi %hi(value), %g1
+      or %g1, %lo(value), %g1
+  )");
+  EXPECT_EQ(img.word_at(0), isa::encode_sethi(1, 0xdeadbeefu >> 10));
+  EXPECT_EQ(img.word_at(4),
+            isa::encode_arith_ri(Mnemonic::kOr, 1, 1, 0xdeadbeefu & 0x3ff));
+}
+
+TEST(Assembler, MemoryOperands) {
+  const Image img = assemble_or_throw(R"(
+      ld [%g1 + 8], %g2
+      ld [%g1 - 8], %g2
+      ld [%g1 + %g2], %g3
+      ld [%g1], %g2
+      st %g2, [%sp]
+      ldd [%o0], %g4
+      std %g4, [%o0 + 8]
+      ldub [%l0 + 1], %l1
+      ldstub [%g1], %g2
+      swap [%g1], %g2
+  )");
+  EXPECT_EQ(img.word_at(0), isa::encode_mem_ri(Mnemonic::kLd, 2, 1, 8));
+  EXPECT_EQ(img.word_at(4), isa::encode_mem_ri(Mnemonic::kLd, 2, 1, -8));
+  EXPECT_EQ(img.word_at(8), isa::encode_mem_rr(Mnemonic::kLd, 3, 1, 2));
+  EXPECT_EQ(img.word_at(12), isa::encode_mem_rr(Mnemonic::kLd, 2, 1, 0));
+  EXPECT_EQ(img.word_at(16), isa::encode_mem_rr(Mnemonic::kSt, 2, 14, 0));
+  EXPECT_EQ(img.word_at(20), isa::encode_mem_rr(Mnemonic::kLdd, 4, 8, 0));
+  EXPECT_EQ(img.word_at(24), isa::encode_mem_ri(Mnemonic::kStd, 4, 8, 8));
+  EXPECT_EQ(img.word_at(28), isa::encode_mem_ri(Mnemonic::kLdub, 17, 16, 1));
+  EXPECT_EQ(img.word_at(32), isa::encode_mem_rr(Mnemonic::kLdstub, 2, 1, 0));
+  EXPECT_EQ(img.word_at(36), isa::encode_mem_rr(Mnemonic::kSwap, 2, 1, 0));
+}
+
+TEST(Assembler, SyntheticInstructions) {
+  const Image img = assemble_or_throw(R"(
+      nop
+      mov 5, %g1
+      mov %g1, %g2
+      cmp %g1, 10
+      tst %g3
+      clr %g4
+      inc %g5
+      inc 8, %g5
+      dec %g6
+      not %g7
+      neg %o0
+      btst 4, %o1
+      bset 2, %o2
+      ret
+      retl
+  )");
+  EXPECT_EQ(img.word_at(0), isa::encode_nop());
+  EXPECT_EQ(img.word_at(4), isa::encode_arith_ri(Mnemonic::kOr, 1, 0, 5));
+  EXPECT_EQ(img.word_at(8), isa::encode_arith_rr(Mnemonic::kOr, 2, 0, 1));
+  EXPECT_EQ(img.word_at(12), isa::encode_arith_ri(Mnemonic::kSubcc, 0, 1, 10));
+  EXPECT_EQ(img.word_at(16), isa::encode_arith_rr(Mnemonic::kOrcc, 0, 0, 3));
+  EXPECT_EQ(img.word_at(20), isa::encode_arith_rr(Mnemonic::kOr, 4, 0, 0));
+  EXPECT_EQ(img.word_at(24), isa::encode_arith_ri(Mnemonic::kAdd, 5, 5, 1));
+  EXPECT_EQ(img.word_at(28), isa::encode_arith_ri(Mnemonic::kAdd, 5, 5, 8));
+  EXPECT_EQ(img.word_at(32), isa::encode_arith_ri(Mnemonic::kSub, 6, 6, 1));
+  EXPECT_EQ(img.word_at(36), isa::encode_arith_rr(Mnemonic::kXnor, 7, 7, 0));
+  EXPECT_EQ(img.word_at(40), isa::encode_arith_rr(Mnemonic::kSub, 8, 0, 8));
+  EXPECT_EQ(img.word_at(44), isa::encode_arith_ri(Mnemonic::kAndcc, 0, 9, 4));
+  EXPECT_EQ(img.word_at(48), isa::encode_arith_ri(Mnemonic::kOr, 10, 10, 2));
+  EXPECT_EQ(img.word_at(52), isa::encode_arith_ri(Mnemonic::kJmpl, 0, 31, 8));
+  EXPECT_EQ(img.word_at(56), isa::encode_arith_ri(Mnemonic::kJmpl, 0, 15, 8));
+}
+
+TEST(Assembler, BranchVariantsAndAnnul) {
+  const Image img = assemble_or_throw(R"(
+  top:
+      bne top
+      be,a top
+      bgu top
+      bcc top
+      bneg,a top
+  )");
+  EXPECT_EQ(isa::decode(img.word_at(0)).cond, Cond::kNe);
+  EXPECT_FALSE(isa::decode(img.word_at(0)).annul);
+  EXPECT_EQ(isa::decode(img.word_at(4)).cond, Cond::kE);
+  EXPECT_TRUE(isa::decode(img.word_at(4)).annul);
+  EXPECT_EQ(isa::decode(img.word_at(8)).cond, Cond::kGu);
+  EXPECT_EQ(isa::decode(img.word_at(12)).cond, Cond::kCc);
+  EXPECT_EQ(isa::decode(img.word_at(16)).cond, Cond::kNeg);
+  EXPECT_TRUE(isa::decode(img.word_at(16)).annul);
+}
+
+TEST(Assembler, CallAndJmp) {
+  const Image img = assemble_or_throw(R"(
+      .org 0x100
+      call func
+      nop
+      jmp %o7 + 8
+      nop
+  func:
+      retl
+      nop
+  )");
+  // call at 0x100, func at 0x110 -> disp 4
+  EXPECT_EQ(img.word_at(0x100), isa::encode_call(4));
+  EXPECT_EQ(img.word_at(0x108),
+            isa::encode_arith_ri(Mnemonic::kJmpl, 0, 15, 8));
+}
+
+TEST(Assembler, DataDirectives) {
+  const Image img = assemble_or_throw(R"(
+      .org 0x2000
+      .word 0xdeadbeef, 1, 2
+      .half 0xbeef, 7
+      .byte 1, 2, 3
+      .align 4
+      .ascii "hi"
+      .asciz "ok"
+      .skip 3, 0xaa
+  )");
+  EXPECT_EQ(img.word_at(0x2000), 0xdeadbeefu);
+  EXPECT_EQ(img.word_at(0x2004), 1u);
+  EXPECT_EQ(img.word_at(0x2008), 2u);
+  EXPECT_EQ(img.data[0x200c - 0x2000], 0xbe);
+  EXPECT_EQ(img.data[0x200d - 0x2000], 0xef);
+  EXPECT_EQ(img.data[0x2010 - 0x2000], 1);
+  EXPECT_EQ(img.data[0x2012 - 0x2000], 3);
+  // .align pads to 0x2014
+  EXPECT_EQ(img.data[0x2014 - 0x2000], 'h');
+  EXPECT_EQ(img.data[0x2016 - 0x2000], 'o');
+  EXPECT_EQ(img.data[0x2018 - 0x2000], 0);  // asciz terminator
+  EXPECT_EQ(img.data[0x2019 - 0x2000], 0xaa);
+  EXPECT_EQ(img.data.size(), 0x1cu);
+}
+
+TEST(Assembler, EquAndExpressions) {
+  const Image img = assemble_or_throw(R"(
+      BASE = 0x1000
+      .equ SIZE, 256
+      .org BASE
+      .word BASE + SIZE * 2
+      .word (BASE + SIZE) / 2
+      .word -1
+  )");
+  EXPECT_EQ(img.word_at(0x1000), 0x1000u + 512u);
+  EXPECT_EQ(img.word_at(0x1004), (0x1000u + 256u) / 2);
+  EXPECT_EQ(img.word_at(0x1008), 0xffffffffu);
+}
+
+TEST(Assembler, SpecialRegisterInstructions) {
+  const Image img = assemble_or_throw(R"(
+      rd %psr, %g1
+      wr %g1, 0x20, %psr
+      rd %y, %g2
+      wr %g0, %g2, %y
+      rd %wim, %g3
+      wr %g0, 2, %wim
+      rd %tbr, %g4
+      wr %g4, 0, %tbr
+      rd %asr17, %g5
+      wr %g5, 0, %asr17
+  )");
+  EXPECT_EQ(isa::decode(img.word_at(0)).mn, Mnemonic::kRdpsr);
+  EXPECT_EQ(isa::decode(img.word_at(4)).mn, Mnemonic::kWrpsr);
+  EXPECT_EQ(isa::decode(img.word_at(8)).mn, Mnemonic::kRdy);
+  EXPECT_EQ(isa::decode(img.word_at(12)).mn, Mnemonic::kWry);
+  EXPECT_EQ(isa::decode(img.word_at(16)).mn, Mnemonic::kRdwim);
+  EXPECT_EQ(isa::decode(img.word_at(20)).mn, Mnemonic::kWrwim);
+  EXPECT_EQ(isa::decode(img.word_at(24)).mn, Mnemonic::kRdtbr);
+  EXPECT_EQ(isa::decode(img.word_at(28)).mn, Mnemonic::kWrtbr);
+  EXPECT_EQ(isa::decode(img.word_at(32)).mn, Mnemonic::kRdasr);
+  EXPECT_EQ(isa::decode(img.word_at(32)).rs1, 17);
+  EXPECT_EQ(isa::decode(img.word_at(36)).mn, Mnemonic::kWrasr);
+  EXPECT_EQ(isa::decode(img.word_at(36)).rd, 17);
+}
+
+TEST(Assembler, SaveRestoreForms) {
+  const Image img = assemble_or_throw(R"(
+      save %sp, -96, %sp
+      restore
+      save
+      restore %g0, %g0, %g0
+  )");
+  EXPECT_EQ(img.word_at(0),
+            isa::encode_arith_ri(Mnemonic::kSave, 14, 14, -96));
+  EXPECT_EQ(img.word_at(4), isa::encode_arith_rr(Mnemonic::kRestore, 0, 0, 0));
+  EXPECT_EQ(img.word_at(8), isa::encode_arith_rr(Mnemonic::kSave, 0, 0, 0));
+}
+
+TEST(Assembler, TrapInstructions) {
+  const Image img = assemble_or_throw(R"(
+      ta 3
+      tne 0x10
+  )");
+  EXPECT_EQ(img.word_at(0), isa::encode_ticc(Cond::kA, 0, 3));
+  EXPECT_EQ(img.word_at(4), isa::encode_ticc(Cond::kNe, 0, 0x10));
+}
+
+TEST(Assembler, StatementSeparators) {
+  const Image img = assemble_or_throw("nop; nop; nop\n");
+  EXPECT_EQ(img.data.size(), 12u);
+}
+
+TEST(Assembler, CurrentLocationSymbol) {
+  const Image img = assemble_or_throw(R"(
+      .org 0x400
+      .word .
+      .word .
+  )");
+  EXPECT_EQ(img.word_at(0x400), 0x400u);
+  EXPECT_EQ(img.word_at(0x404), 0x404u);
+}
+
+TEST(Assembler, PaperKernelAssembles) {
+  // The Fig 7 array-access kernel as we express it in assembly.
+  const Image img = assemble_or_throw(R"(
+      .org 0x40000000
+  _start:
+      set count, %o0
+      set 0, %o1             ! i
+      set 1000000, %o2       ! bound
+  loop:
+      and %o1, 1023, %o3     ! address = i % 1024
+      ld [%o0 + %o3], %o4    ! x = count[address]
+      add %o1, 32, %o1       ! i += 32
+      cmp %o1, %o2
+      bl loop
+      nop
+  done:
+      ba done
+      nop
+      .align 32
+  count:
+      .skip 4096
+  )");
+  EXPECT_EQ(img.entry, 0x40000000u);
+  EXPECT_GT(img.symbol("count"), img.symbol("loop"));
+  EXPECT_EQ(img.symbol("count") % 32, 0u);
+}
+
+}  // namespace
+}  // namespace la::sasm

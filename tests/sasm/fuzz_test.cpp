@@ -1,0 +1,112 @@
+// Robustness: the assembler must never crash or hang on arbitrary input —
+// it returns diagnostics.  Three generations of garbage: random bytes,
+// random tokens, and mutated valid programs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::sasm {
+namespace {
+
+TEST(AsmFuzz, RandomBytesNeverCrash) {
+  Rng rng(0xbad5eed);
+  Assembler as;
+  for (int i = 0; i < 2000; ++i) {
+    std::string src;
+    const u32 len = rng.below(200);
+    for (u32 j = 0; j < len; ++j) {
+      // Printable-ish ASCII plus newlines; occasional raw bytes.
+      const u32 pick = rng.below(100);
+      if (pick < 10) src.push_back('\n');
+      else if (pick < 95) src.push_back(static_cast<char>(rng.between(32, 126)));
+      else src.push_back(static_cast<char>(rng.next_u32() & 0xff));
+    }
+    const AsmResult r = as.assemble(src);  // must not throw
+    if (!r.ok) {
+      EXPECT_FALSE(r.errors.empty());
+    }
+  }
+  SUCCEED();
+}
+
+TEST(AsmFuzz, RandomTokenSoupNeverCrashes) {
+  Rng rng(0xf00d);
+  static const char* tokens[] = {
+      "add",    "%g1",  "%sp",   ",",      "[",     "]",    "+",
+      "-",      "0x40", "4096",  "label:", ".word", ".org", "%hi(",
+      ")",      "ba",   "set",   "%y",     "wr",    "rd",   "nop",
+      "ld",     "st",   "!c",    ";",      "save",  "umul", "%asr17",
+      ".align", "8",    ".skip", "\"s\"",  "=",     "tst",  "%lo(x)",
+  };
+  Assembler as;
+  for (int i = 0; i < 2000; ++i) {
+    std::string src;
+    const u32 n = rng.below(60);
+    for (u32 j = 0; j < n; ++j) {
+      src += tokens[rng.below(std::size(tokens))];
+      src += rng.chance(0.3) ? "\n" : " ";
+    }
+    as.assemble(src);  // must not throw
+  }
+  SUCCEED();
+}
+
+TEST(AsmFuzz, MutatedValidProgramsNeverCrash) {
+  const std::string base = R"(
+      .org 0x40000100
+  _start:
+      set 0x12345678, %g1
+      ld [%g1 + 8], %g2
+  loop:
+      subcc %g2, 1, %g2
+      bne loop
+      nop
+      st %g2, [%g1]
+      jmp 0x40
+      nop
+  data:
+      .word 1, 2, 3
+      .asciz "hello"
+  )";
+  Rng rng(0x3141);
+  Assembler as;
+  for (int i = 0; i < 2000; ++i) {
+    std::string src = base;
+    const u32 mutations = 1 + rng.below(5);
+    for (u32 m = 0; m < mutations; ++m) {
+      const u32 pos = rng.below(static_cast<u32>(src.size()));
+      switch (rng.below(3)) {
+        case 0: src[pos] = static_cast<char>(rng.between(32, 126)); break;
+        case 1: src.erase(pos, 1); break;
+        default: src.insert(pos, 1, static_cast<char>(rng.between(32, 126)));
+      }
+    }
+    as.assemble(src);  // must not throw
+  }
+  SUCCEED();
+}
+
+TEST(AsmFuzz, PathologicalStructuresReportErrors) {
+  Assembler as;
+  // Deeply nested parentheses.
+  std::string nested = ".word ";
+  for (int i = 0; i < 200; ++i) nested += "(1+";
+  nested += "1";
+  for (int i = 0; i < 200; ++i) nested += ")";
+  EXPECT_TRUE(as.assemble(nested + "\n").ok);
+
+  // Unbalanced version must error, not crash.
+  EXPECT_FALSE(as.assemble(".word ((((1\n").ok);
+
+  // Giant .skip is accepted (memory-bounded by the value).
+  EXPECT_TRUE(as.assemble(".skip 65536\n").ok);
+
+  // Huge org forward then backward.
+  EXPECT_TRUE(as.assemble(".org 0x1000\nnop\n.org 0x10\nnop\n").ok);
+}
+
+}  // namespace
+}  // namespace la::sasm

@@ -1,0 +1,83 @@
+#include "sasm/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la::sasm {
+namespace {
+
+TEST(Lexer, RegistersAndAliases) {
+  const auto t = tokenize("%g0 %o7 %l3 %i6 %sp %fp %r17");
+  ASSERT_EQ(t.size(), 8u);  // 7 regs + end
+  EXPECT_EQ(t[0].kind, TokKind::kReg);
+  EXPECT_EQ(t[0].value, 0u);
+  EXPECT_EQ(t[1].value, 15u);
+  EXPECT_EQ(t[2].value, 19u);
+  EXPECT_EQ(t[3].value, 30u);
+  EXPECT_EQ(t[4].value, 14u);  // %sp = %o6
+  EXPECT_EQ(t[5].value, 30u);  // %fp = %i6
+  EXPECT_EQ(t[6].value, 17u);
+}
+
+TEST(Lexer, SpecialRegisters) {
+  const auto t = tokenize("%y %psr %wim %tbr %asr17");
+  ASSERT_EQ(t.size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(t[i].kind, TokKind::kSpecial);
+  EXPECT_EQ(t[4].text, "asr");
+  EXPECT_EQ(t[4].value, 17u);
+}
+
+TEST(Lexer, HiLo) {
+  const auto t = tokenize("%hi(x) %lo(x)");
+  EXPECT_EQ(t[0].kind, TokKind::kHiLo);
+  EXPECT_EQ(t[0].text, "hi");
+  EXPECT_EQ(t[4].kind, TokKind::kHiLo);
+  EXPECT_EQ(t[4].text, "lo");
+}
+
+TEST(Lexer, NumberBases) {
+  const auto t = tokenize("42 0x2a 0b101010 052 0");
+  EXPECT_EQ(t[0].value, 42u);
+  EXPECT_EQ(t[1].value, 42u);
+  EXPECT_EQ(t[2].value, 42u);
+  EXPECT_EQ(t[3].value, 42u);  // octal
+  EXPECT_EQ(t[4].value, 0u);
+}
+
+TEST(Lexer, CommentsIgnored) {
+  EXPECT_EQ(tokenize("nop ! comment , with tokens").size(), 2u);
+  EXPECT_EQ(tokenize("# whole line").size(), 1u);
+  EXPECT_EQ(tokenize("").size(), 1u);
+}
+
+TEST(Lexer, StringEscapes) {
+  const auto t = tokenize(R"(.ascii "a\n\t\"b\\")");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].kind, TokKind::kString);
+  EXPECT_EQ(t[1].text, "a\n\t\"b\\");
+}
+
+TEST(Lexer, PunctuationStream) {
+  const auto t = tokenize("[%g1 + 4], %g2");
+  ASSERT_EQ(t.size(), 8u);
+  EXPECT_EQ(t[0].text, "[");
+  EXPECT_EQ(t[2].text, "+");
+  EXPECT_EQ(t[4].text, "]");
+  EXPECT_EQ(t[5].text, ",");
+}
+
+TEST(Lexer, ErrorsThrow) {
+  EXPECT_THROW(tokenize("%q5"), std::runtime_error);
+  EXPECT_THROW(tokenize("0xzz"), std::runtime_error);
+  EXPECT_THROW(tokenize("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(tokenize("a @ b"), std::runtime_error);
+  EXPECT_THROW(tokenize("%asr99"), std::runtime_error);
+}
+
+TEST(Lexer, ColumnsAreOneBased) {
+  const auto t = tokenize("  add %g1");
+  EXPECT_EQ(t[0].col, 3u);
+  EXPECT_EQ(t[1].col, 7u);
+}
+
+}  // namespace
+}  // namespace la::sasm

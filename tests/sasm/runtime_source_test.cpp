@@ -1,0 +1,84 @@
+// The runtime blob itself: assembles cleanly, lays out the trap table
+// correctly, and honours its options.
+#include <gtest/gtest.h>
+
+#include "isa/decode.hpp"
+#include "sasm/assembler.hpp"
+#include "sasm/runtime.hpp"
+
+namespace la::sasm::rt {
+namespace {
+
+Image assembled(const RuntimeOptions& opt = {}) {
+  return assemble_or_throw("    .org 0x40000100\n_start:\n    nop\n" +
+                           runtime_source(opt));
+}
+
+TEST(RuntimeSource, AssemblesWithDefaults) {
+  const Image img = assembled();
+  EXPECT_NE(img.symbols.find("trap_table"), img.symbols.end());
+  EXPECT_NE(img.symbols.find("rt_init"), img.symbols.end());
+  EXPECT_NE(img.symbols.find("rt_window_overflow"), img.symbols.end());
+  EXPECT_NE(img.symbols.find("rt_window_underflow"), img.symbols.end());
+  EXPECT_NE(img.symbols.find("rt_umul"), img.symbols.end());
+}
+
+TEST(RuntimeSource, TableIsAlignedAndDense) {
+  RuntimeOptions opt;
+  const Image img = assembled(opt);
+  EXPECT_EQ(img.symbol("trap_table"), opt.trap_table_base);
+  EXPECT_EQ(opt.trap_table_base & 0xfffu, 0u);
+  // Every entry begins with a branch (op=0, op2=2).
+  for (unsigned tt = 0; tt < 256; ++tt) {
+    const u32 w = img.word_at(opt.trap_table_base + tt * 16);
+    const auto ins = isa::decode(w);
+    EXPECT_EQ(ins.mn, isa::Mnemonic::kBicc) << "tt " << tt;
+    EXPECT_EQ(ins.cond, isa::Cond::kA) << "tt " << tt;
+  }
+}
+
+TEST(RuntimeSource, WindowEntriesPointAtHandlers) {
+  RuntimeOptions opt;
+  const Image img = assembled(opt);
+  const auto target_of = [&](unsigned tt) {
+    const Addr entry = opt.trap_table_base + tt * 16;
+    const auto ins = isa::decode(img.word_at(entry));
+    return entry + (static_cast<u32>(ins.disp) << 2);
+  };
+  EXPECT_EQ(target_of(0x05), img.symbol("rt_window_overflow"));
+  EXPECT_EQ(target_of(0x06), img.symbol("rt_window_underflow"));
+  EXPECT_EQ(target_of(0x02), img.symbol("rt_unexpected"));
+  EXPECT_EQ(target_of(0x80), img.symbol("rt_unexpected"));
+}
+
+TEST(RuntimeSource, CustomHandlerOverridesEntry) {
+  RuntimeOptions opt;
+  opt.custom_handlers[0x18] = "_start";  // any existing label
+  const Image img = assembled(opt);
+  const Addr entry = opt.trap_table_base + 0x18 * 16;
+  const auto ins = isa::decode(img.word_at(entry));
+  EXPECT_EQ(entry + (static_cast<u32>(ins.disp) << 2), img.symbol("_start"));
+}
+
+TEST(RuntimeSource, OptionsChangeAddresses) {
+  RuntimeOptions opt;
+  opt.trap_table_base = 0x40040000;
+  opt.stack_top = 0x400f0000;
+  opt.fault_word = 0x40000040;
+  const Image img = assembled(opt);
+  EXPECT_EQ(img.symbol("trap_table"), 0x40040000u);
+}
+
+TEST(RuntimeSource, RotationShiftsMatchWindowCount) {
+  // The overflow handler embeds the nwindows-1 shift; check it changes.
+  RuntimeOptions a, b;
+  a.nwindows = 8;
+  b.nwindows = 16;
+  const std::string sa = runtime_source(a);
+  const std::string sb = runtime_source(b);
+  EXPECT_NE(sa.find("sll %g1, 7"), std::string::npos);
+  EXPECT_NE(sb.find("sll %g1, 15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace la::sasm::rt

@@ -1,0 +1,136 @@
+// S-record serialization: round trips, checksum verification, hostile
+// input.
+#include "sasm/srec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::sasm {
+namespace {
+
+Image sample_image() {
+  return assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      set 0xdeadbeef, %g1
+      st %g1, [%g0 + 0x40]
+      jmp 0x40
+      nop
+      .byte 1, 2, 3
+      .align 4
+      .word 0xcafef00d
+  )");
+}
+
+TEST(Srec, RoundTripPreservesImage) {
+  const Image img = sample_image();
+  const std::string text = to_srec(img);
+  const SrecResult back = from_srec(text);
+  ASSERT_TRUE(back.ok) << back.error;
+  EXPECT_EQ(back.image.base, img.base);
+  EXPECT_EQ(back.image.entry, img.entry);
+  EXPECT_EQ(back.image.data, img.data);
+}
+
+TEST(Srec, WellFormedRecords) {
+  const std::string text = to_srec(sample_image(), "hdr", 16);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.substr(0, 2), "S0");
+  EXPECT_NE(text.find("\nS3"), std::string::npos);
+  EXPECT_NE(text.find("\nS7"), std::string::npos);
+  // Every line is even-length hex after the type.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::string_view line = std::string_view(text).substr(pos, nl - pos);
+    EXPECT_EQ(line[0], 'S');
+    EXPECT_EQ((line.size() - 2) % 2, 0u);
+    pos = nl + 1;
+  }
+}
+
+TEST(Srec, RecordSizeVariations) {
+  const Image img = sample_image();
+  for (const unsigned n : {1u, 7u, 32u, 250u}) {
+    const SrecResult back = from_srec(to_srec(img, "x", n));
+    ASSERT_TRUE(back.ok) << "bytes_per_record=" << n << ": " << back.error;
+    EXPECT_EQ(back.image.data, img.data);
+  }
+}
+
+TEST(Srec, ChecksumCorruptionDetected) {
+  std::string text = to_srec(sample_image());
+  // Flip one data nibble in the first S3 record.
+  const std::size_t p = text.find("\nS3") + 12;
+  text[p] = text[p] == '0' ? '1' : '0';
+  const SrecResult back = from_srec(text);
+  EXPECT_FALSE(back.ok);
+  EXPECT_NE(back.error.find("checksum"), std::string::npos);
+}
+
+TEST(Srec, AcceptsS1AndS9Flavour) {
+  // Hand-built 16-bit flavour: S1 with 2 data bytes at 0x1000 (0xAB 0xCD).
+  // count=2+2+1=5; sum=05+10+00+AB+CD=0x18D -> low byte 0x8D -> ~ =0x72.
+  const std::string text =
+      "S1051000ABCD72\n"
+      "S9031000EC\n";
+  const SrecResult back = from_srec(text);
+  ASSERT_TRUE(back.ok) << back.error;
+  EXPECT_EQ(back.image.base, 0x1000u);
+  ASSERT_EQ(back.image.data.size(), 2u);
+  EXPECT_EQ(back.image.data[0], 0xab);
+  EXPECT_EQ(back.image.data[1], 0xcd);
+  EXPECT_EQ(back.image.entry, 0x1000u);
+}
+
+TEST(Srec, GapsZeroFilled) {
+  Image img;
+  img.base = 0x100;
+  img.data = {0xaa};
+  img.entry = 0x100;
+  std::string text = to_srec(img);
+  // Append a second distant data record by serializing another image and
+  // splicing its S3 line in before the S7.
+  Image img2;
+  img2.base = 0x140;
+  img2.data = {0xbb};
+  img2.entry = 0x140;
+  const std::string text2 = to_srec(img2);
+  const std::string s3b = text2.substr(text2.find("S3"),
+                                       text2.find("\nS7") + 1 -
+                                           text2.find("S3"));
+  text.insert(text.find("S7"), s3b);
+  const SrecResult back = from_srec(text);
+  ASSERT_TRUE(back.ok) << back.error;
+  EXPECT_EQ(back.image.base, 0x100u);
+  EXPECT_EQ(back.image.data.size(), 0x41u);
+  EXPECT_EQ(back.image.data[0], 0xaa);
+  EXPECT_EQ(back.image.data[0x20], 0x00);  // gap
+  EXPECT_EQ(back.image.data[0x40], 0xbb);
+}
+
+static constexpr char kJunkChars[] = "0123456789ABCDEFabcdefS37 \r";
+
+TEST(Srec, HostileInputNeverCrashes) {
+  Rng rng(42);
+  for (int i = 0; i < 3000; ++i) {
+    std::string junk;
+    const u32 len = rng.below(120);
+    for (u32 j = 0; j < len; ++j) {
+      const u32 pick = rng.below(10);
+      if (pick < 2) junk.push_back('S');
+      else if (pick < 4) junk.push_back('\n');
+      else junk.push_back(kJunkChars[rng.below(sizeof(kJunkChars) - 1)]);
+    }
+    from_srec(junk);  // must not throw
+  }
+  EXPECT_FALSE(from_srec("").ok);
+  EXPECT_FALSE(from_srec("S").ok);
+  EXPECT_FALSE(from_srec("Sx\n").ok);
+  EXPECT_FALSE(from_srec("S305ZZZZ00FF\n").ok);
+}
+
+}  // namespace
+}  // namespace la::sasm

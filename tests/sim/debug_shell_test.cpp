@@ -1,0 +1,129 @@
+// The debug shell's command engine, scripted.
+#include <gtest/gtest.h>
+
+#include "ctrl/client.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/debug_shell.hpp"
+
+namespace la::sim {
+namespace {
+
+struct ShellFixture : ::testing::Test {
+  ShellFixture() {
+    node.run(100);
+    img = sasm::assemble_or_throw(R"(
+        .org 0x40000100
+    _start:
+        mov 5, %g1
+    loop:
+        subcc %g1, 1, %g1
+        bne loop
+        nop
+        set value, %g2
+        st %g1, [%g2]
+    finish:
+        jmp 0x40
+        nop
+        .align 4
+    value:
+        .word 0xabcd1234
+    )");
+    ctrl::LiquidClient client(node);
+    EXPECT_TRUE(client.load_program(img));
+    net::UdpDatagram d;
+    d.src_ip = net::make_ip(10, 0, 0, 9);
+    d.src_port = 9;
+    d.dst_ip = node.config().node_ip;
+    d.dst_port = node.config().node_port;
+    d.payload = net::StartCmd{img.entry}.serialize();
+    node.ingress_frame(net::build_udp_packet(d));
+    shell = std::make_unique<DebugShell>(node, &img);
+  }
+
+  LiquidSystem node;
+  sasm::Image img;
+  std::unique_ptr<DebugShell> shell;
+};
+
+TEST_F(ShellFixture, HelpAndUnknown) {
+  EXPECT_NE(shell->execute("help").find("regs"), std::string::npos);
+  EXPECT_NE(shell->execute("wat").find("unknown command"),
+            std::string::npos);
+  EXPECT_EQ(shell->execute(""), "");
+}
+
+TEST_F(ShellFixture, BreakBySymbolThenContinue) {
+  EXPECT_NE(shell->execute("b finish").find("breakpoint at 0x"),
+            std::string::npos);
+  const std::string out = shell->execute("c");
+  EXPECT_NE(out.find("breakpoint at"), std::string::npos);
+  EXPECT_EQ(node.cpu().state().pc, img.symbol("finish"));
+  EXPECT_EQ(node.cpu().state().reg(1), 0u);  // loop finished
+}
+
+TEST_F(ShellFixture, StepShowsDisassembly) {
+  const std::string out = shell->execute("s 3");
+  EXPECT_NE(out.find(":"), std::string::npos);  // "pc: mnemonic"
+}
+
+TEST_F(ShellFixture, ExamineMemoryBySymbol) {
+  const std::string out = shell->execute("x value 1");
+  EXPECT_NE(out.find("abcd1234"), std::string::npos);
+}
+
+TEST_F(ShellFixture, ExamineUnmapped) {
+  EXPECT_NE(shell->execute("x 0x20000000").find("<unmapped>"),
+            std::string::npos);
+}
+
+TEST_F(ShellFixture, WatchpointBySymbol) {
+  EXPECT_NE(shell->execute("w value").find("watching"), std::string::npos);
+  const std::string out = shell->execute("c");
+  EXPECT_NE(out.find("watchpoint hit"), std::string::npos);
+  // The store wrote zero over the initial word.
+  EXPECT_NE(shell->execute("x value 1").find("00000000"),
+            std::string::npos);
+}
+
+TEST_F(ShellFixture, RegsAndReport) {
+  shell->execute("s 2");
+  EXPECT_NE(shell->execute("regs").find("pc="), std::string::npos);
+  EXPECT_NE(shell->execute("report").find("dcache"), std::string::npos);
+}
+
+TEST_F(ShellFixture, HistoryAfterSteps) {
+  EXPECT_NE(shell->execute("hist").find("no history"), std::string::npos);
+  shell->execute("s 5");
+  const std::string out = shell->execute("hist 3");
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST_F(ShellFixture, SymResolution) {
+  EXPECT_NE(shell->execute("sym loop").find("loop = 0x"),
+            std::string::npos);
+  EXPECT_NE(shell->execute("sym nope").find("not found"),
+            std::string::npos);
+}
+
+TEST_F(ShellFixture, DeleteBreakpoint) {
+  shell->execute("b finish");
+  shell->execute("d finish");
+  const std::string out = shell->execute("c 200000");
+  // No breakpoint left: runs to the step limit (spinning in the ROM).
+  EXPECT_NE(out.find("step limit"), std::string::npos);
+}
+
+TEST_F(ShellFixture, QuitSetsFlag) {
+  EXPECT_FALSE(shell->quit_requested());
+  EXPECT_NE(shell->execute("q").find("bye"), std::string::npos);
+  EXPECT_TRUE(shell->quit_requested());
+}
+
+TEST_F(ShellFixture, BadAddressesRejected) {
+  EXPECT_NE(shell->execute("b").find("bad or missing"), std::string::npos);
+  EXPECT_NE(shell->execute("x zzz").find("bad or missing"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace la::sim

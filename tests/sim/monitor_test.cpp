@@ -1,0 +1,151 @@
+// The debug monitor: breakpoints, watchpoints, history, inspection.
+#include <gtest/gtest.h>
+
+#include "ctrl/client.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/monitor.hpp"
+#include "sim/report.hpp"
+
+namespace la::sim {
+namespace {
+
+struct MonFixture : ::testing::Test {
+  MonFixture() : mon(node) {
+    node.run(100);
+    img = sasm::assemble_or_throw(R"(
+        .org 0x40000100
+    _start:
+        mov 0, %g1
+        mov 10, %g2
+    loop:
+        add %g1, %g2, %g1
+        set counter, %g3
+        st %g1, [%g3]
+        subcc %g2, 1, %g2
+        bne loop
+        nop
+    finish:
+        jmp 0x40
+        nop
+        .align 4
+    counter:
+        .skip 4
+    )");
+    ctrl::LiquidClient client(node);
+    EXPECT_TRUE(client.load_program(img));
+    // Inject the Start command directly (no pumping): leon_ctrl plants the
+    // mailbox and reconnects, but not a single CPU step runs — the monitor
+    // is in full control of execution from here.
+    net::UdpDatagram d;
+    d.src_ip = net::make_ip(10, 0, 0, 9);
+    d.src_port = 9;
+    d.dst_ip = node.config().node_ip;
+    d.dst_port = node.config().node_port;
+    d.payload = net::StartCmd{img.entry}.serialize();
+    node.ingress_frame(net::build_udp_packet(d));
+    EXPECT_EQ(node.controller().state(), net::LeonState::kRunning);
+  }
+
+  LiquidSystem node;
+  Monitor mon;
+  sasm::Image img;
+};
+
+TEST_F(MonFixture, BreakpointStopsBeforeInstruction) {
+  const Addr target = img.symbol("finish");
+  mon.add_breakpoint(target);
+  const auto stop = mon.cont(100000);
+  EXPECT_EQ(stop.reason, Monitor::StopReason::kBreakpoint);
+  EXPECT_EQ(stop.pc, target);
+  // The loop ran to completion: g1 = 10+9+...+1 = 55.
+  EXPECT_EQ(node.cpu().state().reg(1), 55u);
+}
+
+TEST_F(MonFixture, WriteWatchpointFiresOnFirstStore) {
+  const Addr counter = img.symbol("counter");
+  mon.add_watchpoint(counter, counter + 3, Monitor::Watch::kWrite);
+  const auto stop = mon.cont(100000);
+  EXPECT_EQ(stop.reason, Monitor::StopReason::kWatchpoint);
+  EXPECT_EQ(stop.access, counter);
+  EXPECT_EQ(*mon.read_word(counter), 10u);  // first iteration's store
+}
+
+TEST_F(MonFixture, ReadWatchpointIgnoresWrites) {
+  const Addr counter = img.symbol("counter");
+  mon.add_watchpoint(counter, counter + 3, Monitor::Watch::kRead);
+  mon.add_breakpoint(img.symbol("finish"));
+  const auto stop = mon.cont(100000);
+  // The program only writes: we reach the breakpoint instead.
+  EXPECT_EQ(stop.reason, Monitor::StopReason::kBreakpoint);
+}
+
+TEST_F(MonFixture, ContinueAfterBreakpointMakesProgress) {
+  const Addr loop = img.symbol("loop");
+  mon.add_breakpoint(loop);
+  const auto s1 = mon.cont(100000);
+  ASSERT_EQ(s1.reason, Monitor::StopReason::kBreakpoint);
+  const u32 g2_first = node.cpu().state().reg(2);
+  const auto s2 = mon.cont(100000);
+  ASSERT_EQ(s2.reason, Monitor::StopReason::kBreakpoint);
+  EXPECT_EQ(node.cpu().state().reg(2), g2_first - 1);  // one iteration later
+}
+
+TEST_F(MonFixture, StepLimitReported) {
+  const auto stop = mon.cont(5);
+  EXPECT_EQ(stop.reason, Monitor::StopReason::kStepLimit);
+  EXPECT_EQ(stop.steps, 5u);
+}
+
+TEST_F(MonFixture, HistoryHoldsRecentInstructions) {
+  mon.add_breakpoint(img.symbol("finish"));
+  mon.cont(100000);
+  const auto hist = mon.history(8);
+  ASSERT_EQ(hist.size(), 8u);
+  // The final entries are the last loop iteration + fallthrough.
+  bool saw_bne = false;
+  for (const auto& [pc, text] : hist) {
+    if (text.rfind("bne", 0) == 0) saw_bne = true;
+  }
+  EXPECT_TRUE(saw_bne);
+}
+
+TEST_F(MonFixture, DisassembleAroundShowsProgram) {
+  const std::string text =
+      mon.disassemble_around(img.symbol("loop"), 1, 2);
+  EXPECT_NE(text.find("=> 40000108"), std::string::npos);
+  EXPECT_NE(text.find("add %g1, %g2, %g1"), std::string::npos);
+}
+
+TEST_F(MonFixture, RegisterDumpContainsState) {
+  mon.cont(3);
+  const std::string regs = mon.registers();
+  EXPECT_NE(regs.find("pc="), std::string::npos);
+  EXPECT_NE(regs.find("%g2="), std::string::npos);
+  EXPECT_NE(regs.find("cwp="), std::string::npos);
+}
+
+TEST_F(MonFixture, ReadWordUnmappedIsNullopt) {
+  EXPECT_FALSE(mon.read_word(0x20000000).has_value());
+  EXPECT_TRUE(mon.read_word(img.entry).has_value());
+}
+
+TEST_F(MonFixture, ErrorModeReported) {
+  // Poke an illegal instruction at the loop head and run into it.
+  node.sram().backdoor_write_word(img.symbol("loop"), 0x00000000);  // unimp
+  node.cpu().flush_caches();
+  const auto stop = mon.cont(100000);
+  EXPECT_EQ(stop.reason, Monitor::StopReason::kErrorMode);
+}
+
+TEST_F(MonFixture, SystemReportMentionsEverything) {
+  mon.cont(50);
+  const std::string rep = system_report(node);
+  for (const char* key :
+       {"cpu:", "icache", "dcache", "ahb:", "sdram-ctrl", "wrappers",
+        "leon_ctrl"}) {
+    EXPECT_NE(rep.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace la::sim
