@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_burst.dir/ablate_burst.cpp.o"
+  "CMakeFiles/ablate_burst.dir/ablate_burst.cpp.o.d"
+  "ablate_burst"
+  "ablate_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

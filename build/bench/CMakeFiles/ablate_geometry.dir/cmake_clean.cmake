@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_geometry.dir/ablate_geometry.cpp.o"
+  "CMakeFiles/ablate_geometry.dir/ablate_geometry.cpp.o.d"
+  "ablate_geometry"
+  "ablate_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

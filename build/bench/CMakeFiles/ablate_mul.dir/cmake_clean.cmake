@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_mul.dir/ablate_mul.cpp.o"
+  "CMakeFiles/ablate_mul.dir/ablate_mul.cpp.o.d"
+  "ablate_mul"
+  "ablate_mul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_mul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

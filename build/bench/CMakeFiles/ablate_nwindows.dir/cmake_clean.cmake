@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_nwindows.dir/ablate_nwindows.cpp.o"
+  "CMakeFiles/ablate_nwindows.dir/ablate_nwindows.cpp.o.d"
+  "ablate_nwindows"
+  "ablate_nwindows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_nwindows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

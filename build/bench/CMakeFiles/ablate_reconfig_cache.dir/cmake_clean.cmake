@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_reconfig_cache.dir/ablate_reconfig_cache.cpp.o"
+  "CMakeFiles/ablate_reconfig_cache.dir/ablate_reconfig_cache.cpp.o.d"
+  "ablate_reconfig_cache"
+  "ablate_reconfig_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_reconfig_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_rmw.dir/ablate_rmw.cpp.o"
+  "CMakeFiles/ablate_rmw.dir/ablate_rmw.cpp.o.d"
+  "ablate_rmw"
+  "ablate_rmw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_rmw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_write_buffer.dir/ablate_write_buffer.cpp.o"
+  "CMakeFiles/ablate_write_buffer.dir/ablate_write_buffer.cpp.o.d"
+  "ablate_write_buffer"
+  "ablate_write_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_write_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

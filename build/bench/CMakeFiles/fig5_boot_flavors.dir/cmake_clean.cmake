@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_boot_flavors.dir/fig5_boot_flavors.cpp.o"
+  "CMakeFiles/fig5_boot_flavors.dir/fig5_boot_flavors.cpp.o.d"
+  "fig5_boot_flavors"
+  "fig5_boot_flavors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_boot_flavors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

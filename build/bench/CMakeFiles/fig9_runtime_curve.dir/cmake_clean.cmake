@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_runtime_curve.dir/fig9_runtime_curve.cpp.o"
+  "CMakeFiles/fig9_runtime_curve.dir/fig9_runtime_curve.cpp.o.d"
+  "fig9_runtime_curve"
+  "fig9_runtime_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_runtime_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

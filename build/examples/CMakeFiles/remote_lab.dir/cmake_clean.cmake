@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remote_lab.dir/remote_lab.cpp.o"
+  "CMakeFiles/remote_lab.dir/remote_lab.cpp.o.d"
+  "remote_lab"
+  "remote_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remote_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/ahb.cpp" "src/bus/CMakeFiles/la_bus.dir/ahb.cpp.o" "gcc" "src/bus/CMakeFiles/la_bus.dir/ahb.cpp.o.d"
+  "/root/repo/src/bus/apb.cpp" "src/bus/CMakeFiles/la_bus.dir/apb.cpp.o" "gcc" "src/bus/CMakeFiles/la_bus.dir/apb.cpp.o.d"
+  "/root/repo/src/bus/peripherals.cpp" "src/bus/CMakeFiles/la_bus.dir/peripherals.cpp.o" "gcc" "src/bus/CMakeFiles/la_bus.dir/peripherals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_bus.dir/ahb.cpp.o"
+  "CMakeFiles/la_bus.dir/ahb.cpp.o.d"
+  "CMakeFiles/la_bus.dir/apb.cpp.o"
+  "CMakeFiles/la_bus.dir/apb.cpp.o.d"
+  "CMakeFiles/la_bus.dir/peripherals.cpp.o"
+  "CMakeFiles/la_bus.dir/peripherals.cpp.o.d"
+  "libla_bus.a"
+  "libla_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

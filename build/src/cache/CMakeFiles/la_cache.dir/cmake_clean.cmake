@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_cache.dir/cache.cpp.o"
+  "CMakeFiles/la_cache.dir/cache.cpp.o.d"
+  "libla_cache.a"
+  "libla_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

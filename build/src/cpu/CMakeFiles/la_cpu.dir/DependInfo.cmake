@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/integer_unit.cpp" "src/cpu/CMakeFiles/la_cpu.dir/integer_unit.cpp.o" "gcc" "src/cpu/CMakeFiles/la_cpu.dir/integer_unit.cpp.o.d"
+  "/root/repo/src/cpu/leon_pipeline.cpp" "src/cpu/CMakeFiles/la_cpu.dir/leon_pipeline.cpp.o" "gcc" "src/cpu/CMakeFiles/la_cpu.dir/leon_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/la_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

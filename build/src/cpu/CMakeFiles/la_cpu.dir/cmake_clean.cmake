@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_cpu.dir/integer_unit.cpp.o"
+  "CMakeFiles/la_cpu.dir/integer_unit.cpp.o.d"
+  "CMakeFiles/la_cpu.dir/leon_pipeline.cpp.o"
+  "CMakeFiles/la_cpu.dir/leon_pipeline.cpp.o.d"
+  "libla_cpu.a"
+  "libla_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

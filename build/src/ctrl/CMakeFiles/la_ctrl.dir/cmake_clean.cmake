@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_ctrl.dir/client.cpp.o"
+  "CMakeFiles/la_ctrl.dir/client.cpp.o.d"
+  "CMakeFiles/la_ctrl.dir/loader.cpp.o"
+  "CMakeFiles/la_ctrl.dir/loader.cpp.o.d"
+  "libla_ctrl.a"
+  "libla_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_isa.dir/decode.cpp.o"
+  "CMakeFiles/la_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/la_isa.dir/disasm.cpp.o"
+  "CMakeFiles/la_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/la_isa.dir/encode.cpp.o"
+  "CMakeFiles/la_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/la_isa.dir/isa.cpp.o"
+  "CMakeFiles/la_isa.dir/isa.cpp.o.d"
+  "libla_isa.a"
+  "libla_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/liquid/adaptation.cpp" "src/liquid/CMakeFiles/la_liquid.dir/adaptation.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/adaptation.cpp.o.d"
+  "/root/repo/src/liquid/arch_config.cpp" "src/liquid/CMakeFiles/la_liquid.dir/arch_config.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/arch_config.cpp.o.d"
+  "/root/repo/src/liquid/job_queue.cpp" "src/liquid/CMakeFiles/la_liquid.dir/job_queue.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/job_queue.cpp.o.d"
+  "/root/repo/src/liquid/reconfig_cache.cpp" "src/liquid/CMakeFiles/la_liquid.dir/reconfig_cache.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/reconfig_cache.cpp.o.d"
+  "/root/repo/src/liquid/reconfig_server.cpp" "src/liquid/CMakeFiles/la_liquid.dir/reconfig_server.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/reconfig_server.cpp.o.d"
+  "/root/repo/src/liquid/synthesis.cpp" "src/liquid/CMakeFiles/la_liquid.dir/synthesis.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/synthesis.cpp.o.d"
+  "/root/repo/src/liquid/trace.cpp" "src/liquid/CMakeFiles/la_liquid.dir/trace.cpp.o" "gcc" "src/liquid/CMakeFiles/la_liquid.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/la_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/la_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/la_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/la_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/la_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/la_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sasm/CMakeFiles/la_sasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_liquid.dir/adaptation.cpp.o"
+  "CMakeFiles/la_liquid.dir/adaptation.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/arch_config.cpp.o"
+  "CMakeFiles/la_liquid.dir/arch_config.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/job_queue.cpp.o"
+  "CMakeFiles/la_liquid.dir/job_queue.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/reconfig_cache.cpp.o"
+  "CMakeFiles/la_liquid.dir/reconfig_cache.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/reconfig_server.cpp.o"
+  "CMakeFiles/la_liquid.dir/reconfig_server.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/synthesis.cpp.o"
+  "CMakeFiles/la_liquid.dir/synthesis.cpp.o.d"
+  "CMakeFiles/la_liquid.dir/trace.cpp.o"
+  "CMakeFiles/la_liquid.dir/trace.cpp.o.d"
+  "libla_liquid.a"
+  "libla_liquid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_liquid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/ahb_sdram_adapter.cpp" "src/mem/CMakeFiles/la_mem.dir/ahb_sdram_adapter.cpp.o" "gcc" "src/mem/CMakeFiles/la_mem.dir/ahb_sdram_adapter.cpp.o.d"
+  "/root/repo/src/mem/boot_rom.cpp" "src/mem/CMakeFiles/la_mem.dir/boot_rom.cpp.o" "gcc" "src/mem/CMakeFiles/la_mem.dir/boot_rom.cpp.o.d"
+  "/root/repo/src/mem/disconnect.cpp" "src/mem/CMakeFiles/la_mem.dir/disconnect.cpp.o" "gcc" "src/mem/CMakeFiles/la_mem.dir/disconnect.cpp.o.d"
+  "/root/repo/src/mem/sdram.cpp" "src/mem/CMakeFiles/la_mem.dir/sdram.cpp.o" "gcc" "src/mem/CMakeFiles/la_mem.dir/sdram.cpp.o.d"
+  "/root/repo/src/mem/sram.cpp" "src/mem/CMakeFiles/la_mem.dir/sram.cpp.o" "gcc" "src/mem/CMakeFiles/la_mem.dir/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

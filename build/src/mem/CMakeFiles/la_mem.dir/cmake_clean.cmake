@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_mem.dir/ahb_sdram_adapter.cpp.o"
+  "CMakeFiles/la_mem.dir/ahb_sdram_adapter.cpp.o.d"
+  "CMakeFiles/la_mem.dir/boot_rom.cpp.o"
+  "CMakeFiles/la_mem.dir/boot_rom.cpp.o.d"
+  "CMakeFiles/la_mem.dir/disconnect.cpp.o"
+  "CMakeFiles/la_mem.dir/disconnect.cpp.o.d"
+  "CMakeFiles/la_mem.dir/sdram.cpp.o"
+  "CMakeFiles/la_mem.dir/sdram.cpp.o.d"
+  "CMakeFiles/la_mem.dir/sram.cpp.o"
+  "CMakeFiles/la_mem.dir/sram.cpp.o.d"
+  "libla_mem.a"
+  "libla_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

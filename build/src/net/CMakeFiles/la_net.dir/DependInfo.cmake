@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/la_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/emulator.cpp" "src/net/CMakeFiles/la_net.dir/emulator.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/emulator.cpp.o.d"
+  "/root/repo/src/net/leon_ctrl.cpp" "src/net/CMakeFiles/la_net.dir/leon_ctrl.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/leon_ctrl.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/net/CMakeFiles/la_net.dir/packet.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/packet.cpp.o.d"
+  "/root/repo/src/net/trace_stream.cpp" "src/net/CMakeFiles/la_net.dir/trace_stream.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/trace_stream.cpp.o.d"
+  "/root/repo/src/net/wrappers.cpp" "src/net/CMakeFiles/la_net.dir/wrappers.cpp.o" "gcc" "src/net/CMakeFiles/la_net.dir/wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/la_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/la_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/la_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

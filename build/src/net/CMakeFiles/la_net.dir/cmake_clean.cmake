@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_net.dir/channel.cpp.o"
+  "CMakeFiles/la_net.dir/channel.cpp.o.d"
+  "CMakeFiles/la_net.dir/emulator.cpp.o"
+  "CMakeFiles/la_net.dir/emulator.cpp.o.d"
+  "CMakeFiles/la_net.dir/leon_ctrl.cpp.o"
+  "CMakeFiles/la_net.dir/leon_ctrl.cpp.o.d"
+  "CMakeFiles/la_net.dir/packet.cpp.o"
+  "CMakeFiles/la_net.dir/packet.cpp.o.d"
+  "CMakeFiles/la_net.dir/trace_stream.cpp.o"
+  "CMakeFiles/la_net.dir/trace_stream.cpp.o.d"
+  "CMakeFiles/la_net.dir/wrappers.cpp.o"
+  "CMakeFiles/la_net.dir/wrappers.cpp.o.d"
+  "libla_net.a"
+  "libla_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sasm/assembler.cpp" "src/sasm/CMakeFiles/la_sasm.dir/assembler.cpp.o" "gcc" "src/sasm/CMakeFiles/la_sasm.dir/assembler.cpp.o.d"
+  "/root/repo/src/sasm/lexer.cpp" "src/sasm/CMakeFiles/la_sasm.dir/lexer.cpp.o" "gcc" "src/sasm/CMakeFiles/la_sasm.dir/lexer.cpp.o.d"
+  "/root/repo/src/sasm/runtime.cpp" "src/sasm/CMakeFiles/la_sasm.dir/runtime.cpp.o" "gcc" "src/sasm/CMakeFiles/la_sasm.dir/runtime.cpp.o.d"
+  "/root/repo/src/sasm/srec.cpp" "src/sasm/CMakeFiles/la_sasm.dir/srec.cpp.o" "gcc" "src/sasm/CMakeFiles/la_sasm.dir/srec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

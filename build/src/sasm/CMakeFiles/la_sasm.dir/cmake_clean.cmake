@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sasm.dir/assembler.cpp.o"
+  "CMakeFiles/la_sasm.dir/assembler.cpp.o.d"
+  "CMakeFiles/la_sasm.dir/lexer.cpp.o"
+  "CMakeFiles/la_sasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/la_sasm.dir/runtime.cpp.o"
+  "CMakeFiles/la_sasm.dir/runtime.cpp.o.d"
+  "CMakeFiles/la_sasm.dir/srec.cpp.o"
+  "CMakeFiles/la_sasm.dir/srec.cpp.o.d"
+  "libla_sasm.a"
+  "libla_sasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

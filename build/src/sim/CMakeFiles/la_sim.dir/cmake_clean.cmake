@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_sim.dir/debug_shell.cpp.o"
+  "CMakeFiles/la_sim.dir/debug_shell.cpp.o.d"
+  "CMakeFiles/la_sim.dir/liquid_system.cpp.o"
+  "CMakeFiles/la_sim.dir/liquid_system.cpp.o.d"
+  "CMakeFiles/la_sim.dir/monitor.cpp.o"
+  "CMakeFiles/la_sim.dir/monitor.cpp.o.d"
+  "CMakeFiles/la_sim.dir/report.cpp.o"
+  "CMakeFiles/la_sim.dir/report.cpp.o.d"
+  "libla_sim.a"
+  "libla_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus.dir/bus/ahb_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/ahb_test.cpp.o.d"
+  "CMakeFiles/test_bus.dir/bus/apb_periph_test.cpp.o"
+  "CMakeFiles/test_bus.dir/bus/apb_periph_test.cpp.o.d"
+  "test_bus"
+  "test_bus.pdb"
+  "test_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

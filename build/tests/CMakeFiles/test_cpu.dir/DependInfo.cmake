@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu/alu_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o.d"
+  "/root/repo/tests/cpu/branch_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/branch_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/branch_test.cpp.o.d"
+  "/root/repo/tests/cpu/edge_cases_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/edge_cases_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/edge_cases_test.cpp.o.d"
+  "/root/repo/tests/cpu/memory_ops_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/memory_ops_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/memory_ops_test.cpp.o.d"
+  "/root/repo/tests/cpu/muldiv_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/muldiv_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/muldiv_test.cpp.o.d"
+  "/root/repo/tests/cpu/state_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/state_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/state_test.cpp.o.d"
+  "/root/repo/tests/cpu/windows_traps_test.cpp" "tests/CMakeFiles/test_cpu.dir/cpu/windows_traps_test.cpp.o" "gcc" "tests/CMakeFiles/test_cpu.dir/cpu/windows_traps_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/la_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sasm/CMakeFiles/la_sasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/la_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

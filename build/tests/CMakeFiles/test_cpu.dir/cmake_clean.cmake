@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/alu_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/branch_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/branch_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/edge_cases_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/edge_cases_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/memory_ops_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/memory_ops_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/muldiv_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/muldiv_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/state_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/state_test.cpp.o.d"
+  "CMakeFiles/test_cpu.dir/cpu/windows_traps_test.cpp.o"
+  "CMakeFiles/test_cpu.dir/cpu/windows_traps_test.cpp.o.d"
+  "test_cpu"
+  "test_cpu.pdb"
+  "test_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equivalence.dir/property/calltree_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/property/calltree_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_equivalence.dir/property/cpu_equivalence_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/property/cpu_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_equivalence.dir/property/timing_invariants_test.cpp.o"
+  "CMakeFiles/test_equivalence.dir/property/timing_invariants_test.cpp.o.d"
+  "test_equivalence"
+  "test_equivalence.pdb"
+  "test_equivalence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

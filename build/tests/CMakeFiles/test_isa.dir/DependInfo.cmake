@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/isa/cond_test.cpp" "tests/CMakeFiles/test_isa.dir/isa/cond_test.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/cond_test.cpp.o.d"
+  "/root/repo/tests/isa/decode_test.cpp" "tests/CMakeFiles/test_isa.dir/isa/decode_test.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/decode_test.cpp.o.d"
+  "/root/repo/tests/isa/disasm_test.cpp" "tests/CMakeFiles/test_isa.dir/isa/disasm_test.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/disasm_test.cpp.o.d"
+  "/root/repo/tests/isa/encode_roundtrip_test.cpp" "tests/CMakeFiles/test_isa.dir/isa/encode_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/test_isa.dir/isa/encode_roundtrip_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

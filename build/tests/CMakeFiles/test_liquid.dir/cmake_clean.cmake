@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_liquid.dir/liquid/adaptation_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/adaptation_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/arch_config_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/arch_config_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/job_queue_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/job_queue_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/reconfig_cache_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/reconfig_cache_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/synthesis_property_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/synthesis_property_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/synthesis_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/synthesis_test.cpp.o.d"
+  "CMakeFiles/test_liquid.dir/liquid/trace_test.cpp.o"
+  "CMakeFiles/test_liquid.dir/liquid/trace_test.cpp.o.d"
+  "test_liquid"
+  "test_liquid.pdb"
+  "test_liquid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_liquid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/cpu/pipeline_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/cpu/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/cpu/runtime_windows_test.cpp.o"
+  "CMakeFiles/test_pipeline.dir/cpu/runtime_windows_test.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

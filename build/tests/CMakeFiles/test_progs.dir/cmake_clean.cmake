@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_progs.dir/progs/programs_test.cpp.o"
+  "CMakeFiles/test_progs.dir/progs/programs_test.cpp.o.d"
+  "test_progs"
+  "test_progs.pdb"
+  "test_progs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_progs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sasm/assembler_errors_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/assembler_errors_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/assembler_errors_test.cpp.o.d"
+  "/root/repo/tests/sasm/assembler_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/assembler_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/assembler_test.cpp.o.d"
+  "/root/repo/tests/sasm/disasm_roundtrip_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/disasm_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/disasm_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/sasm/fuzz_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/fuzz_test.cpp.o.d"
+  "/root/repo/tests/sasm/lexer_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/lexer_test.cpp.o.d"
+  "/root/repo/tests/sasm/runtime_source_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/runtime_source_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/runtime_source_test.cpp.o.d"
+  "/root/repo/tests/sasm/srec_test.cpp" "tests/CMakeFiles/test_sasm.dir/sasm/srec_test.cpp.o" "gcc" "tests/CMakeFiles/test_sasm.dir/sasm/srec_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sasm/CMakeFiles/la_sasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sasm.dir/sasm/assembler_errors_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/assembler_errors_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/assembler_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/assembler_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/disasm_roundtrip_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/disasm_roundtrip_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/fuzz_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/fuzz_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/lexer_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/lexer_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/runtime_source_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/runtime_source_test.cpp.o.d"
+  "CMakeFiles/test_sasm.dir/sasm/srec_test.cpp.o"
+  "CMakeFiles/test_sasm.dir/sasm/srec_test.cpp.o.d"
+  "test_sasm"
+  "test_sasm.pdb"
+  "test_sasm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

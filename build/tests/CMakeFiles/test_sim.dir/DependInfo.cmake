@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/debug_shell_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/debug_shell_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/debug_shell_test.cpp.o.d"
+  "/root/repo/tests/sim/monitor_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/monitor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/la_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/la_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/la_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/la_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/la_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/la_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/la_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sasm/CMakeFiles/la_sasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/la_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

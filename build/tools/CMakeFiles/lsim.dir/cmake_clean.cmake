@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsim.dir/lsim.cpp.o"
+  "CMakeFiles/lsim.dir/lsim.cpp.o.d"
+  "lsim"
+  "lsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(lsim_run "/root/repo/build/tools/lsim" "--dcache" "4096" "--read" "cycles" "/root/repo/progs/fig7.s")
+set_tests_properties(lsim_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_sweep "/root/repo/build/tools/lsim" "--sweep" "--read" "cycles" "/root/repo/progs/fig7.s")
+set_tests_properties(lsim_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_recommend "/root/repo/build/tools/lsim" "--recommend" "--trace" "/root/repo/progs/fig7.s")
+set_tests_properties(lsim_recommend PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_runtime_prog "/root/repo/build/tools/lsim" "--runtime" "--read" "done_flag" "/root/repo/progs/quicksort.s")
+set_tests_properties(lsim_runtime_prog PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_disasm "/root/repo/build/tools/lsim" "--disasm" "/root/repo/progs/crc32.s")
+set_tests_properties(lsim_disasm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_srec "/root/repo/build/tools/lsim" "--srec" "/root/repo/progs/memtest.s")
+set_tests_properties(lsim_srec PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(lsim_rejects_bad_args "/root/repo/build/tools/lsim" "--bogus")
+set_tests_properties(lsim_rejects_bad_args PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
