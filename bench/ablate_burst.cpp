@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "bus/ahb.hpp"
 #include "ctrl/client.hpp"
 #include "mem/ahb_sdram_adapter.hpp"
@@ -72,7 +73,7 @@ void bus_level() {
   }
 }
 
-void system_level() {
+void system_level(bench::BenchIo& io) {
   // Strided walk over a 64 KB SDRAM array with a 1 KB D-cache: every load
   // misses, so run time is dominated by 32-byte line fills (8 beats = two
   // short-burst handshakes each, or four single-word ones when ablated).
@@ -108,6 +109,7 @@ void system_level() {
     scfg.adapter.always_short_burst = short_burst;
     scfg.sdram_size = 1 << 20;
     sim::LiquidSystem node(scfg);
+    io.attach_perf(node);
     node.run(100);
     ctrl::LiquidClient client(node);
     if (!client.run_program(img)) {
@@ -120,14 +122,17 @@ void system_level() {
                 counted ? (*counted)[0] : 0,
                 static_cast<unsigned long long>(
                     node.sdram_controller().stats().total_handshakes()));
+    io.add_run(short_burst ? "burst-4" : "single-word", node);
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_burst", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Ablation A1: 4-word read bursts vs single-word handshakes\n\n");
   bus_level();
-  system_level();
-  return 0;
+  system_level(io);
+  return io.finish() ? 0 : 1;
 }

@@ -17,7 +17,7 @@ namespace {
 
 using namespace la;
 
-int run() {
+int run(bench::BenchIo& io) {
   const auto img = sasm::assemble_or_throw(bench::fig7_kernel(200000));
 
   liquid::SynthesisModel syn;
@@ -35,6 +35,7 @@ int run() {
 
   for (const auto& cfg : space.enumerate()) {
     sim::LiquidSystem node;
+    io.attach_perf(node);
     node.run(100);
     liquid::ReconfigurationServer server(node, cache, syn);
     const auto job = server.run_job(cfg, img, img.symbol("cycles"), 1);
@@ -50,6 +51,7 @@ int run() {
                 static_cast<unsigned long long>(
                     node.cpu().dcache().stats().read_misses),
                 u.fmax_mhz);
+    io.add_run(cfg.key(), node);
   }
 
   std::printf(
@@ -64,4 +66,10 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_geometry", argc, argv);
+  if (io.bad_args()) return 2;
+  const int rc = run(io);
+  if (!io.finish()) return 1;
+  return rc;
+}

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.hpp"
 #include "liquid/reconfig_server.hpp"
 #include "sasm/assembler.hpp"
 #include "sasm/runtime.hpp"
@@ -74,7 +75,7 @@ std::string dot_product(bool hw_mul) {
   return s + sasm::rt::runtime_source();
 }
 
-int run() {
+int run(bench::BenchIo& io) {
   liquid::SynthesisModel syn;
   liquid::ReconfigurationCache cache;
 
@@ -102,6 +103,7 @@ int run() {
     const auto img = sasm::assemble_or_throw(dot_product(v.has_mul));
 
     sim::LiquidSystem node;
+    io.attach_perf(node);
     node.run(100);
     liquid::ReconfigurationServer server(node, cache, syn);
     const auto job = server.run_job(cfg, img, img.symbol("cycles"), 2);
@@ -117,6 +119,7 @@ int run() {
     std::printf("%-22s %10u %5.0fMHz %9.1f us %8u%s\n", v.name, cycles,
                 u.fmax_mhz, us, u.slices,
                 result == reference ? "" : "  WRONG RESULT");
+    io.add_run(v.name, node);
   }
 
   std::printf(
@@ -130,4 +133,10 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_mul", argc, argv);
+  if (io.bad_args()) return 2;
+  const int rc = run(io);
+  if (!io.finish()) return 1;
+  return rc;
+}

@@ -7,6 +7,7 @@
 // canonical overflow/underflow handlers (minimum 4 windows).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "ctrl/client.hpp"
 #include "liquid/synthesis.hpp"
 #include "sasm/assembler.hpp"
@@ -66,7 +67,9 @@ std::string fib_program(unsigned nwindows) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_nwindows", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Ablation A7: register windows on recursive fib(14)\n\n");
   std::printf("%-10s %12s %10s %10s %10s\n", "nwindows", "cycles",
               "traps", "BRAMs", "fib(14)");
@@ -76,6 +79,7 @@ int main() {
     sim::SystemConfig scfg;
     scfg.pipeline.cpu.nwindows = nw;
     sim::LiquidSystem node(scfg);
+    io.attach_perf(node);
     node.run(100);
     ctrl::LiquidClient client(node);
     const auto img = sasm::assemble_or_throw(fib_program(nw));
@@ -91,11 +95,12 @@ int main() {
                 mem ? (*mem)[0] : 0,
                 static_cast<unsigned long long>(node.cpu().stats().traps),
                 u.brams, mem ? (*mem)[1] : 0);
+    io.add_run("nwindows=" + std::to_string(nw), node);
   }
   std::printf(
       "\nfib(14) = 377; its call depth is 13.  16+ windows hold the whole\n"
       "tree in registers (zero traps), LEON's 8 spill moderately, and 4\n"
       "windows spend most of their cycles inside the overflow/underflow\n"
       "handlers — all for a couple of BlockRAMs' difference.\n");
-  return 0;
+  return io.finish() ? 0 : 1;
 }

@@ -18,11 +18,13 @@ namespace {
 
 using namespace la;
 
-double run_loop(liquid::ReconfigurationCache& cache, const char* label) {
+double run_loop(bench::BenchIo& io, const char* run_tag,
+                liquid::ReconfigurationCache& cache, const char* label) {
   const auto img =
       sasm::assemble_or_throw(bench::fig7_kernel(bench::kPaperBound));
   liquid::SynthesisModel syn;
   sim::LiquidSystem node;
+  io.attach_perf(node);
   node.run(100);
   liquid::ReconfigurationServer server(node, cache, syn);
   liquid::AdaptationEngine engine(server, liquid::ConfigSpace{});
@@ -42,23 +44,28 @@ double run_loop(liquid::ReconfigurationCache& cache, const char* label) {
   }
   std::printf("  speedup first->last: %.2fx; total overhead %.1f s\n\n",
               out.speedup(), overhead);
+  io.add_run(run_tag, node);
   return overhead;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  la::bench::BenchIo io("ablate_reconfig_cache", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Ablation A3: reconfiguration cache amortization\n\n");
   la::liquid::SynthesisModel syn;
 
   la::liquid::ReconfigurationCache cold;
-  const double cold_overhead = run_loop(cold, "cold cache (no pre-generation):");
+  const double cold_overhead =
+      run_loop(io, "cold", cold, "cold cache (no pre-generation):");
 
   la::liquid::ReconfigurationCache warm;
   const double pregen = warm.pregenerate(la::liquid::ConfigSpace{}, syn);
   std::printf("offline pre-generation of the 5-point space: %.1f s (%.2f h)\n\n",
               pregen, pregen / 3600.0);
-  const double warm_overhead = run_loop(warm, "warm cache (pre-generated):");
+  const double warm_overhead =
+      run_loop(io, "warm", warm, "warm cache (pre-generated):");
 
   std::printf("runtime overhead: cold %.1f s vs warm %.1f s\n", cold_overhead,
               warm_overhead);
@@ -68,5 +75,5 @@ int main() {
         "episodes that would otherwise synthesize on the critical path.\n",
         pregen / std::max(1.0, cold_overhead - warm_overhead) + 1);
   }
-  return 0;
+  return io.finish() ? 0 : 1;
 }

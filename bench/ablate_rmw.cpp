@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.hpp"
 #include "bus/ahb.hpp"
 #include "ctrl/client.hpp"
 #include "mem/ahb_sdram_adapter.hpp"
@@ -61,7 +62,7 @@ void bus_level() {
   }
 }
 
-void system_level() {
+void system_level(bench::BenchIo& io) {
   const auto img = sasm::assemble_or_throw(R"(
       .org 0x40000100
   _start:
@@ -103,6 +104,7 @@ void system_level() {
         scfg.pipeline.dcache.size_bytes = 4096;
       }
       sim::LiquidSystem node(scfg);
+      io.attach_perf(node);
       node.run(100);
       ctrl::LiquidClient client(node);
       if (!client.run_program(img)) {
@@ -116,6 +118,9 @@ void system_level() {
                   counted ? (*counted)[0] : 0,
                   static_cast<unsigned long long>(
                       node.sdram_controller().stats().total_handshakes()));
+      io.add_run(std::string(write_back ? "write-back" : "write-through") +
+                     "/" + (rmw ? "rmw" : "combining"),
+                 node);
     }
   }
   std::printf(
@@ -127,9 +132,11 @@ void system_level() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_rmw", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Ablation A2: read-modify-write stores vs combining writes\n\n");
   bus_level();
-  system_level();
-  return 0;
+  system_level(io);
+  return io.finish() ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 // area cost.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "ctrl/client.hpp"
 #include "sasm/assembler.hpp"
 #include "sim/liquid_system.hpp"
@@ -42,21 +43,26 @@ std::string store_kernel(const char* base) {
   )";
 }
 
-u32 measure(const char* base, unsigned depth) {
+u32 measure(bench::BenchIo& io, const std::string& label,
+            const char* base, unsigned depth) {
   sim::SystemConfig scfg;
   scfg.pipeline.write_buffer_depth = depth;
   sim::LiquidSystem node(scfg);
+  io.attach_perf(node);
   node.run(100);
   ctrl::LiquidClient client(node);
   const auto img = sasm::assemble_or_throw(store_kernel(base));
   if (!client.run_program(img)) return 0;
   const auto r = client.read_memory(img.symbol("cycles"), 1);
+  io.add_run(label, node);
   return r ? (*r)[0] : 0;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("ablate_write_buffer", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Ablation A6: write buffer on a store-dense kernel "
               "(1024 word stores)\n\n");
   std::printf("%-10s %16s %16s\n", "target", "buffered cycles",
@@ -66,8 +72,10 @@ int main() {
     const char* base;
   } targets[] = {{"SRAM", "0x40020000"}, {"SDRAM", "0x60000000"}};
   for (const auto& t : targets) {
-    const u32 buffered = measure(t.base, 1);
-    const u32 unbuffered = measure(t.base, 0);
+    const u32 buffered = measure(io, std::string(t.name) + "/buffered",
+                                 t.base, 1);
+    const u32 unbuffered =
+        measure(io, std::string(t.name) + "/unbuffered", t.base, 0);
     std::printf("%-10s %16u %16u   (%.2fx)\n", t.name, buffered, unbuffered,
                 buffered ? static_cast<double>(unbuffered) / buffered : 0.0);
   }
@@ -75,5 +83,5 @@ int main() {
       "\nThe buffer hides the write-through traffic as long as the next\n"
       "store arrives after the previous one drained; the SDRAM RMW pair\n"
       "drains slower, so back-to-back stores stall even with the buffer.\n");
-  return 0;
+  return io.finish() ? 0 : 1;
 }

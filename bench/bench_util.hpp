@@ -1,10 +1,18 @@
-// Shared pieces for the reproduction benches: the paper's Fig 7 kernel and
-// helpers for driving measured runs through the full remote-control flow.
+// Shared pieces for the reproduction benches: the paper's Fig 7 kernel,
+// helpers for driving measured runs through the full remote-control flow,
+// and the machine-readable egress every bench exposes (--metrics-json,
+// --perf-trace) so a reproduced table always ships with the registry
+// snapshots it was printed from.
 #pragma once
 
+#include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.hpp"
 #include "common/types.hpp"
+#include "sim/liquid_system.hpp"
 
 namespace la::bench {
 
@@ -55,5 +63,146 @@ inline std::string fig7_kernel(u32 bound) {
 /// million gives 31250 iterations, large enough that the initial cache
 /// loading the paper excludes is noise.
 inline constexpr u32 kPaperBound = 1000000;
+
+/// Observability egress shared by every fig/ablation bench:
+///
+///   <bench> [--metrics-json FILE] [--perf-trace FILE]
+///
+/// `--metrics-json` collects one metrics-registry snapshot per measured
+/// run (one table row) and writes them as one JSON document.
+/// `--perf-trace` records cycle-stamped spans on each attached node and
+/// writes a combined Chrome trace_event file (each run on its own track).
+/// Construct at the top of main, attach_perf() each node before driving
+/// it, add_run() after each measurement, finish() before returning.
+class BenchIo {
+ public:
+  BenchIo(std::string bench_name, int argc, char** argv)
+      : name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--metrics-json" && i + 1 < argc) {
+        metrics_path_ = argv[++i];
+      } else if (a == "--perf-trace" && i + 1 < argc) {
+        trace_path_ = argv[++i];
+      } else {
+        std::fprintf(stderr,
+                     "%s: unknown argument '%s' (supported: "
+                     "--metrics-json FILE, --perf-trace FILE)\n",
+                     name_.c_str(), a.c_str());
+        bad_args_ = true;
+      }
+    }
+  }
+
+  /// Programmatic form for callers with their own CLI (lsim): the paths
+  /// arrive already parsed; empty disables that output.
+  BenchIo(std::string bench_name, std::string metrics_path,
+          std::string trace_path)
+      : name_(std::move(bench_name)),
+        metrics_path_(std::move(metrics_path)),
+        trace_path_(std::move(trace_path)) {}
+
+  bool bad_args() const { return bad_args_; }
+  bool metrics_enabled() const { return !metrics_path_.empty(); }
+  bool perf_enabled() const { return !trace_path_.empty(); }
+
+  /// Enable the node's perf tracer when --perf-trace was given.
+  void attach_perf(sim::LiquidSystem& node) const {
+    if (perf_enabled()) node.enable_perf_trace();
+  }
+
+  /// Record one measured run: snapshot the node's registry (and collect
+  /// its perf-trace events) under `label`.
+  void add_run(const std::string& label, sim::LiquidSystem& node) {
+    if (metrics_enabled()) {
+      runs_.emplace_back(label, node.metrics_snapshot());
+    }
+    if (perf_enabled() && node.perf_tracer() != nullptr) {
+      node.perf_tracer()->close_open_spans();
+      traces_.emplace_back(label, node.perf_tracer()->events());
+    }
+  }
+
+  /// Write the requested files; false (with a message) on I/O failure.
+  bool finish() {
+    bool ok = true;
+    if (metrics_enabled()) ok &= write_metrics();
+    if (perf_enabled()) ok &= write_trace();
+    return ok;
+  }
+
+ private:
+  bool write_file(const std::string& path, const std::string& text) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   path.c_str());
+      return false;
+    }
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+  }
+
+  bool write_metrics() {
+    std::string out = "{\n  \"benchmark\":";
+    metrics::append_json_string(out, name_);
+    out += ",\n  \"runs\":[";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+      out += i ? ",\n    {\"label\":" : "\n    {\"label\":";
+      metrics::append_json_string(out, runs_[i].first);
+      out += ",\"snapshot\":";
+      out += runs_[i].second.to_json(0);
+      out += '}';
+    }
+    out += "\n  ]\n}\n";
+    return write_file(metrics_path_, out);
+  }
+
+  bool write_trace() {
+    // Each run renders as its own track (tid) on a shared timeline; the
+    // per-node clocks all start at 0, so tracks align at their origins.
+    std::string out = "{\"traceEvents\":[\n";
+    bool first = true;
+    for (std::size_t run = 0; run < traces_.size(); ++run) {
+      const int tid = static_cast<int>(run) + 1;
+      if (!first) out += ",\n";
+      first = false;
+      out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+      out += std::to_string(tid);
+      out += ",\"args\":{\"name\":";
+      metrics::append_json_string(out, traces_[run].first);
+      out += "}}";
+      for (const auto& e : traces_[run].second) {
+        out += ",\n{\"name\":";
+        metrics::append_json_string(out, e.name);
+        out += ",\"cat\":\"liquid\",\"ph\":\"";
+        out += e.phase;
+        out += "\",\"ts\":";
+        metrics::append_json_number(out, static_cast<double>(e.ts));
+        out += ",\"pid\":1,\"tid\":";
+        out += std::to_string(tid);
+        if (e.phase == 'C') {
+          out += ",\"args\":{\"value\":";
+          metrics::append_json_number(out, e.value);
+          out += '}';
+        } else if (e.phase == 'i') {
+          out += ",\"s\":\"t\"";
+        }
+        out += '}';
+      }
+    }
+    out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+    return write_file(trace_path_, out);
+  }
+
+  std::string name_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  bool bad_args_ = false;
+  std::vector<std::pair<std::string, metrics::Snapshot>> runs_;
+  std::vector<std::pair<std::string, std::vector<sim::PerfTracer::Event>>>
+      traces_;
+};
 
 }  // namespace la::bench

@@ -5,6 +5,7 @@
 // reconfiguration cache reasons about).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "liquid/synthesis.hpp"
 
 namespace {
@@ -48,4 +49,13 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  // No LiquidSystem runs here (pure synthesis-model figures), but the
+  // shared egress flags are still accepted so harnesses can pass them
+  // uniformly; the metrics document just carries zero runs.
+  bench::BenchIo io("fig10_utilization", argc, argv);
+  if (io.bad_args()) return 2;
+  const int rc = run();
+  if (!io.finish()) return 1;
+  return rc;
+}

@@ -7,6 +7,7 @@
 // remote program start on each, and shows what each ROM actually executes.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "ctrl/client.hpp"
 #include "isa/disasm.hpp"
 #include "mem/boot_rom.hpp"
@@ -46,7 +47,9 @@ void listing(const char* title, const std::string& source) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchIo io("fig5_boot_flavors", argc, argv);
+  if (io.bad_args()) return 2;
   std::printf("Figure 5: original vs modified LEON boot code\n\n");
 
   listing("original boot (waits for a UART event):",
@@ -63,6 +66,7 @@ int main() {
     sim::SystemConfig cfg;
     cfg.use_original_boot = original;
     sim::LiquidSystem node(cfg);
+    io.attach_perf(node);
     node.run(200);
     ctrl::LiquidClient client(node);
 
@@ -79,6 +83,7 @@ int main() {
                 started ? "acked" : "FAIL", done ? "YES" : "no");
     if (done) std::printf(" (result=0x%x)", result);
     std::printf("  cpu pc=0x%08x\n", node.cpu().state().pc);
+    io.add_run(original ? "original-boot" : "modified-boot", node);
   }
 
   std::printf(
@@ -87,5 +92,5 @@ int main() {
       "ever dispatches the program — the original is still parked waiting\n"
       "for a UART character that will never come.  That gap is what\n"
       "Section 3.1's boot modification closes.\n");
-  return 0;
+  return io.finish() ? 0 : 1;
 }

@@ -16,7 +16,7 @@ namespace {
 
 using namespace la;
 
-int run() {
+int run(bench::BenchIo& io) {
   const auto img =
       sasm::assemble_or_throw(bench::fig7_kernel(bench::kPaperBound));
 
@@ -33,6 +33,7 @@ int run() {
 
   for (const liquid::ArchConfig& cfg : space.enumerate()) {
     sim::LiquidSystem node;
+    io.attach_perf(node);
     node.run(100);
     liquid::ReconfigurationServer server(node, cache, syn);
     const liquid::JobResult job =
@@ -47,6 +48,7 @@ int run() {
                 counted,
                 static_cast<unsigned long long>(
                     node.cpu().dcache().stats().read_misses));
+    io.add_run(cfg.key(), node);
   }
 
   std::printf(
@@ -58,4 +60,10 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  bench::BenchIo io("fig8_cache_sweep", argc, argv);
+  if (io.bad_args()) return 2;
+  const int rc = run(io);
+  if (!io.finish()) return 1;
+  return rc;
+}

@@ -15,7 +15,7 @@ namespace {
 
 using namespace la;
 
-int run() {
+int run(bench::BenchIo& io) {
   const auto img =
       sasm::assemble_or_throw(bench::fig7_kernel(bench::kPaperBound));
 
@@ -35,6 +35,7 @@ int run() {
     const int kRuns = 3;
     for (int r = 0; r < kRuns; ++r) {
       sim::LiquidSystem node;
+      io.attach_perf(node);
       node.run(100);
       liquid::ReconfigurationServer server(node, cache, syn);
       const liquid::JobResult job =
@@ -44,6 +45,7 @@ int run() {
         return 1;
       }
       sum += job.readback.at(0);
+      io.add_run(cfg.key() + " run" + std::to_string(r), node);
     }
     series.push_back({cfg.dcache_bytes / 1024, sum / kRuns});
   }
@@ -80,4 +82,10 @@ int run() {
 
 }  // namespace
 
-int main() { return run(); }
+int main(int argc, char** argv) {
+  bench::BenchIo io("fig9_runtime_curve", argc, argv);
+  if (io.bad_args()) return 2;
+  const int rc = run(io);
+  if (!io.finish()) return 1;
+  return rc;
+}

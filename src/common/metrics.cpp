@@ -1,0 +1,289 @@
+#include "common/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace la::metrics {
+
+// ---- Histogram -----------------------------------------------------------
+
+void Histogram::observe(double x) {
+  stats_.add(x);
+  std::size_t idx = 0;
+  if (x >= 1.0) {
+    const double l = std::log2(x);
+    idx = 1 + static_cast<std::size_t>(l);
+    if (idx >= kBuckets) idx = kBuckets - 1;
+  }
+  ++buckets_[idx];
+}
+
+double Histogram::bucket_limit(std::size_t i) {
+  if (i == 0) return 1.0;
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i));
+}
+
+// ---- JSON helpers --------------------------------------------------------
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  if (v == std::floor(v) && std::fabs(v) <= 9007199254740992.0) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+// ---- Snapshot ------------------------------------------------------------
+
+double Snapshot::value_or(const std::string& name, double fallback) const {
+  const auto it = values.find(name);
+  return it == values.end() ? fallback : it->second;
+}
+
+u64 Snapshot::value_u64(const std::string& name) const {
+  const double v = value_or(name, 0.0);
+  return v <= 0.0 ? 0 : static_cast<u64>(v + 0.5);
+}
+
+Snapshot Snapshot::diff_since(const Snapshot& older) const {
+  Snapshot d;
+  d.cycle = cycle - older.cycle;
+  for (const auto& [name, v] : values) {
+    d.values[name] = v - older.value_or(name, 0.0);
+  }
+  for (const auto& [name, h] : histograms) {
+    HistogramSnapshot hd;
+    const auto it = older.histograms.find(name);
+    if (it == older.histograms.end()) {
+      hd = h;
+    } else {
+      const HistogramSnapshot& o = it->second;
+      hd.count = h.count - o.count;
+      for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+        hd.buckets[i] = h.buckets[i] - o.buckets[i];
+      }
+      // Moments of the delta window: the mean follows from the sums; the
+      // spread and extrema of a window are not recoverable from endpoint
+      // summaries, so they read as unknown.
+      const double dsum =
+          h.mean * static_cast<double>(h.count) -
+          o.mean * static_cast<double>(o.count);
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      hd.mean = hd.count ? dsum / static_cast<double>(hd.count) : 0.0;
+      hd.stddev = nan;
+      hd.min = nan;
+      hd.max = nan;
+    }
+    d.histograms[name] = hd;
+  }
+  return d;
+}
+
+namespace {
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent * depth), ' ');
+}
+
+void append_histogram(std::string& out, const HistogramSnapshot& h,
+                      int indent, int depth) {
+  out += '{';
+  newline_indent(out, indent, depth + 1);
+  out += "\"count\":";
+  append_json_number(out, static_cast<double>(h.count));
+  out += ',';
+  newline_indent(out, indent, depth + 1);
+  out += "\"mean\":";
+  append_json_number(out, h.mean);
+  out += ',';
+  newline_indent(out, indent, depth + 1);
+  out += "\"stddev\":";
+  append_json_number(out, h.stddev);
+  out += ',';
+  newline_indent(out, indent, depth + 1);
+  out += "\"min\":";
+  append_json_number(out, h.min);
+  out += ',';
+  newline_indent(out, indent, depth + 1);
+  out += "\"max\":";
+  append_json_number(out, h.max);
+  out += ',';
+  newline_indent(out, indent, depth + 1);
+  out += "\"buckets\":[";
+  // Trailing zero buckets carry no information; trim them.
+  std::size_t last = h.buckets.size();
+  while (last > 0 && h.buckets[last - 1] == 0) --last;
+  for (std::size_t i = 0; i < last; ++i) {
+    if (i) out += ',';
+    append_json_number(out, static_cast<double>(h.buckets[i]));
+  }
+  out += ']';
+  newline_indent(out, indent, depth);
+  out += '}';
+}
+
+}  // namespace
+
+std::string Snapshot::to_json(int indent) const {
+  std::string out;
+  out += '{';
+  newline_indent(out, indent, 1);
+  out += "\"cycle\":";
+  append_json_number(out, static_cast<double>(cycle));
+  out += ',';
+  newline_indent(out, indent, 1);
+  out += "\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, v] : values) {
+    if (!first) out += ',';
+    first = false;
+    newline_indent(out, indent, 2);
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, v);
+  }
+  newline_indent(out, indent, 1);
+  out += '}';
+
+  bool any_hist = false;
+  for (const auto& [name, h] : histograms) {
+    if (h.count != 0) any_hist = true;
+  }
+  if (any_hist) {
+    out += ',';
+    newline_indent(out, indent, 1);
+    out += "\"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : histograms) {
+      if (h.count == 0) continue;  // empty stats are omitted, not nulled
+      if (!first) out += ',';
+      first = false;
+      newline_indent(out, indent, 2);
+      append_json_string(out, name);
+      out += ':';
+      append_histogram(out, h, indent, 2);
+    }
+    newline_indent(out, indent, 1);
+    out += '}';
+  }
+  newline_indent(out, indent, 0);
+  out += '}';
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---- MetricsRegistry -----------------------------------------------------
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Entry& e = entries_[name];
+  if (e.counter) return *e.counter;
+  if (e.gauge || e.histogram || e.fn) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Entry& e = entries_[name];
+  if (e.gauge) return *e.gauge;
+  if (e.counter || e.histogram || e.fn) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  Entry& e = entries_[name];
+  if (e.histogram) return *e.histogram;
+  if (e.counter || e.gauge || e.fn) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+void MetricsRegistry::register_fn(const std::string& name, SampleFn fn) {
+  Entry& e = entries_[name];
+  if (e.counter || e.gauge || e.histogram) {
+    throw std::logic_error("metric '" + name +
+                           "' already registered with a different kind");
+  }
+  e.fn = std::move(fn);
+}
+
+bool MetricsRegistry::unregister(const std::string& name) {
+  return entries_.erase(name) != 0;
+}
+
+std::size_t MetricsRegistry::unregister_prefix(const std::string& prefix) {
+  std::size_t n = 0;
+  for (auto it = entries_.lower_bound(prefix);
+       it != entries_.end() && it->first.compare(0, prefix.size(), prefix) == 0;) {
+    it = entries_.erase(it);
+    ++n;
+  }
+  return n;
+}
+
+Snapshot MetricsRegistry::snapshot(u64 cycle) const {
+  Snapshot s;
+  s.cycle = cycle;
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) {
+      s.values[name] = static_cast<double>(e.counter->value());
+    } else if (e.gauge) {
+      s.values[name] = e.gauge->value();
+    } else if (e.fn) {
+      s.values[name] = e.fn();
+    } else if (e.histogram) {
+      HistogramSnapshot h;
+      h.count = e.histogram->count();
+      h.mean = e.histogram->stats().mean();
+      h.stddev = e.histogram->stats().stddev();
+      h.min = e.histogram->stats().min();
+      h.max = e.histogram->stats().max();
+      h.buckets = e.histogram->buckets();
+      s.histograms[name] = h;
+    }
+  }
+  return s;
+}
+
+}  // namespace la::metrics

@@ -28,8 +28,15 @@ class OnlineStats {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   double stddev() const { return std::sqrt(variance()); }
-  double min() const { return n_ ? min_ : 0.0; }
-  double max() const { return n_ ? max_ : 0.0; }
+  /// NaN when nothing was accumulated: an empty extremum is unknown, and
+  /// a fabricated 0.0 reads as a real observation in reports.  JSON
+  /// emitters render the NaN as null / omit the stat.
+  double min() const {
+    return n_ ? min_ : std::numeric_limits<double>::quiet_NaN();
+  }
+  double max() const {
+    return n_ ? max_ : std::numeric_limits<double>::quiet_NaN();
+  }
 
  private:
   u64 n_ = 0;

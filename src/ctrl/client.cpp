@@ -153,6 +153,18 @@ std::optional<std::vector<u32>> LiquidClient::read_memory(Addr addr,
   return std::nullopt;
 }
 
+std::optional<std::string> LiquidClient::stats_snapshot() {
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    send_command(net::simple_command(net::CommandCode::kStatsSnapshot));
+    if (auto body = await(net::ResponseCode::kStatsData)) {
+      return std::string(body->begin(), body->end());
+    }
+  }
+  ++stats_.gave_up;
+  return std::nullopt;
+}
+
 bool LiquidClient::restart() {
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;

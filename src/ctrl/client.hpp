@@ -51,6 +51,10 @@ class LiquidClient {
   /// Reset the node's processor and control state machine.
   bool restart();
 
+  /// Poll the node's metrics registry (STATS_SNAPSHOT command); the
+  /// response payload is the snapshot as UTF-8 JSON.
+  std::optional<std::string> stats_snapshot();
+
   /// Convenience: load + start + run the node until leon_ctrl reports the
   /// program done (or `max_steps` node instructions pass).
   bool run_program(const sasm::Image& img, u64 max_steps = 10'000'000);

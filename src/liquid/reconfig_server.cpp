@@ -6,7 +6,44 @@ ReconfigurationServer::ReconfigurationServer(sim::LiquidSystem& node,
                                              ReconfigurationCache& cache,
                                              const SynthesisModel& syn,
                                              ServerConfig cfg)
-    : node_(node), cache_(cache), syn_(syn), cfg_(cfg) {}
+    : node_(node), cache_(cache), syn_(syn), cfg_(cfg) {
+  // Bridge the off-node reconfiguration subsystem into the node's metrics
+  // registry: one snapshot then covers the whole Fig 1 loop.
+  auto& m = node_.metrics();
+  m.register_fn("reconfig_cache.hits", [this] {
+    return static_cast<double>(cache_.stats().hits);
+  });
+  m.register_fn("reconfig_cache.misses", [this] {
+    return static_cast<double>(cache_.stats().misses);
+  });
+  m.register_fn("reconfig_cache.evictions", [this] {
+    return static_cast<double>(cache_.stats().evictions);
+  });
+  m.register_fn("reconfig_cache.failed_synth", [this] {
+    return static_cast<double>(cache_.stats().failed_synth);
+  });
+  m.register_fn("reconfig_cache.synth_seconds",
+                [this] { return cache_.stats().synth_seconds; });
+  m.register_fn("reconfig_cache.size", [this] {
+    return static_cast<double>(cache_.size());
+  });
+  m.register_fn("reconfig_server.jobs", [this] {
+    return static_cast<double>(stats_.jobs);
+  });
+  m.register_fn("reconfig_server.failures", [this] {
+    return static_cast<double>(stats_.failures);
+  });
+  m.register_fn("reconfig_server.reconfigurations", [this] {
+    return static_cast<double>(stats_.reconfigurations);
+  });
+  m.register_fn("reconfig_server.reprogram_seconds",
+                [this] { return stats_.reprogram_seconds; });
+}
+
+ReconfigurationServer::~ReconfigurationServer() {
+  node_.metrics().unregister_prefix("reconfig_cache.");
+  node_.metrics().unregister_prefix("reconfig_server.");
+}
 
 JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
                                          const sasm::Image& program,
@@ -15,6 +52,8 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
   JobResult r;
   r.config = arch;
   ++stats_.jobs;
+  const sim::PerfTracer::Span span(node_.perf_tracer(),
+                                   "job " + arch.key());
 
   if (!arch.valid()) {
     ++stats_.failures;

@@ -51,6 +51,10 @@ class ReconfigurationServer {
  public:
   ReconfigurationServer(sim::LiquidSystem& node, ReconfigurationCache& cache,
                         const SynthesisModel& syn, ServerConfig cfg = {});
+  /// Unregisters the `reconfig_cache.*` / `reconfig_server.*` metrics the
+  /// constructor bridged into the node's registry (the server may die
+  /// before the node does).
+  ~ReconfigurationServer();
 
   /// Run `program` under `arch`, reading `result_words` words back from
   /// `result_addr` afterwards.  An optional analyzer traces the run.

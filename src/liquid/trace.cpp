@@ -69,8 +69,10 @@ TraceReport TraceAnalyzer::report(std::size_t top_pcs) const {
 
   std::vector<std::pair<Addr, u64>> pcs(pc_counts_.begin(),
                                         pc_counts_.end());
+  // Tie-break equal counts on the address so the ranking (and everything
+  // downstream: reports, goldens, truncation at top_pcs) is deterministic.
   std::sort(pcs.begin(), pcs.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
   });
   if (pcs.size() > top_pcs) pcs.resize(top_pcs);
   t.hot_pcs = std::move(pcs);

@@ -22,11 +22,12 @@ namespace la::net {
 inline constexpr u16 kLeonControlPort = 0x2001;
 
 enum class CommandCode : u8 {
-  kStatus = 0x01,       // is LEON up? what state?
-  kLoadProgram = 0x02,  // write a program chunk into main memory
-  kStart = 0x03,        // begin execution at the given address
-  kReadMemory = 0x04,   // return memory contents
-  kRestart = 0x05,      // reset the processor and control state machine
+  kStatus = 0x01,         // is LEON up? what state?
+  kLoadProgram = 0x02,    // write a program chunk into main memory
+  kStart = 0x03,          // begin execution at the given address
+  kReadMemory = 0x04,     // return memory contents
+  kRestart = 0x05,        // reset the processor and control state machine
+  kStatsSnapshot = 0x06,  // poll the node's metrics registry (extension)
 };
 
 enum class ResponseCode : u8 {
@@ -34,6 +35,7 @@ enum class ResponseCode : u8 {
   kLoadAck = 0x82,
   kStarted = 0x83,
   kMemoryData = 0x84,
+  kStatsData = 0x85,  // metrics snapshot as UTF-8 JSON
   kError = 0xff,
 };
 

@@ -81,6 +81,9 @@ void LeonController::handle(const UdpDatagram& d) {
     case CommandCode::kRestart:
       handle_restart();
       return;
+    case CommandCode::kStatsSnapshot:
+      handle_stats_snapshot();
+      return;
     default:
       ++stats_.bad_commands;
       respond_error(0x02);
@@ -189,6 +192,15 @@ void LeonController::handle_read(ByteReader& r) {
     w.write_bytes(bytes);
   }
   respond(ResponseCode::kMemoryData, w.take());
+}
+
+void LeonController::handle_stats_snapshot() {
+  if (!stats_provider_) {
+    ++stats_.bad_commands;
+    respond_error(0x41);  // node exposes no metrics registry
+    return;
+  }
+  respond(ResponseCode::kStatsData, stats_provider_());
 }
 
 void LeonController::handle_restart() {

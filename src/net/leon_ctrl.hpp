@@ -79,6 +79,14 @@ class LeonController {
   /// error packet is transmitted to the last requester.
   void force_error(u8 code);
 
+  /// Serialized metrics snapshot (UTF-8 JSON) returned for the
+  /// STATS_SNAPSHOT command.  Wired by the system that owns the metrics
+  /// registry; unset, the command answers with error 0x41.
+  using StatsProvider = std::function<Bytes()>;
+  void set_stats_provider(StatsProvider p) {
+    stats_provider_ = std::move(p);
+  }
+
   struct Stats {
     u64 commands = 0;
     u64 bad_commands = 0;
@@ -97,6 +105,7 @@ class LeonController {
   void handle_start(ByteReader& r);
   void handle_read(ByteReader& r);
   void handle_restart();
+  void handle_stats_snapshot();
 
   LeonCtrlConfig cfg_;
   mem::DisconnectSwitch& sw_;
@@ -115,6 +124,7 @@ class LeonController {
   // Requester of the most recent command (responses go back there).
   Ipv4Addr client_ip_ = 0;
   u16 client_port_ = 0;
+  StatsProvider stats_provider_;
   Stats stats_;
 };
 

@@ -65,6 +65,167 @@ LiquidSystem::LiquidSystem(const SystemConfig& cfg)
       lcfg, *switch_, *pktgen_, [this] { reset_cpu(); },
       [this] { return clock_; });
   cpp_ = std::make_unique<net::ControlPacketProcessor>(*ctrl_);
+
+  // ---- observability ----
+  register_metrics();
+  // Remote clients poll the registry over UDP (STATS_SNAPSHOT) exactly
+  // like the paper's control path; the wire form is compact JSON.
+  ctrl_->set_stats_provider([this] {
+    const std::string json = metrics_.snapshot(clock_).to_json(0);
+    return Bytes(json.begin(), json.end());
+  });
+}
+
+void LiquidSystem::register_metrics() {
+  auto fn = [this](const char* name, auto getter) {
+    metrics_.register_fn(name, [this, getter] {
+      return static_cast<double>(getter(*this));
+    });
+  };
+  using Sys = const LiquidSystem&;
+
+  // -- processor --
+  fn("cpu.instructions", [](Sys s) { return s.pipe_->stats().instructions; });
+  fn("cpu.annulled", [](Sys s) { return s.pipe_->stats().annulled; });
+  fn("cpu.traps", [](Sys s) { return s.pipe_->stats().traps; });
+  fn("cpu.cycles", [](Sys s) { return s.pipe_->stats().cycles; });
+  fn("pipeline.stalls.icache",
+     [](Sys s) { return s.pipe_->stats().icache_stall; });
+  fn("pipeline.stalls.dcache",
+     [](Sys s) { return s.pipe_->stats().dcache_stall; });
+  fn("pipeline.stalls.store_buffer",
+     [](Sys s) { return s.pipe_->stats().store_stall; });
+  fn("cpu.mix.loads", [](Sys s) { return s.pipe_->stats().loads; });
+  fn("cpu.mix.stores", [](Sys s) { return s.pipe_->stats().stores; });
+  fn("cpu.mix.branches", [](Sys s) { return s.pipe_->stats().branches; });
+  fn("cpu.mix.taken_branches",
+     [](Sys s) { return s.pipe_->stats().taken_branches; });
+  fn("cpu.mix.calls", [](Sys s) { return s.pipe_->stats().calls; });
+  fn("cpu.mix.muldiv", [](Sys s) { return s.pipe_->stats().muldiv; });
+
+  // -- caches (config gauges ride along so a snapshot names its image) --
+  const auto cache_metrics = [&](const char* prefix, bool icache) {
+    const std::string p = prefix;
+    auto c = [this, icache]() -> const cache::Cache& {
+      return icache ? pipe_->icache() : pipe_->dcache();
+    };
+    metrics_.register_fn(p + ".size_bytes", [c] {
+      return static_cast<double>(c().config().size_bytes);
+    });
+    metrics_.register_fn(p + ".line_bytes", [c] {
+      return static_cast<double>(c().config().line_bytes);
+    });
+    metrics_.register_fn(p + ".ways", [c] {
+      return static_cast<double>(c().config().ways);
+    });
+    metrics_.register_fn(p + ".read_hits", [c] {
+      return static_cast<double>(c().stats().read_hits);
+    });
+    metrics_.register_fn(p + ".read_misses", [c] {
+      return static_cast<double>(c().stats().read_misses);
+    });
+    metrics_.register_fn(p + ".write_hits", [c] {
+      return static_cast<double>(c().stats().write_hits);
+    });
+    metrics_.register_fn(p + ".write_misses", [c] {
+      return static_cast<double>(c().stats().write_misses);
+    });
+    metrics_.register_fn(p + ".evictions", [c] {
+      return static_cast<double>(c().stats().evictions);
+    });
+    metrics_.register_fn(p + ".writebacks", [c] {
+      return static_cast<double>(c().stats().writebacks);
+    });
+    metrics_.register_fn(p + ".flushes", [c] {
+      return static_cast<double>(c().stats().flushes);
+    });
+  };
+  cache_metrics("cache.i", true);
+  cache_metrics("cache.d", false);
+
+  // -- AHB --
+  const auto ahb_master = [&](const char* prefix, bus::Master m) {
+    const std::string p = prefix;
+    metrics_.register_fn(p + ".transfers", [this, m] {
+      return static_cast<double>(bus_.stats().of(m).transfers);
+    });
+    metrics_.register_fn(p + ".beats", [this, m] {
+      return static_cast<double>(bus_.stats().of(m).beats);
+    });
+    metrics_.register_fn(p + ".cycles", [this, m] {
+      return static_cast<double>(bus_.stats().of(m).cycles);
+    });
+    metrics_.register_fn(p + ".errors", [this, m] {
+      return static_cast<double>(bus_.stats().of(m).errors);
+    });
+  };
+  ahb_master("ahb.instr", bus::Master::kCpuInstr);
+  ahb_master("ahb.data", bus::Master::kCpuData);
+  ahb_master("ahb.dma", bus::Master::kDma);
+  fn("ahb.unmapped", [](Sys s) { return s.bus_.stats().unmapped; });
+
+  // -- SDRAM controller / device / adapter --
+  fn("sdram.handshakes",
+     [](Sys s) { return s.sdram_ctrl_->stats().total_handshakes(); });
+  fn("sdram.words64", [](Sys s) {
+    const auto& st = s.sdram_ctrl_->stats();
+    return st.words[0] + st.words[1] + st.words[2];
+  });
+  fn("sdram.wait_cycles",
+     [](Sys s) { return s.sdram_ctrl_->stats().wait_cycles; });
+  fn("sdram.row_hits", [](Sys s) { return s.sdram_->stats().row_hits; });
+  fn("sdram.row_misses", [](Sys s) { return s.sdram_->stats().row_misses; });
+  fn("sdram.row_conflicts",
+     [](Sys s) { return s.sdram_->stats().row_conflicts; });
+  fn("sdram.reads", [](Sys s) { return s.sdram_->stats().reads; });
+  fn("sdram.writes", [](Sys s) { return s.sdram_->stats().writes; });
+  fn("sdram.adapter.read_handshakes",
+     [](Sys s) { return s.adapter_->stats().read_handshakes; });
+  fn("sdram.adapter.write_handshakes",
+     [](Sys s) { return s.adapter_->stats().write_handshakes; });
+  fn("sdram.adapter.rmw_reads",
+     [](Sys s) { return s.adapter_->stats().rmw_reads; });
+  fn("sdram.adapter.wasted_words64",
+     [](Sys s) { return s.adapter_->stats().wasted_words64; });
+
+  // -- layered wrappers --
+  fn("wrappers.cells_in", [](Sys s) { return s.wrappers_.stats().cells_in; });
+  fn("wrappers.cells_out",
+     [](Sys s) { return s.wrappers_.stats().cells_out; });
+  fn("wrappers.frames_in",
+     [](Sys s) { return s.wrappers_.stats().frames_in; });
+  fn("wrappers.frames_out",
+     [](Sys s) { return s.wrappers_.stats().frames_out; });
+  fn("wrappers.ip_bad", [](Sys s) { return s.wrappers_.stats().ip_bad; });
+  fn("wrappers.ip_wrong_addr",
+     [](Sys s) { return s.wrappers_.stats().ip_wrong_addr; });
+  fn("wrappers.udp_bad", [](Sys s) { return s.wrappers_.stats().udp_bad; });
+  fn("wrappers.datagrams_in",
+     [](Sys s) { return s.wrappers_.stats().datagrams_in; });
+  fn("wrappers.datagrams_out",
+     [](Sys s) { return s.wrappers_.stats().datagrams_out; });
+
+  // -- control path --
+  fn("leon_ctrl.commands", [](Sys s) { return s.ctrl_->stats().commands; });
+  fn("leon_ctrl.bad_commands",
+     [](Sys s) { return s.ctrl_->stats().bad_commands; });
+  fn("leon_ctrl.chunks_loaded",
+     [](Sys s) { return s.ctrl_->stats().chunks_loaded; });
+  fn("leon_ctrl.duplicate_chunks",
+     [](Sys s) { return s.ctrl_->stats().duplicate_chunks; });
+  fn("leon_ctrl.programs_started",
+     [](Sys s) { return s.ctrl_->stats().programs_started; });
+  fn("leon_ctrl.programs_completed",
+     [](Sys s) { return s.ctrl_->stats().programs_completed; });
+  fn("leon_ctrl.last_run_cycles",
+     [](Sys s) { return s.ctrl_->last_run_cycles(); });
+  fn("leon_ctrl.state",
+     [](Sys s) { return static_cast<u64>(s.ctrl_->state()); });
+  fn("cpp.control_packets",
+     [](Sys s) { return s.cpp_->control_packets(); });
+  fn("cpp.passthrough_packets",
+     [](Sys s) { return s.cpp_->passthrough_packets(); });
+  fn("pktgen.emitted", [](Sys s) { return s.pktgen_->emitted(); });
 }
 
 void LiquidSystem::ingress_frame(std::span<const u8> frame) {
@@ -75,6 +236,7 @@ void LiquidSystem::ingress_frame(std::span<const u8> frame) {
     while (auto resp = pktgen_->pop()) {
       egress_.push_back(wrappers_.egress_frame(*resp));
     }
+    observe_ctrl_state();
   }
 }
 
@@ -93,6 +255,7 @@ cpu::StepResult LiquidSystem::step() {
   while (auto resp = pktgen_->pop()) {
     egress_.push_back(wrappers_.egress_frame(*resp));
   }
+  if (perf_) observe_ctrl_state();
   return r;
 }
 
@@ -110,12 +273,15 @@ bool LiquidSystem::run_until(net::LeonState state, u64 max_steps) {
 }
 
 void LiquidSystem::reconfigure(const cpu::PipelineConfig& pcfg) {
+  if (perf_) perf_->begin("reconfigure");
+  metrics_.counter("sim.reconfigurations").inc();
   cfg_.pipeline = pcfg;
   pipe_ = std::make_unique<cpu::LeonPipeline>(pcfg, bus_, &clock_,
                                               &map::cacheable);
   pipe_->reset(map::kRomBase);
   // An active trace stream survives the new image.
   if (tracer_) pipe_->set_observer(tracer_.get());
+  if (perf_) perf_->end("reconfigure");
 }
 
 void LiquidSystem::reset_cpu() {
@@ -148,6 +314,40 @@ void LiquidSystem::disable_trace_stream() {
     pipe_->set_observer(nullptr);
     tracer_.reset();
   }
+}
+
+PerfTracer& LiquidSystem::enable_perf_trace() {
+  if (!perf_) {
+    perf_ = std::make_unique<PerfTracer>(&clock_);
+    traced_ctrl_state_ = ctrl_->state();
+  }
+  return *perf_;
+}
+
+void LiquidSystem::observe_ctrl_state() {
+  if (!perf_) return;
+  const net::LeonState s = ctrl_->state();
+  if (s == traced_ctrl_state_) return;
+  // Span edges follow the leon_ctrl state machine: LOADING brackets the
+  // user-port program download, RUNNING brackets the measured execution
+  // window (Start -> return to the polling loop, the §4 measurement).
+  if (traced_ctrl_state_ == net::LeonState::kLoading) {
+    perf_->end("program.load");
+  }
+  if (traced_ctrl_state_ == net::LeonState::kRunning) {
+    perf_->end("program.run");
+    // Sample the registry at the run boundary: each measured window gets
+    // a counter row on the timeline.
+    perf_->sample(metrics_snapshot(), "cpu.");
+    perf_->sample(metrics_snapshot(), "cache.");
+  }
+  switch (s) {
+    case net::LeonState::kLoading: perf_->begin("program.load"); break;
+    case net::LeonState::kRunning: perf_->begin("program.run"); break;
+    case net::LeonState::kError: perf_->instant("leon_ctrl.error"); break;
+    default: break;
+  }
+  traced_ctrl_state_ = s;
 }
 
 }  // namespace la::sim

@@ -10,6 +10,7 @@
 
 #include "bus/apb.hpp"
 #include "bus/peripherals.hpp"
+#include "common/metrics.hpp"
 #include "cpu/leon_pipeline.hpp"
 #include "mem/ahb_sdram_adapter.hpp"
 #include "mem/boot_rom.hpp"
@@ -21,6 +22,7 @@
 #include "net/leon_ctrl.hpp"
 #include "net/trace_stream.hpp"
 #include "net/wrappers.hpp"
+#include "sim/perf_trace.hpp"
 
 namespace la::sim {
 
@@ -80,6 +82,25 @@ class LiquidSystem {
   void disable_trace_stream();
   const net::TraceStreamer* trace_streamer() const { return tracer_.get(); }
 
+  // ---- observability ----
+  /// The node-wide metrics registry.  Every component counter is bridged
+  /// in at construction under a hierarchical name (`cache.d.read_misses`,
+  /// `sdram.wait_cycles`, ...); external subsystems (reconfiguration
+  /// cache/server) attach and detach their own.
+  metrics::MetricsRegistry& metrics() { return metrics_; }
+  const metrics::MetricsRegistry& metrics() const { return metrics_; }
+  /// Registry snapshot stamped with the node clock.
+  metrics::Snapshot metrics_snapshot() const {
+    return metrics_.snapshot(clock_);
+  }
+
+  /// Attach a cycle-stamped perf tracer.  The system records spans for
+  /// reconfigurations and leon_ctrl episodes (program.load, program.run)
+  /// and samples key counters at run boundaries; callers add their own
+  /// spans via the returned tracer.  Idempotent.
+  PerfTracer& enable_perf_trace();
+  PerfTracer* perf_tracer() { return perf_.get(); }
+
   // ---- component access ----
   cpu::LeonPipeline& cpu() { return *pipe_; }
   const cpu::LeonPipeline& cpu() const { return *pipe_; }
@@ -104,6 +125,11 @@ class LiquidSystem {
   }
 
  private:
+  /// Bridge every component's counters into the registry (constructor).
+  void register_metrics();
+  /// Emit perf-trace spans when the leon_ctrl state machine moves.
+  void observe_ctrl_state();
+
   SystemConfig cfg_;
   Cycles clock_ = 0;
 
@@ -130,6 +156,10 @@ class LiquidSystem {
   std::unique_ptr<net::LeonController> ctrl_;
   std::unique_ptr<net::ControlPacketProcessor> cpp_;
   std::deque<Bytes> egress_;
+
+  metrics::MetricsRegistry metrics_;
+  std::unique_ptr<PerfTracer> perf_;
+  net::LeonState traced_ctrl_state_ = net::LeonState::kIdle;
 };
 
 }  // namespace la::sim

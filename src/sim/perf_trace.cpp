@@ -1,0 +1,96 @@
+#include "sim/perf_trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace la::sim {
+
+void PerfTracer::push(char phase, std::string name, double value) {
+  Event e;
+  e.phase = phase;
+  e.name = std::move(name);
+  e.ts = now();
+  e.value = value;
+  events_.push_back(std::move(e));
+}
+
+void PerfTracer::begin(std::string name) {
+  open_.push_back(name);
+  push('B', std::move(name));
+}
+
+void PerfTracer::end(std::string name) {
+  // Close the matching open span (normally the innermost).  An end with
+  // no matching begin is dropped: every emitted 'E' must pair with a 'B'
+  // or the exported trace is malformed.
+  const auto it = std::find(open_.rbegin(), open_.rend(), name);
+  if (it == open_.rend()) return;
+  open_.erase(std::next(it).base());
+  push('E', std::move(name));
+}
+
+void PerfTracer::instant(std::string name) { push('i', std::move(name)); }
+
+void PerfTracer::counter(std::string name, double value) {
+  push('C', std::move(name), value);
+}
+
+void PerfTracer::sample(const metrics::Snapshot& snap,
+                        const std::string& prefix) {
+  for (const auto& [name, v] : snap.values) {
+    if (!prefix.empty() && name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    counter(name, v);
+  }
+}
+
+void PerfTracer::close_open_spans() {
+  while (!open_.empty()) {
+    std::string name = open_.back();
+    open_.pop_back();
+    push('E', std::move(name));
+  }
+}
+
+std::string PerfTracer::to_chrome_json() {
+  close_open_spans();
+  // The clock never runs backwards, so events_ is already time-ordered;
+  // a stable sort guards against any future out-of-band insertion.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":";
+    metrics::append_json_string(out, e.name);
+    out += ",\"cat\":\"liquid\",\"ph\":\"";
+    out += e.phase;
+    out += "\",\"ts\":";
+    metrics::append_json_number(out, static_cast<double>(e.ts));
+    out += ",\"pid\":1,\"tid\":1";
+    if (e.phase == 'C') {
+      out += ",\"args\":{\"value\":";
+      metrics::append_json_number(out, e.value);
+      out += '}';
+    } else if (e.phase == 'i') {
+      out += ",\"s\":\"t\"";  // thread-scoped instant marker
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool PerfTracer::write_chrome_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace la::sim

@@ -1,0 +1,84 @@
+// Cycle-stamped performance tracer for the Liquid node.
+//
+// The paper instruments the node with a hardware cycle counter (§5) and
+// streams execution traces out for analysis (Fig 1).  This tracer is the
+// coarse-grained sibling of that path: it records begin/end spans around
+// node-level episodes (reconfiguration, program load, measured runs),
+// instant markers, and counter samples — all stamped with the node clock —
+// and exports Chrome trace_event JSON, so a run opens directly in
+// chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/types.hpp"
+
+namespace la::sim {
+
+class PerfTracer {
+ public:
+  /// `clock` is the node's cycle counter (may be null: everything stamps
+  /// at 0, which keeps unit tests free of a LiquidSystem).
+  explicit PerfTracer(const Cycles* clock = nullptr) : clock_(clock) {}
+
+  struct Event {
+    char phase = 'i';  // 'B' begin, 'E' end, 'i' instant, 'C' counter
+    std::string name;
+    Cycles ts = 0;
+    double value = 0.0;  // counter events only
+  };
+
+  void begin(std::string name);
+  void end(std::string name);
+  void instant(std::string name);
+  void counter(std::string name, double value);
+
+  /// One counter event per scalar metric in `snap` whose name starts with
+  /// `prefix` (empty = all) — a registry poll becomes a dashboard row.
+  void sample(const metrics::Snapshot& snap, const std::string& prefix = "");
+
+  const std::vector<Event>& events() const { return events_; }
+  std::size_t open_spans() const { return open_.size(); }
+
+  /// Emit a matching 'E' (stamped now) for every still-open span, deepest
+  /// first — exporters call this so every 'B' pairs with an 'E'.
+  void close_open_spans();
+
+  /// Chrome trace_event format: {"traceEvents":[...]}.  Timestamps are
+  /// cycles reported in the `ts` microsecond field (1 cycle = 1 us on the
+  /// timeline; the absolute unit is irrelevant for span analysis).
+  std::string to_chrome_json();
+
+  /// Write to_chrome_json() to `path`; false on I/O failure.
+  bool write_chrome_json(const std::string& path);
+
+  /// RAII span: begin on construction, end on destruction.  A null tracer
+  /// makes the guard a no-op, so call sites stay branch-free.
+  class Span {
+   public:
+    Span(PerfTracer* t, std::string name) : t_(t), name_(std::move(name)) {
+      if (t_) t_->begin(name_);
+    }
+    ~Span() {
+      if (t_) t_->end(name_);
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+   private:
+    PerfTracer* t_;
+    std::string name_;
+  };
+
+ private:
+  Cycles now() const { return clock_ ? *clock_ : 0; }
+  void push(char phase, std::string name, double value = 0.0);
+
+  const Cycles* clock_;
+  std::vector<Event> events_;
+  std::vector<std::string> open_;  // LIFO of begun span names
+};
+
+}  // namespace la::sim

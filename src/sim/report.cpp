@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/stats.hpp"
+
 namespace la::sim {
 namespace {
 
@@ -12,90 +14,94 @@ void line(std::string& out, const char* fmt, auto... args) {
   out += '\n';
 }
 
-void cache_block(std::string& out, const char* name,
-                 const cache::Cache& c) {
-  const auto& s = c.stats();
-  line(out, "  %s: %uB line=%u ways=%u", name, c.config().size_bytes,
-       c.config().line_bytes, c.config().ways);
+/// Snapshot accessor in the u64 shape the printf formats expect.
+struct Get {
+  const metrics::Snapshot& snap;
+  unsigned long long operator()(const std::string& name) const {
+    return static_cast<unsigned long long>(snap.value_u64(name));
+  }
+};
+
+void cache_block(std::string& out, const Get& g, const char* name,
+                 const std::string& prefix) {
+  line(out, "  %s: %uB line=%u ways=%u", name,
+       static_cast<unsigned>(g(prefix + ".size_bytes")),
+       static_cast<unsigned>(g(prefix + ".line_bytes")),
+       static_cast<unsigned>(g(prefix + ".ways")));
+  const unsigned long long reads =
+      g(prefix + ".read_hits") + g(prefix + ".read_misses");
+  const unsigned long long writes =
+      g(prefix + ".write_hits") + g(prefix + ".write_misses");
+  const unsigned long long misses =
+      g(prefix + ".read_misses") + g(prefix + ".write_misses");
   line(out,
        "    reads %llu (%llu miss)  writes %llu (%llu miss)  "
        "missrate %.2f%%  evictions %llu",
-       (unsigned long long)s.reads(), (unsigned long long)s.read_misses,
-       (unsigned long long)s.writes(), (unsigned long long)s.write_misses,
-       100.0 * s.miss_ratio(), (unsigned long long)s.evictions);
+       reads, g(prefix + ".read_misses"), writes,
+       g(prefix + ".write_misses"),
+       100.0 * safe_ratio(misses, reads + writes), g(prefix + ".evictions"));
 }
 
 }  // namespace
 
-std::string system_report(LiquidSystem& sys) {
+std::string system_report_text(const metrics::Snapshot& snap) {
+  const Get g{snap};
   std::string out;
   line(out, "=== liquid system report @ cycle %llu ===",
-       (unsigned long long)sys.now());
+       static_cast<unsigned long long>(snap.cycle));
 
-  const auto& pst = sys.cpu().stats();
   line(out,
        "cpu: %llu instructions, %llu annulled, %llu traps, %llu cycles "
        "(CPI %.2f)",
-       (unsigned long long)pst.instructions,
-       (unsigned long long)pst.annulled, (unsigned long long)pst.traps,
-       (unsigned long long)pst.cycles,
-       pst.instructions ? static_cast<double>(pst.cycles) / pst.instructions
-                        : 0.0);
-  line(out,
-       "  stalls: icache %llu, dcache %llu, store-buffer %llu cycles",
-       (unsigned long long)pst.icache_stall,
-       (unsigned long long)pst.dcache_stall,
-       (unsigned long long)pst.store_stall);
+       g("cpu.instructions"), g("cpu.annulled"), g("cpu.traps"),
+       g("cpu.cycles"), safe_ratio(g("cpu.cycles"), g("cpu.instructions")));
+  line(out, "  stalls: icache %llu, dcache %llu, store-buffer %llu cycles",
+       g("pipeline.stalls.icache"), g("pipeline.stalls.dcache"),
+       g("pipeline.stalls.store_buffer"));
   line(out,
        "  mix: %llu loads, %llu stores, %llu branches (%llu taken), "
        "%llu calls, %llu mul/div",
-       (unsigned long long)pst.loads, (unsigned long long)pst.stores,
-       (unsigned long long)pst.branches,
-       (unsigned long long)pst.taken_branches,
-       (unsigned long long)pst.calls, (unsigned long long)pst.muldiv);
+       g("cpu.mix.loads"), g("cpu.mix.stores"), g("cpu.mix.branches"),
+       g("cpu.mix.taken_branches"), g("cpu.mix.calls"),
+       g("cpu.mix.muldiv"));
 
-  cache_block(out, "icache", sys.cpu().icache());
-  cache_block(out, "dcache", sys.cpu().dcache());
+  cache_block(out, g, "icache", "cache.i");
+  cache_block(out, g, "dcache", "cache.d");
 
-  const auto& ahb = sys.ahb().stats();
   line(out, "ahb: instr %llu transfers, data %llu transfers, %llu unmapped",
-       (unsigned long long)ahb.of(bus::Master::kCpuInstr).transfers,
-       (unsigned long long)ahb.of(bus::Master::kCpuData).transfers,
-       (unsigned long long)ahb.unmapped);
+       g("ahb.instr.transfers"), g("ahb.data.transfers"), g("ahb.unmapped"));
 
-  const auto& sd = sys.sdram_controller().stats();
   line(out, "sdram-ctrl: %llu handshakes (%llu words64), %llu wait cycles",
-       (unsigned long long)sd.total_handshakes(),
-       (unsigned long long)(sd.words[0] + sd.words[1] + sd.words[2]),
-       (unsigned long long)sd.wait_cycles);
-  const auto& ad = sys.sdram_adapter().stats();
+       g("sdram.handshakes"), g("sdram.words64"), g("sdram.wait_cycles"));
   line(out,
        "  adapter: %llu read hs, %llu write hs, %llu rmw reads, "
        "%llu wasted words",
-       (unsigned long long)ad.read_handshakes,
-       (unsigned long long)ad.write_handshakes,
-       (unsigned long long)ad.rmw_reads,
-       (unsigned long long)ad.wasted_words64);
+       g("sdram.adapter.read_handshakes"),
+       g("sdram.adapter.write_handshakes"), g("sdram.adapter.rmw_reads"),
+       g("sdram.adapter.wasted_words64"));
 
-  const auto& w = sys.wrappers().stats();
   line(out,
        "wrappers: %llu datagrams in / %llu out, %llu bad IP, "
        "%llu wrong-addr",
-       (unsigned long long)w.datagrams_in,
-       (unsigned long long)w.datagrams_out, (unsigned long long)w.ip_bad,
-       (unsigned long long)w.ip_wrong_addr);
+       g("wrappers.datagrams_in"), g("wrappers.datagrams_out"),
+       g("wrappers.ip_bad"), g("wrappers.ip_wrong_addr"));
 
-  const auto& lc = sys.controller().stats();
   line(out,
        "leon_ctrl: %llu commands (%llu bad), %llu chunks "
        "(%llu dup), %llu runs (%llu completed), last run %llu cycles",
-       (unsigned long long)lc.commands, (unsigned long long)lc.bad_commands,
-       (unsigned long long)lc.chunks_loaded,
-       (unsigned long long)lc.duplicate_chunks,
-       (unsigned long long)lc.programs_started,
-       (unsigned long long)lc.programs_completed,
-       (unsigned long long)sys.controller().last_run_cycles());
+       g("leon_ctrl.commands"), g("leon_ctrl.bad_commands"),
+       g("leon_ctrl.chunks_loaded"), g("leon_ctrl.duplicate_chunks"),
+       g("leon_ctrl.programs_started"), g("leon_ctrl.programs_completed"),
+       g("leon_ctrl.last_run_cycles"));
   return out;
+}
+
+std::string system_report(LiquidSystem& sys) {
+  return system_report_text(sys.metrics_snapshot());
+}
+
+std::string system_report_json(LiquidSystem& sys) {
+  return sys.metrics_snapshot().to_json();
 }
 
 }  // namespace la::sim

@@ -1,15 +1,24 @@
-// Human-readable statistics report for a Liquid system run: caches, bus
-// masters, SDRAM controller, wrappers, leon_ctrl — one call for examples,
-// benches, and post-mortems.
+// Statistics reports for a Liquid system run, both rendered from the same
+// node-wide metrics registry snapshot: a human-readable indented text
+// block (caches, bus masters, SDRAM controller, wrappers, leon_ctrl) and
+// a machine-readable JSON form for benches and remote tooling.
 #pragma once
 
 #include <string>
 
+#include "common/metrics.hpp"
 #include "sim/liquid_system.hpp"
 
 namespace la::sim {
 
 /// Full statistics snapshot, formatted as an indented text block.
 std::string system_report(LiquidSystem& sys);
+
+/// Render the text block from an already-taken snapshot (delta reports:
+/// pass a `Snapshot::diff_since` result to report one window).
+std::string system_report_text(const metrics::Snapshot& snap);
+
+/// The same snapshot as pretty-printed JSON (see metrics::Snapshot).
+std::string system_report_json(LiquidSystem& sys);
 
 }  // namespace la::sim

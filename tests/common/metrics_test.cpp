@@ -1,0 +1,174 @@
+// MetricsRegistry: naming, kinds, bridged callbacks, snapshots, diffs,
+// and the JSON wire form every consumer (report, bench, STATS_SNAPSHOT)
+// reads.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/metrics.hpp"
+
+namespace la::metrics {
+namespace {
+
+TEST(Registry, CounterGetOrCreateReturnsSameObject) {
+  MetricsRegistry r;
+  Counter& a = r.counter("cache.d.read_misses");
+  a.inc(3);
+  Counter& b = r.counter("cache.d.read_misses");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  MetricsRegistry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::logic_error);
+  EXPECT_THROW(r.histogram("x"), std::logic_error);
+  EXPECT_THROW(r.register_fn("x", [] { return 0.0; }), std::logic_error);
+  r.gauge("g");
+  EXPECT_THROW(r.counter("g"), std::logic_error);
+}
+
+TEST(Registry, BridgedCallbackSampledAtSnapshotTime) {
+  MetricsRegistry r;
+  double external = 7.0;
+  r.register_fn("bridged", [&] { return external; });
+  EXPECT_EQ(r.snapshot().value_or("bridged"), 7.0);
+  external = 11.0;  // no re-registration needed: read at snapshot time
+  EXPECT_EQ(r.snapshot().value_or("bridged"), 11.0);
+  // Re-registering replaces the callback (idempotent component setup).
+  r.register_fn("bridged", [] { return -1.0; });
+  EXPECT_EQ(r.snapshot().value_or("bridged"), -1.0);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, UnregisterPrefixDropsSubtreeOnly) {
+  MetricsRegistry r;
+  r.counter("reconfig_cache.hits");
+  r.counter("reconfig_cache.misses");
+  r.counter("reconfig_server.jobs");
+  r.counter("cache.d.read_hits");
+  EXPECT_EQ(r.unregister_prefix("reconfig_cache."), 2u);
+  EXPECT_FALSE(r.contains("reconfig_cache.hits"));
+  EXPECT_TRUE(r.contains("reconfig_server.jobs"));
+  EXPECT_TRUE(r.contains("cache.d.read_hits"));
+  EXPECT_TRUE(r.unregister("reconfig_server.jobs"));
+  EXPECT_FALSE(r.unregister("reconfig_server.jobs"));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Histogram, Log2Buckets) {
+  Histogram h;
+  h.observe(0.0);   // bucket 0: [0,1)
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 1: [1,2)
+  h.observe(2.0);   // bucket 2: [2,4)
+  h.observe(3.9);   // bucket 2
+  h.observe(1e30);  // clamps into the last bucket
+  h.observe(-4.0);  // negatives clamp into bucket 0
+  EXPECT_EQ(h.count(), 7u);
+  EXPECT_EQ(h.buckets()[0], 3u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+  EXPECT_EQ(Histogram::bucket_limit(0), 1.0);
+  EXPECT_EQ(Histogram::bucket_limit(2), 4.0);
+  EXPECT_TRUE(std::isinf(Histogram::bucket_limit(Histogram::kBuckets - 1)));
+}
+
+TEST(Snapshot, ValueU64RoundsAndClampsNegatives) {
+  Snapshot s;
+  s.values["a"] = 41.9999999;
+  s.values["b"] = -3.0;
+  EXPECT_EQ(s.value_u64("a"), 42u);
+  EXPECT_EQ(s.value_u64("b"), 0u);
+  EXPECT_EQ(s.value_u64("missing"), 0u);
+  EXPECT_FALSE(s.has("missing"));
+  EXPECT_TRUE(s.has("a"));
+}
+
+TEST(Snapshot, DiffSubtractsScalarsAndCycles) {
+  MetricsRegistry r;
+  Counter& c = r.counter("events");
+  c.inc(10);
+  const Snapshot before = r.snapshot(100);
+  c.inc(32);
+  const Snapshot after = r.snapshot(250);
+  const Snapshot d = after.diff_since(before);
+  EXPECT_EQ(d.cycle, 150u);
+  EXPECT_EQ(d.value_u64("events"), 32u);
+}
+
+TEST(Snapshot, HistogramDiffDerivesWindowMean) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("lat");
+  h.observe(10.0);
+  h.observe(20.0);  // sum 30, count 2
+  const Snapshot before = r.snapshot();
+  h.observe(60.0);  // window: one sample of 60
+  const Snapshot after = r.snapshot();
+  const Snapshot d = after.diff_since(before);
+  const HistogramSnapshot& w = d.histograms.at("lat");
+  EXPECT_EQ(w.count, 1u);
+  EXPECT_DOUBLE_EQ(w.mean, 60.0);
+  // Spread/extrema of a window are not recoverable from endpoint
+  // summaries; they must read as unknown, not as fabricated numbers.
+  EXPECT_TRUE(std::isnan(w.stddev));
+  EXPECT_TRUE(std::isnan(w.min));
+  EXPECT_TRUE(std::isnan(w.max));
+}
+
+TEST(Json, IntegralDoublesPrintWithoutDecimalPoint) {
+  std::string out;
+  append_json_number(out, 31553.0);
+  EXPECT_EQ(out, "31553");  // counters must match text reports exactly
+  out.clear();
+  append_json_number(out, 0.25);
+  EXPECT_EQ(out, "0.25");
+  out.clear();
+  append_json_number(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "null");
+  out.clear();
+  append_json_number(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "null");
+}
+
+TEST(Json, StringEscaping) {
+  std::string out;
+  append_json_string(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(Json, CompactSnapshotShape) {
+  MetricsRegistry r;
+  r.counter("b.count").inc(2);
+  r.register_fn("a.fn", [] { return 1.5; });
+  r.histogram("empty");  // count 0: must be omitted entirely
+  const std::string j = r.snapshot(77).to_json(0);
+  EXPECT_EQ(j, "{\"cycle\":77,\"metrics\":{\"a.fn\":1.5,\"b.count\":2}}");
+}
+
+TEST(Json, HistogramSerializesTrimmedBuckets) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("lat");
+  h.observe(1.0);
+  h.observe(3.0);
+  const std::string j = r.snapshot().to_json(0);
+  EXPECT_NE(j.find("\"histograms\":{\"lat\":{\"count\":2"), std::string::npos);
+  // Buckets [0,1,1] — trailing zeros trimmed.
+  EXPECT_NE(j.find("\"buckets\":[0,1,1]}"), std::string::npos);
+}
+
+TEST(Json, IndentedFormEndsWithNewline) {
+  MetricsRegistry r;
+  r.counter("x").inc();
+  const std::string j = r.snapshot().to_json(2);
+  EXPECT_EQ(j.back(), '\n');
+  EXPECT_NE(j.find("\n  \"metrics\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace la::metrics

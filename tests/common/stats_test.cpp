@@ -1,0 +1,59 @@
+// OnlineStats: Welford moments plus the empty-accumulator contract — an
+// extremum nobody observed is NaN, not a fabricated 0.0 (regression: the
+// old min()/max() returned 0.0 on empty, which read as a real sample).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace la {
+namespace {
+
+TEST(OnlineStats, EmptyExtremaAreNaN) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleObservation) {
+  OnlineStats s;
+  s.add(-3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+  EXPECT_EQ(s.variance(), 0.0);  // n-1 denominator: undefined -> 0
+}
+
+TEST(OnlineStats, MomentsMatchClosedForm) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of the classic dataset: sum((x-5)^2) = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(OnlineStats, ZeroObservationIsARealMinimum) {
+  OnlineStats s;
+  s.add(0.0);
+  s.add(10.0);
+  // 0.0 from data must be distinguishable from the empty case.
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_FALSE(std::isnan(s.min()));
+}
+
+TEST(SafeRatio, ZeroDenominatorReadsAsZero) {
+  EXPECT_EQ(safe_ratio(5, 0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(3, 4), 0.75);
+}
+
+}  // namespace
+}  // namespace la

@@ -108,5 +108,36 @@ TEST(Trace, ResetClearsEverything) {
   EXPECT_TRUE(t.hot_pcs.empty());
 }
 
+TEST(Trace, HotPcRankingIsDeterministicOnCountTies) {
+  // Regression: equal execution counts used to rank in std::sort's
+  // unspecified order, so reports and top-N truncation could differ
+  // between runs/platforms.  Ties now break on the address.
+  TraceAnalyzer an;
+  an.set_focus(0x40000000, 0x4fffffff);
+  const Addr pcs[] = {0x40000110, 0x40000104, 0x4000010c, 0x40000100};
+  for (const Addr pc : pcs) {
+    net::TraceRecord r;
+    r.pc = pc;
+    an.ingest(r);  // every pc exactly once: a four-way tie
+  }
+  net::TraceRecord hot;
+  hot.pc = 0x40000108;
+  an.ingest(hot);
+  an.ingest(hot);  // twice: the unambiguous winner
+
+  const TraceReport t = an.report();
+  ASSERT_EQ(t.hot_pcs.size(), 5u);
+  EXPECT_EQ(t.hot_pcs[0].first, 0x40000108u);
+  EXPECT_EQ(t.hot_pcs[0].second, 2u);
+  for (std::size_t i = 2; i < t.hot_pcs.size(); ++i) {
+    EXPECT_LT(t.hot_pcs[i - 1].first, t.hot_pcs[i].first);
+  }
+  // Truncation keeps the lowest-addressed of the tied tail.
+  const TraceReport top3 = an.report(3);
+  ASSERT_EQ(top3.hot_pcs.size(), 3u);
+  EXPECT_EQ(top3.hot_pcs[1].first, 0x40000100u);
+  EXPECT_EQ(top3.hot_pcs[2].first, 0x40000104u);
+}
+
 }  // namespace
 }  // namespace la::liquid

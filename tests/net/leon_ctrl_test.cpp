@@ -251,5 +251,22 @@ TEST_F(CtrlFixture, CppRoutesByPort) {
   EXPECT_EQ(ctrl.stats().commands, 1u);  // only the control one reached it
 }
 
+TEST_F(CtrlFixture, StatsSnapshotWithoutProviderIsAnError) {
+  ctrl.handle(cmd(simple_command(CommandCode::kStatsSnapshot)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), 0x41);
+  EXPECT_EQ(ctrl.stats().bad_commands, 1u);
+}
+
+TEST_F(CtrlFixture, StatsSnapshotReturnsProviderPayload) {
+  ctrl.set_stats_provider([] { return Bytes{'{', '}'}; });
+  ctrl.handle(cmd(simple_command(CommandCode::kStatsSnapshot)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kStatsData));
+  EXPECT_EQ(body, (Bytes{'{', '}'}));
+  EXPECT_EQ(ctrl.stats().bad_commands, 0u);
+}
+
 }  // namespace
 }  // namespace la::net

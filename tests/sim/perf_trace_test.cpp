@@ -1,0 +1,99 @@
+// PerfTracer: cycle-stamped spans and the Chrome trace_event export the
+// --perf-trace flags ship.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "sim/perf_trace.hpp"
+
+namespace la::sim {
+namespace {
+
+TEST(PerfTrace, StampsWithTheProvidedClock) {
+  Cycles clock = 5;
+  PerfTracer t(&clock);
+  t.begin("load");
+  clock = 42;
+  t.end("load");
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].phase, 'B');
+  EXPECT_EQ(t.events()[0].ts, 5u);
+  EXPECT_EQ(t.events()[1].phase, 'E');
+  EXPECT_EQ(t.events()[1].ts, 42u);
+  EXPECT_EQ(t.open_spans(), 0u);
+}
+
+TEST(PerfTrace, NullClockStampsZero) {
+  PerfTracer t;
+  t.instant("mark");
+  EXPECT_EQ(t.events().at(0).ts, 0u);
+}
+
+TEST(PerfTrace, CloseOpenSpansPairsEveryBegin) {
+  Cycles clock = 0;
+  PerfTracer t(&clock);
+  t.begin("outer");
+  t.begin("inner");
+  clock = 9;
+  EXPECT_EQ(t.open_spans(), 2u);
+  t.close_open_spans();
+  EXPECT_EQ(t.open_spans(), 0u);
+  ASSERT_EQ(t.events().size(), 4u);
+  // Deepest first so the spans nest correctly.
+  EXPECT_EQ(t.events()[2].name, "inner");
+  EXPECT_EQ(t.events()[3].name, "outer");
+  EXPECT_EQ(t.events()[3].ts, 9u);
+}
+
+TEST(PerfTrace, EndOfUnopenedSpanIsDropped) {
+  PerfTracer t;
+  t.end("never-begun");
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(PerfTrace, SampleEmitsCounterEventsForPrefix) {
+  metrics::MetricsRegistry r;
+  r.counter("cpu.instructions").inc(100);
+  r.counter("cache.d.read_misses").inc(7);
+  PerfTracer t;
+  t.sample(r.snapshot(), "cache.");
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events()[0].phase, 'C');
+  EXPECT_EQ(t.events()[0].name, "cache.d.read_misses");
+  EXPECT_EQ(t.events()[0].value, 7.0);
+}
+
+TEST(PerfTrace, ChromeJsonIsWellFormedAndSorted) {
+  Cycles clock = 10;
+  PerfTracer t(&clock);
+  t.begin("job");
+  clock = 20;
+  t.counter("misses", 3);
+  clock = 30;
+  t.instant("blip");
+  const std::string j = t.to_chrome_json();  // closes the open span
+  EXPECT_EQ(j.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(j.find("\"ph\":\"B\""), std::string::npos);
+  EXPECT_NE(j.find("\"ph\":\"E\""), std::string::npos);
+  EXPECT_NE(j.find("\"args\":{\"value\":3}"), std::string::npos);
+  EXPECT_NE(j.find("\"s\":\"t\""), std::string::npos);  // instant scope
+  // ts fields appear in nondecreasing order.
+  std::vector<long> ts;
+  for (std::size_t p = j.find("\"ts\":"); p != std::string::npos;
+       p = j.find("\"ts\":", p + 1)) {
+    ts.push_back(std::strtol(j.c_str() + p + 5, nullptr, 10));
+  }
+  ASSERT_EQ(ts.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
+}
+
+TEST(PerfTrace, NullTracerSpanIsANoOp) {
+  { const PerfTracer::Span s(nullptr, "nothing"); }
+  PerfTracer t;
+  { const PerfTracer::Span s(&t, "scoped"); }
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events()[0].phase, 'B');
+  EXPECT_EQ(t.events()[1].phase, 'E');
+}
+
+}  // namespace
+}  // namespace la::sim

@@ -19,6 +19,7 @@
 #include <sstream>
 #include <string>
 
+#include "bench_util.hpp"
 #include "ctrl/client.hpp"
 #include "isa/disasm.hpp"
 #include "liquid/adaptation.hpp"
@@ -48,6 +49,8 @@ struct Options {
   bool debug = false;
   bool with_runtime = false;
   std::string read_symbol;
+  std::string metrics_json;  // --metrics-json FILE
+  std::string perf_trace;    // --perf-trace FILE
   u64 max_steps = 50'000'000;
 };
 
@@ -68,6 +71,10 @@ int usage() {
                "  --debug        interactive debugger (b/c/s/regs/x/...)\n"
                "  --runtime      link the runtime (trap table, window\n"
                "                 handlers, rt_init) into the program\n"
+               "  --metrics-json F  write the metrics-registry snapshot(s)\n"
+               "                 of the run(s) to F as JSON\n"
+               "  --perf-trace F write a cycle-stamped Chrome trace_event\n"
+               "                 file of the run(s) to F\n"
                "  (a .srec input file is loaded instead of assembled)\n");
   return 2;
 }
@@ -81,10 +88,17 @@ liquid::ArchConfig config_of(const Options& o) {
   return c;
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+  return static_cast<bool>(out);
+}
+
 int run_one(const Options& opt, const sasm::Image& img) {
   liquid::SynthesisModel syn;
   liquid::ReconfigurationCache cache;
   sim::LiquidSystem node;
+  if (!opt.perf_trace.empty()) node.enable_perf_trace();
   node.run(100);
   liquid::ServerConfig scfg;
   scfg.stream_traces = opt.trace || opt.recommend;
@@ -153,6 +167,17 @@ int run_one(const Options& opt, const sasm::Image& img) {
   }
 
   if (opt.report) std::printf("\n%s", sim::system_report(node).c_str());
+
+  if (!opt.metrics_json.empty() &&
+      !write_text_file(opt.metrics_json, sim::system_report_json(node))) {
+    std::fprintf(stderr, "cannot write %s\n", opt.metrics_json.c_str());
+    return 1;
+  }
+  if (!opt.perf_trace.empty() &&
+      !node.perf_tracer()->write_chrome_json(opt.perf_trace)) {
+    std::fprintf(stderr, "cannot write %s\n", opt.perf_trace.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -206,9 +231,11 @@ int run_sweep(const Options& opt, const sasm::Image& img) {
     }
   }
 
+  bench::BenchIo io("lsim_sweep", opt.metrics_json, opt.perf_trace);
   std::printf("%-8s %12s %12s\n", "dcache", "cycles", "readback");
   for (const auto& cfg : liquid::ConfigSpace{}.enumerate()) {
     sim::LiquidSystem node;
+    io.attach_perf(node);
     node.run(100);
     liquid::ReconfigurationServer server(node, cache, syn);
     const auto r = server.run_job(cfg, img, read_addr, read_words);
@@ -222,8 +249,9 @@ int run_sweep(const Options& opt, const sasm::Image& img) {
     std::printf("%4uKB   %12llu %12s\n", cfg.dcache_bytes / 1024,
                 static_cast<unsigned long long>(r.cycles),
                 readback.c_str());
+    io.add_run(cfg.key(), node);
   }
-  return 0;
+  return io.finish() ? 0 : 1;
 }
 
 }  // namespace
@@ -240,6 +268,8 @@ int main(int argc, char** argv) {
     else if (a == "--line") { const char* v = next(); if (!v) return usage(); opt.line = static_cast<u32>(std::atoi(v)); }
     else if (a == "--ways") { const char* v = next(); if (!v) return usage(); opt.ways = static_cast<u32>(std::atoi(v)); }
     else if (a == "--read") { const char* v = next(); if (!v) return usage(); opt.read_symbol = v; }
+    else if (a == "--metrics-json") { const char* v = next(); if (!v) return usage(); opt.metrics_json = v; }
+    else if (a == "--perf-trace") { const char* v = next(); if (!v) return usage(); opt.perf_trace = v; }
     else if (a == "--sweep") opt.sweep = true;
     else if (a == "--trace") opt.trace = true;
     else if (a == "--recommend") opt.recommend = true;
@@ -281,6 +311,19 @@ int main(int argc, char** argv) {
     std::string source = ss.str();
     if (opt.with_runtime) source += la::sasm::rt::runtime_source();
     la::sasm::AsmResult res = as.assemble(source);
+    if (!res.ok && !opt.with_runtime) {
+      // Programs calling rt_* only assemble with the runtime linked in;
+      // retry once with it before surfacing the original error.
+      la::sasm::Assembler retry_as;
+      la::sasm::AsmResult retry =
+          retry_as.assemble(ss.str() + la::sasm::rt::runtime_source());
+      if (retry.ok) {
+        std::fprintf(stderr,
+                     "note: linked runtime library (program did not "
+                     "assemble standalone)\n");
+        res = std::move(retry);
+      }
+    }
     if (!res.ok) {
       std::fprintf(stderr, "%s: assembly failed\n%s",
                    opt.source_path.c_str(), res.error_text().c_str());
