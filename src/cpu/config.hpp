@@ -42,6 +42,12 @@ struct CpuConfig {
   /// (LEON2 trap latency is 4-5 cycles).
   Cycles trap_latency = 4;
 
+  /// Deliberate semantic fault: SUBX ignores the carry-in.  Exists solely
+  /// so the differential fuzzer can prove, end to end, that it detects and
+  /// minimizes a real divergence (lfuzz --inject-bug; see docs/TESTING.md).
+  /// Never set in production configurations.
+  bool quirk_subx_no_carry = false;
+
   bool valid() const { return nwindows >= 2 && nwindows <= 32; }
 };
 

@@ -1,6 +1,7 @@
 #include "cpu/integer_unit.hpp"
 
 #include <cassert>
+#include <limits>
 
 #include "common/bits.hpp"
 
@@ -261,7 +262,9 @@ u8 IntegerUnit::execute(const Instruction& ins, StepResult& res) {
     }
     case Mnemonic::kSub: st.set_reg(ins.rd, a - b); return kNoTrap;
     case Mnemonic::kSubcc: { const u32 r = a - b; set_icc_sub(a, b, r, false); st.set_reg(ins.rd, r); return kNoTrap; }
-    case Mnemonic::kSubx: st.set_reg(ins.rd, a - b - (st.psr.c ? 1 : 0)); return kNoTrap;
+    case Mnemonic::kSubx:
+      st.set_reg(ins.rd, a - b - (!cfg_.quirk_subx_no_carry && st.psr.c ? 1 : 0));
+      return kNoTrap;
     case Mnemonic::kSubxcc: {
       const bool cin = st.psr.c;
       const u32 r = a - b - (cin ? 1 : 0);
@@ -361,7 +364,11 @@ u8 IntegerUnit::execute(const Instruction& ins, StepResult& res) {
       const i64 dividend =
           static_cast<i64>((u64{st.y} << 32) | a);
       const i64 divisor = static_cast<i32>(b);
-      i64 q = dividend / divisor;
+      // INT64_MIN / -1 overflows the host idiv (SIGFPE); the architectural
+      // quotient 2^63 overflows the 32-bit result anyway.
+      i64 q = (dividend == std::numeric_limits<i64>::min() && divisor == -1)
+                  ? std::numeric_limits<i64>::max()
+                  : dividend / divisor;
       bool ovf = false;
       if (q > 0x7fffffffll) { q = 0x7fffffffll; ovf = true; }
       if (q < -0x80000000ll) { q = -0x80000000ll; ovf = true; }

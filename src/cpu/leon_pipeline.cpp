@@ -1,6 +1,7 @@
 #include "cpu/leon_pipeline.hpp"
 
 #include <cassert>
+#include <limits>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -614,7 +615,12 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       if (!cfg_.cpu.has_div) return tt_of(Trap::kIllegalInstruction);
       if (rb == 0) return tt_of(Trap::kDivisionByZero);
       const i64 dividend = static_cast<i64>((u64{st.y} << 32) | ra);
-      i64 q = dividend / static_cast<i32>(rb);
+      const i64 divisor = static_cast<i32>(rb);
+      // INT64_MIN / -1 overflows the host idiv (SIGFPE); the architectural
+      // quotient 2^63 overflows the 32-bit result anyway.
+      i64 q = (dividend == std::numeric_limits<i64>::min() && divisor == -1)
+                  ? std::numeric_limits<i64>::max()
+                  : dividend / divisor;
       bool ovf = false;
       if (q > 0x7fffffffll) { q = 0x7fffffffll; ovf = true; }
       if (q < -0x80000000ll) { q = -0x80000000ll; ovf = true; }

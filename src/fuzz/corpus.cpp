@@ -1,0 +1,128 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace la::fuzz {
+namespace fs = std::filesystem;
+
+u64 fnv1a64(const std::string& s) {
+  u64 h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string serialize_spec(const ProgramSpec& spec) {
+  std::ostringstream os;
+  os << "lfuzz-program v1\n";
+  os << "mode " << (spec.opts.mode == ProgramMode::kSystem ? "system"
+                                                           : "core")
+     << "\n";
+  os << "instructions " << spec.opts.instructions << "\n";
+  os << "nwindows " << spec.opts.nwindows << "\n";
+  os << "seed " << spec.opts.seed << "\n";
+  os << "%%\n";
+  for (const std::string& c : spec.chunks) {
+    os << c;
+    if (!c.empty() && c.back() != '\n') os << "\n";
+    os << "%%\n";
+  }
+  return os.str();
+}
+
+std::optional<ProgramSpec> parse_spec(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "lfuzz-program v1") {
+    return std::nullopt;
+  }
+  ProgramSpec spec;
+  while (std::getline(is, line) && line != "%%") {
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "mode") {
+      std::string m;
+      ls >> m;
+      if (m == "system") spec.opts.mode = ProgramMode::kSystem;
+      else if (m == "core") spec.opts.mode = ProgramMode::kCore;
+      else return std::nullopt;
+    } else if (key == "instructions") {
+      ls >> spec.opts.instructions;
+    } else if (key == "nwindows") {
+      ls >> spec.opts.nwindows;
+    } else if (key == "seed") {
+      ls >> spec.opts.seed;
+    } else if (!key.empty()) {
+      return std::nullopt;  // unknown header key: not ours
+    }
+  }
+  std::string chunk;
+  while (std::getline(is, line)) {
+    if (line == "%%") {
+      spec.chunks.push_back(chunk);
+      chunk.clear();
+    } else {
+      chunk += line;
+      chunk += '\n';
+    }
+  }
+  if (!chunk.empty()) return std::nullopt;  // truncated final chunk
+  return spec;
+}
+
+void Corpus::add(ProgramSpec spec, std::size_t novelty) {
+  entries_.push_back(CorpusEntry{std::move(spec), novelty});
+}
+
+const CorpusEntry& Corpus::pick(Rng& rng) const {
+  assert(!entries_.empty());
+  return entries_[rng.below(static_cast<u32>(entries_.size()))];
+}
+
+std::size_t Corpus::save(const std::string& dir) const {
+  fs::create_directories(dir);
+  std::size_t written = 0;
+  for (const CorpusEntry& e : entries_) {
+    const std::string source = e.spec.render();
+    char name[32];
+    std::snprintf(name, sizeof(name), "entry-%016llx",
+                  static_cast<unsigned long long>(fnv1a64(source)));
+    const fs::path base = fs::path(dir) / name;
+    const fs::path lprog = base.string() + ".lprog";
+    if (fs::exists(lprog)) continue;
+    std::ofstream(lprog) << serialize_spec(e.spec);
+    std::ofstream(base.string() + ".s") << source;
+    ++written;
+  }
+  return written;
+}
+
+std::size_t Corpus::load(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return 0;
+  std::size_t loaded = 0;
+  std::vector<fs::path> files;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    if (de.path().extension() == ".lprog") files.push_back(de.path());
+  }
+  std::sort(files.begin(), files.end());  // deterministic order
+  for (const fs::path& p : files) {
+    std::ifstream in(p);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (auto spec = parse_spec(ss.str())) {
+      add(std::move(*spec), 0);
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+}  // namespace la::fuzz

@@ -1,0 +1,57 @@
+// The fuzzer's corpus: programs that contributed coverage, kept both in
+// memory (mutation pool) and on disk (campaign persistence + replay).
+//
+// Disk layout (one directory):
+//   entry-<fnv64 of source>.lprog   structured spec (options + chunks)
+//   entry-<fnv64 of source>.s       rendered source, for humans and for
+//                                   `lfuzz --replay`
+//
+// The .lprog form is what load() reads back — it preserves chunk
+// boundaries so a reloaded corpus mutates and minimizes exactly like the
+// session that saved it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fuzz/program_generator.hpp"
+
+namespace la::fuzz {
+
+struct CorpusEntry {
+  ProgramSpec spec;
+  std::size_t novelty = 0;  // features this entry added when admitted
+};
+
+/// Stable content hash used for corpus file names (FNV-1a 64).
+u64 fnv1a64(const std::string& s);
+
+/// Text serialization of a spec (the .lprog format).
+std::string serialize_spec(const ProgramSpec& spec);
+std::optional<ProgramSpec> parse_spec(const std::string& text);
+
+class Corpus {
+ public:
+  void add(ProgramSpec spec, std::size_t novelty);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const CorpusEntry& at(std::size_t i) const { return entries_.at(i); }
+
+  /// Uniform random pick for mutation.
+  const CorpusEntry& pick(Rng& rng) const;
+
+  /// Write every entry to `dir` (created if missing); returns the number
+  /// of files written (existing same-hash entries are left alone).
+  std::size_t save(const std::string& dir) const;
+  /// Load every .lprog under `dir`; returns how many parsed.  Unparsable
+  /// files are skipped, not fatal — a corpus survives format drift.
+  std::size_t load(const std::string& dir);
+
+ private:
+  std::vector<CorpusEntry> entries_;
+};
+
+}  // namespace la::fuzz

@@ -1,0 +1,101 @@
+#include "fuzz/minimizer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace la::fuzz {
+namespace {
+
+ProgramSpec with_chunks(const ProgramSpec& base,
+                        std::vector<std::string> chunks) {
+  ProgramSpec s = base;
+  s.chunks = std::move(chunks);
+  return s;
+}
+
+/// One ddmin round: try to reduce `chunks` by testing subsets and their
+/// complements at the current granularity.  Returns true if a reduction
+/// was found (and applied).
+bool ddmin_pass(const ProgramSpec& base, std::vector<std::string>& chunks,
+                std::size_t& n, const FailPredicate& fails,
+                std::size_t& probes) {
+  const std::size_t len = chunks.size();
+  const std::size_t part = std::max<std::size_t>(1, len / n);
+  for (std::size_t start = 0; start < len; start += part) {
+    const std::size_t end = std::min(len, start + part);
+    // Complement: everything except [start, end).
+    std::vector<std::string> complement;
+    complement.reserve(len - (end - start));
+    complement.insert(complement.end(), chunks.begin(),
+                      chunks.begin() + static_cast<long>(start));
+    complement.insert(complement.end(),
+                      chunks.begin() + static_cast<long>(end),
+                      chunks.end());
+    if (complement.empty()) continue;
+    ++probes;
+    if (fails(with_chunks(base, complement))) {
+      chunks = std::move(complement);
+      n = std::max<std::size_t>(2, n - 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ProgramSpec minimize(const ProgramSpec& failing,
+                     const FailPredicate& still_fails,
+                     MinimizeStats* stats) {
+  MinimizeStats local;
+  MinimizeStats& st = stats ? *stats : local;
+  st.probes = 1;
+  st.initial_chunks = failing.chunks.size();
+  if (!still_fails(failing)) {
+    st.final_chunks = failing.chunks.size();
+    st.final_instructions = failing.body_instructions();
+    return failing;
+  }
+
+  ProgramSpec spec = failing;
+  // Pass 1: ddmin over chunks.
+  std::size_t n = 2;
+  while (spec.chunks.size() >= 2) {
+    if (ddmin_pass(failing, spec.chunks, n, still_fails, st.probes)) {
+      continue;  // reduced: retry at the (lowered) granularity
+    }
+    if (n >= spec.chunks.size()) break;  // single-chunk granularity done
+    n = std::min(spec.chunks.size(), n * 2);
+  }
+
+  // Pass 2: drop individual lines inside the surviving chunks (branch
+  // blocks carry filler the failure usually does not need).  Label lines
+  // whose branch survives make the candidate unassemblable, which the
+  // predicate reports as "not failing" — they stay put automatically.
+  for (std::size_t c = 0; c < spec.chunks.size(); ++c) {
+    std::vector<std::string> lines;
+    std::istringstream is(spec.chunks[c]);
+    for (std::string l; std::getline(is, l);) lines.push_back(l + "\n");
+    if (lines.size() <= 1) continue;
+    for (std::size_t i = lines.size(); i-- > 0;) {
+      if (lines.size() == 1) break;
+      std::vector<std::string> fewer = lines;
+      fewer.erase(fewer.begin() + static_cast<long>(i));
+      ProgramSpec cand = spec;
+      std::string joined;
+      for (const std::string& l : fewer) joined += l;
+      cand.chunks[c] = joined;
+      ++st.probes;
+      if (still_fails(cand)) {
+        spec = std::move(cand);
+        lines = std::move(fewer);
+      }
+    }
+  }
+
+  st.final_chunks = spec.chunks.size();
+  st.final_instructions = spec.body_instructions();
+  return spec;
+}
+
+}  // namespace la::fuzz

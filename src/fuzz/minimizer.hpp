@@ -1,0 +1,35 @@
+// Delta-debugging minimizer: shrink a failing program to a minimal body
+// that still fails the differential check.
+//
+// Two passes: classic ddmin over whole chunks (a branch block and its
+// label travel as one unit, so intermediate candidates stay assemblable),
+// then a line-level sweep inside the surviving chunks.  The predicate
+// re-runs the differential each probe; candidates that fail to assemble
+// simply report "not failing" and are rejected, so no special casing is
+// needed here.
+#pragma once
+
+#include <functional>
+
+#include "fuzz/program_generator.hpp"
+
+namespace la::fuzz {
+
+/// Returns true when the candidate still reproduces the failure.
+using FailPredicate = std::function<bool(const ProgramSpec&)>;
+
+struct MinimizeStats {
+  std::size_t probes = 0;          // predicate evaluations
+  std::size_t initial_chunks = 0;
+  std::size_t final_chunks = 0;
+  int final_instructions = 0;      // body instruction count of the result
+};
+
+/// Precondition: still_fails(failing) is true (checked; returns `failing`
+/// unchanged with zeroed stats when not, rather than "minimizing" a
+/// passing input to nothing).
+ProgramSpec minimize(const ProgramSpec& failing,
+                     const FailPredicate& still_fails,
+                     MinimizeStats* stats = nullptr);
+
+}  // namespace la::fuzz

@@ -1,0 +1,160 @@
+#include "fuzz/mutator.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace la::fuzz {
+namespace {
+
+/// Parse a fully-decimal (optionally negative) token; nullopt otherwise.
+std::optional<i64> parse_int_token(const std::string& tok) {
+  if (tok.empty()) return std::nullopt;
+  std::size_t i = tok[0] == '-' ? 1 : 0;
+  if (i == tok.size()) return std::nullopt;
+  for (std::size_t k = i; k < tok.size(); ++k) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[k]))) {
+      return std::nullopt;
+    }
+  }
+  return std::stoll(tok);
+}
+
+}  // namespace
+
+ProgramSpec Mutator::mutate(const ProgramSpec& in) {
+  ProgramSpec out = in;
+  const unsigned ops = 1 + rng_.below(3);
+  for (unsigned i = 0; i < ops; ++i) {
+    switch (rng_.below(5)) {
+      case 0: op_drop(out); break;
+      case 1: op_duplicate(out); break;
+      case 2: op_swap(out); break;
+      case 3: op_insert_fresh(out); break;
+      default: op_tweak_immediate(out); break;
+    }
+  }
+  return out;
+}
+
+ProgramSpec Mutator::crossover(const ProgramSpec& a, const ProgramSpec& b) {
+  ProgramSpec out = a;
+  if (a.chunks.empty() || b.chunks.empty()) return out;
+  const std::size_t cut_a = rng_.below(static_cast<u32>(a.chunks.size()));
+  const std::size_t cut_b = rng_.below(static_cast<u32>(b.chunks.size()));
+  out.chunks.assign(a.chunks.begin(),
+                    a.chunks.begin() + static_cast<long>(cut_a));
+  // The b-side chunks may carry labels that collide with a's: rename.
+  for (std::size_t i = cut_b; i < b.chunks.size(); ++i) {
+    out.chunks.push_back(rename_labels(b.chunks[i]));
+  }
+  if (out.chunks.empty()) out.chunks.push_back(a.chunks.front());
+  return out;
+}
+
+void Mutator::op_drop(ProgramSpec& s) {
+  if (s.chunks.size() <= 1) return;
+  s.chunks.erase(s.chunks.begin() +
+                 rng_.below(static_cast<u32>(s.chunks.size())));
+}
+
+void Mutator::op_duplicate(ProgramSpec& s) {
+  if (s.chunks.empty()) return;
+  const std::size_t i = rng_.below(static_cast<u32>(s.chunks.size()));
+  const std::size_t j = rng_.below(static_cast<u32>(s.chunks.size() + 1));
+  s.chunks.insert(s.chunks.begin() + static_cast<long>(j),
+                  rename_labels(s.chunks[i]));
+}
+
+void Mutator::op_swap(ProgramSpec& s) {
+  if (s.chunks.size() < 2) return;
+  const std::size_t i = rng_.below(static_cast<u32>(s.chunks.size()));
+  const std::size_t j = rng_.below(static_cast<u32>(s.chunks.size()));
+  std::swap(s.chunks[i], s.chunks[j]);
+}
+
+void Mutator::op_insert_fresh(ProgramSpec& s) {
+  const std::size_t j = rng_.below(static_cast<u32>(s.chunks.size() + 1));
+  // Label indices far above any generate()-produced chunk's.
+  const int idx = static_cast<int>(500000 + fresh_idx_++);
+  s.chunks.insert(s.chunks.begin() + static_cast<long>(j),
+                  gen_.emit_chunk(s.opts, idx));
+}
+
+void Mutator::op_tweak_immediate(ProgramSpec& s) {
+  if (s.chunks.empty()) return;
+  std::string& chunk =
+      s.chunks[rng_.below(static_cast<u32>(s.chunks.size()))];
+  // Memory operands stay untouched: offsets into the data region carry
+  // range and alignment invariants the mutator should not break.
+  if (chunk.find('[') != std::string::npos) return;
+
+  std::istringstream is(chunk);
+  std::ostringstream os;
+  std::string line;
+  bool tweaked = false;
+  while (std::getline(is, line)) {
+    if (!tweaked) {
+      // Split on commas; rewrite the first operand that is a bare integer.
+      std::size_t start = 0;
+      while (start < line.size()) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) comma = line.size();
+        std::string tok = line.substr(start, comma - start);
+        const std::size_t l = tok.find_first_not_of(' ');
+        const std::size_t r = tok.find_last_not_of(' ');
+        if (l != std::string::npos) {
+          if (const auto v = parse_int_token(tok.substr(l, r - l + 1))) {
+            static constexpr i64 kChoices[] = {0, 1, -1, 4095, -4096};
+            i64 nv;
+            switch (rng_.below(4)) {
+              case 0: nv = kChoices[rng_.below(std::size(kChoices))]; break;
+              case 1: nv = *v + 1; break;
+              case 2: nv = *v * 2; break;
+              default:
+                nv = static_cast<i64>(rng_.below(8192)) - 4096;
+                break;
+            }
+            nv = std::clamp<i64>(nv, -4096, 4095);
+            line = line.substr(0, start) + tok.substr(0, l) +
+                   std::to_string(nv) + line.substr(comma);
+            tweaked = true;
+            break;
+          }
+        }
+        start = comma + 1;
+      }
+    }
+    os << line << "\n";
+  }
+  if (tweaked) chunk = os.str();
+}
+
+std::string Mutator::rename_labels(const std::string& chunk) {
+  if (chunk.find("fwd") == std::string::npos) return chunk;
+  const std::string suffix = "_d" + std::to_string(fresh_idx_++);
+  std::string out;
+  out.reserve(chunk.size() + 16);
+  std::size_t i = 0;
+  while (i < chunk.size()) {
+    if (chunk.compare(i, 3, "fwd") == 0) {
+      std::size_t j = i + 3;
+      while (j < chunk.size() &&
+             std::isdigit(static_cast<unsigned char>(chunk[j]))) {
+        ++j;
+      }
+      if (j > i + 3) {  // fwd<digits>: rename
+        out.append(chunk, i, j - i);
+        out += suffix;
+        i = j;
+        continue;
+      }
+    }
+    out += chunk[i++];
+  }
+  return out;
+}
+
+}  // namespace la::fuzz

@@ -1,0 +1,46 @@
+// Chunk-level program mutation.
+//
+// Mutants stay structurally valid by construction where cheap (labels are
+// renamed on duplication, fresh material comes from the shared generator)
+// and are otherwise validated by assembling — the fuzzer discards any
+// mutant the assembler rejects, so the mutator is free to be aggressive.
+#pragma once
+
+#include "common/rng.hpp"
+#include "fuzz/program_generator.hpp"
+
+namespace la::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(u64 seed) : rng_(seed), gen_(splitmix_of(seed)) {}
+
+  /// One mutated copy of `in` (1-3 stacked mutation operators).
+  ProgramSpec mutate(const ProgramSpec& in);
+
+  /// Crossover: leading chunks of `a` spliced to trailing chunks of `b`.
+  /// The result inherits a's options (mode, nwindows, prologue seed).
+  ProgramSpec crossover(const ProgramSpec& a, const ProgramSpec& b);
+
+ private:
+  static u64 splitmix_of(u64 seed) {
+    u64 s = seed ^ 0x6d75746174655f31ull;  // "mutate_1"
+    return splitmix64(s);
+  }
+
+  void op_drop(ProgramSpec& s);
+  void op_duplicate(ProgramSpec& s);
+  void op_swap(ProgramSpec& s);
+  void op_insert_fresh(ProgramSpec& s);
+  void op_tweak_immediate(ProgramSpec& s);
+
+  /// Rename every `fwd<digits>` label token in `chunk` so a duplicated
+  /// branch block does not redefine its target.
+  std::string rename_labels(const std::string& chunk);
+
+  Rng rng_;
+  ProgramGenerator gen_;
+  u64 fresh_idx_ = 0;  // uniquifies labels of inserted/renamed chunks
+};
+
+}  // namespace la::fuzz

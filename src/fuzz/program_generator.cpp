@@ -1,0 +1,300 @@
+#include "fuzz/program_generator.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace la::fuzz {
+namespace {
+
+/// Constants the kSystem prologue plants in the register file: a private
+/// rng stream derived from the program seed, so re-rendering a mutated
+/// spec reproduces the exact same prologue.
+u64 prologue_stream(u64 seed) {
+  u64 s = seed ^ 0x5eedf00dcafe1234ull;
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::string render_prologue(const GenOptions& opts) {
+  std::ostringstream os;
+  if (opts.mode == ProgramMode::kSystem) {
+    // The boot ROM leaves WIM=2, TBR=ROM, PSR residue and a register file
+    // full of leftovers; the bare models reset to zeroed state.  Normalize
+    // everything architectural the body can observe so all three models
+    // agree from the first body instruction on.
+    os << "    wr %g0, 0, %wim          ! all windows valid (silent wrap)\n";
+    os << "    wr %g0, 0x80, %psr       ! S=1, ET=0, CWP=0, icc clear\n";
+    os << "    wr %g0, 0, %y\n";
+    Rng rng(prologue_stream(opts.seed));
+    static constexpr const char* kWindowRegs[] = {
+        "%l0", "%l1", "%l2", "%l3", "%l4", "%l5", "%l6", "%l7",
+        "%o0", "%o1", "%o2", "%o3", "%o4", "%o5", "%o6", "%o7"};
+    for (unsigned w = 0; w < opts.nwindows; ++w) {
+      // Locals and outs of every window; the ins of window w alias the
+      // outs of window w+1, so a full walk covers the whole file.
+      for (const char* r : kWindowRegs) {
+        os << "    set 0x" << std::hex << rng.next_u32() << std::dec << ", "
+           << r << "\n";
+      }
+      os << "    save\n";
+    }
+    for (int g = 1; g <= 6; ++g) {
+      os << "    set 0x" << std::hex << rng.next_u32() << std::dec << ", %g"
+         << g << "\n";
+    }
+  }
+  os << "    set data, %g7\n";  // reserved data base pointer
+  return os.str();
+}
+
+std::string render_epilogue(ProgramMode mode) {
+  std::ostringstream os;
+  os << kDoneSymbol << ":\n";
+  if (mode == ProgramMode::kSystem) {
+    // Back to the boot ROM polling loop: leon_ctrl sees the PC land on
+    // check_ready and reports the program done (the paper's Fig 5 flow).
+    os << "    jmp 0x" << std::hex << kCheckReadyAddr << std::dec << "\n";
+    os << "    nop\n";
+  } else {
+    os << "    ba " << kDoneSymbol << "\n";
+    os << "    nop\n";
+  }
+  return os.str();
+}
+
+std::string ProgramSpec::render() const {
+  std::ostringstream os;
+  os << "    .org 0x" << std::hex << kProgramBase << std::dec << "\n";
+  os << "_start:\n";
+  os << render_prologue(opts);
+  for (const std::string& c : chunks) os << c;
+  os << render_epilogue(opts.mode);
+  os << "    .align 8\ndata:\n    .skip " << kDataBytes << "\n";
+  return os.str();
+}
+
+int ProgramSpec::body_instructions() const {
+  int n = 0;
+  for (const std::string& c : chunks) {
+    std::istringstream is(c);
+    std::string line;
+    while (std::getline(is, line)) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first == std::string::npos) continue;
+      const auto last = line.find_last_not_of(" \t");
+      if (line[last] == ':') continue;  // label-only line
+      ++n;
+    }
+  }
+  return n;
+}
+
+ProgramSpec ProgramGenerator::generate(GenOptions opts) {
+  opts.seed = seed_;
+  ProgramSpec spec;
+  spec.opts = opts;
+  spec.chunks.reserve(static_cast<std::size_t>(opts.instructions));
+  for (int i = 0; i < opts.instructions; ++i) {
+    spec.chunks.push_back(emit_chunk(opts, i));
+  }
+  return spec;
+}
+
+std::string ProgramGenerator::reg() {
+  // Any register except %g0 (pointless) and %g7 (reserved base).
+  static constexpr const char* pool[] = {
+      "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%o0", "%o1", "%o2",
+      "%o3", "%o4", "%o5", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5",
+      "%l6", "%l7", "%i0", "%i1", "%i2", "%i3", "%i4", "%i5"};
+  return pool[rng_.below(std::size(pool))];
+}
+
+std::string ProgramGenerator::even_reg() {
+  static constexpr const char* pool[] = {"%g2", "%g4", "%o0", "%o2",
+                                         "%l0", "%l2", "%l4", "%i0"};
+  return pool[rng_.below(std::size(pool))];
+}
+
+std::string ProgramGenerator::op2() {
+  if (rng_.chance(0.5)) return reg();
+  return std::to_string(static_cast<i32>(rng_.below(8192)) - 4096);
+}
+
+std::string ProgramGenerator::emit_chunk(const GenOptions& opts, int idx) {
+  std::ostringstream os;
+  switch (rng_.below(15)) {
+    case 0: {  // plain ALU
+      static constexpr const char* ops[] = {
+          "add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
+          "addx", "subx"};
+      os << "    " << ops[rng_.below(std::size(ops))] << " " << reg()
+         << ", " << op2() << ", " << reg() << "\n";
+      break;
+    }
+    case 1: {  // cc-setting ALU
+      static constexpr const char* ops[] = {"addcc", "subcc", "andcc",
+                                            "orcc",  "xorcc", "addxcc",
+                                            "subxcc", "taddcc", "tsubcc"};
+      os << "    " << ops[rng_.below(std::size(ops))] << " " << reg()
+         << ", " << op2() << ", " << reg() << "\n";
+      break;
+    }
+    case 2: {  // shifts
+      static constexpr const char* ops[] = {"sll", "srl", "sra"};
+      os << "    " << ops[rng_.below(3)] << " " << reg() << ", "
+         << rng_.below(32) << ", " << reg() << "\n";
+      break;
+    }
+    case 3:  // constants
+      os << "    set 0x" << std::hex << rng_.next_u32() << std::dec << ", "
+         << reg() << "\n";
+      break;
+    case 4: {  // loads
+      const u32 off = rng_.below(kDataBytes - 8);
+      static constexpr const char* ops[] = {"ld", "ldub", "lduh", "ldsb",
+                                            "ldsh"};
+      const char* op = ops[rng_.below(std::size(ops))];
+      u32 aligned = off;
+      if (op[2] == '\0') aligned &= ~3u;        // ld
+      else if (op[2] == 'u' || op[2] == 's') {  // ldu?/lds?
+        if (op[3] == 'h') aligned &= ~1u;
+      }
+      os << "    " << op << " [%g7 + " << aligned << "], " << reg() << "\n";
+      break;
+    }
+    case 5: {  // stores
+      const u32 off = rng_.below(kDataBytes - 8);
+      const int k = static_cast<int>(rng_.below(3));
+      if (k == 0) {
+        os << "    st " << reg() << ", [%g7 + " << (off & ~3u) << "]\n";
+      } else if (k == 1) {
+        os << "    stb " << reg() << ", [%g7 + " << off << "]\n";
+      } else {
+        os << "    sth " << reg() << ", [%g7 + " << (off & ~1u) << "]\n";
+      }
+      break;
+    }
+    case 6: {  // doubleword
+      const u32 off = rng_.below(kDataBytes - 8) & ~7u;
+      if (rng_.chance(0.5)) {
+        os << "    ldd [%g7 + " << off << "], " << even_reg() << "\n";
+      } else {
+        os << "    std " << even_reg() << ", [%g7 + " << off << "]\n";
+      }
+      break;
+    }
+    case 7: {  // atomics
+      const u32 off = rng_.below(kDataBytes - 8);
+      if (rng_.chance(0.5)) {
+        os << "    ldstub [%g7 + " << off << "], " << reg() << "\n";
+      } else {
+        os << "    swap [%g7 + " << (off & ~3u) << "], " << reg() << "\n";
+      }
+      break;
+    }
+    case 8: {  // alternate-space atomics (rr addressing, ASI 0x0b)
+      // The a-variants only take register+register addresses; stage the
+      // offset into a scratch register first.  ASI 0x0b is supervisor
+      // data — plain memory semantics in both CPU models.
+      const std::string rt = reg();
+      const u32 off = rng_.below(kDataBytes - 8);
+      if (rng_.chance(0.5)) {
+        os << "    set " << off << ", " << rt << "\n";
+        os << "    ldstuba [%g7 + " << rt << "] 0xb, " << reg() << "\n";
+      } else {
+        os << "    set " << (off & ~3u) << ", " << rt << "\n";
+        os << "    swapa [%g7 + " << rt << "] 0xb, " << reg() << "\n";
+      }
+      break;
+    }
+    case 9: {  // short forward conditional branch (+ optional annul)
+      static constexpr const char* cc[] = {"e",  "ne", "g",  "le",
+                                           "ge", "l",  "gu", "leu",
+                                           "cc", "cs", "pos", "neg"};
+      const bool annul = rng_.chance(0.3);
+      os << "    cmp " << reg() << ", " << op2() << "\n";
+      os << "    b" << cc[rng_.below(std::size(cc))]
+         << (annul ? ",a" : "") << " fwd" << idx << "\n";
+      if (rng_.chance(0.25)) {
+        // mulscc in the delay slot: one step of the iterative multiply
+        // (reads Y and icc, writes both) in the annullable position.
+        os << "    mulscc " << reg() << ", " << op2() << ", " << reg()
+           << "\n";
+      } else {
+        os << "    add %g1, 1, %g1\n";  // delay slot
+      }
+      os << "    sub %g2, 1, %g2\n";  // maybe skipped
+      os << "    xor %g3, 5, %g3\n";
+      os << "fwd" << idx << ":\n";
+      break;
+    }
+    case 10: {  // multiply / divide
+      static constexpr const char* ops[] = {"umul",   "smul", "umulcc",
+                                            "smulcc", "udiv", "sdiv",
+                                            "udivcc", "sdivcc", "mulscc"};
+      const char* op = ops[rng_.below(std::size(ops))];
+      const bool is_div = op[1] == 'd';
+      if (op[0] == 'u' || op[0] == 's') {
+        if (is_div || op[1] == 'm') {
+          // Seed Y for divides to keep dividends tame half the time.
+          if (rng_.chance(0.5)) os << "    wr %g0, 0, %y\n";
+        }
+      }
+      if (is_div && !opts.allow_traps()) {
+        // Trap-free mode: a non-zero immediate divisor cannot raise
+        // division_by_zero.
+        os << "    " << op << " " << reg() << ", "
+           << (1 + rng_.below(4094)) << ", " << reg() << "\n";
+      } else {
+        os << "    " << op << " " << reg() << ", " << op2() << ", "
+           << reg() << "\n";
+      }
+      break;
+    }
+    case 11: {  // mulscc chain: consecutive multiply steps through Y/icc
+      if (rng_.chance(0.5)) {
+        os << "    wr " << reg() << ", 0, %y\n";
+      }
+      const unsigned n = 2 + rng_.below(4);
+      const std::string acc = reg();
+      for (unsigned i = 0; i < n; ++i) {
+        os << "    mulscc " << acc << ", " << op2() << ", " << acc << "\n";
+      }
+      break;
+    }
+    case 12: {  // window traffic (WIM=0 -> silent wraparound)
+      if (rng_.chance(0.5)) {
+        os << "    save %g0, " << rng_.below(64) << ", " << reg() << "\n";
+      } else {
+        os << "    restore %g0, " << rng_.below(64) << ", " << reg()
+           << "\n";
+      }
+      break;
+    }
+    case 13: {  // carry chain: cc-setting op feeding addx/subx directly
+      // Exercises the carry-in path with a freshly defined C bit — plain
+      // ALU chunks reach addx/subx too rarely to pin down carry semantics.
+      static constexpr const char* setters[] = {"addcc", "subcc", "addxcc",
+                                                "subxcc"};
+      static constexpr const char* users[] = {"addx", "subx", "addxcc",
+                                              "subxcc"};
+      os << "    " << setters[rng_.below(std::size(setters))] << " " << reg()
+         << ", " << op2() << ", " << reg() << "\n";
+      os << "    " << users[rng_.below(std::size(users))] << " " << reg()
+         << ", " << op2() << ", " << reg() << "\n";
+      break;
+    }
+    default: {  // Y register traffic
+      if (rng_.chance(0.5)) {
+        os << "    wr " << reg() << ", " << op2() << ", %y\n";
+      } else {
+        os << "    rd %y, " << reg() << "\n";
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace la::fuzz

@@ -1,0 +1,103 @@
+// Random SPARC V8 program generation for differential testing.
+//
+// Extracted from tests/property/cpu_equivalence_test.cpp so the property
+// suite, the lfuzz coverage-guided fuzzer, the mutator, and the minimizer
+// all share ONE generator instead of drifting copies.
+//
+// A generated program is kept structured (a ProgramSpec) rather than flat
+// text: the prologue/epilogue are derived from the options and the body is
+// a list of independent *chunks* (one emit decision each, possibly
+// multi-line — a branch and its local label travel together).  Mutation
+// and delta-debugging operate on chunks; render() turns a spec back into
+// assemblable source.
+//
+// Two modes:
+//   * kCore   — the classic equivalence workload: traps are allowed
+//               (div-zero, window wrap with WIM=0) and the program ends in
+//               a self-branch.  Runs on the bare models only.
+//   * kSystem — a program safe to boot-load-run on the full LiquidSystem:
+//               a prologue normalizes PSR/WIM/Y and writes every register
+//               of every window (the boot ROM leaves residue the bare
+//               models' reset state does not have), the body is trap-free
+//               (guarded divides, aligned accesses), and the epilogue
+//               jumps back to the boot ROM polling loop so leon_ctrl
+//               detects completion.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace la::fuzz {
+
+/// Where generated programs live: the canonical user-program load address
+/// (mem::map::kUserProgramBase) so the same image runs on the bare models
+/// and on the full system.
+inline constexpr Addr kProgramBase = 0x40000100;
+/// Size of the scratch data region every program addresses through %g7.
+inline constexpr u32 kDataBytes = 512;
+/// The boot ROM polling loop a finished system-mode program jumps to.
+inline constexpr Addr kCheckReadyAddr = 0x40;
+
+enum class ProgramMode : u8 {
+  kCore = 0,    // bare-model differential (traps allowed)
+  kSystem = 1,  // full-system differential (trap-free, normalized entry)
+};
+
+struct GenOptions {
+  ProgramMode mode = ProgramMode::kCore;
+  /// Number of body chunks to emit (one random decision each).
+  int instructions = 300;
+  /// Windows the kSystem prologue walk initializes; must be >= the
+  /// nwindows of every configuration the program will run under.
+  unsigned nwindows = 8;
+  u64 seed = 1;
+
+  bool allow_traps() const { return mode == ProgramMode::kCore; }
+};
+
+/// A structured generated program: options + body chunks.
+struct ProgramSpec {
+  GenOptions opts;
+  std::vector<std::string> chunks;
+
+  /// Full assemblable source (prologue + chunks + epilogue + data).
+  std::string render() const;
+  /// Instruction lines in the body chunks (labels/blank lines excluded).
+  int body_instructions() const;
+};
+
+/// Label marking the end of the body.  Bare-model runs halt here; in
+/// kSystem mode the instruction at this label jumps to the boot ROM.
+inline constexpr const char* kDoneSymbol = "done";
+
+class ProgramGenerator {
+ public:
+  explicit ProgramGenerator(u64 seed) : rng_(seed), seed_(seed) {}
+
+  /// Generate a fresh program.  `opts.seed` is overwritten with this
+  /// generator's seed so the spec is self-describing.
+  ProgramSpec generate(GenOptions opts);
+
+  /// One random body chunk under `opts` — also used by the mutator to
+  /// splice fresh material into an existing spec.  `idx` uniquifies any
+  /// local labels the chunk defines.
+  std::string emit_chunk(const GenOptions& opts, int idx);
+
+ private:
+  std::string reg();
+  std::string even_reg();
+  std::string op2();
+
+  Rng rng_;
+  u64 seed_;
+};
+
+/// Render helpers shared with the corpus loader (which re-renders specs
+/// parsed from disk).
+std::string render_prologue(const GenOptions& opts);
+std::string render_epilogue(ProgramMode mode);
+
+}  // namespace la::fuzz

@@ -1,0 +1,136 @@
+// Corpus persistence, the mutator's structural guarantees, and the
+// delta-debugging minimizer on a synthetic predicate.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/minimizer.hpp"
+#include "fuzz/mutator.hpp"
+#include "fuzz/program_generator.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::test {
+namespace {
+
+namespace fs = std::filesystem;
+
+fuzz::ProgramSpec make_spec(u64 seed, fuzz::ProgramMode mode, int chunks) {
+  fuzz::GenOptions opts;
+  opts.mode = mode;
+  opts.instructions = chunks;
+  fuzz::ProgramGenerator gen(seed);
+  return gen.generate(opts);
+}
+
+TEST(Corpus, SerializeParseRoundtrip) {
+  const fuzz::ProgramSpec spec =
+      make_spec(11, fuzz::ProgramMode::kSystem, 40);
+  const std::string text = fuzz::serialize_spec(spec);
+  const auto back = fuzz::parse_spec(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->opts.mode, spec.opts.mode);
+  EXPECT_EQ(back->opts.seed, spec.opts.seed);
+  EXPECT_EQ(back->opts.nwindows, spec.opts.nwindows);
+  EXPECT_EQ(back->chunks, spec.chunks);
+  // The acid test: the re-rendered program is byte-identical.
+  EXPECT_EQ(back->render(), spec.render());
+}
+
+TEST(Corpus, ParseRejectsGarbage) {
+  EXPECT_FALSE(fuzz::parse_spec("").has_value());
+  EXPECT_FALSE(fuzz::parse_spec("not a program\n").has_value());
+  EXPECT_FALSE(fuzz::parse_spec("lfuzz-program v999\n").has_value());
+}
+
+TEST(Corpus, SaveLoadRoundtrip) {
+  const fs::path dir =
+      fs::temp_directory_path() / "la_corpus_test_roundtrip";
+  fs::remove_all(dir);
+
+  fuzz::Corpus corpus;
+  corpus.add(make_spec(1, fuzz::ProgramMode::kCore, 30), 3);
+  corpus.add(make_spec(2, fuzz::ProgramMode::kSystem, 30), 1);
+  EXPECT_EQ(corpus.save(dir.string()), 2u);
+  // Saving again writes nothing new (same content hashes).
+  EXPECT_EQ(corpus.save(dir.string()), 0u);
+
+  fuzz::Corpus loaded;
+  EXPECT_EQ(loaded.load(dir.string()), 2u);
+  ASSERT_EQ(loaded.size(), 2u);
+  // Render set must match, independent of load order.
+  const std::string a = corpus.at(0).spec.render();
+  const std::string l0 = loaded.at(0).spec.render();
+  const std::string l1 = loaded.at(1).spec.render();
+  EXPECT_TRUE(l0 == a || l1 == a);
+
+  fs::remove_all(dir);
+}
+
+TEST(Corpus, LoadOfMissingDirectoryIsEmpty) {
+  fuzz::Corpus corpus;
+  EXPECT_EQ(corpus.load("/nonexistent/la_corpus_test"), 0u);
+  EXPECT_TRUE(corpus.empty());
+}
+
+TEST(Mutator, MutantsUsuallyAssemble) {
+  // The mutator may occasionally produce an unassemblable program (the
+  // fuzzer discards those), but the overwhelming majority must survive —
+  // otherwise mutation wastes the campaign budget.
+  fuzz::Mutator mutator(99);
+  const fuzz::ProgramSpec base =
+      make_spec(5, fuzz::ProgramMode::kCore, 60);
+  int ok = 0;
+  const int kTotal = 50;
+  for (int i = 0; i < kTotal; ++i) {
+    const fuzz::ProgramSpec m = mutator.mutate(base);
+    sasm::Assembler as;
+    if (as.assemble(m.render()).ok) ++ok;
+  }
+  EXPECT_GE(ok, kTotal * 8 / 10);
+}
+
+TEST(Mutator, CrossoverKeepsFirstParentOptions) {
+  fuzz::Mutator mutator(7);
+  const fuzz::ProgramSpec a = make_spec(1, fuzz::ProgramMode::kSystem, 30);
+  const fuzz::ProgramSpec b = make_spec(2, fuzz::ProgramMode::kSystem, 30);
+  const fuzz::ProgramSpec c = mutator.crossover(a, b);
+  EXPECT_EQ(c.opts.mode, a.opts.mode);
+  EXPECT_EQ(c.opts.seed, a.opts.seed);
+  EXPECT_FALSE(c.chunks.empty());
+}
+
+TEST(Minimizer, ShrinksToTheCulpritChunk) {
+  // Synthetic failure: any program containing the "needle" chunk fails.
+  fuzz::ProgramSpec spec = make_spec(3, fuzz::ProgramMode::kCore, 50);
+  const std::string needle = "    xor %g1, 321, %g1\n";
+  spec.chunks[17] = needle;
+
+  std::size_t probes = 0;
+  const auto fails = [&](const fuzz::ProgramSpec& cand) {
+    ++probes;
+    for (const std::string& c : cand.chunks) {
+      if (c == needle) return true;
+    }
+    return false;
+  };
+
+  fuzz::MinimizeStats stats;
+  const fuzz::ProgramSpec min = fuzz::minimize(spec, fails, &stats);
+  ASSERT_EQ(min.chunks.size(), 1u);
+  EXPECT_EQ(min.chunks[0], needle);
+  EXPECT_EQ(stats.final_instructions, 1);
+  EXPECT_GT(stats.probes, 0u);
+}
+
+TEST(Minimizer, ReturnsInputWhenPredicateNeverFails) {
+  const fuzz::ProgramSpec spec =
+      make_spec(4, fuzz::ProgramMode::kCore, 20);
+  const fuzz::ProgramSpec min = fuzz::minimize(
+      spec, [](const fuzz::ProgramSpec&) { return false; }, nullptr);
+  EXPECT_EQ(min.chunks, spec.chunks);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,69 @@
+// Coverage feature semantics: log2 bucketing, merge/novelty bookkeeping.
+#include <gtest/gtest.h>
+
+#include "common/metrics.hpp"
+#include "fuzz/coverage.hpp"
+
+namespace la::test {
+namespace {
+
+TEST(Coverage, MetricBucketBit) {
+  EXPECT_EQ(fuzz::metric_bucket_bit(0.0), 0u);     // no signal
+  EXPECT_EQ(fuzz::metric_bucket_bit(-3.0), 0u);
+  EXPECT_EQ(fuzz::metric_bucket_bit(1.0), 1u << 1);
+  EXPECT_EQ(fuzz::metric_bucket_bit(2.0), 1u << 2);
+  EXPECT_EQ(fuzz::metric_bucket_bit(3.0), 1u << 2);
+  EXPECT_EQ(fuzz::metric_bucket_bit(4.0), 1u << 3);
+  EXPECT_EQ(fuzz::metric_bucket_bit(1000.0), 1u << 10);
+  // Astronomical values clamp to the top bucket instead of shifting out.
+  EXPECT_EQ(fuzz::metric_bucket_bit(1e30), 1u << 31);
+}
+
+TEST(Coverage, MergeCountsNewFeaturesOnce) {
+  fuzz::CoverageMap map;
+  fuzz::CoverageSample s;
+  s.mnemonics.set(3);
+  s.mnemonics.set(7);
+  s.traps.set(0x82);
+  s.metric_buckets["cpu.instructions"] = 1u << 5;
+
+  EXPECT_EQ(map.novelty(s), 4u);
+  EXPECT_EQ(map.merge(s), 4u);
+  EXPECT_EQ(map.feature_count(), 4u);
+  // Replaying the same sample adds nothing.
+  EXPECT_EQ(map.novelty(s), 0u);
+  EXPECT_EQ(map.merge(s), 0u);
+  EXPECT_EQ(map.feature_count(), 4u);
+}
+
+TEST(Coverage, NewBucketOfKnownMetricIsNovel) {
+  fuzz::CoverageMap map;
+  fuzz::CoverageSample a;
+  a.metric_buckets["cache.d.read_misses"] = 1u << 4;
+  EXPECT_EQ(map.merge(a), 1u);
+
+  fuzz::CoverageSample b;
+  b.metric_buckets["cache.d.read_misses"] = (1u << 4) | (1u << 9);
+  EXPECT_EQ(map.merge(b), 1u);  // only the 2^9 bucket is new
+}
+
+TEST(Coverage, AnnulledFlagIsAFeature) {
+  fuzz::CoverageMap map;
+  fuzz::CoverageSample s;
+  s.annulled_seen = true;
+  EXPECT_EQ(map.merge(s), 1u);
+  EXPECT_EQ(map.merge(s), 0u);
+}
+
+TEST(Coverage, AddMetricFeaturesUsesPrefix) {
+  metrics::MetricsRegistry reg;
+  reg.counter("x.count").inc(9);
+  fuzz::CoverageSample s;
+  fuzz::add_metric_features(s, "pipe.", reg.snapshot());
+  ASSERT_EQ(s.metric_buckets.count("pipe.x.count"), 1u);
+  EXPECT_EQ(s.metric_buckets.at("pipe.x.count"),
+            fuzz::metric_bucket_bit(9.0));
+}
+
+}  // namespace
+}  // namespace la::test

@@ -1,0 +1,98 @@
+// The shared program generator: everything it emits must assemble, and
+// system-mode programs must additionally be trap-free and normalized.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cpu/flat_memory.hpp"
+#include "cpu/integer_unit.hpp"
+#include "fuzz/program_generator.hpp"
+#include "sasm/assembler.hpp"
+
+namespace la::test {
+namespace {
+
+fuzz::ProgramSpec make_spec(u64 seed, fuzz::ProgramMode mode, int chunks) {
+  fuzz::GenOptions opts;
+  opts.mode = mode;
+  opts.instructions = chunks;
+  fuzz::ProgramGenerator gen(seed);
+  return gen.generate(opts);
+}
+
+TEST(Generator, CoreProgramsAssembleAcrossSeeds) {
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    const fuzz::ProgramSpec spec =
+        make_spec(seed, fuzz::ProgramMode::kCore, 150);
+    sasm::Assembler as;
+    const sasm::AsmResult r = as.assemble(spec.render());
+    ASSERT_TRUE(r.ok) << "seed " << seed << ": " << r.error_text();
+    EXPECT_EQ(r.image.base, fuzz::kProgramBase);
+    EXPECT_NO_THROW(r.image.symbol(fuzz::kDoneSymbol));
+    EXPECT_NO_THROW(r.image.symbol("data"));
+  }
+}
+
+TEST(Generator, SystemProgramsAssembleAcrossSeeds) {
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    const fuzz::ProgramSpec spec =
+        make_spec(seed, fuzz::ProgramMode::kSystem, 150);
+    sasm::Assembler as;
+    const sasm::AsmResult r = as.assemble(spec.render());
+    ASSERT_TRUE(r.ok) << "seed " << seed << ": " << r.error_text();
+  }
+}
+
+TEST(Generator, SeedIsRecordedInSpec) {
+  const fuzz::ProgramSpec spec =
+      make_spec(77, fuzz::ProgramMode::kCore, 50);
+  EXPECT_EQ(spec.opts.seed, 77u);
+  // Same seed, same program.
+  const fuzz::ProgramSpec again =
+      make_spec(77, fuzz::ProgramMode::kCore, 50);
+  EXPECT_EQ(spec.render(), again.render());
+}
+
+TEST(Generator, SystemProgramsRunTrapFreeOnFunctionalModel) {
+  // A kSystem program must never trap: on the full node a trap with ET=0
+  // halts the CPU in error mode and the differential leg is meaningless.
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    const fuzz::ProgramSpec spec =
+        make_spec(seed, fuzz::ProgramMode::kSystem, 200);
+    const sasm::Image img = sasm::assemble_or_throw(spec.render());
+    cpu::FlatMemory mem(1u << 20, 0x40000000);
+    mem.load(img.base, img.data);
+    cpu::IntegerUnit iu(cpu::CpuConfig{}, mem);
+    iu.reset(img.entry);
+    iu.run(400000, img.symbol(fuzz::kDoneSymbol));
+    EXPECT_FALSE(iu.state().error_mode)
+        << "seed " << seed << " trapped (tt="
+        << static_cast<unsigned>(iu.state().tbr_tt()) << ")";
+    EXPECT_EQ(iu.state().pc, img.symbol(fuzz::kDoneSymbol))
+        << "seed " << seed << " did not reach done";
+  }
+}
+
+TEST(Generator, EmitsAtomicVariantsAndMulsccChains) {
+  // Satellite check: the generator's vocabulary includes the atomic
+  // a-variants and mulscc.  Over a large body every family must appear.
+  std::string all;
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    all += make_spec(seed, fuzz::ProgramMode::kCore, 400).render();
+  }
+  EXPECT_NE(all.find("ldstub "), std::string::npos);
+  EXPECT_NE(all.find("ldstuba "), std::string::npos);
+  EXPECT_NE(all.find("swap "), std::string::npos);
+  EXPECT_NE(all.find("swapa "), std::string::npos);
+  EXPECT_NE(all.find("mulscc "), std::string::npos);
+}
+
+TEST(Generator, BodyInstructionCountIgnoresLabels) {
+  fuzz::ProgramSpec spec;
+  spec.chunks = {"    add %g1, 1, %g2\n",
+                 "fwd1:\n    sub %g1, 1, %g2\n    xor %g3, 5, %g3\n"};
+  EXPECT_EQ(spec.body_instructions(), 3);
+}
+
+}  // namespace
+}  // namespace la::test

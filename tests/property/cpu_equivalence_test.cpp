@@ -2,260 +2,73 @@
 // LeonPipeline are two independently written implementations of SPARC V8;
 // random programs must leave both in identical architectural state (and
 // identical memory), across pipeline configurations.
+//
+// Programs come from the shared src/fuzz generator (the same one lfuzz
+// drives), and the comparison is the shared differential runner — this
+// suite is the deterministic, always-on sibling of the fuzzing campaign.
+//
+// Seed count: LA_PROPERTY_SEEDS environment variable (default 20).  On a
+// mismatch the failing seed and the full program are printed so the case
+// can be replayed standalone:  save it to repro.s, `lfuzz --replay repro.s`.
 #include <gtest/gtest.h>
 
-#include <memory>
-#include <sstream>
-#include <string>
+#include <cstdlib>
+#include <vector>
 
-#include "bus/ahb.hpp"
-#include "common/rng.hpp"
-#include "cpu/flat_memory.hpp"
-#include "cpu/integer_unit.hpp"
-#include "cpu/leon_pipeline.hpp"
-#include "isa/registers.hpp"
-#include "mem/sram.hpp"
-#include "sasm/assembler.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/program_generator.hpp"
 
 namespace la::test {
 namespace {
 
-constexpr Addr kBase = 0x40000000;
-constexpr u32 kMemSize = 1u << 20;
-
-bool all_cacheable(Addr) { return true; }
-
-/// Generates random but *safe* programs: memory accesses stay inside a
-/// data region, LDD/STD use even registers, and the program ends in a
-/// self-branch.  Traps are possible (tagged-TV, div-zero, window ops with
-/// WIM) and must behave identically in both models.
-class ProgramGenerator {
- public:
-  explicit ProgramGenerator(u64 seed) : rng_(seed) {}
-
-  std::string generate(int instructions) {
-    std::ostringstream os;
-    os << "    .org 0x" << std::hex << kBase + 0x100 << std::dec << "\n";
-    os << "_start:\n";
-    os << "    set data, %g7\n";  // reserved data base pointer
-    for (int i = 0; i < instructions; ++i) emit_one(os, i);
-    os << "done:\n    ba done\n    nop\n";
-    os << "    .align 8\ndata:\n    .skip 512\n";
-    return os.str();
+int seed_count() {
+  if (const char* env = std::getenv("LA_PROPERTY_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
   }
+  return 20;
+}
 
- private:
-  std::string reg() {
-    // Any register except %g0 (pointless) and %g7 (reserved base).
-    static constexpr const char* pool[] = {
-        "%g1", "%g2", "%g3", "%g4", "%g5", "%g6", "%o0", "%o1", "%o2",
-        "%o3", "%o4", "%o5", "%l0", "%l1", "%l2", "%l3", "%l4", "%l5",
-        "%l6", "%l7", "%i0", "%i1", "%i2", "%i3", "%i4", "%i5"};
-    return pool[rng_.below(std::size(pool))];
+std::vector<u64> seeds() {
+  std::vector<u64> v;
+  for (int i = 1; i <= seed_count(); ++i) v.push_back(static_cast<u64>(i));
+  return v;
+}
+
+/// Generate one program and run the bare two-way differential under the
+/// given pipeline configuration, failing with a replayable report.
+void check_equivalence(u64 seed, const cpu::PipelineConfig& pcfg,
+                       int chunks) {
+  fuzz::GenOptions opts;
+  opts.mode = fuzz::ProgramMode::kCore;
+  opts.instructions = chunks;
+  fuzz::ProgramGenerator gen(seed);
+  const fuzz::ProgramSpec spec = gen.generate(opts);
+
+  fuzz::DiffOptions dopt;
+  dopt.pipeline = pcfg;
+  dopt.with_system = false;  // kCore programs run on the bare models only
+  fuzz::DifferentialRunner runner(dopt);
+  const fuzz::DiffOutcome out = runner.run(spec);
+
+  ASSERT_TRUE(out.asm_ok) << "seed " << seed
+                          << ": generated program failed to assemble:\n"
+                          << out.detail;
+  EXPECT_TRUE(out.completed)
+      << "seed " << seed << ": " << out.detail;
+  if (out.diverged) {
+    ADD_FAILURE() << "seed " << seed << " diverged on the " << out.leg
+                  << " leg: " << out.detail
+                  << "\nreplay: save the program below as repro.s and run"
+                     " `lfuzz --replay repro.s`\n"
+                  << spec.render();
   }
-
-  std::string even_reg() {
-    static constexpr const char* pool[] = {"%g2", "%g4", "%o0", "%o2",
-                                           "%l0", "%l2", "%l4", "%i0"};
-    return pool[rng_.below(std::size(pool))];
-  }
-
-  std::string op2() {
-    if (rng_.chance(0.5)) return reg();
-    return std::to_string(static_cast<i32>(rng_.below(8192)) - 4096);
-  }
-
-  void emit_one(std::ostringstream& os, int idx) {
-    switch (rng_.below(12)) {
-      case 0: {  // plain ALU
-        static constexpr const char* ops[] = {
-            "add", "sub", "and", "or", "xor", "andn", "orn", "xnor",
-            "addx", "subx"};
-        os << "    " << ops[rng_.below(std::size(ops))] << " " << reg()
-           << ", " << op2() << ", " << reg() << "\n";
-        break;
-      }
-      case 1: {  // cc-setting ALU
-        static constexpr const char* ops[] = {"addcc", "subcc", "andcc",
-                                              "orcc",  "xorcc", "addxcc",
-                                              "subxcc", "taddcc", "tsubcc"};
-        os << "    " << ops[rng_.below(std::size(ops))] << " " << reg()
-           << ", " << op2() << ", " << reg() << "\n";
-        break;
-      }
-      case 2: {  // shifts
-        static constexpr const char* ops[] = {"sll", "srl", "sra"};
-        os << "    " << ops[rng_.below(3)] << " " << reg() << ", "
-           << rng_.below(32) << ", " << reg() << "\n";
-        break;
-      }
-      case 3:  // constants
-        os << "    set 0x" << std::hex << rng_.next_u32() << std::dec
-           << ", " << reg() << "\n";
-        break;
-      case 4: {  // loads
-        const u32 off = rng_.below(512 - 8);
-        static constexpr const char* ops[] = {"ld", "ldub", "lduh", "ldsb",
-                                              "ldsh"};
-        const char* op = ops[rng_.below(std::size(ops))];
-        u32 aligned = off;
-        if (op[2] == '\0') aligned &= ~3u;        // ld
-        else if (op[2] == 'u' || op[2] == 's') {  // ldu?/lds?
-          if (op[3] == 'h') aligned &= ~1u;
-        }
-        os << "    " << op << " [%g7 + " << aligned << "], " << reg()
-           << "\n";
-        break;
-      }
-      case 5: {  // stores
-        const u32 off = rng_.below(512 - 8);
-        const int k = static_cast<int>(rng_.below(3));
-        if (k == 0) {
-          os << "    st " << reg() << ", [%g7 + " << (off & ~3u) << "]\n";
-        } else if (k == 1) {
-          os << "    stb " << reg() << ", [%g7 + " << off << "]\n";
-        } else {
-          os << "    sth " << reg() << ", [%g7 + " << (off & ~1u) << "]\n";
-        }
-        break;
-      }
-      case 6: {  // doubleword
-        const u32 off = rng_.below(512 - 8) & ~7u;
-        if (rng_.chance(0.5)) {
-          os << "    ldd [%g7 + " << off << "], " << even_reg() << "\n";
-        } else {
-          os << "    std " << even_reg() << ", [%g7 + " << off << "]\n";
-        }
-        break;
-      }
-      case 7: {  // atomics
-        const u32 off = rng_.below(512 - 8);
-        if (rng_.chance(0.5)) {
-          os << "    ldstub [%g7 + " << off << "], " << reg() << "\n";
-        } else {
-          os << "    swap [%g7 + " << (off & ~3u) << "], " << reg() << "\n";
-        }
-        break;
-      }
-      case 8: {  // short forward conditional branch (+ optional annul)
-        static constexpr const char* cc[] = {"e",  "ne", "g",  "le",
-                                             "ge", "l",  "gu", "leu",
-                                             "cc", "cs", "pos", "neg"};
-        const bool annul = rng_.chance(0.3);
-        os << "    cmp " << reg() << ", " << op2() << "\n";
-        os << "    b" << cc[rng_.below(std::size(cc))]
-           << (annul ? ",a" : "") << " fwd" << idx << "\n";
-        os << "    add %g1, 1, %g1\n";   // delay slot
-        os << "    sub %g2, 1, %g2\n";   // maybe skipped
-        os << "    xor %g3, 5, %g3\n";
-        os << "fwd" << idx << ":\n";
-        break;
-      }
-      case 9: {  // multiply / divide
-        static constexpr const char* ops[] = {"umul",   "smul", "umulcc",
-                                              "smulcc", "udiv", "sdiv",
-                                              "udivcc", "sdivcc", "mulscc"};
-        const char* op = ops[rng_.below(std::size(ops))];
-        if (op[0] == 'u' || op[0] == 's') {
-          if (op[1] == 'd' || op[1] == 'm') {
-            // Seed Y for divides to keep dividends tame half the time.
-            if (rng_.chance(0.5)) os << "    wr %g0, 0, %y\n";
-          }
-        }
-        os << "    " << op << " " << reg() << ", " << op2() << ", " << reg()
-           << "\n";
-        break;
-      }
-      case 10: {  // window traffic (WIM=0 -> silent wraparound)
-        if (rng_.chance(0.5)) {
-          os << "    save %g0, " << rng_.below(64) << ", " << reg() << "\n";
-        } else {
-          os << "    restore %g0, " << rng_.below(64) << ", " << reg()
-             << "\n";
-        }
-        break;
-      }
-      default: {  // Y register traffic
-        if (rng_.chance(0.5)) {
-          os << "    wr " << reg() << ", " << op2() << ", %y\n";
-        } else {
-          os << "    rd %y, " << reg() << "\n";
-        }
-        break;
-      }
-    }
-  }
-
-  Rng rng_;
-};
-
-struct BothModels {
-  explicit BothModels(const std::string& source,
-                      cpu::PipelineConfig pcfg = {}) {
-    img = sasm::assemble_or_throw(source);
-
-    flat = std::make_unique<cpu::FlatMemory>(kMemSize, kBase);
-    flat->load(img.base, img.data);
-    iu = std::make_unique<cpu::IntegerUnit>(pcfg.cpu, *flat);
-    iu->reset(img.entry);
-
-    sram = std::make_unique<mem::Sram>(kBase, kMemSize);
-    sram->backdoor_write(img.base, img.data);
-    bus.attach(kBase, kMemSize, sram.get());
-    pipe = std::make_unique<cpu::LeonPipeline>(pcfg, bus, &clock,
-                                               &all_cacheable);
-    pipe->reset(img.entry);
-  }
-
-  void run_both(u64 steps) {
-    const Addr done = img.symbol("done");
-    iu->run(steps, done);
-    pipe->run(steps, done);
-  }
-
-  /// Compare every piece of architectural state and all of data memory.
-  void expect_equivalent() {
-    const cpu::CpuState& a = iu->state();
-    const cpu::CpuState& b = pipe->state();
-    EXPECT_EQ(a.pc, b.pc);
-    EXPECT_EQ(a.npc, b.npc);
-    EXPECT_EQ(a.psr.pack(), b.psr.pack());
-    EXPECT_EQ(a.y, b.y);
-    EXPECT_EQ(a.wim, b.wim);
-    EXPECT_EQ(a.tbr, b.tbr);
-    EXPECT_EQ(a.error_mode, b.error_mode);
-    for (unsigned w = 0; w < a.regs.nwindows(); ++w) {
-      for (u8 r = 0; r < 32; ++r) {
-        ASSERT_EQ(a.regs.get(w, r), b.regs.get(w, r))
-            << "window " << w << " reg " << isa::reg_name(r);
-      }
-    }
-    // Data region: compare through each model's own memory.
-    const Addr data = img.symbol("data");
-    for (u32 off = 0; off < 512; off += 4) {
-      u64 bv = 0;
-      ASSERT_TRUE(sram->debug_read(data + off, 4, bv));
-      EXPECT_EQ(flat->word_at(data + off), static_cast<u32>(bv))
-          << "data+" << off;
-    }
-  }
-
-  sasm::Image img;
-  Cycles clock = 0;
-  std::unique_ptr<cpu::FlatMemory> flat;
-  std::unique_ptr<cpu::IntegerUnit> iu;
-  std::unique_ptr<mem::Sram> sram;
-  bus::AhbBus bus;
-  std::unique_ptr<cpu::LeonPipeline> pipe;
-};
+}
 
 class Equivalence : public ::testing::TestWithParam<u64> {};
 
 TEST_P(Equivalence, RandomProgramsMatchDefaultConfig) {
-  ProgramGenerator gen(GetParam());
-  BothModels m(gen.generate(300));
-  m.run_both(5000);
-  m.expect_equivalent();
+  check_equivalence(GetParam(), cpu::PipelineConfig{}, 300);
 }
 
 TEST_P(Equivalence, RandomProgramsMatchTinyCaches) {
@@ -264,10 +77,7 @@ TEST_P(Equivalence, RandomProgramsMatchTinyCaches) {
   pcfg.icache.line_bytes = 16;
   pcfg.dcache.size_bytes = 128;
   pcfg.dcache.line_bytes = 16;
-  ProgramGenerator gen(GetParam() * 7919 + 1);
-  BothModels m(gen.generate(300), pcfg);
-  m.run_both(5000);
-  m.expect_equivalent();
+  check_equivalence(GetParam() * 7919 + 1, pcfg, 300);
 }
 
 TEST_P(Equivalence, RandomProgramsMatchCachesDisabled) {
@@ -275,34 +85,22 @@ TEST_P(Equivalence, RandomProgramsMatchCachesDisabled) {
   pcfg.icache_enabled = false;
   pcfg.dcache_enabled = false;
   pcfg.write_buffer_depth = 0;
-  ProgramGenerator gen(GetParam() * 104729 + 2);
-  BothModels m(gen.generate(200), pcfg);
-  m.run_both(4000);
-  m.expect_equivalent();
+  check_equivalence(GetParam() * 104729 + 2, pcfg, 200);
 }
 
 TEST_P(Equivalence, RandomProgramsMatchWriteBackCache) {
   cpu::PipelineConfig pcfg;
   pcfg.dcache.write_policy = cache::WritePolicy::kWriteBackAllocate;
-  ProgramGenerator gen(GetParam() * 31 + 3);
-  BothModels m(gen.generate(300), pcfg);
-  m.run_both(5000);
-  // Write-back: memory lags the cache; flush before comparing.
-  m.pipe->flush_caches();
-  m.expect_equivalent();
+  check_equivalence(GetParam() * 31 + 3, pcfg, 300);
 }
 
 TEST_P(Equivalence, RandomProgramsMatchFewWindows) {
   cpu::PipelineConfig pcfg;
   pcfg.cpu.nwindows = 3;
-  ProgramGenerator gen(GetParam() * 17 + 4);
-  BothModels m(gen.generate(300), pcfg);
-  m.run_both(5000);
-  m.expect_equivalent();
+  check_equivalence(GetParam() * 17 + 4, pcfg, 300);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence,
-                         ::testing::Range<u64>(1, 21));  // 20 seeds x 5 cfgs
+INSTANTIATE_TEST_SUITE_P(Seeds, Equivalence, ::testing::ValuesIn(seeds()));
 
 }  // namespace
 }  // namespace la::test

@@ -158,5 +158,85 @@ TEST(ReportGolden, JsonCarriesTheSameNumbers) {
   EXPECT_NE(json.find(needle), std::string::npos);
 }
 
+/// The JSON shape as frozen in this PR: `{"cycle":..,"metrics":{..}` plus
+/// an optional `"histograms"` section, 2-space indent, names in map order,
+/// numbers via metrics::append_json_number.  Harnesses parse this output
+/// (lsim --metrics-json), so drift is a break even when the text report
+/// stays stable — this is the JSON sibling of legacy_report().
+std::string golden_json(const metrics::Snapshot& snap) {
+  std::string out = "{\n  \"cycle\":";
+  metrics::append_json_number(out, static_cast<double>(snap.cycle));
+  out += ",\n  \"metrics\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.values) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    ";
+    metrics::append_json_string(out, name);
+    out += ':';
+    metrics::append_json_number(out, v);
+  }
+  out += "\n  }";
+  bool any_hist = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count != 0) any_hist = true;
+  }
+  if (any_hist) {
+    out += ",\n  \"histograms\":{";
+    first = true;
+    for (const auto& [name, h] : snap.histograms) {
+      if (h.count == 0) continue;
+      if (!first) out += ',';
+      first = false;
+      out += "\n    ";
+      metrics::append_json_string(out, name);
+      out += ":{\n      \"count\":";
+      metrics::append_json_number(out, static_cast<double>(h.count));
+      out += ",\n      \"mean\":";
+      metrics::append_json_number(out, h.mean);
+      out += ",\n      \"stddev\":";
+      metrics::append_json_number(out, h.stddev);
+      out += ",\n      \"min\":";
+      metrics::append_json_number(out, h.min);
+      out += ",\n      \"max\":";
+      metrics::append_json_number(out, h.max);
+      out += ",\n      \"buckets\":[";
+      std::size_t last = h.buckets.size();
+      while (last > 0 && h.buckets[last - 1] == 0) --last;
+      for (std::size_t i = 0; i < last; ++i) {
+        if (i) out += ',';
+        metrics::append_json_number(out, static_cast<double>(h.buckets[i]));
+      }
+      out += "]\n    }";
+    }
+    out += "\n  }";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+TEST(ReportGolden, JsonMatchesFrozenShapeAfterRealRun) {
+  sim::LiquidSystem sys;
+  sys.run(100);
+  ctrl::LiquidClient client(sys);
+  const auto img = sasm::assemble_or_throw(kKernel);
+  ASSERT_TRUE(client.run_program(img));
+
+  const auto snap = sys.metrics_snapshot();
+  EXPECT_EQ(system_report_json(sys), golden_json(snap));
+  // Anchored to ground truth, not just self-consistent: the snapshot
+  // numbers are the component counters the legacy text report reads.
+  EXPECT_EQ(snap.value_u64("cpu.instructions"),
+            sys.cpu().stats().instructions);
+  EXPECT_EQ(snap.value_u64("cache.d.read_hits"),
+            sys.cpu().dcache().stats().read_hits);
+  EXPECT_GT(snap.value_u64("cpu.instructions"), 100u);
+}
+
+TEST(ReportGolden, JsonMatchesFrozenShapeOnFreshSystem) {
+  sim::LiquidSystem sys;
+  EXPECT_EQ(system_report_json(sys), golden_json(sys.metrics_snapshot()));
+}
+
 }  // namespace
 }  // namespace la::sim

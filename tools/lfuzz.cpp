@@ -1,0 +1,178 @@
+// lfuzz — coverage-guided differential fuzzer for the Liquid node.
+//
+// Random SPARC V8 programs run through three independently written legs
+// (functional IntegerUnit, timed LeonPipeline, the full boot-load-run
+// LiquidSystem); any architectural or memory disagreement is a failure,
+// automatically shrunk to a minimal .s repro by delta debugging.
+//
+//   lfuzz --budget-secs 60                  timed campaign (CI smoke)
+//   lfuzz --iterations 200 --seed 7         deterministic campaign
+//   lfuzz --corpus dir/                     persist + reuse the corpus
+//   lfuzz --replay fail.s                   re-run a saved repro
+//   lfuzz --inject-bug --iterations 50      self-check: a deliberate SUBX
+//                                           fault must be caught+minimized
+//
+// Exit codes: 0 no divergence, 1 divergence found (or replay diverges),
+// 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using namespace la;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lfuzz [options]\n"
+      "  --budget-secs N   wall-clock budget (default 10 when no\n"
+      "                    --iterations given)\n"
+      "  --iterations N    iteration budget (0 = unlimited under a\n"
+      "                    time budget)\n"
+      "  --seed N          campaign seed (default 1)\n"
+      "  --corpus DIR      load and persist corpus entries here\n"
+      "  --out DIR         failing repro directory (default lfuzz-out)\n"
+      "  --chunks N        body chunks per fresh program (default 120)\n"
+      "  --no-system       skip the full-system leg\n"
+      "  --no-minimize     keep failing programs unshrunk\n"
+      "  --keep-going      collect every divergence instead of stopping\n"
+      "                    at the first\n"
+      "  --inject-bug      enable the deliberate SUBX carry fault\n"
+      "                    (fuzzer self-check; must end with exit 1)\n"
+      "  --replay FILE     differentially execute one .s repro and exit\n"
+      "  --quiet           suppress progress lines\n");
+  return 2;
+}
+
+int replay(const std::string& path, const fuzz::FuzzConfig& cfg) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    std::fprintf(stderr, "lfuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string source = buf.str();
+
+  // A system-mode program's epilogue jumps back to the boot ROM polling
+  // loop; that jump is the mode marker.
+  const bool system_mode = source.find("jmp 0x40") != std::string::npos;
+
+  fuzz::DiffOptions opt;
+  opt.with_system = cfg.with_system && system_mode;
+  opt.inject_subx_bug = cfg.inject_subx_bug;
+  fuzz::DifferentialRunner runner(opt);
+  const fuzz::DiffOutcome out = runner.run_source(
+      source,
+      system_mode ? fuzz::ProgramMode::kSystem : fuzz::ProgramMode::kCore);
+
+  if (!out.asm_ok) {
+    std::fprintf(stderr, "lfuzz: %s\n", out.detail.c_str());
+    return 2;
+  }
+  if (out.diverged) {
+    std::printf("DIVERGENCE (%s leg): %s\n", out.leg.c_str(),
+                out.detail.c_str());
+    return 1;
+  }
+  std::printf("ok: %s program, %llu instructions, no divergence%s\n",
+              system_mode ? "system-mode" : "core-mode",
+              static_cast<unsigned long long>(out.steps),
+              out.completed ? "" : " (step budget exhausted)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fuzz::FuzzConfig cfg;
+  cfg.verbose = true;
+  std::string replay_path;
+  bool have_secs = false;
+  bool have_iters = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--budget-secs") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.budget_secs = std::atoi(v);
+      have_secs = true;
+    } else if (arg == "--iterations") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.max_iterations = std::strtoull(v, nullptr, 10);
+      have_iters = true;
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--corpus") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.corpus_dir = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.out_dir = v;
+    } else if (arg == "--chunks") {
+      const char* v = value();
+      if (!v) return usage();
+      cfg.program_chunks = std::atoi(v);
+      if (cfg.program_chunks <= 0) return usage();
+    } else if (arg == "--no-system") {
+      cfg.with_system = false;
+    } else if (arg == "--no-minimize") {
+      cfg.minimize_failures = false;
+    } else if (arg == "--keep-going") {
+      cfg.stop_on_divergence = false;
+    } else if (arg == "--inject-bug") {
+      cfg.inject_subx_bug = true;
+    } else if (arg == "--replay") {
+      const char* v = value();
+      if (!v) return usage();
+      replay_path = v;
+    } else if (arg == "--quiet") {
+      cfg.verbose = false;
+    } else {
+      std::fprintf(stderr, "lfuzz: unknown option %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path, cfg);
+
+  if (!have_secs && !have_iters) cfg.budget_secs = 10;
+
+  fuzz::Fuzzer fuzzer(cfg);
+  const int rc = fuzzer.run();
+
+  const fuzz::FuzzStats& st = fuzzer.stats();
+  std::printf(
+      "lfuzz: %llu iterations, %llu executions (%llu fresh, %llu mutated, "
+      "%llu rejected), corpus %zu, coverage %zu features, "
+      "%llu divergences\n",
+      static_cast<unsigned long long>(st.iterations),
+      static_cast<unsigned long long>(st.executions),
+      static_cast<unsigned long long>(st.fresh_inputs),
+      static_cast<unsigned long long>(st.mutated_inputs),
+      static_cast<unsigned long long>(st.rejected_mutants),
+      fuzzer.corpus().size(), fuzzer.coverage().feature_count(),
+      static_cast<unsigned long long>(st.divergences));
+  for (const fuzz::FuzzFailure& f : fuzzer.failures()) {
+    std::printf("  failure (%s leg): %s\n    repro: %s\n",
+                f.outcome.leg.c_str(), f.outcome.detail.c_str(),
+                f.minimized_path.empty() ? f.repro_path.c_str()
+                                         : f.minimized_path.c_str());
+  }
+  return rc;
+}
