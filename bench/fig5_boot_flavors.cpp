@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
     node.run(200);
     ctrl::LiquidClient client(node);
 
-    const bool loaded = client.load_program(img);
-    const bool started = client.start(img.entry);
+    const bool loaded = static_cast<bool>(client.load_program(img));
+    const bool started = static_cast<bool>(client.start(img.entry));
     // Give it plenty of time either way.
     client.pump(50000);
     const bool done = node.controller().state() == net::LeonState::kDone;

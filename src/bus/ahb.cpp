@@ -30,6 +30,16 @@ Cycles AhbBus::transfer(Master m, AhbTransfer& t) {
   ++st.transfers;
   st.beats += t.beats;
 
+  if (error_pulse_ > 0) {
+    --error_pulse_;
+    t.error = true;
+    ++stats_.injected_errors;
+    ++st.errors;
+    const Cycles cycles = 1 + 2;
+    st.cycles += cycles;
+    return cycles;
+  }
+
   AhbSlave* slave = slave_at(t.addr);
   Cycles cycles;
   if (slave == nullptr) {

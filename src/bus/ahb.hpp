@@ -76,6 +76,7 @@ struct AhbMasterStats {
 struct AhbBusStats {
   AhbMasterStats per_master[static_cast<int>(Master::kCount)];
   u64 unmapped = 0;
+  u64 injected_errors = 0;  // transfers failed by inject_error_pulse()
 
   const AhbMasterStats& of(Master m) const {
     return per_master[static_cast<int>(m)];
@@ -113,6 +114,11 @@ class AhbBus {
   const AhbBusStats& stats() const { return stats_; }
   void reset_stats() { stats_ = AhbBusStats{}; }
 
+  /// Fault injection: the next `n` transfers answer with a two-cycle AHB
+  /// ERROR response without reaching any slave (models a glitched HRESP).
+  void inject_error_pulse(unsigned n) { error_pulse_ += n; }
+  unsigned pending_error_pulses() const { return error_pulse_; }
+
  private:
   struct Mapping {
     Addr base;
@@ -121,6 +127,7 @@ class AhbBus {
   };
 
   std::vector<Mapping> map_;
+  unsigned error_pulse_ = 0;
   AhbBusStats stats_;
 };
 

@@ -1,0 +1,70 @@
+#include "bus/watchdog.hpp"
+
+namespace la::bus {
+
+u32 Watchdog::read(u32 offset) {
+  switch (offset) {
+    case reg::kWdogBudget:
+      return static_cast<u32>(budget_);
+    case reg::kWdogCtrl:
+      return armed_ ? kCtrlArm : kCtrlDisarm;
+    case reg::kWdogStatus:
+      return (armed_ ? 1u : 0u) | (tripped_ ? 2u : 0u);
+    case reg::kWdogTrips:
+      return static_cast<u32>(stats_.trips);
+    default:
+      return 0;
+  }
+}
+
+void Watchdog::write(u32 offset, u32 value) {
+  switch (offset) {
+    case reg::kWdogBudget:
+      budget_ = value;
+      break;
+    case reg::kWdogCtrl:
+      if (value == kCtrlArm) {
+        arm(budget_);
+      } else if (value == kCtrlKick) {
+        kick();
+      } else {
+        disarm();
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void Watchdog::arm(Cycles budget) {
+  budget_ = budget;
+  remaining_ = budget;
+  armed_ = budget > 0;
+  tripped_ = false;
+}
+
+void Watchdog::disarm() {
+  armed_ = false;
+  remaining_ = 0;
+}
+
+void Watchdog::kick() {
+  if (!armed_) return;
+  remaining_ = budget_;
+  ++stats_.kicks;
+}
+
+void Watchdog::advance(Cycles cycles) {
+  if (!armed_) return;
+  if (cycles < remaining_) {
+    remaining_ -= cycles;
+    return;
+  }
+  remaining_ = 0;
+  armed_ = false;
+  tripped_ = true;
+  ++stats_.trips;
+  if (on_trip_) on_trip_();
+}
+
+}  // namespace la::bus

@@ -1,0 +1,69 @@
+// APB watchdog: the node-side liveness guard behind the Section 4.1 error
+// path.  leon_ctrl arms it with a cycle budget when a program starts and
+// disarms it on completion; if the budget runs out first — a wedged CPU, an
+// infinite loop, a trap into error mode nobody noticed — the watchdog trips
+// and fires a callback that drives the controller into its error state.
+// Crucially the watchdog lives OUTSIDE the processor: it keeps counting
+// (and the control path keeps answering STATUS/RESTART) while the CPU is
+// stuck.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "bus/apb.hpp"
+#include "common/types.hpp"
+
+namespace la::bus {
+
+namespace reg {
+// Watchdog
+inline constexpr u32 kWdogBudget = 0x0;  // cycles per arm (RW)
+inline constexpr u32 kWdogCtrl = 0x4;    // write: 1 = arm, 0 = disarm, 2 = kick
+inline constexpr u32 kWdogStatus = 0x8;  // bit0 = armed, bit1 = tripped
+inline constexpr u32 kWdogTrips = 0xc;   // lifetime trip count (RO)
+}  // namespace reg
+
+class Watchdog final : public ApbSlave {
+ public:
+  using OnTrip = std::function<void()>;
+
+  u32 read(u32 offset) override;
+  void write(u32 offset, u32 value) override;
+  std::string_view name() const override { return "watchdog"; }
+
+  static constexpr u32 kCtrlDisarm = 0;
+  static constexpr u32 kCtrlArm = 1;
+  static constexpr u32 kCtrlKick = 2;
+
+  /// Direct (non-bus) control used by leon_ctrl — the watchdog is a
+  /// supervisory device, not something the supervised program manages.
+  void arm(Cycles budget);
+  void disarm();
+  /// Rewind the deadline to a full budget without rearming semantics.
+  void kick();
+
+  /// Advance simulated time; trips (once) when the armed budget expires.
+  void advance(Cycles cycles);
+
+  bool armed() const { return armed_; }
+  bool tripped() const { return tripped_; }
+  Cycles remaining() const { return remaining_; }
+  void set_on_trip(OnTrip cb) { on_trip_ = std::move(cb); }
+
+  struct Stats {
+    u64 trips = 0;
+    u64 kicks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Cycles budget_ = 0;
+  Cycles remaining_ = 0;
+  bool armed_ = false;
+  bool tripped_ = false;
+  OnTrip on_trip_;
+  Stats stats_;
+};
+
+}  // namespace la::bus

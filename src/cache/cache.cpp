@@ -49,18 +49,38 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
   ++tick_;
 
   if (Way* w = find(set, tag)) {
-    out.hit = true;
-    out.data = slot_data(static_cast<std::size_t>(w - ways_.data()));
-    w->lru = tick_;
-    if (is_write) {
-      ++stats_.write_hits;
-      if (cfg_.write_policy == WritePolicy::kWriteBackAllocate) {
-        w->dirty = true;
+    if (w->poisoned) {
+      // Bad parity on the resident copy.  A clean line is recoverable —
+      // drop it and refetch from memory via the ordinary miss path below.
+      // A dirty line held the only copy of the data; it is lost, and the
+      // caller must fault.
+      if (w->dirty) {
+        ++stats_.parity_discards;
+        *w = Way{};
+        out.parity_discard = true;
+        if (is_write) {
+          ++stats_.write_misses;
+        } else {
+          ++stats_.read_misses;
+        }
+        return out;
       }
+      ++stats_.parity_recoveries;
+      *w = Way{};
     } else {
-      ++stats_.read_hits;
+      out.hit = true;
+      out.data = slot_data(static_cast<std::size_t>(w - ways_.data()));
+      w->lru = tick_;
+      if (is_write) {
+        ++stats_.write_hits;
+        if (cfg_.write_policy == WritePolicy::kWriteBackAllocate) {
+          w->dirty = true;
+        }
+      } else {
+        ++stats_.read_hits;
+      }
+      return out;
     }
-    return out;
   }
 
   // Miss.
@@ -78,6 +98,17 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
   const std::size_t vi = choose_victim(set);
   Way& v = ways_[vi];
   if (v.valid) {
+    if (v.dirty && v.poisoned) {
+      // The victim's only copy of its data is damaged — it must not be
+      // written back, and dropping it silently would lose a store.  Drop
+      // the line and promote the parity error to the triggering access
+      // (the caller faults); nothing is allocated.
+      ++stats_.parity_discards;
+      v = Way{};
+      out.fill = false;
+      out.parity_discard = true;
+      return out;
+    }
     ++stats_.evictions;
     if (v.dirty) {
       ++stats_.writebacks;
@@ -87,6 +118,7 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
   }
   v.valid = true;
   v.dirty = is_write && cfg_.write_policy == WritePolicy::kWriteBackAllocate;
+  v.poisoned = false;
   v.tag = tag;
   v.lru = tick_;
   out.data = slot_data(vi);  // still holds the victim's bytes; caller saves
@@ -109,7 +141,9 @@ void Cache::flush(std::vector<DirtyLine>* dirty_out) {
     for (u32 w = 0; w < cfg_.ways; ++w) {
       const std::size_t i = static_cast<std::size_t>(set) * cfg_.ways + w;
       Way& way = ways_[i];
-      if (way.valid && way.dirty && dirty_out != nullptr) {
+      if (way.valid && way.dirty && way.poisoned) {
+        ++stats_.parity_discards;  // damaged data never reaches memory
+      } else if (way.valid && way.dirty && dirty_out != nullptr) {
         DirtyLine d;
         d.addr = line_base(set, way.tag);
         d.data.assign(slot_data(i), slot_data(i) + cfg_.line_bytes);
@@ -123,7 +157,9 @@ void Cache::flush(std::vector<DirtyLine>* dirty_out) {
 bool Cache::invalidate_line(Addr addr, DirtyLine* dirty_out) {
   if (Way* w = find(set_of(addr), tag_of(addr))) {
     const std::size_t i = static_cast<std::size_t>(w - ways_.data());
-    if (w->dirty && dirty_out != nullptr) {
+    if (w->dirty && w->poisoned) {
+      ++stats_.parity_discards;
+    } else if (w->dirty && dirty_out != nullptr) {
       dirty_out->addr = line_base(set_of(addr), w->tag);
       dirty_out->data.assign(slot_data(i), slot_data(i) + cfg_.line_bytes);
     }
@@ -131,6 +167,15 @@ bool Cache::invalidate_line(Addr addr, DirtyLine* dirty_out) {
     return true;
   }
   return false;
+}
+
+bool Cache::poison_line(Addr addr, u32 byte_off, u8 bit) {
+  Way* w = find(set_of(addr), tag_of(addr));
+  if (w == nullptr) return false;
+  const std::size_t i = static_cast<std::size_t>(w - ways_.data());
+  slot_data(i)[byte_off % cfg_.line_bytes] ^= static_cast<u8>(1u << (bit % 8));
+  w->poisoned = true;
+  return true;
 }
 
 u32 Cache::valid_lines() const {

@@ -59,6 +59,8 @@ struct CacheStats {
   u64 evictions = 0;    // valid lines displaced by fills
   u64 writebacks = 0;   // dirty lines written back (write-back policy only)
   u64 flushes = 0;
+  u64 parity_recoveries = 0;  // poisoned clean lines refetched from memory
+  u64 parity_discards = 0;    // poisoned dirty lines lost (data gone)
 
   u64 reads() const { return read_hits + read_misses; }
   u64 writes() const { return write_hits + write_misses; }
@@ -82,6 +84,10 @@ struct AccessOutcome {
   bool hit = false;
   bool fill = false;       // fetch the line from memory into `data`
   bool writeback = false;  // write the dirty victim back first
+  /// The access touched a poisoned DIRTY line whose only copy of the data
+  /// was lost — the caller must raise a data-access fault (a clean
+  /// poisoned line is silently refetched instead and never sets this).
+  bool parity_discard = false;
   Addr line_addr = 0;      // line-aligned address of this access
   Addr victim_addr = 0;    // line-aligned victim address when writeback
   /// Storage of the (new) line inside the cache; null only for a
@@ -117,6 +123,11 @@ class Cache {
   /// A dirty victim is returned through `dirty_out` when given.
   bool invalidate_line(Addr addr, DirtyLine* dirty_out = nullptr);
 
+  /// Fault injection: flip bit `bit` of the byte at `byte_off` inside the
+  /// resident line holding `addr` and mark the line's parity bad.  Returns
+  /// false when the line is not resident (nothing to poison).
+  bool poison_line(Addr addr, u32 byte_off, u8 bit);
+
   const CacheConfig& config() const { return cfg_; }
   const CacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CacheStats{}; }
@@ -128,6 +139,7 @@ class Cache {
   struct Way {
     bool valid = false;
     bool dirty = false;
+    bool poisoned = false;  // line parity bad (injected fault)
     u32 tag = 0;
     u64 lru = 0;  // higher = more recently used
   };

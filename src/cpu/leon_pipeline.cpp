@@ -77,6 +77,7 @@ void LeonPipeline::reset(Addr entry) {
   st_.psr.s = true;
   st_.psr.et = false;
   annul_next_ = false;
+  wedged_ = false;
   irq_level_ = 0;
   wb_free_at_ = 0;
   flush_caches();
@@ -195,6 +196,11 @@ LeonPipeline::MemResult LeonPipeline::data_read(Addr addr, unsigned size) {
   }
 
   const auto out = dcache_.access(addr, /*is_write=*/false);
+  if (out.parity_discard) {
+    // A poisoned dirty line lost the only copy of its data; fault.
+    r.ok = false;
+    return r;
+  }
   if (out.writeback) {
     // Dirty victim (write-back extension): push its bytes out before the
     // fill overwrites the slot.
@@ -230,6 +236,10 @@ LeonPipeline::MemResult LeonPipeline::data_write(Addr addr, unsigned size,
 
   if (cached && write_back) {
     const auto out = dcache_.access(addr, /*is_write=*/true);
+    if (out.parity_discard) {
+      r.ok = false;
+      return r;
+    }
     if (out.writeback) {
       r.cycles += writeback_line(out.victim_addr, out.data);
     }
@@ -804,6 +814,16 @@ StepResult LeonPipeline::step() {
   StepResult res;
   res.pc = st_.pc;
   if (st_.error_mode) return res;
+
+  if (wedged_) {
+    // A wedged CPU holds its architectural state and burns a cycle: the
+    // clock (and everything hanging off it — timers, the watchdog) keeps
+    // running while no instruction retires.
+    res.cycles = 1;
+    *clock_ += 1;
+    stats_.cycles += 1;
+    return res;
+  }
 
   if (st_.psr.et && irq_level_ != 0 &&
       (irq_level_ == 15 || irq_level_ > st_.psr.pil)) {

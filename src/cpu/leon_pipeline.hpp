@@ -78,6 +78,13 @@ class LeonPipeline {
   void set_irq(u8 level) { irq_level_ = level; }
   void set_observer(ExecObserver* obs) { obs_ = obs; }
 
+  /// Fault injection: a wedged CPU burns cycles without fetching or
+  /// retiring anything (clock-gating glitch / livelock).  The wedge holds
+  /// until cleared or the pipeline is reset; only an external watchdog can
+  /// notice.
+  void set_wedged(bool wedged) { wedged_ = wedged; }
+  bool wedged() const { return wedged_; }
+
   /// Invalidate both caches (reconfiguration, leon_ctrl restart).
   void flush_caches();
 
@@ -124,6 +131,7 @@ class LeonPipeline {
   PipelineStats stats_;
 
   bool annul_next_ = false;
+  bool wedged_ = false;
   u8 irq_level_ = 0;
   bool cti_taken_ = false;
   Addr cti_target_ = 0;

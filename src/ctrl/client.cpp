@@ -1,8 +1,39 @@
 #include "ctrl/client.hpp"
 
+#include <algorithm>
+
 #include "ctrl/loader.hpp"
 
 namespace la::ctrl {
+
+std::string ClientError::to_string() const {
+  std::string s;
+  switch (kind) {
+    case ClientErrorKind::kDeadline:
+      s = "deadline expired";
+      break;
+    case ClientErrorKind::kGaveUp:
+      s = "retries exhausted";
+      break;
+    case ClientErrorKind::kNodeError:
+      s = "node error 0x";
+      {
+        static const char* hex = "0123456789abcdef";
+        s += hex[(node_code >> 4) & 0xf];
+        s += hex[node_code & 0xf];
+      }
+      break;
+    case ClientErrorKind::kRejected:
+      s = "rejected";
+      break;
+  }
+  if (!detail.empty()) {
+    s += " (";
+    s += detail;
+    s += ")";
+  }
+  return s;
+}
 
 LiquidClient::LiquidClient(sim::LiquidSystem& node, ClientConfig cfg)
     : node_(node), cfg_(cfg), up_(cfg.uplink), down_(cfg.downlink) {}
@@ -22,6 +53,7 @@ void LiquidClient::pump(u64 node_steps) {
   while (auto f = up_.receive()) node_.ingress_frame(*f);
   node_.run(node_steps);
   while (auto f = node_.egress_frame()) down_.send(std::move(*f));
+  steps_this_command_ += node_steps;
 }
 
 std::optional<net::UdpDatagram> LiquidClient::next_client_datagram() {
@@ -39,14 +71,48 @@ std::optional<net::UdpDatagram> LiquidClient::next_client_datagram() {
 
 void LiquidClient::drain_downlink() {
   pump(0);
-  while (next_client_datagram()) {
-    // Stale control responses: nothing waits for them any more.
+  while (auto d = next_client_datagram()) {
+    // Stale control responses: nothing waits for them any more, but a
+    // lossy-link debugging session wants to know they existed.
+    ++stats_.stale_responses;
+    if (!d->payload.empty() &&
+        d->payload[0] == static_cast<u8>(net::ResponseCode::kError)) {
+      ++stats_.node_errors;
+      if (d->payload.size() >= 2) last_node_error_ = d->payload[1];
+    }
   }
+}
+
+unsigned LiquidClient::rounds_for_attempt(unsigned attempt) const {
+  const unsigned shift = std::min(attempt, cfg_.backoff_cap);
+  return cfg_.await_rounds << shift;
+}
+
+void LiquidClient::begin_command() {
+  steps_this_command_ = 0;
+  last_node_error_.reset();
+}
+
+ClientError LiquidClient::command_failure(std::string detail) {
+  ++stats_.gave_up;
+  ClientError e;
+  e.detail = std::move(detail);
+  if (last_node_error_) {
+    e.kind = ClientErrorKind::kNodeError;
+    e.node_code = *last_node_error_;
+  } else if (deadline_exhausted()) {
+    e.kind = ClientErrorKind::kDeadline;
+    ++stats_.deadline_expiries;
+  } else {
+    e.kind = ClientErrorKind::kGaveUp;
+  }
+  return e;
 }
 
 std::optional<Bytes> LiquidClient::await(net::ResponseCode code,
                                          unsigned rounds) {
   for (unsigned r = 0; r < rounds; ++r) {
+    if (deadline_exhausted()) return std::nullopt;
     pump(cfg_.pump_steps);
     while (auto d = next_client_datagram()) {
       if (d->payload.empty()) continue;
@@ -54,17 +120,30 @@ std::optional<Bytes> LiquidClient::await(net::ResponseCode code,
       if (d->payload[0] == static_cast<u8>(code)) {
         return Bytes(d->payload.begin() + 1, d->payload.end());
       }
-      // A different code: stale duplicate or error — keep draining.
+      if (d->payload[0] == static_cast<u8>(net::ResponseCode::kError)) {
+        // The node is telling us *why* things fail; remember the code so
+        // the eventual ClientError can carry it, but keep waiting — the
+        // wanted response may still arrive (stale errors ride the same
+        // queue).
+        ++stats_.node_errors;
+        if (d->payload.size() >= 2) last_node_error_ = d->payload[1];
+        continue;
+      }
+      // A different code: stale duplicate from an earlier retry.
+      ++stats_.stale_responses;
     }
   }
   return std::nullopt;
 }
 
-std::optional<StatusReport> LiquidClient::status() {
+Result<StatusReport> LiquidClient::status() {
+  begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     send_command(net::simple_command(net::CommandCode::kStatus));
-    if (auto body = await(net::ResponseCode::kStatus)) {
+    if (auto body = await(net::ResponseCode::kStatus,
+                          rounds_for_attempt(attempt))) {
       ByteReader r(*body);
       if (r.remaining() < 4) continue;
       StatusReport s;
@@ -74,31 +153,40 @@ std::optional<StatusReport> LiquidClient::status() {
       return s;
     }
   }
-  ++stats_.gave_up;
-  return std::nullopt;
+  return command_failure("status");
 }
 
-bool LiquidClient::load_program(const sasm::Image& img) {
+Status LiquidClient::load_program(const sasm::Image& img) {
+  begin_command();
   const auto chunks = packetize(img, cfg_.load_chunk);
   std::vector<bool> acked(chunks.size(), false);
   std::size_t acked_count = 0;
 
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     // (Re)send every unacked chunk.
     for (std::size_t i = 0; i < chunks.size(); ++i) {
       if (!acked[i]) send_command(chunks[i].serialize());
     }
-    // Collect acks for a few rounds.
-    for (unsigned round = 0; round < 20 && acked_count < chunks.size();
-         ++round) {
+    // Collect acks for a (backoff-scaled) number of rounds.
+    const unsigned rounds = rounds_for_attempt(attempt);
+    for (unsigned round = 0;
+         round < rounds && acked_count < chunks.size(); ++round) {
+      if (deadline_exhausted()) break;
       pump(cfg_.pump_steps);
       while (auto d = next_client_datagram()) {
-        if (d->payload.empty() ||
-            d->payload[0] != static_cast<u8>(net::ResponseCode::kLoadAck)) {
+        if (d->payload.empty()) continue;
+        ++stats_.responses;
+        if (d->payload[0] == static_cast<u8>(net::ResponseCode::kError)) {
+          ++stats_.node_errors;
+          if (d->payload.size() >= 2) last_node_error_ = d->payload[1];
           continue;
         }
-        ++stats_.responses;
+        if (d->payload[0] != static_cast<u8>(net::ResponseCode::kLoadAck)) {
+          ++stats_.stale_responses;
+          continue;
+        }
         ByteReader r(std::span<const u8>(d->payload).subspan(1));
         if (r.remaining() < 3) continue;
         const u16 seq = r.read_u16();
@@ -110,36 +198,47 @@ bool LiquidClient::load_program(const sasm::Image& img) {
     }
     if (acked_count == chunks.size()) {
       // Double-check the controller agrees the image is complete.
+      const auto node_err = last_node_error_;
       const auto s = status();
-      if (s && s->state == net::LeonState::kReady) return true;
+      last_node_error_ = node_err;
+      if (s && s->state == net::LeonState::kReady) return Status{};
+      if (s && s->state == net::LeonState::kError) break;
     }
   }
-  ++stats_.gave_up;
-  return false;
+  return command_failure("load_program");
 }
 
-bool LiquidClient::start(Addr entry) {
+Status LiquidClient::start(Addr entry) {
+  begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     send_command(net::StartCmd{entry}.serialize());
-    if (await(net::ResponseCode::kStarted)) return true;
+    if (await(net::ResponseCode::kStarted, rounds_for_attempt(attempt))) {
+      return Status{};
+    }
     // The start may have landed even if the ack was lost; status tells.
+    // (status() is its own command — preserve this command's error latch.)
+    const auto node_err = last_node_error_;
     const auto s = status();
+    last_node_error_ = node_err;
     if (s && (s->state == net::LeonState::kRunning ||
               s->state == net::LeonState::kDone)) {
-      return true;
+      return Status{};
     }
+    if (s && s->state == net::LeonState::kError) break;  // retrying is futile
   }
-  ++stats_.gave_up;
-  return false;
+  return command_failure("start");
 }
 
-std::optional<std::vector<u32>> LiquidClient::read_memory(Addr addr,
-                                                          u16 words) {
+Result<std::vector<u32>> LiquidClient::read_memory(Addr addr, u16 words) {
+  begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     send_command(net::ReadMemoryCmd{addr, words}.serialize());
-    if (auto body = await(net::ResponseCode::kMemoryData)) {
+    if (auto body = await(net::ResponseCode::kMemoryData,
+                          rounds_for_attempt(attempt))) {
       ByteReader r(*body);
       if (r.remaining() < 4u + 4u * words) continue;
       if (r.read_u32() != addr) continue;  // stale response
@@ -149,43 +248,95 @@ std::optional<std::vector<u32>> LiquidClient::read_memory(Addr addr,
       return out;
     }
   }
-  ++stats_.gave_up;
-  return std::nullopt;
+  return command_failure("read_memory");
 }
 
-std::optional<std::string> LiquidClient::stats_snapshot() {
+Result<std::string> LiquidClient::stats_snapshot() {
+  begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     send_command(net::simple_command(net::CommandCode::kStatsSnapshot));
-    if (auto body = await(net::ResponseCode::kStatsData)) {
+    if (auto body = await(net::ResponseCode::kStatsData,
+                          rounds_for_attempt(attempt))) {
       return std::string(body->begin(), body->end());
     }
   }
-  ++stats_.gave_up;
-  return std::nullopt;
+  return command_failure("stats_snapshot");
 }
 
-bool LiquidClient::restart() {
+Status LiquidClient::restart() {
+  begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
     send_command(net::simple_command(net::CommandCode::kRestart));
-    if (await(net::ResponseCode::kStatus)) return true;
+    if (await(net::ResponseCode::kStatus, rounds_for_attempt(attempt))) {
+      return Status{};
+    }
   }
-  ++stats_.gave_up;
-  return false;
+  return command_failure("restart");
 }
 
-bool LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
-  if (!load_program(img)) return false;
-  if (!start(img.entry)) return false;
+Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
+  if (auto loaded = load_program(img); !loaded) return loaded;
+  if (auto started = start(img.entry); !started) return started;
+  begin_command();  // the wait-for-completion phase is its own "command"
   u64 stepped = 0;
   while (stepped < max_steps) {
     const u64 slice = std::min<u64>(20000, max_steps - stepped);
     pump(slice);
     stepped += slice;
-    if (node_.controller().state() == net::LeonState::kDone) return true;
+    // Keep the downlink drained: an unsolicited 0xff (watchdog trip) must
+    // reach the error latch, not rot in the queue.
+    while (auto d = next_client_datagram()) {
+      if (d->payload.empty()) continue;
+      if (d->payload[0] == static_cast<u8>(net::ResponseCode::kError)) {
+        ++stats_.node_errors;
+        if (d->payload.size() >= 2) last_node_error_ = d->payload[1];
+      } else {
+        ++stats_.stale_responses;
+      }
+    }
+    const net::LeonState st = node_.controller().state();
+    if (st == net::LeonState::kDone) return Status{};
+    if (st == net::LeonState::kError) {
+      ClientError e;
+      e.kind = ClientErrorKind::kNodeError;
+      e.node_code = last_node_error_.value_or(0);
+      e.detail = "run_program: node entered error state";
+      ++stats_.gave_up;
+      return e;
+    }
   }
-  return node_.controller().state() == net::LeonState::kDone;
+  if (node_.controller().state() == net::LeonState::kDone) return Status{};
+  ClientError e;
+  e.kind = ClientErrorKind::kDeadline;
+  e.detail = "run_program: program did not complete";
+  ++stats_.deadline_expiries;
+  ++stats_.gave_up;
+  return e;
+}
+
+void LiquidClient::bind_metrics(metrics::MetricsRegistry& reg,
+                                const std::string& prefix) {
+  const auto cnt = [&reg, &prefix](const std::string& name, const u64* v) {
+    reg.register_fn(prefix + name,
+                    [v]() { return static_cast<double>(*v); });
+  };
+  cnt("commands_sent", &stats_.commands_sent);
+  cnt("retries", &stats_.retries);
+  cnt("responses", &stats_.responses);
+  cnt("gave_up", &stats_.gave_up);
+  cnt("stale_responses", &stats_.stale_responses);
+  cnt("node_errors", &stats_.node_errors);
+  cnt("deadline_expiries", &stats_.deadline_expiries);
+  cnt("uplink.dropped", &up_.stats().dropped);
+  cnt("uplink.corrupted", &up_.stats().corrupted);
+  cnt("uplink.truncated", &up_.stats().truncated);
+  cnt("downlink.dropped", &down_.stats().dropped);
+  cnt("downlink.corrupted", &down_.stats().corrupted);
+  cnt("downlink.truncated", &down_.stats().truncated);
 }
 
 }  // namespace la::ctrl

@@ -3,11 +3,19 @@
 // responses, and retries what the channel ate.  The Java servlet / UDP
 // client of the paper collapses into this class; the "Java emulator of the
 // hardware" role is played by the LiquidSystem itself.
+//
+// Every command has a hard outcome: a value, or a structured ClientError
+// saying *why* it failed (deadline expired, retry budget exhausted, or the
+// node itself reported an error such as a watchdog trip).  Retries back
+// off exponentially in simulated time so a flaky channel is given longer
+// and longer windows rather than being hammered at a fixed cadence.
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "net/channel.hpp"
 #include "net/commands.hpp"
 #include "sasm/image.hpp"
@@ -21,8 +29,73 @@ struct ClientConfig {
   unsigned max_retries = 10;      // resends per command before giving up
   u64 pump_steps = 200;           // node instructions per wait round
   std::size_t load_chunk = 1024;  // bytes per Load-program packet
-  net::ChannelConfig uplink;      // client -> FPX
-  net::ChannelConfig downlink;    // FPX -> client
+  /// Wait rounds granted to attempt 0; attempt k gets
+  /// `await_rounds << min(k, backoff_cap)` (exponential backoff measured
+  /// in simulated rounds, not host time).
+  unsigned await_rounds = 20;
+  unsigned backoff_cap = 3;
+  /// Per-command deadline in node steps; 0 disables.  Backoff stops
+  /// growing once the deadline would be exceeded and the command fails
+  /// with kDeadline.
+  u64 deadline_steps = 4'000'000;
+  net::ChannelConfig uplink;    // client -> FPX
+  net::ChannelConfig downlink;  // FPX -> client
+};
+
+enum class ClientErrorKind : u8 {
+  kDeadline = 0,   // per-command deadline expired with no usable answer
+  kGaveUp = 1,     // retry budget exhausted (node silent)
+  kNodeError = 2,  // node answered 0xff; node_code says why
+  kRejected = 3,   // node answered, but refused or contradicted the request
+};
+
+struct ClientError {
+  ClientErrorKind kind = ClientErrorKind::kGaveUp;
+  u8 node_code = 0;    // err:: payload byte when kind == kNodeError
+  std::string detail;  // human-readable context ("start", "read 0x...", ...)
+
+  std::string to_string() const;
+};
+
+/// Outcome of a value-returning command.  Mimics std::optional's access
+/// surface (has_value / operator bool / * / ->) so existing call sites
+/// keep compiling, but a failed Result also carries the ClientError.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(ClientError e) : error_(std::move(e)) {}        // NOLINT(runtime/explicit)
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+
+  /// Only meaningful when !has_value().
+  const ClientError& error() const { return error_; }
+
+ private:
+  std::optional<T> value_;
+  ClientError error_;
+};
+
+/// Outcome of a command with no payload.  Bool-like for old call sites.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // success
+  Status(ClientError e) : ok_(false), error_(std::move(e)) {}  // NOLINT
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const ClientError& error() const { return error_; }
+
+ private:
+  bool ok_ = true;
+  ClientError error_;
 };
 
 struct StatusReport {
@@ -35,29 +108,31 @@ class LiquidClient {
  public:
   LiquidClient(sim::LiquidSystem& node, ClientConfig cfg = {});
 
-  /// LEON status command (retried).  nullopt if the node never answered.
-  std::optional<StatusReport> status();
+  /// LEON status command (retried).
+  Result<StatusReport> status();
 
   /// Load a program image (multi-packet, per-chunk acks, missing chunks
-  /// resent).  True when the controller reports the load complete.
-  bool load_program(const sasm::Image& img);
+  /// resent).  Success when the controller reports the load complete.
+  Status load_program(const sasm::Image& img);
 
   /// Start execution at `entry`.
-  bool start(Addr entry);
+  Status start(Addr entry);
 
   /// Read back `words` 32-bit words from `addr`.
-  std::optional<std::vector<u32>> read_memory(Addr addr, u16 words);
+  Result<std::vector<u32>> read_memory(Addr addr, u16 words);
 
   /// Reset the node's processor and control state machine.
-  bool restart();
+  Status restart();
 
   /// Poll the node's metrics registry (STATS_SNAPSHOT command); the
   /// response payload is the snapshot as UTF-8 JSON.
-  std::optional<std::string> stats_snapshot();
+  Result<std::string> stats_snapshot();
 
   /// Convenience: load + start + run the node until leon_ctrl reports the
-  /// program done (or `max_steps` node instructions pass).
-  bool run_program(const sasm::Image& img, u64 max_steps = 10'000'000);
+  /// program done (or `max_steps` node instructions pass).  A node that
+  /// lands in the error state (e.g. watchdog trip) fails loudly with the
+  /// node's error code rather than timing out.
+  Status run_program(const sasm::Image& img, u64 max_steps = 10'000'000);
 
   /// Let simulated time pass: deliver queued frames, step the node, and
   /// collect its responses.
@@ -73,7 +148,8 @@ class LiquidClient {
 
   /// Drain everything currently queued on the downlink, dispatching
   /// non-control frames to the extra handler (stale control responses are
-  /// discarded).  Call after a run to collect trailing trace datagrams.
+  /// discarded and counted).  Call after a run to collect trailing trace
+  /// datagrams.
   void drain_downlink();
 
   struct Stats {
@@ -81,10 +157,21 @@ class LiquidClient {
     u64 retries = 0;
     u64 responses = 0;
     u64 gave_up = 0;
+    u64 stale_responses = 0;  // control responses nothing was waiting for
+    u64 node_errors = 0;      // 0xff packets received
+    u64 deadline_expiries = 0;
   };
   const Stats& stats() const { return stats_; }
   const net::Channel& uplink() const { return up_; }
   const net::Channel& downlink() const { return down_; }
+  net::Channel& uplink_mut() { return up_; }
+  net::Channel& downlink_mut() { return down_; }
+
+  /// Bridge this client's stats into `reg` under `prefix` (e.g.
+  /// "client.").  Lossy-link debugging reads them next to the node's own
+  /// channel counters.
+  void bind_metrics(metrics::MetricsRegistry& reg,
+                    const std::string& prefix = "client.");
 
  private:
   void send_command(Bytes payload);
@@ -92,9 +179,18 @@ class LiquidClient {
   /// downlink is dispatched to the extra handler along the way.
   std::optional<net::UdpDatagram> next_client_datagram();
   /// Pump until a response with `code` arrives; nullopt after the round
-  /// budget is spent.  Other responses encountered are discarded (stale
-  /// duplicates from earlier retries).
-  std::optional<Bytes> await(net::ResponseCode code, unsigned rounds = 20);
+  /// budget is spent.  Other responses encountered are counted stale; a
+  /// 0xff records the node's error code in `last_node_error_`.
+  std::optional<Bytes> await(net::ResponseCode code, unsigned rounds);
+  /// Rounds granted to retry `attempt` under exponential backoff.
+  unsigned rounds_for_attempt(unsigned attempt) const;
+  /// Begin a fresh command: reset the deadline budget and error latch.
+  void begin_command();
+  bool deadline_exhausted() const {
+    return cfg_.deadline_steps > 0 && steps_this_command_ >= cfg_.deadline_steps;
+  }
+  /// Build the failure for a command that ran out of retries/deadline.
+  ClientError command_failure(std::string detail);
 
   sim::LiquidSystem& node_;
   ClientConfig cfg_;
@@ -102,6 +198,8 @@ class LiquidClient {
   net::Channel down_;
   ExtraFrameHandler extra_handler_;
   Stats stats_;
+  u64 steps_this_command_ = 0;
+  std::optional<u8> last_node_error_;
 };
 
 }  // namespace la::ctrl

@@ -1,0 +1,58 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+
+namespace la::fault {
+
+const char* site_name(FaultSite s) {
+  switch (s) {
+    case FaultSite::kSramWord: return "sram_word";
+    case FaultSite::kSdramWord: return "sdram_word";
+    case FaultSite::kICacheLine: return "icache_line";
+    case FaultSite::kDCacheLine: return "dcache_line";
+    case FaultSite::kRegister: return "register";
+    case FaultSite::kAhbErrorPulse: return "ahb_error_pulse";
+    case FaultSite::kCpuWedge: return "cpu_wedge";
+    case FaultSite::kChannelCorrupt: return "channel_corrupt";
+    case FaultSite::kChannelTruncate: return "channel_truncate";
+    case FaultSite::kChannelDelay: return "channel_delay";
+  }
+  return "?";
+}
+
+bool site_has_parity(FaultSite s) {
+  switch (s) {
+    case FaultSite::kSramWord:
+    case FaultSite::kSdramWord:
+    case FaultSite::kICacheLine:
+    case FaultSite::kDCacheLine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FaultPlan::to_string() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "# fault plan seed=%llu events=%zu\n",
+                static_cast<unsigned long long>(seed), events.size());
+  out += buf;
+  for (const FaultEvent& e : events) {
+    const char* trig = e.trigger.kind == TriggerKind::kCycle  ? "cycle"
+                       : e.trigger.kind == TriggerKind::kPc   ? "pc"
+                                                              : "packet";
+    std::snprintf(buf, sizeof buf,
+                  "%s %llu: %s addr=0x%llx mask=0x%llx reg=%u arg=%u%s\n",
+                  trig, static_cast<unsigned long long>(e.trigger.value),
+                  site_name(e.action.site),
+                  static_cast<unsigned long long>(e.action.addr),
+                  static_cast<unsigned long long>(e.action.mask),
+                  e.action.reg, e.action.arg,
+                  e.action.on_downlink ? " downlink" : "");
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace la::fault

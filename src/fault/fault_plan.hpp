@@ -1,0 +1,74 @@
+// Declarative fault plans for the injection engine.
+//
+// A FaultPlan is a seeded list of (trigger, action) events: *when* a fault
+// fires (a cycle count, a PC match, or an ingress packet count) and *what*
+// it damages (a memory word, a cache line, a register, the AHB response,
+// the CPU's clock enable, or a channel frame).  Plans are plain data so a
+// failing fuzz campaign can print the exact plan next to the program that
+// exposed it — the repro is the pair.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace la::fault {
+
+enum class FaultSite : u8 {
+  kSramWord = 0,        // XOR mask into an SRAM word (parity marked bad)
+  kSdramWord = 1,       // XOR mask into an SDRAM 64-bit word (parity bad)
+  kICacheLine = 2,      // flip a bit in a resident icache line (poison)
+  kDCacheLine = 3,      // flip a bit in a resident dcache line (poison)
+  kRegister = 4,        // XOR mask into a register-file entry (undetectable)
+  kAhbErrorPulse = 5,   // next N AHB transfers answer ERROR
+  kCpuWedge = 6,        // stall the CPU for N cycles (0 = until reset)
+  kChannelCorrupt = 7,  // flip a bit in the next frame on a channel
+  kChannelTruncate = 8, // truncate the next frame on a channel
+  kChannelDelay = 9,    // hold the next frame for N receive rounds
+};
+
+const char* site_name(FaultSite s);
+
+/// True for sites whose damage lands in state the node can check parity
+/// on (the detected-or-masked guarantee applies); false for sites that
+/// are inherently silent at the hardware level (registers) or that only
+/// perturb timing/networking.
+bool site_has_parity(FaultSite s);
+
+enum class TriggerKind : u8 {
+  kCycle = 0,        // fires once sys.now() >= value
+  kPc = 1,           // fires when a step retires at PC == value
+  kPacketCount = 2,  // fires once `value` ingress frames have arrived
+};
+
+struct FaultTrigger {
+  TriggerKind kind = TriggerKind::kCycle;
+  u64 value = 0;
+};
+
+struct FaultAction {
+  FaultSite site = FaultSite::kSramWord;
+  Addr addr = 0;    // memory/cache sites: absolute byte address
+  u64 mask = 1;     // XOR damage mask (memory, register)
+  u8 reg = 1;       // kRegister: register index 1..31 (%g0 is immune)
+  u32 arg = 0;      // site-specific: pulse count / wedge cycles / delay rounds
+  bool on_downlink = false;  // channel sites: which direction to damage
+};
+
+struct FaultEvent {
+  FaultTrigger trigger;
+  FaultAction action;
+};
+
+struct FaultPlan {
+  u64 seed = 1;
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// One event per line, stable and greppable — written into repro files.
+  std::string to_string() const;
+};
+
+}  // namespace la::fault

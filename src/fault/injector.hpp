@@ -1,0 +1,77 @@
+// The fault-injection engine: walks a FaultPlan against a live
+// LiquidSystem via the system's step/ingress hooks, applies each action
+// exactly once when its trigger matches, and keeps a ledger of what fired
+// and whether it landed (a cache poison misses when the line is not
+// resident).  The campaign layer reads the ledger to classify each
+// injected fault as masked, detected, or latent — anything else is a
+// silent divergence and a bug.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "net/channel.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::fault {
+
+/// One entry per fired event, in firing order.
+struct FiredRecord {
+  std::size_t event_index = 0;  // index into plan().events
+  Cycles at_cycle = 0;          // sys.now() when the action was applied
+  bool landed = true;           // false: action had nothing to damage
+};
+
+class FaultInjector {
+ public:
+  /// Installs itself as the system's step and ingress hook.  `uplink` /
+  /// `downlink` are the client-side channels the channel sites damage
+  /// (either may be null — channel events then fire but do not land).
+  FaultInjector(sim::LiquidSystem& sys, FaultPlan plan,
+                net::Channel* uplink = nullptr,
+                net::Channel* downlink = nullptr);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  const std::vector<FiredRecord>& fired() const { return fired_; }
+  bool all_fired() const { return fired_.size() == plan_.events.size(); }
+  u64 ingress_frames() const { return ingress_count_; }
+
+  /// True when the event's damage is still sitting in memory with bad
+  /// parity (injected, never read, never overwritten).  Only meaningful
+  /// for kSramWord / kSdramWord; other sites leave no persistent parity
+  /// and return false.
+  bool parity_still_bad(std::size_t event_index) const;
+
+  struct Stats {
+    u64 injected = 0;   // events fired
+    u64 landed = 0;     // events that damaged something
+    u64 missed = 0;     // events with nothing to damage
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void on_step(const cpu::StepResult& r);
+  void on_ingress();
+  void fire_matching(TriggerKind kind, u64 observed, std::optional<Addr> pc);
+  bool apply(const FaultAction& a);
+
+  sim::LiquidSystem& sys_;
+  FaultPlan plan_;
+  net::Channel* up_;
+  net::Channel* down_;
+
+  std::vector<bool> done_;
+  std::vector<FiredRecord> fired_;
+  Stats stats_;
+  u64 ingress_count_ = 0;
+  /// kCpuWedge with arg > 0: cycle at which the stall releases.
+  std::optional<Cycles> unwedge_at_;
+};
+
+}  // namespace la::fault

@@ -104,7 +104,7 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
     }
   }
   node_.cpu().reset_stats();
-  const bool ran = client.run_program(program);
+  const ctrl::Status ran = client.run_program(program);
   if (analyzer != nullptr) {
     if (cfg_.stream_traces) {
       node_.flush_trace_stream();
@@ -116,7 +116,7 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
   }
   if (!ran) {
     ++stats_.failures;
-    r.error = "program did not complete";
+    r.error = "program did not complete: " + ran.error().to_string();
     return r;
   }
   // Timed exactly as the paper does it: the hardware state machine counts

@@ -92,6 +92,13 @@ Cycles AhbSdramAdapter::do_read(bus::AhbTransfer& t) {
       if (win.size() > avail) win.resize(avail);
       ++stats_.read_handshakes;
       c += ctrl_.read(port_, *clock_ + c, win_base, win);
+      if (ctrl_.device().consume_parity_error()) {
+        // The controller saw bad check bits on the data it fetched; answer
+        // the AHB with ERROR rather than forwarding damaged words.
+        ++stats_.parity_errors;
+        t.error = true;
+        return c + 2;
+      }
       consumed = 0;
     }
     const u32 idx = (word - win_base) / 8;
@@ -126,6 +133,14 @@ Cycles AhbSdramAdapter::do_write(bus::AhbTransfer& t) {
     ++stats_.rmw_reads;
     ++stats_.read_handshakes;
     c += ctrl_.read(port_, *clock_ + c, word, std::span<u64>(&w64, 1));
+    if (ctrl_.device().consume_parity_error()) {
+      // Writing the merged lane back would regenerate the word's check
+      // bits while the *untouched* lanes still hold damaged data — turning
+      // a detectable fault into a silent one.  Refuse the store instead.
+      ++stats_.parity_errors;
+      t.error = true;
+      return c + 2;
+    }
     w64 = merge_lane(w64, word, dev, t.beat_bytes, t.data[b]);
     ++stats_.write_handshakes;
     c += ctrl_.write(port_, *clock_ + c, word, std::span<const u64>(&w64, 1));

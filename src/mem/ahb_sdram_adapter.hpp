@@ -41,6 +41,7 @@ struct AdapterStats {
   u64 write_handshakes = 0;
   u64 rmw_reads = 0;       // extra reads caused by RMW
   u64 wasted_words64 = 0;  // fetched 64-bit words never consumed by AHB
+  u64 parity_errors = 0;   // handshakes refused on bad device parity
 };
 
 class AhbSdramAdapter final : public bus::AhbSlave {

@@ -27,6 +27,7 @@ inline constexpr u32 kTimerOffset = 0x200;
 inline constexpr u32 kIrqOffset = 0x300;
 inline constexpr u32 kGpioOffset = 0x400;
 inline constexpr u32 kCycleCounterOffset = 0x500;
+inline constexpr u32 kWatchdogOffset = 0x600;
 inline constexpr u32 kDeviceSize = 0x100;
 
 /// The polled mailbox: leon_ctrl writes the user program's start address

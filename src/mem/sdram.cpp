@@ -7,7 +7,8 @@ namespace la::mem {
 SdramDevice::SdramDevice(u32 size_bytes, SdramTiming timing)
     : timing_(timing),
       data_(size_bytes, 0),
-      open_row_(timing.banks, -1) {
+      open_row_(timing.banks, -1),
+      parity_bad_(size_bytes / 8, false) {
   assert(is_pow2(size_bytes) && is_pow2(timing.banks) &&
          is_pow2(timing.row_bytes));
 }
@@ -35,6 +36,10 @@ Cycles SdramDevice::read_burst(Addr addr, std::span<u64> out) {
   for (std::size_t w = 0; w < out.size(); ++w) {
     u64 v = 0;
     const std::size_t o = addr + w * 8;
+    if (parity_bad_[o / 8]) {
+      parity_pending_ = true;
+      ++stats_.parity_errors;
+    }
     for (unsigned i = 0; i < 8; ++i) v = (v << 8) | data_[o + i];
     out[w] = v;
     c += 1;  // one word per clock once the pipe is primed
@@ -51,6 +56,7 @@ Cycles SdramDevice::write_burst(Addr addr, std::span<const u64> in) {
     for (unsigned i = 0; i < 8; ++i) {
       data_[o + i] = static_cast<u8>(in[w] >> (8 * (7 - i)));
     }
+    parity_bad_[o / 8] = false;
     c += 1;
   }
   ++stats_.writes;
@@ -69,6 +75,27 @@ void SdramDevice::backdoor_write_word64(Addr addr, u64 v) {
   for (unsigned i = 0; i < 8; ++i) {
     data_[addr + i] = static_cast<u8>(v >> (8 * (7 - i)));
   }
+  parity_bad_[addr / 8] = false;
+}
+
+bool SdramDevice::corrupt_word64(Addr addr, u64 mask) {
+  const Addr word = addr & ~Addr{7};
+  if (word + 8 > data_.size()) return false;
+  for (unsigned i = 0; i < 8; ++i) {
+    data_[word + i] ^= static_cast<u8>(mask >> (8 * (7 - i)));
+  }
+  parity_bad_[word / 8] = true;
+  ++stats_.words_corrupted;
+  return true;
+}
+
+bool SdramDevice::parity_ok(Addr addr, u64 len) const {
+  if (len == 0) return true;
+  if (addr + len > data_.size()) return true;
+  for (Addr a = addr & ~Addr{7}; a < addr + len; a += 8) {
+    if (parity_bad_[a / 8]) return false;
+  }
+  return true;
 }
 
 Cycles FpxSdramController::read(SdramPort p, Cycles now, Addr addr,

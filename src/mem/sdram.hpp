@@ -36,10 +36,27 @@ class SdramDevice {
   const SdramTiming& timing() const { return timing_; }
 
   /// Burst-read `out.size()` consecutive 64-bit words starting at the
-  /// 8-byte-aligned byte offset `addr`.  Returns device cycles.
+  /// 8-byte-aligned byte offset `addr`.  Returns device cycles.  A burst
+  /// touching a parity-bad word still returns data (the damaged bits) but
+  /// latches the parity-error flag — poll consume_parity_error() after the
+  /// burst, the way a real controller samples the ECC/parity pin.
   Cycles read_burst(Addr addr, std::span<u64> out);
-  /// Burst-write; returns device cycles.
+  /// Burst-write; returns device cycles.  Scrubs parity of written words.
   Cycles write_burst(Addr addr, std::span<const u64> in);
+
+  /// Fault injection: XOR `mask` into the 64-bit word at the 8-byte-aligned
+  /// offset holding `addr` and mark its parity bad.  Returns false when out
+  /// of range.
+  bool corrupt_word64(Addr addr, u64 mask);
+  /// Returns the latched read-parity-error flag and clears it.
+  bool consume_parity_error() {
+    const bool e = parity_pending_;
+    parity_pending_ = false;
+    return e;
+  }
+  /// True when every 64-bit word overlapping [addr, addr+len) has good
+  /// parity.
+  bool parity_ok(Addr addr, u64 len) const;
 
   struct Stats {
     u64 row_hits = 0;
@@ -47,6 +64,8 @@ class SdramDevice {
     u64 row_conflicts = 0;  // precharge + activate
     u64 reads = 0;
     u64 writes = 0;
+    u64 words_corrupted = 0;  // corrupt_word64() calls that landed
+    u64 parity_errors = 0;    // read bursts that touched a bad word
   };
   const Stats& stats() const { return stats_; }
   void reset_stats() { stats_ = Stats{}; }
@@ -62,6 +81,8 @@ class SdramDevice {
   SdramTiming timing_;
   std::vector<u8> data_;
   std::vector<i64> open_row_;  // per bank, -1 = all precharged
+  std::vector<bool> parity_bad_;  // one flag per 64-bit word
+  bool parity_pending_ = false;
   Stats stats_;
 };
 

@@ -18,8 +18,17 @@ Cycles Sram::transfer(bus::AhbTransfer& t) {
       for (unsigned i = 0; i < t.beat_bytes; ++i) {
         data_[o + i] = static_cast<u8>(v >> (8 * (t.beat_bytes - 1 - i)));
       }
+      // Fresh data regenerates the word's check bits.  Sub-word writes scrub
+      // too: the model treats a write as a read-modify-write of the parity
+      // word, which recomputes parity over the (now intentional) contents.
+      parity_bad_[word_index(a)] = false;
       cycles += 1 + timing_.write_wait;
     } else {
+      if (parity_bad_[word_index(a)]) {
+        ++stats_.parity_errors;
+        t.error = true;
+        return cycles + 2;
+      }
       u32 v = 0;
       for (unsigned i = 0; i < t.beat_bytes; ++i) v = (v << 8) | data_[o + i];
       t.data[b] = v;
@@ -50,6 +59,11 @@ bool Sram::debug_write(Addr addr, unsigned size, u64 value) {
 bool Sram::backdoor_write(Addr addr, std::span<const u8> bytes) {
   if (!contains(addr, bytes.size())) return false;
   std::copy(bytes.begin(), bytes.end(), data_.begin() + (addr - base_));
+  // The user path rewrites whole buffers; every word it touches gets fresh
+  // parity.
+  for (Addr a = addr & ~Addr{3}; a < addr + bytes.size(); a += 4) {
+    parity_bad_[word_index(a)] = false;
+  }
   return true;
 }
 
@@ -73,6 +87,27 @@ void Sram::backdoor_write_word(Addr addr, u32 value) {
   const bool ok = backdoor_write(addr, b);
   assert(ok);
   (void)ok;
+}
+
+bool Sram::corrupt_word(Addr addr, u32 mask) {
+  if (!contains(addr & ~Addr{3}, 4)) return false;
+  const std::size_t o = (addr - base_) & ~std::size_t{3};
+  data_[o + 0] ^= static_cast<u8>(mask >> 24);
+  data_[o + 1] ^= static_cast<u8>(mask >> 16);
+  data_[o + 2] ^= static_cast<u8>(mask >> 8);
+  data_[o + 3] ^= static_cast<u8>(mask);
+  parity_bad_[o / 4] = true;
+  ++stats_.words_corrupted;
+  return true;
+}
+
+bool Sram::parity_ok(Addr addr, u64 len) const {
+  if (len == 0) return true;
+  if (!contains(addr, len)) return true;  // out of range: nothing to report
+  for (Addr a = addr & ~Addr{3}; a < addr + len; a += 4) {
+    if (parity_bad_[word_index(a)]) return false;
+  }
+  return true;
 }
 
 }  // namespace la::mem

@@ -1,6 +1,13 @@
 // FPX SRAM model: zero-turnaround (ZBT-style) synchronous SRAM on AHB,
 // with a backdoor port for the leon_ctrl/user path that loads programs
 // while the processor is disconnected (Section 3.1).
+//
+// The model carries word-granular parity so injected bit flips are
+// *detectable*: corrupt_word() damages the stored bytes and marks the
+// word's parity bad; any subsequent bus read of that word answers with an
+// AHB ERROR (the CPU takes an access trap), and the user-path can probe
+// parity_ok() before trusting a backdoor read.  Writing a word scrubs its
+// parity (fresh data, fresh check bits).
 #pragma once
 
 #include <cassert>
@@ -21,7 +28,10 @@ struct SramTiming {
 class Sram final : public bus::AhbSlave {
  public:
   Sram(Addr base, u32 size, SramTiming timing = {})
-      : base_(base), timing_(timing), data_(size, 0) {
+      : base_(base),
+        timing_(timing),
+        data_(size, 0),
+        parity_bad_((size + 3) / 4, false) {
     assert(size > 0);
   }
 
@@ -40,14 +50,29 @@ class Sram final : public bus::AhbSlave {
   u32 backdoor_word(Addr addr) const;
   void backdoor_write_word(Addr addr, u32 value);
 
+  /// Fault injection: XOR `mask` into the 32-bit word holding `addr` and
+  /// mark its parity bad.  Returns false when out of range.
+  bool corrupt_word(Addr addr, u32 mask);
+  /// True when every word overlapping [addr, addr+len) has good parity.
+  bool parity_ok(Addr addr, u64 len) const;
+
+  struct Stats {
+    u64 words_corrupted = 0;  // corrupt_word() calls that landed
+    u64 parity_errors = 0;    // bus reads refused on bad parity
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
   bool contains(Addr addr, u64 len) const {
     return addr >= base_ && addr - base_ + len <= data_.size();
   }
+  std::size_t word_index(Addr addr) const { return (addr - base_) / 4; }
 
   Addr base_;
   SramTiming timing_;
   std::vector<u8> data_;
+  std::vector<bool> parity_bad_;  // one flag per 32-bit word
+  Stats stats_;
 };
 
 }  // namespace la::mem

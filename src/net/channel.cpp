@@ -2,30 +2,66 @@
 
 namespace la::net {
 
+void Channel::enqueue(Bytes frame, unsigned delay) {
+  if (rng_.chance(cfg_.reorder) && !q_.empty()) {
+    // Jump ahead of a random number of queued frames.
+    const u32 skip = rng_.below(static_cast<u32>(q_.size())) + 1;
+    q_.insert(q_.end() - skip, Entry{std::move(frame), delay});
+    ++stats_.reordered;
+  } else {
+    q_.push_back(Entry{std::move(frame), delay});
+  }
+}
+
 void Channel::send(Bytes frame) {
   ++stats_.sent;
   if (rng_.chance(cfg_.drop)) {
     ++stats_.dropped;
+    force_corrupt_ = false;
+    force_truncate_ = false;
+    force_delay_ = 0;
     return;
   }
-  const bool dup = rng_.chance(cfg_.duplicate);
-  if (rng_.chance(cfg_.reorder) && !q_.empty()) {
-    // Jump ahead of a random number of queued frames.
-    const u32 skip = rng_.below(static_cast<u32>(q_.size())) + 1;
-    q_.insert(q_.end() - skip, frame);
-    ++stats_.reordered;
-  } else {
-    q_.push_back(frame);
+
+  if (!frame.empty() && (force_corrupt_ || rng_.chance(cfg_.corrupt))) {
+    // One random bit of one random byte flips — enough to break an IP or
+    // UDP checksum so the wrappers' verification path gets real exercise.
+    const u32 byte = rng_.below(static_cast<u32>(frame.size()));
+    frame[byte] ^= static_cast<u8>(1u << rng_.below(8));
+    ++stats_.corrupted;
+    force_corrupt_ = false;
   }
+  if (!frame.empty() && (force_truncate_ || rng_.chance(cfg_.truncate))) {
+    // Keep a random proper prefix (possibly empty — a fully eaten frame).
+    frame.resize(rng_.below(static_cast<u32>(frame.size())));
+    ++stats_.truncated;
+    force_truncate_ = false;
+  }
+
+  unsigned delay = cfg_.delay_frames;
+  if (force_delay_ > 0) {
+    delay += force_delay_;
+    force_delay_ = 0;
+  }
+  if (delay > 0) ++stats_.delayed;
+
+  const bool dup = rng_.chance(cfg_.duplicate);
+  enqueue(frame, delay);
   if (dup) {
-    q_.push_back(frame);
+    q_.push_back(Entry{frame, delay});
     ++stats_.duplicated;
   }
 }
 
 std::optional<Bytes> Channel::receive() {
   if (q_.empty()) return std::nullopt;
-  Bytes f = std::move(q_.front());
+  // Age every in-flight frame one round; a head frame still in flight
+  // yields nothing this round but will surface on a later attempt.
+  for (Entry& e : q_) {
+    if (e.delay > 0) --e.delay;
+  }
+  if (q_.front().delay > 0) return std::nullopt;
+  Bytes f = std::move(q_.front().frame);
   q_.pop_front();
   ++stats_.delivered;
   return f;

@@ -1,7 +1,8 @@
 // A simulated unreliable IP channel: frames queue up and may be dropped,
-// duplicated, or reordered — UDP's contract — driven by a seeded RNG so
-// every failure pattern is reproducible.  This is the "Internet" between
-// the control software and the FPX (Fig 4).
+// duplicated, reordered, corrupted, truncated, or delayed — a hostile
+// Internet's contract — driven by a seeded RNG so every failure pattern
+// is reproducible.  This is the "Internet" between the control software
+// and the FPX (Fig 4).
 #pragma once
 
 #include <deque>
@@ -16,6 +17,12 @@ struct ChannelConfig {
   double drop = 0.0;       // probability a frame vanishes
   double duplicate = 0.0;  // probability a frame is delivered twice
   double reorder = 0.0;    // probability a frame jumps the queue
+  double corrupt = 0.0;    // probability one random bit of a frame flips
+  double truncate = 0.0;   // probability a frame loses a random-length tail
+  /// Every frame is held for this many receive attempts before it becomes
+  /// deliverable (fixed propagation delay measured in pump rounds, so a
+  /// retrying client always makes progress — delays expire, never hang).
+  unsigned delay_frames = 0;
   u64 seed = 1;
 };
 
@@ -23,29 +30,52 @@ class Channel {
  public:
   explicit Channel(ChannelConfig cfg = {}) : cfg_(cfg), rng_(cfg.seed) {}
 
-  /// Offer a frame to the channel (loss/duplication/reordering applied).
+  /// Offer a frame to the channel (loss/duplication/reordering/damage
+  /// applied).
   void send(Bytes frame);
 
-  /// Take the next deliverable frame, if any.
+  /// Take the next deliverable frame, if any.  Each call ages delayed
+  /// frames by one round.
   std::optional<Bytes> receive();
 
   bool empty() const { return q_.empty(); }
   std::size_t pending() const { return q_.size(); }
+
+  /// One-shot deterministic fault hooks (fault-injection engine): the next
+  /// frame offered to send() suffers the forced effect regardless of the
+  /// configured probabilities.
+  void force_corrupt_next() { force_corrupt_ = true; }
+  void force_truncate_next() { force_truncate_ = true; }
+  void force_delay_next(unsigned rounds) { force_delay_ = rounds; }
 
   struct Stats {
     u64 sent = 0;
     u64 dropped = 0;
     u64 duplicated = 0;
     u64 reordered = 0;
+    u64 corrupted = 0;
+    u64 truncated = 0;
+    u64 delayed = 0;
     u64 delivered = 0;
   };
   const Stats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return cfg_; }
 
  private:
+  struct Entry {
+    Bytes frame;
+    unsigned delay = 0;  // receive rounds left before deliverable
+  };
+
+  void enqueue(Bytes frame, unsigned delay);
+
   ChannelConfig cfg_;
   Rng rng_;
-  std::deque<Bytes> q_;
+  std::deque<Entry> q_;
   Stats stats_;
+  bool force_corrupt_ = false;
+  bool force_truncate_ = false;
+  unsigned force_delay_ = 0;
 };
 
 }  // namespace la::net

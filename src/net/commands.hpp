@@ -39,6 +39,23 @@ enum class ResponseCode : u8 {
   kError = 0xff,
 };
 
+/// Error codes carried as the one-byte payload of a kError response.
+namespace err {
+inline constexpr u8 kEmptyCommand = 0x01;
+inline constexpr u8 kUnknownCommand = 0x02;
+inline constexpr u8 kBusy = 0x10;             // load while running
+inline constexpr u8 kBadLoad = 0x11;          // malformed load packet
+inline constexpr u8 kLoadRange = 0x12;        // load outside SRAM window
+inline constexpr u8 kNotStartable = 0x20;     // start while running/loading
+inline constexpr u8 kBadStart = 0x21;         // malformed start packet
+inline constexpr u8 kRestartRequired = 0x22;  // node in error state
+inline constexpr u8 kBadRead = 0x31;          // malformed read packet
+inline constexpr u8 kReadRange = 0x32;        // read outside backing memory
+inline constexpr u8 kReadParity = 0x33;       // memory parity bad at address
+inline constexpr u8 kNoStats = 0x41;          // no metrics registry wired
+inline constexpr u8 kWatchdogTrip = 0x50;     // program exceeded cycle budget
+}  // namespace err
+
 /// leon_ctrl state reported in status responses.
 enum class LeonState : u8 {
   kIdle = 0,

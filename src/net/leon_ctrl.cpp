@@ -12,6 +12,10 @@ void PacketGenerator::emit(Ipv4Addr dst_ip, u16 dst_port, ResponseCode code,
   d.payload.reserve(payload.size() + 1);
   d.payload.push_back(static_cast<u8>(code));
   d.payload.insert(d.payload.end(), payload.begin(), payload.end());
+  while (max_queue_ > 0 && queue_.size() >= max_queue_) {
+    queue_.pop_front();
+    ++responses_dropped_;
+  }
   queue_.push_back(std::move(d));
   ++emitted_;
 }
@@ -61,7 +65,7 @@ void LeonController::handle(const UdpDatagram& d) {
   ByteReader r(d.payload);
   if (r.empty()) {
     ++stats_.bad_commands;
-    respond_error(0x01);
+    respond_error(err::kEmptyCommand);
     return;
   }
   const u8 code = r.read_u8();
@@ -86,7 +90,7 @@ void LeonController::handle(const UdpDatagram& d) {
       return;
     default:
       ++stats_.bad_commands;
-      respond_error(0x02);
+      respond_error(err::kUnknownCommand);
       return;
   }
 }
@@ -94,19 +98,26 @@ void LeonController::handle(const UdpDatagram& d) {
 void LeonController::handle_load(ByteReader& r) {
   if (state_ == LeonState::kRunning) {
     ++stats_.bad_commands;
-    respond_error(0x10);  // busy
+    respond_error(err::kBusy);
+    return;
+  }
+  if (state_ == LeonState::kError) {
+    // The processor may be wedged and memory in an unknown state; only a
+    // RESTART (which resets both) makes the node loadable again.
+    ++stats_.bad_commands;
+    respond_error(err::kRestartRequired);
     return;
   }
   const auto cmd = LoadProgramCmd::parse(r);
   if (!cmd) {
     ++stats_.bad_commands;
-    respond_error(0x11);
+    respond_error(err::kBadLoad);
     return;
   }
   if (cmd->address < cfg_.load_min ||
       static_cast<u64>(cmd->address) + cmd->data.size() - 1 > cfg_.load_max) {
     ++stats_.bad_commands;
-    respond_error(0x12);  // out of the loadable SRAM window
+    respond_error(err::kLoadRange);  // out of the loadable SRAM window
     return;
   }
 
@@ -154,12 +165,17 @@ void LeonController::handle_start(ByteReader& r) {
   const auto cmd = StartCmd::parse(r);
   if (!cmd) {
     ++stats_.bad_commands;
-    respond_error(0x21);
+    respond_error(err::kBadStart);
+    return;
+  }
+  if (state_ == LeonState::kError) {
+    ++stats_.bad_commands;
+    respond_error(err::kRestartRequired);
     return;
   }
   if (state_ == LeonState::kRunning || state_ == LeonState::kLoading) {
     ++stats_.bad_commands;
-    respond_error(0x20);  // not startable now
+    respond_error(err::kNotStartable);
     return;
   }
   // Plant the start address in the mailbox and reconnect: the polling
@@ -177,16 +193,24 @@ void LeonController::handle_read(ByteReader& r) {
   const auto cmd = ReadMemoryCmd::parse(r);
   if (!cmd) {
     ++stats_.bad_commands;
-    respond_error(0x31);
+    respond_error(err::kBadRead);
     return;
   }
   ByteWriter w;
   w.write_u32(cmd->address);
   for (u16 i = 0; i < cmd->words; ++i) {
+    const Addr a = cmd->address + 4u * i;
+    if (!sw_.user_port().parity_ok(a, 4)) {
+      // The stored word's check bits are bad — returning its bytes would
+      // hand the operator silently corrupted data.  Refuse instead.
+      ++stats_.parity_read_errors;
+      respond_error(err::kReadParity);
+      return;
+    }
     u8 bytes[4] = {};
-    if (!sw_.user_port().backdoor_read(cmd->address + 4u * i, bytes)) {
+    if (!sw_.user_port().backdoor_read(a, bytes)) {
       ++stats_.bad_commands;
-      respond_error(0x32);
+      respond_error(err::kReadRange);
       return;
     }
     w.write_bytes(bytes);
@@ -197,7 +221,7 @@ void LeonController::handle_read(ByteReader& r) {
 void LeonController::handle_stats_snapshot() {
   if (!stats_provider_) {
     ++stats_.bad_commands;
-    respond_error(0x41);  // node exposes no metrics registry
+    respond_error(err::kNoStats);  // node exposes no metrics registry
     return;
   }
   respond(ResponseCode::kStatsData, stats_provider_());
@@ -236,6 +260,18 @@ void LeonController::on_cpu_pc(Addr pc) {
 void LeonController::force_error(u8 code) {
   state_ = LeonState::kError;
   respond_error(code);
+}
+
+void LeonController::watchdog_trip() {
+  if (state_ != LeonState::kRunning) return;
+  // Unplug the (possibly wedged) processor and clear the mailbox so a
+  // stale start address can never relaunch the dead program; then tell the
+  // operator.  The controller itself stays fully responsive.
+  sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
+  sw_.set_connected(false);
+  state_ = LeonState::kError;
+  ++stats_.watchdog_trips;
+  respond_error(err::kWatchdogTrip);
 }
 
 }  // namespace la::net

@@ -19,11 +19,17 @@
 
 namespace la::net {
 
-/// Response packets waiting to leave through the wrappers.
+/// Response packets waiting to leave through the wrappers.  The queue is
+/// bounded (hardware has finite buffer RAM): when a response would exceed
+/// `max_queue` the oldest queued response is dropped — it is the one the
+/// client has most likely already given up on — and counted.
 class PacketGenerator {
  public:
-  PacketGenerator(Ipv4Addr node_ip, u16 node_port)
-      : node_ip_(node_ip), node_port_(node_port) {}
+  PacketGenerator(Ipv4Addr node_ip, u16 node_port,
+                  std::size_t max_queue = kDefaultMaxQueue)
+      : node_ip_(node_ip), node_port_(node_port), max_queue_(max_queue) {}
+
+  static constexpr std::size_t kDefaultMaxQueue = 64;
 
   /// Queue a response to `dst`.
   void emit(Ipv4Addr dst_ip, u16 dst_port, ResponseCode code,
@@ -31,13 +37,18 @@ class PacketGenerator {
 
   std::optional<UdpDatagram> pop();
   bool empty() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t max_queue() const { return max_queue_; }
   u64 emitted() const { return emitted_; }
+  u64 responses_dropped() const { return responses_dropped_; }
 
  private:
   Ipv4Addr node_ip_;
   u16 node_port_;
+  std::size_t max_queue_;
   std::deque<UdpDatagram> queue_;
   u64 emitted_ = 0;
+  u64 responses_dropped_ = 0;
 };
 
 struct LeonCtrlConfig {
@@ -79,6 +90,14 @@ class LeonController {
   /// error packet is transmitted to the last requester.
   void force_error(u8 code);
 
+  /// Watchdog expiry: the running program blew its cycle budget.  Drives
+  /// the §4.1 error path — the processor is unplugged (it may be wedged;
+  /// only RESTART revives it), the mailbox is cleared, and an unsolicited
+  /// 0xff/kWatchdogTrip packet goes to the last requester.  STATUS and
+  /// RESTART keep working throughout: the controller is external circuitry
+  /// and never depends on the CPU.
+  void watchdog_trip();
+
   /// Serialized metrics snapshot (UTF-8 JSON) returned for the
   /// STATS_SNAPSHOT command.  Wired by the system that owns the metrics
   /// registry; unset, the command answers with error 0x41.
@@ -94,6 +113,8 @@ class LeonController {
     u64 duplicate_chunks = 0;
     u64 programs_started = 0;
     u64 programs_completed = 0;
+    u64 watchdog_trips = 0;
+    u64 parity_read_errors = 0;  // READ_MEMORY refused on bad parity
   };
   const Stats& stats() const { return stats_; }
 

@@ -40,6 +40,8 @@ LiquidSystem::LiquidSystem(const SystemConfig& cfg)
   bridge_.attach(map::kIrqOffset, map::kDeviceSize, irqctrl_.get());
   bridge_.attach(map::kGpioOffset, map::kDeviceSize, &gpio_);
   bridge_.attach(map::kCycleCounterOffset, map::kDeviceSize, cyc_.get());
+  bridge_.attach(map::kWatchdogOffset, map::kDeviceSize, &wdog_);
+  wdog_.set_on_trip([this] { ctrl_->watchdog_trip(); });
 
   // ---- AHB map ----
   bus_.attach(map::kRomBase, map::kRomSize, rom_.get());
@@ -139,6 +141,12 @@ void LiquidSystem::register_metrics() {
     metrics_.register_fn(p + ".flushes", [c] {
       return static_cast<double>(c().stats().flushes);
     });
+    metrics_.register_fn(p + ".parity_recoveries", [c] {
+      return static_cast<double>(c().stats().parity_recoveries);
+    });
+    metrics_.register_fn(p + ".parity_discards", [c] {
+      return static_cast<double>(c().stats().parity_discards);
+    });
   };
   cache_metrics("cache.i", true);
   cache_metrics("cache.d", false);
@@ -163,6 +171,24 @@ void LiquidSystem::register_metrics() {
   ahb_master("ahb.data", bus::Master::kCpuData);
   ahb_master("ahb.dma", bus::Master::kDma);
   fn("ahb.unmapped", [](Sys s) { return s.bus_.stats().unmapped; });
+  fn("ahb.injected_errors",
+     [](Sys s) { return s.bus_.stats().injected_errors; });
+
+  // -- memory fault detection --
+  fn("sram.parity_errors",
+     [](Sys s) { return s.sram_.stats().parity_errors; });
+  fn("sram.words_corrupted",
+     [](Sys s) { return s.sram_.stats().words_corrupted; });
+  fn("sdram.parity_errors",
+     [](Sys s) { return s.sdram_->stats().parity_errors; });
+  fn("sdram.words_corrupted",
+     [](Sys s) { return s.sdram_->stats().words_corrupted; });
+  fn("sdram.adapter.parity_errors",
+     [](Sys s) { return s.adapter_->stats().parity_errors; });
+
+  // -- watchdog --
+  fn("watchdog.trips", [](Sys s) { return s.wdog_.stats().trips; });
+  fn("watchdog.kicks", [](Sys s) { return s.wdog_.stats().kicks; });
 
   // -- SDRAM controller / device / adapter --
   fn("sdram.handshakes",
@@ -217,6 +243,10 @@ void LiquidSystem::register_metrics() {
      [](Sys s) { return s.ctrl_->stats().programs_started; });
   fn("leon_ctrl.programs_completed",
      [](Sys s) { return s.ctrl_->stats().programs_completed; });
+  fn("leon_ctrl.watchdog_trips",
+     [](Sys s) { return s.ctrl_->stats().watchdog_trips; });
+  fn("leon_ctrl.parity_read_errors",
+     [](Sys s) { return s.ctrl_->stats().parity_read_errors; });
   fn("leon_ctrl.last_run_cycles",
      [](Sys s) { return s.ctrl_->last_run_cycles(); });
   fn("leon_ctrl.state",
@@ -226,11 +256,14 @@ void LiquidSystem::register_metrics() {
   fn("cpp.passthrough_packets",
      [](Sys s) { return s.cpp_->passthrough_packets(); });
   fn("pktgen.emitted", [](Sys s) { return s.pktgen_->emitted(); });
+  fn("pktgen.responses_dropped",
+     [](Sys s) { return s.pktgen_->responses_dropped(); });
 }
 
 void LiquidSystem::ingress_frame(std::span<const u8> frame) {
   if (auto d = wrappers_.ingress_frame(frame)) {
     cpp_->ingress(*d);
+    sync_watchdog();  // a Start command arms the budget from here
     // Control commands can complete without any CPU involvement (status,
     // read memory): drain the generator immediately.
     while (auto resp = pktgen_->pop()) {
@@ -238,6 +271,7 @@ void LiquidSystem::ingress_frame(std::span<const u8> frame) {
     }
     observe_ctrl_state();
   }
+  if (ingress_hook_) ingress_hook_();
 }
 
 std::optional<Bytes> LiquidSystem::egress_frame() {
@@ -250,8 +284,16 @@ std::optional<Bytes> LiquidSystem::egress_frame() {
 cpu::StepResult LiquidSystem::step() {
   const Cycles before = clock_;
   const cpu::StepResult r = pipe_->step();
+  if (pipe_->state().error_mode && clock_ == before) {
+    // A halted core (trap with ET=0) stops retiring but its clock tree
+    // keeps running — the watchdog and timers must still see time pass.
+    clock_ += 1;
+  }
   ctrl_->on_cpu_pc(r.pc);
   timer_.advance(clock_ - before);
+  sync_watchdog();  // completion disarms before the budget is charged
+  wdog_.advance(clock_ - before);
+  if (step_hook_) step_hook_(r);
   while (auto resp = pktgen_->pop()) {
     egress_.push_back(wrappers_.egress_frame(*resp));
   }
@@ -260,13 +302,19 @@ cpu::StepResult LiquidSystem::step() {
 }
 
 void LiquidSystem::run(u64 max_steps) {
-  for (u64 i = 0; i < max_steps && !pipe_->state().error_mode; ++i) step();
+  // A CPU in error mode normally ends the run, but while the watchdog is
+  // armed time must keep flowing so the trip (and its error packet) can
+  // happen — that is the §4.1 recovery story.
+  for (u64 i = 0; i < max_steps; ++i) {
+    if (pipe_->state().error_mode && !wdog_.armed()) break;
+    step();
+  }
 }
 
 bool LiquidSystem::run_until(net::LeonState state, u64 max_steps) {
   for (u64 i = 0; i < max_steps; ++i) {
     if (ctrl_->state() == state) return true;
-    if (pipe_->state().error_mode) return false;
+    if (pipe_->state().error_mode && !wdog_.armed()) return false;
     step();
   }
   return ctrl_->state() == state;
@@ -322,6 +370,18 @@ PerfTracer& LiquidSystem::enable_perf_trace() {
     traced_ctrl_state_ = ctrl_->state();
   }
   return *perf_;
+}
+
+void LiquidSystem::sync_watchdog() {
+  if (cfg_.watchdog_budget == 0) return;
+  const net::LeonState s = ctrl_->state();
+  if (s == wdog_state_) return;
+  if (s == net::LeonState::kRunning) {
+    wdog_.arm(cfg_.watchdog_budget);
+  } else {
+    wdog_.disarm();
+  }
+  wdog_state_ = s;
 }
 
 void LiquidSystem::observe_ctrl_state() {

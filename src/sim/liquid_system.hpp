@@ -10,6 +10,7 @@
 
 #include "bus/apb.hpp"
 #include "bus/peripherals.hpp"
+#include "bus/watchdog.hpp"
 #include "common/metrics.hpp"
 #include "cpu/leon_pipeline.hpp"
 #include "mem/ahb_sdram_adapter.hpp"
@@ -37,6 +38,10 @@ struct SystemConfig {
   u32 sdram_size = 1u << 22;  // 4 MiB simulated module (64 MiB is legal
                               // but pointlessly large for the workloads)
   u8 timer_irq_level = 8;
+  /// Cycle budget the watchdog grants a started program; it is armed on
+  /// Start and disarmed on completion, and trips the §4.1 error path when
+  /// the budget runs out first.  0 disables the watchdog entirely.
+  u64 watchdog_budget = 0;
   /// Boot the *original* LEON ROM (waits for a UART event, Fig 5 left)
   /// instead of the paper's modified mailbox-polling ROM.  Remote program
   /// start does not work in this mode — that is the point of Fig 5.
@@ -109,6 +114,7 @@ class LiquidSystem {
   net::LayeredWrappers& wrappers() { return wrappers_; }
   mem::DisconnectSwitch& disconnect() { return *switch_; }
   mem::Sram& sram() { return sram_; }
+  mem::SdramDevice& sdram_device() { return *sdram_; }
   mem::FpxSdramController& sdram_controller() { return *sdram_ctrl_; }
   mem::AhbSdramAdapter& sdram_adapter() { return *adapter_; }
   bus::AhbBus& ahb() { return bus_; }
@@ -117,7 +123,19 @@ class LiquidSystem {
   bus::IrqController& irq() { return *irqctrl_; }
   bus::GpioPort& gpio() { return gpio_; }
   bus::CycleCounter& cycle_counter() { return *cyc_; }
+  bus::Watchdog& watchdog() { return wdog_; }
+  net::PacketGenerator& packet_generator() { return *pktgen_; }
   const SystemConfig& config() const { return cfg_; }
+
+  // ---- fault-injection hooks ----
+  /// Called after every step() with the step's result (clock already
+  /// advanced, control state already observed).  The fault engine uses it
+  /// for cycle/PC triggers.
+  using StepHook = std::function<void(const cpu::StepResult&)>;
+  void set_step_hook(StepHook h) { step_hook_ = std::move(h); }
+  /// Called at the end of every ingress_frame() (packet-count triggers).
+  using IngressHook = std::function<void()>;
+  void set_ingress_hook(IngressHook h) { ingress_hook_ = std::move(h); }
 
   /// Address user programs jump to when finished (the polling loop).
   Addr check_ready_addr() const {
@@ -129,6 +147,10 @@ class LiquidSystem {
   void register_metrics();
   /// Emit perf-trace spans when the leon_ctrl state machine moves.
   void observe_ctrl_state();
+  /// Arm/disarm the watchdog as the leon_ctrl state machine moves (called
+  /// from both step() and ingress_frame() — Start arrives on the network
+  /// path, completion on the step path).
+  void sync_watchdog();
 
   SystemConfig cfg_;
   Cycles clock_ = 0;
@@ -147,6 +169,7 @@ class LiquidSystem {
   std::unique_ptr<bus::IrqController> irqctrl_;
   bus::GpioPort gpio_;
   std::unique_ptr<bus::CycleCounter> cyc_;
+  bus::Watchdog wdog_;
 
   std::unique_ptr<cpu::LeonPipeline> pipe_;
 
@@ -160,6 +183,9 @@ class LiquidSystem {
   metrics::MetricsRegistry metrics_;
   std::unique_ptr<PerfTracer> perf_;
   net::LeonState traced_ctrl_state_ = net::LeonState::kIdle;
+  net::LeonState wdog_state_ = net::LeonState::kIdle;
+  StepHook step_hook_;
+  IngressHook ingress_hook_;
 };
 
 }  // namespace la::sim

@@ -1,0 +1,91 @@
+// The APB watchdog: arm/advance/trip/kick semantics and the register
+// interface leon_ctrl and diagnostics read it through.
+#include <gtest/gtest.h>
+
+#include "bus/watchdog.hpp"
+
+namespace la::bus {
+namespace {
+
+TEST(Watchdog, DisarmedNeverTrips) {
+  Watchdog w;
+  int trips = 0;
+  w.set_on_trip([&] { ++trips; });
+  w.advance(1'000'000);
+  EXPECT_FALSE(w.tripped());
+  EXPECT_EQ(trips, 0);
+}
+
+TEST(Watchdog, TripsExactlyOnceWhenBudgetExpires) {
+  Watchdog w;
+  int trips = 0;
+  w.set_on_trip([&] { ++trips; });
+  w.arm(100);
+  EXPECT_TRUE(w.armed());
+  w.advance(99);
+  EXPECT_FALSE(w.tripped());
+  EXPECT_EQ(w.remaining(), 1u);
+  w.advance(1);
+  EXPECT_TRUE(w.tripped());
+  EXPECT_FALSE(w.armed());  // a tripped watchdog has fired; no double trip
+  w.advance(500);
+  EXPECT_EQ(trips, 1);
+  EXPECT_EQ(w.stats().trips, 1u);
+}
+
+TEST(Watchdog, DisarmBeforeExpiryCancels) {
+  Watchdog w;
+  int trips = 0;
+  w.set_on_trip([&] { ++trips; });
+  w.arm(100);
+  w.advance(60);
+  w.disarm();
+  w.advance(1000);
+  EXPECT_FALSE(w.tripped());
+  EXPECT_EQ(trips, 0);
+}
+
+TEST(Watchdog, KickRefillsTheBudget) {
+  Watchdog w;
+  w.arm(100);
+  w.advance(80);
+  EXPECT_EQ(w.remaining(), 20u);
+  w.kick();
+  EXPECT_EQ(w.remaining(), 100u);
+  EXPECT_EQ(w.stats().kicks, 1u);
+  w.advance(99);
+  EXPECT_FALSE(w.tripped());
+}
+
+TEST(Watchdog, RearmAfterTripClearsTrippedState) {
+  Watchdog w;
+  w.arm(10);
+  w.advance(10);
+  ASSERT_TRUE(w.tripped());
+  w.arm(50);
+  EXPECT_TRUE(w.armed());
+  EXPECT_FALSE(w.tripped());
+  w.advance(49);
+  EXPECT_FALSE(w.tripped());
+  w.advance(1);
+  EXPECT_TRUE(w.tripped());
+  EXPECT_EQ(w.stats().trips, 2u);
+}
+
+TEST(Watchdog, RegisterInterface) {
+  Watchdog w;
+  w.write(reg::kWdogBudget, 200);
+  w.write(reg::kWdogCtrl, Watchdog::kCtrlArm);
+  EXPECT_EQ(w.read(reg::kWdogStatus) & 1u, 1u);  // armed
+  w.advance(150);
+  w.write(reg::kWdogCtrl, Watchdog::kCtrlKick);
+  EXPECT_EQ(w.remaining(), 200u);
+  w.advance(200);
+  EXPECT_EQ(w.read(reg::kWdogStatus) & 2u, 2u);  // tripped
+  EXPECT_EQ(w.read(reg::kWdogTrips), 1u);
+  w.write(reg::kWdogCtrl, Watchdog::kCtrlDisarm);
+  EXPECT_EQ(w.read(reg::kWdogStatus) & 1u, 0u);
+}
+
+}  // namespace
+}  // namespace la::bus

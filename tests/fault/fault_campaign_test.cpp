@@ -1,0 +1,83 @@
+// The fault campaign's classification contract: every injected fault ends
+// masked, detected, or latent — never silent — and the campaign loop is
+// deterministic under a fixed seed.
+#include <gtest/gtest.h>
+
+#include "fuzz/fault_campaign.hpp"
+#include "mem/memory_map.hpp"
+
+namespace la::fuzz {
+namespace {
+
+FaultCampaignConfig quiet_config(u64 seed) {
+  FaultCampaignConfig cfg;
+  cfg.seed = seed;
+  cfg.out_dir.clear();        // no repro files from unit tests
+  cfg.minimize_failures = false;
+  cfg.program_chunks = 30;    // keep each run short
+  return cfg;
+}
+
+ProgramSpec small_system_program(u64 seed) {
+  GenOptions opts;
+  opts.mode = ProgramMode::kSystem;
+  opts.instructions = 30;
+  opts.seed = seed;
+  ProgramGenerator gen(seed);
+  return gen.generate(opts);
+}
+
+TEST(FaultCampaign, SmallDeterministicCampaignHasNoSilentDivergence) {
+  FaultCampaignConfig cfg = quiet_config(1234);
+  cfg.max_iterations = 4;
+  FaultCampaign campaign(cfg);
+  EXPECT_EQ(campaign.run(), 0);
+  const FaultCampaignStats& st = campaign.stats();
+  EXPECT_EQ(st.iterations, 4u);
+  EXPECT_EQ(st.silent, 0u);
+  EXPECT_EQ(st.masked + st.detected + st.latent + st.skipped, 4u);
+}
+
+TEST(FaultCampaign, PermanentWedgeIsAlwaysDetected) {
+  FaultCampaign campaign(quiet_config(99));
+  const ProgramSpec spec = small_system_program(2024);
+  fault::FaultPlan plan;
+  plan.seed = 7;
+  // Wedge forever on the program's first instruction; the watchdog is the
+  // only way this run can fail loudly instead of hanging to the deadline.
+  plan.events.push_back({{fault::TriggerKind::kPc, kProgramBase},
+                         {fault::FaultSite::kCpuWedge, 0, 1, 1, 0}});
+  const FaultRunResult r = campaign.run_one(spec, plan);
+  EXPECT_EQ(r.verdict, FaultVerdict::kDetected) << r.detail;
+  EXPECT_EQ(r.faults_fired, 1u);
+}
+
+TEST(FaultCampaign, SramCorruptionIsNeverSilent) {
+  FaultCampaign campaign(quiet_config(5));
+  const ProgramSpec spec = small_system_program(77);
+  for (u64 s = 1; s <= 6; ++s) {
+    fault::FaultPlan plan;
+    plan.seed = s;
+    plan.events.push_back(
+        {{fault::TriggerKind::kCycle, 2'000 + 900 * s},
+         {fault::FaultSite::kSramWord,
+          mem::map::kUserProgramBase + 4 * (s * 13 % 128),
+          u64{1} << (s * 11 % 32)}});
+    const FaultRunResult r = campaign.run_one(spec, plan);
+    EXPECT_NE(r.verdict, FaultVerdict::kSilent)
+        << "seed " << s << ": " << r.detail;
+    EXPECT_NE(r.verdict, FaultVerdict::kSkipped) << r.detail;
+  }
+}
+
+TEST(FaultCampaign, RandomPlansAreDeterministicInTheirSeed) {
+  FaultCampaign campaign(quiet_config(1));
+  const fault::FaultPlan a = campaign.random_plan(42, 0x40000100, 0x40000500);
+  const fault::FaultPlan b = campaign.random_plan(42, 0x40000100, 0x40000500);
+  EXPECT_EQ(a.to_string(), b.to_string());
+  const fault::FaultPlan c = campaign.random_plan(43, 0x40000100, 0x40000500);
+  EXPECT_NE(a.to_string(), c.to_string());
+}
+
+}  // namespace
+}  // namespace la::fuzz

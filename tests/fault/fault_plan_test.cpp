@@ -1,0 +1,57 @@
+// FaultPlan: the declarative plan format the campaign prints into repros.
+#include <gtest/gtest.h>
+
+#include "fault/fault_plan.hpp"
+
+namespace la::fault {
+namespace {
+
+TEST(FaultPlan, SiteNamesAreStable) {
+  EXPECT_STREQ(site_name(FaultSite::kSramWord), "sram_word");
+  EXPECT_STREQ(site_name(FaultSite::kSdramWord), "sdram_word");
+  EXPECT_STREQ(site_name(FaultSite::kICacheLine), "icache_line");
+  EXPECT_STREQ(site_name(FaultSite::kDCacheLine), "dcache_line");
+  EXPECT_STREQ(site_name(FaultSite::kRegister), "register");
+  EXPECT_STREQ(site_name(FaultSite::kAhbErrorPulse), "ahb_error_pulse");
+  EXPECT_STREQ(site_name(FaultSite::kCpuWedge), "cpu_wedge");
+  EXPECT_STREQ(site_name(FaultSite::kChannelCorrupt), "channel_corrupt");
+  EXPECT_STREQ(site_name(FaultSite::kChannelTruncate), "channel_truncate");
+  EXPECT_STREQ(site_name(FaultSite::kChannelDelay), "channel_delay");
+}
+
+TEST(FaultPlan, ParitySitesAreTheMemoryOnes) {
+  EXPECT_TRUE(site_has_parity(FaultSite::kSramWord));
+  EXPECT_TRUE(site_has_parity(FaultSite::kSdramWord));
+  EXPECT_TRUE(site_has_parity(FaultSite::kICacheLine));
+  EXPECT_TRUE(site_has_parity(FaultSite::kDCacheLine));
+  EXPECT_FALSE(site_has_parity(FaultSite::kRegister));
+  EXPECT_FALSE(site_has_parity(FaultSite::kCpuWedge));
+  EXPECT_FALSE(site_has_parity(FaultSite::kChannelCorrupt));
+}
+
+TEST(FaultPlan, ToStringIsGreppable) {
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.events.push_back(
+      {{TriggerKind::kCycle, 1000},
+       {FaultSite::kSramWord, 0x40000120, 0x80, 1, 0, false}});
+  plan.events.push_back(
+      {{TriggerKind::kPacketCount, 3},
+       {FaultSite::kChannelTruncate, 0, 1, 1, 0, true}});
+  const std::string s = plan.to_string();
+  EXPECT_NE(s.find("seed=42"), std::string::npos);
+  EXPECT_NE(s.find("events=2"), std::string::npos);
+  EXPECT_NE(s.find("cycle 1000: sram_word addr=0x40000120 mask=0x80"),
+            std::string::npos);
+  EXPECT_NE(s.find("packet 3: channel_truncate"), std::string::npos);
+  EXPECT_NE(s.find("downlink"), std::string::npos);
+}
+
+TEST(FaultPlan, EmptyPlan) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_NE(plan.to_string().find("events=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace la::fault

@@ -1,0 +1,129 @@
+// The PR's acceptance scenario, end to end: a started program wedges the
+// CPU mid-run, the watchdog trips within its budget and drives the §4.1
+// error path (0xff emitted, control plane still answering), and the client
+// recovers with RESTART and re-runs the program successfully — all over a
+// channel that drops and corrupts frames, fully deterministic under a
+// fixed seed.
+#include <gtest/gtest.h>
+
+#include "ctrl/client.hpp"
+#include "fault/injector.hpp"
+#include "net/commands.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::test {
+namespace {
+
+sasm::Image loop_program() {
+  // Long enough that the wedge lands mid-run, with a checkable result.
+  return sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      mov 400, %o1
+      mov 0, %o2
+  loop:
+      add %o2, %o1, %o2
+      subcc %o1, 1, %o1
+      bne loop
+      nop
+      set result, %g1
+      st %o2, [%g1]
+      jmp 0x40
+      nop
+      .align 4
+  result: .skip 4
+  )");
+}
+
+struct ScenarioOutcome {
+  u8 first_error_kind = 0;
+  u8 node_code = 0;
+  u64 watchdog_trips = 0;
+  u64 ctrl_trips = 0;
+  bool status_during_error = false;
+  net::LeonState state_during_error = net::LeonState::kIdle;
+  bool restarted = false;
+  bool second_run_ok = false;
+  u32 result = 0;
+  Cycles final_clock = 0;
+};
+
+ScenarioOutcome run_scenario() {
+  ScenarioOutcome out;
+  const auto img = loop_program();
+
+  sim::SystemConfig scfg;
+  scfg.watchdog_budget = 20'000;
+  sim::LiquidSystem node(scfg);
+  node.run(300);
+
+  ctrl::ClientConfig ccfg;
+  ccfg.uplink.drop = 0.05;
+  ccfg.uplink.corrupt = 0.05;
+  ccfg.uplink.seed = 0xA11CE;
+  ccfg.downlink.drop = 0.05;
+  ccfg.downlink.corrupt = 0.05;
+  ccfg.downlink.seed = 0xB0B;
+  ctrl::LiquidClient client(node, ccfg);
+
+  // Wedge the CPU permanently the moment the program reaches its loop;
+  // only the watchdog can turn that into something the client sees.
+  fault::FaultPlan plan;
+  plan.events.push_back({{fault::TriggerKind::kPc, img.symbol("loop")},
+                         {fault::FaultSite::kCpuWedge, 0, 1, 1, 0}});
+  fault::FaultInjector inj(node, plan, &client.uplink_mut(),
+                           &client.downlink_mut());
+
+  const ctrl::Status first = client.run_program(img, 2'000'000);
+  if (!first) {
+    out.first_error_kind = static_cast<u8>(first.error().kind);
+    out.node_code = first.error().node_code;
+  }
+  out.watchdog_trips = node.watchdog().stats().trips;
+  out.ctrl_trips = node.controller().stats().watchdog_trips;
+
+  // The CPU is stuck, but the control plane must still answer STATUS.
+  if (auto rep = client.status()) {
+    out.status_during_error = true;
+    out.state_during_error = rep->state;
+  }
+
+  out.restarted = static_cast<bool>(client.restart());
+  out.second_run_ok = static_cast<bool>(client.run_program(img, 2'000'000));
+  out.result = node.sram().backdoor_word(img.symbol("result"));
+  out.final_clock = node.now();
+  return out;
+}
+
+TEST(FaultRecovery, WatchdogTripsAndClientRecoversOverLossyChannel) {
+  const ScenarioOutcome out = run_scenario();
+
+  // The first run failed loudly with the watchdog's node error.
+  EXPECT_EQ(out.first_error_kind,
+            static_cast<u8>(ctrl::ClientErrorKind::kNodeError));
+  EXPECT_EQ(out.node_code, net::err::kWatchdogTrip);
+  EXPECT_EQ(out.watchdog_trips, 1u);
+  EXPECT_EQ(out.ctrl_trips, 1u);
+
+  // STATUS still answered while the CPU was wedged.
+  EXPECT_TRUE(out.status_during_error);
+  EXPECT_EQ(out.state_during_error, net::LeonState::kError);
+
+  // RESTART recovered the node; the re-run completed with the right data.
+  EXPECT_TRUE(out.restarted);
+  EXPECT_TRUE(out.second_run_ok);
+  EXPECT_EQ(out.result, 80200u);  // sum 1..400
+}
+
+TEST(FaultRecovery, ScenarioIsDeterministicUnderFixedSeeds) {
+  const ScenarioOutcome a = run_scenario();
+  const ScenarioOutcome b = run_scenario();
+  EXPECT_EQ(a.first_error_kind, b.first_error_kind);
+  EXPECT_EQ(a.node_code, b.node_code);
+  EXPECT_EQ(a.result, b.result);
+  EXPECT_EQ(a.final_clock, b.final_clock);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -14,7 +14,7 @@ namespace {
 
 bool client_run(sim::LiquidSystem& node, const sasm::Image& img) {
   ctrl::LiquidClient client(node);
-  return client.run_program(img, 20'000'000);
+  return static_cast<bool>(client.run_program(img, 20'000'000));
 }
 
 std::string ticker_program() {

@@ -39,7 +39,7 @@ TraceReport run_traced(const std::string& src, TraceAnalyzer& an) {
   const auto img = sasm::assemble_or_throw(src);
   an.set_focus(0x40000000, 0x4fffffff);  // the application, not the boot ROM
   sys.cpu().set_observer(&an);
-  const bool ok = client.run_program(img);
+  const bool ok = static_cast<bool>(client.run_program(img));
   sys.cpu().set_observer(nullptr);
   EXPECT_TRUE(ok);
   return an.report();

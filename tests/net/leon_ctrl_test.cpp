@@ -268,5 +268,32 @@ TEST_F(CtrlFixture, StatsSnapshotReturnsProviderPayload) {
   EXPECT_EQ(ctrl.stats().bad_commands, 0u);
 }
 
+TEST(PacketGeneratorQueue, BoundedDropOldest) {
+  PacketGenerator gen(make_ip(192, 168, 100, 10), kLeonControlPort, 4);
+  for (u8 i = 0; i < 10; ++i) {
+    gen.emit(make_ip(10, 1, 1, 1), 555, ResponseCode::kStatus, Bytes{i});
+  }
+  EXPECT_EQ(gen.pending(), 4u);
+  EXPECT_EQ(gen.responses_dropped(), 6u);
+  EXPECT_EQ(gen.emitted(), 10u);
+  // The survivors are the NEWEST four — a stalled reader sees fresh
+  // state, not a replay of ancient responses.
+  for (u8 want = 6; want < 10; ++want) {
+    auto d = gen.pop();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->payload.at(1), want);
+  }
+  EXPECT_TRUE(gen.empty());
+}
+
+TEST(PacketGeneratorQueue, UnboundedWhenMaxQueueIsZero) {
+  PacketGenerator gen(make_ip(192, 168, 100, 10), kLeonControlPort, 0);
+  for (int i = 0; i < 200; ++i) {
+    gen.emit(make_ip(10, 1, 1, 1), 555, ResponseCode::kStatus);
+  }
+  EXPECT_EQ(gen.pending(), 200u);
+  EXPECT_EQ(gen.responses_dropped(), 0u);
+}
+
 }  // namespace
 }  // namespace la::net

@@ -108,5 +108,96 @@ TEST(Channel, NothingLostWithoutDrop) {
   EXPECT_EQ(got, 100u + ch.stats().duplicated);
 }
 
+TEST(Channel, CorruptFlipsExactlyOneBit) {
+  ChannelConfig cfg;
+  cfg.corrupt = 1.0;
+  cfg.seed = 11;
+  Channel ch(cfg);
+  const Bytes original{0x00, 0x00, 0x00, 0x00};
+  ch.send(original);
+  const auto got = ch.receive();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), original.size());
+  int flipped = 0;
+  for (std::size_t i = 0; i < got->size(); ++i) {
+    flipped += __builtin_popcount((*got)[i] ^ original[i]);
+  }
+  EXPECT_EQ(flipped, 1);
+  EXPECT_EQ(ch.stats().corrupted, 1u);
+}
+
+TEST(Channel, TruncateKeepsAProperPrefix) {
+  ChannelConfig cfg;
+  cfg.truncate = 1.0;
+  cfg.seed = 5;
+  Channel ch(cfg);
+  const Bytes original{1, 2, 3, 4, 5, 6, 7, 8};
+  ch.send(original);
+  const auto got = ch.receive();
+  ASSERT_TRUE(got.has_value());
+  ASSERT_LT(got->size(), original.size());
+  for (std::size_t i = 0; i < got->size(); ++i) {
+    EXPECT_EQ((*got)[i], original[i]);
+  }
+  EXPECT_EQ(ch.stats().truncated, 1u);
+}
+
+TEST(Channel, DelayHoldsFramesForConfiguredRounds) {
+  ChannelConfig cfg;
+  cfg.delay_frames = 3;
+  Channel ch(cfg);
+  ch.send(Bytes{9});
+  // Each receive() ages the frame one round; it surfaces on the third.
+  EXPECT_FALSE(ch.receive().has_value());  // 3 -> 2
+  EXPECT_FALSE(ch.receive().has_value());  // 2 -> 1
+  const auto got = ch.receive();           // 1 -> 0: deliverable
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 9);
+  EXPECT_EQ(ch.stats().delayed, 1u);
+}
+
+TEST(Channel, DelayedHeadExpiresAndNeverHangsTheQueue) {
+  // A delayed frame blocks the FIFO (in-order delivery), but every
+  // receive() call ages it — a retrying client always makes progress,
+  // never hangs.
+  ChannelConfig cfg;
+  Channel ch(cfg);
+  ch.force_delay_next(5);
+  ch.send(Bytes{1});
+  ch.send(Bytes{2});  // queued behind the delayed head
+  int empty_rounds = 0;
+  std::optional<Bytes> got;
+  while (!(got = ch.receive()).has_value() && empty_rounds < 100) {
+    ++empty_rounds;
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ((*got)[0], 1u);  // order preserved
+  EXPECT_EQ(empty_rounds, 4);
+  const auto next = ch.receive();
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ((*next)[0], 2u);
+  EXPECT_EQ(ch.stats().delayed, 1u);
+}
+
+TEST(Channel, ForcedFaultHooksAreOneShot) {
+  Channel ch;
+  ch.force_corrupt_next();
+  ch.send(Bytes{0x00, 0x00});
+  ch.send(Bytes{0x00, 0x00});
+  const auto first = ch.receive();
+  const auto second = ch.receive();
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_NE(*first, (Bytes{0x00, 0x00}));  // forced corruption landed
+  EXPECT_EQ(*second, (Bytes{0x00, 0x00}));  // one-shot: next frame clean
+  EXPECT_EQ(ch.stats().corrupted, 1u);
+
+  ch.force_truncate_next();
+  ch.send(Bytes{1, 2, 3, 4});
+  const auto trunc = ch.receive();
+  ASSERT_TRUE(trunc.has_value());
+  EXPECT_LT(trunc->size(), 4u);
+  EXPECT_EQ(ch.stats().truncated, 1u);
+}
+
 }  // namespace
 }  // namespace la::net

@@ -1,0 +1,128 @@
+// Property: over ANY configuration of channel hostility (drop, duplicate,
+// reorder, corrupt, truncate), run_program either completes with the right
+// data or fails loudly with a structured ClientError.  It never hangs
+// (every wait is bounded by retries and the step deadline) and never
+// reports success with wrong memory.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ctrl/client.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::test {
+namespace {
+
+sasm::Image checkable_program() {
+  return sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+      mov 120, %o1
+      mov 0, %o2
+  loop:
+      add %o2, %o1, %o2
+      subcc %o1, 1, %o1
+      bne loop
+      nop
+      set result, %g1
+      st %o2, [%g1]
+      jmp 0x40
+      nop
+      .align 4
+  result: .skip 4
+  )");
+}
+
+constexpr u32 kExpected = 7260;  // sum 1..120
+
+struct GridPoint {
+  double drop, duplicate, reorder, corrupt;
+};
+
+TEST(ClientFaultTolerance, CompletesCorrectlyOrFailsLoudly) {
+  const auto img = checkable_program();
+  const GridPoint grid[] = {
+      {0.00, 0.00, 0.00, 0.00}, {0.10, 0.00, 0.00, 0.00},
+      {0.30, 0.00, 0.00, 0.00}, {0.00, 0.20, 0.00, 0.00},
+      {0.00, 0.00, 0.25, 0.00}, {0.00, 0.00, 0.00, 0.10},
+      {0.00, 0.00, 0.00, 0.30}, {0.10, 0.10, 0.10, 0.10},
+      {0.25, 0.10, 0.15, 0.20}, {0.40, 0.20, 0.20, 0.40},
+  };
+
+  int successes = 0;
+  int loud_failures = 0;
+  for (const GridPoint& g : grid) {
+    for (u64 seed = 1; seed <= 3; ++seed) {
+      sim::LiquidSystem node;
+      node.run(300);
+      ctrl::ClientConfig ccfg;
+      ccfg.uplink = {g.drop, g.duplicate, g.reorder, g.corrupt,
+                     g.corrupt / 2, 0, seed};
+      ccfg.downlink = {g.drop, g.duplicate, g.reorder, g.corrupt,
+                       g.corrupt / 2, 0, seed ^ 0x5eedull};
+      ccfg.deadline_steps = 1'500'000;
+      ctrl::LiquidClient client(node, ccfg);
+
+      const ctrl::Status run = client.run_program(img, 1'500'000);
+      const std::string ctx = "drop=" + std::to_string(g.drop) +
+                              " dup=" + std::to_string(g.duplicate) +
+                              " reorder=" + std::to_string(g.reorder) +
+                              " corrupt=" + std::to_string(g.corrupt) +
+                              " seed=" + std::to_string(seed);
+      if (run) {
+        // Success must mean the right answer landed in memory.
+        EXPECT_EQ(node.sram().backdoor_word(img.symbol("result")), kExpected)
+            << ctx;
+        ++successes;
+      } else {
+        // Failure must be loud and structured, never a wrong answer
+        // dressed as success.
+        EXPECT_FALSE(run.error().to_string().empty()) << ctx;
+        ++loud_failures;
+      }
+    }
+  }
+  // The clean points and the mildly hostile ones must actually succeed —
+  // "always fails loudly" would satisfy the disjunction vacuously.
+  EXPECT_GE(successes, 12) << "successes=" << successes
+                           << " loud_failures=" << loud_failures;
+}
+
+TEST(ClientFaultTolerance, StaleResponsesAreCountedNotFatal) {
+  // Duplicated frames make the node answer twice; the extra responses are
+  // drained, counted, and never confuse a later command.
+  const auto img = checkable_program();
+  sim::LiquidSystem node;
+  node.run(300);
+  ctrl::ClientConfig ccfg;
+  ccfg.downlink.duplicate = 0.8;
+  ccfg.downlink.seed = 7;
+  ctrl::LiquidClient client(node, ccfg);
+  ASSERT_TRUE(client.run_program(img, 2'000'000));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.status());
+  }
+  client.drain_downlink();
+  EXPECT_GT(client.stats().stale_responses, 0u);
+  EXPECT_EQ(node.sram().backdoor_word(img.symbol("result")), kExpected);
+}
+
+TEST(ClientFaultTolerance, DeadlineExpiresLoudlyWhenTheNodeIsSilent) {
+  // A downlink that eats everything: the client must give up with a
+  // structured error instead of spinning forever.
+  sim::LiquidSystem node;
+  node.run(300);
+  ctrl::ClientConfig ccfg;
+  ccfg.downlink.drop = 1.0;
+  ccfg.deadline_steps = 100'000;
+  ctrl::LiquidClient client(node, ccfg);
+  const auto rep = client.status();
+  ASSERT_FALSE(rep);
+  EXPECT_TRUE(rep.error().kind == ctrl::ClientErrorKind::kDeadline ||
+              rep.error().kind == ctrl::ClientErrorKind::kGaveUp);
+  EXPECT_GT(client.stats().gave_up, 0u);
+}
+
+}  // namespace
+}  // namespace la::test

@@ -11,6 +11,11 @@
 //   lfuzz --replay fail.s                   re-run a saved repro
 //   lfuzz --inject-bug --iterations 50      self-check: a deliberate SUBX
 //                                           fault must be caught+minimized
+//   lfuzz --faults --budget-secs 60         fault-injection campaign: every
+//                                           injected fault must be masked,
+//                                           detected, or latent — a run
+//                                           that "succeeds" with silently
+//                                           wrong memory is the failure
 //
 // Exit codes: 0 no divergence, 1 divergence found (or replay diverges),
 // 2 usage error.
@@ -21,6 +26,7 @@
 #include <sstream>
 #include <string>
 
+#include "fuzz/fault_campaign.hpp"
 #include "fuzz/fuzzer.hpp"
 
 namespace {
@@ -46,8 +52,52 @@ int usage() {
       "  --inject-bug      enable the deliberate SUBX carry fault\n"
       "                    (fuzzer self-check; must end with exit 1)\n"
       "  --replay FILE     differentially execute one .s repro and exit\n"
+      "  --faults          run the fault-injection campaign instead of the\n"
+      "                    differential fuzzer (exit 1 on any silent\n"
+      "                    divergence)\n"
+      "  --watchdog-budget N  watchdog cycle budget per started program\n"
+      "                    in --faults mode (default 2000000)\n"
       "  --quiet           suppress progress lines\n");
   return 2;
+}
+
+int run_faults(const fuzz::FuzzConfig& base, u64 watchdog_budget) {
+  fuzz::FaultCampaignConfig fc;
+  fc.seed = base.seed;
+  fc.budget_secs = base.budget_secs;
+  fc.max_iterations = base.max_iterations;
+  fc.stop_on_silent = base.stop_on_divergence;
+  fc.minimize_failures = base.minimize_failures;
+  fc.out_dir = base.out_dir;
+  fc.verbose = base.verbose;
+  if (base.program_chunks > 0 && base.program_chunks != 120) {
+    fc.program_chunks = base.program_chunks;  // explicitly overridden
+  }
+  if (watchdog_budget) fc.watchdog_budget = watchdog_budget;
+
+  fuzz::FaultCampaign campaign(fc);
+  const int rc = campaign.run();
+
+  const fuzz::FaultCampaignStats& st = campaign.stats();
+  std::printf(
+      "lfuzz --faults: %llu iterations, %llu faults injected; "
+      "%llu masked, %llu detected, %llu latent, %llu SILENT, "
+      "%llu skipped\n",
+      static_cast<unsigned long long>(st.iterations),
+      static_cast<unsigned long long>(st.faults_injected),
+      static_cast<unsigned long long>(st.masked),
+      static_cast<unsigned long long>(st.detected),
+      static_cast<unsigned long long>(st.latent),
+      static_cast<unsigned long long>(st.silent),
+      static_cast<unsigned long long>(st.skipped));
+  for (const fuzz::FaultFailure& f : campaign.failures()) {
+    std::printf("  SILENT divergence: %s\n    repro: %s\n    plan:\n%s",
+                f.detail.c_str(),
+                f.minimized_path.empty() ? f.repro_path.c_str()
+                                         : f.minimized_path.c_str(),
+                f.plan.to_string().c_str());
+  }
+  return rc;
 }
 
 int replay(const std::string& path, const fuzz::FuzzConfig& cfg) {
@@ -96,6 +146,8 @@ int main(int argc, char** argv) {
   std::string replay_path;
   bool have_secs = false;
   bool have_iters = false;
+  bool faults_mode = false;
+  u64 watchdog_budget = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -141,6 +193,12 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       replay_path = v;
+    } else if (arg == "--faults") {
+      faults_mode = true;
+    } else if (arg == "--watchdog-budget") {
+      const char* v = value();
+      if (!v) return usage();
+      watchdog_budget = std::strtoull(v, nullptr, 10);
     } else if (arg == "--quiet") {
       cfg.verbose = false;
     } else {
@@ -152,6 +210,12 @@ int main(int argc, char** argv) {
   if (!replay_path.empty()) return replay(replay_path, cfg);
 
   if (!have_secs && !have_iters) cfg.budget_secs = 10;
+
+  if (faults_mode) {
+    // The faults campaign defaults its own out dir unless one was given.
+    if (cfg.out_dir == "lfuzz-out") cfg.out_dir = "lfuzz-faults-out";
+    return run_faults(cfg, watchdog_budget);
+  }
 
   fuzz::Fuzzer fuzzer(cfg);
   const int rc = fuzzer.run();
