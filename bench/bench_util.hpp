@@ -111,6 +111,12 @@ class BenchIo {
     if (perf_enabled()) node.enable_perf_trace();
   }
 
+  /// Record one measured run from an already-built snapshot — for rollups
+  /// that aren't a single node's registry (the farm's fleet merge).
+  void add_run(const std::string& label, metrics::Snapshot snap) {
+    if (metrics_enabled()) runs_.emplace_back(label, std::move(snap));
+  }
+
   /// Record one measured run: snapshot the node's registry (and collect
   /// its perf-trace events) under `label`.
   void add_run(const std::string& label, sim::LiquidSystem& node) {

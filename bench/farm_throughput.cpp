@@ -1,0 +1,125 @@
+// Fleet throughput: what affinity routing and fleet width buy.
+//
+// Three measured runs over the identical seeded workload:
+//   * 8 nodes, affinity routing (the farm as shipped)
+//   * 8 nodes, FIFO (oldest-runnable-first — the scheduling baseline)
+//   * 1 node, affinity (the paper's single-server deployment)
+// reported in simulated wall-clock: jobs/sec over the fleet makespan,
+// fleet reconfiguration counts, and the reconfigurations affinity avoided
+// versus FIFO at equal width.  Writes every fleet snapshot to
+// BENCH_farm.json (override with --metrics-json).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "farm/farm.hpp"
+#include "farm/workload.hpp"
+
+namespace {
+
+using namespace la;
+
+struct RunResult {
+  std::string label;
+  farm::FarmReport report;
+};
+
+/// Drive `jobs` seeded jobs through a fresh farm and report on it.  The
+/// generator is re-seeded per run, so every configuration sees the exact
+/// same job stream.
+RunResult run_farm(const std::string& label, std::size_t nodes,
+                   farm::FarmPolicy policy, u64 jobs, u64 seed) {
+  farm::FarmConfig fc;
+  fc.nodes = nodes;
+  fc.scheduler.policy = policy;
+  farm::LiquidFarm f(fc);
+
+  farm::WorkloadConfig wc;
+  wc.seed = seed;
+  wc.owners = 24;  // keep an 8-wide fleet fed despite per-owner FIFO
+  farm::WorkloadGenerator gen(wc);
+
+  liquid::ConfigSpace space;
+  space.dcache_sizes.clear();
+  space.mul_latencies.clear();
+  for (const liquid::ArchConfig& c : gen.catalog()) {
+    space.dcache_sizes.push_back(c.dcache_bytes);
+    space.mul_latencies.push_back(c.mul_latency);
+  }
+  f.pregenerate(space);  // measure scheduling, not synthesis hours
+
+  for (u64 i = 0; i < jobs; ++i) {
+    farm::GeneratedJob g = gen.next();
+    for (;;) {
+      if (f.submit(g.job)) break;
+      f.pop_result();  // saturated: absorb a completion, then retry
+    }
+  }
+  f.drain();
+  return {label, f.report()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string metrics_path = "BENCH_farm.json";
+  u64 jobs = 600;
+  u64 seed = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--metrics-json" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (a == "--jobs" && i + 1 < argc) {
+      jobs = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "farm_throughput: unknown argument '%s' (supported: "
+                   "--metrics-json FILE, --jobs N, --seed S)\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  bench::BenchIo io("farm_throughput", metrics_path, "");
+
+  std::vector<RunResult> runs;
+  runs.push_back(
+      run_farm("affinity-8", 8, farm::FarmPolicy::kAffinity, jobs, seed));
+  runs.push_back(
+      run_farm("fifo-8", 8, farm::FarmPolicy::kFifo, jobs, seed));
+  runs.push_back(
+      run_farm("affinity-1", 1, farm::FarmPolicy::kAffinity, jobs, seed));
+
+  std::printf("farm throughput, %llu jobs, seed %llu (simulated time)\n",
+              static_cast<unsigned long long>(jobs),
+              static_cast<unsigned long long>(seed));
+  std::printf("%-12s %8s %12s %10s %10s %10s\n", "run", "nodes", "jobs/sec",
+              "makespan", "reconfigs", "p95 wall");
+  for (RunResult& r : runs) {
+    std::printf("%-12s %8zu %12.2f %9.2fs %10llu %9.4fs\n", r.label.c_str(),
+                r.report.nodes.size(), r.report.jobs_per_second,
+                r.report.makespan_seconds,
+                static_cast<unsigned long long>(r.report.reconfigurations),
+                r.report.p95_wall_seconds);
+    io.add_run(r.label, std::move(r.report.fleet));
+  }
+
+  const farm::FarmReport& aff = runs[0].report;
+  const farm::FarmReport& fifo = runs[1].report;
+  const farm::FarmReport& solo = runs[2].report;
+  const long long avoided =
+      static_cast<long long>(fifo.reconfigurations) -
+      static_cast<long long>(aff.reconfigurations);
+  std::printf("\naffinity avoided %lld reconfigurations vs FIFO (%llu -> "
+              "%llu)\n",
+              avoided,
+              static_cast<unsigned long long>(fifo.reconfigurations),
+              static_cast<unsigned long long>(aff.reconfigurations));
+  if (solo.jobs_per_second > 0.0) {
+    std::printf("fleet speedup over one node: %.2fx\n",
+                aff.jobs_per_second / solo.jobs_per_second);
+  }
+  return io.finish() ? 0 : 1;
+}

@@ -19,6 +19,11 @@ void Histogram::observe(double x) {
   ++buckets_[idx];
 }
 
+void Histogram::merge(const Histogram& o) {
+  stats_.merge(o.stats_);
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+}
+
 double Histogram::bucket_limit(std::size_t i) {
   if (i == 0) return 1.0;
   if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
@@ -260,6 +265,20 @@ std::size_t MetricsRegistry::unregister_prefix(const std::string& prefix) {
     ++n;
   }
   return n;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, e] : other.entries_) {
+    if (e.counter) {
+      counter(name).inc(e.counter->value());
+    } else if (e.gauge) {
+      gauge(name).add(e.gauge->value());
+    } else if (e.fn) {
+      gauge(name).add(e.fn());
+    } else if (e.histogram) {
+      histogram(name).merge(*e.histogram);
+    }
+  }
 }
 
 Snapshot MetricsRegistry::snapshot(u64 cycle) const {

@@ -15,6 +15,16 @@
 //   * bridged samples  — register_fn() wires an existing counter (the
 //     components' own stats structs) in by callback, read at snapshot
 //     time.  Zero cost on the hot path, no component rewrites.
+//
+// Threading: a registry is **single-writer** by contract.  All mutation —
+// metric registration, counter bumps, histogram observations, and the
+// component state a bridged SampleFn reads — must come from the one thread
+// that owns the registry (in the farm: the worker that owns the node).
+// There is no internal locking; snapshot() and merge_from() may be called
+// from another thread only after synchronizing with the owner (e.g. the
+// farm reads node registries under its mutex once no job is in flight).
+// Fleet-level aggregation copies data *out* with merge_from() rather than
+// sharing primitives across threads.
 #pragma once
 
 #include <array>
@@ -59,6 +69,10 @@ class Histogram {
   static constexpr std::size_t kBuckets = 33;
 
   void observe(double x);
+
+  /// Fold another histogram in: buckets add, moments merge exactly
+  /// (OnlineStats::merge).
+  void merge(const Histogram& o);
 
   const OnlineStats& stats() const { return stats_; }
   u64 count() const { return stats_.count(); }
@@ -137,6 +151,16 @@ class MetricsRegistry {
 
   /// Sample everything.  `cycle` stamps the snapshot with the node clock.
   Snapshot snapshot(u64 cycle = 0) const;
+
+  /// Fold another registry's current values into this one, name by name:
+  /// counters add, gauges add, histograms merge, and bridged SampleFns are
+  /// sampled now and accumulated into a gauge of the same name (a fleet
+  /// aggregate has no live component to re-sample).  Kinds must agree with
+  /// whatever the name already is here (fn -> gauge), or std::logic_error
+  /// is thrown — merging identically-constructed per-node registries is
+  /// always safe.  The caller must hold both sides quiescent (see the
+  /// single-writer contract above).
+  void merge_from(const MetricsRegistry& other);
 
  private:
   struct Entry {

@@ -22,6 +22,26 @@ class OnlineStats {
     max_ = std::max(max_, x);
   }
 
+  /// Fold another accumulator in (Chan et al.'s parallel update): the
+  /// result is exactly what add()-ing both streams into one accumulator
+  /// would have produced.  Used when per-thread stats are combined after
+  /// the threads quiesce (e.g. per-node registries into a fleet report).
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const u64 n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
   u64 count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double variance() const {

@@ -1,0 +1,298 @@
+#include "farm/farm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace la::farm {
+
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point a,
+                       std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Nearest-rank percentile of an already-sorted sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t i = static_cast<std::size_t>(std::ceil(rank));
+  if (i > 0) --i;
+  if (i >= sorted.size()) i = sorted.size() - 1;
+  return sorted[i];
+}
+
+}  // namespace
+
+LiquidFarm::LiquidFarm(FarmConfig cfg)
+    : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity), sched_(cfg_.scheduler) {
+  if (cfg_.nodes == 0) cfg_.nodes = 1;
+  liquid::ServerConfig server_cfg = cfg_.server;
+  server_cfg.bridge_cache_metrics = false;  // bridged once, fleet-level
+  workers_.reserve(cfg_.nodes);
+  for (std::size_t i = 0; i < cfg_.nodes; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    sim::SystemConfig node_cfg = cfg_.node_template;
+    node_cfg.node_ip = cfg_.node_template.node_ip + static_cast<u32>(i);
+    w->node = std::make_unique<sim::LiquidSystem>(node_cfg);
+    w->server = std::make_unique<liquid::ReconfigurationServer>(
+        *w->node, cache_, syn_, server_cfg);
+    w->current_key = w->server->current().key();
+    workers_.push_back(std::move(w));
+  }
+  started_ = cfg_.autostart;
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, worker = w.get()] { worker_loop(*worker); });
+  }
+}
+
+LiquidFarm::~LiquidFarm() { shutdown(); }
+
+void LiquidFarm::start() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (!started_) {
+    started_ = true;
+    cv_work_.notify_all();
+  }
+}
+
+Result<u64> LiquidFarm::submit(FarmJob job) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (shutdown_) return FarmError{FarmErrorKind::kShuttingDown, {}};
+  Result<u64> admitted = sched_.enqueue(std::move(job));
+  if (admitted) cv_work_.notify_all();
+  return admitted;
+}
+
+std::optional<FarmJobOutcome> LiquidFarm::try_pop_result() {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (results_.empty()) return std::nullopt;
+  FarmJobOutcome out = std::move(results_.front());
+  results_.pop_front();
+  return out;
+}
+
+std::optional<FarmJobOutcome> LiquidFarm::pop_result() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_results_.wait(lk, [&] {
+    return !results_.empty() || shutdown_ || sched_.idle();
+  });
+  if (results_.empty()) return std::nullopt;
+  FarmJobOutcome out = std::move(results_.front());
+  results_.pop_front();
+  return out;
+}
+
+void LiquidFarm::drain() {
+  start();  // a paused farm can never drain
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_results_.wait(lk, [&] { return shutdown_ || sched_.idle(); });
+}
+
+void LiquidFarm::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) {
+      // Idempotent: threads were already told; fall through to join.
+    }
+    shutdown_ = true;
+    cv_work_.notify_all();
+    cv_results_.notify_all();
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+double LiquidFarm::pregenerate(const liquid::ConfigSpace& space) {
+  return cache_.pregenerate(space, syn_);
+}
+
+std::vector<u64> LiquidFarm::plan(std::size_t node) const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return sched_.plan(workers_.at(node)->current_key);
+}
+
+FarmScheduler::Stats LiquidFarm::scheduler_stats() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return sched_.stats();
+}
+
+bool LiquidFarm::fleet_idle_locked() const {
+  if (!sched_.idle()) return false;
+  if (started_) {
+    for (const auto& w : workers_) {
+      if (!w->ready) return false;  // still booting: owns its node
+    }
+  }
+  return true;
+}
+
+void LiquidFarm::worker_loop(Worker& w) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_work_.wait(lk, [&] { return started_ || shutdown_; });
+    if (shutdown_) return;
+  }
+  // Boot the node to the ROM's mailbox-polling loop before taking work.
+  w.node->run(100);
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    w.ready = true;
+    cv_results_.notify_all();
+  }
+  for (;;) {
+    FarmJob job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (;;) {
+        if (shutdown_) return;
+        auto picked = sched_.pick(w.current_key);
+        if (picked.has_value()) {
+          job = std::move(*picked);
+          break;
+        }
+        cv_work_.wait(lk);
+      }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    liquid::JobResult r = w.server->run_job(job.config, job.program,
+                                            job.result_addr, job.result_words);
+    const double host = seconds_between(t0, std::chrono::steady_clock::now());
+
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      sched_.complete(job.owner);
+      w.current_key = w.server->current().key();
+      ++w.jobs;
+      if (!r.ok) ++w.failures;
+      if (r.reconfigured) ++w.reconfigurations;
+      if (r.bitfile_cache_hit) ++w.bitfile_hits;
+      const double wall = r.wall_seconds();
+      w.busy_seconds += wall;
+      wall_samples_.push_back(wall);
+      host_seconds_ += host;
+      FarmJobOutcome out;
+      out.id = job.id;
+      out.owner = std::move(job.owner);
+      out.config_key = job.config.key();
+      out.node = w.index;
+      out.result = std::move(r);
+      results_.push_back(std::move(out));
+      cv_work_.notify_all();  // completing frees this job's owner
+      cv_results_.notify_all();
+    }
+  }
+}
+
+FarmReport LiquidFarm::report() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_results_.wait(lk, [&] { return shutdown_ || fleet_idle_locked(); });
+
+  FarmReport rep;
+  metrics::MetricsRegistry fleet;
+  for (const auto& w : workers_) {
+    rep.jobs += w->jobs;
+    rep.failures += w->failures;
+    rep.reconfigurations += w->reconfigurations;
+    rep.bitfile_hits += w->bitfile_hits;
+    rep.total_busy_seconds += w->busy_seconds;
+    rep.makespan_seconds = std::max(rep.makespan_seconds, w->busy_seconds);
+    FarmReport::Node n;
+    n.index = w->index;
+    n.jobs = w->jobs;
+    n.failures = w->failures;
+    n.reconfigurations = w->reconfigurations;
+    n.busy_seconds = w->busy_seconds;
+    n.config_key = w->current_key;
+    rep.nodes.push_back(std::move(n));
+    fleet.merge_from(w->node->metrics());
+  }
+  rep.rejected = sched_.stats().rejected;
+  rep.affinity_hits = sched_.stats().affinity_hits;
+  rep.host_seconds = host_seconds_;
+  if (rep.makespan_seconds > 0.0) {
+    rep.jobs_per_second =
+        static_cast<double>(rep.jobs) / rep.makespan_seconds;
+  }
+  std::vector<double> sorted = wall_samples_;
+  std::sort(sorted.begin(), sorted.end());
+  rep.p50_wall_seconds = percentile(sorted, 0.50);
+  rep.p95_wall_seconds = percentile(sorted, 0.95);
+  rep.p99_wall_seconds = percentile(sorted, 0.99);
+
+  // The shared bitfile store, bridged once at fleet level (per-node
+  // bridging would multiply-count it in the merge).
+  const liquid::ReconfigurationCache::Stats cs = cache_.stats();
+  fleet.gauge("reconfig_cache.hits").set(static_cast<double>(cs.hits));
+  fleet.gauge("reconfig_cache.misses").set(static_cast<double>(cs.misses));
+  fleet.gauge("reconfig_cache.evictions")
+      .set(static_cast<double>(cs.evictions));
+  fleet.gauge("reconfig_cache.failed_synth")
+      .set(static_cast<double>(cs.failed_synth));
+  fleet.gauge("reconfig_cache.synth_seconds").set(cs.synth_seconds);
+  fleet.gauge("reconfig_cache.size").set(static_cast<double>(cache_.size()));
+
+  fleet.counter("farm.nodes").inc(workers_.size());
+  fleet.counter("farm.jobs").inc(rep.jobs);
+  fleet.counter("farm.failures").inc(rep.failures);
+  fleet.counter("farm.reconfigurations").inc(rep.reconfigurations);
+  fleet.counter("farm.bitfile_hits").inc(rep.bitfile_hits);
+  fleet.counter("farm.rejected").inc(rep.rejected);
+  fleet.counter("farm.affinity_hits").inc(rep.affinity_hits);
+  fleet.gauge("farm.makespan_seconds").set(rep.makespan_seconds);
+  fleet.gauge("farm.total_busy_seconds").set(rep.total_busy_seconds);
+  fleet.gauge("farm.jobs_per_second").set(rep.jobs_per_second);
+  fleet.gauge("farm.host_seconds").set(rep.host_seconds);
+  fleet.gauge("farm.wall_seconds.p50").set(rep.p50_wall_seconds);
+  fleet.gauge("farm.wall_seconds.p95").set(rep.p95_wall_seconds);
+  fleet.gauge("farm.wall_seconds.p99").set(rep.p99_wall_seconds);
+  metrics::Histogram& h = fleet.histogram("farm.wall_seconds");
+  for (const double s : wall_samples_) h.observe(s);
+
+  rep.fleet = fleet.snapshot();
+  return rep;
+}
+
+std::string FarmReport::text() const {
+  char buf[256];
+  std::string s;
+  std::snprintf(buf, sizeof(buf),
+                "fleet: %zu nodes, %llu jobs (%llu failed, %llu rejected)\n",
+                nodes.size(), static_cast<unsigned long long>(jobs),
+                static_cast<unsigned long long>(failures),
+                static_cast<unsigned long long>(rejected));
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "reconfigurations: %llu (affinity spared %llu dispatches); "
+                "bitfile hits: %llu\n",
+                static_cast<unsigned long long>(reconfigurations),
+                static_cast<unsigned long long>(affinity_hits),
+                static_cast<unsigned long long>(bitfile_hits));
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "simulated makespan: %.3f s  throughput: %.2f jobs/s  "
+                "(host cpu: %.2f s)\n",
+                makespan_seconds, jobs_per_second, host_seconds);
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
+                "latency wall-seconds: p50 %.4f  p95 %.4f  p99 %.4f\n",
+                p50_wall_seconds, p95_wall_seconds, p99_wall_seconds);
+  s += buf;
+  for (const auto& n : nodes) {
+    std::snprintf(buf, sizeof(buf),
+                  "  node %zu: %llu jobs, %llu reconfigs, busy %.3f s, "
+                  "loaded %s\n",
+                  n.index, static_cast<unsigned long long>(n.jobs),
+                  static_cast<unsigned long long>(n.reconfigurations),
+                  n.busy_seconds, n.config_key.c_str());
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace la::farm

@@ -1,0 +1,63 @@
+// Typed failures for the farm front end, mirroring the control client's
+// Result<T>/Status shape (PR 3): a rejected submission says *why* — queue
+// saturated (backpressure), farm shutting down, or a configuration that
+// can never load — instead of silently dropping work.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace la::farm {
+
+enum class FarmErrorKind : u8 {
+  kSaturated = 0,     // admission control: the bounded queue is full
+  kShuttingDown = 1,  // the farm is stopping; no new work accepted
+  kInvalidConfig = 2, // the job's ArchConfig fails validation
+};
+
+struct FarmError {
+  FarmErrorKind kind = FarmErrorKind::kSaturated;
+  std::string detail;
+
+  std::string to_string() const {
+    switch (kind) {
+      case FarmErrorKind::kSaturated:
+        return "queue saturated" + (detail.empty() ? "" : ": " + detail);
+      case FarmErrorKind::kShuttingDown:
+        return "farm shutting down" + (detail.empty() ? "" : ": " + detail);
+      case FarmErrorKind::kInvalidConfig:
+        return "invalid configuration" +
+               (detail.empty() ? "" : ": " + detail);
+    }
+    return "unknown farm error";
+  }
+};
+
+/// Outcome of a farm operation: a value, or a FarmError saying why not.
+/// Same access surface as ctrl::Result so call sites read identically.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}    // NOLINT(runtime/explicit)
+  Result(FarmError e) : error_(std::move(e)) {}    // NOLINT(runtime/explicit)
+
+  bool has_value() const { return value_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+
+  /// Only meaningful when !has_value().
+  const FarmError& error() const { return error_; }
+
+ private:
+  std::optional<T> value_;
+  FarmError error_;
+};
+
+}  // namespace la::farm

@@ -1,0 +1,105 @@
+#include "farm/scheduler.hpp"
+
+#include <limits>
+
+namespace la::farm {
+
+namespace {
+constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+Result<u64> FarmScheduler::enqueue(FarmJob job) {
+  if (!job.config.valid()) {
+    ++stats_.rejected;
+    return FarmError{FarmErrorKind::kInvalidConfig, job.config.key()};
+  }
+  if (cfg_.queue_capacity != 0 && pending_.size() >= cfg_.queue_capacity) {
+    ++stats_.rejected;
+    return FarmError{FarmErrorKind::kSaturated,
+                     std::to_string(pending_.size()) + " queued"};
+  }
+  job.id = next_id_++;
+  const u64 id = job.id;
+  pending_.push_back(Pending{std::move(job), 0});
+  ++stats_.submitted;
+  return id;
+}
+
+std::size_t FarmScheduler::choose(const SchedulerConfig& cfg,
+                                  std::deque<Pending>& pending,
+                                  const std::set<std::string>& busy,
+                                  const std::string& node_key, bool* aged) {
+  // Runnable = the *oldest* pending job of an owner with nothing in
+  // flight.  An owner's younger jobs are never candidates — even a
+  // perfect affinity match behind a sibling would break per-owner FIFO.
+  std::set<std::string> seen;
+  std::vector<std::size_t> runnable;
+  std::size_t match = kNpos;
+  *aged = false;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const std::string& owner = pending[i].job.owner;
+    if (!seen.insert(owner).second) continue;  // an older sibling is ahead
+    if (busy.count(owner) != 0) continue;
+    const bool is_match = cfg.policy == FarmPolicy::kAffinity &&
+                          pending[i].job.config.key() == node_key;
+    if (runnable.empty()) {
+      if (is_match) return i;  // oldest runnable already matches: done
+      if (pending[i].skips >= cfg.max_skips) {
+        *aged = true;
+        return i;  // starving: must go next, stop looking for matches
+      }
+    } else if (is_match) {
+      match = i;
+      break;
+    }
+    runnable.push_back(i);
+    if (runnable.size() >= cfg.affinity_window) break;
+  }
+  if (runnable.empty()) return kNpos;
+  if (match == kNpos) return runnable.front();
+  // A younger match jumps the queue: every runnable job it passed records
+  // the skip, feeding the aging rule.
+  for (const std::size_t i : runnable) ++pending[i].skips;
+  return match;
+}
+
+std::optional<FarmJob> FarmScheduler::pick(const std::string& node_key) {
+  bool aged = false;
+  const std::size_t i =
+      choose(cfg_, pending_, busy_owners_, node_key, &aged);
+  if (i == kNpos) return std::nullopt;
+  FarmJob job = std::move(pending_[i].job);
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+  busy_owners_.insert(job.owner);
+  ++in_flight_;
+  ++stats_.picks;
+  if (job.config.key() == node_key) ++stats_.affinity_hits;
+  if (aged) ++stats_.aged_picks;
+  return job;
+}
+
+void FarmScheduler::complete(const std::string& owner) {
+  busy_owners_.erase(owner);
+  if (in_flight_ > 0) --in_flight_;
+}
+
+std::vector<u64> FarmScheduler::plan(const std::string& node_key) const {
+  std::deque<Pending> pending = pending_;
+  std::set<std::string> busy = busy_owners_;
+  std::string key = node_key;
+  std::vector<u64> order;
+  order.reserve(pending.size());
+  // Serial replay: each job completes (freeing its owner and leaving its
+  // configuration loaded) before the next pick.
+  while (!pending.empty()) {
+    bool aged = false;
+    const std::size_t i = choose(cfg_, pending, busy, key, &aged);
+    if (i == kNpos) break;  // every remaining owner is busy for real
+    order.push_back(pending[i].job.id);
+    key = pending[i].job.config.key();
+    pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  return order;
+}
+
+}  // namespace la::farm

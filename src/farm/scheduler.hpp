@@ -1,0 +1,128 @@
+// The farm's job scheduler: a concurrent submission queue with
+// bitstream-affinity routing.
+//
+// The paper's Reconfiguration Server brokers *multiple remote users* onto
+// FPX hardware (Fig 1); reprogramming the FPGA between jobs costs a
+// bitstream download, and synthesizing a missing image costs ~1 hour.  A
+// fleet of nodes turns that into a placement problem: a job routed to a
+// node that already holds its configuration runs immediately, so the
+// scheduler prefers configuration matches (affinity) and falls back to
+// letting an idle node steal the oldest runnable job (work conservation).
+//
+// Invariants the policies never break:
+//   * per-owner FIFO — jobs from one owner dispatch in submission order,
+//     and at most one of an owner's jobs is in flight at a time, so an
+//     owner's results arrive in the order they asked;
+//   * bounded skipping — affinity may jump a job ahead of older work only
+//     within `affinity_window` runnable jobs, and a job passed over
+//     `max_skips` times must be dispatched next (no starvation);
+//   * admission control — the queue holds at most `queue_capacity` jobs;
+//     beyond that submissions are rejected with a typed FarmError
+//     (backpressure), never silently dropped.
+//
+// The scheduler itself is a single-threaded core; LiquidFarm serializes
+// access to it under one mutex.  Keeping the policy logic lock-free makes
+// plan() possible: a preview replays the exact pick logic on a copy of
+// the queue state.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "farm/farm_error.hpp"
+#include "liquid/arch_config.hpp"
+#include "sasm/image.hpp"
+
+namespace la::farm {
+
+/// One unit of fleet work: who wants it, under which architecture, what
+/// to run, and what to read back.  `id` is assigned at submission.
+struct FarmJob {
+  u64 id = 0;
+  std::string owner;
+  liquid::ArchConfig config;
+  sasm::Image program;
+  Addr result_addr = 0;
+  u16 result_words = 0;
+};
+
+enum class FarmPolicy : u8 {
+  kFifo,      // oldest runnable job, always (the baseline)
+  kAffinity,  // prefer a configuration match within the window
+};
+
+struct SchedulerConfig {
+  FarmPolicy policy = FarmPolicy::kAffinity;
+  /// Maximum queued (not yet dispatched) jobs; submissions beyond this
+  /// are rejected with kSaturated.  0 = unbounded.
+  std::size_t queue_capacity = 256;
+  /// Runnable jobs an affinity pick may scan past the oldest one.
+  std::size_t affinity_window = 16;
+  /// A job passed over this many times is dispatched next, regardless of
+  /// affinity (anti-starvation aging).
+  u32 max_skips = 8;
+};
+
+class FarmScheduler {
+ public:
+  explicit FarmScheduler(SchedulerConfig cfg = {}) : cfg_(cfg) {}
+
+  /// Admit a job (assigns and returns its id) or reject it with a typed
+  /// error (saturated queue, invalid configuration).
+  Result<u64> enqueue(FarmJob job);
+
+  /// Next job for an idle node whose loaded configuration key is
+  /// `node_key`; nullopt when nothing is runnable (queue empty or every
+  /// queued owner already has a job in flight).  Only an owner's oldest
+  /// pending job is ever a candidate — per-owner FIFO binds affinity
+  /// too.  The job's owner is marked busy until complete().
+  std::optional<FarmJob> pick(const std::string& node_key);
+
+  /// A dispatched job finished; its owner may run again.
+  void complete(const std::string& owner);
+
+  /// The order a single idle node at `node_key` would execute the current
+  /// queue in, as job ids — pick() replayed to exhaustion on a copy of
+  /// the queue, assuming each job loads successfully and completes before
+  /// the next pick.  With one node this *is* the execution order.
+  std::vector<u64> plan(const std::string& node_key) const;
+
+  std::size_t pending() const { return pending_.size(); }
+  std::size_t in_flight() const { return in_flight_; }
+  bool idle() const { return pending_.empty() && in_flight_ == 0; }
+
+  struct Stats {
+    u64 submitted = 0;
+    u64 rejected = 0;
+    u64 picks = 0;
+    u64 affinity_hits = 0;  // dispatched to a node already configured
+    u64 aged_picks = 0;     // forced by the max_skips rule
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Pending {
+    FarmJob job;
+    u32 skips = 0;  // times a younger job was dispatched over this one
+  };
+
+  /// The one pick implementation pick() and plan() share: choose an index
+  /// into `pending` for a node at `node_key` and bump the skip counters
+  /// of runnable jobs that were passed over.  npos when nothing runnable.
+  static std::size_t choose(const SchedulerConfig& cfg,
+                            std::deque<Pending>& pending,
+                            const std::set<std::string>& busy,
+                            const std::string& node_key, bool* aged);
+
+  SchedulerConfig cfg_;
+  std::deque<Pending> pending_;
+  std::set<std::string> busy_owners_;
+  std::size_t in_flight_ = 0;
+  u64 next_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace la::farm

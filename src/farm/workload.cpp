@@ -1,0 +1,169 @@
+#include "farm/workload.hpp"
+
+#include <cmath>
+
+#include "sasm/assembler.hpp"
+
+namespace la::farm {
+
+namespace {
+
+/// Template 1: store a literal (the cheapest job the fleet sees).
+std::string store_value_src(u32 value) {
+  return R"(
+      .org 0x40000100
+  _start:
+      set )" + std::to_string(value) + R"(, %g1
+      set result, %g2
+      st %g1, [%g2]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+  )";
+}
+
+/// Template 2: an n-round xor/rotate checksum from `seed`.
+std::string checksum_src(u32 seed, u32 rounds) {
+  return R"(
+      .org 0x40000100
+  _start:
+      set )" + std::to_string(seed) + R"(, %g1
+      set )" + std::to_string(rounds) + R"(, %g2
+  loop:
+      xor %g1, %g2, %g1
+      sll %g1, 1, %g3
+      srl %g1, 31, %g4
+      or %g3, %g4, %g1
+      subcc %g2, 1, %g2
+      bne loop
+      nop
+      set result, %g5
+      st %g1, [%g5]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+  )";
+}
+
+u32 checksum_expected(u32 seed, u32 rounds) {
+  u32 g1 = seed;
+  for (u32 g2 = rounds; g2 != 0; --g2) {
+    g1 ^= g2;
+    g1 = (g1 << 1) | (g1 >> 31);
+  }
+  return g1;
+}
+
+/// Template 3: the Fig 7-shaped strided walk over a 4 KB array — the
+/// template whose cycle count actually depends on the D-cache geometry.
+/// Stores the final induction value (first multiple of 32 >= bound).
+std::string walk_src(u32 bound) {
+  return R"(
+      .org 0x40000100
+  _start:
+      set count, %o0
+      mov 0, %o1
+      set )" + std::to_string(bound) + R"(, %o2
+  loop:
+      and %o1, 1023, %o3
+      sll %o3, 2, %o3
+      ld [%o0 + %o3], %o4
+      add %o1, 32, %o1
+      cmp %o1, %o2
+      bl loop
+      nop
+      set result, %o5
+      st %o1, [%o5]
+      jmp 0x40
+      nop
+      .align 4
+  result:
+      .skip 4
+      .align 32
+  count:
+      .skip 4096
+  )";
+}
+
+u32 walk_expected(u32 bound) {
+  u32 i = 0;
+  do {
+    i += 32;
+  } while (i < bound);
+  return i;
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  // Catalog: the paper's D-cache sweep crossed with two multiplier
+  // variants, most popular first.
+  const u32 dsizes[] = {4096, 1024, 8192, 2048, 16384};
+  const Cycles muls[] = {5, 2};
+  for (const Cycles m : muls) {
+    for (const u32 d : dsizes) {
+      liquid::ArchConfig c;
+      c.dcache_bytes = d;
+      c.mul_latency = m;
+      if (c.valid()) catalog_.push_back(c);
+    }
+  }
+  if (cfg_.configs != 0 && catalog_.size() > cfg_.configs) {
+    catalog_.resize(cfg_.configs);
+  }
+  double total = 0.0;
+  for (std::size_t r = 0; r < catalog_.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), cfg_.zipf_s);
+    cumulative_.push_back(total);
+  }
+  for (double& c : cumulative_) c /= total;
+}
+
+GeneratedJob WorkloadGenerator::next() {
+  GeneratedJob g;
+  g.job.owner = "user" + std::to_string(rng_.below(cfg_.owners));
+
+  const double u = rng_.unit();
+  std::size_t rank = 0;
+  while (rank + 1 < cumulative_.size() && u > cumulative_[rank]) ++rank;
+  g.job.config = catalog_[rank];
+
+  const u32 work = rng_.between(cfg_.min_work, cfg_.max_work);
+  std::string src;
+  switch (rng_.below(10)) {
+    case 0:
+    case 1:
+    case 2: {  // 30% trivial store
+      const u32 value = rng_.next_u32();
+      src = store_value_src(value);
+      g.expected = value;
+      break;
+    }
+    case 3:
+    case 4:
+    case 5:
+    case 6: {  // 40% checksum
+      const u32 seed = rng_.next_u32() | 1;
+      src = checksum_src(seed, work);
+      g.expected = checksum_expected(seed, work);
+      break;
+    }
+    default: {  // 30% cache-sensitive walk
+      const u32 bound = 32 * work;
+      src = walk_src(bound);
+      g.expected = walk_expected(bound);
+      break;
+    }
+  }
+  g.job.program = sasm::assemble_or_throw(src);
+  g.job.result_addr = g.job.program.symbol("result");
+  g.job.result_words = 1;
+  return g;
+}
+
+}  // namespace la::farm

@@ -1,0 +1,53 @@
+// Seeded closed-loop workload generation for the farm: mixed owners,
+// skewed configuration popularity, and programs whose result word is
+// predictable on the host — so every completed job can be checked for
+// end-to-end integrity, not just counted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "farm/scheduler.hpp"
+
+namespace la::farm {
+
+struct WorkloadConfig {
+  u64 seed = 1;
+  unsigned owners = 6;
+  /// Configuration points drawn from the catalog (capped at its size).
+  /// Popularity is Zipf-skewed: a few hot images, a long cold tail —
+  /// the regime where affinity routing and the shared cache pay off.
+  unsigned configs = 8;
+  double zipf_s = 1.1;
+  /// Inner-loop iteration range for the compute templates.
+  u32 min_work = 50;
+  u32 max_work = 600;
+};
+
+/// One generated job plus the result word its program must store.
+struct GeneratedJob {
+  FarmJob job;
+  u32 expected = 0;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig cfg = {});
+
+  /// The next job in the seeded stream.  Generation is independent of
+  /// execution, so the same seed yields the same workload no matter how
+  /// many nodes run it or which policy schedules it.
+  GeneratedJob next();
+
+  /// The configuration catalog jobs draw from (most popular first).
+  const std::vector<liquid::ArchConfig>& catalog() const { return catalog_; }
+
+ private:
+  WorkloadConfig cfg_;
+  Rng rng_;
+  std::vector<liquid::ArchConfig> catalog_;
+  std::vector<double> cumulative_;  // Zipf CDF over the catalog
+};
+
+}  // namespace la::farm

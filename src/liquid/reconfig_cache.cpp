@@ -18,14 +18,14 @@ void ReconfigurationCache::evict_if_needed() {
   }
 }
 
-ReconfigurationCache::Result ReconfigurationCache::get_or_synthesize(
+ReconfigurationCache::Result ReconfigurationCache::lookup_or_synthesize(
     const ArchConfig& cfg, const SynthesisModel& syn) {
   Result r;
   const std::string key = cfg.key();
   if (const auto it = entries_.find(key); it != entries_.end()) {
     ++stats_.hits;
     touch(key);
-    r.bitfile = &it->second;
+    r.bitfile = it->second;
     r.hit = true;
     return r;
   }
@@ -47,22 +47,27 @@ ReconfigurationCache::Result ReconfigurationCache::get_or_synthesize(
   b.utilization = u;
   b.synthesis_seconds = r.seconds;
   b.id = next_id_++;
-  auto [it, inserted] = entries_.emplace(key, std::move(b));
+  r.bitfile = b;
+  entries_.emplace(key, std::move(b));
   touch(key);
   evict_if_needed();
-  // The entry may have been evicted immediately only if capacity is 0-size
-  // (capacity >= 1 keeps the most recent entry alive).
-  const auto again = entries_.find(key);
-  r.bitfile = again != entries_.end() ? &again->second : nullptr;
-  (void)inserted;
   return r;
+}
+
+ReconfigurationCache::Result ReconfigurationCache::get_or_synthesize(
+    const ArchConfig& cfg, const SynthesisModel& syn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lookup_or_synthesize(cfg, syn);
 }
 
 double ReconfigurationCache::pregenerate(const ConfigSpace& space,
                                          const SynthesisModel& syn) {
+  const std::lock_guard<std::mutex> lock(mu_);
   double total = 0.0;
   for (const ArchConfig& cfg : space.enumerate()) {
-    if (!contains(cfg)) total += get_or_synthesize(cfg, syn).seconds;
+    if (entries_.count(cfg.key()) == 0) {
+      total += lookup_or_synthesize(cfg, syn).seconds;
+    }
   }
   return total;
 }

@@ -9,10 +9,20 @@
 // The cache maps configuration keys to synthesized bitfiles, charges the
 // synthesis model's wall-clock on misses, and evicts LRU when its capacity
 // (disk budget of stored bitstreams) is exceeded.
+//
+// Threading: the cache is internally mutex-guarded, because in the farm it
+// is *shared* — one bitfile store serves every node, so an image
+// synthesized for one node is a hit fleet-wide (the paper's central
+// amortization, scaled out).  A lookup that misses synthesizes while
+// holding the lock: a second node asking for the same configuration blocks
+// and then hits, instead of burning a duplicate synthesis hour.  Result
+// carries the Bitfile *by value* so a concurrent LRU eviction can never
+// dangle a caller's pointer.
 #pragma once
 
 #include <list>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -38,13 +48,13 @@ class ReconfigurationCache {
       : capacity_(capacity) {}
 
   struct Result {
-    const Bitfile* bitfile = nullptr;  // null only if synthesis failed
+    std::optional<Bitfile> bitfile;  // empty only if synthesis failed
     bool hit = false;
     double seconds = 0.0;  // wall-clock charged (0 on a hit)
   };
 
   /// Return the bitfile for `cfg`, synthesizing (and charging ~1 h) on a
-  /// miss.  Configurations that do not fit the device return a null
+  /// miss.  Configurations that do not fit the device return an empty
   /// bitfile (the synthesis attempt is still charged — you find out the
   /// hard way, just like with real tools).
   Result get_or_synthesize(const ArchConfig& cfg, const SynthesisModel& syn);
@@ -54,9 +64,13 @@ class ReconfigurationCache {
   double pregenerate(const ConfigSpace& space, const SynthesisModel& syn);
 
   bool contains(const ArchConfig& cfg) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return entries_.count(cfg.key()) != 0;
   }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
   std::size_t capacity() const { return capacity_; }
 
   struct Stats {
@@ -66,12 +80,20 @@ class ReconfigurationCache {
     u64 failed_synth = 0;
     double synth_seconds = 0.0;
   };
-  const Stats& stats() const { return stats_; }
+  /// By value: a reference into concurrently-updated state would race.
+  Stats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
+  // All unlocked; callers hold mu_.
+  Result lookup_or_synthesize(const ArchConfig& cfg,
+                              const SynthesisModel& syn);
   void touch(const std::string& key);
   void evict_if_needed();
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::map<std::string, Bitfile> entries_;
   std::list<std::string> lru_;  // front = most recent

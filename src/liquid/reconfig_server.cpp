@@ -10,23 +10,25 @@ ReconfigurationServer::ReconfigurationServer(sim::LiquidSystem& node,
   // Bridge the off-node reconfiguration subsystem into the node's metrics
   // registry: one snapshot then covers the whole Fig 1 loop.
   auto& m = node_.metrics();
-  m.register_fn("reconfig_cache.hits", [this] {
-    return static_cast<double>(cache_.stats().hits);
-  });
-  m.register_fn("reconfig_cache.misses", [this] {
-    return static_cast<double>(cache_.stats().misses);
-  });
-  m.register_fn("reconfig_cache.evictions", [this] {
-    return static_cast<double>(cache_.stats().evictions);
-  });
-  m.register_fn("reconfig_cache.failed_synth", [this] {
-    return static_cast<double>(cache_.stats().failed_synth);
-  });
-  m.register_fn("reconfig_cache.synth_seconds",
-                [this] { return cache_.stats().synth_seconds; });
-  m.register_fn("reconfig_cache.size", [this] {
-    return static_cast<double>(cache_.size());
-  });
+  if (cfg_.bridge_cache_metrics) {
+    m.register_fn("reconfig_cache.hits", [this] {
+      return static_cast<double>(cache_.stats().hits);
+    });
+    m.register_fn("reconfig_cache.misses", [this] {
+      return static_cast<double>(cache_.stats().misses);
+    });
+    m.register_fn("reconfig_cache.evictions", [this] {
+      return static_cast<double>(cache_.stats().evictions);
+    });
+    m.register_fn("reconfig_cache.failed_synth", [this] {
+      return static_cast<double>(cache_.stats().failed_synth);
+    });
+    m.register_fn("reconfig_cache.synth_seconds",
+                  [this] { return cache_.stats().synth_seconds; });
+    m.register_fn("reconfig_cache.size", [this] {
+      return static_cast<double>(cache_.size());
+    });
+  }
   m.register_fn("reconfig_server.jobs", [this] {
     return static_cast<double>(stats_.jobs);
   });
@@ -65,10 +67,14 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
   const auto got = cache_.get_or_synthesize(arch, syn_);
   r.bitfile_cache_hit = got.hit;
   r.synthesis_seconds = got.seconds;
-  if (got.bitfile == nullptr) {
+  if (!got.bitfile.has_value()) {
     ++stats_.failures;
     r.error = "configuration does not fit the device";
     return r;
+  }
+  // Honest per-config latency: the node clocks at this image's fmax.
+  if (got.bitfile->utilization.fmax_mhz > 0.0) {
+    r.clock_mhz = got.bitfile->utilization.fmax_mhz;
   }
 
   // 2. Reprogram the FPGA if the loaded image differs.

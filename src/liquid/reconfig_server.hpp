@@ -22,6 +22,11 @@ struct ServerConfig {
   /// node streams instrumented-trace datagrams to the analysis host, the
   /// paper's Fig 2 path) instead of probing the pipeline directly.
   bool stream_traces = false;
+  /// Bridge the reconfiguration cache's stats into the node's registry.
+  /// A farm shares one cache across many nodes and bridges it once at
+  /// fleet level instead — per-node bridging would multiply-count the
+  /// shared stats when the registries are merged.
+  bool bridge_cache_metrics = true;
   ctrl::ClientConfig client;
 };
 
@@ -39,11 +44,18 @@ struct JobResult {
   double reprogram_seconds = 0;  // FPGA download time when reconfigured
   std::vector<u32> readback;     // result words
 
+  /// Clock the node ran at under this job's configuration — the synthesis
+  /// model's post-place-and-route fmax for the job's ArchConfig (a 16 KB
+  /// cache closes timing slower than the paper's 30 MHz baseline), filled
+  /// in by the server from the synthesized bitfile.
+  double clock_mhz = 30.0;
+
   /// Total wall-clock the user waited (synthesis dominates on a miss —
-  /// the whole point of the reconfiguration cache).
-  double wall_seconds(double mhz = 30.0) const {
+  /// the whole point of the reconfiguration cache).  Cycles convert at
+  /// the configuration's own clock, not a hardcoded 30 MHz.
+  double wall_seconds() const {
     return synthesis_seconds + reprogram_seconds +
-           static_cast<double>(cycles) / (mhz * 1e6);
+           static_cast<double>(cycles) / (clock_mhz * 1e6);
   }
 };
 

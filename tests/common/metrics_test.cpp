@@ -162,6 +162,48 @@ TEST(Json, HistogramSerializesTrimmedBuckets) {
   EXPECT_NE(j.find("\"buckets\":[0,1,1]}"), std::string::npos);
 }
 
+TEST(Merge, CountersGaugesAndFnsFoldIn) {
+  MetricsRegistry a;
+  a.counter("jobs").inc(3);
+  a.gauge("depth").set(2.0);
+  a.register_fn("bridged", [] { return 7.0; });
+
+  MetricsRegistry fleet;
+  fleet.merge_from(a);
+  fleet.merge_from(a);  // a second node with identical shape
+  const Snapshot s = fleet.snapshot();
+  EXPECT_DOUBLE_EQ(s.value_or("jobs"), 6.0);
+  EXPECT_DOUBLE_EQ(s.value_or("depth"), 4.0);
+  // Bridged fns are sampled at merge time and accumulate as a gauge.
+  EXPECT_DOUBLE_EQ(s.value_or("bridged"), 14.0);
+}
+
+TEST(Merge, HistogramsMergeExactly) {
+  MetricsRegistry a, b, fleet, reference;
+  for (const double x : {1.0, 4.0, 9.0}) a.histogram("lat").observe(x);
+  for (const double x : {2.0, 16.0}) b.histogram("lat").observe(x);
+  for (const double x : {1.0, 4.0, 9.0, 2.0, 16.0}) {
+    reference.histogram("lat").observe(x);
+  }
+  fleet.merge_from(a);
+  fleet.merge_from(b);
+  const HistogramSnapshot got = fleet.snapshot().histograms.at("lat");
+  const HistogramSnapshot want = reference.snapshot().histograms.at("lat");
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.buckets, want.buckets);
+  EXPECT_DOUBLE_EQ(got.mean, want.mean);
+  EXPECT_NEAR(got.stddev, want.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(got.min, want.min);
+  EXPECT_DOUBLE_EQ(got.max, want.max);
+}
+
+TEST(Merge, KindMismatchThrows) {
+  MetricsRegistry a, fleet;
+  a.counter("x").inc();
+  fleet.histogram("x");
+  EXPECT_THROW(fleet.merge_from(a), std::logic_error);
+}
+
 TEST(Json, IndentedFormEndsWithNewline) {
   MetricsRegistry r;
   r.counter("x").inc();

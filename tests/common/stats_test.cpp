@@ -50,6 +50,34 @@ TEST(OnlineStats, ZeroObservationIsARealMinimum) {
   EXPECT_FALSE(std::isnan(s.min()));
 }
 
+TEST(OnlineStats, MergeMatchesSingleStream) {
+  OnlineStats left, right, both;
+  const double xs[] = {3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0};
+  for (int i = 0; i < 7; ++i) {
+    (i < 3 ? left : right).add(xs[i]);
+    both.add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), both.count());
+  EXPECT_NEAR(left.mean(), both.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), both.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), both.min());
+  EXPECT_DOUBLE_EQ(left.max(), both.max());
+}
+
+TEST(OnlineStats, MergeWithEmptySidesIsIdentity) {
+  OnlineStats s, empty;
+  s.add(2.0);
+  s.add(6.0);
+  s.merge(empty);  // no-op
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  OnlineStats fresh;
+  fresh.merge(s);  // copies
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_DOUBLE_EQ(fresh.max(), 6.0);
+}
+
 TEST(SafeRatio, ZeroDenominatorReadsAsZero) {
   EXPECT_EQ(safe_ratio(5, 0), 0.0);
   EXPECT_DOUBLE_EQ(safe_ratio(3, 4), 0.75);

@@ -1,0 +1,175 @@
+// FarmScheduler unit tests: admission control, affinity routing, per-owner
+// FIFO, anti-starvation aging, and plan() previews — all on the pure
+// single-threaded core, no threads involved.
+#include "farm/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace la::farm {
+namespace {
+
+liquid::ArchConfig dcache_cfg(u32 bytes) {
+  liquid::ArchConfig c;
+  c.dcache_bytes = bytes;
+  return c;
+}
+
+FarmJob job(const std::string& owner, u32 dcache_bytes = 1024) {
+  FarmJob j;
+  j.owner = owner;
+  j.config = dcache_cfg(dcache_bytes);
+  return j;
+}
+
+const std::string kBase = liquid::ArchConfig{}.key();  // 1 KB D-cache
+
+TEST(Enqueue, AssignsIncreasingIds) {
+  FarmScheduler s;
+  const Result<u64> a = s.enqueue(job("alice"));
+  const Result<u64> b = s.enqueue(job("bob"));
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_EQ(s.stats().submitted, 2u);
+}
+
+TEST(Enqueue, RejectsInvalidConfig) {
+  FarmScheduler s;
+  FarmJob j = job("alice");
+  j.config.dcache_bytes = 999;  // not a power of two
+  const Result<u64> r = s.enqueue(std::move(j));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, FarmErrorKind::kInvalidConfig);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.stats().rejected, 1u);
+}
+
+TEST(Enqueue, SaturatesAtCapacityAndRecovers) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  FarmScheduler s(cfg);
+  ASSERT_TRUE(s.enqueue(job("a")));
+  ASSERT_TRUE(s.enqueue(job("b")));
+  const Result<u64> r = s.enqueue(job("c"));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, FarmErrorKind::kSaturated);
+  ASSERT_TRUE(s.pick(kBase).has_value());  // frees a slot
+  EXPECT_TRUE(s.enqueue(job("c")));
+}
+
+TEST(Pick, FifoTakesOldestRunnable) {
+  SchedulerConfig cfg;
+  cfg.policy = FarmPolicy::kFifo;
+  FarmScheduler s(cfg);
+  const u64 a = *s.enqueue(job("a", 4096));
+  const u64 b = *s.enqueue(job("b", 1024));
+  // b matches the node's key, but FIFO ignores affinity entirely.
+  const auto picked = s.pick(kBase);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, a);
+  EXPECT_EQ(s.pick(kBase)->id, b);
+}
+
+TEST(Pick, AffinityPrefersMatchingConfigInWindow) {
+  FarmScheduler s;
+  ASSERT_TRUE(s.enqueue(job("a", 4096)));
+  const u64 b = *s.enqueue(job("b", 1024));
+  const auto picked = s.pick(kBase);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, b);  // jumped the non-matching job
+  EXPECT_EQ(s.stats().affinity_hits, 1u);
+}
+
+TEST(Pick, OwnerSerialized) {
+  FarmScheduler s;
+  const u64 first = *s.enqueue(job("alice", 1024));
+  ASSERT_TRUE(s.enqueue(job("alice", 1024)));
+  ASSERT_EQ(s.pick(kBase)->id, first);
+  // alice has a job in flight: her second job is not runnable, and no
+  // other owner is queued.
+  EXPECT_FALSE(s.pick(kBase).has_value());
+  s.complete("alice");
+  EXPECT_TRUE(s.pick(kBase).has_value());
+}
+
+TEST(Pick, AffinityNeverReordersWithinAnOwner) {
+  FarmScheduler s;
+  // alice's older job does NOT match the node; her younger one does.  The
+  // younger job must not jump its sibling, no matter how good the match.
+  const u64 older = *s.enqueue(job("alice", 4096));
+  ASSERT_TRUE(s.enqueue(job("alice", 1024)));
+  const u64 other = *s.enqueue(job("bob", 1024));
+  const auto picked = s.pick(kBase);
+  ASSERT_TRUE(picked.has_value());
+  // bob's matching job may jump ahead, but never alice's younger one.
+  EXPECT_EQ(picked->id, other);
+  const auto next = s.pick(kBase);
+  ASSERT_TRUE(next.has_value());
+  EXPECT_EQ(next->id, older);
+}
+
+TEST(Pick, AgedJobGoesNextDespiteAffinity) {
+  SchedulerConfig cfg;
+  cfg.max_skips = 2;
+  FarmScheduler s(cfg);
+  const u64 cold = *s.enqueue(job("cold", 4096));
+  // Two matching picks skip the cold job twice...
+  ASSERT_TRUE(s.enqueue(job("h1", 1024)));
+  ASSERT_TRUE(s.enqueue(job("h2", 1024)));
+  ASSERT_TRUE(s.enqueue(job("h3", 1024)));
+  EXPECT_NE(s.pick(kBase)->id, cold);
+  EXPECT_NE(s.pick(kBase)->id, cold);
+  // ...so the third pick must take it, even though another match waits.
+  const auto forced = s.pick(kBase);
+  ASSERT_TRUE(forced.has_value());
+  EXPECT_EQ(forced->id, cold);
+  EXPECT_EQ(s.stats().aged_picks, 1u);
+}
+
+TEST(Pick, MatchBeyondWindowIsNotTaken) {
+  SchedulerConfig cfg;
+  cfg.affinity_window = 2;
+  FarmScheduler s(cfg);
+  const u64 oldest = *s.enqueue(job("a", 4096));
+  ASSERT_TRUE(s.enqueue(job("b", 8192)));
+  ASSERT_TRUE(s.enqueue(job("c", 1024)));  // matches, 2 runnable jobs ahead
+  const auto picked = s.pick(kBase);
+  ASSERT_TRUE(picked.has_value());
+  EXPECT_EQ(picked->id, oldest);
+}
+
+TEST(Plan, PreviewsWithoutMutating) {
+  FarmScheduler s;
+  ASSERT_TRUE(s.enqueue(job("a", 4096)));
+  ASSERT_TRUE(s.enqueue(job("b", 1024)));
+  ASSERT_TRUE(s.enqueue(job("a", 1024)));
+  const std::vector<u64> order = s.plan(kBase);
+  EXPECT_EQ(order.size(), 3u);
+  EXPECT_EQ(s.pending(), 3u);  // untouched
+  EXPECT_EQ(s.stats().picks, 0u);
+  // And the preview is exactly what serial picks produce.
+  std::vector<u64> executed;
+  std::string key = kBase;
+  while (auto j = s.pick(key)) {
+    executed.push_back(j->id);
+    key = j->config.key();
+    s.complete(j->owner);
+  }
+  EXPECT_EQ(order, executed);
+}
+
+TEST(Plan, SkipsOwnersAlreadyInFlight) {
+  FarmScheduler s;
+  const u64 first = *s.enqueue(job("alice", 1024));
+  ASSERT_TRUE(s.enqueue(job("alice", 1024)));
+  ASSERT_TRUE(s.enqueue(job("bob", 4096)));
+  ASSERT_EQ(s.pick(kBase)->id, first);
+  // alice is busy: a plan from here can only start with bob.
+  const std::vector<u64> order = s.plan(kBase);
+  ASSERT_FALSE(order.empty());
+  EXPECT_EQ(order.size(), 1u);  // alice's job needs a complete() first
+}
+
+}  // namespace
+}  // namespace la::farm

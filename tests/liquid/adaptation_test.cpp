@@ -117,6 +117,25 @@ TEST_F(ServerFixture, WallClockDominatedBySynthesisOnMiss) {
   EXPECT_LT(hit.wall_seconds(), 10.0);   // reprogram + run only
 }
 
+TEST_F(ServerFixture, WallClockRunsAtTheConfigsOwnFrequency) {
+  // A 16 KB D-cache closes timing at 28 MHz, not the baseline's 30 — the
+  // latency accounting must charge cycles at the image's own clock.
+  const auto img = sasm::assemble_or_throw(fig7_program(1000));
+  const JobResult base =
+      server.run_job(ArchConfig::paper_baseline(), img, 0, 0);
+  ASSERT_TRUE(base.ok) << base.error;
+  EXPECT_DOUBLE_EQ(base.clock_mhz, 30.0);
+
+  ArchConfig big;
+  big.dcache_bytes = 16384;
+  const JobResult slow = server.run_job(big, img, 0, 0);
+  ASSERT_TRUE(slow.ok) << slow.error;
+  EXPECT_NEAR(slow.clock_mhz, 28.0, 1e-9);
+  EXPECT_NEAR(slow.wall_seconds() - slow.synthesis_seconds -
+                  slow.reprogram_seconds,
+              static_cast<double>(slow.cycles) / 28e6, 1e-12);
+}
+
 TEST_F(ServerFixture, AdaptationConvergesToCoveringCache) {
   cache.pregenerate(ConfigSpace{}, syn);  // offline pre-generation pass
   AdaptationEngine engine(server, ConfigSpace{});

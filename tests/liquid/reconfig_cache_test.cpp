@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace la::liquid {
 namespace {
 
@@ -17,12 +20,12 @@ TEST(ReconfigCache, MissSynthesizesThenHits) {
   const ArchConfig c = with_dcache(4096);
 
   const auto first = cache.get_or_synthesize(c, syn);
-  ASSERT_NE(first.bitfile, nullptr);
+  ASSERT_TRUE(first.bitfile.has_value());
   EXPECT_FALSE(first.hit);
   EXPECT_GT(first.seconds, 3000.0);  // paid the hour
 
   const auto second = cache.get_or_synthesize(c, syn);
-  ASSERT_NE(second.bitfile, nullptr);
+  ASSERT_TRUE(second.bitfile.has_value());
   EXPECT_TRUE(second.hit);
   EXPECT_DOUBLE_EQ(second.seconds, 0.0);  // "switch between pre-generated"
   EXPECT_EQ(second.bitfile->id, first.bitfile->id);
@@ -35,7 +38,7 @@ TEST(ReconfigCache, BitfileCarriesUtilization) {
   ReconfigurationCache cache;
   const auto r =
       cache.get_or_synthesize(ArchConfig::paper_baseline(), syn);
-  ASSERT_NE(r.bitfile, nullptr);
+  ASSERT_TRUE(r.bitfile.has_value());
   EXPECT_EQ(r.bitfile->utilization.slices, 7900u);
   EXPECT_EQ(r.bitfile->size_bytes, syn.bitstream_bytes());
   EXPECT_EQ(r.bitfile->key, ArchConfig::paper_baseline().key());
@@ -64,10 +67,34 @@ TEST(ReconfigCache, UnmappableConfigFailsButCharges) {
   ArchConfig huge;
   huge.dcache_bytes = 512 * 1024;
   const auto r = cache.get_or_synthesize(huge, syn);
-  EXPECT_EQ(r.bitfile, nullptr);
+  EXPECT_FALSE(r.bitfile.has_value());
   EXPECT_GT(r.seconds, 0.0);  // the tools run before they tell you no
   EXPECT_EQ(cache.stats().failed_synth, 1u);
   EXPECT_FALSE(cache.contains(huge));
+}
+
+TEST(ReconfigCache, ConcurrentLookupsSynthesizeEachPointOnce) {
+  // The farm shares one cache across every node: hammer it from several
+  // threads and check no configuration is synthesized twice and no caller
+  // ever sees a half-built bitfile.  (Run under TSan in CI.)
+  SynthesisModel syn;
+  ReconfigurationCache cache;  // unlimited: no eviction churn here
+  const u32 sizes[] = {1024, 2048, 4096, 8192};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, &syn, &sizes, t] {
+      for (int i = 0; i < 16; ++i) {
+        const auto r =
+            cache.get_or_synthesize(with_dcache(sizes[(t + i) % 4]), syn);
+        ASSERT_TRUE(r.bitfile.has_value());
+        EXPECT_EQ(r.bitfile->size_bytes, syn.bitstream_bytes());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);  // one synthesis hour per point
+  EXPECT_EQ(cache.stats().hits, 4u * 16u - 4u);
 }
 
 TEST(ReconfigCache, PregenerateCoversSpace) {
