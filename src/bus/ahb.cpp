@@ -16,13 +16,12 @@ void AhbBus::attach(Addr base, u64 size, AhbSlave* slave) {
     }
   }
   map_.push_back({base, size, slave});
+  hot_ = nullptr;  // push_back may reallocate the mapping storage
 }
 
 AhbSlave* AhbBus::slave_at(Addr addr) const {
-  for (const Mapping& m : map_) {
-    if (addr >= m.base && addr - m.base < m.size) return m.slave;
-  }
-  return nullptr;
+  const Mapping* m = lookup(addr);
+  return m != nullptr ? m->slave : nullptr;
 }
 
 Cycles AhbBus::transfer(Master m, AhbTransfer& t) {
@@ -80,6 +79,67 @@ Cycles AhbBus::write32(Master m, Addr addr, u32 value) {
   t.write = true;
   t.data = &value;
   return transfer(m, t);
+}
+
+namespace {
+/// Largest line the stack beat buffer covers (256-byte lines); bigger
+/// configurations fall back to a heap buffer.
+constexpr u32 kMaxStackBeats = 64;
+}  // namespace
+
+Cycles AhbBus::fill_line(Master m, Addr addr, u32 line_bytes, u8* line,
+                         bool& error) {
+  const unsigned beats = line_bytes / 4;
+  u32 stack[kMaxStackBeats];
+  std::vector<u32> heap;
+  u32* buf = stack;
+  if (beats > kMaxStackBeats) {
+    heap.resize(beats);
+    buf = heap.data();
+  }
+  AhbTransfer t;
+  t.addr = addr;
+  t.beats = beats;
+  t.burst = burst_for_beats(beats);
+  t.data = buf;
+  const Cycles c = transfer(m, t);
+  error = t.error;
+  if (!t.error) {
+    // Beats are big-endian words; unpack into the line's byte storage.
+    for (u32 w = 0; w < beats; ++w) {
+      const u32 v = buf[w];
+      line[w * 4 + 0] = static_cast<u8>(v >> 24);
+      line[w * 4 + 1] = static_cast<u8>(v >> 16);
+      line[w * 4 + 2] = static_cast<u8>(v >> 8);
+      line[w * 4 + 3] = static_cast<u8>(v);
+    }
+  }
+  return c;
+}
+
+Cycles AhbBus::write_line(Master m, Addr addr, u32 line_bytes, const u8* line,
+                          bool& error) {
+  const unsigned beats = line_bytes / 4;
+  u32 stack[kMaxStackBeats];
+  std::vector<u32> heap;
+  u32* buf = stack;
+  if (beats > kMaxStackBeats) {
+    heap.resize(beats);
+    buf = heap.data();
+  }
+  for (u32 w = 0; w < beats; ++w) {
+    buf[w] = (u32{line[w * 4 + 0]} << 24) | (u32{line[w * 4 + 1]} << 16) |
+             (u32{line[w * 4 + 2]} << 8) | u32{line[w * 4 + 3]};
+  }
+  AhbTransfer t;
+  t.addr = addr;
+  t.write = true;
+  t.beats = beats;
+  t.burst = burst_for_beats(beats);
+  t.data = buf;
+  const Cycles c = transfer(m, t);
+  error = t.error;
+  return c;
 }
 
 }  // namespace la::bus

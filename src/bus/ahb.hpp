@@ -88,6 +88,17 @@ struct AhbBusStats {
   }
 };
 
+/// HBURST for an INCR burst of `beats` word beats (LEON's fill bursts).
+inline HBurst burst_for_beats(unsigned beats) {
+  switch (beats) {
+    case 1: return HBurst::kSingle;
+    case 4: return HBurst::kIncr4;
+    case 8: return HBurst::kIncr8;
+    case 16: return HBurst::kIncr16;
+    default: return HBurst::kIncr;
+  }
+}
+
 /// Single-layer AHB with priority arbitration (fixed: lower Master value
 /// wins; with one in-order CPU the arbiter mostly timestamps traffic).
 class AhbBus {
@@ -103,6 +114,18 @@ class AhbBus {
   /// Convenience single-beat helpers.
   Cycles read32(Master m, Addr addr, u32& value);
   Cycles write32(Master m, Addr addr, u32 value);
+
+  /// Bulk line transfer for cache refills and writebacks: one INCR burst
+  /// of `line_bytes / 4` word beats starting at line-aligned `addr`,
+  /// converted to/from the caches' big-endian byte storage on a stack
+  /// buffer.  Timing, statistics, error pulses, and data are exactly what
+  /// transfer() produces for the equivalent burst — these exist so the hot
+  /// refill path needs neither a heap beat buffer nor caller-side byte
+  /// repacking.  `error` reports the transfer's error response.
+  Cycles fill_line(Master m, Addr addr, u32 line_bytes, u8* line,
+                   bool& error);
+  Cycles write_line(Master m, Addr addr, u32 line_bytes, const u8* line,
+                    bool& error);
 
   /// Slave whose range covers `addr`, or nullptr.
   AhbSlave* slave_at(Addr addr) const;
@@ -126,7 +149,25 @@ class AhbBus {
     AhbSlave* slave;
   };
 
+  /// Mappings never overlap, so the most recent hit is an exact filter:
+  /// if `addr` falls inside `hot_`'s range it IS the decoded slave.  This
+  /// turns the per-transfer linear map scan into one range check on the
+  /// hot SDRAM/SRAM path.
+  const Mapping* lookup(Addr addr) const {
+    if (hot_ != nullptr && addr >= hot_->base && addr - hot_->base < hot_->size) {
+      return hot_;
+    }
+    for (const Mapping& m : map_) {
+      if (addr >= m.base && addr - m.base < m.size) {
+        hot_ = &m;
+        return &m;
+      }
+    }
+    return nullptr;
+  }
+
   std::vector<Mapping> map_;
+  mutable const Mapping* hot_ = nullptr;  // last-hit decode cache
   unsigned error_pulse_ = 0;
   AhbBusStats stats_;
 };

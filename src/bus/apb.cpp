@@ -32,6 +32,9 @@ ApbSlave* ApbBridge::device_at(u32 offset) const {
 }
 
 Cycles ApbBridge::transfer(AhbTransfer& t) {
+  // Let the system catch peripherals up to "now" before the access lands
+  // (no-op outside batched runs; see set_access_hook).
+  if (hook_armed_) access_hook_();
   // APB supports word accesses only; the bridge also rejects bursts, which
   // LEON never issues to peripheral space.
   Cycles total = 0;

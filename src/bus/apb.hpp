@@ -2,6 +2,7 @@
 // (LEON hangs its UART, timers, interrupt controller, and I/O ports here).
 #pragma once
 
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -39,6 +40,17 @@ class ApbBridge final : public AhbSlave {
   /// Cycles consumed on the APB side (for bus-utilization reporting).
   Cycles apb_cycles() const { return apb_cycles_; }
 
+  /// Invoked at the start of every transfer(), BEFORE the access reaches a
+  /// device.  The batched system run loop uses it to catch peripherals up
+  /// to the current cycle so a mid-batch program read of (say) the timer
+  /// counter observes exactly the state a per-step loop would have
+  /// produced.  The armed flag keeps the unarmed cost to one bool test.
+  using AccessHook = std::function<void()>;
+  void set_access_hook(AccessHook h) {
+    access_hook_ = std::move(h);
+    hook_armed_ = static_cast<bool>(access_hook_);
+  }
+
  private:
   struct Mapping {
     u32 offset;
@@ -49,6 +61,8 @@ class ApbBridge final : public AhbSlave {
   Addr base_;
   std::vector<Mapping> map_;
   Cycles apb_cycles_ = 0;
+  AccessHook access_hook_;
+  bool hook_armed_ = false;
 };
 
 }  // namespace la::bus

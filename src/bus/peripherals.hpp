@@ -77,6 +77,17 @@ class LeonTimer final : public ApbSlave {
   bool enabled() const { return (ctrl_ & 1u) != 0; }
   u64 underflows() const { return underflows_; }
 
+  /// Next-event query for batched run loops: when enabled, sets `delta` to
+  /// the exact advance() amount at which the next underflow side effect
+  /// (IRQ raise / reload / disable) fires — the counter counts down
+  /// through zero, so that is counter + 1 — and returns true.  Disabled
+  /// timers have no upcoming event.
+  bool next_event(Cycles& delta) const {
+    if (!enabled()) return false;
+    delta = Cycles{counter_} + 1;
+    return true;
+  }
+
   static constexpr u32 kCtrlEnable = 1u << 0;
   static constexpr u32 kCtrlAutoReload = 1u << 1;
   static constexpr u32 kCtrlIrqEnable = 1u << 2;

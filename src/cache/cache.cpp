@@ -4,6 +4,10 @@ namespace la::cache {
 
 Cache::Cache(const CacheConfig& cfg, u64 seed)
     : cfg_(cfg),
+      line_shift_(ilog2(cfg.line_bytes)),
+      set_shift_(ilog2(cfg.num_sets())),
+      tag_shift_(ilog2(cfg.line_bytes) + ilog2(cfg.num_sets())),
+      set_mask_(cfg.num_sets() - 1),
       ways_(cfg.num_lines()),
       data_(static_cast<std::size_t>(cfg.num_lines()) * cfg.line_bytes, 0),
       rng_(seed) {
@@ -57,6 +61,7 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
       if (w->dirty) {
         ++stats_.parity_discards;
         *w = Way{};
+        ++gen_;
         out.parity_discard = true;
         if (is_write) {
           ++stats_.write_misses;
@@ -69,7 +74,8 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
       *w = Way{};
     } else {
       out.hit = true;
-      out.data = slot_data(static_cast<std::size_t>(w - ways_.data()));
+      out.slot = static_cast<u32>(w - ways_.data());
+      out.data = slot_data(out.slot);
       w->lru = tick_;
       if (is_write) {
         ++stats_.write_hits;
@@ -83,7 +89,10 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
     }
   }
 
-  // Miss.
+  // Miss.  Everything from here on can change a resident line's identity
+  // or contents (fill, victim drop), so the content generation moves; the
+  // poisoned-dirty early return above bumped it already.
+  ++gen_;
   if (is_write) {
     ++stats_.write_misses;
     if (cfg_.write_policy == WritePolicy::kWriteThroughNoAllocate) {
@@ -121,6 +130,7 @@ AccessOutcome Cache::access(Addr addr, bool is_write) {
   v.poisoned = false;
   v.tag = tag;
   v.lru = tick_;
+  out.slot = static_cast<u32>(vi);
   out.data = slot_data(vi);  // still holds the victim's bytes; caller saves
   return out;
 }
@@ -137,6 +147,7 @@ const u8* Cache::peek_line(Addr addr) const {
 
 void Cache::flush(std::vector<DirtyLine>* dirty_out) {
   ++stats_.flushes;
+  ++gen_;
   for (u32 set = 0; set < cfg_.num_sets(); ++set) {
     for (u32 w = 0; w < cfg_.ways; ++w) {
       const std::size_t i = static_cast<std::size_t>(set) * cfg_.ways + w;
@@ -164,6 +175,7 @@ bool Cache::invalidate_line(Addr addr, DirtyLine* dirty_out) {
       dirty_out->data.assign(slot_data(i), slot_data(i) + cfg_.line_bytes);
     }
     *w = Way{};
+    ++gen_;
     return true;
   }
   return false;
@@ -175,6 +187,7 @@ bool Cache::poison_line(Addr addr, u32 byte_off, u8 bit) {
   const std::size_t i = static_cast<std::size_t>(w - ways_.data());
   slot_data(i)[byte_off % cfg_.line_bytes] ^= static_cast<u8>(1u << (bit % 8));
   w->poisoned = true;
+  ++gen_;
   return true;
 }
 

@@ -95,6 +95,16 @@ struct AccessOutcome {
   /// When `writeback` is set this still holds the VICTIM's bytes — the
   /// caller must save them before filling.
   u8* data = nullptr;
+  /// Slot index (set * ways + way) of `data` when non-null.  Callers that
+  /// maintain per-slot side structures (the pipeline's predecoded I-line
+  /// mirror) key them by this.
+  u32 slot = 0;
+};
+
+/// Result of the hot-path hit probe (see Cache::lookup_hit).
+struct HitRef {
+  u8* data = nullptr;  // line storage; null = caller must use access()
+  u32 slot = 0;        // slot index of the hit line
 };
 
 class Cache {
@@ -135,6 +145,47 @@ class Cache {
   /// Number of currently valid lines (test/diagnostic aid).
   u32 valid_lines() const;
 
+  /// Hot-path probe for an ordinary read hit.  On a non-poisoned hit it
+  /// updates LRU and statistics exactly as `access(addr, false)` would and
+  /// returns the line storage + slot; in every other case (miss, poisoned
+  /// line) it touches NOTHING and returns null data — the caller falls
+  /// back to access(), which then observes the same pre-probe state.
+  HitRef lookup_hit(Addr addr) {
+    const u32 set = (static_cast<u32>(addr) >> line_shift_) & set_mask_;
+    const u32 tag = static_cast<u32>(addr) >> tag_shift_;
+    Way* base = &ways_[static_cast<std::size_t>(set) * cfg_.ways];
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      Way& way = base[w];
+      if (way.valid && way.tag == tag) {
+        if (way.poisoned) return {};
+        way.lru = ++tick_;
+        ++stats_.read_hits;
+        const u32 slot = set * cfg_.ways + w;
+        return {slot_data(slot), slot};
+      }
+    }
+    return {};
+  }
+
+  /// Content generation: bumped whenever the cache itself changes a
+  /// resident line's identity or contents (fill, flush, invalidate,
+  /// poison).  A caller that observed a lookup_hit at generation G may
+  /// re-hit the same slot for the same line without re-probing as long as
+  /// gen() still equals G — nothing can have replaced, invalidated, or
+  /// poisoned the line in between.  Plain hits (LRU/stats updates) do not
+  /// bump it, and neither do caller writes through an outcome's data
+  /// pointer — the contract is for read-only users (the pipeline's
+  /// instruction side, where lines are never written).
+  u64 gen() const { return gen_; }
+
+  /// Re-hit a slot previously returned by lookup_hit, valid only under an
+  /// unchanged gen(): performs exactly the LRU/statistics update the full
+  /// probe would have, skipping the tag compare.
+  void touch_read_hit(u32 slot) {
+    ways_[slot].lru = ++tick_;
+    ++stats_.read_hits;
+  }
+
  private:
   struct Way {
     bool valid = false;
@@ -145,13 +196,11 @@ class Cache {
   };
 
   u32 set_of(Addr addr) const {
-    return (addr / cfg_.line_bytes) & (cfg_.num_sets() - 1);
+    return (static_cast<u32>(addr) >> line_shift_) & set_mask_;
   }
-  u32 tag_of(Addr addr) const {
-    return addr / cfg_.line_bytes / cfg_.num_sets();
-  }
+  u32 tag_of(Addr addr) const { return static_cast<u32>(addr) >> tag_shift_; }
   Addr line_base(u32 set, u32 tag) const {
-    return (tag * cfg_.num_sets() + set) * cfg_.line_bytes;
+    return static_cast<Addr>(((tag << set_shift_) | set)) << line_shift_;
   }
   u8* slot_data(std::size_t way_index) {
     return &data_[way_index * cfg_.line_bytes];
@@ -165,11 +214,18 @@ class Cache {
   std::size_t choose_victim(u32 set);
 
   CacheConfig cfg_;
+  // Geometry is all powers of two; these precomputed shifts/masks replace
+  // the divisions in set/tag extraction on the per-access path.
+  u32 line_shift_ = 0;  // log2(line_bytes)
+  u32 set_shift_ = 0;   // log2(num_sets)
+  u32 tag_shift_ = 0;   // line_shift_ + set_shift_
+  u32 set_mask_ = 0;    // num_sets - 1
   std::vector<Way> ways_;  // num_sets * ways, set-major
   std::vector<u8> data_;   // line storage, parallel to ways_
   CacheStats stats_;
   Rng rng_;
   u64 tick_ = 0;
+  u64 gen_ = 0;  // see gen()
 };
 
 }  // namespace la::cache

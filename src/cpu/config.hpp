@@ -42,6 +42,12 @@ struct CpuConfig {
   /// (LEON2 trap latency is 4-5 cycles).
   Cycles trap_latency = 4;
 
+  /// Host-performance knob (no effect on simulated cycles or state): cache
+  /// decode() results keyed by instruction word, so hot fetch loops skip
+  /// the full decoder.  Word-keyed, hence never stale; off reverts to
+  /// calling isa::decode() on every fetch.
+  bool host_decode_cache = true;
+
   /// Deliberate semantic fault: SUBX ignores the carry-in.  Exists solely
   /// so the differential fuzzer can prove, end to end, that it detects and
   /// minimizes a real divergence (lfuzz --inject-bug; see docs/TESTING.md).

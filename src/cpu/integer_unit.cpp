@@ -521,8 +521,22 @@ u8 IntegerUnit::execute(const Instruction& ins, StepResult& res) {
 
 StepResult IntegerUnit::step() {
   StepResult res;
+  step_into(res);
+  return res;
+}
+
+void IntegerUnit::step_into(StepResult& res) {
   res.pc = st_.pc;
-  if (st_.error_mode) return res;
+  res.raw = 0;
+  res.annulled = false;
+  res.trapped = false;
+  res.tt = 0;
+  res.cycles = 1;
+  res.mem_access = false;
+  res.mem_write = false;
+  res.mem_addr = 0;
+  res.mem_size = 0;
+  if (st_.error_mode) return;
 
   // External interrupt check (between instructions, before fetch).
   if (st_.psr.et && irq_level_ != 0 &&
@@ -534,7 +548,7 @@ StepResult IntegerUnit::step() {
     res.cycles = cfg_.trap_latency;
     cycles_ += res.cycles;
     if (obs_) obs_->on_step(res);
-    return res;
+    return;
   }
 
   u32 word = 0;
@@ -545,10 +559,11 @@ StepResult IntegerUnit::step() {
     res.cycles = cfg_.trap_latency;
     cycles_ += res.cycles;
     if (obs_) obs_->on_step(res);
-    return res;
+    return;
   }
   res.raw = word;
-  res.ins = isa::decode(word);
+  res.ins = cfg_.host_decode_cache ? predecode_.lookup(word)
+                                   : isa::decode(word);
 
   if (annul_next_) {
     annul_next_ = false;
@@ -558,7 +573,7 @@ StepResult IntegerUnit::step() {
     res.cycles = 1;
     cycles_ += 1;
     if (obs_) obs_->on_step(res);
-    return res;
+    return;
   }
 
   cti_taken_ = false;
@@ -577,11 +592,23 @@ StepResult IntegerUnit::step() {
   }
   cycles_ += res.cycles;
   if (obs_) obs_->on_step(res);
-  return res;
 }
 
 u64 IntegerUnit::run(u64 max_steps, Addr halt_pc) {
   u64 n = 0;
+  if (obs_ == nullptr && cfg_.host_decode_cache) {
+    // Hot loop: one StepResult reused across iterations; nothing outside
+    // this frame observes it, so skipping the per-step materialization is
+    // invisible (the same instructions execute with the same state).
+    // host_decode_cache doubles as the functional model's "host fast
+    // paths" knob: with it off, run() is the plain per-step path.
+    StepResult res;
+    while (n < max_steps && !st_.error_mode && st_.pc != halt_pc) {
+      step_into(res);
+      ++n;
+    }
+    return n;
+  }
   while (n < max_steps && !st_.error_mode && st_.pc != halt_pc) {
     step();
     ++n;

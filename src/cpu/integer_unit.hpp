@@ -15,6 +15,7 @@
 #include "cpu/memory_port.hpp"
 #include "cpu/state.hpp"
 #include "isa/decode.hpp"
+#include "isa/decode_cache.hpp"
 #include "isa/isa.hpp"
 #include "isa/traps.hpp"
 
@@ -58,6 +59,15 @@ class IntegerUnit {
   /// Execute one instruction (or take one trap).  No-op in error mode.
   StepResult step();
 
+  /// Hot-path form of step(): writes the result into `res` instead of
+  /// materializing a fresh StepResult.  All fields the step produces are
+  /// overwritten; on early-out paths (error mode, traps, annulled slots)
+  /// `res.ins` keeps its previous contents — callers that reuse one
+  /// StepResult across steps (the run loop) must not read it on those
+  /// paths.  step() wraps this with a default-constructed result, so its
+  /// observable behaviour is unchanged.
+  void step_into(StepResult& res);
+
   /// Run until `steps` instructions retired, error mode, or the PC hits
   /// `halt_pc` (use the address of a self-branch / final instruction).
   /// Returns the number of steps actually executed.
@@ -97,6 +107,7 @@ class IntegerUnit {
   CpuConfig cfg_;
   MemoryPort& mem_;
   CpuState st_;
+  isa::DecodeCache predecode_;  // host perf only; see CpuConfig knob
 
   bool annul_next_ = false;
   u8 irq_level_ = 0;

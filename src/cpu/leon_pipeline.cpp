@@ -1,5 +1,7 @@
 #include "cpu/leon_pipeline.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <vector>
@@ -19,15 +21,6 @@ namespace {
 constexpr u8 kNoTrap = static_cast<u8>(Trap::kNone);
 constexpr u8 tt_of(Trap t) { return static_cast<u8>(t); }
 
-bus::HBurst burst_for(unsigned beats) {
-  switch (beats) {
-    case 4: return bus::HBurst::kIncr4;
-    case 8: return bus::HBurst::kIncr8;
-    case 16: return bus::HBurst::kIncr16;
-    default: return beats == 1 ? bus::HBurst::kSingle : bus::HBurst::kIncr;
-  }
-}
-
 /// Big-endian scalar access into a cache line's byte storage.
 u64 line_read(const u8* line, u32 off, unsigned size) {
   u64 v = 0;
@@ -41,18 +34,6 @@ void line_write(u8* line, u32 off, unsigned size, u64 v) {
   }
 }
 
-/// Pack a line's bytes into 32-bit AHB beats (big-endian words).
-void line_to_beats(const u8* line, u32 line_bytes, u32* beats) {
-  for (u32 w = 0; w < line_bytes / 4; ++w) {
-    beats[w] = static_cast<u32>(line_read(line, w * 4, 4));
-  }
-}
-
-void beats_to_line(const u32* beats, u32 line_bytes, u8* line) {
-  for (u32 w = 0; w < line_bytes / 4; ++w) {
-    line_write(line, w * 4, 4, beats[w]);
-  }
-}
 }  // namespace
 
 LeonPipeline::LeonPipeline(const PipelineConfig& cfg, bus::AhbBus& bus,
@@ -63,7 +44,17 @@ LeonPipeline::LeonPipeline(const PipelineConfig& cfg, bus::AhbBus& bus,
       cacheable_(cacheable),
       icache_(cfg.icache, /*seed=*/1),
       dcache_(cfg.dcache, /*seed=*/2),
-      st_(cfg.cpu) {
+      st_(cfg.cpu),
+      imirror_addr_(cfg.icache.num_lines(), kNoMirrorLine),
+      imirror_ins_(static_cast<std::size_t>(cfg.icache.num_lines()) *
+                   cfg.icache.words_per_line()),
+      iline_mask_(cfg.icache.line_bytes - 1),
+      iline_words_(cfg.icache.words_per_line()),
+      iline_words_shift_(
+          static_cast<u32>(std::countr_zero(cfg.icache.words_per_line()))),
+      dline_mask_(cfg.dcache.line_bytes - 1),
+      fast_(cfg.host_fast_paths),
+      hot_ifetch_(cfg.host_fast_paths && cfg.icache_enabled) {
   assert(cfg.cpu.valid() && cfg.icache.valid() && cfg.dcache.valid());
   assert(clock != nullptr && cacheable != nullptr);
   // Doubleword accesses must never straddle a line.
@@ -85,6 +76,10 @@ void LeonPipeline::reset(Addr entry) {
 
 void LeonPipeline::flush_caches() {
   icache_.flush();
+  // The mirror self-invalidates via the line-address check (nothing can
+  // hit a flushed line without a refill, and the refill refreshes the
+  // mirror); clearing it here is belt-and-braces hygiene off the hot path.
+  std::fill(imirror_addr_.begin(), imirror_addr_.end(), kNoMirrorLine);
   // LEON's caches are write-through: dirty data cannot exist, so a plain
   // invalidate is a correct flush for the default policy.  For the
   // write-back extension the victims are pushed out over the bus.
@@ -96,16 +91,9 @@ void LeonPipeline::flush_caches() {
 }
 
 Cycles LeonPipeline::writeback_line(Addr addr, const u8* bytes) {
-  const unsigned beats = cfg_.dcache.line_bytes / 4;
-  std::vector<u32> buf(beats);
-  line_to_beats(bytes, cfg_.dcache.line_bytes, buf.data());
-  bus::AhbTransfer t;
-  t.addr = addr;
-  t.write = true;
-  t.beats = beats;
-  t.burst = burst_for(beats);
-  t.data = buf.data();
-  return bus_.transfer(bus::Master::kCpuData, t);
+  bool error = false;  // memory writeback errors are ignored, as before
+  return bus_.write_line(bus::Master::kCpuData, addr, cfg_.dcache.line_bytes,
+                         bytes, error);
 }
 
 u32 LeonPipeline::cache_control() const {
@@ -119,18 +107,21 @@ u32 LeonPipeline::cache_control() const {
 // Timed memory paths
 // ---------------------------------------------------------------------------
 
-Cycles LeonPipeline::line_fill(bus::Master m, Addr line_addr, u32 line_bytes) {
-  const unsigned beats = line_bytes / 4;
-  std::vector<u32> buf(beats);
-  bus::AhbTransfer t;
-  t.addr = line_addr;
-  t.beats = beats;
-  t.burst = burst_for(beats);
-  t.data = buf.data();
-  return bus_.transfer(m, t);
+void LeonPipeline::predecode_line(u32 slot, Addr line_addr, const u8* line) {
+  imirror_addr_[slot] = line_addr;
+  isa::Instruction* dst =
+      &imirror_ins_[static_cast<std::size_t>(slot) * iline_words_];
+  for (u32 w = 0; w < iline_words_; ++w) {
+    const u32 word = static_cast<u32>(line_read(line, w * 4, 4));
+    dst[w] = predecode_.lookup(word);
+  }
 }
 
-LeonPipeline::MemResult LeonPipeline::ifetch(Addr pc, u32& word) {
+LeonPipeline::MemResult LeonPipeline::ifetch(
+    Addr pc, u32& word, const isa::Instruction*& /*predecoded*/) {
+  // The predecoded pointer is never set here: a fill refreshes the mirror
+  // and the *next* fetch of this pc hits ifetch_hot's mirror path, which
+  // keeps this (cold) function free of the mirror-indexing arithmetic.
   MemResult r;
   const bool cached = cfg_.icache_enabled && cacheable_(pc);
   if (!cached) {
@@ -143,24 +134,23 @@ LeonPipeline::MemResult LeonPipeline::ifetch(Addr pc, u32& word) {
     word = v;
     return r;
   }
+  // The hit paths (ordinary hit + fresh/stale mirror) live in ifetch_hot();
+  // callers try that first, so by the time we are here the probe already
+  // missed (and touched nothing) or the fast paths are off.
   const auto out = icache_.access(pc, /*is_write=*/false);
   if (!out.hit) {
-    bus::AhbTransfer t;
-    const unsigned beats = cfg_.icache.line_bytes / 4;
-    std::vector<u32> buf(beats);
-    t.addr = out.line_addr;
-    t.beats = beats;
-    t.burst = burst_for(beats);
-    t.data = buf.data();
-    r.cycles = bus_.transfer(bus::Master::kCpuInstr, t);
+    bool error = false;
+    r.cycles = bus_.fill_line(bus::Master::kCpuInstr, out.line_addr,
+                              cfg_.icache.line_bytes, out.data, error);
     stats_.icache_stall += r.cycles;
-    if (t.error) {
+    if (error) {
       icache_.invalidate_line(pc);
+      imirror_addr_[out.slot] = kNoMirrorLine;
       r.ok = false;
       return r;
     }
-    beats_to_line(buf.data(), cfg_.icache.line_bytes, out.data);
-    word = buf[(pc - out.line_addr) / 4];
+    if (fast_) predecode_line(out.slot, out.line_addr, out.data);
+    word = static_cast<u32>(line_read(out.data, pc - out.line_addr, 4));
     return r;
   }
   word = static_cast<u32>(line_read(out.data, pc - out.line_addr, 4));
@@ -195,6 +185,15 @@ LeonPipeline::MemResult LeonPipeline::data_read(Addr addr, unsigned size) {
     return r;
   }
 
+  if (fast_) {
+    // Hot path: ordinary read hit (LRU/stats updated inside, identically
+    // to the access() hit path below).
+    const cache::HitRef h = dcache_.lookup_hit(addr);
+    if (h.data != nullptr) {
+      r.value = line_read(h.data, addr & dline_mask_, size);
+      return r;
+    }
+  }
   const auto out = dcache_.access(addr, /*is_write=*/false);
   if (out.parity_discard) {
     // A poisoned dirty line lost the only copy of its data; fault.
@@ -207,21 +206,15 @@ LeonPipeline::MemResult LeonPipeline::data_read(Addr addr, unsigned size) {
     r.cycles += writeback_line(out.victim_addr, out.data);
   }
   if (out.fill) {
-    bus::AhbTransfer t;
-    const unsigned beats = cfg_.dcache.line_bytes / 4;
-    std::vector<u32> buf(beats);
-    t.addr = out.line_addr;
-    t.beats = beats;
-    t.burst = burst_for(beats);
-    t.data = buf.data();
-    r.cycles += bus_.transfer(bus::Master::kCpuData, t);
+    bool error = false;
+    r.cycles += bus_.fill_line(bus::Master::kCpuData, out.line_addr,
+                               cfg_.dcache.line_bytes, out.data, error);
     stats_.dcache_stall += r.cycles;
-    if (t.error) {
+    if (error) {
       dcache_.invalidate_line(addr);
       r.ok = false;
       return r;
     }
-    beats_to_line(buf.data(), cfg_.dcache.line_bytes, out.data);
   }
   r.value = line_read(out.data, addr - out.line_addr, size);
   return r;
@@ -245,20 +238,14 @@ LeonPipeline::MemResult LeonPipeline::data_write(Addr addr, unsigned size,
     }
     if (out.fill) {
       // Write-allocate: fetch the line, then merge the store into it.
-      bus::AhbTransfer t;
-      const unsigned beats = cfg_.dcache.line_bytes / 4;
-      std::vector<u32> buf(beats);
-      t.addr = out.line_addr;
-      t.beats = beats;
-      t.burst = burst_for(beats);
-      t.data = buf.data();
-      r.cycles += bus_.transfer(bus::Master::kCpuData, t);
-      if (t.error) {
+      bool error = false;
+      r.cycles += bus_.fill_line(bus::Master::kCpuData, out.line_addr,
+                                 cfg_.dcache.line_bytes, out.data, error);
+      if (error) {
         dcache_.invalidate_line(addr);
         r.ok = false;
         return r;
       }
-      beats_to_line(buf.data(), cfg_.dcache.line_bytes, out.data);
     }
     line_write(out.data, addr - out.line_addr, size, value);
     stats_.dcache_stall += r.cycles;
@@ -408,9 +395,15 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       cti_taken_ = true;
       cti_target_ = branch_target();
       res.cycles += cfg_.cpu.cti_extra;
+      ++stats_.calls;
       return kNoTrap;
 
     case Mnemonic::kBicc: {
+      // Instruction-mix accounting happens inline on the no-trap paths
+      // (here and in every case below): it is exactly the retired-only
+      // bookkeeping step_impl used to do in a second mnemonic switch,
+      // folded in so the hot path dispatches once.
+      ++stats_.branches;
       const bool taken =
           isa::eval_cond(ins.cond, st.psr.n, st.psr.z, st.psr.v, st.psr.c);
       if (ins.cond == Cond::kA) {
@@ -418,10 +411,12 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
         cti_target_ = branch_target();
         annul_next_ = ins.annul;
         res.cycles += cfg_.cpu.cti_extra;
+        ++stats_.taken_branches;
       } else if (taken) {
         cti_taken_ = true;
         cti_target_ = branch_target();
         res.cycles += cfg_.cpu.cti_extra;
+        ++stats_.taken_branches;
       } else if (ins.annul) {
         annul_next_ = true;
       }
@@ -440,6 +435,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       cti_taken_ = true;
       cti_target_ = target;
       res.cycles += cfg_.cpu.cti_extra;
+      ++stats_.calls;
       return kNoTrap;
     }
 
@@ -604,6 +600,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       }
       st.set_reg(ins.rd, v);
       res.cycles = cfg_.cpu.mul_latency;
+      ++stats_.muldiv;
       return kNoTrap;
     }
     case Mnemonic::kUdiv:
@@ -618,6 +615,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       if (ins.mn == Mnemonic::kUdivcc) icc_from(v, ovf, false);
       st.set_reg(ins.rd, v);
       res.cycles = cfg_.cpu.div_latency;
+      ++stats_.muldiv;
       return kNoTrap;
     }
     case Mnemonic::kSdiv:
@@ -638,6 +636,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       if (ins.mn == Mnemonic::kSdivcc) icc_from(v, ovf, false);
       st.set_reg(ins.rd, v);
       res.cycles = cfg_.cpu.div_latency;
+      ++stats_.muldiv;
       return kNoTrap;
     }
 
@@ -744,6 +743,8 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
     res.mem_write = true;
     res.mem_addr = ea;
     res.mem_size = static_cast<u8>(asz);
+    ++stats_.loads;  // atomics count as both (isa::is_load / is_store)
+    ++stats_.stores;
     return kNoTrap;
   }
 
@@ -776,6 +777,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
     res.mem_access = true;
     res.mem_addr = ea;
     res.mem_size = static_cast<u8>(size);
+    ++stats_.loads;
     return kNoTrap;
   }
 
@@ -804,6 +806,7 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
     res.mem_write = true;
     res.mem_addr = ea;
     res.mem_size = static_cast<u8>(size);
+    ++stats_.stores;
     return kNoTrap;
   }
 
@@ -812,8 +815,42 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
 
 StepResult LeonPipeline::step() {
   StepResult res;
-  res.pc = st_.pc;
-  if (st_.error_mode) return res;
+  step_into(res);
+  return res;
+}
+
+void LeonPipeline::step_into(StepResult& res) { step_impl<true>(res); }
+
+void LeonPipeline::step_into_hot(StepResult& res) {
+  // The observer contract always gets a fully-populated result; without
+  // one nothing can read `res.ins`, so the 32-byte copy is skipped.
+  if (obs_ != nullptr) {
+    step_impl<true>(res);
+  } else {
+    step_impl<false>(res);
+  }
+}
+
+template <bool kCopyIns>
+void LeonPipeline::step_impl(StepResult& res) {
+  // kCopyIns=false is the observerless run-loop body: nothing outside this
+  // call reads `res` (the caller reuses one instance and never looks at
+  // it), so the per-step result materialization and the observer dispatch
+  // are compiled out.  kCopyIns=true keeps the full step()/step_into()
+  // contract: a completely populated result, observer notified.
+  if constexpr (kCopyIns) {
+    res.pc = st_.pc;
+    res.raw = 0;
+    res.annulled = false;
+    res.trapped = false;
+    res.tt = 0;
+    res.mem_access = false;
+    res.mem_write = false;
+    res.mem_addr = 0;
+    res.mem_size = 0;
+  }
+  res.cycles = 1;
+  if (st_.error_mode) return;
 
   if (wedged_) {
     // A wedged CPU holds its architectural state and burns a cycle: the
@@ -822,7 +859,7 @@ StepResult LeonPipeline::step() {
     res.cycles = 1;
     *clock_ += 1;
     stats_.cycles += 1;
-    return res;
+    return;
   }
 
   if (st_.psr.et && irq_level_ != 0 &&
@@ -834,90 +871,113 @@ StepResult LeonPipeline::step() {
     res.cycles = cfg_.cpu.trap_latency;
     *clock_ += res.cycles;
     stats_.cycles += res.cycles;
-    if (obs_) obs_->on_step(res);
-    return res;
+    if constexpr (kCopyIns) {
+      if (obs_) obs_->on_step(res);
+    }
+    return;
   }
 
   u32 word = 0;
-  const MemResult f = ifetch(st_.pc, word);
-  if (!f.ok) {
-    take_trap(tt_of(Trap::kInstructionAccess));
-    res.trapped = true;
-    res.tt = tt_of(Trap::kInstructionAccess);
-    res.cycles = cfg_.cpu.trap_latency + f.cycles;
-    *clock_ += res.cycles;
-    stats_.cycles += res.cycles;
-    if (obs_) obs_->on_step(res);
-    return res;
+  const isa::Instruction* pins = nullptr;
+  Cycles fetch_stall = 0;  // stall cycles beyond the base instruction cost
+  if (!ifetch_hot(st_.pc, word, pins)) [[unlikely]] {
+    const MemResult f = ifetch(st_.pc, word, pins);
+    if (!f.ok) {
+      take_trap(tt_of(Trap::kInstructionAccess));
+      res.trapped = true;
+      res.tt = tt_of(Trap::kInstructionAccess);
+      res.cycles = cfg_.cpu.trap_latency + f.cycles;
+      *clock_ += res.cycles;
+      stats_.cycles += res.cycles;
+      if constexpr (kCopyIns) {
+        if (obs_) obs_->on_step(res);
+      }
+      return;
+    }
+    fetch_stall = f.cycles;
   }
-  res.raw = word;
-  res.ins = isa::decode(word);
+  if constexpr (kCopyIns) res.raw = word;
+  isa::Instruction local;
+  if (pins == nullptr) {
+    if (cfg_.cpu.host_decode_cache) {
+      pins = &predecode_.lookup(word);
+    } else {
+      local = isa::decode(word);
+      pins = &local;
+    }
+  }
+  if constexpr (kCopyIns) res.ins = *pins;
 
   if (annul_next_) {
     annul_next_ = false;
     res.annulled = true;
     st_.pc = st_.npc;
     st_.npc += 4;
-    res.cycles = 1 + f.cycles;
+    res.cycles = 1 + fetch_stall;
     ++stats_.annulled;
     *clock_ += res.cycles;
     stats_.cycles += res.cycles;
-    if (obs_) obs_->on_step(res);
-    return res;
+    if constexpr (kCopyIns) {
+      if (obs_) obs_->on_step(res);
+    }
+    return;
   }
 
   cti_taken_ = false;
   res.cycles = 1;
-  const u8 tt = execute(res.ins, res);
-  if (tt != kNoTrap) {
+  // Instruction-mix accounting (branches/calls/muldiv/loads/stores) lives
+  // inside execute's no-trap paths — same retired-only counts, one switch.
+  const u8 tt = execute(*pins, res);
+  if (tt != kNoTrap) [[unlikely]] {
     take_trap(tt);
     res.trapped = true;
     res.tt = tt;
-    res.cycles = cfg_.cpu.trap_latency + f.cycles;
+    res.cycles = cfg_.cpu.trap_latency + fetch_stall;
   } else {
-    res.cycles += f.cycles;
+    res.cycles += fetch_stall;
     const Addr new_pc = st_.npc;
     const Addr new_npc = cti_taken_ ? cti_target_ : st_.npc + 4;
     st_.pc = new_pc;
     st_.npc = new_npc;
     ++stats_.instructions;
-    // Instruction-mix accounting (retired instructions only).
-    switch (res.ins.mn) {
-      case Mnemonic::kBicc:
-        ++stats_.branches;
-        if (cti_taken_) ++stats_.taken_branches;
-        break;
-      case Mnemonic::kCall:
-      case Mnemonic::kJmpl:
-        ++stats_.calls;
-        break;
-      case Mnemonic::kUmul: case Mnemonic::kUmulcc:
-      case Mnemonic::kSmul: case Mnemonic::kSmulcc:
-      case Mnemonic::kUdiv: case Mnemonic::kUdivcc:
-      case Mnemonic::kSdiv: case Mnemonic::kSdivcc:
-        ++stats_.muldiv;
-        break;
-      default:
-        break;
-    }
-    if (res.mem_access) {
-      if (res.mem_write) ++stats_.stores;
-      if (isa::is_load(res.ins.mn)) ++stats_.loads;
-    }
   }
   *clock_ += res.cycles;
   stats_.cycles += res.cycles;
-  if (obs_) obs_->on_step(res);
-  return res;
+  if constexpr (kCopyIns) {
+    if (obs_) obs_->on_step(res);
+  }
 }
 
-u64 LeonPipeline::run(u64 max_steps, Addr halt_pc) {
+// noinline: the per-step reference loop must keep the code generation the
+// plain step() path always had — run()'s flatten below must not reach it.
+__attribute__((noinline)) u64 LeonPipeline::run_slow(u64 max_steps,
+                                                     Addr halt_pc) {
   u64 n = 0;
   while (n < max_steps && !st_.error_mode && st_.pc != halt_pc) {
     step();
     ++n;
   }
   return n;
+}
+
+// flatten: inline the whole step body (execute included) into the run
+// loop so the reused StepResult never escapes and can live in registers.
+__attribute__((flatten)) u64 LeonPipeline::run(u64 max_steps, Addr halt_pc) {
+  if (obs_ == nullptr && fast_) {
+    // Hot loop: one StepResult reused across iterations and never read
+    // (see step_impl's kCopyIns contract); with no observer attached
+    // nothing outside this frame can see the per-step results, so the
+    // behaviour is identical.  Gated by host_fast_paths so the knob-off
+    // configuration exercises the plain per-step path end to end.
+    StepResult res;
+    u64 n = 0;
+    while (n < max_steps && !st_.error_mode && st_.pc != halt_pc) {
+      step_impl<false>(res);
+      ++n;
+    }
+    return n;
+  }
+  return run_slow(max_steps, halt_pc);
 }
 
 }  // namespace la::cpu

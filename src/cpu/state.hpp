@@ -80,7 +80,10 @@ class RegisterFile {
     const unsigned wslot = [&] {
       if (r < 16) return cwp * 16u + (r - 8u);                 // outs
       if (r < 24) return cwp * 16u + 8u + (r - 16u);           // locals
-      return ((cwp + 1u) % nwin_) * 16u + (r - 24u);           // ins
+      // ins alias the next window's outs; nwin_ is not a compile-time
+      // power of two, so a compare beats the integer division of `%`.
+      const unsigned next = cwp + 1u == nwin_ ? 0u : cwp + 1u;
+      return next * 16u + (r - 24u);
     }();
     return 8u + wslot;
   }

@@ -50,6 +50,13 @@ std::vector<cpu::PipelineConfig> Fuzzer::config_rotation() {
   few.cpu.nwindows = 3;
   cfgs.push_back(few);
 
+  // Host fast paths off (default geometry): every campaign continuously
+  // cross-checks the perf layer against the plain decode/per-step code.
+  cpu::PipelineConfig slow;
+  slow.host_fast_paths = false;
+  slow.cpu.host_decode_cache = false;
+  cfgs.push_back(slow);
+
   return cfgs;
 }
 
@@ -102,6 +109,10 @@ int Fuzzer::run() {
       for (std::size_t i = 0; i < corpus_.size(); ++i) {
         DiffOptions opt;
         opt.pipeline = config_rotation().front();
+        if (cfg_.disable_fast_paths) {
+          opt.pipeline.host_fast_paths = false;
+          opt.pipeline.cpu.host_decode_cache = false;
+        }
         opt.with_system = cfg_.with_system;
         opt.inject_subx_bug = cfg_.inject_subx_bug;
         DifferentialRunner runner(opt);
@@ -117,7 +128,13 @@ int Fuzzer::run() {
     }
   }
 
-  const std::vector<cpu::PipelineConfig> rotation = config_rotation();
+  std::vector<cpu::PipelineConfig> rotation = config_rotation();
+  if (cfg_.disable_fast_paths) {
+    for (cpu::PipelineConfig& c : rotation) {
+      c.host_fast_paths = false;
+      c.cpu.host_decode_cache = false;
+    }
+  }
   for (u64 iter = 0; iter < max_iters; ++iter) {
     if (timed) {
       const auto elapsed =

@@ -39,6 +39,11 @@ struct FuzzConfig {
   std::string out_dir = "lfuzz-out";
   /// Self-check fault injection (see DiffOptions::inject_subx_bug).
   bool inject_subx_bug = false;
+  /// Force every rotation entry to run with the host fast paths off
+  /// (predecode cache, cache-hit probes, batched system run loop).  The
+  /// default rotation already includes one fast-off configuration; this
+  /// turns the whole campaign into a slow-path baseline for A/B runs.
+  bool disable_fast_paths = false;
   /// Progress lines to stderr.
   bool verbose = false;
 };

@@ -1,0 +1,61 @@
+// Host-performance predecode cache: word -> decoded Instruction.
+//
+// isa::decode() is a pure function of the 32-bit instruction word, so a
+// cache keyed by the word itself can NEVER go stale — self-modifying code,
+// program reloads, and cache flushes all change *which* word is fetched,
+// never what a given word means.  That makes this the one layer of the
+// fast path that needs no invalidation hooks at all; the LeonPipeline's
+// per-I-cache-line predecoded mirror (which IS address-keyed) layers its
+// invalidation rules on top (see docs/PERFORMANCE.md).
+//
+// Direct-mapped, value-verified: a lookup hashes the word to a slot and
+// re-checks the stored word before trusting the entry, so collisions cost
+// one real decode and nothing else.
+#pragma once
+
+#include <array>
+
+#include "isa/decode.hpp"
+#include "isa/isa.hpp"
+
+namespace la::isa {
+
+class DecodeCache {
+ public:
+  DecodeCache() {
+    // Seed every slot with a real decode of word 0 so the table never
+    // holds an entry whose stored word disagrees with its Instruction —
+    // a fetched 0x00000000 (UNIMP) hits slot 0 correctly from the start.
+    const Instruction zero = decode(0);
+    for (Entry& e : entries_) e = Entry{0, zero};
+  }
+
+  /// Decode `word`, consulting the cache.  Always returns the same
+  /// Instruction decode(word) would.
+  const Instruction& lookup(u32 word) {
+    Entry& e = entries_[index(word)];
+    if (e.word != word) [[unlikely]] {
+      e.word = word;
+      e.ins = decode(word);
+    }
+    return e.ins;
+  }
+
+ private:
+  struct Entry {
+    u32 word;
+    Instruction ins;
+  };
+
+  static constexpr u32 kSlots = 2048;  // ~72 KiB; L2-resident
+
+  static u32 index(u32 word) {
+    // Opcode bits live at both ends of the word; fold the halves so
+    // immediate-heavy code doesn't collide entire op groups into one slot.
+    return (word ^ (word >> 17)) & (kSlots - 1);
+  }
+
+  std::array<Entry, kSlots> entries_;
+};
+
+}  // namespace la::isa

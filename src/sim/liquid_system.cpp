@@ -1,5 +1,7 @@
 #include "sim/liquid_system.hpp"
 
+#include <algorithm>
+
 #include "sasm/assembler.hpp"
 
 namespace la::sim {
@@ -42,6 +44,15 @@ LiquidSystem::LiquidSystem(const SystemConfig& cfg)
   bridge_.attach(map::kCycleCounterOffset, map::kDeviceSize, cyc_.get());
   bridge_.attach(map::kWatchdogOffset, map::kDeviceSize, &wdog_);
   wdog_.set_on_trip([this] { ctrl_->watchdog_trip(); });
+  // Batched runs defer timer/watchdog advance to computed event cycles; a
+  // program access to peripheral space must observe per-step state, so
+  // catch up right before the access lands and flag the batch to
+  // recompute its next event (the access may have reprogrammed a device).
+  // Outside a batch the backlog is zero and this is a no-op.
+  bridge_.set_access_hook([this] {
+    drain_peripherals();
+    periph_dirty_ = true;
+  });
 
   // ---- AHB map ----
   bus_.attach(map::kRomBase, map::kRomSize, rom_.get());
@@ -293,7 +304,8 @@ cpu::StepResult LiquidSystem::step() {
   timer_.advance(clock_ - before);
   sync_watchdog();  // completion disarms before the budget is charged
   wdog_.advance(clock_ - before);
-  if (step_hook_) step_hook_(r);
+  periph_synced_at_ = clock_;  // per-step path leaves no backlog
+  if (step_hook_armed_) step_hook_(r);
   while (auto resp = pktgen_->pop()) {
     egress_.push_back(wrappers_.egress_frame(*resp));
   }
@@ -301,10 +313,75 @@ cpu::StepResult LiquidSystem::step() {
   return r;
 }
 
+void LiquidSystem::drain_peripherals() {
+  const Cycles delta = clock_ - periph_synced_at_;
+  if (delta == 0) return;
+  timer_.advance(delta);
+  sync_watchdog();  // same ordering as the per-step path
+  wdog_.advance(delta);
+  periph_synced_at_ = clock_;
+}
+
+bool LiquidSystem::run_batched(u64 max_steps, const net::LeonState* until) {
+  constexpr Cycles kNoEvent = ~Cycles{0};
+  cpu::StepResult r;
+  u64 i = 0;
+  while (i < max_steps) {
+    if (until != nullptr && ctrl_->state() == *until) return true;
+    if (pipe_->state().error_mode && !wdog_.armed()) break;
+
+    // Next cycle at which a peripheral does something observable; until
+    // then, per-step advance calls are provably no-ops and are skipped.
+    periph_dirty_ = false;
+    Cycles next_event = kNoEvent;
+    Cycles delta = 0;
+    if (timer_.next_event(delta)) next_event = periph_synced_at_ + delta;
+    if (wdog_.armed()) {
+      next_event = std::min(next_event, periph_synced_at_ + wdog_.remaining());
+    }
+    const net::LeonState s0 = ctrl_->state();
+    // leon_ctrl only inspects the PC while a program is Running; in every
+    // other state on_cpu_pc is a no-op and the control state cannot move
+    // until a peripheral event or network ingress (never mid-run), so the
+    // whole call is hoisted out of the batch.
+    const bool track_pc = s0 == net::LeonState::kRunning;
+
+    while (i < max_steps) {
+      if (pipe_->state().error_mode && !wdog_.armed()) break;
+      const Cycles before = clock_;
+      // The only per-step result this loop consumes is the stepped
+      // instruction's PC, which is the architectural PC *before* the step
+      // — so the result materialization itself can be skipped.
+      const Addr pc = pipe_->state().pc;
+      pipe_->step_into_hot(r);
+      ++i;
+      if (pipe_->state().error_mode && clock_ == before) clock_ += 1;
+      if (track_pc) {
+        ctrl_->on_cpu_pc(pc);
+        if (ctrl_->state() != s0) break;  // completion: drain + resync
+      }
+      if (clock_ >= next_event) break;  // timer underflow / watchdog trip due
+      if (periph_dirty_) break;         // APB access: next event may be stale
+    }
+
+    // Batch boundary: everything the per-step path does after a step, in
+    // the same order, over the accumulated delta.
+    drain_peripherals();
+    while (auto resp = pktgen_->pop()) {
+      egress_.push_back(wrappers_.egress_frame(*resp));
+    }
+  }
+  return until != nullptr && ctrl_->state() == *until;
+}
+
 void LiquidSystem::run(u64 max_steps) {
   // A CPU in error mode normally ends the run, but while the watchdog is
   // armed time must keep flowing so the trip (and its error packet) can
   // happen — that is the §4.1 recovery story.
+  if (!slow_run_path()) {
+    run_batched(max_steps, nullptr);
+    return;
+  }
   for (u64 i = 0; i < max_steps; ++i) {
     if (pipe_->state().error_mode && !wdog_.armed()) break;
     step();
@@ -312,6 +389,7 @@ void LiquidSystem::run(u64 max_steps) {
 }
 
 bool LiquidSystem::run_until(net::LeonState state, u64 max_steps) {
+  if (!slow_run_path()) return run_batched(max_steps, &state);
   for (u64 i = 0; i < max_steps; ++i) {
     if (ctrl_->state() == state) return true;
     if (pipe_->state().error_mode && !wdog_.armed()) return false;

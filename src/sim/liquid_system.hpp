@@ -46,6 +46,13 @@ struct SystemConfig {
   /// instead of the paper's modified mailbox-polling ROM.  Remote program
   /// start does not work in this mode — that is the point of Fig 5.
   bool use_original_boot = false;
+  /// Host-performance knob (no effect on simulated cycles or state): run()
+  /// and run_until() batch steps between peripheral events instead of
+  /// advancing the timer/watchdog every step, falling back to the per-step
+  /// path whenever a step hook, perf tracer, or trace stream is armed.
+  /// An APB access from the program drains peripherals to the current
+  /// cycle first, so mid-batch register reads observe per-step state.
+  bool fast_run_loop = true;
 };
 
 class LiquidSystem {
@@ -132,7 +139,13 @@ class LiquidSystem {
   /// advanced, control state already observed).  The fault engine uses it
   /// for cycle/PC triggers.
   using StepHook = std::function<void(const cpu::StepResult&)>;
-  void set_step_hook(StepHook h) { step_hook_ = std::move(h); }
+  void set_step_hook(StepHook h) {
+    step_hook_ = std::move(h);
+    // Cached armed flag: the per-step check is one predictable bool test
+    // instead of a std::function emptiness probe, and the batched run
+    // loop keys its slow-path fallback off it.
+    step_hook_armed_ = static_cast<bool>(step_hook_);
+  }
   /// Called at the end of every ingress_frame() (packet-count triggers).
   using IngressHook = std::function<void()>;
   void set_ingress_hook(IngressHook h) { ingress_hook_ = std::move(h); }
@@ -151,6 +164,18 @@ class LiquidSystem {
   /// from both step() and ingress_frame() — Start arrives on the network
   /// path, completion on the step path).
   void sync_watchdog();
+  /// Catch the timer and watchdog up to `clock_` (batched run loops defer
+  /// their advance; the per-step path keeps the backlog at zero, making
+  /// this a no-op there).  Applies the same per-step ordering the slow
+  /// path uses: timer, watchdog sync, watchdog charge.
+  void drain_peripherals();
+  /// Batched core shared by run()/run_until(); `until` null = run to the
+  /// step budget.  Returns whether `until` was reached.
+  bool run_batched(u64 max_steps, const net::LeonState* until);
+  bool slow_run_path() const {
+    return !cfg_.fast_run_loop || step_hook_armed_ || perf_ != nullptr ||
+           tracer_ != nullptr;
+  }
 
   SystemConfig cfg_;
   Cycles clock_ = 0;
@@ -185,7 +210,14 @@ class LiquidSystem {
   net::LeonState traced_ctrl_state_ = net::LeonState::kIdle;
   net::LeonState wdog_state_ = net::LeonState::kIdle;
   StepHook step_hook_;
+  bool step_hook_armed_ = false;
   IngressHook ingress_hook_;
+  /// Cycle the timer/watchdog have been advanced to (== clock_ outside a
+  /// batch; lags it inside one until drain_peripherals catches up).
+  Cycles periph_synced_at_ = 0;
+  /// Set by the APB access hook: a peripheral register was touched, so the
+  /// current batch's precomputed next-event cycle may be stale.
+  bool periph_dirty_ = false;
 };
 
 }  // namespace la::sim

@@ -51,6 +51,9 @@ int usage() {
       "                    at the first\n"
       "  --inject-bug      enable the deliberate SUBX carry fault\n"
       "                    (fuzzer self-check; must end with exit 1)\n"
+      "  --no-fast-paths   force the host fast paths off everywhere\n"
+      "                    (predecode cache, batched run loop) for A/B\n"
+      "                    comparison against a default campaign\n"
       "  --replay FILE     differentially execute one .s repro and exit\n"
       "  --faults          run the fault-injection campaign instead of the\n"
       "                    differential fuzzer (exit 1 on any silent\n"
@@ -117,6 +120,10 @@ int replay(const std::string& path, const fuzz::FuzzConfig& cfg) {
   fuzz::DiffOptions opt;
   opt.with_system = cfg.with_system && system_mode;
   opt.inject_subx_bug = cfg.inject_subx_bug;
+  if (cfg.disable_fast_paths) {
+    opt.pipeline.host_fast_paths = false;
+    opt.pipeline.cpu.host_decode_cache = false;
+  }
   fuzz::DifferentialRunner runner(opt);
   const fuzz::DiffOutcome out = runner.run_source(
       source,
@@ -189,6 +196,8 @@ int main(int argc, char** argv) {
       cfg.stop_on_divergence = false;
     } else if (arg == "--inject-bug") {
       cfg.inject_subx_bug = true;
+    } else if (arg == "--no-fast-paths") {
+      cfg.disable_fast_paths = true;
     } else if (arg == "--replay") {
       const char* v = value();
       if (!v) return usage();
