@@ -136,23 +136,29 @@ Row measure_leon_pipeline(bool fast, double secs) {
   });
 }
 
-Row measure_liquid_system(bool fast, double secs) {
+Row measure_liquid_system(bool fast, double secs,
+                          bool flight_recorder = false) {
   sim::SystemConfig cfg;
   cfg.fast_run_loop = fast;
   cfg.pipeline.host_fast_paths = fast;
   cfg.pipeline.cpu.host_decode_cache = fast;
+  cfg.flight_recorder = flight_recorder;
   sim::LiquidSystem sys(cfg);
   sys.run(200);  // boot into the ROM polling loop
   ctrl::LiquidClient client(sys);
   const auto img = sasm::assemble_or_throw(kSystemLoop);
+  // The recorder-armed variant gets its own model name so the trajectory
+  // file keeps one row per (model, fast_paths) pair.
+  const std::string model =
+      flight_recorder ? "liquid_system_flight" : "liquid_system";
   Row row;
   if (!client.load_program(img) || !client.start(img.entry)) {
     std::fprintf(stderr, "sim_mips: remote program start failed\n");
-    row.model = "liquid_system";
+    row.model = model;
     row.fast_paths = fast;
     return row;
   }
-  return measure("liquid_system", fast, secs, [&](u64& instr, u64& cyc) {
+  return measure(model, fast, secs, [&](u64& instr, u64& cyc) {
     sys.run(kChunk);
     instr = sys.cpu().stats().instructions;
     cyc = sys.cpu().stats().cycles;
@@ -191,6 +197,11 @@ int main(int argc, char** argv) {
     rows.push_back(measure_leon_pipeline(fast, secs));
     rows.push_back(measure_liquid_system(fast, secs));
   }
+  // Observability overhead row: the flight recorder armed (sampled retire
+  // ring) on the fast path.  The recorder compiled in but *disabled* is
+  // the plain liquid_system row above — its cost is one predictable
+  // null-pointer branch per batched step.
+  rows.push_back(measure_liquid_system(true, secs, /*flight_recorder=*/true));
 
   std::printf("%-16s %-6s %12s %16s\n", "model", "fast", "host MIPS",
               "cycles/sec");

@@ -1,0 +1,142 @@
+#include "common/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace la::metrics {
+
+namespace {
+
+void append_prom_number(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out += buf;
+}
+
+void append_label_value(std::string& out, const std::string& v) {
+  out += '"';
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+/// Render `{a="1",b="2"}` with `extra` appended last (for `le`).  Empty
+/// label set and no extra renders nothing.
+void append_labels(std::string& out, const PromLabels& labels,
+                   const std::string& extra_name = "",
+                   const std::string& extra_value = "") {
+  if (labels.empty() && extra_name.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_name(k);
+    out += '=';
+    append_label_value(out, v);
+  }
+  if (!extra_name.empty()) {
+    if (!first) out += ',';
+    out += extra_name;
+    out += '=';
+    append_label_value(out, extra_value);
+  }
+  out += '}';
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const PromLabels& labels, double v) {
+  out += name;
+  append_labels(out, labels);
+  out += ' ';
+  append_prom_number(out, v);
+  out += '\n';
+}
+
+void append_snapshot(std::string& out, const Snapshot& snap,
+                     const std::string& prefix, const PromLabels& labels) {
+  for (const auto& [name, value] : snap.values) {
+    append_sample(out, prefix + prom_name(name), labels, value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (h.count == 0) continue;  // same rule as Snapshot::to_json
+    const std::string base = prefix + prom_name(name);
+    u64 cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += h.buckets[i];
+      const double limit = Histogram::bucket_limit(i);
+      std::string le;
+      append_prom_number(le, limit);
+      out += base;
+      out += "_bucket";
+      append_labels(out, labels, "le", le);
+      out += ' ';
+      append_prom_number(out, static_cast<double>(cumulative));
+      out += '\n';
+    }
+    out += base;
+    out += "_sum";
+    append_labels(out, labels);
+    out += ' ';
+    append_prom_number(out, h.mean * static_cast<double>(h.count));
+    out += '\n';
+    out += base;
+    out += "_count";
+    append_labels(out, labels);
+    out += ' ';
+    append_prom_number(out, static_cast<double>(h.count));
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap, const std::string& prefix,
+                          const PromLabels& labels) {
+  std::string out;
+  append_snapshot(out, snap, prefix, labels);
+  return out;
+}
+
+std::string to_prometheus(const std::vector<LabelledSnapshot>& snaps,
+                          const std::string& prefix) {
+  std::string out;
+  for (const LabelledSnapshot& ls : snaps) {
+    if (ls.snap == nullptr) continue;
+    append_snapshot(out, *ls.snap, prefix, ls.labels);
+  }
+  return out;
+}
+
+}  // namespace la::metrics

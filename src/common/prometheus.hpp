@@ -1,0 +1,46 @@
+// Prometheus text exposition over metrics snapshots.
+//
+// The registry's JSON form is for files and the control wire; a scraping
+// stack wants the text exposition format instead.  This writer renders a
+// frozen Snapshot — names mangled to Prometheus rules (dots and dashes
+// become underscores), scalars as untyped samples, histograms as the
+// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.  Every
+// sample can carry a fixed label set (e.g. node="3") so per-node snapshots
+// from one farm land in one exposition without name collisions.
+//
+// No HTTP server lives here — tools write the exposition to a file (the
+// node_exporter textfile-collector convention) or stdout.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace la::metrics {
+
+/// `{name, value}` pairs rendered into every sample: {"node","3"} becomes
+/// `{node="3"}`.  Values are escaped per the exposition format.
+using PromLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Mangle a dotted metric path into a legal Prometheus metric name:
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`, everything else mapped to '_', with a
+/// leading-digit guard.  `farm.jobs.ok` -> `farm_jobs_ok`.
+std::string prom_name(const std::string& name);
+
+/// Render one snapshot.  `prefix` is prepended to every mangled name
+/// (conventionally ending in '_', e.g. "liquid_").
+std::string to_prometheus(const Snapshot& snap, const std::string& prefix = "",
+                          const PromLabels& labels = {});
+
+/// Render several labelled snapshots into one exposition (one farm: the
+/// fleet snapshot plus each node's, distinguished by labels).
+struct LabelledSnapshot {
+  const Snapshot* snap = nullptr;
+  PromLabels labels;
+};
+std::string to_prometheus(const std::vector<LabelledSnapshot>& snaps,
+                          const std::string& prefix = "");
+
+}  // namespace la::metrics

@@ -265,6 +265,47 @@ Result<std::string> LiquidClient::stats_snapshot() {
   return command_failure("stats_snapshot");
 }
 
+Result<std::string> LiquidClient::stats_delta() {
+  begin_command();
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
+    send_command(net::simple_command(net::CommandCode::kStatsStream));
+    if (auto body = await(net::ResponseCode::kStatsDelta,
+                          rounds_for_attempt(attempt))) {
+      return std::string(body->begin(), body->end());
+    }
+  }
+  return command_failure("stats_delta");
+}
+
+Result<std::string> LiquidClient::flight_dump() {
+  begin_command();
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
+    send_command(net::simple_command(net::CommandCode::kFlightDump));
+    if (auto body = await(net::ResponseCode::kFlightData,
+                          rounds_for_attempt(attempt))) {
+      return std::string(body->begin(), body->end());
+    }
+  }
+  return command_failure("flight_dump");
+}
+
+Status LiquidClient::set_trace(u64 trace_id, u64 span_id) {
+  begin_command();
+  for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (deadline_exhausted()) break;
+    send_command(net::SetTraceCmd{trace_id, span_id}.serialize());
+    if (await(net::ResponseCode::kTraceAck, rounds_for_attempt(attempt))) {
+      return Status{};
+    }
+  }
+  return command_failure("set_trace");
+}
+
 Status LiquidClient::restart() {
   begin_command();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
@@ -279,8 +320,17 @@ Status LiquidClient::restart() {
 }
 
 Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
+  // Propagate the causal context to the node first, so the leon_ctrl
+  // episodes of this load/run belong to the job's trace.  Best-effort:
+  // a lost ack must not fail the job itself.
+  if (job_trace_.active()) {
+    (void)set_trace(job_trace_.ctx.trace_id, job_trace_.ctx.span_id);
+  }
+  const double load_t0 = job_trace_.now_us();
   if (auto loaded = load_program(img); !loaded) return loaded;
+  job_trace_.phase("load", load_t0, job_trace_.now_us(), node_.now());
   if (auto started = start(img.entry); !started) return started;
+  const double run_t0 = job_trace_.now_us();
   begin_command();  // the wait-for-completion phase is its own "command"
   u64 stepped = 0;
   while (stepped < max_steps) {
@@ -299,17 +349,26 @@ Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
       }
     }
     const net::LeonState st = node_.controller().state();
-    if (st == net::LeonState::kDone) return Status{};
+    if (st == net::LeonState::kDone) {
+      job_trace_.phase("run", run_t0, job_trace_.now_us(), node_.now());
+      return Status{};
+    }
     if (st == net::LeonState::kError) {
       ClientError e;
       e.kind = ClientErrorKind::kNodeError;
       e.node_code = last_node_error_.value_or(0);
       e.detail = "run_program: node entered error state";
       ++stats_.gave_up;
+      const double now = job_trace_.now_us();
+      job_trace_.phase("run", run_t0, now, node_.now());
+      job_trace_.phase("error", now, now, node_.now(), e.to_string());
       return e;
     }
   }
-  if (node_.controller().state() == net::LeonState::kDone) return Status{};
+  if (node_.controller().state() == net::LeonState::kDone) {
+    job_trace_.phase("run", run_t0, job_trace_.now_us(), node_.now());
+    return Status{};
+  }
   ClientError e;
   e.kind = ClientErrorKind::kDeadline;
   e.detail = "run_program: program did not complete";

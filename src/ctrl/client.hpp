@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/span_log.hpp"
 #include "net/channel.hpp"
 #include "net/commands.hpp"
 #include "sasm/image.hpp"
@@ -128,6 +129,26 @@ class LiquidClient {
   /// response payload is the snapshot as UTF-8 JSON.
   Result<std::string> stats_snapshot();
 
+  /// Poll the node's metrics *delta* window (STATS_STREAM command): the
+  /// change since the previous stream poll, as UTF-8 JSON.  Periodic
+  /// calls make a scrape loop.
+  Result<std::string> stats_delta();
+
+  /// Pull the node's flight-recorder ring (FLIGHT_DUMP command) as a JSON
+  /// dump.  Fails with node code 0x42 when the node has no recorder.
+  Result<std::string> flight_dump();
+
+  /// Attach a causal trace context to the node (SET_TRACE command):
+  /// subsequent leon_ctrl episodes are attributed to this trace.
+  Status set_trace(u64 trace_id, u64 span_id);
+
+  /// Causal tracing: spans for the phases this client drives (load, run,
+  /// error) are emitted into the given job trace; run_program() also
+  /// propagates the context to the node via SET_TRACE.  An inactive
+  /// JobTrace (default) keeps everything a no-op.
+  void set_job_trace(trace::JobTrace jt) { job_trace_ = std::move(jt); }
+  const trace::JobTrace& job_trace() const { return job_trace_; }
+
   /// Convenience: load + start + run the node until leon_ctrl reports the
   /// program done (or `max_steps` node instructions pass).  A node that
   /// lands in the error state (e.g. watchdog trip) fails loudly with the
@@ -197,6 +218,7 @@ class LiquidClient {
   net::Channel up_;
   net::Channel down_;
   ExtraFrameHandler extra_handler_;
+  trace::JobTrace job_trace_;
   Stats stats_;
   u64 steps_this_command_ = 0;
   std::optional<u8> last_node_error_;

@@ -41,6 +41,17 @@ LiquidFarm::LiquidFarm(FarmConfig cfg)
     w->server = std::make_unique<liquid::ReconfigurationServer>(
         *w->node, cache_, syn_, server_cfg);
     w->current_key = w->server->current().key();
+    const u32 pid = static_cast<u32>(i) + 1;  // process lane: node i
+    const std::string node_name = "node " + std::to_string(i);
+    if (cfg_.tracing) {
+      span_log_.set_process_name(pid, node_name);
+      span_log_.set_thread_name(pid, 1, "worker " + std::to_string(i));
+    }
+    if (cfg_.perf_trace) {
+      sim::PerfTracer& pt = w->node->enable_perf_trace();
+      pt.set_lane(pid, 1);
+      pt.set_names(node_name, "worker " + std::to_string(i));
+    }
     workers_.push_back(std::move(w));
   }
   started_ = cfg_.autostart;
@@ -62,6 +73,12 @@ void LiquidFarm::start() {
 Result<u64> LiquidFarm::submit(FarmJob job) {
   const std::lock_guard<std::mutex> lk(mu_);
   if (shutdown_) return FarmError{FarmErrorKind::kShuttingDown, {}};
+  if (cfg_.tracing && !job.trace.valid()) {
+    // The trace is born where the job enters the system; queue-wait
+    // measures from this stamp.
+    job.trace = span_log_.mint();
+    job.submitted_us = span_log_.now_us();
+  }
   Result<u64> admitted = sched_.enqueue(std::move(job));
   if (admitted) cv_work_.notify_all();
   return admitted;
@@ -159,10 +176,38 @@ void LiquidFarm::worker_loop(Worker& w) {
       }
     }
 
+    // The job's span-emission handle: node lane = index + 1, worker tid 1.
+    trace::JobTrace jt;
+    if (job.trace.valid()) {
+      jt.log = &span_log_;
+      jt.ctx = job.trace;
+      jt.pid = static_cast<u32>(w.index) + 1;
+      jt.tid = 1;
+      jt.phase("queue_wait", job.submitted_us, span_log_.now_us());
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
-    liquid::JobResult r = w.server->run_job(job.config, job.program,
-                                            job.result_addr, job.result_words);
+    liquid::JobResult r =
+        w.server->run_job(job.config, job.program, job.result_addr,
+                          job.result_words, nullptr, jt);
     const double host = seconds_between(t0, std::chrono::steady_clock::now());
+
+    if (jt.active()) {
+      // The root span covers the whole journey, submission to completion.
+      trace::Span root;
+      root.trace_id = job.trace.trace_id;
+      root.span_id = job.trace.span_id;
+      root.parent_span_id = 0;
+      root.name = "job";
+      root.note = job.owner + " " + job.config.key() +
+                  (r.ok ? "" : " FAILED: " + r.error);
+      root.pid = jt.pid;
+      root.tid = jt.tid;
+      root.start_us = job.submitted_us;
+      root.dur_us = span_log_.now_us() - job.submitted_us;
+      root.cycle = w.node->now();
+      span_log_.add(root);
+    }
 
     {
       const std::lock_guard<std::mutex> lk(mu_);
@@ -181,6 +226,16 @@ void LiquidFarm::worker_loop(Worker& w) {
       out.owner = std::move(job.owner);
       out.config_key = job.config.key();
       out.node = w.index;
+      out.trace_id = job.trace.trace_id;
+      if (!r.ok && w.node->flight_recorder() != nullptr) {
+        // Post-mortem rides along with the failure: prefer the automatic
+        // error-transition dump (it froze the ring at the moment of
+        // death), fall back to a fresh one.
+        out.flight_dump = w.node->last_flight_dump();
+        if (out.flight_dump.empty()) {
+          out.flight_dump = w.node->take_flight_dump("job_failed");
+        }
+      }
       out.result = std::move(r);
       results_.push_back(std::move(out));
       cv_work_.notify_all();  // completing frees this job's owner
@@ -254,8 +309,28 @@ FarmReport LiquidFarm::report() {
   metrics::Histogram& h = fleet.histogram("farm.wall_seconds");
   for (const double s : wall_samples_) h.observe(s);
 
+  // Per-phase host-microsecond latency distributions from the span log
+  // (queue_wait, synthesis, reconfigure, load, run, readback, ...), with
+  // nearest-rank p50/p95/p99 gauges alongside.
+  if (cfg_.tracing) {
+    span_log_.observe_phase_latencies(fleet, "farm.phase.");
+  }
+
   rep.fleet = fleet.snapshot();
   return rep;
+}
+
+std::string LiquidFarm::merged_perf_trace() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_results_.wait(lk, [&] { return shutdown_ || fleet_idle_locked(); });
+  std::vector<std::string> traces;
+  traces.reserve(workers_.size());
+  for (const auto& w : workers_) {
+    if (sim::PerfTracer* pt = w->node->perf_tracer()) {
+      traces.push_back(pt->to_chrome_json());
+    }
+  }
+  return sim::merge_chrome_traces(traces);
 }
 
 std::string FarmReport::text() const {

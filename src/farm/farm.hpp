@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/span_log.hpp"
 #include "farm/scheduler.hpp"
 #include "liquid/reconfig_server.hpp"
 
@@ -54,6 +55,16 @@ struct FarmConfig {
   /// When false, workers hold at a gate until start() — lets tests and
   /// benches submit a whole batch first so execution order is the plan.
   bool autostart = true;
+  /// Fleet-wide causal tracing: submit() mints a TraceContext per job and
+  /// every phase (queue-wait, synthesis, reconfigure, load, run, readback,
+  /// error) lands in span_log() — one merged timeline, one process lane
+  /// per node.  report() folds per-phase latency histograms into the
+  /// fleet registry as farm.phase.*.
+  bool tracing = false;
+  /// Give each node a perf tracer on its own pid/tid lane so
+  /// merged_perf_trace() yields one multi-process Chrome trace.  Forces
+  /// the nodes onto the per-step run path (observability is not free).
+  bool perf_trace = false;
 };
 
 /// A completed job, as delivered back to whoever submitted it.
@@ -63,6 +74,11 @@ struct FarmJobOutcome {
   std::string config_key;
   std::size_t node = 0;  // which node ran it
   liquid::JobResult result;
+  /// Causal trace id (0 when fleet tracing was off at submission).
+  u64 trace_id = 0;
+  /// Post-mortem JSON from the node's flight recorder, captured when the
+  /// job failed on a recorder-armed node; empty otherwise.
+  std::string flight_dump;
 };
 
 /// Fleet-level rollup; built by LiquidFarm::report() once the fleet is
@@ -142,6 +158,24 @@ class LiquidFarm {
   liquid::ReconfigurationCache& cache() { return cache_; }
   FarmScheduler::Stats scheduler_stats() const;
 
+  /// The fleet's span log (every traced job's phases, all nodes on one
+  /// timeline).  Reading/exporting while jobs are in flight is safe (the
+  /// log locks internally) but a coherent file wants drain() first.
+  trace::SpanLog& span_log() { return span_log_; }
+  const trace::SpanLog& span_log() const { return span_log_; }
+
+  /// Direct node access for pre-start setup (arming fault injectors,
+  /// flight recorders, perf tracers).  Only safe on an autostart=false
+  /// farm before start() — the workers hold at their gate and have not
+  /// touched their nodes yet — or after drain() with no new submissions.
+  sim::LiquidSystem& node_for_setup(std::size_t i) {
+    return *workers_.at(i)->node;
+  }
+
+  /// One Chrome trace merging every node's perf tracer (requires
+  /// FarmConfig::perf_trace); waits for the fleet to go idle first.
+  std::string merged_perf_trace();
+
  private:
   struct Worker {
     std::size_t index = 0;
@@ -172,6 +206,7 @@ class LiquidFarm {
   FarmScheduler sched_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::deque<FarmJobOutcome> results_;
+  trace::SpanLog span_log_;  // internally locked; written by all workers
   std::vector<double> wall_samples_;  // per-job wall_seconds, for p50/95/99
   bool started_ = false;
   bool shutdown_ = false;

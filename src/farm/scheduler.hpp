@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/span_log.hpp"
 #include "farm/farm_error.hpp"
 #include "liquid/arch_config.hpp"
 #include "sasm/image.hpp"
@@ -47,6 +48,11 @@ struct FarmJob {
   sasm::Image program;
   Addr result_addr = 0;
   u16 result_words = 0;
+  /// Causal trace identity, minted by LiquidFarm::submit() when fleet
+  /// tracing is on (zero otherwise), and the submission timestamp on the
+  /// farm's span-log timeline — queue-wait spans measure from here.
+  trace::TraceContext trace;
+  double submitted_us = 0.0;
 };
 
 enum class FarmPolicy : u8 {

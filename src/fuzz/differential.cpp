@@ -230,8 +230,16 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
     // post-completion eviction; the system leg always runs write-through.
     scfg.pipeline.dcache.write_policy =
         cache::WritePolicy::kWriteThroughNoAllocate;
+    scfg.flight_recorder = opt_.flight_recorder;
     sim::LiquidSystem node(scfg);
     node.run(300);  // let the boot ROM reach its polling loop
+    // A divergence report is only as good as its post-mortem: attach the
+    // node's recent history whenever this leg is the one that failed.
+    const auto black_box = [&](DiffOutcome& o) {
+      if (node.flight_recorder() != nullptr) {
+        o.flight_dump = node.take_flight_dump("divergence");
+      }
+    };
     ctrl::LiquidClient client(node);
     if (!client.run_program(img, opt_.system_max_steps)) {
       out.diverged = true;
@@ -242,6 +250,7 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
                                  node.cpu().state().tbr_tt())) +
                              ")"
                        : "system leg never reported the program done";
+      black_box(out);
       return out;
     }
     // Completion disconnected the CPU; reconnect so a cache flush can
@@ -253,6 +262,7 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
       out.diverged = true;
       out.leg = "system";
       out.detail = d;
+      black_box(out);
       return out;
     }
     for (Addr addr = data; addr + 4 <= cmp_end; addr += 4) {
@@ -264,6 +274,7 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
         out.detail = "memory at data+" + std::to_string(addr - data) +
                      ": " + hex32(flat.word_at(addr)) + " vs " +
                      hex32(static_cast<u32>(cv));
+        black_box(out);
         return out;
       }
     }
@@ -275,6 +286,7 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
         out.diverged = true;
         out.leg = "system";
         out.detail = "read_memory over the control network failed";
+        black_box(out);
         return out;
       }
       for (u16 i = 0; i < 16; ++i) {
@@ -284,6 +296,7 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
           out.detail = "protocol readback at data+" + std::to_string(4 * i) +
                        ": " + hex32(flat.word_at(data + 4u * i)) + " vs " +
                        hex32((*words)[i]);
+          black_box(out);
           return out;
         }
       }

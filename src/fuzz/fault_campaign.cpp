@@ -153,6 +153,7 @@ FaultRunResult FaultCampaign::run_one(const ProgramSpec& spec,
   scfg.pipeline.dcache.write_policy =
       cache::WritePolicy::kWriteThroughNoAllocate;
   scfg.watchdog_budget = cfg_.watchdog_budget;
+  scfg.flight_recorder = cfg_.flight_recorder;
   sim::LiquidSystem node(scfg);
   node.run(300);  // boot ROM to its polling loop
 
@@ -174,9 +175,19 @@ FaultRunResult FaultCampaign::run_one(const ProgramSpec& spec,
   res.faults_landed = inj.stats().landed;
   stats_.faults_injected += inj.stats().injected;
 
+  // Post-mortem for any classified failure: prefer the dump the node took
+  // itself at the moment of the trip/error (tightest window around the
+  // wedge PC); fall back to whatever the ring holds now.
+  const auto black_box = [&](const char* reason) {
+    if (node.flight_recorder() == nullptr) return;
+    res.flight_dump = node.last_flight_dump();
+    if (res.flight_dump.empty()) res.flight_dump = node.take_flight_dump(reason);
+  };
+
   if (!run) {
     res.verdict = FaultVerdict::kDetected;
     res.detail = run.error().to_string();
+    black_box("detected");
     return res;
   }
 
@@ -191,6 +202,7 @@ FaultRunResult FaultCampaign::run_one(const ProgramSpec& spec,
     if (!node.sram().debug_read(addr, 4, got)) {
       res.verdict = FaultVerdict::kSilent;
       res.detail = "data region unreadable at " + hex32(addr);
+      black_box("silent_divergence");
       return res;
     }
     if (flat.word_at(addr) == static_cast<u32>(got)) continue;
@@ -202,6 +214,7 @@ FaultRunResult FaultCampaign::run_one(const ProgramSpec& spec,
     res.detail = "memory at data+" + std::to_string(addr - data) + ": " +
                  hex32(flat.word_at(addr)) + " vs " +
                  hex32(static_cast<u32>(got)) + " (parity clean)";
+    black_box("silent_divergence");
     return res;
   }
   // Damage outside the data region that never got consumed is latent too
@@ -256,7 +269,7 @@ int FaultCampaign::run() {
       case FaultVerdict::kLatent: ++stats_.latent; break;
       case FaultVerdict::kSilent:
         ++stats_.silent;
-        handle_silent(spec, plan, r.detail);
+        handle_silent(spec, plan, r.detail, r.flight_dump);
         if (cfg_.stop_on_silent) {
           note(finish_line());
           return 1;
@@ -277,13 +290,15 @@ int FaultCampaign::run() {
 
 void FaultCampaign::handle_silent(const ProgramSpec& spec,
                                   const fault::FaultPlan& plan,
-                                  const std::string& detail) {
+                                  const std::string& detail,
+                                  const std::string& flight_dump) {
   note("SILENT divergence: " + detail);
   FaultFailure fail;
   fail.spec = spec;
   fail.minimized = spec;
   fail.plan = plan;
   fail.detail = detail;
+  fail.flight_dump = flight_dump;
 
   if (cfg_.minimize_failures) {
     const auto still_fails = [&](const ProgramSpec& cand) {
@@ -305,6 +320,9 @@ void FaultCampaign::handle_silent(const ProgramSpec& spec,
     fail.repro_path = write_text(base.string() + ".s", fail.spec.render());
     write_text(base.string() + ".plan.txt",
                fail.plan.to_string() + "# " + fail.detail + "\n");
+    if (!fail.flight_dump.empty()) {
+      write_text(base.string() + ".flight.json", fail.flight_dump);
+    }
     if (cfg_.minimize_failures) {
       fail.minimized_path =
           write_text(base.string() + ".min.s", fail.minimized.render());

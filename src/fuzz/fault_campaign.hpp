@@ -51,6 +51,10 @@ struct FaultCampaignConfig {
   int program_chunks = 60;
   std::string out_dir = "lfuzz-faults-out";
   bool verbose = false;
+  /// Arm each node's flight recorder; detections and silent divergences
+  /// then come with a post-mortem JSON (FaultRunResult::flight_dump, and a
+  /// .flight.json next to each silent repro).
+  bool flight_recorder = true;
 };
 
 enum class FaultVerdict : u8 {
@@ -68,6 +72,9 @@ struct FaultRunResult {
   std::string detail;
   u64 faults_fired = 0;
   u64 faults_landed = 0;
+  /// Flight-recorder JSON captured for detected/silent verdicts when
+  /// FaultCampaignConfig::flight_recorder is on; empty otherwise.
+  std::string flight_dump;
 };
 
 struct FaultCampaignStats {
@@ -86,6 +93,7 @@ struct FaultFailure {
   ProgramSpec minimized;
   fault::FaultPlan plan;
   std::string detail;
+  std::string flight_dump;  // node post-mortem at the silent divergence
   MinimizeStats min_stats;
   std::string repro_path;      // written .s (+ .plan.txt alongside)
   std::string minimized_path;
@@ -115,7 +123,8 @@ class FaultCampaign {
 
  private:
   void handle_silent(const ProgramSpec& spec, const fault::FaultPlan& plan,
-                     const std::string& detail);
+                     const std::string& detail,
+                     const std::string& flight_dump);
   std::string finish_line() const;
   void note(const std::string& line) const;
 

@@ -246,6 +246,9 @@ void Fuzzer::handle_divergence(const ProgramSpec& spec, DiffOutcome outcome,
     const fs::path base = fs::path(cfg_.out_dir) / tag;
     fail.repro_path = write_text(base.string() + ".s", fail.spec.render());
     write_text(base.string() + ".lprog", serialize_spec(fail.spec));
+    if (!fail.outcome.flight_dump.empty()) {
+      write_text(base.string() + ".flight.json", fail.outcome.flight_dump);
+    }
     if (cfg_.minimize_failures) {
       fail.minimized_path =
           write_text(base.string() + ".min.s", fail.minimized.render());

@@ -50,7 +50,8 @@ ReconfigurationServer::~ReconfigurationServer() {
 JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
                                          const sasm::Image& program,
                                          Addr result_addr, u16 result_words,
-                                         TraceAnalyzer* analyzer) {
+                                         TraceAnalyzer* analyzer,
+                                         trace::JobTrace jt) {
   JobResult r;
   r.config = arch;
   ++stats_.jobs;
@@ -60,16 +61,23 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
   if (!arch.valid()) {
     ++stats_.failures;
     r.error = "invalid architecture configuration";
+    const double now = jt.now_us();
+    jt.phase("error", now, now, node_.now(), r.error);
     return r;
   }
 
   // 1. Obtain the bitfile (cache hit or ~1 h synthesis).
+  const double syn_t0 = jt.now_us();
   const auto got = cache_.get_or_synthesize(arch, syn_);
   r.bitfile_cache_hit = got.hit;
   r.synthesis_seconds = got.seconds;
+  jt.phase("synthesis", syn_t0, jt.now_us(), node_.now(),
+           got.hit ? "cache_hit" : "synthesized " + arch.key());
   if (!got.bitfile.has_value()) {
     ++stats_.failures;
     r.error = "configuration does not fit the device";
+    const double now = jt.now_us();
+    jt.phase("error", now, now, node_.now(), r.error);
     return r;
   }
   // Honest per-config latency: the node clocks at this image's fmax.
@@ -79,6 +87,7 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
 
   // 2. Reprogram the FPGA if the loaded image differs.
   if (!(current_ == arch)) {
+    const double cfg_t0 = jt.now_us();
     node_.reconfigure(arch.to_pipeline());
     r.reconfigured = true;
     r.reprogram_seconds = static_cast<double>(got.bitfile->size_bytes) /
@@ -87,10 +96,12 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
     ++stats_.reconfigurations;
     current_ = arch;
     node_.run(100);  // let the fresh boot reach its polling loop
+    jt.phase("reconfigure", cfg_t0, jt.now_us(), node_.now(), arch.key());
   }
 
   // 3. Load and execute over the control network.
   ctrl::LiquidClient client(node_, cfg_.client);
+  client.set_job_trace(jt);
   net::TraceReceiver trace_rx;
   if (analyzer != nullptr) {
     // Profile the application, not the boot ROM's polling spin.
@@ -131,13 +142,17 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
 
   // 4. Read the results back.
   if (result_words > 0) {
+    const double rb_t0 = jt.now_us();
     const auto mem = client.read_memory(result_addr, result_words);
     if (!mem) {
       ++stats_.failures;
       r.error = "readback failed";
+      const double now = jt.now_us();
+      jt.phase("error", now, now, node_.now(), r.error);
       return r;
     }
     r.readback = *mem;
+    jt.phase("readback", rb_t0, jt.now_us(), node_.now());
   }
   r.ok = true;
   return r;

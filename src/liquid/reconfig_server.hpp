@@ -69,10 +69,13 @@ class ReconfigurationServer {
   ~ReconfigurationServer();
 
   /// Run `program` under `arch`, reading `result_words` words back from
-  /// `result_addr` afterwards.  An optional analyzer traces the run.
+  /// `result_addr` afterwards.  An optional analyzer traces the run; an
+  /// active JobTrace gets a span per phase (synthesis, reconfigure, and —
+  /// via the control client — load, run, readback).
   JobResult run_job(const ArchConfig& arch, const sasm::Image& program,
                     Addr result_addr, u16 result_words,
-                    TraceAnalyzer* analyzer = nullptr);
+                    TraceAnalyzer* analyzer = nullptr,
+                    trace::JobTrace jt = {});
 
   /// The architecture currently loaded in the FPGA.
   const ArchConfig& current() const { return current_; }

@@ -88,6 +88,15 @@ void LeonController::handle(const UdpDatagram& d) {
     case CommandCode::kStatsSnapshot:
       handle_stats_snapshot();
       return;
+    case CommandCode::kSetTrace:
+      handle_set_trace(r);
+      return;
+    case CommandCode::kStatsStream:
+      handle_stats_stream();
+      return;
+    case CommandCode::kFlightDump:
+      handle_flight_dump();
+      return;
     default:
       ++stats_.bad_commands;
       respond_error(err::kUnknownCommand);
@@ -133,7 +142,7 @@ void LeonController::handle_load(ByteReader& r) {
       (state_ != LeonState::kLoading ||
        expected_packets_ != cmd->total_packets)) {
     // First chunk of a new load session.
-    state_ = LeonState::kLoading;
+    set_state(LeonState::kLoading);
     expected_packets_ = cmd->total_packets;
     received_.assign(cmd->total_packets, false);
     received_count_ = 0;
@@ -153,7 +162,7 @@ void LeonController::handle_load(ByteReader& r) {
 
   if (state_ == LeonState::kLoading &&
       received_count_ == expected_packets_) {
-    state_ = LeonState::kReady;
+    set_state(LeonState::kReady);
   }
   ByteWriter w;
   w.write_u16(cmd->sequence);
@@ -182,7 +191,7 @@ void LeonController::handle_start(ByteReader& r) {
   // loop's next (flushed) read jumps to the user program.
   sw_.user_port().backdoor_write_word(cfg_.mailbox, cmd->address);
   sw_.set_connected(true);
-  state_ = LeonState::kRunning;
+  set_state(LeonState::kRunning);
   seen_user_code_ = false;  // completion arms once the CPU enters user code
   if (now_) run_started_at_ = now_();
   ++stats_.programs_started;
@@ -227,12 +236,52 @@ void LeonController::handle_stats_snapshot() {
   respond(ResponseCode::kStatsData, stats_provider_());
 }
 
+void LeonController::handle_set_trace(ByteReader& r) {
+  const auto cmd = SetTraceCmd::parse(r);
+  if (!cmd) {
+    ++stats_.bad_commands;
+    respond_error(err::kBadTrace);
+    return;
+  }
+  trace_id_ = cmd->trace_id;
+  trace_span_id_ = cmd->span_id;
+  ++stats_.traces_attached;
+  respond(ResponseCode::kTraceAck);
+}
+
+void LeonController::handle_stats_stream() {
+  if (!delta_provider_) {
+    ++stats_.bad_commands;
+    respond_error(err::kNoStats);  // node exposes no metrics registry
+    return;
+  }
+  ++stats_.stream_polls;
+  respond(ResponseCode::kStatsDelta, delta_provider_());
+}
+
+void LeonController::handle_flight_dump() {
+  if (!flight_provider_) {
+    ++stats_.bad_commands;
+    respond_error(err::kNoRecorder);  // node has no flight recorder
+    return;
+  }
+  ++stats_.flight_dumps;
+  respond(ResponseCode::kFlightData, flight_provider_());
+}
+
+void LeonController::set_state(LeonState next) {
+  if (next == state_) return;
+  const LeonState prev = state_;
+  state_ = next;
+  if (state_observer_) state_observer_(prev, next);
+}
+
 void LeonController::handle_restart() {
   sw_.set_connected(false);
   sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
   if (reset_cpu_) reset_cpu_();
   sw_.set_connected(true);
-  state_ = LeonState::kIdle;
+  set_state(LeonState::kIdle);
   expected_packets_ = 0;
   received_.clear();
   received_count_ = 0;
@@ -251,14 +300,14 @@ void LeonController::on_cpu_pc(Addr pc) {
     // re-read the stale start address.
     sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
     sw_.set_connected(false);
-    state_ = LeonState::kDone;
+    set_state(LeonState::kDone);
     if (now_) last_run_cycles_ = now_() - run_started_at_;
     ++stats_.programs_completed;
   }
 }
 
 void LeonController::force_error(u8 code) {
-  state_ = LeonState::kError;
+  set_state(LeonState::kError);
   respond_error(code);
 }
 
@@ -269,8 +318,8 @@ void LeonController::watchdog_trip() {
   // operator.  The controller itself stays fully responsive.
   sw_.user_port().backdoor_write_word(cfg_.mailbox, 0);
   sw_.set_connected(false);
-  state_ = LeonState::kError;
   ++stats_.watchdog_trips;
+  set_state(LeonState::kError);
   respond_error(err::kWatchdogTrip);
 }
 

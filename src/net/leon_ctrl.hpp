@@ -106,6 +106,30 @@ class LeonController {
     stats_provider_ = std::move(p);
   }
 
+  /// Serialized metrics *delta* (UTF-8 JSON, the window since the previous
+  /// STATS_STREAM poll) for the STATS_STREAM command.  Unset: error 0x41.
+  using DeltaProvider = std::function<Bytes()>;
+  void set_delta_provider(DeltaProvider p) { delta_provider_ = std::move(p); }
+
+  /// Serialized flight-recorder dump (UTF-8 JSON) for the FLIGHT_DUMP
+  /// command.  Unset, the command answers with error 0x42.
+  using FlightProvider = std::function<Bytes()>;
+  void set_flight_provider(FlightProvider p) {
+    flight_provider_ = std::move(p);
+  }
+
+  /// Observes every state-machine transition (old, new), after the state
+  /// changes but before the response packet is emitted.  The system uses
+  /// it to record transitions in the flight recorder and to auto-dump on
+  /// entry to kError.
+  using StateObserver = std::function<void(LeonState, LeonState)>;
+  void set_state_observer(StateObserver o) { state_observer_ = std::move(o); }
+
+  /// Causal trace context attached by the SET_TRACE command (0 = none).
+  /// Episodes between Start and Done/Error belong to this trace.
+  u64 trace_id() const { return trace_id_; }
+  u64 trace_span_id() const { return trace_span_id_; }
+
   struct Stats {
     u64 commands = 0;
     u64 bad_commands = 0;
@@ -115,6 +139,9 @@ class LeonController {
     u64 programs_completed = 0;
     u64 watchdog_trips = 0;
     u64 parity_read_errors = 0;  // READ_MEMORY refused on bad parity
+    u64 traces_attached = 0;     // SET_TRACE commands accepted
+    u64 stream_polls = 0;        // STATS_STREAM commands answered
+    u64 flight_dumps = 0;        // FLIGHT_DUMP commands answered
   };
   const Stats& stats() const { return stats_; }
 
@@ -127,6 +154,11 @@ class LeonController {
   void handle_read(ByteReader& r);
   void handle_restart();
   void handle_stats_snapshot();
+  void handle_set_trace(ByteReader& r);
+  void handle_stats_stream();
+  void handle_flight_dump();
+  /// The one place state_ changes: notifies the state observer.
+  void set_state(LeonState next);
 
   LeonCtrlConfig cfg_;
   mem::DisconnectSwitch& sw_;
@@ -146,6 +178,11 @@ class LeonController {
   Ipv4Addr client_ip_ = 0;
   u16 client_port_ = 0;
   StatsProvider stats_provider_;
+  DeltaProvider delta_provider_;
+  FlightProvider flight_provider_;
+  StateObserver state_observer_;
+  u64 trace_id_ = 0;
+  u64 trace_span_id_ = 0;
   Stats stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/liquid_system.hpp"
 
 #include <algorithm>
+#include <type_traits>
 
 #include "sasm/assembler.hpp"
 
@@ -87,6 +88,20 @@ LiquidSystem::LiquidSystem(const SystemConfig& cfg)
     const std::string json = metrics_.snapshot(clock_).to_json(0);
     return Bytes(json.begin(), json.end());
   });
+  // STATS_STREAM: each poll returns the delta window since the previous
+  // poll (first poll: everything since boot, the empty baseline).
+  ctrl_->set_delta_provider([this] {
+    metrics::Snapshot now = metrics_.snapshot(clock_);
+    const std::string json = now.diff_since(stream_prev_).to_json(0);
+    stream_prev_ = std::move(now);
+    return Bytes(json.begin(), json.end());
+  });
+  // FLIGHT_DUMP: freeze the ring on demand (error 0x42 when not armed —
+  // the provider is only wired once the recorder exists).
+  ctrl_->set_state_observer([this](net::LeonState prev, net::LeonState next) {
+    on_ctrl_transition(prev, next);
+  });
+  if (cfg_.flight_recorder) enable_flight_recorder();
 }
 
 void LiquidSystem::register_metrics() {
@@ -300,6 +315,13 @@ cpu::StepResult LiquidSystem::step() {
     // keeps running — the watchdog and timers must still see time pass.
     clock_ += 1;
   }
+  if (flight_) {
+    if (r.trapped) {
+      flight_->record(clock_, FlightEventKind::kTrap, r.pc, r.tt);
+    } else {
+      flight_->record_retire(clock_, r.pc, r.raw);
+    }
+  }
   ctrl_->on_cpu_pc(r.pc);
   timer_.advance(clock_ - before);
   sync_watchdog();  // completion disarms before the budget is charged
@@ -326,6 +348,10 @@ bool LiquidSystem::run_batched(u64 max_steps, const net::LeonState* until) {
   constexpr Cycles kNoEvent = ~Cycles{0};
   cpu::StepResult r;
   u64 i = 0;
+  // The flight recorder must not tax the disabled configuration: the
+  // inner loop is specialized at compile time on whether it records, so
+  // recorder-off code is identical to a build without the recorder.
+  FlightRecorder* const fr = flight_.get();
   while (i < max_steps) {
     if (until != nullptr && ctrl_->state() == *until) return true;
     if (pipe_->state().error_mode && !wdog_.armed()) break;
@@ -346,22 +372,32 @@ bool LiquidSystem::run_batched(u64 max_steps, const net::LeonState* until) {
     // whole call is hoisted out of the batch.
     const bool track_pc = s0 == net::LeonState::kRunning;
 
-    while (i < max_steps) {
-      if (pipe_->state().error_mode && !wdog_.armed()) break;
-      const Cycles before = clock_;
-      // The only per-step result this loop consumes is the stepped
-      // instruction's PC, which is the architectural PC *before* the step
-      // — so the result materialization itself can be skipped.
-      const Addr pc = pipe_->state().pc;
-      pipe_->step_into_hot(r);
-      ++i;
-      if (pipe_->state().error_mode && clock_ == before) clock_ += 1;
-      if (track_pc) {
-        ctrl_->on_cpu_pc(pc);
-        if (ctrl_->state() != s0) break;  // completion: drain + resync
+    const auto inner = [&](auto with_flight) {
+      while (i < max_steps) {
+        if (pipe_->state().error_mode && !wdog_.armed()) break;
+        const Cycles before = clock_;
+        // The only per-step result this loop consumes is the stepped
+        // instruction's PC, which is the architectural PC *before* the
+        // step — so the result materialization itself can be skipped.
+        const Addr pc = pipe_->state().pc;
+        pipe_->step_into_hot(r);
+        ++i;
+        if (pipe_->state().error_mode && clock_ == before) clock_ += 1;
+        // step_into_hot may skip materializing the result, so only the PC
+        // is trustworthy here; traps come from the per-step path.
+        if constexpr (with_flight.value) fr->record_retire(clock_, pc, 0);
+        if (track_pc) {
+          ctrl_->on_cpu_pc(pc);
+          if (ctrl_->state() != s0) break;  // completion: drain + resync
+        }
+        if (clock_ >= next_event) break;  // timer/watchdog event due
+        if (periph_dirty_) break;  // APB access: next event may be stale
       }
-      if (clock_ >= next_event) break;  // timer underflow / watchdog trip due
-      if (periph_dirty_) break;         // APB access: next event may be stale
+    };
+    if (fr != nullptr) {
+      inner(std::bool_constant<true>{});
+    } else {
+      inner(std::bool_constant<false>{});
     }
 
     // Batch boundary: everything the per-step path does after a step, in
@@ -448,6 +484,43 @@ PerfTracer& LiquidSystem::enable_perf_trace() {
     traced_ctrl_state_ = ctrl_->state();
   }
   return *perf_;
+}
+
+FlightRecorder& LiquidSystem::enable_flight_recorder() {
+  if (!flight_) {
+    flight_ = std::make_unique<FlightRecorder>(cfg_.flight_capacity,
+                                               cfg_.flight_pc_sample);
+    ctrl_->set_flight_provider([this] {
+      const std::string json = flight_->to_json("remote_dump", clock_, 0);
+      return Bytes(json.begin(), json.end());
+    });
+  }
+  return *flight_;
+}
+
+std::string LiquidSystem::take_flight_dump(const std::string& reason) const {
+  if (!flight_) return {};
+  return flight_->to_json(reason, clock_);
+}
+
+void LiquidSystem::on_ctrl_transition(net::LeonState prev,
+                                      net::LeonState next) {
+  if (!flight_) return;
+  flight_->record(clock_, FlightEventKind::kCtrlState,
+                  static_cast<u64>(prev), static_cast<u64>(next));
+  if (next != net::LeonState::kError) return;
+  // Post-mortem: the error transition just landed in the ring, the PC the
+  // processor is wedged at is its current architectural PC.  A trip-driven
+  // error gets a kWatchdog event; a forced error only the transition.
+  const u64 trips = ctrl_->stats().watchdog_trips;
+  const bool tripped = trips != seen_wdog_trips_;
+  seen_wdog_trips_ = trips;
+  if (tripped) {
+    flight_->record(clock_, FlightEventKind::kWatchdog, pipe_->state().pc,
+                    cfg_.watchdog_budget);
+  }
+  last_flight_dump_ =
+      flight_->to_json(tripped ? "watchdog" : "ctrl_error", clock_);
 }
 
 void LiquidSystem::sync_watchdog() {

@@ -23,6 +23,7 @@
 #include "net/leon_ctrl.hpp"
 #include "net/trace_stream.hpp"
 #include "net/wrappers.hpp"
+#include "sim/flight_recorder.hpp"
 #include "sim/perf_trace.hpp"
 
 namespace la::sim {
@@ -53,6 +54,12 @@ struct SystemConfig {
   /// An APB access from the program drains peripherals to the current
   /// cycle first, so mid-batch register reads observe per-step state.
   bool fast_run_loop = true;
+  /// Arm the black-box flight recorder at construction (equivalent to
+  /// calling enable_flight_recorder()).  Cheap enough to leave on: the
+  /// fast run loop keeps batching, each event is a few stores.
+  bool flight_recorder = false;
+  std::size_t flight_capacity = 4096;  // ring entries (rounds to 2^n)
+  u32 flight_pc_sample = 64;           // record every Nth retired PC
 };
 
 class LiquidSystem {
@@ -113,6 +120,20 @@ class LiquidSystem {
   PerfTracer& enable_perf_trace();
   PerfTracer* perf_tracer() { return perf_.get(); }
 
+  /// Arm the black-box flight recorder: sampled retired PCs, traps,
+  /// leon_ctrl transitions, watchdog trips, injected-fault firings land in
+  /// a fixed ring.  Unlike the perf tracer it does NOT force the per-step
+  /// run path — recording is a pointer test plus a few stores, so it can
+  /// stay on in production.  Idempotent.
+  FlightRecorder& enable_flight_recorder();
+  FlightRecorder* flight_recorder() { return flight_.get(); }
+
+  /// Freeze the ring into a JSON dump ("" when no recorder is armed).
+  std::string take_flight_dump(const std::string& reason) const;
+  /// The automatic dump captured when leon_ctrl last entered kError
+  /// (watchdog trip or forced error); empty until that happens.
+  const std::string& last_flight_dump() const { return last_flight_dump_; }
+
   // ---- component access ----
   cpu::LeonPipeline& cpu() { return *pipe_; }
   const cpu::LeonPipeline& cpu() const { return *pipe_; }
@@ -160,6 +181,9 @@ class LiquidSystem {
   void register_metrics();
   /// Emit perf-trace spans when the leon_ctrl state machine moves.
   void observe_ctrl_state();
+  /// leon_ctrl state observer: record the transition in the flight
+  /// recorder and auto-dump on entry to kError (§4.1 post-mortem).
+  void on_ctrl_transition(net::LeonState prev, net::LeonState next);
   /// Arm/disarm the watchdog as the leon_ctrl state machine moves (called
   /// from both step() and ingress_frame() — Start arrives on the network
   /// path, completion on the step path).
@@ -207,6 +231,13 @@ class LiquidSystem {
 
   metrics::MetricsRegistry metrics_;
   std::unique_ptr<PerfTracer> perf_;
+  std::unique_ptr<FlightRecorder> flight_;
+  std::string last_flight_dump_;
+  /// Watchdog-trip count already attributed to a recorded kWatchdog event
+  /// (distinguishes a trip-driven kError from a forced one).
+  u64 seen_wdog_trips_ = 0;
+  /// Previous-window snapshot for the STATS_STREAM delta provider.
+  metrics::Snapshot stream_prev_;
   net::LeonState traced_ctrl_state_ = net::LeonState::kIdle;
   net::LeonState wdog_state_ = net::LeonState::kIdle;
   StepHook step_hook_;

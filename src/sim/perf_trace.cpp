@@ -14,6 +14,16 @@ void PerfTracer::push(char phase, std::string name, double value) {
   events_.push_back(std::move(e));
 }
 
+void PerfTracer::set_lane(u32 pid, u32 tid) {
+  pid_ = pid;
+  tid_ = tid;
+}
+
+void PerfTracer::set_names(std::string process, std::string thread) {
+  process_name_ = std::move(process);
+  thread_name_ = std::move(thread);
+}
+
 void PerfTracer::begin(std::string name) {
   open_.push_back(name);
   push('B', std::move(name));
@@ -60,8 +70,28 @@ std::string PerfTracer::to_chrome_json() {
   std::stable_sort(events_.begin(), events_.end(),
                    [](const Event& a, const Event& b) { return a.ts < b.ts; });
 
+  const std::string lane = ",\"pid\":" + std::to_string(pid_) +
+                           ",\"tid\":" + std::to_string(tid_);
+
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
+  if (!process_name_.empty()) {
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    out += std::to_string(pid_);
+    out += ",\"tid\":0,\"args\":{\"name\":";
+    metrics::append_json_string(out, process_name_);
+    out += "}}";
+    first = false;
+  }
+  if (!thread_name_.empty()) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\"";
+    out += lane;
+    out += ",\"args\":{\"name\":";
+    metrics::append_json_string(out, thread_name_);
+    out += "}}";
+  }
   for (const Event& e : events_) {
     if (!first) out += ",\n";
     first = false;
@@ -71,7 +101,7 @@ std::string PerfTracer::to_chrome_json() {
     out += e.phase;
     out += "\",\"ts\":";
     metrics::append_json_number(out, static_cast<double>(e.ts));
-    out += ",\"pid\":1,\"tid\":1";
+    out += lane;
     if (e.phase == 'C') {
       out += ",\"args\":{\"value\":";
       metrics::append_json_number(out, e.value);
@@ -91,6 +121,33 @@ bool PerfTracer::write_chrome_json(const std::string& path) {
   const std::string json = to_chrome_json();
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& traces) {
+  // Every exporter in this repo emits exactly
+  //   {"traceEvents":[\n ... \n],"displayTimeUnit":"ms"}\n
+  // so merging is substring surgery on that fixed frame, not JSON parsing.
+  static constexpr const char* kHead = "{\"traceEvents\":[\n";
+  static constexpr const char* kTail = "\n],\"displayTimeUnit\":\"ms\"}";
+
+  std::string out = kHead;
+  bool first = true;
+  for (const std::string& t : traces) {
+    const std::size_t head = t.find(kHead);
+    if (head != 0) continue;
+    const std::size_t tail = t.rfind(kTail);
+    if (tail == std::string::npos || tail < std::char_traits<char>::length(kHead)) {
+      continue;
+    }
+    const std::size_t begin = std::char_traits<char>::length(kHead);
+    std::string body = t.substr(begin, tail - begin);
+    if (body.empty()) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += body;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
 }
 
 }  // namespace la::sim

@@ -30,6 +30,16 @@ class PerfTracer {
     double value = 0.0;  // counter events only
   };
 
+  /// Place this tracer's events on a specific Chrome process/thread lane
+  /// (default 1/1).  A farm gives each node a stable pid (node index + 1)
+  /// and each worker a tid, so merged multi-node traces do not collide.
+  void set_lane(u32 pid, u32 tid);
+  /// Name the lane: emitted as `process_name`/`thread_name` metadata
+  /// records, which is how perfetto labels the lanes.
+  void set_names(std::string process, std::string thread = "");
+  u32 pid() const { return pid_; }
+  u32 tid() const { return tid_; }
+
   void begin(std::string name);
   void end(std::string name);
   void instant(std::string name);
@@ -79,6 +89,16 @@ class PerfTracer {
   const Cycles* clock_;
   std::vector<Event> events_;
   std::vector<std::string> open_;  // LIFO of begun span names
+  u32 pid_ = 1;
+  u32 tid_ = 1;
+  std::string process_name_;
+  std::string thread_name_;
 };
+
+/// Merge several already-exported Chrome traces (to_chrome_json() output)
+/// into one file: the traceEvents arrays are concatenated verbatim, so
+/// each input keeps its own pid/tid lanes.  Inputs that are not of this
+/// exact shape are skipped.
+std::string merge_chrome_traces(const std::vector<std::string>& traces);
 
 }  // namespace la::sim

@@ -121,6 +121,39 @@ TEST(Snapshot, HistogramDiffDerivesWindowMean) {
   EXPECT_TRUE(std::isnan(w.max));
 }
 
+TEST(Snapshot, DiffPassesThroughNewNamesAndDropsRemovedOnes) {
+  Snapshot older, newer;
+  older.values["removed"] = 7.0;
+  newer.values["added"] = 3.0;
+  HistogramSnapshot h;
+  h.count = 2;
+  h.mean = 5.0;
+  h.min = 4.0;
+  h.max = 6.0;
+  newer.histograms["fresh"] = h;
+  const Snapshot d = newer.diff_since(older);
+  // A metric that appeared in the window passes through whole — including
+  // a histogram's real extrema, since the whole window is observed.
+  EXPECT_DOUBLE_EQ(d.value_or("added"), 3.0);
+  EXPECT_EQ(d.histograms.at("fresh").count, 2u);
+  EXPECT_DOUBLE_EQ(d.histograms.at("fresh").min, 4.0);
+  // A metric that vanished (unregistered component) does not resurface.
+  EXPECT_FALSE(d.has("removed"));
+}
+
+TEST(Snapshot, DiffOfIdenticalEndpointsIsAnEmptyWindow) {
+  MetricsRegistry r;
+  r.counter("events").inc(9);
+  r.histogram("lat").observe(4.0);
+  const Snapshot s = r.snapshot(50);
+  const Snapshot d = s.diff_since(s);
+  EXPECT_EQ(d.cycle, 0u);
+  EXPECT_DOUBLE_EQ(d.value_or("events"), 0.0);
+  const HistogramSnapshot& w = d.histograms.at("lat");
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_DOUBLE_EQ(w.mean, 0.0);  // empty window: no fabricated mean
+}
+
 TEST(Json, IntegralDoublesPrintWithoutDecimalPoint) {
   std::string out;
   append_json_number(out, 31553.0);

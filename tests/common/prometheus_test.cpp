@@ -1,0 +1,98 @@
+// Prometheus text-exposition writer: name mangling, labels, histogram
+// series, and the multi-snapshot (labelled) form.
+#include "common/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/metrics.hpp"
+
+namespace la::metrics {
+namespace {
+
+TEST(PromName, ManglesToLegalMetricNames) {
+  EXPECT_EQ(prom_name("farm.jobs.ok"), "farm_jobs_ok");
+  EXPECT_EQ(prom_name("cache.d/read-misses"), "cache_d_read_misses");
+  EXPECT_EQ(prom_name("already_legal:name"), "already_legal:name");
+  // Leading digit (and the empty string) get the underscore guard.
+  EXPECT_EQ(prom_name("9lives"), "_9lives");
+  EXPECT_EQ(prom_name(""), "_");
+}
+
+TEST(Prom, ScalarsRenderWithPrefixAndLabels) {
+  MetricsRegistry r;
+  r.counter("farm.jobs").inc(18);
+  r.gauge("queue.depth").set(2.5);
+  const std::string out =
+      to_prometheus(r.snapshot(), "liquid_", {{"node", "3"}});
+  EXPECT_NE(out.find("liquid_farm_jobs{node=\"3\"} 18\n"), std::string::npos);
+  EXPECT_NE(out.find("liquid_queue_depth{node=\"3\"} 2.5\n"),
+            std::string::npos);
+}
+
+TEST(Prom, LabelValuesAreEscaped) {
+  MetricsRegistry r;
+  r.counter("x").inc();
+  const std::string out =
+      to_prometheus(r.snapshot(), "", {{"key", "a\"b\\c\nd"}});
+  EXPECT_NE(out.find("x{key=\"a\\\"b\\\\c\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(Prom, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsRegistry r;
+  Histogram& h = r.histogram("lat");
+  h.observe(1.0);
+  h.observe(3.0);
+  const std::string out = to_prometheus(r.snapshot());
+  // The +Inf bucket carries the full count; sum and count close the series.
+  EXPECT_NE(out.find("lat_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_sum 4\n"), std::string::npos);
+  EXPECT_NE(out.find("lat_count 2\n"), std::string::npos);
+  // Cumulative: every bucket value is <= the next one.
+  long prev = -1;
+  for (std::size_t p = out.find("lat_bucket"); p != std::string::npos;
+       p = out.find("lat_bucket", p + 1)) {
+    const std::size_t sp = out.find(' ', p);
+    const long v = std::strtol(out.c_str() + sp + 1, nullptr, 10);
+    EXPECT_LE(prev, v);
+    prev = v;
+  }
+}
+
+TEST(Prom, EmptyHistogramIsOmitted) {
+  MetricsRegistry r;
+  r.histogram("never_observed");
+  EXPECT_EQ(to_prometheus(r.snapshot()).find("never_observed"),
+            std::string::npos);
+}
+
+TEST(Prom, NonFiniteScalarsUseExpositionLiterals) {
+  MetricsRegistry r;
+  r.gauge("nan").set(std::numeric_limits<double>::quiet_NaN());
+  r.gauge("pinf").set(std::numeric_limits<double>::infinity());
+  r.gauge("ninf").set(-std::numeric_limits<double>::infinity());
+  const std::string out = to_prometheus(r.snapshot());
+  EXPECT_NE(out.find("nan NaN\n"), std::string::npos);
+  EXPECT_NE(out.find("pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(out.find("ninf -Inf\n"), std::string::npos);
+}
+
+TEST(Prom, LabelledSnapshotsLandInOneExposition) {
+  MetricsRegistry a, b;
+  a.counter("jobs").inc(3);
+  b.counter("jobs").inc(5);
+  const Snapshot sa = a.snapshot();
+  const Snapshot sb = b.snapshot();
+  const std::string out = to_prometheus(
+      {LabelledSnapshot{&sa, {{"node", "0"}}},
+       LabelledSnapshot{&sb, {{"node", "1"}}},
+       LabelledSnapshot{nullptr, {}}},  // null snapshots are skipped
+      "liquid_");
+  EXPECT_NE(out.find("liquid_jobs{node=\"0\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("liquid_jobs{node=\"1\"} 5\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace la::metrics

@@ -78,6 +78,15 @@ TEST(OnlineStats, MergeWithEmptySidesIsIdentity) {
   EXPECT_DOUBLE_EQ(fresh.max(), 6.0);
 }
 
+TEST(OnlineStats, MergeOfTwoEmptiesStaysEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_TRUE(std::isnan(a.min()));
+  EXPECT_TRUE(std::isnan(a.max()));
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
 TEST(SafeRatio, ZeroDenominatorReadsAsZero) {
   EXPECT_EQ(safe_ratio(5, 0), 0.0);
   EXPECT_DOUBLE_EQ(safe_ratio(3, 4), 0.75);

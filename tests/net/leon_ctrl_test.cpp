@@ -268,6 +268,100 @@ TEST_F(CtrlFixture, StatsSnapshotReturnsProviderPayload) {
   EXPECT_EQ(ctrl.stats().bad_commands, 0u);
 }
 
+TEST(Commands, SetTraceRoundTripsBothIds) {
+  SetTraceCmd c;
+  c.trace_id = 0x1122334455667788ull;
+  c.span_id = 0x99aabbccddeeff00ull;
+  const Bytes wire = c.serialize();
+  ASSERT_EQ(wire.size(), 17u);  // opcode + 4 big-endian u32 halves
+  EXPECT_EQ(wire[0], static_cast<u8>(CommandCode::kSetTrace));
+  ByteReader r(wire);
+  r.read_u8();  // opcode, consumed by the dispatcher in real life
+  const auto parsed = SetTraceCmd::parse(r);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->trace_id, c.trace_id);
+  EXPECT_EQ(parsed->span_id, c.span_id);
+}
+
+TEST_F(CtrlFixture, SetTraceStoresContextAndAcks) {
+  SetTraceCmd c;
+  c.trace_id = 0xdeadbeefcafef00dull;
+  c.span_id = 0x42;
+  ctrl.handle(cmd(c.serialize()));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kTraceAck));
+  EXPECT_EQ(ctrl.trace_id(), 0xdeadbeefcafef00dull);
+  EXPECT_EQ(ctrl.trace_span_id(), 0x42u);
+}
+
+TEST_F(CtrlFixture, TruncatedSetTraceIsBadTrace) {
+  Bytes wire = SetTraceCmd{}.serialize();
+  wire.resize(9);  // half the ids missing
+  ctrl.handle(cmd(wire));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), err::kBadTrace);
+  EXPECT_EQ(ctrl.trace_id(), 0u);  // nothing half-applied
+}
+
+TEST_F(CtrlFixture, StatsStreamWithoutProviderIsAnError) {
+  ctrl.handle(cmd(simple_command(CommandCode::kStatsStream)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), err::kNoStats);
+}
+
+TEST_F(CtrlFixture, StatsStreamReturnsDeltaPayload) {
+  int polls = 0;
+  ctrl.set_delta_provider([&polls] {
+    ++polls;
+    return Bytes{'{', '}'};
+  });
+  ctrl.handle(cmd(simple_command(CommandCode::kStatsStream)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_EQ(body, (Bytes{'{', '}'}));
+  EXPECT_EQ(polls, 1);  // the provider owns the delta window state
+}
+
+TEST_F(CtrlFixture, FlightDumpWithoutProviderIsAnError) {
+  ctrl.handle(cmd(simple_command(CommandCode::kFlightDump)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), err::kNoRecorder);
+}
+
+TEST_F(CtrlFixture, FlightDumpReturnsProviderPayload) {
+  ctrl.set_flight_provider([] { return Bytes{'{', '}'}; });
+  ctrl.handle(cmd(simple_command(CommandCode::kFlightDump)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kFlightData));
+  EXPECT_EQ(body, (Bytes{'{', '}'}));
+}
+
+TEST_F(CtrlFixture, StateObserverSeesEveryTransition) {
+  std::vector<std::pair<LeonState, LeonState>> seen;
+  ctrl.set_state_observer([&seen](LeonState prev, LeonState next) {
+    seen.emplace_back(prev, next);
+  });
+
+  LoadProgramCmd a;
+  a.total_packets = 1;
+  a.sequence = 0;
+  a.address = 0x40000100;
+  a.data = {0, 0, 0, 0};
+  ctrl.handle(cmd(a.serialize()));
+  ctrl.handle(cmd(StartCmd{0x40000100}.serialize()));
+  ctrl.watchdog_trip();
+
+  ASSERT_GE(seen.size(), 3u);
+  EXPECT_EQ(seen.front().first, LeonState::kIdle);
+  EXPECT_EQ(seen.back().first, LeonState::kRunning);
+  EXPECT_EQ(seen.back().second, LeonState::kError);
+  // The trip is counted before the observer could have sampled it.
+  EXPECT_EQ(ctrl.stats().watchdog_trips, 1u);
+}
+
 TEST(PacketGeneratorQueue, BoundedDropOldest) {
   PacketGenerator gen(make_ip(192, 168, 100, 10), kLeonControlPort, 4);
   for (u8 i = 0; i < 10; ++i) {

@@ -1,0 +1,137 @@
+// FlightRecorder: the ring itself (wrap, sampling, dump shape) and the
+// system-level black box — a watchdog trip freezes the node's last
+// moments, wedge PC and error transition included.
+#include "sim/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ctrl/client.hpp"
+#include "sasm/assembler.hpp"
+#include "sim/liquid_system.hpp"
+
+namespace la::sim {
+namespace {
+
+TEST(FlightRecorder, CapacityRoundsUpToAPowerOfTwo) {
+  EXPECT_EQ(FlightRecorder(1).capacity(), 16u);  // floor
+  EXPECT_EQ(FlightRecorder(16).capacity(), 16u);
+  EXPECT_EQ(FlightRecorder(20).capacity(), 32u);
+  EXPECT_EQ(FlightRecorder(4096).capacity(), 4096u);
+}
+
+TEST(FlightRecorder, RingWrapKeepsTheNewestEvents) {
+  FlightRecorder r(16, 0);
+  for (u64 i = 0; i < 20; ++i) {
+    r.record(i, FlightEventKind::kNote, i, 0);
+  }
+  EXPECT_EQ(r.total_recorded(), 20u);
+  const auto evs = r.events();
+  ASSERT_EQ(evs.size(), 16u);
+  EXPECT_EQ(evs.front().a, 4u);   // oldest survivor
+  EXPECT_EQ(evs.back().a, 19u);   // newest
+  // The dump owns up to what fell off the end.
+  const std::string j = r.to_json("manual", 20, 0);
+  EXPECT_NE(j.find("\"dropped\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"total_recorded\":20"), std::string::npos);
+}
+
+TEST(FlightRecorder, RetireSamplingRecordsEveryNth) {
+  FlightRecorder r(64, 4);
+  for (u64 i = 1; i <= 12; ++i) r.record_retire(i, 0x100 + i * 4, 0);
+  const auto evs = r.events();
+  ASSERT_EQ(evs.size(), 3u);  // calls 4, 8, 12
+  EXPECT_EQ(evs[0].cycle, 4u);
+  EXPECT_EQ(evs[1].cycle, 8u);
+  EXPECT_EQ(evs[2].cycle, 12u);
+  EXPECT_EQ(evs[0].kind, FlightEventKind::kRetire);
+}
+
+TEST(FlightRecorder, ZeroSampleDisablesRetiresButNotEvents) {
+  FlightRecorder r(16, 0);
+  for (u64 i = 0; i < 100; ++i) r.record_retire(i, 0x100, 0);
+  EXPECT_EQ(r.total_recorded(), 0u);
+  r.record(5, FlightEventKind::kTrap, 0x104, 0x2a);
+  ASSERT_EQ(r.events().size(), 1u);
+  EXPECT_EQ(r.events()[0].kind, FlightEventKind::kTrap);
+}
+
+TEST(FlightRecorder, DumpNamesKindsAndHexValues) {
+  FlightRecorder r(16, 0);
+  r.record(7, FlightEventKind::kBusError, 0xdeadbeef, 0);
+  const std::string j = r.to_json("divergence", 9, 0);
+  EXPECT_NE(j.find("\"reason\":\"divergence\""), std::string::npos);
+  EXPECT_NE(j.find("\"cycle\":9"), std::string::npos);
+  EXPECT_NE(j.find("\"kind\":\"bus_error\""), std::string::npos);
+  EXPECT_NE(j.find("\"a\":\"0xdeadbeef\""), std::string::npos);
+}
+
+TEST(FlightRecorder, ClearResetsRingAndSamplingPhase) {
+  FlightRecorder r(16, 4);
+  for (u64 i = 1; i <= 4; ++i) r.record_retire(i, 0x100, 0);
+  EXPECT_EQ(r.total_recorded(), 1u);
+  r.clear();
+  EXPECT_EQ(r.total_recorded(), 0u);
+  EXPECT_TRUE(r.events().empty());
+  // The countdown restarts: the next sample lands on the 4th call again.
+  for (u64 i = 1; i <= 3; ++i) r.record_retire(i, 0x100, 0);
+  EXPECT_EQ(r.total_recorded(), 0u);
+  r.record_retire(4, 0x100, 0);
+  EXPECT_EQ(r.total_recorded(), 1u);
+}
+
+// System-level black box: a program that never returns blows the watchdog
+// budget; the auto-dump taken at the error transition must show the stuck
+// PC, the watchdog event, and the leon_ctrl transition into kError.
+TEST(FlightRecorderSystem, WatchdogTripAutoDumpsTheLastMoments) {
+  const auto img = sasm::assemble_or_throw(R"(
+      .org 0x40000100
+  _start:
+  spin: ba spin
+      nop
+  )");
+
+  SystemConfig cfg;
+  cfg.watchdog_budget = 20'000;
+  cfg.flight_recorder = true;
+  LiquidSystem node(cfg);
+  node.run(300);
+  ASSERT_NE(node.flight_recorder(), nullptr);
+
+  ctrl::LiquidClient client(node);
+  const ctrl::Status run = client.run_program(img, 2'000'000);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.error().node_code, net::err::kWatchdogTrip);
+
+  const std::string& dump = node.last_flight_dump();
+  ASSERT_FALSE(dump.empty());
+  EXPECT_NE(dump.find("\"reason\":\"watchdog\""), std::string::npos)
+      << dump.substr(0, 200);
+  EXPECT_NE(dump.find("\"kind\":\"watchdog\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"ctrl_state\""), std::string::npos);
+  EXPECT_NE(dump.find("\"kind\":\"retire\""), std::string::npos);
+  // The watchdog event's PC is inside the two-instruction spin loop.
+  char pc_hex[32];
+  bool pc_found = false;
+  for (Addr pc = img.symbol("spin"); pc <= img.symbol("spin") + 4; pc += 4) {
+    std::snprintf(pc_hex, sizeof(pc_hex), "\"a\":\"0x%llx\"",
+                  static_cast<unsigned long long>(pc));
+    pc_found = pc_found || dump.find(pc_hex) != std::string::npos;
+  }
+  EXPECT_TRUE(pc_found) << dump;
+
+  // An explicit dump works too and names its own reason.
+  const std::string manual = node.take_flight_dump("manual");
+  EXPECT_NE(manual.find("\"reason\":\"manual\""), std::string::npos);
+}
+
+TEST(FlightRecorderSystem, NoRecorderMeansNoDump) {
+  LiquidSystem node((SystemConfig()));
+  EXPECT_EQ(node.flight_recorder(), nullptr);
+  EXPECT_TRUE(node.take_flight_dump("manual").empty());
+  EXPECT_TRUE(node.last_flight_dump().empty());
+}
+
+}  // namespace
+}  // namespace la::sim

@@ -86,6 +86,50 @@ TEST(PerfTrace, ChromeJsonIsWellFormedAndSorted) {
   EXPECT_TRUE(std::is_sorted(ts.begin(), ts.end()));
 }
 
+TEST(PerfTrace, LaneAndNamesLandAsMetadataRecords) {
+  PerfTracer t;
+  t.set_lane(3, 2);
+  t.set_names("node 2", "worker 2");
+  EXPECT_EQ(t.pid(), 3u);
+  EXPECT_EQ(t.tid(), 2u);
+  t.instant("mark");
+  const std::string j = t.to_chrome_json();
+  // Metadata names the lane; the event rides on it.
+  EXPECT_NE(j.find("\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3"),
+            std::string::npos);
+  EXPECT_NE(j.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(j.find("\"node 2\""), std::string::npos);
+  EXPECT_NE(j.find("\"worker 2\""), std::string::npos);
+  EXPECT_NE(j.find("\"pid\":3,\"tid\":2"), std::string::npos);
+}
+
+TEST(PerfTrace, MergeChromeTracesKeepsEveryLane) {
+  PerfTracer a, b;
+  a.set_lane(1, 1);
+  a.set_names("node 0");
+  a.instant("alpha");
+  b.set_lane(2, 1);
+  b.set_names("node 1");
+  b.instant("beta");
+  const std::string merged =
+      merge_chrome_traces({a.to_chrome_json(), b.to_chrome_json()});
+  EXPECT_EQ(merged.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(merged.find("\"alpha\""), std::string::npos);
+  EXPECT_NE(merged.find("\"beta\""), std::string::npos);
+  EXPECT_NE(merged.find("\"node 0\""), std::string::npos);
+  EXPECT_NE(merged.find("\"node 1\""), std::string::npos);
+}
+
+TEST(PerfTrace, MergeSkipsMalformedAndEmptyInputs) {
+  PerfTracer a;
+  a.instant("only");
+  const std::string merged = merge_chrome_traces(
+      {"", "{\"bogus\":1}", a.to_chrome_json(), "not json at all"});
+  EXPECT_NE(merged.find("\"only\""), std::string::npos);
+  // Still one well-formed frame (nothing leaks in from the bad inputs).
+  EXPECT_EQ(merged.find("bogus"), std::string::npos);
+}
+
 TEST(PerfTrace, NullTracerSpanIsANoOp) {
   { const PerfTracer::Span s(nullptr, "nothing"); }
   PerfTracer t;

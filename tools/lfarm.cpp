@@ -16,6 +16,8 @@
 #include <map>
 #include <string>
 
+#include "bench_util.hpp"
+#include "common/prometheus.hpp"
 #include "farm/farm.hpp"
 #include "farm/workload.hpp"
 
@@ -39,6 +41,12 @@ struct Options {
   double budget_secs = 0.0;  // stop submitting after this much host time
   bool cold = false;         // skip pre-synthesizing the catalog
   std::string report_json;
+  std::string metrics_json;  // fleet snapshot via the bench egress
+  std::string perf_trace;    // merged multi-node Chrome trace
+  std::string trace_out;     // causal job spans, Chrome trace_event
+  std::string spans_out;     // causal job spans, JSONL
+  std::string prom;          // fleet snapshot, Prometheus exposition
+  bool flight_recorder = false;
   bool quiet = false;
 };
 
@@ -57,6 +65,20 @@ void usage(std::FILE* to) {
                "  --budget-secs S  stop submitting after S host seconds\n"
                "  --cold           start with an empty bitfile cache\n"
                "  --report-json F  write the fleet metrics snapshot to F\n"
+               "  --metrics-json F write the fleet snapshot via the bench\n"
+               "                   egress format ({benchmark, runs})\n"
+               "  --perf-trace F   per-node cycle tracers, merged into one\n"
+               "                   multi-process Chrome trace (slower:\n"
+               "                   forces the per-step run path)\n"
+               "  --trace-out F    causal job tracing: every job's phases\n"
+               "                   as a Chrome trace_event file, one\n"
+               "                   process lane per node\n"
+               "  --spans-out F    causal job tracing as JSONL, one span\n"
+               "                   object per line\n"
+               "  --prom F         write the fleet snapshot as Prometheus\n"
+               "                   text exposition\n"
+               "  --flight-recorder  arm each node's black-box recorder;\n"
+               "                   failed jobs deliver a post-mortem dump\n"
                "  --quiet          suppress the report text\n");
 }
 
@@ -119,6 +141,28 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--report-json");
       if (v == nullptr) return false;
       o.report_json = v;
+    } else if (a == "--metrics-json") {
+      const char* v = next("--metrics-json");
+      if (v == nullptr) return false;
+      o.metrics_json = v;
+    } else if (a == "--perf-trace") {
+      const char* v = next("--perf-trace");
+      if (v == nullptr) return false;
+      o.perf_trace = v;
+    } else if (a == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      o.trace_out = v;
+    } else if (a == "--spans-out") {
+      const char* v = next("--spans-out");
+      if (v == nullptr) return false;
+      o.spans_out = v;
+    } else if (a == "--prom") {
+      const char* v = next("--prom");
+      if (v == nullptr) return false;
+      o.prom = v;
+    } else if (a == "--flight-recorder") {
+      o.flight_recorder = true;
     } else if (a == "--quiet") {
       o.quiet = true;
     } else if (a == "--help" || a == "-h") {
@@ -169,6 +213,12 @@ struct Audit {
       std::fprintf(stderr, "lfarm: job %llu failed: %s\n",
                    static_cast<unsigned long long>(out.id),
                    out.result.error.c_str());
+      if (!out.flight_dump.empty()) {
+        std::fprintf(stderr,
+                     "lfarm: flight-recorder post-mortem for job %llu:\n%s\n",
+                     static_cast<unsigned long long>(out.id),
+                     out.flight_dump.c_str());
+      }
       return;
     }
     if (out.result.readback.empty() ||
@@ -188,6 +238,17 @@ struct Audit {
   }
 };
 
+bool write_file(const char* tool, const std::string& path,
+                const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", tool, path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  return std::fclose(out) == 0 && ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,6 +261,9 @@ int main(int argc, char** argv) {
   fc.scheduler.queue_capacity = opt.queue;
   fc.scheduler.affinity_window = opt.window;
   fc.scheduler.max_skips = opt.max_skips;
+  fc.tracing = !opt.trace_out.empty() || !opt.spans_out.empty();
+  fc.perf_trace = !opt.perf_trace.empty();
+  fc.node_template.flight_recorder = opt.flight_recorder;
   farm::LiquidFarm f(fc);
 
   farm::WorkloadConfig wc;
@@ -271,16 +335,34 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(ss.aged_picks),
         static_cast<unsigned long long>(rejected));
   }
-  if (!opt.report_json.empty()) {
-    std::FILE* out = std::fopen(opt.report_json.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "lfarm: cannot write %s\n",
-                   opt.report_json.c_str());
-      return 2;
-    }
-    const std::string json = rep.to_json();
-    std::fwrite(json.data(), 1, json.size(), out);
-    std::fclose(out);
+  if (!opt.report_json.empty() &&
+      !write_file("lfarm", opt.report_json, rep.to_json())) {
+    return 2;
+  }
+  if (!opt.metrics_json.empty()) {
+    // Same egress shape as the benches and lsim, so downstream tooling
+    // reads one format everywhere.
+    bench::BenchIo io("lfarm", opt.metrics_json, "");
+    io.add_run("fleet", rep.fleet);
+    if (!io.finish()) return 2;
+  }
+  if (!opt.perf_trace.empty() &&
+      !write_file("lfarm", opt.perf_trace, f.merged_perf_trace())) {
+    return 2;
+  }
+  if (!opt.trace_out.empty() &&
+      !f.span_log().write_chrome_json(opt.trace_out)) {
+    std::fprintf(stderr, "lfarm: cannot write %s\n", opt.trace_out.c_str());
+    return 2;
+  }
+  if (!opt.spans_out.empty() && !f.span_log().write_jsonl(opt.spans_out)) {
+    std::fprintf(stderr, "lfarm: cannot write %s\n", opt.spans_out.c_str());
+    return 2;
+  }
+  if (!opt.prom.empty() &&
+      !write_file("lfarm", opt.prom,
+                  metrics::to_prometheus(rep.fleet, "liquid_"))) {
+    return 2;
   }
 
   std::printf("verify: %llu submitted, %llu completed, %llu lost, "

@@ -23,11 +23,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "bench_util.hpp"
+#include "ctrl/client.hpp"
 #include "fuzz/fault_campaign.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "sasm/assembler.hpp"
 
 namespace {
 
@@ -60,11 +64,28 @@ int usage() {
       "                    divergence)\n"
       "  --watchdog-budget N  watchdog cycle budget per started program\n"
       "                    in --faults mode (default 2000000)\n"
+      "  --metrics-json F  write campaign counters (or, with --replay, the\n"
+      "                    replayed node's registry snapshot) to F in the\n"
+      "                    bench egress format\n"
+      "  --perf-trace F    with --replay on a system-mode program: rerun\n"
+      "                    it instrumented and write a Chrome trace to F\n"
       "  --quiet           suppress progress lines\n");
   return 2;
 }
 
-int run_faults(const fuzz::FuzzConfig& base, u64 watchdog_budget) {
+/// Campaign-level metrics egress: the printed stats line, machine-readable
+/// through the same {benchmark, runs} document the benches write.
+int write_campaign_metrics(const std::string& path, const char* label,
+                           const std::map<std::string, double>& values) {
+  bench::BenchIo io("lfuzz", path, "");
+  metrics::Snapshot snap;
+  snap.values = values;
+  io.add_run(label, std::move(snap));
+  return io.finish() ? 0 : 2;
+}
+
+int run_faults(const fuzz::FuzzConfig& base, u64 watchdog_budget,
+               const std::string& metrics_json) {
   fuzz::FaultCampaignConfig fc;
   fc.seed = base.seed;
   fc.budget_secs = base.budget_secs;
@@ -100,10 +121,23 @@ int run_faults(const fuzz::FuzzConfig& base, u64 watchdog_budget) {
                                          : f.minimized_path.c_str(),
                 f.plan.to_string().c_str());
   }
+  if (!metrics_json.empty()) {
+    const int mrc = write_campaign_metrics(
+        metrics_json, "faults",
+        {{"lfuzz.faults.iterations", static_cast<double>(st.iterations)},
+         {"lfuzz.faults.injected", static_cast<double>(st.faults_injected)},
+         {"lfuzz.faults.masked", static_cast<double>(st.masked)},
+         {"lfuzz.faults.detected", static_cast<double>(st.detected)},
+         {"lfuzz.faults.latent", static_cast<double>(st.latent)},
+         {"lfuzz.faults.silent", static_cast<double>(st.silent)},
+         {"lfuzz.faults.skipped", static_cast<double>(st.skipped)}});
+    if (mrc != 0) return mrc;
+  }
   return rc;
 }
 
-int replay(const std::string& path, const fuzz::FuzzConfig& cfg) {
+int replay(const std::string& path, const fuzz::FuzzConfig& cfg,
+           const std::string& metrics_json, const std::string& perf_trace) {
   std::ifstream is(path, std::ios::binary);
   if (!is) {
     std::fprintf(stderr, "lfuzz: cannot read %s\n", path.c_str());
@@ -136,12 +170,42 @@ int replay(const std::string& path, const fuzz::FuzzConfig& cfg) {
   if (out.diverged) {
     std::printf("DIVERGENCE (%s leg): %s\n", out.leg.c_str(),
                 out.detail.c_str());
+    if (!out.flight_dump.empty()) {
+      std::printf("flight-recorder post-mortem:\n%s\n",
+                  out.flight_dump.c_str());
+    }
     return 1;
   }
   std::printf("ok: %s program, %llu instructions, no divergence%s\n",
               system_mode ? "system-mode" : "core-mode",
               static_cast<unsigned long long>(out.steps),
               out.completed ? "" : " (step budget exhausted)");
+
+  // Observability egress: rerun the program once on an instrumented node
+  // and write the requested files (system-mode only — a core-mode program
+  // has no defined behaviour under the boot ROM).
+  if (!metrics_json.empty() || !perf_trace.empty()) {
+    if (!system_mode) {
+      std::fprintf(stderr,
+                   "lfuzz: --metrics-json/--perf-trace need a system-mode "
+                   "repro (core-mode programs never run on the node)\n");
+      return 2;
+    }
+    sasm::Assembler as;
+    const sasm::AsmResult ar = as.assemble(source);
+    if (!ar.ok) return 2;  // already executed above, cannot happen
+    bench::BenchIo io("lfuzz_replay", metrics_json, perf_trace);
+    sim::LiquidSystem node;
+    io.attach_perf(node);
+    node.run(300);
+    ctrl::LiquidClient client(node);
+    if (!client.run_program(ar.image, opt.system_max_steps)) {
+      std::fprintf(stderr, "lfuzz: instrumented rerun failed\n");
+      return 2;
+    }
+    io.add_run("replay", node);
+    if (!io.finish()) return 2;
+  }
   return 0;
 }
 
@@ -151,6 +215,8 @@ int main(int argc, char** argv) {
   fuzz::FuzzConfig cfg;
   cfg.verbose = true;
   std::string replay_path;
+  std::string metrics_json;
+  std::string perf_trace;
   bool have_secs = false;
   bool have_iters = false;
   bool faults_mode = false;
@@ -208,6 +274,14 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (!v) return usage();
       watchdog_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--metrics-json") {
+      const char* v = value();
+      if (!v) return usage();
+      metrics_json = v;
+    } else if (arg == "--perf-trace") {
+      const char* v = value();
+      if (!v) return usage();
+      perf_trace = v;
     } else if (arg == "--quiet") {
       cfg.verbose = false;
     } else {
@@ -216,14 +290,21 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay(replay_path, cfg);
+  if (!replay_path.empty()) {
+    return replay(replay_path, cfg, metrics_json, perf_trace);
+  }
+
+  if (!perf_trace.empty()) {
+    std::fprintf(stderr, "lfuzz: --perf-trace applies to --replay only\n");
+    return usage();
+  }
 
   if (!have_secs && !have_iters) cfg.budget_secs = 10;
 
   if (faults_mode) {
     // The faults campaign defaults its own out dir unless one was given.
     if (cfg.out_dir == "lfuzz-out") cfg.out_dir = "lfuzz-faults-out";
-    return run_faults(cfg, watchdog_budget);
+    return run_faults(cfg, watchdog_budget, metrics_json);
   }
 
   fuzz::Fuzzer fuzzer(cfg);
@@ -246,6 +327,20 @@ int main(int argc, char** argv) {
                 f.outcome.leg.c_str(), f.outcome.detail.c_str(),
                 f.minimized_path.empty() ? f.repro_path.c_str()
                                          : f.minimized_path.c_str());
+  }
+  if (!metrics_json.empty()) {
+    const int mrc = write_campaign_metrics(
+        metrics_json, "fuzz",
+        {{"lfuzz.iterations", static_cast<double>(st.iterations)},
+         {"lfuzz.executions", static_cast<double>(st.executions)},
+         {"lfuzz.fresh_inputs", static_cast<double>(st.fresh_inputs)},
+         {"lfuzz.mutated_inputs", static_cast<double>(st.mutated_inputs)},
+         {"lfuzz.rejected_mutants", static_cast<double>(st.rejected_mutants)},
+         {"lfuzz.corpus", static_cast<double>(fuzzer.corpus().size())},
+         {"lfuzz.coverage_features",
+          static_cast<double>(fuzzer.coverage().feature_count())},
+         {"lfuzz.divergences", static_cast<double>(st.divergences)}});
+    if (mrc != 0) return mrc;
   }
   return rc;
 }

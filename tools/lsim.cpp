@@ -20,6 +20,7 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "common/prometheus.hpp"
 #include "ctrl/client.hpp"
 #include "isa/disasm.hpp"
 #include "liquid/adaptation.hpp"
@@ -51,6 +52,7 @@ struct Options {
   std::string read_symbol;
   std::string metrics_json;  // --metrics-json FILE
   std::string perf_trace;    // --perf-trace FILE
+  std::string prom;          // --prom FILE
   u64 max_steps = 50'000'000;
 };
 
@@ -75,6 +77,8 @@ int usage() {
                "                 of the run(s) to F as JSON\n"
                "  --perf-trace F write a cycle-stamped Chrome trace_event\n"
                "                 file of the run(s) to F\n"
+               "  --prom F       write the run(s)' metrics as Prometheus\n"
+               "                 text exposition to F (textfile collector)\n"
                "  (a .srec input file is loaded instead of assembled)\n");
   return 2;
 }
@@ -178,6 +182,12 @@ int run_one(const Options& opt, const sasm::Image& img) {
     std::fprintf(stderr, "cannot write %s\n", opt.perf_trace.c_str());
     return 1;
   }
+  if (!opt.prom.empty() &&
+      !write_text_file(opt.prom, metrics::to_prometheus(
+                                     node.metrics_snapshot(), "liquid_"))) {
+    std::fprintf(stderr, "cannot write %s\n", opt.prom.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -232,6 +242,7 @@ int run_sweep(const Options& opt, const sasm::Image& img) {
   }
 
   bench::BenchIo io("lsim_sweep", opt.metrics_json, opt.perf_trace);
+  std::vector<std::pair<std::string, metrics::Snapshot>> prom_runs;
   std::printf("%-8s %12s %12s\n", "dcache", "cycles", "readback");
   for (const auto& cfg : liquid::ConfigSpace{}.enumerate()) {
     sim::LiquidSystem node;
@@ -250,6 +261,22 @@ int run_sweep(const Options& opt, const sasm::Image& img) {
                 static_cast<unsigned long long>(r.cycles),
                 readback.c_str());
     io.add_run(cfg.key(), node);
+    if (!opt.prom.empty()) {
+      prom_runs.emplace_back(cfg.key(), node.metrics_snapshot());
+    }
+  }
+  if (!opt.prom.empty()) {
+    // One exposition, every image's run distinguished by an image label.
+    std::vector<metrics::LabelledSnapshot> labelled;
+    labelled.reserve(prom_runs.size());
+    for (const auto& [key, snap] : prom_runs) {
+      labelled.push_back({&snap, {{"image", key}}});
+    }
+    if (!write_text_file(opt.prom,
+                         metrics::to_prometheus(labelled, "liquid_"))) {
+      std::fprintf(stderr, "cannot write %s\n", opt.prom.c_str());
+      return 1;
+    }
   }
   return io.finish() ? 0 : 1;
 }
@@ -270,6 +297,7 @@ int main(int argc, char** argv) {
     else if (a == "--read") { const char* v = next(); if (!v) return usage(); opt.read_symbol = v; }
     else if (a == "--metrics-json") { const char* v = next(); if (!v) return usage(); opt.metrics_json = v; }
     else if (a == "--perf-trace") { const char* v = next(); if (!v) return usage(); opt.perf_trace = v; }
+    else if (a == "--prom") { const char* v = next(); if (!v) return usage(); opt.prom = v; }
     else if (a == "--sweep") opt.sweep = true;
     else if (a == "--trace") opt.trace = true;
     else if (a == "--recommend") opt.recommend = true;
