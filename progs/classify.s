@@ -1,0 +1,79 @@
+! Packet-header classification: each packet record is (src, dst) and
+! each rule is (src_mask, src_val, dst_mask, dst_val, rule_id).  The
+! first rule (priority order) where both masked fields match wins; no
+! match falls through to rule 0 — a miniature firewall/ACL fast path.
+!
+! Readback: `results` (NPKTS rule ids), `cycles`, `done_flag`.
+    .equ NRULES, 4
+    .equ NPKTS, 6
+    .org 0x40000100
+_start:
+    set 0x80000500, %g1
+    mov 1, %g2
+    st %g2, [%g1]          ! start the cycle counter
+    set packets, %l0
+    set results, %l1
+    set NPKTS, %l2
+ploop:
+    ld [%l0], %o0          ! src
+    ld [%l0 + 4], %o1      ! dst
+    set rules, %o2
+    set NRULES, %o3
+    mov 0, %o4             ! rule id = default 0
+rloop:
+    ld [%o2], %o5          ! src_mask
+    and %o0, %o5, %g3
+    ld [%o2 + 4], %o5      ! src_val
+    cmp %g3, %o5
+    bne rnext
+    nop
+    ld [%o2 + 8], %o5      ! dst_mask
+    and %o1, %o5, %g3
+    ld [%o2 + 12], %o5     ! dst_val
+    cmp %g3, %o5
+    bne rnext
+    nop
+    ld [%o2 + 16], %o4     ! first match wins
+    ba rdone
+    nop
+rnext:
+    add %o2, 20, %o2
+    subcc %o3, 1, %o3
+    bne rloop
+    nop
+rdone:
+    st %o4, [%l1]
+    add %l1, 4, %l1
+    add %l0, 8, %l0
+    subcc %l2, 1, %l2
+    bne ploop
+    nop
+    st %g0, [%g1]          ! stop the counter
+    ld [%g1 + 4], %o4
+    set cycles, %g4
+    st %o4, [%g4]
+    set done_flag, %g4
+    mov 1, %g2
+    st %g2, [%g4]
+    jmp 0x40
+    nop
+    .align 4
+cycles:
+    .skip 4
+done_flag:
+    .skip 4
+results:
+    .skip NPKTS * 4
+    .align 4
+rules:                     ! src_mask, src_val, dst_mask, dst_val, id
+    .word 0xffffffff, 0x0a010203, 0xffffffff, 0xc0a80101, 10
+    .word 0xffff0000, 0x0a010000, 0x00000000, 0x00000000, 20
+    .word 0x00000000, 0x00000000, 0xffffff00, 0xe0000000, 30
+    .word 0xff000000, 0xc0000000, 0xff000000, 0x0a000000, 40
+packets:                   ! src, dst
+    .word 0x0a010203, 0xc0a80101   ! exact rule        -> 10
+    .word 0x0a010209, 0x08080808   ! src /16 rule      -> 20
+    .word 0xdeadbeef, 0xe0000042   ! multicast dst     -> 30
+    .word 0xc0ffee00, 0x0a000001   ! 192/8 -> 10/8     -> 40
+    .word 0x08080808, 0x08040804   ! nothing           -> 0
+    .word 0x0a01ffff, 0xe0000099   ! rules 2 and 3: 2  -> 20

@@ -1,0 +1,76 @@
+! RFC 1071 Internet checksum over NPKTS back-to-back packets of
+! PKT_BYTES bytes each — the classic packet-ingress kernel: sequential
+! halfword loads, an add-with-fold reduction, one result store per
+! packet.  Parameterized via .equ so cache-geometry sweeps can scale the
+! working set (PKT_BYTES must stay even and NPKTS*PKT_BYTES <= 256).
+!
+! Readback: `results` (NPKTS one's-complement sums), `cycles`,
+! `done_flag`.
+    .equ NPKTS, 4
+    .equ PKT_BYTES, 64
+    .org 0x40000100
+_start:
+    set 0x80000500, %g1
+    mov 1, %g2
+    st %g2, [%g1]          ! start the cycle counter
+    set data, %o0          ! packet cursor
+    set results, %l0       ! result cursor
+    set NPKTS, %l1         ! packets remaining
+    set 0xffff, %g3        ! halfword mask
+pktloop:
+    mov 0, %o2             ! sum
+    set PKT_BYTES, %o1
+hwloop:
+    lduh [%o0], %o3
+    add %o2, %o3, %o2
+    add %o0, 2, %o0
+    subcc %o1, 2, %o1
+    bne hwloop
+    nop
+    srl %o2, 16, %o3       ! fold the carries back in (twice is enough
+    and %o2, %g3, %o2      ! for a <= 64 KB packet)
+    add %o2, %o3, %o2
+    srl %o2, 16, %o3
+    and %o2, %g3, %o2
+    add %o2, %o3, %o2
+    not %o2                ! final inversion
+    and %o2, %g3, %o2
+    st %o2, [%l0]
+    add %l0, 4, %l0
+    subcc %l1, 1, %l1
+    bne pktloop
+    nop
+    st %g0, [%g1]          ! stop the counter
+    ld [%g1 + 4], %o4
+    set cycles, %g4
+    st %o4, [%g4]
+    set done_flag, %g4
+    mov 1, %g2
+    st %g2, [%g4]
+    jmp 0x40
+    nop
+    .align 4
+cycles:
+    .skip 4
+done_flag:
+    .skip 4
+results:
+    .skip NPKTS * 4
+    .align 4
+data:                      ! 256 bytes of header-ish traffic
+    .word 0x45000054, 0x1c468000, 0x40067ac3, 0x0a010203
+    .word 0xc0a80101, 0x00500c38, 0x9f1a0d21, 0x00000000
+    .word 0x50180200, 0x91fc0000, 0x48454c4c, 0x4f2c2057
+    .word 0x4f524c44, 0x21212121, 0xdeadbeef, 0xcafebabe
+    .word 0x45000034, 0xb1e24000, 0x3a11c8d4, 0x0a7f0001
+    .word 0xe0000001, 0x14e914e9, 0x002041aa, 0x00000000
+    .word 0x61626364, 0x65666768, 0x696a6b6c, 0x6d6e6f70
+    .word 0x71727374, 0x75767778, 0x797a3031, 0x32333435
+    .word 0x45c00028, 0x00004000, 0xff0160ed, 0xc0a80001
+    .word 0xc0a800fe, 0x08007bff, 0x00010001, 0x55aa55aa
+    .word 0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff
+    .word 0x13579bdf, 0x2468ace0, 0xfdb97531, 0x0eca8642
+    .word 0x46000040, 0x12345678, 0x06069999, 0x0a010204
+    .word 0x0a010205, 0x1b581b58, 0x00180000, 0xf0f0f0f0
+    .word 0x0f0f0f0f, 0xa5a5a5a5, 0x5a5a5a5a, 0x3c3c3c3c
+    .word 0xc3c3c3c3, 0x7e7e7e7e, 0x81818181, 0xffff0001

@@ -1,0 +1,78 @@
+! Longest-prefix-match route lookup: for each query address, scan a
+! routing table sorted by descending prefix length and take the first
+! entry whose (addr & mask) == prefix — the inner loop of a software
+! router's forwarding path (pointer-chasing loads + compare/branch).
+! Table entries are 3 words: prefix, mask, nexthop.  Unmatched queries
+! fall through to nexthop 0.
+!
+! Readback: `results` (NQUERIES nexthop ids), `cycles`, `done_flag`.
+    .equ NROUTES, 6
+    .equ NQUERIES, 8
+    .org 0x40000100
+_start:
+    set 0x80000500, %g1
+    mov 1, %g2
+    st %g2, [%g1]          ! start the cycle counter
+    set queries, %l0
+    set results, %l1
+    set NQUERIES, %l2
+qloop:
+    ld [%l0], %o0          ! the address to route
+    set table, %o1
+    set NROUTES, %o2
+    mov 0, %o4             ! nexthop = default 0
+rloop:
+    ld [%o1], %o3          ! prefix
+    ld [%o1 + 4], %o5      ! mask
+    and %o0, %o5, %g3
+    cmp %g3, %o3
+    bne rnext
+    nop
+    ld [%o1 + 8], %o4      ! longest match (table is sorted): done
+    ba rdone
+    nop
+rnext:
+    add %o1, 12, %o1
+    subcc %o2, 1, %o2
+    bne rloop
+    nop
+rdone:
+    st %o4, [%l1]
+    add %l1, 4, %l1
+    add %l0, 4, %l0
+    subcc %l2, 1, %l2
+    bne qloop
+    nop
+    st %g0, [%g1]          ! stop the counter
+    ld [%g1 + 4], %o4
+    set cycles, %g4
+    st %o4, [%g4]
+    set done_flag, %g4
+    mov 1, %g2
+    st %g2, [%g4]
+    jmp 0x40
+    nop
+    .align 4
+cycles:
+    .skip 4
+done_flag:
+    .skip 4
+results:
+    .skip NQUERIES * 4
+    .align 4
+table:                     ! prefix, mask, nexthop — longest prefix first
+    .word 0x0a010200, 0xffffff00, 3    ! 10.1.2.0/24
+    .word 0xc0a80100, 0xffffff00, 4    ! 192.168.1.0/24
+    .word 0x0a010000, 0xffff0000, 5    ! 10.1.0.0/16
+    .word 0xc0a80000, 0xffff0000, 6    ! 192.168.0.0/16
+    .word 0x0a000000, 0xff000000, 7    ! 10.0.0.0/8
+    .word 0x00000000, 0x00000000, 1    ! 0.0.0.0/0 catch-all
+queries:
+    .word 0x0a010203           ! -> 3  (10.1.2.3, /24)
+    .word 0x0a01ff01           ! -> 5  (10.1.255.1, /16)
+    .word 0x0a7f0001           ! -> 7  (10.127.0.1, /8)
+    .word 0xc0a80105           ! -> 4  (192.168.1.5, /24)
+    .word 0xc0a8ff01           ! -> 6  (192.168.255.1, /16)
+    .word 0x08080808           ! -> 1  (8.8.8.8, default)
+    .word 0x0a000001           ! -> 7  (10.0.0.1, /8)
+    .word 0xc0a80101           ! -> 4  (192.168.1.1, /24)

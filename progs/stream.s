@@ -1,0 +1,126 @@
+! STREAM-style memory kernels over three STREAM_WORDS-word arrays:
+!   copy   c[i] = a[i]
+!   scale  b[i] = 3*a[i]          (shift-add: works with has_mul off)
+!   add    c[i] = a[i] + b[i]
+!   triad  a[i] = b[i] + 3*c[i]
+! The canonical bandwidth/cache-geometry sweep kernel: STREAM_WORDS is
+! an .equ so a sweep can size the working set (3 arrays) against the
+! D-cache.  a[] is initialized in-program (a[i] = 7 + 3i), so the image
+! stays small at any size.
+!
+! Readback: `sum_a` (mod-2^32 sum of a[] after triad), `cycles` (the
+! four kernels only, init excluded), `done_flag`.
+    .equ STREAM_WORDS, 256
+    .org 0x40000100
+_start:
+    set a, %o0             ! init: a[i] = 7 + 3i
+    set STREAM_WORDS, %o1
+    mov 7, %o2
+initloop:
+    st %o2, [%o0]
+    add %o2, 3, %o2
+    add %o0, 4, %o0
+    subcc %o1, 1, %o1
+    bne initloop
+    nop
+
+    set 0x80000500, %g1
+    mov 1, %g2
+    st %g2, [%g1]          ! start the cycle counter
+
+    set a, %o0             ! copy: c[i] = a[i]
+    set c, %o1
+    set STREAM_WORDS, %o2
+copyloop:
+    ld [%o0], %o3
+    st %o3, [%o1]
+    add %o0, 4, %o0
+    add %o1, 4, %o1
+    subcc %o2, 1, %o2
+    bne copyloop
+    nop
+
+    set a, %o0             ! scale: b[i] = 3*a[i]
+    set b, %o1
+    set STREAM_WORDS, %o2
+scaleloop:
+    ld [%o0], %o3
+    sll %o3, 1, %o4
+    add %o4, %o3, %o3
+    st %o3, [%o1]
+    add %o0, 4, %o0
+    add %o1, 4, %o1
+    subcc %o2, 1, %o2
+    bne scaleloop
+    nop
+
+    set a, %o0             ! add: c[i] = a[i] + b[i]
+    set b, %o1
+    set c, %o5
+    set STREAM_WORDS, %o2
+addloop:
+    ld [%o0], %o3
+    ld [%o1], %o4
+    add %o3, %o4, %o3
+    st %o3, [%o5]
+    add %o0, 4, %o0
+    add %o1, 4, %o1
+    add %o5, 4, %o5
+    subcc %o2, 1, %o2
+    bne addloop
+    nop
+
+    set b, %o0             ! triad: a[i] = b[i] + 3*c[i]
+    set c, %o1
+    set a, %o5
+    set STREAM_WORDS, %o2
+triadloop:
+    ld [%o1], %o3
+    sll %o3, 1, %o4
+    add %o4, %o3, %o3
+    ld [%o0], %o4
+    add %o3, %o4, %o3
+    st %o3, [%o5]
+    add %o0, 4, %o0
+    add %o1, 4, %o1
+    add %o5, 4, %o5
+    subcc %o2, 1, %o2
+    bne triadloop
+    nop
+
+    st %g0, [%g1]          ! stop the counter
+    ld [%g1 + 4], %o4
+    set cycles, %g4
+    st %o4, [%g4]
+
+    set a, %o0             ! sum_a = sum(a[i]) mod 2^32
+    set STREAM_WORDS, %o2
+    mov 0, %o3
+sumloop:
+    ld [%o0], %o4
+    add %o3, %o4, %o3
+    add %o0, 4, %o0
+    subcc %o2, 1, %o2
+    bne sumloop
+    nop
+    set sum_a, %g4
+    st %o3, [%g4]
+    set done_flag, %g4
+    mov 1, %g2
+    st %g2, [%g4]
+    jmp 0x40
+    nop
+    .align 4
+cycles:
+    .skip 4
+done_flag:
+    .skip 4
+sum_a:
+    .skip 4
+    .align 4
+a:
+    .skip STREAM_WORDS * 4
+b:
+    .skip STREAM_WORDS * 4
+c:
+    .skip STREAM_WORDS * 4

@@ -1,0 +1,575 @@
+#include "conform/vector.hpp"
+
+#include <cassert>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/hex.hpp"
+
+namespace la::conform {
+
+// --- register-file flattening ------------------------------------------
+
+namespace {
+
+/// Map a flat index to (window, architectural register number).
+void flat_to_wr(u32 idx, u32& w, u8& r) {
+  assert(idx >= 8);
+  const u32 slot = idx - 8;
+  w = slot / 16;
+  const u32 k = slot % 16;
+  r = static_cast<u8>(k < 8 ? 8 + k : 16 + (k - 8));
+}
+
+}  // namespace
+
+u32 flat_reg_get(const cpu::CpuState& st, u32 idx) {
+  if (idx < 8) return st.regs.get(0, static_cast<u8>(idx));
+  u32 w = 0;
+  u8 r = 0;
+  flat_to_wr(idx, w, r);
+  return st.regs.get(w, r);
+}
+
+void flat_reg_set(cpu::CpuState& st, u32 idx, u32 value) {
+  if (idx < 8) {
+    st.regs.set(0, static_cast<u8>(idx), value);
+    return;
+  }
+  u32 w = 0;
+  u8 r = 0;
+  flat_to_wr(idx, w, r);
+  st.regs.set(w, r, value);
+}
+
+std::string flat_reg_name(u32 idx) {
+  if (idx < 8) return "g" + std::to_string(idx);
+  const u32 slot = idx - 8;
+  const u32 w = slot / 16;
+  const u32 k = slot % 16;
+  const char kind = k < 8 ? 'o' : 'l';
+  return "w" + std::to_string(w) + "." + kind + std::to_string(k % 8);
+}
+
+void apply_state(const ArchState& a, cpu::CpuState& st) {
+  st.pc = a.pc;
+  st.npc = a.npc;
+  st.psr.unpack(a.psr);
+  st.y = a.y;
+  st.wim = a.wim;
+  st.tbr = a.tbr;
+  st.error_mode = a.error_mode;
+  for (const auto& [idx, v] : a.regs) flat_reg_set(st, idx, v);
+  for (const auto& [idx, v] : a.asr) {
+    if (idx < 32) st.asr[idx] = v;
+  }
+}
+
+ArchState capture_state(const cpu::CpuState& st) {
+  ArchState a;
+  a.pc = st.pc;
+  a.npc = st.npc;
+  a.psr = st.psr.pack();
+  a.y = st.y;
+  a.wim = st.wim;
+  a.tbr = st.tbr;
+  a.error_mode = st.error_mode;
+  const u32 n = flat_reg_count(st.nwindows);
+  for (u32 i = 1; i < n; ++i) {
+    if (const u32 v = flat_reg_get(st, i); v != 0) a.regs[i] = v;
+  }
+  for (u32 i = 1; i < 32; ++i) {
+    if (st.asr[i] != 0) a.asr[i] = st.asr[i];
+  }
+  return a;
+}
+
+// --- JSON writer --------------------------------------------------------
+
+namespace {
+
+void append_pairs(std::string& s, const char* key,
+                  const std::map<u32, u32>& m, bool hex_key) {
+  s += '"';
+  s += key;
+  s += "\":[";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) s += ',';
+    first = false;
+    s += '[';
+    s += hex_key ? ('"' + hex32(k) + '"') : std::to_string(k);
+    s += ",\"" + hex32(v) + "\"]";
+  }
+  s += ']';
+}
+
+void append_state(std::string& s, const char* key, const ArchState& a) {
+  s += '"';
+  s += key;
+  s += "\":{\"pc\":\"" + hex32(a.pc) + "\",\"npc\":\"" + hex32(a.npc) +
+       "\",\"psr\":\"" + hex32(a.psr) + "\",\"y\":\"" + hex32(a.y) +
+       "\",\"wim\":\"" + hex32(a.wim) + "\",\"tbr\":\"" + hex32(a.tbr) +
+       "\",\"err\":" + (a.error_mode ? "1" : "0") + ",";
+  append_pairs(s, "regs", a.regs, false);
+  s += ',';
+  append_pairs(s, "asr", a.asr, false);
+  s += ',';
+  append_pairs(s, "mem", a.mem, true);
+  s += '}';
+}
+
+}  // namespace
+
+std::string to_json(const TestVector& v) {
+  std::string s;
+  s.reserve(1024);
+  s += "{\"name\":\"" + v.name + "\",";
+  s += "\"cfg\":{\"nw\":" + std::to_string(v.cfg.nwindows) +
+       ",\"mul\":" + (v.cfg.has_mul ? "1" : "0") +
+       ",\"div\":" + (v.cfg.has_div ? "1" : "0") +
+       ",\"quirk\":" + (v.cfg.quirk_subx ? "1" : "0") + "},";
+  s += "\"steps\":" + std::to_string(v.steps) + ",";
+  s += "\"code\":[";
+  for (std::size_t i = 0; i < v.code.size(); ++i) {
+    if (i) s += ',';
+    s += "[\"" + hex32(v.code[i].first) + "\",\"" + hex32(v.code[i].second) +
+         "\"]";
+  }
+  s += "],";
+  append_state(s, "pre", v.pre);
+  s += ',';
+  append_state(s, "post", v.post);
+  s += ",\"ref\":{\"trap\":" + std::string(v.ref.trapped ? "1" : "0") +
+       ",\"tt\":\"" + hex8(v.ref.tt) + "\",\"cycles\":" +
+       std::to_string(v.ref.cycles) + "}}";
+  return s;
+}
+
+std::string to_json(const CorpusFile& f) {
+  std::string s;
+  s.reserve(f.vectors.size() * 1024 + 256);
+  s += "{\"mnemonic\":\"" + f.mnemonic + "\",\"seed\":" +
+       std::to_string(f.seed) + ",\"cases\":" + std::to_string(f.cases) +
+       ",\n\"vectors\":[\n";
+  for (std::size_t i = 0; i < f.vectors.size(); ++i) {
+    s += to_json(f.vectors[i]);
+    if (i + 1 < f.vectors.size()) s += ',';
+    s += '\n';
+  }
+  s += "]}\n";
+  return s;
+}
+
+// --- JSON parser --------------------------------------------------------
+//
+// Minimal recursive-descent parser for the subset this module emits
+// (objects, arrays, strings, unsigned integers).  Strict enough to reject
+// hand-mangled files with a positioned error message.
+
+namespace {
+
+struct Json {
+  enum class Kind { kNull, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  u64 number = 0;
+  std::string str;
+  std::vector<Json> items;
+  std::vector<std::pair<std::string, Json>> fields;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : fields) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out, std::string& err) {
+    if (!value(out)) {
+      err = err_ + " at offset " + std::to_string(pos_);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      err = "trailing garbage at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (err_.empty()) err_ = what;
+    return false;
+  }
+
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') return string_val(out);
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+      return number_val(out);
+    }
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  bool object(Json& out) {
+    out.kind = Json::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json key;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      if (!string_val(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      Json val;
+      if (!value(val)) return false;
+      out.fields.emplace_back(key.str, std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(Json& out) {
+    out.kind = Json::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json val;
+      if (!value(val)) return false;
+      out.items.push_back(std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool string_val(Json& out) {
+    out.kind = Json::Kind::kString;
+    ++pos_;  // '"'
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') return fail("escapes not supported");
+      out.str.push_back(s_[pos_++]);
+    }
+    if (pos_ >= s_.size()) return fail("unterminated string");
+    ++pos_;
+    return true;
+  }
+
+  bool number_val(Json& out) {
+    out.kind = Json::Kind::kNumber;
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("malformed number");
+    out.number = std::strtoull(s_.substr(start, pos_ - start).c_str(),
+                               nullptr, 10);
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+/// "0x..."-string or plain number -> u32.
+bool get_u32(const Json& v, u32& out) {
+  if (v.kind == Json::Kind::kNumber) {
+    out = static_cast<u32>(v.number);
+    return true;
+  }
+  if (v.kind == Json::Kind::kString && v.str.size() > 2 &&
+      v.str[0] == '0' && v.str[1] == 'x') {
+    out = static_cast<u32>(std::strtoull(v.str.c_str() + 2, nullptr, 16));
+    return true;
+  }
+  return false;
+}
+
+bool get_field_u32(const Json& obj, const char* key, u32& out,
+                   std::string& err) {
+  const Json* f = obj.find(key);
+  if (f == nullptr || !get_u32(*f, out)) {
+    err = std::string("missing or malformed field '") + key + "'";
+    return false;
+  }
+  return true;
+}
+
+bool parse_pairs(const Json& obj, const char* key, std::map<u32, u32>& out,
+                 std::string& err) {
+  const Json* arr = obj.find(key);
+  if (arr == nullptr || arr->kind != Json::Kind::kArray) {
+    err = std::string("missing array '") + key + "'";
+    return false;
+  }
+  for (const Json& e : arr->items) {
+    u32 k = 0;
+    u32 v = 0;
+    if (e.kind != Json::Kind::kArray || e.items.size() != 2 ||
+        !get_u32(e.items[0], k) || !get_u32(e.items[1], v)) {
+      err = std::string("malformed pair in '") + key + "'";
+      return false;
+    }
+    out[k] = v;
+  }
+  return true;
+}
+
+bool parse_state(const Json& obj, const char* key, ArchState& out,
+                 std::string& err) {
+  const Json* st = obj.find(key);
+  if (st == nullptr || st->kind != Json::Kind::kObject) {
+    err = std::string("missing state '") + key + "'";
+    return false;
+  }
+  u32 errflag = 0;
+  if (!get_field_u32(*st, "pc", out.pc, err) ||
+      !get_field_u32(*st, "npc", out.npc, err) ||
+      !get_field_u32(*st, "psr", out.psr, err) ||
+      !get_field_u32(*st, "y", out.y, err) ||
+      !get_field_u32(*st, "wim", out.wim, err) ||
+      !get_field_u32(*st, "tbr", out.tbr, err) ||
+      !get_field_u32(*st, "err", errflag, err)) {
+    return false;
+  }
+  out.error_mode = errflag != 0;
+  return parse_pairs(*st, "regs", out.regs, err) &&
+         parse_pairs(*st, "asr", out.asr, err) &&
+         parse_pairs(*st, "mem", out.mem, err);
+}
+
+bool parse_vector(const Json& obj, TestVector& out, std::string& err) {
+  const Json* name = obj.find("name");
+  if (name == nullptr || name->kind != Json::Kind::kString) {
+    err = "vector without a name";
+    return false;
+  }
+  out.name = name->str;
+  const Json* cfg = obj.find("cfg");
+  if (cfg == nullptr || cfg->kind != Json::Kind::kObject) {
+    err = out.name + ": missing cfg";
+    return false;
+  }
+  u32 nw = 8;
+  u32 mul = 1;
+  u32 divi = 1;
+  u32 quirk = 0;
+  if (!get_field_u32(*cfg, "nw", nw, err) ||
+      !get_field_u32(*cfg, "mul", mul, err) ||
+      !get_field_u32(*cfg, "div", divi, err) ||
+      !get_field_u32(*cfg, "quirk", quirk, err)) {
+    err = out.name + ": " + err;
+    return false;
+  }
+  out.cfg.nwindows = nw;
+  out.cfg.has_mul = mul != 0;
+  out.cfg.has_div = divi != 0;
+  out.cfg.quirk_subx = quirk != 0;
+
+  u32 steps = 1;
+  if (!get_field_u32(obj, "steps", steps, err)) {
+    err = out.name + ": " + err;
+    return false;
+  }
+  out.steps = static_cast<int>(steps);
+
+  const Json* code = obj.find("code");
+  if (code == nullptr || code->kind != Json::Kind::kArray) {
+    err = out.name + ": missing code";
+    return false;
+  }
+  for (const Json& e : code->items) {
+    u32 a = 0;
+    u32 w = 0;
+    if (e.kind != Json::Kind::kArray || e.items.size() != 2 ||
+        !get_u32(e.items[0], a) || !get_u32(e.items[1], w)) {
+      err = out.name + ": malformed code entry";
+      return false;
+    }
+    out.code.emplace_back(a, w);
+  }
+
+  if (!parse_state(obj, "pre", out.pre, err) ||
+      !parse_state(obj, "post", out.post, err)) {
+    err = out.name + ": " + err;
+    return false;
+  }
+
+  const Json* ref = obj.find("ref");
+  if (ref == nullptr || ref->kind != Json::Kind::kObject) {
+    err = out.name + ": missing ref";
+    return false;
+  }
+  u32 trap = 0;
+  u32 tt = 0;
+  if (!get_field_u32(*ref, "trap", trap, err) ||
+      !get_field_u32(*ref, "tt", tt, err)) {
+    err = out.name + ": " + err;
+    return false;
+  }
+  const Json* cyc = ref->find("cycles");
+  if (cyc == nullptr || cyc->kind != Json::Kind::kNumber) {
+    err = out.name + ": missing ref.cycles";
+    return false;
+  }
+  out.ref.trapped = trap != 0;
+  out.ref.tt = static_cast<u8>(tt);
+  out.ref.cycles = cyc->number;
+  return true;
+}
+
+}  // namespace
+
+bool parse_corpus_file(const std::string& text, CorpusFile& out,
+                       std::string& err) {
+  Json root;
+  Parser p(text);
+  if (!p.parse(root, err)) return false;
+  if (root.kind != Json::Kind::kObject) {
+    err = "corpus file is not a JSON object";
+    return false;
+  }
+  const Json* mn = root.find("mnemonic");
+  if (mn == nullptr || mn->kind != Json::Kind::kString) {
+    err = "missing 'mnemonic'";
+    return false;
+  }
+  out.mnemonic = mn->str;
+  const Json* seed = root.find("seed");
+  const Json* cases = root.find("cases");
+  if (seed == nullptr || seed->kind != Json::Kind::kNumber ||
+      cases == nullptr || cases->kind != Json::Kind::kNumber) {
+    err = "missing 'seed'/'cases'";
+    return false;
+  }
+  out.seed = seed->number;
+  out.cases = static_cast<int>(cases->number);
+  const Json* vecs = root.find("vectors");
+  if (vecs == nullptr || vecs->kind != Json::Kind::kArray) {
+    err = "missing 'vectors'";
+    return false;
+  }
+  for (const Json& v : vecs->items) {
+    TestVector tv;
+    if (v.kind != Json::Kind::kObject || !parse_vector(v, tv, err)) {
+      return false;
+    }
+    out.vectors.push_back(std::move(tv));
+  }
+  return true;
+}
+
+// --- vector diff --------------------------------------------------------
+
+namespace {
+
+std::string diff_maps(const char* what, const std::map<u32, u32>& a,
+                      const std::map<u32, u32>& b, bool hex_key) {
+  for (const auto& [k, v] : a) {
+    const auto it = b.find(k);
+    const u32 bv = it == b.end() ? 0 : it->second;
+    if (v != bv) {
+      return std::string(what) + "[" +
+             (hex_key ? hex32(k) : std::to_string(k)) + "]: " + hex32(v) +
+             " vs " + hex32(bv);
+    }
+  }
+  for (const auto& [k, v] : b) {
+    if (v != 0 && a.find(k) == a.end()) {
+      return std::string(what) + "[" +
+             (hex_key ? hex32(k) : std::to_string(k)) + "]: " + hex32(0) +
+             " vs " + hex32(v);
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string diff_states(const ArchState& a, const ArchState& b) {
+  if (a.pc != b.pc) return "pc: " + hex32(a.pc) + " vs " + hex32(b.pc);
+  if (a.npc != b.npc) return "npc: " + hex32(a.npc) + " vs " + hex32(b.npc);
+  if (a.psr != b.psr) return "psr: " + hex32(a.psr) + " vs " + hex32(b.psr);
+  if (a.y != b.y) return "y: " + hex32(a.y) + " vs " + hex32(b.y);
+  if (a.wim != b.wim) return "wim: " + hex32(a.wim) + " vs " + hex32(b.wim);
+  if (a.tbr != b.tbr) return "tbr: " + hex32(a.tbr) + " vs " + hex32(b.tbr);
+  if (a.error_mode != b.error_mode) {
+    return std::string("error_mode: ") + (a.error_mode ? "1" : "0") +
+           " vs " + (b.error_mode ? "1" : "0");
+  }
+  if (auto d = diff_maps("regs", a.regs, b.regs, false); !d.empty()) {
+    return d;
+  }
+  if (auto d = diff_maps("asr", a.asr, b.asr, false); !d.empty()) return d;
+  if (auto d = diff_maps("mem", a.mem, b.mem, true); !d.empty()) return d;
+  return "";
+}
+
+std::string diff_vectors(const TestVector& a, const TestVector& b) {
+  if (a.name != b.name) return "name: " + a.name + " vs " + b.name;
+  if (a.cfg.nwindows != b.cfg.nwindows || a.cfg.has_mul != b.cfg.has_mul ||
+      a.cfg.has_div != b.cfg.has_div || a.cfg.quirk_subx != b.cfg.quirk_subx) {
+    return a.name + ": cfg differs";
+  }
+  if (a.steps != b.steps) return a.name + ": steps differs";
+  if (a.code != b.code) return a.name + ": code differs";
+  if (auto d = diff_states(a.pre, b.pre); !d.empty()) {
+    return a.name + ": pre." + d;
+  }
+  if (auto d = diff_states(a.post, b.post); !d.empty()) {
+    return a.name + ": post." + d;
+  }
+  if (a.ref.trapped != b.ref.trapped || a.ref.tt != b.ref.tt ||
+      a.ref.cycles != b.ref.cycles) {
+    return a.name + ": ref differs";
+  }
+  return "";
+}
+
+}  // namespace la::conform

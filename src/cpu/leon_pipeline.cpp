@@ -519,7 +519,9 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
       st.set_reg(ins.rd, ra + rb + (st.psr.c ? 1u : 0u));
       return kNoTrap;
     case Mnemonic::kSubx:
-      st.set_reg(ins.rd, ra - rb - (st.psr.c ? 1u : 0u));
+      st.set_reg(ins.rd,
+                 ra - rb -
+                     (!cfg_.cpu.quirk_subx_no_carry && st.psr.c ? 1u : 0u));
       return kNoTrap;
     case Mnemonic::kAddcc:
     case Mnemonic::kAddxcc: {
@@ -711,6 +713,21 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
     if (asi_access(ins, res, tt)) return tt;
   }
 
+  // FP/CP memory ops trap *-disabled before any address or rd legality
+  // check (SPARC V8 trap priority: fp/cp_disabled outranks
+  // mem_address_not_aligned), matching the IntegerUnit reference.
+  switch (ins.mn) {
+    case Mnemonic::kLdf: case Mnemonic::kLdfsr: case Mnemonic::kLddf:
+    case Mnemonic::kStf: case Mnemonic::kStfsr: case Mnemonic::kStdfq:
+    case Mnemonic::kStdf:
+      return tt_of(Trap::kFpDisabled);
+    case Mnemonic::kLdc: case Mnemonic::kLdcsr: case Mnemonic::kLddc:
+    case Mnemonic::kStc: case Mnemonic::kStcsr: case Mnemonic::kStdcq:
+    case Mnemonic::kStdc:
+      return tt_of(Trap::kCpDisabled);
+    default: break;
+  }
+
   const bool ld = isa::is_load(ins.mn);
   const bool stq = isa::is_store(ins.mn);
   const unsigned size = isa::access_size(ins.mn);
@@ -749,15 +766,6 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
   }
 
   if (ld) {
-    // FP/CP loads were already dispatched to traps via is_load? No — they
-    // reach here; reject them first.
-    switch (ins.mn) {
-      case Mnemonic::kLdf: case Mnemonic::kLdfsr: case Mnemonic::kLddf:
-        return tt_of(Trap::kFpDisabled);
-      case Mnemonic::kLdc: case Mnemonic::kLdcsr: case Mnemonic::kLddc:
-        return tt_of(Trap::kCpDisabled);
-      default: break;
-    }
     MemResult rr = data_read(ea, size);
     if (!rr.ok) return tt_of(Trap::kDataAccess);
     if (dbl) {
@@ -782,15 +790,6 @@ u8 LeonPipeline::execute(const Instruction& ins, StepResult& res) {
   }
 
   if (stq) {
-    switch (ins.mn) {
-      case Mnemonic::kStf: case Mnemonic::kStfsr: case Mnemonic::kStdfq:
-      case Mnemonic::kStdf:
-        return tt_of(Trap::kFpDisabled);
-      case Mnemonic::kStc: case Mnemonic::kStcsr: case Mnemonic::kStdcq:
-      case Mnemonic::kStdc:
-        return tt_of(Trap::kCpDisabled);
-      default: break;
-    }
     u64 v;
     if (dbl) {
       v = (u64{st.reg(ins.rd)} << 32) | st.reg(static_cast<u8>(ins.rd | 1u));

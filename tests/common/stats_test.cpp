@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/stats.hpp"
 
@@ -85,6 +86,59 @@ TEST(OnlineStats, MergeOfTwoEmptiesStaysEmpty) {
   EXPECT_TRUE(std::isnan(a.min()));
   EXPECT_TRUE(std::isnan(a.max()));
   EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(OnlineStats, MergeOfSingleSamplesMatchesTwoAdds) {
+  // n = 1 on both sides drives the Chan update through its smallest
+  // meaningful case: m2 terms are zero, everything comes from delta.
+  OnlineStats a, b, both;
+  a.add(3.0);
+  b.add(9.0);
+  both.add(3.0);
+  both.add(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+  EXPECT_DOUBLE_EQ(a.variance(), both.variance());
+  EXPECT_DOUBLE_EQ(a.min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+}
+
+TEST(OnlineStats, ExtremaSentinelsSurviveEmptyMerge) {
+  // Merging two empties must leave the internal +/-inf sentinels intact:
+  // the next real observation still becomes both extrema.
+  OnlineStats a, b;
+  a.merge(b);
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 5.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(OnlineStats, MergeSingleIntoEmptyThenContinue) {
+  // merge() into an empty accumulator copies; subsequent add()s must
+  // continue the stream as if it had been one accumulator all along.
+  OnlineStats single, fresh, straight;
+  single.add(4.0);
+  fresh.merge(single);
+  fresh.add(8.0);
+  straight.add(4.0);
+  straight.add(8.0);
+  EXPECT_EQ(fresh.count(), 2u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), straight.mean());
+  EXPECT_DOUBLE_EQ(fresh.variance(), straight.variance());
+  EXPECT_DOUBLE_EQ(fresh.min(), 4.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 8.0);
+}
+
+TEST(OnlineStats, SingleInfiniteObservationIsNotConfusedWithEmpty) {
+  // A lone -inf sample equals the internal max sentinel; the NaN-on-empty
+  // contract must be driven by the count, not by sentinel comparison.
+  OnlineStats s;
+  s.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_FALSE(std::isnan(s.max()));
+  EXPECT_TRUE(std::isinf(s.min()));
+  EXPECT_TRUE(std::isinf(s.max()));
 }
 
 TEST(SafeRatio, ZeroDenominatorReadsAsZero) {

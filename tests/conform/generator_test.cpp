@@ -1,0 +1,137 @@
+// Generator invariants the corpus workflow depends on: generation is a
+// pure function of (mnemonic, seed, cases) — the drift gate regenerates
+// byte for byte; every implemented mnemonic is covered; the corpus keys
+// are unique (mnemonic_name() is not); and the hand-written edge cases
+// that pin the config axes (quirk twin, no-mul/no-div, 4-window wrap)
+// actually exist under their documented names.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "conform/generator.hpp"
+#include "conform/vector.hpp"
+
+namespace la::conform {
+namespace {
+
+const TestVector* find_case(const CorpusFile& f, const std::string& name) {
+  for (const TestVector& v : f.vectors) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+TEST(Generator, PureInSeedAndCases) {
+  for (const isa::Mnemonic mn :
+       {isa::Mnemonic::kAdd, isa::Mnemonic::kLdd, isa::Mnemonic::kTicc,
+        isa::Mnemonic::kRett, isa::Mnemonic::kSwapa}) {
+    EXPECT_EQ(to_json(generate_corpus(mn, 77, 5)),
+              to_json(generate_corpus(mn, 77, 5)));
+    EXPECT_NE(to_json(generate_corpus(mn, 77, 5)),
+              to_json(generate_corpus(mn, 78, 5)));
+  }
+}
+
+TEST(Generator, CoversEveryImplementedMnemonic) {
+  const auto universe = corpus_mnemonics();
+  // Everything decode() can produce except kInvalid.
+  EXPECT_EQ(universe.size(),
+            static_cast<size_t>(isa::Mnemonic::kCount) - 1);
+  for (const isa::Mnemonic mn : universe) {
+    const CorpusFile f = generate_corpus(mn, kDefaultSeed, 2);
+    EXPECT_FALSE(f.vectors.empty()) << corpus_key(mn);
+    EXPECT_EQ(f.mnemonic, corpus_key(mn));
+  }
+}
+
+TEST(Generator, CorpusKeysUniqueAndInvertible) {
+  std::set<std::string> keys;
+  for (const isa::Mnemonic mn : corpus_mnemonics()) {
+    const std::string key = corpus_key(mn);
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate key " << key;
+    EXPECT_EQ(mnemonic_from_key(key), mn) << key;
+  }
+  EXPECT_EQ(mnemonic_from_key("no-such-op"), isa::Mnemonic::kInvalid);
+}
+
+TEST(Generator, CaseNamesUniqueWithinFile) {
+  for (const isa::Mnemonic mn : corpus_mnemonics()) {
+    const CorpusFile f = generate_corpus(mn, kDefaultSeed, 4);
+    std::set<std::string> names;
+    for (const TestVector& v : f.vectors) {
+      EXPECT_TRUE(names.insert(v.name).second)
+          << "duplicate case " << v.name;
+    }
+  }
+}
+
+TEST(Generator, QuirkTwinPinsTheSubxAxis) {
+  const CorpusFile f = generate_corpus(isa::Mnemonic::kSubx);
+  const TestVector* plain = find_case(f, "subx/edge_carry_in");
+  const TestVector* quirk = find_case(f, "subx/edge_carry_in_quirk");
+  ASSERT_NE(plain, nullptr);
+  ASSERT_NE(quirk, nullptr);
+
+  // Same experiment, one config bit apart ...
+  EXPECT_FALSE(plain->cfg.quirk_subx);
+  EXPECT_TRUE(quirk->cfg.quirk_subx);
+  EXPECT_EQ(diff_states(plain->pre, quirk->pre), "");
+  EXPECT_EQ(plain->code, quirk->code);
+  // ... and the reference results differ by exactly the dropped borrow.
+  ASSERT_TRUE(plain->post.regs.count(3));
+  ASSERT_TRUE(quirk->post.regs.count(3));
+  EXPECT_EQ(plain->post.regs.at(3) + 1, quirk->post.regs.at(3));
+}
+
+TEST(Generator, ConfigAxisEdgesExist) {
+  // has_mul / has_div off: the op must take an illegal-instruction trap.
+  const CorpusFile umul = generate_corpus(isa::Mnemonic::kUmul);
+  const TestVector* nomul = find_case(umul, "umul/edge_nomul");
+  ASSERT_NE(nomul, nullptr);
+  EXPECT_FALSE(nomul->cfg.has_mul);
+  EXPECT_TRUE(nomul->ref.trapped);
+  EXPECT_EQ(nomul->ref.tt, 0x02);
+
+  const CorpusFile udiv = generate_corpus(isa::Mnemonic::kUdiv);
+  const TestVector* nodiv = find_case(udiv, "udiv/edge_nodiv");
+  ASSERT_NE(nodiv, nullptr);
+  EXPECT_FALSE(nodiv->cfg.has_div);
+  EXPECT_TRUE(nodiv->ref.trapped);
+
+  // 4-window configuration: SAVE wraps cwp modulo 4.
+  const CorpusFile save = generate_corpus(isa::Mnemonic::kSave);
+  const TestVector* wrap = find_case(save, "save/edge_nw4_wrap");
+  ASSERT_NE(wrap, nullptr);
+  EXPECT_EQ(wrap->cfg.nwindows, 4u);
+}
+
+TEST(Generator, FuzzerReprosArePinned) {
+  // The two PR2 fuzzer-minimized divergences live on as named edges.
+  const CorpusFile sdiv = generate_corpus(isa::Mnemonic::kSdiv);
+  const TestVector* repro = find_case(sdiv, "sdiv/edge_int64min_repro");
+  ASSERT_NE(repro, nullptr);
+  // INT64_MIN / -1 must clamp to +INT32_MAX, not wrap or trap.
+  EXPECT_FALSE(repro->ref.trapped);
+  ASSERT_TRUE(repro->post.regs.count(3));
+  EXPECT_EQ(repro->post.regs.at(3), 0x7fffffffu);
+
+  ASSERT_NE(find_case(generate_corpus(isa::Mnemonic::kSubx),
+                      "subx/edge_carry_in"),
+            nullptr);
+}
+
+TEST(Generator, TrapVectorsNeverFetchTheHandler) {
+  // Trap cases end after the trapping step, so the (zero-word) handler
+  // region is never executed: the post pc must sit inside the trap table
+  // with tt latched in TBR.
+  const CorpusFile f = generate_corpus(isa::Mnemonic::kTicc);
+  const TestVector* ta = find_case(f, "ticc/edge_ta");
+  ASSERT_NE(ta, nullptr);
+  EXPECT_TRUE(ta->ref.trapped);
+  EXPECT_EQ(ta->ref.tt, 0xaa);
+  EXPECT_EQ(ta->post.pc, kVecTrapBase + (u32{0xaa} << 4));
+  EXPECT_EQ(ta->post.tbr & 0xff0u, u32{0xaa} << 4);
+}
+
+}  // namespace
+}  // namespace la::conform

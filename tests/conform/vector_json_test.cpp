@@ -1,0 +1,120 @@
+// JSON round-trip and diff semantics for the conformance vectors: a
+// corpus file must survive to_json -> parse_corpus_file unchanged, the
+// parser must reject malformed input with a positioned error, and the
+// diff helpers must report the first difference by field name (they are
+// what the replay harness and the drift gate print).
+#include <gtest/gtest.h>
+
+#include "conform/generator.hpp"
+#include "conform/vector.hpp"
+
+namespace la::conform {
+namespace {
+
+TEST(VectorJson, CorpusRoundTripsEveryMnemonic) {
+  for (const isa::Mnemonic mn : corpus_mnemonics()) {
+    const CorpusFile f = generate_corpus(mn, kDefaultSeed, 3);
+    const std::string text = to_json(f);
+
+    CorpusFile back;
+    std::string err;
+    ASSERT_TRUE(parse_corpus_file(text, back, err))
+        << corpus_key(mn) << ": " << err;
+    EXPECT_EQ(back.mnemonic, f.mnemonic);
+    EXPECT_EQ(back.seed, f.seed);
+    EXPECT_EQ(back.cases, f.cases);
+    ASSERT_EQ(back.vectors.size(), f.vectors.size()) << corpus_key(mn);
+    for (size_t i = 0; i < f.vectors.size(); ++i) {
+      EXPECT_EQ(diff_vectors(f.vectors[i], back.vectors[i]), "")
+          << corpus_key(mn) << " case " << f.vectors[i].name;
+    }
+    // Serialization itself must be a fixed point.
+    EXPECT_EQ(to_json(back), text) << corpus_key(mn);
+  }
+}
+
+TEST(VectorJson, RejectsMalformedInput) {
+  CorpusFile f;
+  std::string err;
+  EXPECT_FALSE(parse_corpus_file("", f, err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_corpus_file("{\"mnemonic\":", f, err));
+  EXPECT_FALSE(parse_corpus_file("[1,2,3]", f, err));
+  EXPECT_FALSE(parse_corpus_file("{\"mnemonic\":\"add\",\"vectors\":[{]}", f,
+                                 err));
+}
+
+TEST(VectorJson, DiffStatesReportsFieldName) {
+  ArchState a, b;
+  a.pc = b.pc = 0x40000100;
+  EXPECT_EQ(diff_states(a, b), "");
+
+  b.psr = 0x00800000;
+  EXPECT_NE(diff_states(a, b).find("psr"), std::string::npos);
+  b.psr = 0;
+
+  a.regs[9] = 0xdead;
+  const std::string d = diff_states(a, b);
+  EXPECT_NE(d.find("regs"), std::string::npos) << d;
+  b.regs[9] = 0xdead;
+  EXPECT_EQ(diff_states(a, b), "");
+
+  // Absent key == zero: a zero-valued entry is not a difference.
+  a.mem[0x40000800] = 0;
+  EXPECT_EQ(diff_states(a, b), "");
+  a.mem[0x40000800] = 0x12345678;
+  EXPECT_NE(diff_states(a, b).find("mem"), std::string::npos);
+}
+
+TEST(VectorJson, DiffVectorsCatchesEveryMutation) {
+  const CorpusFile f = generate_corpus(isa::Mnemonic::kAdd, kDefaultSeed, 2);
+  ASSERT_FALSE(f.vectors.empty());
+  const TestVector& v = f.vectors.front();
+
+  TestVector m = v;
+  EXPECT_EQ(diff_vectors(v, m), "");
+
+  m.name += "x";
+  EXPECT_NE(diff_vectors(v, m), "");
+  m = v;
+  m.cfg.quirk_subx = true;
+  EXPECT_NE(diff_vectors(v, m).find("cfg"), std::string::npos);
+  m = v;
+  m.steps = 2;
+  EXPECT_NE(diff_vectors(v, m), "");
+  m = v;
+  ASSERT_FALSE(m.code.empty());
+  m.code[0].second ^= 1u;
+  EXPECT_NE(diff_vectors(v, m).find("code"), std::string::npos);
+  m = v;
+  m.pre.y ^= 1u;
+  EXPECT_NE(diff_vectors(v, m).find("pre"), std::string::npos);
+  m = v;
+  m.post.npc ^= 4u;
+  EXPECT_NE(diff_vectors(v, m).find("post"), std::string::npos);
+  m = v;
+  m.ref.cycles += 1;
+  EXPECT_NE(diff_vectors(v, m).find("ref"), std::string::npos);
+}
+
+TEST(VectorJson, FlatRegSchemeCoversWholeFile) {
+  // Flat index scheme: globals then outs+locals per window; the ins of
+  // window w alias the outs of window (w+1) % nwindows.
+  EXPECT_EQ(flat_reg_count(8), 8u + 16u * 8u);
+  EXPECT_EQ(flat_reg_name(3), "g3");
+  EXPECT_EQ(flat_reg_name(8), "w0.o0");
+  EXPECT_EQ(flat_reg_name(8 + 2 * 16 + 13), "w2.l5");
+
+  cpu::CpuState st;  // default config: 8 windows
+  st.psr.cwp = 2;
+  st.set_reg(9, 0xabcd);  // %o1 of window 2
+  EXPECT_EQ(flat_reg_get(st, flat_index(8, 2, 9)), 0xabcdu);
+  // %i1 of window 1 is the same cell.
+  EXPECT_EQ(flat_index(8, 1, 25), flat_index(8, 2, 9));
+
+  flat_reg_set(st, flat_index(8, 2, 17), 0x77);  // %l1 of window 2
+  EXPECT_EQ(st.reg(17), 0x77u);
+}
+
+}  // namespace
+}  // namespace la::conform

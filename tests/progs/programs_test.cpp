@@ -109,5 +109,133 @@ TEST(Programs, MemtestDetectsInjectedFault) {
   EXPECT_GT(errors, 0u);
 }
 
+// --- the packet/STREAM workload library ---------------------------------
+
+/// Re-parameterize a kernel: rewrite its `.equ name, value` line.  The
+/// workloads size their working sets through these constants so a sweep
+/// can scale them against the cache geometry without editing the source.
+std::string with_equ(std::string src, const std::string& name, u32 value) {
+  const std::string key = ".equ " + name + ",";
+  const size_t at = src.find(key);
+  EXPECT_NE(at, std::string::npos) << name;
+  const size_t eol = src.find('\n', at);
+  src.replace(at, eol - at, key + " " + std::to_string(value));
+  return src;
+}
+
+u32 byte_at(const sasm::Image& img, u32 addr) {
+  return (img.word_at(addr & ~3u) >> (24 - 8 * (addr & 3))) & 0xffu;
+}
+
+/// Host-side RFC 1071: one's-complement sum of big-endian halfwords.
+u32 ip_checksum(const sasm::Image& img, u32 addr, u32 nbytes) {
+  u32 sum = 0;
+  for (u32 i = 0; i < nbytes; i += 2) {
+    sum += (byte_at(img, addr + i) << 8) | byte_at(img, addr + i + 1);
+  }
+  while (sum >> 16) sum = (sum & 0xffffu) + (sum >> 16);
+  return ~sum & 0xffffu;
+}
+
+void check_ipcksum(const std::string& src, u32 npkts, u32 pkt_bytes) {
+  const auto pre = sasm::assemble_or_throw(src);
+  ProgRun r(src);
+  EXPECT_EQ(r.word("done_flag"), 1u);
+  EXPECT_GT(r.word("cycles"), 0u);
+  for (u32 p = 0; p < npkts; ++p) {
+    EXPECT_EQ(r.word("results", 4 * p),
+              ip_checksum(pre, pre.symbol("data") + p * pkt_bytes,
+                          pkt_bytes))
+        << "packet " << p;
+  }
+}
+
+TEST(Programs, IpChecksumMatchesHostComputation) {
+  check_ipcksum(slurp("ipcksum.s"), 4, 64);
+}
+
+TEST(Programs, IpChecksumSweepsPacketSize) {
+  // The .equ parameterization: same buffer reinterpreted as 4 x 32 B.
+  check_ipcksum(with_equ(slurp("ipcksum.s"), "PKT_BYTES", 32), 4, 32);
+}
+
+TEST(Programs, LpmLookupMatchesHostComputation) {
+  const std::string src = slurp("lpm.s");
+  const u32 nroutes = 6, nqueries = 8;
+  const auto pre = sasm::assemble_or_throw(src);
+
+  ProgRun r(src);
+  EXPECT_EQ(r.word("done_flag"), 1u);
+  EXPECT_GT(r.word("cycles"), 0u);
+  for (u32 q = 0; q < nqueries; ++q) {
+    const u32 addr = pre.word_at(pre.symbol("queries") + 4 * q);
+    u32 want = 0;  // default route id when nothing matches
+    for (u32 e = 0; e < nroutes; ++e) {
+      const u32 base = pre.symbol("table") + 12 * e;
+      if ((addr & pre.word_at(base + 4)) == pre.word_at(base)) {
+        want = pre.word_at(base + 8);  // sorted: first match is longest
+        break;
+      }
+    }
+    EXPECT_EQ(r.word("results", 4 * q), want) << "query " << q;
+  }
+}
+
+TEST(Programs, ClassifyMatchesHostComputation) {
+  const std::string src = slurp("classify.s");
+  const u32 nrules = 4, npkts = 6;
+  const auto pre = sasm::assemble_or_throw(src);
+
+  ProgRun r(src);
+  EXPECT_EQ(r.word("done_flag"), 1u);
+  for (u32 p = 0; p < npkts; ++p) {
+    const u32 srca = pre.word_at(pre.symbol("packets") + 8 * p);
+    const u32 dsta = pre.word_at(pre.symbol("packets") + 8 * p + 4);
+    u32 want = 0;
+    for (u32 e = 0; e < nrules; ++e) {
+      const u32 base = pre.symbol("rules") + 20 * e;
+      if ((srca & pre.word_at(base)) == pre.word_at(base + 4) &&
+          (dsta & pre.word_at(base + 8)) == pre.word_at(base + 12)) {
+        want = pre.word_at(base + 16);
+        break;
+      }
+    }
+    EXPECT_EQ(r.word("results", 4 * p), want) << "packet " << p;
+  }
+}
+
+/// Host model of stream.s: a[i]=7+3i, then copy/scale/add/triad, then
+/// the mod-2^32 sum of a[].
+u32 stream_expected_sum(u32 words) {
+  u32 sum = 0;
+  for (u32 i = 0; i < words; ++i) {
+    const u32 a = 7 + 3 * i;
+    const u32 b = 3 * a;        // scale
+    const u32 c = a + b;        // add (copy is overwritten)
+    sum += b + 3 * c;           // triad -> a[i]
+  }
+  return sum;
+}
+
+TEST(Programs, StreamKernelsMatchHostComputation) {
+  ProgRun r(slurp("stream.s"));
+  EXPECT_EQ(r.word("done_flag"), 1u);
+  EXPECT_EQ(r.word("sum_a"), stream_expected_sum(256));
+  EXPECT_GT(r.word("cycles"), 0u);
+}
+
+TEST(Programs, StreamSweepsWorkingSetSize) {
+  // The cache-geometry sweep axis: working set = 3*STREAM_WORDS*4 bytes.
+  // Results stay exact at every size, and cycles grow with the set.
+  u32 prev_cycles = 0;
+  for (const u32 words : {64u, 512u}) {
+    ProgRun r(with_equ(slurp("stream.s"), "STREAM_WORDS", words));
+    EXPECT_EQ(r.word("done_flag"), 1u) << words;
+    EXPECT_EQ(r.word("sum_a"), stream_expected_sum(words)) << words;
+    EXPECT_GT(r.word("cycles"), prev_cycles) << words;
+    prev_cycles = r.word("cycles");
+  }
+}
+
 }  // namespace
 }  // namespace la::test
