@@ -12,6 +12,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::bus {
@@ -141,6 +142,34 @@ class AhbBus {
   /// ERROR response without reaching any slave (models a glitched HRESP).
   void inject_error_pulse(unsigned n) { error_pulse_ += n; }
   unsigned pending_error_pulses() const { return error_pulse_; }
+
+  /// Snapshot support: pending injected error pulses plus per-master stats.
+  /// The address map and the host-only decode cache are rebuilt, not saved.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("AHB "));
+    w.u32v(error_pulse_);
+    for (const auto& s : stats_.per_master) {
+      w.u64v(s.transfers);
+      w.u64v(s.beats);
+      w.u64v(static_cast<u64>(s.cycles));
+      w.u64v(s.errors);
+    }
+    w.u64v(stats_.unmapped);
+    w.u64v(stats_.injected_errors);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("AHB "))) return false;
+    error_pulse_ = r.u32v();
+    for (auto& s : stats_.per_master) {
+      s.transfers = r.u64v();
+      s.beats = r.u64v();
+      s.cycles = static_cast<Cycles>(r.u64v());
+      s.errors = r.u64v();
+    }
+    stats_.unmapped = r.u64v();
+    stats_.injected_errors = r.u64v();
+    return r.ok();
+  }
 
  private:
   struct Mapping {

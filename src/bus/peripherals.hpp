@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "bus/apb.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::bus {
@@ -49,6 +50,22 @@ class Uart final : public ApbSlave {
   const std::string& tx_log() const { return tx_; }
   void host_send(std::string_view s) {
     for (char c : s) rx_.push_back(static_cast<u8>(c));
+  }
+
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("UART"));
+    w.str(tx_);
+    w.u64v(rx_.size());
+    for (u8 c : rx_) w.u8v(c);
+    w.u32v(ctrl_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("UART"))) return false;
+    tx_ = r.str();
+    rx_.clear();
+    for (u64 i = 0, n = r.u64v(); i < n && r.ok(); ++i) rx_.push_back(r.u8v());
+    ctrl_ = r.u32v();
+    return r.ok();
   }
 
  private:
@@ -92,6 +109,22 @@ class LeonTimer final : public ApbSlave {
   static constexpr u32 kCtrlAutoReload = 1u << 1;
   static constexpr u32 kCtrlIrqEnable = 1u << 2;
 
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("TIMR"));
+    w.u32v(counter_);
+    w.u32v(reload_);
+    w.u32v(ctrl_);
+    w.u64v(underflows_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("TIMR"))) return false;
+    counter_ = r.u32v();
+    reload_ = r.u32v();
+    ctrl_ = r.u32v();
+    underflows_ = r.u64v();
+    return r.ok();
+  }
+
  private:
   u32 counter_ = 0;
   u32 reload_ = 0;
@@ -122,6 +155,20 @@ class IrqController final : public ApbSlave {
   u32 pending() const { return pending_; }
   u8 current_level() const;
 
+  /// Snapshot support.  The caller re-runs update() semantics by restoring
+  /// the CPU's irq level separately (it lives in the pipeline snapshot).
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("IRQC"));
+    w.u32v(pending_);
+    w.u32v(mask_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("IRQC"))) return false;
+    pending_ = r.u32v();
+    mask_ = r.u32v();
+    return r.ok();
+  }
+
  private:
   void update();
 
@@ -141,6 +188,20 @@ class GpioPort final : public ApbSlave {
   u32 out() const { return out_; }
   void set_in(u32 v) { in_ = v; }
   const std::vector<u32>& history() const { return history_; }
+
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("GPIO"));
+    w.u32v(out_);
+    w.u32v(in_);
+    w.vec_u32(history_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("GPIO"))) return false;
+    out_ = r.u32v();
+    in_ = r.u32v();
+    history_ = r.vec_u32();
+    return r.ok();
+  }
 
  private:
   u32 out_ = 0;
@@ -168,6 +229,20 @@ class CycleCounter final : public ApbSlave {
   /// Measured cycles (valid after a stop; live value while running).
   Cycles measured() const;
   bool running() const { return running_; }
+
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("CYCC"));
+    w.b(running_);
+    w.u64v(static_cast<u64>(started_at_));
+    w.u64v(static_cast<u64>(accumulated_));
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("CYCC"))) return false;
+    running_ = r.b();
+    started_at_ = static_cast<Cycles>(r.u64v());
+    accumulated_ = static_cast<Cycles>(r.u64v());
+    return r.ok();
+  }
 
  private:
   Now now_;

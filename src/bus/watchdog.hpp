@@ -12,6 +12,7 @@
 #include <string_view>
 
 #include "bus/apb.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::bus {
@@ -56,6 +57,28 @@ class Watchdog final : public ApbSlave {
     u64 kicks = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot support: budget/deadline/armed/tripped plus counters.  The
+  /// on-trip callback stays with the restoring system.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("WDOG"));
+    w.u64v(static_cast<u64>(budget_));
+    w.u64v(static_cast<u64>(remaining_));
+    w.b(armed_);
+    w.b(tripped_);
+    w.u64v(stats_.trips);
+    w.u64v(stats_.kicks);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("WDOG"))) return false;
+    budget_ = static_cast<Cycles>(r.u64v());
+    remaining_ = static_cast<Cycles>(r.u64v());
+    armed_ = r.b();
+    tripped_ = r.b();
+    stats_.trips = r.u64v();
+    stats_.kicks = r.u64v();
+    return r.ok();
+  }
 
  private:
   Cycles budget_ = 0;

@@ -197,4 +197,73 @@ u32 Cache::valid_lines() const {
   return n;
 }
 
+namespace {
+constexpr u32 kCacheTag = snap_tag("CACH");
+}  // namespace
+
+void Cache::save_state(SnapWriter& w) const {
+  w.tag(kCacheTag);
+  w.u32v(cfg_.size_bytes);
+  w.u32v(cfg_.line_bytes);
+  w.u32v(cfg_.ways);
+  w.u8v(static_cast<u8>(cfg_.replacement));
+  w.u8v(static_cast<u8>(cfg_.write_policy));
+  w.u64v(ways_.size());
+  for (const Way& way : ways_) {
+    w.b(way.valid);
+    w.b(way.dirty);
+    w.b(way.poisoned);
+    w.u32v(way.tag);
+    w.u64v(way.lru);
+  }
+  w.bytes(data_);
+  w.u64v(stats_.read_hits);
+  w.u64v(stats_.read_misses);
+  w.u64v(stats_.write_hits);
+  w.u64v(stats_.write_misses);
+  w.u64v(stats_.evictions);
+  w.u64v(stats_.writebacks);
+  w.u64v(stats_.flushes);
+  w.u64v(stats_.parity_recoveries);
+  w.u64v(stats_.parity_discards);
+  u64 rng_state[4];
+  rng_.get_state(rng_state);
+  for (u64 s : rng_state) w.u64v(s);
+  w.u64v(tick_);
+}
+
+bool Cache::load_state(SnapReader& r) {
+  if (!r.expect(kCacheTag)) return false;
+  const bool geometry_ok =
+      r.u32v() == cfg_.size_bytes && r.u32v() == cfg_.line_bytes &&
+      r.u32v() == cfg_.ways && r.u8v() == static_cast<u8>(cfg_.replacement) &&
+      r.u8v() == static_cast<u8>(cfg_.write_policy) && r.u64v() == ways_.size();
+  if (!geometry_ok || !r.ok()) return false;
+  for (Way& way : ways_) {
+    way.valid = r.b();
+    way.dirty = r.b();
+    way.poisoned = r.b();
+    way.tag = r.u32v();
+    way.lru = r.u64v();
+  }
+  Bytes data = r.bytes();
+  if (data.size() != data_.size()) return false;
+  data_ = std::move(data);
+  stats_.read_hits = r.u64v();
+  stats_.read_misses = r.u64v();
+  stats_.write_hits = r.u64v();
+  stats_.write_misses = r.u64v();
+  stats_.evictions = r.u64v();
+  stats_.writebacks = r.u64v();
+  stats_.flushes = r.u64v();
+  stats_.parity_recoveries = r.u64v();
+  stats_.parity_discards = r.u64v();
+  u64 rng_state[4];
+  for (u64& s : rng_state) s = r.u64v();
+  rng_.set_state(rng_state);
+  tick_ = r.u64v();
+  ++gen_;  // anything memoized against the old contents is now stale
+  return r.ok();
+}
+
 }  // namespace la::cache

@@ -19,6 +19,7 @@
 
 #include "common/bits.hpp"
 #include "common/rng.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::cache {
@@ -185,6 +186,12 @@ class Cache {
     ways_[slot].lru = ++tick_;
     ++stats_.read_hits;
   }
+
+  /// Snapshot support: full tag/LRU/parity/data/stats/replacement-RNG state.
+  /// load_state requires identical geometry (the snapshot carries the
+  /// config) and bumps gen() so any cached slot references are invalidated.
+  void save_state(SnapWriter& w) const;
+  bool load_state(SnapReader& r);
 
  private:
   struct Way {

@@ -73,6 +73,15 @@ class Rng {
   /// Uniform double in [0, 1).
   double unit() { return to_unit(next_u64()); }
 
+  /// Raw generator state, for snapshot/restore.  Restoring the four words
+  /// resumes the exact sequence a capture interrupted.
+  void get_state(u64 out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void set_state(const u64 in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+
  private:
   static constexpr u64 rotl(u64 x, int k) {
     return (x << k) | (x >> (64 - k));

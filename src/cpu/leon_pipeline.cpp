@@ -979,4 +979,84 @@ __attribute__((flatten)) u64 LeonPipeline::run(u64 max_steps, Addr halt_pc) {
   return run_slow(max_steps, halt_pc);
 }
 
+namespace {
+constexpr u32 kPipeTag = snap_tag("PIPE");
+}  // namespace
+
+void LeonPipeline::save_state(SnapWriter& w) const {
+  w.tag(kPipeTag);
+  // Architectural CPU state.
+  w.vec_u32(st_.regs.raw());
+  w.u64v(st_.pc);
+  w.u64v(st_.npc);
+  w.u32v(st_.psr.pack());
+  w.u32v(st_.wim);
+  w.u32v(st_.tbr);
+  w.u32v(st_.y);
+  for (u32 a : st_.asr) w.u32v(a);
+  w.b(st_.error_mode);
+  // Inter-step pipeline latches.
+  w.b(annul_next_);
+  w.b(wedged_);
+  w.u8v(irq_level_);
+  w.b(cti_taken_);
+  w.u64v(cti_target_);
+  w.u64v(static_cast<u64>(wb_free_at_));
+  // Stats.
+  w.u64v(stats_.instructions);
+  w.u64v(stats_.annulled);
+  w.u64v(stats_.traps);
+  w.u64v(static_cast<u64>(stats_.cycles));
+  w.u64v(static_cast<u64>(stats_.icache_stall));
+  w.u64v(static_cast<u64>(stats_.dcache_stall));
+  w.u64v(static_cast<u64>(stats_.store_stall));
+  w.u64v(stats_.loads);
+  w.u64v(stats_.stores);
+  w.u64v(stats_.branches);
+  w.u64v(stats_.taken_branches);
+  w.u64v(stats_.calls);
+  w.u64v(stats_.muldiv);
+  // Caches (tags, LRU, parity, line data, replacement RNG).
+  icache_.save_state(w);
+  dcache_.save_state(w);
+}
+
+bool LeonPipeline::load_state(SnapReader& r) {
+  if (!r.expect(kPipeTag)) return false;
+  if (!st_.regs.set_raw(r.vec_u32())) return false;
+  st_.pc = r.u64v();
+  st_.npc = r.u64v();
+  st_.psr.unpack(r.u32v());
+  st_.wim = r.u32v();
+  st_.tbr = r.u32v();
+  st_.y = r.u32v();
+  for (u32& a : st_.asr) a = r.u32v();
+  st_.error_mode = r.b();
+  annul_next_ = r.b();
+  wedged_ = r.b();
+  irq_level_ = r.u8v();
+  cti_taken_ = r.b();
+  cti_target_ = r.u64v();
+  wb_free_at_ = static_cast<Cycles>(r.u64v());
+  stats_.instructions = r.u64v();
+  stats_.annulled = r.u64v();
+  stats_.traps = r.u64v();
+  stats_.cycles = static_cast<Cycles>(r.u64v());
+  stats_.icache_stall = static_cast<Cycles>(r.u64v());
+  stats_.dcache_stall = static_cast<Cycles>(r.u64v());
+  stats_.store_stall = static_cast<Cycles>(r.u64v());
+  stats_.loads = r.u64v();
+  stats_.stores = r.u64v();
+  stats_.branches = r.u64v();
+  stats_.taken_branches = r.u64v();
+  stats_.calls = r.u64v();
+  stats_.muldiv = r.u64v();
+  if (!icache_.load_state(r) || !dcache_.load_state(r)) return false;
+  // Every host-side memo is now stale: the mirror's decoded lines belong to
+  // the pre-restore contents.  Invalidate; fills rebuild them on demand.
+  std::fill(imirror_addr_.begin(), imirror_addr_.end(), kNoMirrorLine);
+  last_iline_ = kNoMirrorLine;
+  return r.ok();
+}
+
 }  // namespace la::cpu

@@ -118,6 +118,17 @@ class LeonPipeline {
   /// LEON cache control register (ASI 2 at address 0).
   u32 cache_control() const;
 
+  const PipelineConfig& config() const { return cfg_; }
+
+  /// Snapshot support: full architectural state (all windows, PSR/WIM/Y,
+  /// ASRs, error/wedge flags), the inter-step pipeline latches, both caches,
+  /// and the stats.  load_state requires the same architectural
+  /// configuration (window count, cache geometry) and invalidates every
+  /// host-side fast-path memo; host knobs may differ freely between the
+  /// capturing and restoring pipeline.
+  void save_state(SnapWriter& w) const;
+  bool load_state(SnapReader& r);
+
  private:
   // --- timed memory paths ---------------------------------------------------
   struct MemResult {

@@ -73,6 +73,14 @@ class RegisterFile {
     store_[index(cwp, r)] = v;
   }
 
+  /// Raw backing store (globals + all windows), for snapshot/restore.
+  const std::vector<u32>& raw() const { return store_; }
+  bool set_raw(std::vector<u32> v) {
+    if (v.size() != store_.size()) return false;
+    store_ = std::move(v);
+    return true;
+  }
+
  private:
   std::size_t index(unsigned cwp, u8 r) const {
     assert(r < 32 && cwp < nwin_);

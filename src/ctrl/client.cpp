@@ -36,7 +36,11 @@ std::string ClientError::to_string() const {
 }
 
 LiquidClient::LiquidClient(sim::LiquidSystem& node, ClientConfig cfg)
-    : node_(node), cfg_(cfg), up_(cfg.uplink), down_(cfg.downlink) {}
+    : node_(node),
+      cfg_(cfg),
+      up_(cfg.uplink),
+      down_(cfg.downlink),
+      jitter_rng_(cfg.jitter_seed) {}
 
 void LiquidClient::send_command(Bytes payload) {
   net::UdpDatagram d;
@@ -83,9 +87,15 @@ void LiquidClient::drain_downlink() {
   }
 }
 
-unsigned LiquidClient::rounds_for_attempt(unsigned attempt) const {
+unsigned LiquidClient::rounds_for_attempt(unsigned attempt) {
   const unsigned shift = std::min(attempt, cfg_.backoff_cap);
-  return cfg_.await_rounds << shift;
+  const unsigned base = cfg_.await_rounds << shift;
+  if (attempt == 0 || cfg_.backoff_jitter <= 0.0) return base;
+  // Symmetric jitter around the exponential schedule; deterministic under
+  // cfg_.jitter_seed so replays stay bit-identical, but clients with
+  // different seeds desynchronize their retry storms.
+  const double f = 1.0 + cfg_.backoff_jitter * (2.0 * jitter_rng_.unit() - 1.0);
+  return std::max(1u, static_cast<unsigned>(static_cast<double>(base) * f));
 }
 
 void LiquidClient::begin_command() {
@@ -330,6 +340,10 @@ Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
   if (auto loaded = load_program(img); !loaded) return loaded;
   job_trace_.phase("load", load_t0, job_trace_.now_us(), node_.now());
   if (auto started = start(img.entry); !started) return started;
+  return await_done(max_steps);
+}
+
+Status LiquidClient::await_done(u64 max_steps) {
   const double run_t0 = job_trace_.now_us();
   begin_command();  // the wait-for-completion phase is its own "command"
   u64 stepped = 0;
@@ -357,7 +371,7 @@ Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
       ClientError e;
       e.kind = ClientErrorKind::kNodeError;
       e.node_code = last_node_error_.value_or(0);
-      e.detail = "run_program: node entered error state";
+      e.detail = "await_done: node entered error state";
       ++stats_.gave_up;
       const double now = job_trace_.now_us();
       job_trace_.phase("run", run_t0, now, node_.now());
@@ -371,7 +385,7 @@ Status LiquidClient::run_program(const sasm::Image& img, u64 max_steps) {
   }
   ClientError e;
   e.kind = ClientErrorKind::kDeadline;
-  e.detail = "run_program: program did not complete";
+  e.detail = "await_done: program did not complete";
   ++stats_.deadline_expiries;
   ++stats_.gave_up;
   return e;

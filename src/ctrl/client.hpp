@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/rng.hpp"
 #include "common/span_log.hpp"
 #include "net/channel.hpp"
 #include "net/commands.hpp"
@@ -39,6 +40,14 @@ struct ClientConfig {
   /// growing once the deadline would be exceeded and the command fails
   /// with kDeadline.
   u64 deadline_steps = 4'000'000;
+  /// Backoff jitter fraction: retry attempt k > 0 waits
+  /// `rounds * (1 ± jitter * u)` with u uniform in [0, 1), drawn from a
+  /// per-client RNG seeded by `jitter_seed` — deterministic under the
+  /// seed, but many tenants with distinct seeds stop retrying in
+  /// lockstep (pure exponential backoff synchronizes).  Attempt 0 is
+  /// never jittered.  0 restores pure exponential backoff.
+  double backoff_jitter = 0.25;
+  u64 jitter_seed = 0x6a177e12;
   net::ChannelConfig uplink;    // client -> FPX
   net::ChannelConfig downlink;  // FPX -> client
 };
@@ -155,6 +164,13 @@ class LiquidClient {
   /// node's error code rather than timing out.
   Status run_program(const sasm::Image& img, u64 max_steps = 10'000'000);
 
+  /// The wait-for-completion tail of run_program(), exposed so callers
+  /// that arranged the load themselves (warm-start restore of a post-load
+  /// snapshot) can still drive execution: pumps the node until leon_ctrl
+  /// reports kDone, failing loudly on kError (watchdog trip) or after
+  /// `max_steps`.  Call after a successful start().
+  Status await_done(u64 max_steps);
+
   /// Let simulated time pass: deliver queued frames, step the node, and
   /// collect its responses.
   void pump(u64 node_steps);
@@ -203,8 +219,9 @@ class LiquidClient {
   /// budget is spent.  Other responses encountered are counted stale; a
   /// 0xff records the node's error code in `last_node_error_`.
   std::optional<Bytes> await(net::ResponseCode code, unsigned rounds);
-  /// Rounds granted to retry `attempt` under exponential backoff.
-  unsigned rounds_for_attempt(unsigned attempt) const;
+  /// Rounds granted to retry `attempt` under exponential backoff with
+  /// seeded jitter (advances jitter_rng_ for attempts > 0).
+  unsigned rounds_for_attempt(unsigned attempt);
   /// Begin a fresh command: reset the deadline budget and error latch.
   void begin_command();
   bool deadline_exhausted() const {
@@ -220,6 +237,7 @@ class LiquidClient {
   ExtraFrameHandler extra_handler_;
   trace::JobTrace job_trace_;
   Stats stats_;
+  Rng jitter_rng_;  // backoff jitter; see ClientConfig::backoff_jitter
   u64 steps_this_command_ = 0;
   std::optional<u8> last_node_error_;
 };

@@ -26,6 +26,18 @@ double percentile(const std::vector<double>& sorted, double q) {
 
 }  // namespace
 
+const char* to_string(NodeHealth h) {
+  switch (h) {
+    case NodeHealth::kHealthy:
+      return "healthy";
+    case NodeHealth::kQuarantined:
+      return "quarantined";
+    case NodeHealth::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
 LiquidFarm::LiquidFarm(FarmConfig cfg)
     : cfg_(std::move(cfg)), cache_(cfg_.cache_capacity), sched_(cfg_.scheduler) {
   if (cfg_.nodes == 0) cfg_.nodes = 1;
@@ -40,6 +52,7 @@ LiquidFarm::LiquidFarm(FarmConfig cfg)
     w->node = std::make_unique<sim::LiquidSystem>(node_cfg);
     w->server = std::make_unique<liquid::ReconfigurationServer>(
         *w->node, cache_, syn_, server_cfg);
+    if (cfg_.warm_start) w->server->set_warm_pool(&warm_pool_);
     w->current_key = w->server->current().key();
     const u32 pid = static_cast<u32>(i) + 1;  // process lane: node i
     const std::string node_name = "node " + std::to_string(i);
@@ -143,9 +156,47 @@ bool LiquidFarm::fleet_idle_locked() const {
   if (started_) {
     for (const auto& w : workers_) {
       if (!w->ready) return false;  // still booting: owns its node
+      // A benched node is still healing itself (owns its node); idle
+      // means every survivor is back in rotation.
+      if (w->health != NodeHealth::kHealthy) return false;
     }
   }
   return true;
+}
+
+void LiquidFarm::recover_node(Worker& w) {
+  // Drive the §4.1 recovery path on the worker's own thread: RESTART the
+  // node, let the reset settle, and only rejoin the fleet once the control
+  // state machine answers idle again.  A node that stays wedged keeps
+  // being probed (with run() between probes so simulated time — and any
+  // until-cycle fault — can pass) until it heals or the farm shuts down.
+  for (;;) {
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      if (shutdown_) return;
+    }
+    ctrl::LiquidClient probe(*w.node, cfg_.server.client);
+    if (probe.restart()) {
+      w.node->run(300);  // reset boot back to the polling loop
+      const auto st = probe.status();
+      if (st && st->state == net::LeonState::kIdle) {
+        // Soak before rejoining: run the node a while and re-probe, so a
+        // fault that survives RESTART (or re-arms shortly after) is caught
+        // here instead of by the next job.  The soak also keeps a freshly
+        // benched node out of the pick race for a moment, letting healthy
+        // nodes drain its requeued work (migration over re-poisoning).
+        w.node->run(100'000);
+        const auto again = probe.status();
+        if (again && again->state == net::LeonState::kIdle) break;
+      }
+    }
+    w.node->run(5'000);  // breathing room before the next probe
+  }
+  const std::lock_guard<std::mutex> lk(mu_);
+  w.health = NodeHealth::kHealthy;
+  w.current_key = w.server->current().key();
+  cv_work_.notify_all();
+  cv_results_.notify_all();  // report()/drain() may be waiting on health
 }
 
 void LiquidFarm::worker_loop(Worker& w) {
@@ -167,13 +218,36 @@ void LiquidFarm::worker_loop(Worker& w) {
       std::unique_lock<std::mutex> lk(mu_);
       for (;;) {
         if (shutdown_) return;
-        auto picked = sched_.pick(w.current_key);
+        if (w.health == NodeHealth::kQuarantined) {
+          w.health = NodeHealth::kRecovering;
+          break;
+        }
+        // Retry avoidance needs to know if any *other* healthy node could
+        // take a job this one just failed; if so, leave that job for them.
+        bool others_healthy = false;
+        for (const auto& other : workers_) {
+          if (other->index != w.index && other->ready &&
+              other->health == NodeHealth::kHealthy) {
+            others_healthy = true;
+            break;
+          }
+        }
+        auto picked = sched_.pick(w.current_key, w.index, others_healthy);
         if (picked.has_value()) {
           job = std::move(*picked);
+          // A retried job landing on a different node than its last
+          // attempt is a migration — the drain-on-fault path working.
+          if (!job.node_history.empty() && job.node_history.back() != w.index) {
+            ++migrations_;
+          }
           break;
         }
         cv_work_.wait(lk);
       }
+    }
+    if (w.health == NodeHealth::kRecovering) {
+      recover_node(w);
+      continue;
     }
 
     // The job's span-emission handle: node lane = index + 1, worker tid 1.
@@ -184,6 +258,12 @@ void LiquidFarm::worker_loop(Worker& w) {
       jt.pid = static_cast<u32>(w.index) + 1;
       jt.tid = 1;
       jt.phase("queue_wait", job.submitted_us, span_log_.now_us());
+      if (!job.node_history.empty() && job.node_history.back() != w.index) {
+        const double now = span_log_.now_us();
+        jt.phase("migrate", now, now, w.node->now(),
+                 "retry " + std::to_string(job.attempts) + " from node " +
+                     std::to_string(job.node_history.back()));
+      }
     }
 
     const auto t0 = std::chrono::steady_clock::now();
@@ -192,26 +272,10 @@ void LiquidFarm::worker_loop(Worker& w) {
                           job.result_words, nullptr, jt);
     const double host = seconds_between(t0, std::chrono::steady_clock::now());
 
-    if (jt.active()) {
-      // The root span covers the whole journey, submission to completion.
-      trace::Span root;
-      root.trace_id = job.trace.trace_id;
-      root.span_id = job.trace.span_id;
-      root.parent_span_id = 0;
-      root.name = "job";
-      root.note = job.owner + " " + job.config.key() +
-                  (r.ok ? "" : " FAILED: " + r.error);
-      root.pid = jt.pid;
-      root.tid = jt.tid;
-      root.start_us = job.submitted_us;
-      root.dur_us = span_log_.now_us() - job.submitted_us;
-      root.cycle = w.node->now();
-      span_log_.add(root);
-    }
-
     {
       const std::lock_guard<std::mutex> lk(mu_);
-      sched_.complete(job.owner);
+      job.attempts += 1;
+      job.node_history.push_back(w.index);
       w.current_key = w.server->current().key();
       ++w.jobs;
       if (!r.ok) ++w.failures;
@@ -219,14 +283,63 @@ void LiquidFarm::worker_loop(Worker& w) {
       if (r.bitfile_cache_hit) ++w.bitfile_hits;
       const double wall = r.wall_seconds();
       w.busy_seconds += wall;
-      wall_samples_.push_back(wall);
       host_seconds_ += host;
+
+      // Drain-on-fault: a node-fault failure benches this node either way;
+      // the job itself goes back to the head of the queue while retry
+      // budget remains, preserving per-owner order (see requeue()).
+      const bool bench = !r.ok && r.node_fault;
+      if (bench) {
+        w.health = NodeHealth::kQuarantined;
+        ++w.quarantines;
+      }
+      if (bench && job.attempts <= cfg_.max_job_retries) {
+        ++retries_;
+        // The operator's pause before the next attempt, doubling per
+        // attempt: simulated time, charged to the node that faulted.
+        const unsigned shift = std::min(job.attempts - 1, 4u);
+        w.busy_seconds += cfg_.retry_backoff_seconds *
+                          static_cast<double>(1u << shift);
+        if (jt.active()) {
+          const double now = span_log_.now_us();
+          jt.phase("retry", now, now, w.node->now(),
+                   "attempt " + std::to_string(job.attempts) +
+                       " failed on node " + std::to_string(w.index) + ": " +
+                       r.error);
+        }
+        sched_.requeue(std::move(job));
+        cv_work_.notify_all();  // a healthy node can take the retry now
+        cv_results_.notify_all();
+        continue;
+      }
+
+      sched_.complete(job.owner);
+      wall_samples_.push_back(wall);  // latency sample per delivered job
+      if (jt.active()) {
+        // The root span covers the whole journey, submission to final
+        // delivery — one per job, not one per retried execution.
+        trace::Span root;
+        root.trace_id = job.trace.trace_id;
+        root.span_id = job.trace.span_id;
+        root.parent_span_id = 0;
+        root.name = "job";
+        root.note = job.owner + " " + job.config.key() +
+                    (r.ok ? "" : " FAILED: " + r.error);
+        root.pid = jt.pid;
+        root.tid = jt.tid;
+        root.start_us = job.submitted_us;
+        root.dur_us = span_log_.now_us() - job.submitted_us;
+        root.cycle = w.node->now();
+        span_log_.add(root);
+      }
       FarmJobOutcome out;
       out.id = job.id;
       out.owner = std::move(job.owner);
       out.config_key = job.config.key();
       out.node = w.index;
       out.trace_id = job.trace.trace_id;
+      out.attempts = job.attempts;
+      out.node_history = std::move(job.node_history);
       if (!r.ok && w.node->flight_recorder() != nullptr) {
         // Post-mortem rides along with the failure: prefer the automatic
         // error-transition dump (it froze the ring at the moment of
@@ -257,11 +370,14 @@ FarmReport LiquidFarm::report() {
     rep.bitfile_hits += w->bitfile_hits;
     rep.total_busy_seconds += w->busy_seconds;
     rep.makespan_seconds = std::max(rep.makespan_seconds, w->busy_seconds);
+    rep.warm_starts += w->server->stats().warm_starts;
     FarmReport::Node n;
     n.index = w->index;
     n.jobs = w->jobs;
     n.failures = w->failures;
     n.reconfigurations = w->reconfigurations;
+    n.quarantines = w->quarantines;
+    n.health = w->health;
     n.busy_seconds = w->busy_seconds;
     n.config_key = w->current_key;
     rep.nodes.push_back(std::move(n));
@@ -269,6 +385,8 @@ FarmReport LiquidFarm::report() {
   }
   rep.rejected = sched_.stats().rejected;
   rep.affinity_hits = sched_.stats().affinity_hits;
+  rep.retries = retries_;
+  rep.migrations = migrations_;
   rep.host_seconds = host_seconds_;
   if (rep.makespan_seconds > 0.0) {
     rep.jobs_per_second =
@@ -299,6 +417,9 @@ FarmReport LiquidFarm::report() {
   fleet.counter("farm.bitfile_hits").inc(rep.bitfile_hits);
   fleet.counter("farm.rejected").inc(rep.rejected);
   fleet.counter("farm.affinity_hits").inc(rep.affinity_hits);
+  fleet.counter("farm.retries").inc(rep.retries);
+  fleet.counter("farm.migrations").inc(rep.migrations);
+  fleet.counter("farm.warm_starts").inc(rep.warm_starts);
   fleet.gauge("farm.makespan_seconds").set(rep.makespan_seconds);
   fleet.gauge("farm.total_busy_seconds").set(rep.total_busy_seconds);
   fleet.gauge("farm.jobs_per_second").set(rep.jobs_per_second);
@@ -350,6 +471,13 @@ std::string FarmReport::text() const {
                 static_cast<unsigned long long>(bitfile_hits));
   s += buf;
   std::snprintf(buf, sizeof(buf),
+                "self-healing: %llu retries, %llu migrations, "
+                "%llu warm starts\n",
+                static_cast<unsigned long long>(retries),
+                static_cast<unsigned long long>(migrations),
+                static_cast<unsigned long long>(warm_starts));
+  s += buf;
+  std::snprintf(buf, sizeof(buf),
                 "simulated makespan: %.3f s  throughput: %.2f jobs/s  "
                 "(host cpu: %.2f s)\n",
                 makespan_seconds, jobs_per_second, host_seconds);
@@ -361,10 +489,11 @@ std::string FarmReport::text() const {
   for (const auto& n : nodes) {
     std::snprintf(buf, sizeof(buf),
                   "  node %zu: %llu jobs, %llu reconfigs, busy %.3f s, "
-                  "loaded %s\n",
+                  "loaded %s [%s, %llu quarantines]\n",
                   n.index, static_cast<unsigned long long>(n.jobs),
                   static_cast<unsigned long long>(n.reconfigurations),
-                  n.busy_seconds, n.config_key.c_str());
+                  n.busy_seconds, n.config_key.c_str(), to_string(n.health),
+                  static_cast<unsigned long long>(n.quarantines));
     s += buf;
   }
   return s;

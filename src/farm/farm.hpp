@@ -65,7 +65,30 @@ struct FarmConfig {
   /// merged_perf_trace() yields one multi-process Chrome trace.  Forces
   /// the nodes onto the per-step run path (observability is not free).
   bool perf_trace = false;
+  /// Self-healing: a job whose failure smells like a node fault
+  /// (JobResult::node_fault — watchdog trip, silent node) is requeued at
+  /// the head of the queue and retried — on any healthy node — up to this
+  /// many extra times before its failure is delivered.  The faulting node
+  /// is quarantined and must pass a RESTART probe before taking work
+  /// again.  0 disables retries (quarantine still happens).
+  unsigned max_job_retries = 2;
+  /// Simulated seconds charged to the faulting node per retry, doubling
+  /// with each attempt (capped at 16x) — the operator's pause before
+  /// kicking hardware that just misbehaved.
+  double retry_backoff_seconds = 0.05;
+  /// Share one warm-start snapshot pool across the fleet's servers: the
+  /// first node to boot an architecture (or load a program under it)
+  /// donates a snapshot, and every later affinity miss restores it instead
+  /// of simulating the boot / chunked network load.
+  bool warm_start = true;
 };
+
+/// Worker-node health in the self-healing loop.  Healthy nodes take work;
+/// a node whose job died of a node fault is quarantined, then must pass a
+/// RESTART probe (recovering) before rejoining the fleet.
+enum class NodeHealth : u8 { kHealthy = 0, kQuarantined = 1, kRecovering = 2 };
+
+const char* to_string(NodeHealth h);
 
 /// A completed job, as delivered back to whoever submitted it.
 struct FarmJobOutcome {
@@ -79,6 +102,11 @@ struct FarmJobOutcome {
   /// Post-mortem JSON from the node's flight recorder, captured when the
   /// job failed on a recorder-armed node; empty otherwise.
   std::string flight_dump;
+  /// Executions this job took (1 = no retries) and the node that ran each
+  /// of them; `node` above is the last entry.  An audit can assert
+  /// exactly-once delivery and trace a job's path through the fleet.
+  unsigned attempts = 1;
+  std::vector<std::size_t> node_history;
 };
 
 /// Fleet-level rollup; built by LiquidFarm::report() once the fleet is
@@ -92,6 +120,9 @@ struct FarmReport {
   u64 bitfile_hits = 0;
   u64 rejected = 0;       // submissions bounced by admission control
   u64 affinity_hits = 0;  // dispatches that needed no reprogramming
+  u64 retries = 0;        // failed executions requeued for another try
+  u64 migrations = 0;     // retries that landed on a different node
+  u64 warm_starts = 0;    // snapshot-pool restores instead of boot/load
   double makespan_seconds = 0.0;    // busiest node's simulated busy time
   double total_busy_seconds = 0.0;  // sum over nodes
   double jobs_per_second = 0.0;     // jobs / makespan (simulated)
@@ -105,6 +136,8 @@ struct FarmReport {
     u64 jobs = 0;
     u64 failures = 0;
     u64 reconfigurations = 0;
+    u64 quarantines = 0;  // times this node was benched for a fault
+    NodeHealth health = NodeHealth::kHealthy;
     double busy_seconds = 0.0;
     std::string config_key;  // image loaded when the fleet went idle
   };
@@ -186,19 +219,26 @@ class LiquidFarm {
     // and report() read these instead of poking the node cross-thread.
     std::string current_key;
     bool ready = false;  // booted to the polling loop
+    NodeHealth health = NodeHealth::kHealthy;
     u64 jobs = 0;
     u64 failures = 0;
     u64 reconfigurations = 0;
     u64 bitfile_hits = 0;
+    u64 quarantines = 0;
     double busy_seconds = 0.0;
   };
 
   void worker_loop(Worker& w);
+  /// RESTART-probe a quarantined node until the control state machine
+  /// answers idle again (the §4.1 recovery path).  Runs on the worker's
+  /// own thread; only the health flips take the farm mutex.
+  void recover_node(Worker& w);
   bool fleet_idle_locked() const;
 
   FarmConfig cfg_;
   liquid::SynthesisModel syn_;
   liquid::ReconfigurationCache cache_;
+  sim::SnapshotPool warm_pool_;  // internally locked; shared by all servers
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;     // workers: job available / shutdown
@@ -211,6 +251,8 @@ class LiquidFarm {
   bool started_ = false;
   bool shutdown_ = false;
   double host_seconds_ = 0.0;
+  u64 retries_ = 0;     // requeued executions (guarded by mu_)
+  u64 migrations_ = 0;  // retry picked up by a different node (mu_)
 };
 
 }  // namespace la::farm

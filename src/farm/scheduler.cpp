@@ -28,7 +28,9 @@ Result<u64> FarmScheduler::enqueue(FarmJob job) {
 std::size_t FarmScheduler::choose(const SchedulerConfig& cfg,
                                   std::deque<Pending>& pending,
                                   const std::set<std::string>& busy,
-                                  const std::string& node_key, bool* aged) {
+                                  const std::string& node_key,
+                                  std::size_t self_node,
+                                  bool others_available, bool* aged) {
   // Runnable = the *oldest* pending job of an owner with nothing in
   // flight.  An owner's younger jobs are never candidates — even a
   // perfect affinity match behind a sibling would break per-owner FIFO.
@@ -40,6 +42,15 @@ std::size_t FarmScheduler::choose(const SchedulerConfig& cfg,
     const std::string& owner = pending[i].job.owner;
     if (!seen.insert(owner).second) continue;  // an older sibling is ahead
     if (busy.count(owner) != 0) continue;
+    // Retry avoidance: don't hand a job back to the node it just failed
+    // on while a different node could take it.  Invisible — no skip
+    // accounting — so aging can never force the retry back onto the
+    // faulty node.
+    if (others_available && self_node != kNoNode &&
+        !pending[i].job.node_history.empty() &&
+        pending[i].job.node_history.back() == self_node) {
+      continue;
+    }
     const bool is_match = cfg.policy == FarmPolicy::kAffinity &&
                           pending[i].job.config.key() == node_key;
     if (runnable.empty()) {
@@ -63,10 +74,12 @@ std::size_t FarmScheduler::choose(const SchedulerConfig& cfg,
   return match;
 }
 
-std::optional<FarmJob> FarmScheduler::pick(const std::string& node_key) {
+std::optional<FarmJob> FarmScheduler::pick(const std::string& node_key,
+                                           std::size_t self_node,
+                                           bool others_available) {
   bool aged = false;
-  const std::size_t i =
-      choose(cfg_, pending_, busy_owners_, node_key, &aged);
+  const std::size_t i = choose(cfg_, pending_, busy_owners_, node_key,
+                               self_node, others_available, &aged);
   if (i == kNpos) return std::nullopt;
   FarmJob job = std::move(pending_[i].job);
   pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -83,6 +96,15 @@ void FarmScheduler::complete(const std::string& owner) {
   if (in_flight_ > 0) --in_flight_;
 }
 
+void FarmScheduler::requeue(FarmJob job) {
+  busy_owners_.erase(job.owner);
+  if (in_flight_ > 0) --in_flight_;
+  // Fresh skip counter: the retry is a new head-of-queue job, and an aged
+  // counter carried over would defeat affinity on its next dispatch.
+  pending_.push_front(Pending{std::move(job), 0});
+  ++stats_.requeues;
+}
+
 std::vector<u64> FarmScheduler::plan(const std::string& node_key) const {
   std::deque<Pending> pending = pending_;
   std::set<std::string> busy = busy_owners_;
@@ -93,7 +115,8 @@ std::vector<u64> FarmScheduler::plan(const std::string& node_key) const {
   // configuration loaded) before the next pick.
   while (!pending.empty()) {
     bool aged = false;
-    const std::size_t i = choose(cfg_, pending, busy, key, &aged);
+    const std::size_t i =
+        choose(cfg_, pending, busy, key, kNoNode, false, &aged);
     if (i == kNpos) break;  // every remaining owner is busy for real
     order.push_back(pending[i].job.id);
     key = pending[i].job.config.key();

@@ -53,6 +53,10 @@ struct FarmJob {
   /// farm's span-log timeline — queue-wait spans measure from here.
   trace::TraceContext trace;
   double submitted_us = 0.0;
+  /// Self-healing bookkeeping, maintained by the farm: executions so far
+  /// and which node ran each of them (a requeued job carries its scars).
+  unsigned attempts = 0;
+  std::vector<std::size_t> node_history;
 };
 
 enum class FarmPolicy : u8 {
@@ -80,15 +84,36 @@ class FarmScheduler {
   /// error (saturated queue, invalid configuration).
   Result<u64> enqueue(FarmJob job);
 
+  /// Sentinel for pick()'s `self_node`: the caller has no node identity
+  /// (or wants retry avoidance off).
+  static constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
   /// Next job for an idle node whose loaded configuration key is
   /// `node_key`; nullopt when nothing is runnable (queue empty or every
   /// queued owner already has a job in flight).  Only an owner's oldest
   /// pending job is ever a candidate — per-owner FIFO binds affinity
   /// too.  The job's owner is marked busy until complete().
-  std::optional<FarmJob> pick(const std::string& node_key);
+  ///
+  /// Retry avoidance: when `others_available` is true, a job whose last
+  /// execution ran on `self_node` (it failed there — only requeued jobs
+  /// carry history) is invisible to this pick, steering the retry onto a
+  /// different node.  The avoided job blocks its owner's younger siblings
+  /// exactly as a busy owner would, so per-owner FIFO holds; liveness
+  /// holds because the callers pass `others_available` only while another
+  /// healthy node exists to take it.
+  std::optional<FarmJob> pick(const std::string& node_key,
+                              std::size_t self_node = kNoNode,
+                              bool others_available = false);
 
   /// A dispatched job finished; its owner may run again.
   void complete(const std::string& owner);
+
+  /// Put a dispatched job back at the *front* of the queue (fault retry).
+  /// Per-owner FIFO is preserved: the job was its owner's oldest pending
+  /// when picked and the owner has been busy since, so no younger sibling
+  /// can have dispatched — re-inserting at the front keeps it the owner's
+  /// oldest.  The owner is freed so any healthy node may take it next.
+  void requeue(FarmJob job);
 
   /// The order a single idle node at `node_key` would execute the current
   /// queue in, as job ids — pick() replayed to exhaustion on a copy of
@@ -106,6 +131,7 @@ class FarmScheduler {
     u64 picks = 0;
     u64 affinity_hits = 0;  // dispatched to a node already configured
     u64 aged_picks = 0;     // forced by the max_skips rule
+    u64 requeues = 0;       // fault retries put back at the queue front
   };
   const Stats& stats() const { return stats_; }
 
@@ -121,7 +147,9 @@ class FarmScheduler {
   static std::size_t choose(const SchedulerConfig& cfg,
                             std::deque<Pending>& pending,
                             const std::set<std::string>& busy,
-                            const std::string& node_key, bool* aged);
+                            const std::string& node_key,
+                            std::size_t self_node, bool others_available,
+                            bool* aged);
 
   SchedulerConfig cfg_;
   std::deque<Pending> pending_;

@@ -221,18 +221,32 @@ DiffOutcome DifferentialRunner::run_source(const std::string& source,
 
   // ---- leg C: the full node, boot-load-run over the control network ----
   if (mode == ProgramMode::kSystem && opt_.with_system && !a.error_mode) {
-    sim::SystemConfig scfg;
-    scfg.pipeline = opt_.pipeline;
-    // Slow-path rotation entries exercise the per-step system loop too.
-    scfg.fast_run_loop = opt_.pipeline.host_fast_paths;
-    // The disconnect switch drops CPU writes once leon_ctrl flags the run
-    // done, so a write-back data cache could lose dirty lines to a
-    // post-completion eviction; the system leg always runs write-through.
-    scfg.pipeline.dcache.write_policy =
-        cache::WritePolicy::kWriteThroughNoAllocate;
-    scfg.flight_recorder = opt_.flight_recorder;
-    sim::LiquidSystem node(scfg);
-    node.run(300);  // let the boot ROM reach its polling loop
+    if (!sys_) {
+      sim::SystemConfig scfg;
+      scfg.pipeline = opt_.pipeline;
+      // Slow-path rotation entries exercise the per-step system loop too.
+      scfg.fast_run_loop = opt_.pipeline.host_fast_paths;
+      // The disconnect switch drops CPU writes once leon_ctrl flags the
+      // run done, so a write-back data cache could lose dirty lines to a
+      // post-completion eviction; the system leg always runs
+      // write-through.
+      scfg.pipeline.dcache.write_policy =
+          cache::WritePolicy::kWriteThroughNoAllocate;
+      scfg.flight_recorder = opt_.flight_recorder;
+      sys_ = std::make_unique<sim::LiquidSystem>(scfg);
+      sys_->run(300);  // let the boot ROM reach its polling loop
+      post_boot_ = sys_->snapshot();
+    } else {
+      // Deep replay: every program starts from the identical post-boot
+      // state the first one saw, without paying construction + boot again.
+      const bool restored = sys_->restore(post_boot_);
+      (void)restored;  // same config by construction; cannot mismatch
+      if (auto* fr = sys_->flight_recorder()) {
+        fr->clear();  // host-side ring is not snapshot state; no stale
+                      // events from the previous program in a post-mortem
+      }
+    }
+    sim::LiquidSystem& node = *sys_;
     // A divergence report is only as good as its post-mortem: attach the
     // node's recent history whenever this leg is the one that failed.
     const auto black_box = [&](DiffOutcome& o) {

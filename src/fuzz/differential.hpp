@@ -19,11 +19,14 @@
 // registry) that drives corpus admission.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "cpu/leon_pipeline.hpp"
 #include "fuzz/coverage.hpp"
 #include "fuzz/program_generator.hpp"
+#include "sim/liquid_system.hpp"
+#include "sim/snapshot.hpp"
 
 namespace la::fuzz {
 
@@ -73,6 +76,13 @@ class DifferentialRunner {
 
  private:
   DiffOptions opt_;
+  /// Leg C keeps one node alive across run() calls: the first kSystem
+  /// program boots it and captures a post-boot snapshot; every later
+  /// program — including each ddmin probe of a shrinking reproducer —
+  /// deep-replays by restoring that snapshot in O(memcpy) instead of
+  /// reconstructing and re-booting a fresh LiquidSystem.
+  std::unique_ptr<sim::LiquidSystem> sys_;
+  sim::SystemSnapshot post_boot_;
 };
 
 /// First architectural difference between two complete states, or "" when

@@ -1,6 +1,24 @@
 #include "liquid/reconfig_server.hpp"
 
+#include <cstdio>
+
+#include "common/snapio.hpp"
+
 namespace la::liquid {
+namespace {
+
+/// Content digest for the program-level warm-start pool key: two jobs share
+/// a post-LOAD snapshot only when bytes, base and entry all agree.
+std::string program_digest(const sasm::Image& img) {
+  u64 h = snap_fnv1a(img.data.data(), img.data.size());
+  const u64 mix[2] = {static_cast<u64>(img.base), static_cast<u64>(img.entry)};
+  h = snap_fnv1a(reinterpret_cast<const u8*>(mix), sizeof mix, h);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
 
 ReconfigurationServer::ReconfigurationServer(sim::LiquidSystem& node,
                                              ReconfigurationCache& cache,
@@ -40,6 +58,9 @@ ReconfigurationServer::ReconfigurationServer(sim::LiquidSystem& node,
   });
   m.register_fn("reconfig_server.reprogram_seconds",
                 [this] { return stats_.reprogram_seconds; });
+  m.register_fn("reconfig_server.warm_starts", [this] {
+    return static_cast<double>(stats_.warm_starts);
+  });
 }
 
 ReconfigurationServer::~ReconfigurationServer() {
@@ -85,18 +106,45 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
     r.clock_mhz = got.bitfile->utilization.fmax_mhz;
   }
 
-  // 2. Reprogram the FPGA if the loaded image differs.
+  // 2. Reprogram the FPGA if the loaded image differs.  The download time
+  //    is always charged — the FPGA really is rewritten — but with a
+  //    warm-start pool attached the simulated post-reprogram boot is
+  //    skipped whenever a sibling already captured a post-boot snapshot of
+  //    this architecture.
   if (!(current_ == arch)) {
     const double cfg_t0 = jt.now_us();
-    node_.reconfigure(arch.to_pipeline());
+    const std::string boot_key = "boot|" + arch.key();
+    bool warm_boot = false;
+    if (warm_pool_ != nullptr) {
+      if (auto snap = warm_pool_->get(boot_key)) {
+        // The snapshot carries its capture moment; this node's local time
+        // must stay monotonic across the adoption.
+        const Cycles wall = node_.now();
+        warm_boot = node_.restore(*snap);
+        node_.warp_clock_forward(wall);
+      }
+    }
+    if (warm_boot) {
+      r.warm_start = true;
+      ++stats_.warm_starts;
+    } else {
+      node_.reconfigure(arch.to_pipeline());
+      node_.run(100);  // let the fresh boot reach its polling loop
+      // Donate the post-boot state — but never a poisoned one: a snapshot
+      // of a wedged CPU restored fleet-wide would spread the fault to
+      // every node with an affinity miss.
+      if (warm_pool_ != nullptr && !node_.cpu().wedged()) {
+        warm_pool_->put(boot_key, node_.snapshot());
+      }
+    }
     r.reconfigured = true;
     r.reprogram_seconds = static_cast<double>(got.bitfile->size_bytes) /
                           cfg_.reprogram_bytes_per_second;
     stats_.reprogram_seconds += r.reprogram_seconds;
     ++stats_.reconfigurations;
     current_ = arch;
-    node_.run(100);  // let the fresh boot reach its polling loop
-    jt.phase("reconfigure", cfg_t0, jt.now_us(), node_.now(), arch.key());
+    jt.phase("reconfigure", cfg_t0, jt.now_us(), node_.now(),
+             warm_boot ? arch.key() + " warm_start" : arch.key());
   }
 
   // 3. Load and execute over the control network.
@@ -120,8 +168,50 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
       node_.cpu().set_observer(analyzer);
     }
   }
-  node_.cpu().reset_stats();
-  const ctrl::Status ran = client.run_program(program);
+  // With a pool attached the load/start/await sequence is decomposed so the
+  // pool can be consulted — and fed — between the phases: a post-LOAD
+  // snapshot of this exact (architecture, program) pair replaces the whole
+  // chunked network load with one restore.
+  const ctrl::Status ran = [&]() -> ctrl::Status {
+    if (warm_pool_ == nullptr) {
+      node_.cpu().reset_stats();
+      return client.run_program(program);
+    }
+    const std::string prog_key =
+        "prog|" + arch.key() + "|" + program_digest(program);
+    if (jt.active()) {
+      (void)client.set_trace(jt.ctx.trace_id, jt.ctx.span_id);
+    }
+    const double load_t0 = jt.now_us();
+    bool warm_loaded = false;
+    if (auto snap = warm_pool_->get(prog_key)) {
+      const Cycles wall = node_.now();  // monotonic time, as above
+      warm_loaded = node_.restore(*snap);
+      node_.warp_clock_forward(wall);
+    }
+    if (warm_loaded) {
+      r.warm_start = true;
+      ++stats_.warm_starts;
+      // The restored snapshot carries the capture job's trace binding;
+      // rebind to this job's context.
+      if (jt.active()) {
+        (void)client.set_trace(jt.ctx.trace_id, jt.ctx.span_id);
+      }
+      node_.cpu().reset_stats();
+      jt.phase("load", load_t0, jt.now_us(), node_.now(), "warm_start");
+    } else {
+      node_.cpu().reset_stats();
+      if (auto loaded = client.load_program(program); !loaded) return loaded;
+      jt.phase("load", load_t0, jt.now_us(), node_.now());
+      // Same poison guard as the boot pool: a wedge that landed during
+      // the load must not become every sibling's starting state.
+      if (!node_.cpu().wedged()) {
+        warm_pool_->put(prog_key, node_.snapshot());
+      }
+    }
+    if (auto started = client.start(program.entry); !started) return started;
+    return client.await_done(10'000'000);
+  }();
   if (analyzer != nullptr) {
     if (cfg_.stream_traces) {
       node_.flush_trace_stream();
@@ -133,6 +223,7 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
   }
   if (!ran) {
     ++stats_.failures;
+    r.node_fault = true;
     r.error = "program did not complete: " + ran.error().to_string();
     return r;
   }
@@ -146,6 +237,7 @@ JobResult ReconfigurationServer::run_job(const ArchConfig& arch,
     const auto mem = client.read_memory(result_addr, result_words);
     if (!mem) {
       ++stats_.failures;
+      r.node_fault = true;
       r.error = "readback failed";
       const double now = jt.now_us();
       jt.phase("error", now, now, node_.now(), r.error);

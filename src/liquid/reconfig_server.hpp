@@ -11,6 +11,7 @@
 #include "liquid/reconfig_cache.hpp"
 #include "liquid/trace.hpp"
 #include "sim/liquid_system.hpp"
+#include "sim/snapshot.hpp"
 
 namespace la::liquid {
 
@@ -43,6 +44,14 @@ struct JobResult {
   double synthesis_seconds = 0;  // charged only on a bitfile-cache miss
   double reprogram_seconds = 0;  // FPGA download time when reconfigured
   std::vector<u32> readback;     // result words
+
+  /// Node state came out of the warm-start snapshot pool (post-boot and/or
+  /// post-load restore) instead of a simulated boot / chunked network load.
+  bool warm_start = false;
+  /// The failure (when !ok) looks like a node or transport fault — watchdog
+  /// trip, silent node, lost channel — rather than a deterministic property
+  /// of the job itself.  The farm's cue that a retry elsewhere may succeed.
+  bool node_fault = false;
 
   /// Clock the node ran at under this job's configuration — the synthesis
   /// model's post-place-and-route fmax for the job's ArchConfig (a 16 KB
@@ -80,10 +89,19 @@ class ReconfigurationServer {
   /// The architecture currently loaded in the FPGA.
   const ArchConfig& current() const { return current_; }
 
+  /// Attach a (typically farm-shared) warm-start snapshot pool.  With a
+  /// pool attached, run_job consults "boot|<arch>" before simulating a
+  /// post-reconfigure boot and "prog|<arch>|<digest>" before the chunked
+  /// network load — an affinity hit restores node state in O(memcpy)
+  /// instead.  First execution of each pair feeds the pool.  Pass nullptr
+  /// to detach.  The pool must outlive the server.
+  void set_warm_pool(sim::SnapshotPool* pool) { warm_pool_ = pool; }
+
   struct Stats {
     u64 jobs = 0;
     u64 failures = 0;
     u64 reconfigurations = 0;
+    u64 warm_starts = 0;  // pool restores performed (boot- or load-level)
     double reprogram_seconds = 0.0;
   };
   const Stats& stats() const { return stats_; }
@@ -94,6 +112,7 @@ class ReconfigurationServer {
   const SynthesisModel& syn_;
   ServerConfig cfg_;
   ArchConfig current_ = ArchConfig::paper_baseline();
+  sim::SnapshotPool* warm_pool_ = nullptr;
   Stats stats_;
 };
 

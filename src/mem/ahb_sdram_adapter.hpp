@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "bus/ahb.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 #include "mem/sdram.hpp"
 
@@ -66,6 +67,26 @@ class AhbSdramAdapter final : public bus::AhbSlave {
   const AdapterStats& stats() const { return stats_; }
   void reset_stats() { stats_ = AdapterStats{}; }
   const AdapterConfig& config() const { return cfg_; }
+
+  /// Snapshot support: the adapter itself is stateless between transfers,
+  /// so only the stats are captured.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("SADP"));
+    w.u64v(stats_.read_handshakes);
+    w.u64v(stats_.write_handshakes);
+    w.u64v(stats_.rmw_reads);
+    w.u64v(stats_.wasted_words64);
+    w.u64v(stats_.parity_errors);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("SADP"))) return false;
+    stats_.read_handshakes = r.u64v();
+    stats_.write_handshakes = r.u64v();
+    stats_.rmw_reads = r.u64v();
+    stats_.wasted_words64 = r.u64v();
+    stats_.parity_errors = r.u64v();
+    return r.ok();
+  }
 
  private:
   Cycles do_read(bus::AhbTransfer& t);

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "bus/ahb.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 #include "mem/sram.hpp"
 
@@ -48,6 +49,21 @@ class DisconnectSwitch final : public bus::AhbSlave {
     u64 blocked_writes = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot support: switch position + blocked-access counters.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("DISC"));
+    w.b(connected_);
+    w.u64v(stats_.blocked_reads);
+    w.u64v(stats_.blocked_writes);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("DISC"))) return false;
+    connected_ = r.b();
+    stats_.blocked_reads = r.u64v();
+    stats_.blocked_writes = r.u64v();
+    return r.ok();
+  }
 
  private:
   Sram& sram_;

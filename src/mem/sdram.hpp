@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::mem {
@@ -74,6 +75,44 @@ class SdramDevice {
   u64 backdoor_word64(Addr addr) const;
   void backdoor_write_word64(Addr addr, u64 v);
 
+  /// Snapshot support: contents, open-row registers, parity, and stats.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("SDRD"));
+    w.bytes(data_);
+    w.vec_i64(open_row_);
+    w.vec_bool(parity_bad_);
+    w.b(parity_pending_);
+    w.u64v(stats_.row_hits);
+    w.u64v(stats_.row_misses);
+    w.u64v(stats_.row_conflicts);
+    w.u64v(stats_.reads);
+    w.u64v(stats_.writes);
+    w.u64v(stats_.words_corrupted);
+    w.u64v(stats_.parity_errors);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("SDRD"))) return false;
+    Bytes data = r.bytes();
+    auto rows = r.vec_i64();
+    auto parity = r.vec_bool();
+    if (data.size() != data_.size() || rows.size() != open_row_.size() ||
+        parity.size() != parity_bad_.size()) {
+      return false;
+    }
+    data_ = std::move(data);
+    open_row_ = std::move(rows);
+    parity_bad_ = std::move(parity);
+    parity_pending_ = r.b();
+    stats_.row_hits = r.u64v();
+    stats_.row_misses = r.u64v();
+    stats_.row_conflicts = r.u64v();
+    stats_.reads = r.u64v();
+    stats_.writes = r.u64v();
+    stats_.words_corrupted = r.u64v();
+    stats_.parity_errors = r.u64v();
+    return r.ok();
+  }
+
  private:
   /// Open-row bookkeeping: cycles to make the row of `addr` active.
   Cycles row_cost(Addr addr);
@@ -124,6 +163,23 @@ class FpxSdramController {
 
   /// Fixed handshake overhead per transfer (request + grant + ack).
   static constexpr Cycles kHandshakeCycles = 3;
+
+  /// Snapshot support: port-busy horizon and handshake/word counters.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("SDRC"));
+    w.u64v(static_cast<u64>(busy_until_));
+    for (u64 h : stats_.handshakes) w.u64v(h);
+    for (u64 n : stats_.words) w.u64v(n);
+    w.u64v(static_cast<u64>(stats_.wait_cycles));
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("SDRC"))) return false;
+    busy_until_ = static_cast<Cycles>(r.u64v());
+    for (u64& h : stats_.handshakes) h = r.u64v();
+    for (u64& n : stats_.words) n = r.u64v();
+    stats_.wait_cycles = static_cast<Cycles>(r.u64v());
+    return r.ok();
+  }
 
  private:
   SdramDevice& dev_;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bus/ahb.hpp"
+#include "common/snapio.hpp"
 #include "common/types.hpp"
 
 namespace la::mem {
@@ -61,6 +62,29 @@ class Sram final : public bus::AhbSlave {
     u64 parity_errors = 0;    // bus reads refused on bad parity
   };
   const Stats& stats() const { return stats_; }
+
+  /// Snapshot support: contents, per-word parity flags, and stats.  The
+  /// restoring instance must have the same size.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("SRAM"));
+    w.bytes(data_);
+    w.vec_bool(parity_bad_);
+    w.u64v(stats_.words_corrupted);
+    w.u64v(stats_.parity_errors);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("SRAM"))) return false;
+    Bytes data = r.bytes();
+    auto parity = r.vec_bool();
+    if (data.size() != data_.size() || parity.size() != parity_bad_.size()) {
+      return false;
+    }
+    data_ = std::move(data);
+    parity_bad_ = std::move(parity);
+    stats_.words_corrupted = r.u64v();
+    stats_.parity_errors = r.u64v();
+    return r.ok();
+  }
 
  private:
   bool contains(Addr addr, u64 len) const {

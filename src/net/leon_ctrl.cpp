@@ -323,4 +323,61 @@ void LeonController::watchdog_trip() {
   respond_error(err::kWatchdogTrip);
 }
 
+namespace {
+constexpr u32 kCtrlTag = snap_tag("LCTL");
+}  // namespace
+
+void LeonController::save_state(SnapWriter& w) const {
+  w.tag(kCtrlTag);
+  w.u8v(static_cast<u8>(state_));
+  w.b(seen_user_code_);
+  w.u8v(expected_packets_);
+  w.vec_bool(received_);
+  w.u32v(received_count_);
+  w.u32v(client_ip_);
+  w.u16v(client_port_);
+  w.u64v(static_cast<u64>(run_started_at_));
+  w.u64v(static_cast<u64>(last_run_cycles_));
+  w.u64v(trace_id_);
+  w.u64v(trace_span_id_);
+  w.u64v(stats_.commands);
+  w.u64v(stats_.bad_commands);
+  w.u64v(stats_.chunks_loaded);
+  w.u64v(stats_.duplicate_chunks);
+  w.u64v(stats_.programs_started);
+  w.u64v(stats_.programs_completed);
+  w.u64v(stats_.watchdog_trips);
+  w.u64v(stats_.parity_read_errors);
+  w.u64v(stats_.traces_attached);
+  w.u64v(stats_.stream_polls);
+  w.u64v(stats_.flight_dumps);
+}
+
+bool LeonController::load_state(SnapReader& r) {
+  if (!r.expect(kCtrlTag)) return false;
+  state_ = static_cast<LeonState>(r.u8v());
+  seen_user_code_ = r.b();
+  expected_packets_ = r.u8v();
+  received_ = r.vec_bool();
+  received_count_ = r.u32v();
+  client_ip_ = r.u32v();
+  client_port_ = r.u16v();
+  run_started_at_ = static_cast<Cycles>(r.u64v());
+  last_run_cycles_ = static_cast<Cycles>(r.u64v());
+  trace_id_ = r.u64v();
+  trace_span_id_ = r.u64v();
+  stats_.commands = r.u64v();
+  stats_.bad_commands = r.u64v();
+  stats_.chunks_loaded = r.u64v();
+  stats_.duplicate_chunks = r.u64v();
+  stats_.programs_started = r.u64v();
+  stats_.programs_completed = r.u64v();
+  stats_.watchdog_trips = r.u64v();
+  stats_.parity_read_errors = r.u64v();
+  stats_.traces_attached = r.u64v();
+  stats_.stream_polls = r.u64v();
+  stats_.flight_dumps = r.u64v();
+  return r.ok();
+}
+
 }  // namespace la::net

@@ -13,6 +13,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/snapio.hpp"
 #include "mem/disconnect.hpp"
 #include "net/commands.hpp"
 #include "net/packet.hpp"
@@ -41,6 +42,40 @@ class PacketGenerator {
   std::size_t max_queue() const { return max_queue_; }
   u64 emitted() const { return emitted_; }
   u64 responses_dropped() const { return responses_dropped_; }
+
+  /// Snapshot support: queued (not yet popped) responses plus counters.
+  /// The node identity (ip/port/max_queue) stays with the restoring
+  /// instance, so a snapshot restored onto another node answers from that
+  /// node's own address.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("PGEN"));
+    w.u64v(queue_.size());
+    for (const UdpDatagram& d : queue_) {
+      w.u32v(d.src_ip);
+      w.u32v(d.dst_ip);
+      w.u16v(d.src_port);
+      w.u16v(d.dst_port);
+      w.bytes(d.payload);
+    }
+    w.u64v(emitted_);
+    w.u64v(responses_dropped_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("PGEN"))) return false;
+    queue_.clear();
+    for (u64 i = 0, n = r.u64v(); i < n && r.ok(); ++i) {
+      UdpDatagram d;
+      d.src_ip = r.u32v();
+      d.dst_ip = r.u32v();
+      d.src_port = r.u16v();
+      d.dst_port = r.u16v();
+      d.payload = r.bytes();
+      queue_.push_back(std::move(d));
+    }
+    emitted_ = r.u64v();
+    responses_dropped_ = r.u64v();
+    return r.ok();
+  }
 
  private:
   Ipv4Addr node_ip_;
@@ -145,6 +180,14 @@ class LeonController {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Snapshot support: the full state machine — phase, load tracking,
+  /// requester address, run timing, trace binding, counters.  Callbacks and
+  /// providers stay with the restoring instance.  Restore sets state_
+  /// directly without notifying the state observer (a restore is not a
+  /// transition).
+  void save_state(SnapWriter& w) const;
+  bool load_state(SnapReader& r);
+
  private:
   void respond(ResponseCode code, Bytes payload = {});
   void respond_status();
@@ -203,6 +246,18 @@ class ControlPacketProcessor {
 
   u64 control_packets() const { return control_; }
   u64 passthrough_packets() const { return passthrough_; }
+
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("CPP "));
+    w.u64v(control_);
+    w.u64v(passthrough_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("CPP "))) return false;
+    control_ = r.u64v();
+    passthrough_ = r.u64v();
+    return r.ok();
+  }
 
  private:
   LeonController& ctrl_;

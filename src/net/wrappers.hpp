@@ -11,6 +11,7 @@
 #include <deque>
 #include <optional>
 
+#include "common/snapio.hpp"
 #include "net/packet.hpp"
 
 namespace la::net {
@@ -47,6 +48,38 @@ class LayeredWrappers {
 
   Ipv4Addr node_ip() const { return node_ip_; }
   const WrapperStats& stats() const { return stats_; }
+
+  /// Snapshot support: layer counters and the IP identification sequence.
+  /// Mid-frame cell-reassembly state is NOT captured — the system snapshots
+  /// at datagram granularity (its channels are frame-granular), so there is
+  /// never a partially reassembled frame at a capture point.
+  void save_state(SnapWriter& w) const {
+    w.tag(snap_tag("WRAP"));
+    w.u64v(stats_.cells_in);
+    w.u64v(stats_.cells_out);
+    w.u64v(stats_.frames_in);
+    w.u64v(stats_.frames_out);
+    w.u64v(stats_.ip_bad);
+    w.u64v(stats_.ip_wrong_addr);
+    w.u64v(stats_.udp_bad);
+    w.u64v(stats_.datagrams_in);
+    w.u64v(stats_.datagrams_out);
+    w.u16v(next_ip_id_);
+  }
+  bool load_state(SnapReader& r) {
+    if (!r.expect(snap_tag("WRAP"))) return false;
+    stats_.cells_in = r.u64v();
+    stats_.cells_out = r.u64v();
+    stats_.frames_in = r.u64v();
+    stats_.frames_out = r.u64v();
+    stats_.ip_bad = r.u64v();
+    stats_.ip_wrong_addr = r.u64v();
+    stats_.udp_bad = r.u64v();
+    stats_.datagrams_in = r.u64v();
+    stats_.datagrams_out = r.u64v();
+    next_ip_id_ = r.u16v();
+    return r.ok();
+  }
 
  private:
   Ipv4Addr node_ip_;

@@ -28,6 +28,8 @@
 
 namespace la::sim {
 
+struct SystemSnapshot;  // sim/snapshot.hpp
+
 struct SystemConfig {
   cpu::PipelineConfig pipeline;
   net::Ipv4Addr node_ip = net::make_ip(192, 168, 100, 10);
@@ -90,6 +92,36 @@ class LiquidSystem {
 
   /// Reset the CPU to the boot ROM entry (leon_ctrl Restart path).
   void reset_cpu();
+
+  // ---- snapshot/restore (sim/snapshot.cpp) ----
+  /// Deep capture of the full architectural state: CPU windows/PSR/WIM/Y,
+  /// wedge flag, pipeline latches, both caches (tags/LRU/parity/data/RNG),
+  /// SRAM/SDRAM with parity shadows, bus + peripheral + watchdog state,
+  /// the leon_ctrl state machine, queued egress, and the cycle counter.
+  /// The result is a versioned binary blob that round-trips across
+  /// processes (SystemSnapshot::serialize/deserialize).
+  SystemSnapshot snapshot() const;
+  /// Restore from a snapshot.  The coarse platform config (memory sizes,
+  /// timings, boot ROM flavor) must match this system's; the *pipeline*
+  /// configuration is adopted from the snapshot (rebuilding the pipeline
+  /// if it differs — a restore is also a reconfiguration), while host-only
+  /// knobs (fast paths, decode cache, run-loop batching) keep this
+  /// system's settings, so snapshots cross fast/slow configurations
+  /// bit-identically.  On failure returns false, sets *err when given,
+  /// and leaves the system in an unspecified but safe-to-reset state.
+  bool restore(const SystemSnapshot& snap, std::string* err = nullptr);
+  /// Jump the clock forward to `to` without executing anything; no-op when
+  /// `to` is in the past.  Restoring a snapshot rewinds the clock to the
+  /// capture moment, which is right for replay but wrong for a long-lived
+  /// node adopting a pooled state (warm start): local time must stay
+  /// monotonic or cycle-based accounting and cycle-triggered machinery
+  /// run backwards.  The skipped span never happened — the timer and
+  /// watchdog are not charged for it.
+  void warp_clock_forward(Cycles to) {
+    if (to <= clock_) return;
+    clock_ = to;
+    periph_synced_at_ = clock_;
+  }
 
   /// Stream instrumented execution traces to `dst` as UDP datagrams (the
   /// paper's trace path to the Trace Analyzer).  Claims the pipeline's

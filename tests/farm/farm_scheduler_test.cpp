@@ -139,6 +139,61 @@ TEST(Pick, MatchBeyondWindowIsNotTaken) {
   EXPECT_EQ(picked->id, oldest);
 }
 
+TEST(Requeue, RetryIsNextAndOwnerFreed) {
+  FarmScheduler s;
+  const u64 failed = *s.enqueue(job("alice", 1024));
+  ASSERT_TRUE(s.enqueue(job("bob", 1024)));
+  auto picked = s.pick(kBase);
+  ASSERT_TRUE(picked.has_value());
+  ASSERT_EQ(picked->id, failed);
+  EXPECT_EQ(s.in_flight(), 1u);
+  picked->attempts = 1;
+  picked->node_history.push_back(0);
+  s.requeue(std::move(*picked));
+  EXPECT_EQ(s.in_flight(), 0u);
+  EXPECT_EQ(s.stats().requeues, 1u);
+  // Front of the queue again and alice no longer busy: the retry goes
+  // next, ahead of bob, scars intact.
+  const auto retry = s.pick(kBase);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->id, failed);
+  EXPECT_EQ(retry->attempts, 1u);
+  ASSERT_EQ(retry->node_history.size(), 1u);
+}
+
+TEST(Requeue, RetryAvoidsTheFailingNodeWhenOthersExist) {
+  FarmScheduler s;
+  const u64 failed = *s.enqueue(job("alice", 1024));
+  auto picked = s.pick(kBase, 0, true);
+  ASSERT_TRUE(picked.has_value());
+  picked->attempts = 1;
+  picked->node_history.push_back(0);
+  s.requeue(std::move(*picked));
+  // Node 0 with healthy siblings: the job it failed is invisible...
+  EXPECT_FALSE(s.pick(kBase, 0, true).has_value());
+  // ...and its owner's younger jobs stay blocked behind it (FIFO).
+  ASSERT_TRUE(s.enqueue(job("alice", 1024)));
+  EXPECT_FALSE(s.pick(kBase, 0, true).has_value());
+  // Node 1 takes it — that's the migration.
+  const auto moved = s.pick(kBase, 1, true);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_EQ(moved->id, failed);
+}
+
+TEST(Requeue, LastHealthyNodeRetriesItsOwnFailure) {
+  FarmScheduler s;
+  const u64 failed = *s.enqueue(job("alice", 1024));
+  auto picked = s.pick(kBase, 0, false);
+  ASSERT_TRUE(picked.has_value());
+  picked->attempts = 1;
+  picked->node_history.push_back(0);
+  s.requeue(std::move(*picked));
+  // No other healthy node: avoidance yields, liveness wins.
+  const auto retry = s.pick(kBase, 0, false);
+  ASSERT_TRUE(retry.has_value());
+  EXPECT_EQ(retry->id, failed);
+}
+
 TEST(Plan, PreviewsWithoutMutating) {
   FarmScheduler s;
   ASSERT_TRUE(s.enqueue(job("a", 4096)));

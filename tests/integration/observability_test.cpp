@@ -127,6 +127,10 @@ TEST(Observability, WedgedFarmJobLeavesACausalTraceAndABlackBox) {
   fc.nodes = 1;
   fc.autostart = false;  // workers gate until start(): safe node access
   fc.tracing = true;
+  // This scenario is about what a *delivered* failure leaves behind; the
+  // self-healing retry path (tests/farm/farm_heal_test.cpp) would rescue
+  // the job and erase the evidence, so turn it off.
+  fc.max_job_retries = 0;
   fc.node_template.watchdog_budget = 20'000;
   fc.node_template.flight_recorder = true;
   farm::LiquidFarm f(fc);

@@ -14,12 +14,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/prometheus.hpp"
+#include "common/rng.hpp"
 #include "farm/farm.hpp"
 #include "farm/workload.hpp"
+#include "fault/injector.hpp"
 
 namespace {
 
@@ -48,6 +53,10 @@ struct Options {
   std::string prom;          // fleet snapshot, Prometheus exposition
   bool flight_recorder = false;
   bool quiet = false;
+  /// Chaos mode: wedge this many distinct nodes (seeded pick, seeded
+  /// trigger cycle) and require the self-healing machinery to deliver
+  /// every job anyway — with at least one migration and one warm start.
+  std::size_t fault_nodes = 0;
 };
 
 void usage(std::FILE* to) {
@@ -79,6 +88,10 @@ void usage(std::FILE* to) {
                "                   text exposition\n"
                "  --flight-recorder  arm each node's black-box recorder;\n"
                "                   failed jobs deliver a post-mortem dump\n"
+               "  --fault-nodes K  chaos: wedge K distinct nodes (seeded)\n"
+               "                   mid-run; the audit then also requires\n"
+               "                   retries, >=1 migration and >=1 warm\n"
+               "                   start on top of exactly-once delivery\n"
                "  --quiet          suppress the report text\n");
 }
 
@@ -161,6 +174,10 @@ bool parse(int argc, char** argv, Options& o) {
       const char* v = next("--prom");
       if (v == nullptr) return false;
       o.prom = v;
+    } else if (a == "--fault-nodes") {
+      const char* v = next("--fault-nodes");
+      if (v == nullptr) return false;
+      o.fault_nodes = std::strtoull(v, nullptr, 10);
     } else if (a == "--flight-recorder") {
       o.flight_recorder = true;
     } else if (a == "--quiet") {
@@ -182,6 +199,12 @@ bool parse(int argc, char** argv, Options& o) {
     std::fprintf(stderr, "lfarm: --owners must be at least 1\n");
     return false;
   }
+  if (o.fault_nodes >= o.nodes && o.fault_nodes != 0) {
+    // At least one never-faulted node must exist or a migration target
+    // cannot be guaranteed.
+    std::fprintf(stderr, "lfarm: --fault-nodes must be < --nodes\n");
+    return false;
+  }
   return true;
 }
 
@@ -200,8 +223,17 @@ struct Audit {
   u64 failed = 0;
   u64 corrupted = 0;
   u64 reordered = 0;
+  u64 bad_history = 0;
 
   void record(const farm::FarmJobOutcome& out) {
+    // Retry bookkeeping must audit clean on every outcome, healed or not:
+    // one node per execution, final entry naming the delivering node.
+    if (out.node_history.size() != out.attempts || out.attempts == 0 ||
+        out.node_history.back() != out.node) {
+      ++bad_history;
+      std::fprintf(stderr, "lfarm: job %llu has a broken audit trail\n",
+                   static_cast<unsigned long long>(out.id));
+    }
     const auto it = admitted.find(out.id);
     if (it == admitted.end() || ++it->second.completions > 1) {
       ++duplicated;
@@ -264,7 +296,49 @@ int main(int argc, char** argv) {
   fc.tracing = !opt.trace_out.empty() || !opt.spans_out.empty();
   fc.perf_trace = !opt.perf_trace.empty();
   fc.node_template.flight_recorder = opt.flight_recorder;
+  if (opt.fault_nodes > 0) {
+    // Hold the workers at their gate so injectors can be armed safely,
+    // and keep fault detection fast: a wedged CPU should trip the node
+    // watchdog, not the client's 10M-step deadline.
+    fc.autostart = false;
+    fc.node_template.watchdog_budget = 20'000;
+  }
   farm::LiquidFarm f(fc);
+
+  // Chaos: pick K distinct victims and wedge each one permanently (until
+  // reset) at a seeded cycle early in its run.  Only drain-on-fault,
+  // retry and migration can then deliver a clean audit.
+  std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+  if (opt.fault_nodes > 0) {
+    Rng pick_rng(opt.seed * 0x9e3779b97f4a7c15ull + 1);
+    std::set<std::size_t> victims;
+    while (victims.size() < opt.fault_nodes) {
+      victims.insert(static_cast<std::size_t>(
+          pick_rng.below(static_cast<u32>(opt.nodes))));
+    }
+    for (const std::size_t v : victims) {
+      // A single wedge can evaporate without tripping anything: an FPGA
+      // reprogram (warm or cold) legitimately replaces the whole CPU
+      // state, wedge included, so a wedge landing in a harmless phase
+      // just before an architecture switch heals silently.  Wedge the
+      // victim repeatedly so one lands across a run phase and the
+      // watchdog + drain machinery actually engage.
+      fault::FaultPlan plan;
+      const u64 first = 2'000 + pick_rng.below(10'000);
+      for (u64 shot = 0; shot < 6; ++shot) {
+        plan.events.push_back(
+            {{fault::TriggerKind::kCycle, first + shot * 25'000},
+             {fault::FaultSite::kCpuWedge, 0, 1, 1, 0}});
+      }
+      injectors.push_back(std::make_unique<fault::FaultInjector>(
+          f.node_for_setup(v), plan));
+      if (!opt.quiet) {
+        std::printf("chaos: node %zu wedges from cycle %llu\n", v,
+                    static_cast<unsigned long long>(first));
+      }
+    }
+    f.start();
+  }
 
   farm::WorkloadConfig wc;
   wc.seed = opt.seed;
@@ -366,16 +440,33 @@ int main(int argc, char** argv) {
   }
 
   std::printf("verify: %llu submitted, %llu completed, %llu lost, "
-              "%llu duplicated, %llu failed, %llu corrupted, %llu reordered\n",
+              "%llu duplicated, %llu failed, %llu corrupted, %llu reordered, "
+              "%llu bad history\n",
               static_cast<unsigned long long>(submitted),
               static_cast<unsigned long long>(audit.completed),
               static_cast<unsigned long long>(lost),
               static_cast<unsigned long long>(audit.duplicated),
               static_cast<unsigned long long>(audit.failed),
               static_cast<unsigned long long>(audit.corrupted),
-              static_cast<unsigned long long>(audit.reordered));
-  const bool ok = lost == 0 && audit.duplicated == 0 && audit.failed == 0 &&
-                  audit.corrupted == 0 && audit.reordered == 0;
+              static_cast<unsigned long long>(audit.reordered),
+              static_cast<unsigned long long>(audit.bad_history));
+  bool ok = lost == 0 && audit.duplicated == 0 && audit.failed == 0 &&
+            audit.corrupted == 0 && audit.reordered == 0 &&
+            audit.bad_history == 0;
+  if (opt.fault_nodes > 0) {
+    // Chaos runs must also show the self-healing machinery actually
+    // engaged: clean-because-nothing-happened is a test bug, not a pass.
+    std::printf("chaos: %llu retries, %llu migrations, %llu warm starts\n",
+                static_cast<unsigned long long>(rep.retries),
+                static_cast<unsigned long long>(rep.migrations),
+                static_cast<unsigned long long>(rep.warm_starts));
+    if (rep.retries == 0 || rep.migrations == 0 || rep.warm_starts == 0) {
+      std::fprintf(stderr,
+                   "lfarm: chaos run did not exercise retry + migration + "
+                   "warm start\n");
+      ok = false;
+    }
+  }
   std::printf("RESULT: %s\n", ok ? "OK" : "FAIL");
   return ok ? 0 : 1;
 }
