@@ -1,0 +1,36 @@
+// FNV-1a — the repo's one non-cryptographic hash, shared by the snapshot
+// checksums, the gateway frame codec, and tenant token derivation.  Not a
+// MAC: it detects line damage (bit flips, truncation), it does not resist
+// an adversary.  Token auth built on it is a pre-shared-key scheme whose
+// secrecy lives in the seed, not the hash.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace la {
+
+inline constexpr u32 kFnv32Offset = 0x811c9dc5u;
+inline constexpr u32 kFnv32Prime = 0x01000193u;
+inline constexpr u64 kFnv64Offset = 0xcbf29ce484222325ull;
+inline constexpr u64 kFnv64Prime = 0x100000001b3ull;
+
+constexpr u32 fnv1a32(std::span<const u8> data, u32 h = kFnv32Offset) {
+  for (const u8 b : data) {
+    h ^= b;
+    h *= kFnv32Prime;
+  }
+  return h;
+}
+
+constexpr u64 fnv1a64(std::string_view data, u64 h = kFnv64Offset) {
+  for (const char c : data) {
+    h ^= static_cast<u8>(c);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+}  // namespace la

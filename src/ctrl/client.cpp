@@ -277,10 +277,18 @@ Result<std::string> LiquidClient::stats_snapshot() {
 
 Result<std::string> LiquidClient::stats_delta() {
   begin_command();
+  // Sequenced form: every retry of this one call names the same window,
+  // so a duplicated or reordered poll replays the cached bytes instead
+  // of advancing the stream — no delta window can vanish into a retry.
+  const u32 seq = ++stream_seq_;
+  ByteWriter w;
+  w.write_u8(static_cast<u8>(net::CommandCode::kStatsStream));
+  w.write_u32(seq);
+  const Bytes cmd = w.take();
   for (unsigned attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
     if (attempt > 0) ++stats_.retries;
     if (deadline_exhausted()) break;
-    send_command(net::simple_command(net::CommandCode::kStatsStream));
+    send_command(cmd);
     if (auto body = await(net::ResponseCode::kStatsDelta,
                           rounds_for_attempt(attempt))) {
       return std::string(body->begin(), body->end());

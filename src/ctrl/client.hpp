@@ -237,6 +237,9 @@ class LiquidClient {
   ExtraFrameHandler extra_handler_;
   trace::JobTrace job_trace_;
   Stats stats_;
+  /// STATS_STREAM window counter: one id per stats_delta() call, shared
+  /// by all of that call's retries (the idempotency key).
+  u32 stream_seq_ = 0;
   Rng jitter_rng_;  // backoff jitter; see ClientConfig::backoff_jitter
   u64 steps_this_command_ = 0;
   std::optional<u8> last_node_error_;

@@ -12,14 +12,20 @@
 namespace la::farm {
 
 enum class FarmErrorKind : u8 {
-  kSaturated = 0,     // admission control: the bounded queue is full
-  kShuttingDown = 1,  // the farm is stopping; no new work accepted
-  kInvalidConfig = 2, // the job's ArchConfig fails validation
+  kSaturated = 0,      // admission control: the bounded queue is full
+  kShuttingDown = 1,   // the farm is stopping; no new work accepted
+  kInvalidConfig = 2,  // the job's ArchConfig fails validation
+  kOwnerSaturated = 3, // this owner alone is at its pending-job cap
 };
 
 struct FarmError {
   FarmErrorKind kind = FarmErrorKind::kSaturated;
   std::string detail;
+  /// Backpressure hint: roughly how long (host ms) the rejected caller
+  /// should wait before retrying.  Filled by admission control on
+  /// kSaturated / kOwnerSaturated (scaled to queue pressure); 0 means "no
+  /// estimate".  The gateway forwards it verbatim in RETRY_AFTER frames.
+  u32 retry_after_hint_ms = 0;
 
   std::string to_string() const {
     switch (kind) {
@@ -30,6 +36,8 @@ struct FarmError {
       case FarmErrorKind::kInvalidConfig:
         return "invalid configuration" +
                (detail.empty() ? "" : ": " + detail);
+      case FarmErrorKind::kOwnerSaturated:
+        return "owner saturated" + (detail.empty() ? "" : ": " + detail);
     }
     return "unknown farm error";
   }

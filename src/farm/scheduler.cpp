@@ -15,9 +15,27 @@ Result<u64> FarmScheduler::enqueue(FarmJob job) {
   }
   if (cfg_.queue_capacity != 0 && pending_.size() >= cfg_.queue_capacity) {
     ++stats_.rejected;
+    // Retry-after hint: a deeper backlog takes longer to drain.  The
+    // caller (the gateway) forwards this as explicit backpressure.
+    const u32 hint =
+        5 + static_cast<u32>(pending_.size() / 8);
     return FarmError{FarmErrorKind::kSaturated,
-                     std::to_string(pending_.size()) + " queued"};
+                     std::to_string(pending_.size()) + " queued", hint};
   }
+  if (cfg_.per_owner_cap != 0) {
+    const auto it = owner_outstanding_.find(job.owner);
+    const std::size_t outstanding =
+        it == owner_outstanding_.end() ? 0 : it->second;
+    if (outstanding >= cfg_.per_owner_cap) {
+      ++stats_.rejected;
+      const u32 hint = 5 + static_cast<u32>(outstanding);
+      return FarmError{FarmErrorKind::kOwnerSaturated,
+                       job.owner + " has " + std::to_string(outstanding) +
+                           " outstanding",
+                       hint};
+    }
+  }
+  ++owner_outstanding_[job.owner];
   job.id = next_id_++;
   const u64 id = job.id;
   pending_.push_back(Pending{std::move(job), 0});
@@ -94,6 +112,10 @@ std::optional<FarmJob> FarmScheduler::pick(const std::string& node_key,
 void FarmScheduler::complete(const std::string& owner) {
   busy_owners_.erase(owner);
   if (in_flight_ > 0) --in_flight_;
+  const auto it = owner_outstanding_.find(owner);
+  if (it != owner_outstanding_.end() && --it->second == 0) {
+    owner_outstanding_.erase(it);
+  }
 }
 
 void FarmScheduler::requeue(FarmJob job) {

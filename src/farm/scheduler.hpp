@@ -27,6 +27,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
@@ -74,6 +75,10 @@ struct SchedulerConfig {
   /// A job passed over this many times is dispatched next, regardless of
   /// affinity (anti-starvation aging).
   u32 max_skips = 8;
+  /// Maximum outstanding (queued + in-flight) jobs any single owner may
+  /// hold; submissions beyond it are rejected with kOwnerSaturated so one
+  /// tenant cannot fill the shared queue.  0 = unlimited.
+  std::size_t per_owner_cap = 0;
 };
 
 class FarmScheduler {
@@ -154,6 +159,10 @@ class FarmScheduler {
   SchedulerConfig cfg_;
   std::deque<Pending> pending_;
   std::set<std::string> busy_owners_;
+  /// Outstanding (queued + in-flight) jobs per owner, for per_owner_cap.
+  /// Entries drop to zero and are erased on complete() — the map stays
+  /// proportional to *active* owners, not every owner ever seen.
+  std::map<std::string, std::size_t> owner_outstanding_;
   std::size_t in_flight_ = 0;
   u64 next_id_ = 1;
   Stats stats_;

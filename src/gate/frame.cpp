@@ -1,0 +1,176 @@
+#include "gate/frame.hpp"
+
+#include "common/hash.hpp"
+
+namespace la::gate {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 38;  // everything before the payload
+
+void write_u64(ByteWriter& w, u64 v) {
+  w.write_u32(static_cast<u32>(v >> 32));
+  w.write_u32(static_cast<u32>(v));
+}
+
+u64 read_u64(ByteReader& r) {
+  return (static_cast<u64>(r.read_u32()) << 32) | r.read_u32();
+}
+
+bool known_kind(u8 k) {
+  switch (static_cast<GateKind>(k)) {
+    case GateKind::kHello:
+    case GateKind::kSubmit:
+    case GateKind::kPoll:
+    case GateKind::kGateStats:
+    case GateKind::kBye:
+    case GateKind::kHelloOk:
+    case GateKind::kAccepted:
+    case GateKind::kResult:
+    case GateKind::kStatsJson:
+    case GateKind::kByeOk:
+    case GateKind::kRetryAfter:
+    case GateKind::kGateError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Bytes GateFrame::serialize() const {
+  ByteWriter w;
+  w.write_u16(kGateMagic);
+  w.write_u8(version);
+  w.write_u8(static_cast<u8>(kind));
+  write_u64(w, token);
+  write_u64(w, request_id);
+  write_u64(w, trace_id);
+  write_u64(w, span_id);
+  w.write_u16(static_cast<u16>(payload.size()));
+  w.write_bytes(payload);
+  w.write_u32(fnv1a32(w.bytes()));
+  return w.take();
+}
+
+std::optional<GateFrame> GateFrame::parse(std::span<const u8> data) {
+  // Every length check happens before the corresponding read: the parser
+  // must hold its no-overread guarantee on arbitrary bytes (the fuzz
+  // rotation feeds it exactly that).
+  if (data.size() < kFrameOverhead) return std::nullopt;
+  if (data.size() > kFrameOverhead + kMaxPayload) return std::nullopt;
+  ByteReader r(data);
+  if (r.read_u16() != kGateMagic) return std::nullopt;
+  GateFrame f;
+  f.version = r.read_u8();
+  if (f.version != kGateVersion) return std::nullopt;
+  const u8 kind = r.read_u8();
+  if (!known_kind(kind)) return std::nullopt;
+  f.kind = static_cast<GateKind>(kind);
+  f.token = read_u64(r);
+  f.request_id = read_u64(r);
+  f.trace_id = read_u64(r);
+  f.span_id = read_u64(r);
+  const u16 payload_len = r.read_u16();
+  // The length prefix must account for the datagram exactly: a short
+  // buffer is a truncated frame, a long one is trailing garbage — both
+  // are damage, not data.
+  if (data.size() != kHeaderSize + payload_len + 4) return std::nullopt;
+  const u32 want = fnv1a32(data.subspan(0, kHeaderSize + payload_len));
+  f.payload = r.read_bytes(payload_len);
+  if (r.read_u32() != want) return std::nullopt;
+  return f;
+}
+
+Bytes RetryAfterWire::serialize() const {
+  ByteWriter w;
+  w.write_u8(reason);
+  w.write_u32(retry_after_ms);
+  return w.take();
+}
+
+std::optional<RetryAfterWire> RetryAfterWire::parse(
+    std::span<const u8> payload) {
+  if (payload.size() != 5) return std::nullopt;
+  ByteReader r(payload);
+  RetryAfterWire v;
+  v.reason = r.read_u8();
+  v.retry_after_ms = r.read_u32();
+  return v;
+}
+
+Bytes HelloOkWire::serialize() const {
+  ByteWriter w;
+  w.write_u32(quota_remaining);
+  w.write_u16(max_inflight);
+  w.write_u16(rate_per_sec);
+  w.write_u16(burst);
+  return w.take();
+}
+
+std::optional<HelloOkWire> HelloOkWire::parse(std::span<const u8> payload) {
+  if (payload.size() != 10) return std::nullopt;
+  ByteReader r(payload);
+  HelloOkWire v;
+  v.quota_remaining = r.read_u32();
+  v.max_inflight = r.read_u16();
+  v.rate_per_sec = r.read_u16();
+  v.burst = r.read_u16();
+  return v;
+}
+
+Bytes ResultWire::serialize() const {
+  ByteWriter w;
+  w.write_u8(status);
+  w.write_u32(completion_seq);
+  w.write_u8(attempts);
+  w.write_u16(node);
+  w.write_u16(static_cast<u16>(words.size()));
+  for (const u32 word : words) w.write_u32(word);
+  w.write_u16(static_cast<u16>(error.size()));
+  w.write_bytes(std::span<const u8>(
+      reinterpret_cast<const u8*>(error.data()), error.size()));
+  return w.take();
+}
+
+std::optional<ResultWire> ResultWire::parse(std::span<const u8> payload) {
+  if (payload.size() < 12) return std::nullopt;
+  ByteReader r(payload);
+  ResultWire v;
+  v.status = r.read_u8();
+  if (v.status > kFailed) return std::nullopt;
+  v.completion_seq = r.read_u32();
+  v.attempts = r.read_u8();
+  v.node = r.read_u16();
+  const u16 nwords = r.read_u16();
+  if (r.remaining() < static_cast<std::size_t>(nwords) * 4 + 2) {
+    return std::nullopt;
+  }
+  v.words.reserve(nwords);
+  for (u16 i = 0; i < nwords; ++i) v.words.push_back(r.read_u32());
+  const u16 errlen = r.read_u16();
+  if (r.remaining() != errlen) return std::nullopt;
+  const Bytes text = r.read_bytes(errlen);
+  v.error.assign(text.begin(), text.end());
+  return v;
+}
+
+const char* to_string(GateKind k) {
+  switch (k) {
+    case GateKind::kHello: return "HELLO";
+    case GateKind::kSubmit: return "SUBMIT";
+    case GateKind::kPoll: return "POLL";
+    case GateKind::kGateStats: return "GATE_STATS";
+    case GateKind::kBye: return "BYE";
+    case GateKind::kHelloOk: return "HELLO_OK";
+    case GateKind::kAccepted: return "ACCEPTED";
+    case GateKind::kResult: return "RESULT";
+    case GateKind::kStatsJson: return "STATS_JSON";
+    case GateKind::kByeOk: return "BYE_OK";
+    case GateKind::kRetryAfter: return "RETRY_AFTER";
+    case GateKind::kGateError: return "GATE_ERROR";
+  }
+  return "?";
+}
+
+}  // namespace la::gate

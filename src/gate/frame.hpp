@@ -1,0 +1,137 @@
+// The gateway datagram frame: the length-prefixed envelope every byte of
+// gateway traffic travels in.
+//
+// The farm's control plane goes onto real UDP sockets here, so the frame
+// has to survive the open Internet's contract on its own: a fixed header
+// with magic/version, the tenant's auth token, a client-chosen request id
+// (retry dedup), a causal trace context, an explicit payload length
+// prefix (truncation detection — UDP delivers whole datagrams or garbage,
+// and the WAN emulator deliberately produces the garbage), and a trailing
+// FNV-1a checksum (bit-flip detection).  The parser is total: any byte
+// string either yields a frame or nullopt — it never throws, crashes, or
+// reads past the buffer, and the fuzz rotation holds it to that.
+//
+//   offset  size  field
+//        0     2  magic 0x4C51 ("LQ")
+//        2     1  version (kGateVersion)
+//        3     1  kind (GateKind)
+//        4     8  tenant auth token
+//       12     8  request id (client-chosen; responses echo it)
+//       20     8  trace id   (0 = untraced)
+//       28     8  span id
+//       36     2  payload length N (length prefix; must match exactly)
+//       38     N  payload (kind-specific, see PROTOCOL.md)
+//     38+N     4  FNV-1a-32 over bytes [0, 38+N)
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/types.hpp"
+
+namespace la::gate {
+
+inline constexpr u16 kGateMagic = 0x4C51;  // "LQ"
+inline constexpr u8 kGateVersion = 1;
+/// Header + checksum; the smallest parseable frame (empty payload).
+inline constexpr std::size_t kFrameOverhead = 42;
+/// Hard payload ceiling: a program image plus the job envelope fits with
+/// room to spare, and nothing the gateway speaks needs fragmentation.
+inline constexpr std::size_t kMaxPayload = 32 * 1024;
+
+/// Frame kinds.  Requests run low, responses have the high bit set and
+/// echo the request id they answer.
+enum class GateKind : u8 {
+  // client -> gateway
+  kHello = 0x01,      // open a session (auth handshake)
+  kSubmit = 0x02,     // submit a job (payload: JobWire)
+  kPoll = 0x03,       // poll a submitted job (payload: request id, 8 B)
+  kGateStats = 0x04,  // gateway metrics snapshot (ops)
+  kBye = 0x05,        // close the session
+  // gateway -> client
+  kHelloOk = 0x81,     // session open (payload: session limits)
+  kAccepted = 0x82,    // job admitted (payload: farm job id, 8 B)
+  kResult = 0x83,      // poll answer (payload: ResultWire)
+  kStatsJson = 0x84,   // gateway metrics as UTF-8 JSON
+  kByeOk = 0x85,       // session closed
+  kRetryAfter = 0x90,  // backpressure: come back later (RetryAfterWire)
+  kGateError = 0xff,   // terminal refusal (payload: error code, 1 B)
+};
+
+/// Error codes carried in a kGateError payload.
+namespace err {
+inline constexpr u8 kBadToken = 0x01;      // unknown tenant / wrong token
+inline constexpr u8 kNoSession = 0x02;     // command before HELLO
+inline constexpr u8 kBadPayload = 0x03;    // payload failed to parse
+inline constexpr u8 kUnknownKind = 0x04;   // not a request kind
+inline constexpr u8 kUnknownJob = 0x05;    // poll for an id never accepted
+inline constexpr u8 kQuotaExceeded = 0x06; // tenant job quota spent
+inline constexpr u8 kShuttingDown = 0x07;  // gateway stopping
+}  // namespace err
+
+/// Reasons carried in a kRetryAfter payload.  Retry-after is explicit
+/// backpressure: the request was understood and refused *for now* —
+/// never silently dropped.
+namespace retry {
+inline constexpr u8 kRateLimited = 0x01;   // token bucket empty
+inline constexpr u8 kTenantBusy = 0x02;    // per-tenant in-flight cap
+inline constexpr u8 kFarmSaturated = 0x03; // farm queue full (FarmError)
+}  // namespace retry
+
+struct GateFrame {
+  u8 version = kGateVersion;
+  GateKind kind = GateKind::kHello;
+  u64 token = 0;
+  u64 request_id = 0;
+  u64 trace_id = 0;
+  u64 span_id = 0;
+  Bytes payload;
+
+  /// Wire bytes (header + payload + checksum).
+  Bytes serialize() const;
+
+  /// Total parse: a frame, or nullopt on bad magic/version, a length
+  /// prefix that disagrees with the datagram, an oversized payload, or a
+  /// failed checksum.  Never throws and never reads outside `data`.
+  static std::optional<GateFrame> parse(std::span<const u8> data);
+};
+
+/// kRetryAfter payload: why, and how long to back off (a hint).
+struct RetryAfterWire {
+  u8 reason = retry::kFarmSaturated;
+  u32 retry_after_ms = 0;
+
+  Bytes serialize() const;
+  static std::optional<RetryAfterWire> parse(std::span<const u8> payload);
+};
+
+/// kHelloOk payload: the session limits admission control will enforce.
+struct HelloOkWire {
+  u32 quota_remaining = 0;  // jobs this tenant may still submit
+  u16 max_inflight = 0;     // concurrent unfinished jobs allowed
+  u16 rate_per_sec = 0;     // token-bucket refill rate
+  u16 burst = 0;            // token-bucket depth
+
+  Bytes serialize() const;
+  static std::optional<HelloOkWire> parse(std::span<const u8> payload);
+};
+
+/// kResult payload: the polled job's state.  `completion_seq` is the
+/// gateway's per-tenant completion counter — the per-owner-order audit
+/// compares it against submission order end to end.
+struct ResultWire {
+  enum Status : u8 { kPending = 0, kDone = 1, kFailed = 2 };
+  u8 status = kPending;
+  u32 completion_seq = 0;  // valid when status != kPending
+  u8 attempts = 0;
+  u16 node = 0;
+  std::vector<u32> words;  // readback (status kDone)
+  std::string error;       // failure text (status kFailed)
+
+  Bytes serialize() const;
+  static std::optional<ResultWire> parse(std::span<const u8> payload);
+};
+
+const char* to_string(GateKind k);
+
+}  // namespace la::gate

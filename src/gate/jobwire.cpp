@@ -1,0 +1,64 @@
+#include "gate/jobwire.hpp"
+
+namespace la::gate {
+
+Bytes JobWire::serialize() const {
+  ByteWriter w;
+  w.write_u32(config.icache_bytes);
+  w.write_u16(static_cast<u16>(config.icache_line));
+  w.write_u8(static_cast<u8>(config.icache_ways));
+  w.write_u32(config.dcache_bytes);
+  w.write_u16(static_cast<u16>(config.dcache_line));
+  w.write_u8(static_cast<u8>(config.dcache_ways));
+  w.write_u8(static_cast<u8>(config.replacement));
+  w.write_u8(static_cast<u8>(config.write_policy));
+  w.write_u8(config.has_mul ? 1 : 0);
+  w.write_u8(config.has_div ? 1 : 0);
+  w.write_u8(static_cast<u8>(config.mul_latency));
+  w.write_u8(static_cast<u8>(config.nwindows));
+  w.write_u32(program.base);
+  w.write_u32(program.entry);
+  w.write_u32(static_cast<u32>(program.data.size()));
+  w.write_bytes(program.data);
+  w.write_u32(result_addr);
+  w.write_u16(result_words);
+  return w.take();
+}
+
+std::optional<JobWire> JobWire::parse(std::span<const u8> payload) {
+  constexpr std::size_t kFixed = 4 + 2 + 1 + 4 + 2 + 1 + 1 + 1 + 1 + 1 + 1 +
+                                 1 + 4 + 4 + 4 + 4 + 2;  // sans image data
+  if (payload.size() < kFixed) return std::nullopt;
+  ByteReader r(payload);
+  JobWire v;
+  v.config.icache_bytes = r.read_u32();
+  v.config.icache_line = r.read_u16();
+  v.config.icache_ways = r.read_u8();
+  v.config.dcache_bytes = r.read_u32();
+  v.config.dcache_line = r.read_u16();
+  v.config.dcache_ways = r.read_u8();
+  const u8 repl = r.read_u8();
+  if (repl > static_cast<u8>(cache::Replacement::kRandom)) return std::nullopt;
+  v.config.replacement = static_cast<cache::Replacement>(repl);
+  const u8 wp = r.read_u8();
+  if (wp > static_cast<u8>(cache::WritePolicy::kWriteBackAllocate)) {
+    return std::nullopt;
+  }
+  v.config.write_policy = static_cast<cache::WritePolicy>(wp);
+  v.config.has_mul = r.read_u8() != 0;
+  v.config.has_div = r.read_u8() != 0;
+  v.config.mul_latency = r.read_u8();
+  v.config.nwindows = r.read_u8();
+  v.program.base = r.read_u32();
+  v.program.entry = r.read_u32();
+  const u32 image_len = r.read_u32();
+  if (image_len > kMaxJobImageBytes) return std::nullopt;
+  if (r.remaining() != image_len + 6) return std::nullopt;
+  v.program.data = r.read_bytes(image_len);
+  v.result_addr = r.read_u32();
+  v.result_words = r.read_u16();
+  if (v.result_words > 256) return std::nullopt;  // READ_MEMORY's own cap
+  return v;
+}
+
+}  // namespace la::gate

@@ -1,0 +1,37 @@
+// Wire form of a farm job: the payload of a kSubmit frame.
+//
+// A remote tenant describes the architecture point it wants (the paper's
+// algorithm-on-demand request), ships the program image, and names the
+// result window to read back.  The gateway lowers this onto a FarmJob;
+// everything else on the job (owner, ids, trace) comes from the session
+// and the frame header, never from the tenant-controlled payload.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "liquid/arch_config.hpp"
+#include "sasm/image.hpp"
+
+namespace la::gate {
+
+/// Program images above this refuse to parse (tenants don't get to make
+/// the gateway buffer megabytes; SRAM is 1 MB and real jobs are kilobytes).
+inline constexpr std::size_t kMaxJobImageBytes = 24 * 1024;
+
+struct JobWire {
+  liquid::ArchConfig config;
+  sasm::Image program;  // base, entry, data (symbols do not travel)
+  Addr result_addr = 0;
+  u16 result_words = 0;
+
+  Bytes serialize() const;
+
+  /// Total parse with the same guarantee as GateFrame::parse: any byte
+  /// string yields a value or nullopt, no throws, no overreads.  Enum
+  /// fields and the image size are range-checked; ArchConfig validity is
+  /// the gateway's call (it rejects with the farm's typed error).
+  static std::optional<JobWire> parse(std::span<const u8> payload);
+};
+
+}  // namespace la::gate

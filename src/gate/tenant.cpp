@@ -1,0 +1,97 @@
+#include "gate/tenant.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace la::gate {
+
+bool TokenBucket::try_take(double now_ms) {
+  refill_(now_ms);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+u32 TokenBucket::ms_until_token(double now_ms) const {
+  TokenBucket copy = *this;
+  copy.refill_(now_ms);
+  if (copy.tokens_ >= 1.0) return 0;
+  if (rate_ == 0) return 1000;  // rate 0: nothing ever refills; cap the hint
+  const double need = 1.0 - copy.tokens_;
+  return static_cast<u32>(std::ceil(need * 1000.0 / rate_));
+}
+
+double TokenBucket::tokens(double now_ms) const {
+  TokenBucket copy = *this;
+  copy.refill_(now_ms);
+  return copy.tokens_;
+}
+
+void TokenBucket::refill_(double now_ms) {
+  if (now_ms <= last_ms_) return;
+  tokens_ += (now_ms - last_ms_) * rate_ / 1000.0;
+  if (tokens_ > burst_) tokens_ = burst_;
+  last_ms_ = now_ms;
+}
+
+void Session::remember_accept(u64 request_id, u64 job_id) {
+  if (accepted.emplace(request_id, job_id).second) {
+    accepted_order.push_back(request_id);
+    if (accepted_order.size() > kDedupWindow) {
+      accepted.erase(accepted_order.front());
+      accepted_order.pop_front();
+    }
+  }
+}
+
+void Session::remember_done(u64 request_id, ResultWire result) {
+  if (done.emplace(request_id, std::move(result)).second) {
+    done_order.push_back(request_id);
+    if (done_order.size() > kDedupWindow) {
+      done.erase(done_order.front());
+      done_order.pop_front();
+    }
+  }
+}
+
+const ResultWire* Session::find_done(u64 request_id) const {
+  const auto it = done.find(request_id);
+  return it == done.end() ? nullptr : &it->second;
+}
+
+std::optional<u64> Session::find_accept(u64 request_id) const {
+  const auto it = accepted.find(request_id);
+  if (it == accepted.end()) return std::nullopt;
+  return it->second;
+}
+
+TenantDirectory::TenantDirectory(u64 secret_seed, u32 count,
+                                 TenantQuota quota)
+    : quota_(quota) {
+  names_.reserve(count);
+  tokens_.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "t%04u", i);
+    names_.emplace_back(name);
+    // fnv over the name folded with the secret, then whitened through
+    // splitmix64 so tokens of adjacent tenants share no visible structure.
+    u64 sm = fnv1a64(names_.back()) ^ secret_seed;
+    const u64 token = splitmix64(sm);
+    tokens_.push_back(token);
+    by_token_.emplace(token, i);
+  }
+}
+
+u64 TenantDirectory::token_of(u32 index) const { return tokens_[index]; }
+
+std::optional<u32> TenantDirectory::authenticate(u64 token) const {
+  const auto it = by_token_.find(token);
+  if (it == by_token_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace la::gate

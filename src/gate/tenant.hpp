@@ -1,0 +1,114 @@
+// Multi-tenant control plane state: who may talk to the gateway, and how
+// much.
+//
+// A TenantDirectory derives one auth token per tenant from a pre-shared
+// secret seed — the fleet operator hands each tenant its token out of
+// band, the gateway recomputes the table at startup, and nothing secret
+// crosses the wire.  A Session is everything the gateway remembers about
+// one authenticated tenant: a token bucket (rate), an in-flight cap and a
+// lifetime quota (admission control), plus the request-id dedup tables
+// that make submission exactly-once over a wire that duplicates frames.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gate/frame.hpp"
+#include "gate/udp.hpp"
+
+namespace la::gate {
+
+/// Admission limits applied to every tenant a directory mints.
+struct TenantQuota {
+  u32 jobs_total = 1u << 20;  // lifetime submit budget
+  u16 max_inflight = 64;      // concurrent unfinished jobs
+  u16 rate_per_sec = 200;     // token-bucket refill
+  u16 burst = 50;             // token-bucket depth
+};
+
+/// Classic token bucket over the host monotonic clock (fractional tokens,
+/// so low rates still refill smoothly).
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(u16 rate_per_sec, u16 burst, double now_ms)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst), last_ms_(now_ms) {}
+
+  /// Take one token if available.
+  bool try_take(double now_ms);
+
+  /// Milliseconds until the next token exists (0 when one is available
+  /// now).  The retry-after hint for rate-limited refusals.
+  u32 ms_until_token(double now_ms) const;
+
+  double tokens(double now_ms) const;
+
+ private:
+  void refill_(double now_ms);
+
+  u16 rate_ = 0;
+  u16 burst_ = 0;
+  double tokens_ = 0.0;
+  double last_ms_ = 0.0;
+};
+
+/// The gateway's memory of one authenticated tenant.
+struct Session {
+  std::string tenant;  // farm owner name — per-owner FIFO keys on this
+  TenantQuota quota;
+  TokenBucket bucket;
+  u32 jobs_submitted = 0;   // counted against quota.jobs_total
+  u32 inflight = 0;         // accepted, result not yet reaped
+  u32 completion_seq = 0;   // next per-tenant completion number
+  SockAddr last_addr;       // where to push unsolicited results
+  double last_seen_ms = 0;  // session GC clock
+
+  /// request id -> farm job id, for every accepted submit.  A duplicated
+  /// kSubmit datagram finds its id here and gets the original kAccepted
+  /// back instead of a second farm job: exactly-once on a wire that
+  /// duplicates.  Bounded FIFO (kDedupWindow).
+  std::unordered_map<u64, u64> accepted;
+  std::deque<u64> accepted_order;
+
+  /// request id -> finished ResultWire, kept after completion so a client
+  /// whose kResult response was lost can kPoll it back.  Bounded FIFO.
+  std::unordered_map<u64, ResultWire> done;
+  std::deque<u64> done_order;
+
+  static constexpr std::size_t kDedupWindow = 1024;
+
+  void remember_accept(u64 request_id, u64 job_id);
+  void remember_done(u64 request_id, ResultWire result);
+  const ResultWire* find_done(u64 request_id) const;
+  std::optional<u64> find_accept(u64 request_id) const;
+};
+
+/// The static tenant table: name <-> token, token derived as
+/// fnv1a64("tenant-name" | secret seed).  Secrecy lives entirely in the
+/// seed (see common/hash.hpp — FNV is damage detection, not a MAC; the
+/// scheme is pre-shared-key auth).
+class TenantDirectory {
+ public:
+  /// Mint `count` tenants named t0000..tNNNN with the given limits.
+  TenantDirectory(u64 secret_seed, u32 count, TenantQuota quota);
+
+  /// The token tenant `index` must present (what the operator hands out).
+  u64 token_of(u32 index) const;
+  const std::string& name_of(u32 index) const { return names_[index]; }
+  u32 count() const { return static_cast<u32>(names_.size()); }
+  const TenantQuota& quota() const { return quota_; }
+
+  /// Token -> tenant index; nullopt for unknown tokens.
+  std::optional<u32> authenticate(u64 token) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<u64> tokens_;
+  std::unordered_map<u64, u32> by_token_;
+  TenantQuota quota_;
+};
+
+}  // namespace la::gate

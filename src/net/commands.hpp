@@ -29,7 +29,8 @@ enum class CommandCode : u8 {
   kRestart = 0x05,        // reset the processor and control state machine
   kStatsSnapshot = 0x06,  // poll the node's metrics registry (extension)
   kSetTrace = 0x07,       // attach a causal trace context (extension)
-  kStatsStream = 0x08,    // metrics delta since the previous stream poll
+  kStatsStream = 0x08,    // metrics delta window; optional u32 window seq
+                          // makes the poll idempotent under dup/reorder
   kFlightDump = 0x09,     // dump the node's flight recorder (extension)
 };
 
@@ -61,6 +62,8 @@ inline constexpr u8 kReadParity = 0x33;       // memory parity bad at address
 inline constexpr u8 kNoStats = 0x41;          // no metrics registry wired
 inline constexpr u8 kNoRecorder = 0x42;       // no flight recorder wired
 inline constexpr u8 kBadTrace = 0x43;         // malformed SET_TRACE packet
+inline constexpr u8 kBadStreamSeq = 0x44;     // malformed STATS_STREAM seq
+inline constexpr u8 kStaleStreamSeq = 0x45;   // seq older than cache window
 inline constexpr u8 kWatchdogTrip = 0x50;     // program exceeded cycle budget
 }  // namespace err
 

@@ -92,7 +92,7 @@ void LeonController::handle(const UdpDatagram& d) {
       handle_set_trace(r);
       return;
     case CommandCode::kStatsStream:
-      handle_stats_stream();
+      handle_stats_stream(r);
       return;
     case CommandCode::kFlightDump:
       handle_flight_dump();
@@ -249,14 +249,49 @@ void LeonController::handle_set_trace(ByteReader& r) {
   respond(ResponseCode::kTraceAck);
 }
 
-void LeonController::handle_stats_stream() {
+void LeonController::handle_stats_stream(ByteReader& r) {
   if (!delta_provider_) {
     ++stats_.bad_commands;
     respond_error(err::kNoStats);  // node exposes no metrics registry
     return;
   }
+  if (r.remaining() == 0) {
+    // Legacy form: no window id, every poll advances the stream.  Only
+    // safe on a wire that neither duplicates nor reorders.
+    ++stats_.stream_polls;
+    respond(ResponseCode::kStatsDelta, delta_provider_());
+    return;
+  }
+  if (r.remaining() != 4) {
+    ++stats_.bad_commands;
+    respond_error(err::kBadStreamSeq);
+    return;
+  }
+  // Sequenced form: the client names the window it wants.  Asking again
+  // for a cached window re-serves those exact bytes — the stream does
+  // NOT advance — so a duplicated or retried poll can never make a delta
+  // window vanish.  A seq below the cache is a reordered ghost of a poll
+  // the client has already moved past; answering it with fresh data
+  // would burn a window nobody reads, so it gets a typed error instead.
+  const u32 seq = r.read_u32();
+  for (const auto& [cached_seq, window] : stream_cache_) {
+    if (cached_seq == seq) {
+      ++stats_.stream_polls;
+      ++stats_.stream_replays;
+      respond(ResponseCode::kStatsDelta, window);
+      return;
+    }
+  }
+  if (!stream_cache_.empty() && seq <= stream_cache_.back().first) {
+    ++stats_.bad_commands;
+    respond_error(err::kStaleStreamSeq);
+    return;
+  }
   ++stats_.stream_polls;
-  respond(ResponseCode::kStatsDelta, delta_provider_());
+  Bytes window = delta_provider_();
+  stream_cache_.emplace_back(seq, window);
+  if (stream_cache_.size() > kStreamCacheWindows) stream_cache_.pop_front();
+  respond(ResponseCode::kStatsDelta, std::move(window));
 }
 
 void LeonController::handle_flight_dump() {
@@ -350,7 +385,15 @@ void LeonController::save_state(SnapWriter& w) const {
   w.u64v(stats_.parity_read_errors);
   w.u64v(stats_.traces_attached);
   w.u64v(stats_.stream_polls);
+  w.u64v(stats_.stream_replays);
   w.u64v(stats_.flight_dumps);
+  // The stream replay cache travels too: a restored node must keep
+  // re-serving the windows its predecessor already promised.
+  w.u32v(static_cast<u32>(stream_cache_.size()));
+  for (const auto& [seq, window] : stream_cache_) {
+    w.u32v(seq);
+    w.bytes(window);
+  }
 }
 
 bool LeonController::load_state(SnapReader& r) {
@@ -376,7 +419,14 @@ bool LeonController::load_state(SnapReader& r) {
   stats_.parity_read_errors = r.u64v();
   stats_.traces_attached = r.u64v();
   stats_.stream_polls = r.u64v();
+  stats_.stream_replays = r.u64v();
   stats_.flight_dumps = r.u64v();
+  stream_cache_.clear();
+  const u32 cached = r.u32v();
+  for (u32 i = 0; i < cached && r.ok(); ++i) {
+    const u32 seq = r.u32v();
+    stream_cache_.emplace_back(seq, r.bytes());
+  }
   return r.ok();
 }
 

@@ -176,6 +176,7 @@ class LeonController {
     u64 parity_read_errors = 0;  // READ_MEMORY refused on bad parity
     u64 traces_attached = 0;     // SET_TRACE commands accepted
     u64 stream_polls = 0;        // STATS_STREAM commands answered
+    u64 stream_replays = 0;      // of which: cached windows re-served
     u64 flight_dumps = 0;        // FLIGHT_DUMP commands answered
   };
   const Stats& stats() const { return stats_; }
@@ -198,7 +199,7 @@ class LeonController {
   void handle_restart();
   void handle_stats_snapshot();
   void handle_set_trace(ByteReader& r);
-  void handle_stats_stream();
+  void handle_stats_stream(ByteReader& r);
   void handle_flight_dump();
   /// The one place state_ changes: notifies the state observer.
   void set_state(LeonState next);
@@ -220,6 +221,11 @@ class LeonController {
   // Requester of the most recent command (responses go back there).
   Ipv4Addr client_ip_ = 0;
   u16 client_port_ = 0;
+  /// Recent sequenced STATS_STREAM windows (seq -> exact response bytes),
+  /// newest at the back.  Deep enough that a duplicate of the previous
+  /// poll — the common reorder distance — always replays from cache.
+  static constexpr std::size_t kStreamCacheWindows = 4;
+  std::deque<std::pair<u32, Bytes>> stream_cache_;
   StatsProvider stats_provider_;
   DeltaProvider delta_provider_;
   FlightProvider flight_provider_;

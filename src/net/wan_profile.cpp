@@ -1,0 +1,61 @@
+#include "net/wan_profile.hpp"
+
+#include "common/rng.hpp"
+
+namespace la::net {
+
+WanProfile WanProfile::with_seed(u64 seed) const {
+  WanProfile p = *this;
+  // Two independent streams from one seed; never 0 (Channel treats the
+  // seed as plain RNG state, but 0 would make lan/wan/lossy collide).
+  u64 sm = seed;
+  p.uplink.seed = splitmix64(sm) | 1;
+  p.downlink.seed = splitmix64(sm) | 1;
+  return p;
+}
+
+WanProfile wan_profile(WanProfileKind kind) {
+  WanProfile p;
+  switch (kind) {
+    case WanProfileKind::kLan:
+      // Clean loopback: every frame arrives, once, intact, immediately.
+      p.name = "lan";
+      break;
+    case WanProfileKind::kWan:
+      // A long but honest path: a little loss, occasional duplication
+      // from retransmitting middleboxes, mild reordering, and a couple
+      // of rounds of propagation delay.
+      p.name = "wan";
+      p.uplink.drop = 0.02;
+      p.uplink.duplicate = 0.01;
+      p.uplink.reorder = 0.05;
+      p.uplink.delay_frames = 2;
+      p.downlink = p.uplink;
+      break;
+    case WanProfileKind::kLossy:
+      // The hostile Internet of the paper's threat model: heavy loss and
+      // reordering plus in-flight frame damage, so checksums and
+      // length prefixes earn their keep, not just retries.
+      p.name = "lossy";
+      p.uplink.drop = 0.10;
+      p.uplink.duplicate = 0.05;
+      p.uplink.reorder = 0.15;
+      p.uplink.corrupt = 0.02;
+      p.uplink.truncate = 0.02;
+      p.uplink.delay_frames = 3;
+      p.downlink = p.uplink;
+      break;
+  }
+  return p.with_seed(1);
+}
+
+std::optional<WanProfile> wan_profile_by_name(std::string_view name) {
+  if (name == "lan") return wan_profile(WanProfileKind::kLan);
+  if (name == "wan") return wan_profile(WanProfileKind::kWan);
+  if (name == "lossy") return wan_profile(WanProfileKind::kLossy);
+  return std::nullopt;
+}
+
+const char* wan_profile_names() { return "lan wan lossy"; }
+
+}  // namespace la::net

@@ -1,0 +1,47 @@
+// WAN emulation presets: the Channel fault knobs, named.
+//
+// The same seeded impairments the fault-injection engine drives one knob
+// at a time (drop / duplicate / reorder / corrupt / truncate / delay)
+// also describe whole link regimes.  A WanProfile bundles an uplink and a
+// downlink ChannelConfig under a stable name so the in-process emulator
+// tests, the gateway tests, and the lload open-traffic harness all mean
+// the same thing by "lossy".  See docs/FAULTS.md for the preset table.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/channel.hpp"
+
+namespace la::net {
+
+enum class WanProfileKind : u8 {
+  kLan = 0,    // clean: loopback-grade, no impairments
+  kWan = 1,    // long-haul: mild loss, some delay and reordering
+  kLossy = 2,  // hostile: heavy loss/dup/reorder plus frame damage
+};
+
+/// A named pair of channel impairment configs (client->node and back).
+/// The seeds are split from one profile seed so the two directions fail
+/// independently but the whole link is reproducible from one number.
+struct WanProfile {
+  std::string name;
+  ChannelConfig uplink;
+  ChannelConfig downlink;
+
+  /// The same profile reseeded (uplink and downlink derive distinct
+  /// streams from `seed`); presets default to seed 1.
+  WanProfile with_seed(u64 seed) const;
+};
+
+/// Preset lookup by kind.
+WanProfile wan_profile(WanProfileKind kind);
+
+/// Preset lookup by name ("lan" | "wan" | "lossy"); nullopt otherwise.
+std::optional<WanProfile> wan_profile_by_name(std::string_view name);
+
+/// "lan wan lossy" — for usage strings.
+const char* wan_profile_names();
+
+}  // namespace la::net

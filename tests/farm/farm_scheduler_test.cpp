@@ -58,6 +58,55 @@ TEST(Enqueue, SaturatesAtCapacityAndRecovers) {
   EXPECT_TRUE(s.enqueue(job("c")));
 }
 
+TEST(Enqueue, SaturationCarriesRetryAfterHint) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  FarmScheduler s(cfg);
+  ASSERT_TRUE(s.enqueue(job("a")));
+  ASSERT_TRUE(s.enqueue(job("b")));
+  const Result<u64> r = s.enqueue(job("c"));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, FarmErrorKind::kSaturated);
+  // The refusal tells the client when to come back — never zero, and it
+  // grows with the backlog.
+  EXPECT_GT(r.error().retry_after_hint_ms, 0u);
+}
+
+TEST(Enqueue, PerOwnerCapRejectsTheGreedyOwnerOnly) {
+  SchedulerConfig cfg;
+  cfg.per_owner_cap = 2;
+  FarmScheduler s(cfg);
+  ASSERT_TRUE(s.enqueue(job("greedy")));
+  ASSERT_TRUE(s.enqueue(job("greedy")));
+  const Result<u64> r = s.enqueue(job("greedy"));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, FarmErrorKind::kOwnerSaturated);
+  EXPECT_GT(r.error().retry_after_hint_ms, 0u);
+  // Other owners are untouched by one tenant's pileup.
+  EXPECT_TRUE(s.enqueue(job("polite")));
+}
+
+TEST(Enqueue, PerOwnerCapCountsUntilCompletionNotUntilPick) {
+  SchedulerConfig cfg;
+  cfg.per_owner_cap = 1;
+  FarmScheduler s(cfg);
+  ASSERT_TRUE(s.enqueue(job("a")));
+  // Picking the job starts it running; the owner's slot is still held.
+  ASSERT_TRUE(s.pick(kBase).has_value());
+  const Result<u64> r = s.enqueue(job("a"));
+  ASSERT_FALSE(r);
+  EXPECT_EQ(r.error().kind, FarmErrorKind::kOwnerSaturated);
+  // Completion frees the slot.
+  s.complete("a");
+  EXPECT_TRUE(s.enqueue(job("a")));
+}
+
+TEST(Enqueue, ZeroPerOwnerCapMeansUnlimited) {
+  FarmScheduler s;  // default per_owner_cap = 0
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(s.enqueue(job("a")));
+  EXPECT_EQ(s.pending(), 100u);
+}
+
 TEST(Pick, FifoTakesOldestRunnable) {
   SchedulerConfig cfg;
   cfg.policy = FarmPolicy::kFifo;

@@ -1,0 +1,237 @@
+// The gateway frame codec: round-trip identity, a malformed-bytes corpus,
+// and the total-parse guarantee (any byte string -> frame or nullopt,
+// never a throw or overread) under seeded random and mutated inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gate/frame.hpp"
+#include "gate/jobwire.hpp"
+
+namespace la::gate {
+namespace {
+
+GateFrame sample_frame() {
+  GateFrame f;
+  f.kind = GateKind::kSubmit;
+  f.token = 0x1122334455667788ull;
+  f.request_id = 42;
+  f.trace_id = 0xabcdef;
+  f.span_id = 7;
+  f.payload = Bytes{1, 2, 3, 4, 5};
+  return f;
+}
+
+TEST(GateFrame, RoundTripIdentity) {
+  const GateFrame f = sample_frame();
+  const Bytes wire = f.serialize();
+  ASSERT_EQ(wire.size(), kFrameOverhead + f.payload.size());
+  const auto back = GateFrame::parse(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->version, f.version);
+  EXPECT_EQ(back->kind, f.kind);
+  EXPECT_EQ(back->token, f.token);
+  EXPECT_EQ(back->request_id, f.request_id);
+  EXPECT_EQ(back->trace_id, f.trace_id);
+  EXPECT_EQ(back->span_id, f.span_id);
+  EXPECT_EQ(back->payload, f.payload);
+}
+
+TEST(GateFrame, EmptyPayloadRoundTrips) {
+  GateFrame f;
+  f.kind = GateKind::kHello;
+  const auto back = GateFrame::parse(f.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(GateFrame, MalformedCorpusRefusesToParse) {
+  const Bytes good = sample_frame().serialize();
+
+  // Too short at every truncation point.
+  for (std::size_t n = 0; n < good.size(); ++n) {
+    const Bytes cut(good.begin(), good.begin() + static_cast<long>(n));
+    EXPECT_FALSE(GateFrame::parse(cut).has_value()) << "len " << n;
+  }
+  // Trailing garbage (length prefix no longer accounts for the buffer).
+  Bytes longer = good;
+  longer.push_back(0);
+  EXPECT_FALSE(GateFrame::parse(longer).has_value());
+  // Bad magic.
+  Bytes bad = good;
+  bad[0] ^= 0xff;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+  // Unknown version.
+  bad = good;
+  bad[2] = kGateVersion + 1;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+  // Unknown kind.
+  bad = good;
+  bad[3] = 0x7e;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+  // Flipped payload bit -> checksum mismatch.
+  bad = good;
+  bad[39] ^= 0x01;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+  // Flipped checksum bit.
+  bad = good;
+  bad[bad.size() - 1] ^= 0x80;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+  // Length prefix lies (larger than the actual payload).
+  bad = good;
+  bad[37] += 1;
+  EXPECT_FALSE(GateFrame::parse(bad).has_value());
+}
+
+TEST(GateFrame, OversizedPayloadRefused) {
+  GateFrame f;
+  f.kind = GateKind::kSubmit;
+  f.payload.assign(kMaxPayload + 1, 0xaa);
+  // serialize() would truncate the u16 prefix anyway; build the wire
+  // image by hand to prove parse holds the ceiling.
+  Bytes wire(kFrameOverhead + kMaxPayload + 1, 0);
+  EXPECT_FALSE(GateFrame::parse(wire).has_value());
+}
+
+// The fuzz-rotation property, in-tree: random byte strings and mutated
+// valid frames must never crash the parser, and anything it does accept
+// must re-serialize to the identical wire image (parse ∘ serialize = id
+// on the accepted set).
+TEST(GateFrame, TotalParseUnderRandomBytes) {
+  Rng rng(0xf4a3);
+  for (int i = 0; i < 20000; ++i) {
+    Bytes junk(rng.below(128), 0);
+    for (auto& b : junk) b = static_cast<u8>(rng.below(256));
+    const auto f = GateFrame::parse(junk);
+    if (f) {
+      EXPECT_EQ(f->serialize(), junk);
+    }
+  }
+}
+
+TEST(GateFrame, TotalParseUnderMutatedFrames) {
+  Rng rng(0x5eed);
+  const Bytes good = sample_frame().serialize();
+  u64 accepted = 0;
+  for (int i = 0; i < 20000; ++i) {
+    Bytes m = good;
+    const unsigned flips = 1 + rng.below(4);
+    for (unsigned k = 0; k < flips; ++k) {
+      m[rng.below(static_cast<u32>(m.size()))] ^=
+          static_cast<u8>(1u << rng.below(8));
+    }
+    const auto f = GateFrame::parse(m);
+    if (f) {
+      EXPECT_EQ(f->serialize(), m);
+      // Flips can land on the same bit twice and cancel out; only count
+      // acceptances of frames that actually changed.
+      if (m != good) ++accepted;
+    }
+  }
+  // A 32-bit checksum makes surviving 1-4 bit flips astronomically rare.
+  EXPECT_EQ(accepted, 0u);
+}
+
+TEST(RetryAfterWire, RoundTripAndExactLength) {
+  RetryAfterWire w;
+  w.reason = retry::kRateLimited;
+  w.retry_after_ms = 1234;
+  const auto back = RetryAfterWire::parse(w.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->reason, w.reason);
+  EXPECT_EQ(back->retry_after_ms, w.retry_after_ms);
+  EXPECT_FALSE(RetryAfterWire::parse(Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(RetryAfterWire::parse(Bytes(6, 0)).has_value());
+}
+
+TEST(HelloOkWire, RoundTrip) {
+  HelloOkWire w;
+  w.quota_remaining = 100000;
+  w.max_inflight = 64;
+  w.rate_per_sec = 200;
+  w.burst = 50;
+  const auto back = HelloOkWire::parse(w.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->quota_remaining, w.quota_remaining);
+  EXPECT_EQ(back->max_inflight, w.max_inflight);
+  EXPECT_EQ(back->rate_per_sec, w.rate_per_sec);
+  EXPECT_EQ(back->burst, w.burst);
+}
+
+TEST(ResultWire, RoundTripWithWordsAndError) {
+  ResultWire w;
+  w.status = ResultWire::kDone;
+  w.completion_seq = 9;
+  w.attempts = 2;
+  w.node = 3;
+  w.words = {0xdeadbeef, 1, 2};
+  const auto back = ResultWire::parse(w.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, ResultWire::kDone);
+  EXPECT_EQ(back->completion_seq, 9u);
+  EXPECT_EQ(back->attempts, 2u);
+  EXPECT_EQ(back->node, 3u);
+  EXPECT_EQ(back->words, w.words);
+
+  ResultWire e;
+  e.status = ResultWire::kFailed;
+  e.error = "watchdog trip";
+  const auto eback = ResultWire::parse(e.serialize());
+  ASSERT_TRUE(eback.has_value());
+  EXPECT_EQ(eback->status, ResultWire::kFailed);
+  EXPECT_EQ(eback->error, "watchdog trip");
+}
+
+TEST(ResultWire, TotalParseUnderRandomBytes) {
+  Rng rng(0xcafe);
+  for (int i = 0; i < 20000; ++i) {
+    Bytes junk(rng.below(64), 0);
+    for (auto& b : junk) b = static_cast<u8>(rng.below(256));
+    (void)ResultWire::parse(junk);  // must not throw or overread
+  }
+}
+
+TEST(JobWire, RoundTripIdentity) {
+  JobWire j;
+  j.config.icache_bytes = 8192;
+  j.config.dcache_bytes = 4096;
+  j.program.base = 0x40000000;
+  j.program.entry = 0x40000100;
+  j.program.data = Bytes{9, 8, 7, 6};
+  j.result_addr = 0x40001000;
+  j.result_words = 1;
+  const auto back = JobWire::parse(j.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->config.key(), j.config.key());
+  EXPECT_EQ(back->program.base, j.program.base);
+  EXPECT_EQ(back->program.entry, j.program.entry);
+  EXPECT_EQ(back->program.data, j.program.data);
+  EXPECT_EQ(back->result_addr, j.result_addr);
+  EXPECT_EQ(back->result_words, j.result_words);
+}
+
+TEST(JobWire, RefusesOversizedImageAndBadEnums) {
+  JobWire j;
+  j.program.data = Bytes(4, 0);
+  Bytes wire = j.serialize();
+  ASSERT_TRUE(JobWire::parse(wire).has_value());
+  // Replacement enum out of range (offset 14 in the fixed prefix).
+  Bytes bad = wire;
+  bad[14] = 0x7f;
+  EXPECT_FALSE(JobWire::parse(bad).has_value());
+  // Image length prefix inflated past the cap.
+  JobWire big;
+  big.program.data = Bytes(kMaxJobImageBytes + 1, 0);
+  EXPECT_FALSE(JobWire::parse(big.serialize()).has_value());
+}
+
+TEST(JobWire, TotalParseUnderRandomBytes) {
+  Rng rng(0x90b);
+  for (int i = 0; i < 20000; ++i) {
+    Bytes junk(rng.below(96), 0);
+    for (auto& b : junk) b = static_cast<u8>(rng.below(256));
+    (void)JobWire::parse(junk);
+  }
+}
+
+}  // namespace
+}  // namespace la::gate

@@ -1,0 +1,134 @@
+// The multi-tenant control plane in isolation: token-bucket refill math,
+// directory minting/authentication, and the session dedup windows that
+// back the gateway's exactly-once guarantee.
+#include <gtest/gtest.h>
+
+#include "gate/tenant.hpp"
+
+namespace la::gate {
+namespace {
+
+TEST(TokenBucket, StartsFullAndDrainsToRefusal) {
+  TokenBucket b(/*rate=*/10, /*burst=*/3, /*now_ms=*/0.0);
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_FALSE(b.try_take(0.0));
+  // 10/s refill -> one token every 100ms.
+  EXPECT_FALSE(b.try_take(50.0));
+  EXPECT_TRUE(b.try_take(100.0));
+  EXPECT_FALSE(b.try_take(100.0));
+}
+
+TEST(TokenBucket, RefillCapsAtBurst) {
+  TokenBucket b(100, 5, 0.0);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_take(0.0));
+  // A long silence refills to burst, not beyond.
+  EXPECT_NEAR(b.tokens(60'000.0), 5.0, 1e-9);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(b.try_take(60'000.0));
+  EXPECT_FALSE(b.try_take(60'000.0));
+}
+
+TEST(TokenBucket, MsUntilTokenIsAnHonestHint) {
+  TokenBucket b(10, 1, 0.0);
+  EXPECT_EQ(b.ms_until_token(0.0), 0u);
+  EXPECT_TRUE(b.try_take(0.0));
+  const u32 wait = b.ms_until_token(0.0);
+  EXPECT_GT(wait, 0u);
+  EXPECT_LE(wait, 100u);
+  // Waiting exactly the hinted time must yield a token (the hint never
+  // sends a client back too early).
+  EXPECT_TRUE(b.try_take(static_cast<double>(wait)));
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket b(0, 1, 0.0);
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_FALSE(b.try_take(1e9));
+  EXPECT_GT(b.ms_until_token(1e9), 0u);
+}
+
+TEST(TokenBucket, FractionalRefillAccumulates) {
+  TokenBucket b(1, 1, 0.0);  // one token per second
+  EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_FALSE(b.try_take(400.0));
+  EXPECT_FALSE(b.try_take(800.0));  // partial refills must not reset
+  EXPECT_TRUE(b.try_take(1000.0));
+}
+
+TEST(TenantDirectory, MintsStableDistinctTokens) {
+  TenantDirectory a(0xfeed, 64, {});
+  TenantDirectory b(0xfeed, 64, {});
+  ASSERT_EQ(a.count(), 64u);
+  for (u32 i = 0; i < a.count(); ++i) {
+    // Same seed -> same table (the operator and gateway agree).
+    EXPECT_EQ(a.token_of(i), b.token_of(i));
+    for (u32 j = i + 1; j < a.count(); ++j) {
+      EXPECT_NE(a.token_of(i), a.token_of(j));
+    }
+  }
+  EXPECT_EQ(a.name_of(0), "t0000");
+  EXPECT_EQ(a.name_of(63), "t0063");
+}
+
+TEST(TenantDirectory, DifferentSeedsDifferentTokens) {
+  TenantDirectory a(1, 8, {});
+  TenantDirectory b(2, 8, {});
+  for (u32 i = 0; i < 8; ++i) EXPECT_NE(a.token_of(i), b.token_of(i));
+}
+
+TEST(TenantDirectory, AuthenticateRoundTripsAndRefusesStrangers) {
+  TenantDirectory d(0xabc, 16, {});
+  for (u32 i = 0; i < d.count(); ++i) {
+    const auto idx = d.authenticate(d.token_of(i));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_FALSE(d.authenticate(0).has_value());
+  EXPECT_FALSE(d.authenticate(d.token_of(0) ^ 1).has_value());
+}
+
+TEST(Session, DedupTablesRememberAndReplay) {
+  Session s;
+  s.remember_accept(100, 7);
+  const auto job = s.find_accept(100);
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(*job, 7u);
+  EXPECT_FALSE(s.find_accept(101).has_value());
+
+  ResultWire r;
+  r.status = ResultWire::kDone;
+  r.completion_seq = 3;
+  s.remember_done(100, r);
+  const ResultWire* back = s.find_done(100);
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->completion_seq, 3u);
+  EXPECT_EQ(s.find_done(101), nullptr);
+}
+
+TEST(Session, DedupWindowsEvictOldestFirst) {
+  Session s;
+  const u64 n = Session::kDedupWindow + 10;
+  for (u64 i = 0; i < n; ++i) {
+    s.remember_accept(i, i * 2);
+    ResultWire r;
+    r.completion_seq = static_cast<u32>(i);
+    s.remember_done(i, r);
+  }
+  // The first 10 ids fell off the FIFO; the rest survive intact.
+  for (u64 i = 0; i < 10; ++i) {
+    EXPECT_FALSE(s.find_accept(i).has_value()) << i;
+    EXPECT_EQ(s.find_done(i), nullptr) << i;
+  }
+  for (u64 i = 10; i < n; ++i) {
+    const auto job = s.find_accept(i);
+    ASSERT_TRUE(job.has_value()) << i;
+    EXPECT_EQ(*job, i * 2);
+    const ResultWire* r = s.find_done(i);
+    ASSERT_NE(r, nullptr) << i;
+    EXPECT_EQ(r->completion_seq, static_cast<u32>(i));
+  }
+}
+
+}  // namespace
+}  // namespace la::gate

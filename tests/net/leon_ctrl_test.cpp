@@ -324,6 +324,124 @@ TEST_F(CtrlFixture, StatsStreamReturnsDeltaPayload) {
   EXPECT_EQ(polls, 1);  // the provider owns the delta window state
 }
 
+// --- Sequenced STATS_STREAM: delta windows survive retransmits ---------
+//
+// An unsequenced STATS_STREAM advances the provider's delta window every
+// poll, so a retransmitted request silently eats a window.  The sequenced
+// form (u32 window id in the payload) makes polling idempotent: the
+// controller caches recent windows and re-serves duplicates byte for
+// byte.  tests below are the regression suite for that contract.
+
+namespace {
+Bytes sequenced_stream(u32 seq) {
+  ByteWriter w;
+  w.write_u8(static_cast<u8>(CommandCode::kStatsStream));
+  w.write_u32(seq);
+  return w.take();
+}
+}  // namespace
+
+TEST_F(CtrlFixture, SequencedStatsStreamReplaysDuplicatesWithoutAdvancing) {
+  int polls = 0;
+  ctrl.set_delta_provider([&polls] {
+    ++polls;
+    return Bytes{static_cast<u8>('0' + polls)};
+  });
+  ctrl.handle(cmd(sequenced_stream(1)));
+  auto [code1, body1] = response();
+  EXPECT_EQ(code1, static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_EQ(polls, 1);
+
+  // The retransmit (same seq) must re-serve the SAME bytes and must NOT
+  // consume a fresh delta window.
+  ctrl.handle(cmd(sequenced_stream(1)));
+  auto [code2, body2] = response();
+  EXPECT_EQ(code2, static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_EQ(body2, body1);
+  EXPECT_EQ(polls, 1);
+  EXPECT_EQ(ctrl.stats().stream_replays, 1u);
+
+  // The next window advances normally.
+  ctrl.handle(cmd(sequenced_stream(2)));
+  auto [code3, body3] = response();
+  EXPECT_EQ(code3, static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_NE(body3, body1);
+  EXPECT_EQ(polls, 2);
+}
+
+TEST_F(CtrlFixture, StaleStreamSeqBeyondCacheIsTypedError) {
+  int polls = 0;
+  ctrl.set_delta_provider([&polls] {
+    ++polls;
+    return Bytes{static_cast<u8>(polls)};
+  });
+  // Fill and overflow the replay cache (depth 4): windows 1..5 leave
+  // 2..5 cached.
+  for (u32 seq = 1; seq <= 5; ++seq) {
+    ctrl.handle(cmd(sequenced_stream(seq)));
+    response();
+  }
+  ASSERT_EQ(polls, 5);
+  // Window 1 fell out of the cache: a very-late retransmit gets a typed
+  // error, never a wrong (fresh) window under an old id.
+  ctrl.handle(cmd(sequenced_stream(1)));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), err::kStaleStreamSeq);
+  EXPECT_EQ(polls, 5);  // the provider was not consulted
+  // Cached tail still replays fine.
+  ctrl.handle(cmd(sequenced_stream(3)));
+  const auto [code2, body2] = response();
+  EXPECT_EQ(code2, static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_EQ(body2, Bytes{3});
+  EXPECT_EQ(polls, 5);
+}
+
+TEST_F(CtrlFixture, MalformedStreamSeqIsBadStreamSeq) {
+  ctrl.set_delta_provider([] { return Bytes{'{', '}'}; });
+  ByteWriter w;
+  w.write_u8(static_cast<u8>(CommandCode::kStatsStream));
+  w.write_u16(7);  // two bytes where the u32 seq belongs
+  ctrl.handle(cmd(w.take()));
+  const auto [code, body] = response();
+  EXPECT_EQ(code, static_cast<u8>(ResponseCode::kError));
+  EXPECT_EQ(body.at(0), err::kBadStreamSeq);
+}
+
+TEST_F(CtrlFixture, SequencedStreamCacheSurvivesSnapshotRestore) {
+  int polls = 0;
+  ctrl.set_delta_provider([&polls] {
+    ++polls;
+    return Bytes{static_cast<u8>(polls)};
+  });
+  ctrl.handle(cmd(sequenced_stream(1)));
+  response();
+
+  SnapWriter w;
+  ctrl.save_state(w);
+  const Bytes snap = w.take();
+
+  // A freshly-built controller restored from the snapshot.
+  mem::Sram sram2(0x40000000, 1 << 16);
+  mem::DisconnectSwitch sw2(sram2);
+  PacketGenerator gen2(make_ip(192, 168, 100, 10), kLeonControlPort);
+  LeonController ctrl2(make_cfg(), sw2, gen2, [] {});
+  ctrl2.set_delta_provider([&polls] {
+    ++polls;
+    return Bytes{static_cast<u8>(polls)};
+  });
+  SnapReader r(snap);
+  ASSERT_TRUE(ctrl2.load_state(r));
+  // The restored controller replays the pre-snapshot window from cache.
+  ctrl2.handle(cmd(sequenced_stream(1)));
+  auto d = gen2.pop();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload.at(0), static_cast<u8>(ResponseCode::kStatsDelta));
+  EXPECT_EQ(Bytes(d->payload.begin() + 1, d->payload.end()), Bytes{1});
+  EXPECT_EQ(polls, 1);
+  EXPECT_EQ(ctrl2.stats().stream_replays, 1u);
+}
+
 TEST_F(CtrlFixture, FlightDumpWithoutProviderIsAnError) {
   ctrl.handle(cmd(simple_command(CommandCode::kFlightDump)));
   const auto [code, body] = response();

@@ -504,10 +504,72 @@ int check_prom(const std::string& file, const std::string& text) {
   return 0;
 }
 
+int check_bench_ctrl(const std::string& file, const std::string& text) {
+  int rc = 0;
+  auto doc = parse_or_complain(file, text, rc);
+  if (doc == nullptr) return rc;
+  if (!doc->is(JsonValue::kArray)) {
+    return complain(file, "top level is not an array of phase rows");
+  }
+  if (doc->array.empty()) return complain(file, "no phase rows");
+  std::size_t index = 0;
+  std::size_t audits_ok = 0;
+  for (const auto& row : doc->array) {
+    const std::string at = "row[" + std::to_string(index++) + "]";
+    if (!row->is(JsonValue::kObject)) {
+      return complain(file, at + " not an object");
+    }
+    for (const char* key : {"wan", "mode"}) {
+      const JsonValue* v = row->get(key);
+      if (v == nullptr || !v->is(JsonValue::kString) || v->string.empty()) {
+        return complain(file, at + " lacks string '" + key + "'");
+      }
+    }
+    const JsonValue* mode = row->get("mode");
+    if (mode->string != "open" && mode->string != "closed") {
+      return complain(file, at + " mode '" + mode->string +
+                                "' is neither open nor closed");
+    }
+    for (const char* key : {"tenants", "nodes", "jobs", "completed", "rps",
+                            "p50_ms", "p95_ms", "p99_ms"}) {
+      const JsonValue* v = row->get(key);
+      if (v == nullptr || !v->is(JsonValue::kNumber) || v->number < 0) {
+        return complain(file,
+                        at + " lacks non-negative number '" + key + "'");
+      }
+    }
+    // Percentiles of one latency distribution cannot cross.
+    const double p50 = row->get("p50_ms")->number;
+    const double p95 = row->get("p95_ms")->number;
+    const double p99 = row->get("p99_ms")->number;
+    if (p50 > p95 || p95 > p99) {
+      return complain(file, at + " percentiles not monotone (p50 " +
+                                std::to_string(p50) + ", p95 " +
+                                std::to_string(p95) + ", p99 " +
+                                std::to_string(p99) + ")");
+    }
+    if (row->get("completed")->number > row->get("jobs")->number) {
+      return complain(file, at + " completed exceeds jobs offered");
+    }
+    const JsonValue* audit = row->get("audit_ok");
+    if (audit == nullptr || !audit->is(JsonValue::kBool)) {
+      return complain(file, at + " lacks boolean 'audit_ok'");
+    }
+    if (audit->boolean) ++audits_ok;
+  }
+  std::printf("lcheck: %s: %zu phase row(s), %zu audit(s) ok\n", file.c_str(),
+              doc->array.size(), audits_ok);
+  if (audits_ok != doc->array.size()) {
+    return complain(file, "a row carries audit_ok=false");
+  }
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: lcheck [--min-pids N] MODE FILE [MODE FILE ...]\n"
-               "  modes: --json --chrome-trace --spans --flight --prom\n");
+               "  modes: --json --chrome-trace --spans --flight --prom\n"
+               "         --bench-ctrl\n");
   return 2;
 }
 
@@ -527,7 +589,7 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       min_pids = std::strtol(v, nullptr, 10);
     } else if (a == "--json" || a == "--chrome-trace" || a == "--spans" ||
-               a == "--flight" || a == "--prom") {
+               a == "--flight" || a == "--prom" || a == "--bench-ctrl") {
       const char* f = file_arg();
       if (f == nullptr) return usage();
       std::string text;
@@ -541,6 +603,7 @@ int main(int argc, char** argv) {
       else if (a == "--chrome-trace") one = check_chrome_trace(f, text, min_pids);
       else if (a == "--spans") one = check_spans(f, text);
       else if (a == "--flight") one = check_flight(f, text);
+      else if (a == "--bench-ctrl") one = check_bench_ctrl(f, text);
       else one = check_prom(f, text);
       if (one != 0) rc = one;
     } else if (a == "--help" || a == "-h") {

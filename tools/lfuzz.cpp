@@ -19,6 +19,7 @@
 //
 // Exit codes: 0 no divergence, 1 divergence found (or replay diverges),
 // 2 usage error.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,9 +29,12 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
 #include "ctrl/client.hpp"
 #include "fuzz/fault_campaign.hpp"
 #include "fuzz/fuzzer.hpp"
+#include "gate/frame.hpp"
+#include "gate/jobwire.hpp"
 #include "sasm/assembler.hpp"
 
 namespace {
@@ -62,6 +66,11 @@ int usage() {
       "  --faults          run the fault-injection campaign instead of the\n"
       "                    differential fuzzer (exit 1 on any silent\n"
       "                    divergence)\n"
+      "  --frames          fuzz the gateway wire codec instead: random\n"
+      "                    bytes, mutated frames, and structured round\n"
+      "                    trips must never crash the parser, and anything\n"
+      "                    accepted must re-serialize identically (exit 1\n"
+      "                    on any violation)\n"
       "  --watchdog-budget N  watchdog cycle budget per started program\n"
       "                    in --faults mode (default 2000000)\n"
       "  --metrics-json F  write campaign counters (or, with --replay, the\n"
@@ -209,6 +218,119 @@ int replay(const std::string& path, const fuzz::FuzzConfig& cfg,
   return 0;
 }
 
+/// Gateway wire-codec campaign: the frame parser's total-function contract
+/// under three input regimes per iteration — structured round trips,
+/// uniformly random bytes, and bit-flipped valid frames.  Violations are
+/// (a) a round trip that loses information, (b) an accepted input whose
+/// re-serialization differs (parse would not be a partial identity), and
+/// (c) a genuinely mutated frame slipping past the checksum.  Crashes and
+/// overreads surface as sanitizer aborts in CI's sanitizer lanes.
+int run_frames(u64 seed, u64 iterations, int budget_secs, bool verbose,
+               const std::string& metrics_json) {
+  using gate::GateFrame;
+  static constexpr gate::GateKind kKinds[] = {
+      gate::GateKind::kHello,      gate::GateKind::kSubmit,
+      gate::GateKind::kPoll,       gate::GateKind::kGateStats,
+      gate::GateKind::kBye,        gate::GateKind::kHelloOk,
+      gate::GateKind::kAccepted,   gate::GateKind::kResult,
+      gate::GateKind::kStatsJson,  gate::GateKind::kByeOk,
+      gate::GateKind::kRetryAfter, gate::GateKind::kGateError,
+  };
+  Rng rng(seed ^ 0xf4a3e5ull);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::seconds(budget_secs);
+  u64 iters = 0;
+  u64 junk_accepted = 0;
+  u64 mutants_refused = 0;
+  u64 violations = 0;
+
+  auto fill = [&](Bytes& b) {
+    for (auto& x : b) x = static_cast<u8>(rng.below(256));
+  };
+
+  while (iterations != 0 ? iters < iterations
+                         : std::chrono::steady_clock::now() < deadline) {
+    ++iters;
+    // 1. Structured round trip: serialize . parse = identity.
+    GateFrame f;
+    f.kind = kKinds[rng.below(sizeof(kKinds) / sizeof(kKinds[0]))];
+    f.token = rng.next_u64();
+    f.request_id = rng.next_u64();
+    f.trace_id = rng.next_u64();
+    f.span_id = rng.next_u64();
+    f.payload.resize(rng.below(300));
+    fill(f.payload);
+    const Bytes wire = f.serialize();
+    const auto back = GateFrame::parse(wire);
+    if (!back || back->kind != f.kind || back->token != f.token ||
+        back->request_id != f.request_id || back->trace_id != f.trace_id ||
+        back->span_id != f.span_id || back->payload != f.payload) {
+      ++violations;
+      std::fprintf(stderr, "lfuzz --frames: round trip lost (iter %llu)\n",
+                   static_cast<unsigned long long>(iters));
+    }
+    // 2. Random bytes: never crash; anything accepted re-serializes
+    //    identically.
+    Bytes junk(rng.below(static_cast<u32>(wire.size() + 64)), 0);
+    fill(junk);
+    if (const auto j = GateFrame::parse(junk)) {
+      ++junk_accepted;
+      if (j->serialize() != junk) {
+        ++violations;
+        std::fprintf(stderr,
+                     "lfuzz --frames: junk accepted but not identical "
+                     "(iter %llu)\n",
+                     static_cast<unsigned long long>(iters));
+      }
+    }
+    // Random bytes through the payload decoders too (same total-parse
+    // contract, no checksum shielding them).
+    (void)gate::JobWire::parse(junk);
+    (void)gate::ResultWire::parse(junk);
+    (void)gate::HelloOkWire::parse(junk);
+    (void)gate::RetryAfterWire::parse(junk);
+    // 3. Bit-flipped frames: the checksum must catch real mutations.
+    Bytes m = wire;
+    const unsigned flips = 1 + rng.below(4);
+    for (unsigned k = 0; k < flips; ++k) {
+      m[rng.below(static_cast<u32>(m.size()))] ^=
+          static_cast<u8>(1u << rng.below(8));
+    }
+    const auto mf = GateFrame::parse(m);
+    if (!mf) {
+      ++mutants_refused;
+    } else if (m != wire) {  // cancelled flips legitimately re-accept
+      ++violations;
+      std::fprintf(stderr,
+                   "lfuzz --frames: mutated frame accepted (iter %llu)\n",
+                   static_cast<unsigned long long>(iters));
+    }
+    if (verbose && iters % 50000 == 0) {
+      std::printf("lfuzz --frames: %llu iterations...\n",
+                  static_cast<unsigned long long>(iters));
+    }
+  }
+
+  std::printf(
+      "lfuzz --frames: %llu iterations, %llu junk accepts, "
+      "%llu mutants refused, %llu violations\n",
+      static_cast<unsigned long long>(iters),
+      static_cast<unsigned long long>(junk_accepted),
+      static_cast<unsigned long long>(mutants_refused),
+      static_cast<unsigned long long>(violations));
+  if (!metrics_json.empty()) {
+    const int mrc = write_campaign_metrics(
+        metrics_json, "frames",
+        {{"lfuzz.frames.iterations", static_cast<double>(iters)},
+         {"lfuzz.frames.junk_accepted", static_cast<double>(junk_accepted)},
+         {"lfuzz.frames.mutants_refused",
+          static_cast<double>(mutants_refused)},
+         {"lfuzz.frames.violations", static_cast<double>(violations)}});
+    if (mrc != 0) return mrc;
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -220,6 +342,7 @@ int main(int argc, char** argv) {
   bool have_secs = false;
   bool have_iters = false;
   bool faults_mode = false;
+  bool frames_mode = false;
   u64 watchdog_budget = 0;
 
   for (int i = 1; i < argc; ++i) {
@@ -270,6 +393,8 @@ int main(int argc, char** argv) {
       replay_path = v;
     } else if (arg == "--faults") {
       faults_mode = true;
+    } else if (arg == "--frames") {
+      frames_mode = true;
     } else if (arg == "--watchdog-budget") {
       const char* v = value();
       if (!v) return usage();
@@ -300,6 +425,11 @@ int main(int argc, char** argv) {
   }
 
   if (!have_secs && !have_iters) cfg.budget_secs = 10;
+
+  if (frames_mode) {
+    return run_frames(cfg.seed, cfg.max_iterations, cfg.budget_secs,
+                      cfg.verbose, metrics_json);
+  }
 
   if (faults_mode) {
     // The faults campaign defaults its own out dir unless one was given.

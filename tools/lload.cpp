@@ -1,0 +1,633 @@
+// lload: seeded open-traffic load generator for the UDP gateway.
+//
+// Where lfarm audits the farm in-process, lload audits it *over the
+// wire*: it stands up a loopback fleet behind a real Gateway, then drives
+// thousands of tenants through one multiplexed UDP socket — every frame
+// crossing the kernel and, when a WAN profile says so, a seeded
+// impairment channel that drops, duplicates, reorders, corrupts, and
+// delays datagrams on both directions.
+//
+// Traffic shape is the open-systems classic: tenants are Zipf-popular (a
+// few hot tenants, a long tail), and in open-loop mode job arrivals are a
+// Poisson process at a fixed rate, queued per tenant and submitted in
+// per-tenant FIFO order (arrival never waits for completion — pressure is
+// real).  Closed-loop mode instead keeps every tenant in a
+// submit-await-repeat cycle.  Either way each tenant retries every
+// operation under a stable request id and honors RETRY_AFTER backoffs, so
+// the run doubles as a protocol conformance test.
+//
+// The audit is end-to-end and unforgiving: every job's result word must
+// match the host-predicted value, arrive exactly once, and carry a dense,
+// in-submission-order per-tenant completion_seq — over a wire that
+// actively tried to break all three.  Any violation (or any job that
+// never finishes inside the deadline) makes the exit code nonzero; the
+// CI gateway-smoke job keys on that.
+//
+// Each --wan profile runs as its own phase (fresh fleet, fresh gateway)
+// and contributes one row to the --out BENCH_ctrl.json: sustained
+// completed requests/sec plus p50/p95/p99 command latency (submit ->
+// admission) and end-to-end latency (arrival -> result).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "farm/farm.hpp"
+#include "farm/workload.hpp"
+#include "gate/client.hpp"
+#include "gate/gateway.hpp"
+
+namespace {
+
+using namespace la;
+
+struct Options {
+  std::size_t nodes = 4;
+  u32 tenants = 32;
+  u32 jobs_per_tenant = 4;
+  bool open_loop = false;
+  double rate = 300.0;  // open-loop arrivals/sec across all tenants
+  double zipf_s = 1.1;
+  u64 seed = 1;
+  unsigned configs = 8;
+  std::size_t queue = 512;
+  std::size_t per_owner_cap = 0;
+  double max_secs = 120.0;  // hard wall deadline per phase
+  std::string wans = "lan";
+  std::string out;
+  bool quiet = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: lload [options]\n"
+               "  --nodes N        fleet size behind the gateway "
+               "(default 4)\n"
+               "  --tenants N      concurrent tenants (default 32)\n"
+               "  --jobs N         jobs per tenant (default 4)\n"
+               "  --open           open-loop mode: Poisson arrivals at "
+               "--rate,\n"
+               "                   Zipf-distributed across tenants "
+               "(default: closed loop)\n"
+               "  --rate R         open-loop arrivals/sec (default 300)\n"
+               "  --zipf S         tenant popularity skew (default 1.1)\n"
+               "  --seed S         traffic + workload seed (default 1)\n"
+               "  --configs N      configuration catalog size (default 8)\n"
+               "  --queue N        farm admission queue capacity "
+               "(default 512)\n"
+               "  --owner-cap N    farm per-owner outstanding cap "
+               "(default 0 = off)\n"
+               "  --max-secs S     per-phase wall deadline (default 120)\n"
+               "  --wan LIST       comma list of WAN profiles to phase "
+               "through\n"
+               "                   (lan wan lossy; default lan)\n"
+               "  --out FILE       write/append BENCH_ctrl.json rows\n"
+               "  --quiet          suppress per-phase progress\n");
+}
+
+bool parse(int argc, char** argv, Options& o) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "lload: %s needs a value\n", what);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (a == "--nodes") {
+      if ((v = next("--nodes")) == nullptr) return false;
+      o.nodes = std::strtoull(v, nullptr, 10);
+    } else if (a == "--tenants") {
+      if ((v = next("--tenants")) == nullptr) return false;
+      o.tenants = static_cast<u32>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--jobs") {
+      if ((v = next("--jobs")) == nullptr) return false;
+      o.jobs_per_tenant = static_cast<u32>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--open") {
+      o.open_loop = true;
+    } else if (a == "--rate") {
+      if ((v = next("--rate")) == nullptr) return false;
+      o.rate = std::strtod(v, nullptr);
+    } else if (a == "--zipf") {
+      if ((v = next("--zipf")) == nullptr) return false;
+      o.zipf_s = std::strtod(v, nullptr);
+    } else if (a == "--seed") {
+      if ((v = next("--seed")) == nullptr) return false;
+      o.seed = std::strtoull(v, nullptr, 10);
+    } else if (a == "--configs") {
+      if ((v = next("--configs")) == nullptr) return false;
+      o.configs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (a == "--queue") {
+      if ((v = next("--queue")) == nullptr) return false;
+      o.queue = std::strtoull(v, nullptr, 10);
+    } else if (a == "--owner-cap") {
+      if ((v = next("--owner-cap")) == nullptr) return false;
+      o.per_owner_cap = std::strtoull(v, nullptr, 10);
+    } else if (a == "--max-secs") {
+      if ((v = next("--max-secs")) == nullptr) return false;
+      o.max_secs = std::strtod(v, nullptr);
+    } else if (a == "--wan") {
+      if ((v = next("--wan")) == nullptr) return false;
+      o.wans = v;
+    } else if (a == "--out") {
+      if ((v = next("--out")) == nullptr) return false;
+      o.out = v;
+    } else if (a == "--quiet") {
+      o.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "lload: unknown argument '%s'\n", a.c_str());
+      usage(stderr);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// One queued-or-in-flight submission of a tenant.
+struct PendingSubmit {
+  u64 request_id = 0;
+  Bytes frame;          // serialized kSubmit, resent verbatim on retries
+  u32 expected = 0;     // host-predicted result word
+  u32 index = 0;        // per-tenant submission number (audit key)
+  double arrival_ms = 0;
+  double first_send_ms = 0;  // 0 = not sent yet
+};
+
+/// An accepted submission awaiting its result.
+struct Outstanding {
+  u32 expected = 0;
+  u32 index = 0;
+  double arrival_ms = 0;
+};
+
+struct TenantState {
+  u64 token = 0;
+  bool hello_ok = false;
+  double resend_at = 0;       // next (re)send time for the current step
+  double backoff_until = 0;   // RETRY_AFTER hold on the head submit
+  std::deque<PendingSubmit> queue;  // per-tenant FIFO; head may be in flight
+  std::unordered_map<u64, Outstanding> outstanding;
+  u32 submitted = 0;  // submissions created (arrival side)
+  u32 completed = 0;  // results audited
+  double next_poll_ms = 0;  // recovery polls for lost result pushes
+};
+
+struct PhaseRow {
+  std::string wan;
+  std::string mode;
+  u32 tenants = 0;
+  std::size_t nodes = 0;
+  u64 jobs = 0;
+  u64 completed = 0;
+  u64 failed = 0;
+  u64 backoffs = 0;       // RETRY_AFTER frames honored
+  u64 dup_results = 0;    // duplicate result frames absorbed (wire dups)
+  u64 violations = 0;
+  double duration_s = 0;
+  double rps = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0;        // submit -> accepted
+  double e2e_p50_ms = 0, e2e_p99_ms = 0;            // arrival -> result
+  bool audit_ok = false;
+  bool finished = false;  // every job completed inside the deadline
+
+  std::string to_json() const {
+    char buf[768];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"wan\": \"%s\", \"mode\": \"%s\", \"tenants\": %u, "
+        "\"nodes\": %zu, \"jobs\": %llu, \"completed\": %llu, "
+        "\"failed\": %llu, \"backoffs\": %llu, \"dup_results\": %llu, "
+        "\"violations\": %llu, \"duration_s\": %.3f, \"rps\": %.2f, "
+        "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"e2e_p50_ms\": %.3f, \"e2e_p99_ms\": %.3f, "
+        "\"audit_ok\": %s, \"finished\": %s}",
+        wan.c_str(), mode.c_str(), tenants, nodes,
+        static_cast<unsigned long long>(jobs),
+        static_cast<unsigned long long>(completed),
+        static_cast<unsigned long long>(failed),
+        static_cast<unsigned long long>(backoffs),
+        static_cast<unsigned long long>(dup_results),
+        static_cast<unsigned long long>(violations), duration_s, rps, p50_ms,
+        p95_ms, p99_ms, e2e_p50_ms, e2e_p99_ms, audit_ok ? "true" : "false",
+        finished ? "true" : "false");
+    return buf;
+  }
+};
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t i = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(i, v.size() - 1)];
+}
+
+/// Zipf CDF over tenant indices (rank 0 most popular) — same shape the
+/// farm workload uses for configuration popularity.
+std::vector<double> zipf_cdf(u32 n, double s) {
+  std::vector<double> cum(n);
+  double total = 0;
+  for (u32 i = 0; i < n; ++i) total += 1.0 / std::pow(i + 1.0, s);
+  double acc = 0;
+  for (u32 i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(i + 1.0, s) / total;
+    cum[i] = acc;
+  }
+  cum[n - 1] = 1.0;
+  return cum;
+}
+
+u32 pick_zipf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<u32>(it - cdf.begin());
+}
+
+struct AuditLog {
+  u64 violations = 0;
+  bool quiet = false;
+
+  void fail(const char* what, const std::string& tenant, u64 request_id,
+            const std::string& detail) {
+    ++violations;
+    if (violations <= 20) {  // enough to diagnose, bounded to stay readable
+      std::fprintf(stderr, "lload: AUDIT %s tenant=%s req=%llu %s\n", what,
+                   tenant.c_str(), static_cast<unsigned long long>(request_id),
+                   detail.c_str());
+    }
+  }
+};
+
+/// Run one phase (one WAN profile) against a fresh fleet + gateway.
+PhaseRow run_phase(const Options& opt, const net::WanProfile& profile) {
+  PhaseRow row;
+  row.wan = profile.name;
+  row.mode = opt.open_loop ? "open" : "closed";
+  row.tenants = opt.tenants;
+  row.nodes = opt.nodes;
+  row.jobs = static_cast<u64>(opt.tenants) * opt.jobs_per_tenant;
+
+  farm::FarmConfig fc;
+  fc.nodes = opt.nodes;
+  fc.scheduler.queue_capacity = opt.queue;
+  fc.scheduler.per_owner_cap = opt.per_owner_cap;
+  farm::LiquidFarm farm(fc);
+
+  gate::GateConfig gc;
+  gc.tenants = opt.tenants;
+  gc.secret_seed = opt.seed ^ 0x9e3779b97f4a7c15ull;
+  gate::Gateway gw(farm, gc);
+  if (!gw.start()) {
+    std::fprintf(stderr, "lload: gateway failed to bind\n");
+    return row;
+  }
+
+  // One socket, one impaired link, every tenant multiplexed over it —
+  // a thousand tenants must not need a thousand file descriptors.
+  gate::UdpSocket sock;
+  if (!sock.open()) {
+    std::fprintf(stderr, "lload: client socket failed\n");
+    return row;
+  }
+  gate::WanLink link(sock, gw.addr(), profile.with_seed(opt.seed + 17));
+
+  farm::WorkloadConfig wc;
+  wc.seed = opt.seed;
+  wc.configs = opt.configs;
+  farm::WorkloadGenerator gen(wc);
+  Rng traffic_rng(opt.seed ^ 0x10ad10adull);
+
+  std::vector<TenantState> tenants(opt.tenants);
+  std::unordered_map<u64, u32> by_token;
+  for (u32 i = 0; i < opt.tenants; ++i) {
+    tenants[i].token = gw.tenants().token_of(i);
+    by_token.emplace(tenants[i].token, i);
+  }
+
+  const std::vector<double> cdf = zipf_cdf(opt.tenants, opt.zipf_s);
+  AuditLog audit;
+  audit.quiet = opt.quiet;
+  std::vector<double> accept_ms, e2e_ms;
+  accept_ms.reserve(row.jobs);
+  e2e_ms.reserve(row.jobs);
+
+  const double resend_ms = 40.0;  // per-step retransmit interval
+  const double t0 = gate::steady_now_ms();
+  const double deadline = t0 + opt.max_secs * 1000.0;
+
+  // Arrival plan.  Closed loop: every tenant has its full job budget
+  // queued up front (its FIFO discipline then paces submission).  Open
+  // loop: arrivals fire on a Poisson clock, each assigned to a
+  // Zipf-picked tenant that still has budget.
+  auto make_submit = [&](TenantState& t, u32 tenant_idx,
+                         double now) -> void {
+    farm::GeneratedJob g = gen.next();
+    gate::JobWire wire;
+    wire.config = g.job.config;
+    wire.program = g.job.program;
+    wire.result_addr = g.job.result_addr;
+    wire.result_words = g.job.result_words;
+    PendingSubmit p;
+    p.index = t.submitted;
+    // Request ids are globally unique and never collide with the HELLO
+    // id (1): high half names the tenant, low half the submission.
+    p.request_id = (static_cast<u64>(tenant_idx) << 32) | (p.index + 2);
+    p.expected = g.expected;
+    p.arrival_ms = now;
+    p.frame = gate::make_request(gate::GateKind::kSubmit, t.token,
+                                 p.request_id, wire.serialize())
+                  .serialize();
+    t.queue.push_back(std::move(p));
+    ++t.submitted;
+  };
+
+  u64 arrivals_left = 0;
+  double next_arrival = t0;
+  if (opt.open_loop) {
+    arrivals_left = row.jobs;
+  } else {
+    for (u32 i = 0; i < opt.tenants; ++i) {
+      for (u32 j = 0; j < opt.jobs_per_tenant; ++j) {
+        make_submit(tenants[i], i, t0);
+      }
+    }
+  }
+
+  u64 completed = 0, failed = 0, backoffs = 0, dup_results = 0;
+  const u64 want = row.jobs;
+
+  auto handle_frame = [&](const gate::GateFrame& f) {
+    const auto bit = by_token.find(f.token);
+    if (bit == by_token.end()) return;  // stats echo or stray
+    const u32 ti = bit->second;
+    TenantState& t = tenants[ti];
+    const double now = gate::steady_now_ms();
+    switch (f.kind) {
+      case gate::GateKind::kHelloOk:
+        t.hello_ok = true;
+        t.resend_at = now;  // release the first submit immediately
+        return;
+      case gate::GateKind::kRetryAfter: {
+        // Explicit backpressure on the head submit: hold it for the
+        // hinted interval (capped — a wild hint must not park a tenant).
+        if (t.queue.empty() || t.queue.front().request_id != f.request_id) {
+          return;  // stale: answers a submit that already got accepted
+        }
+        u32 wait = 5;
+        if (const auto ra = gate::RetryAfterWire::parse(f.payload)) {
+          wait = std::min(ra->retry_after_ms, 250u);
+        }
+        ++backoffs;
+        t.backoff_until = now + wait;
+        t.resend_at = t.backoff_until;
+        return;
+      }
+      case gate::GateKind::kAccepted: {
+        if (t.queue.empty() || t.queue.front().request_id != f.request_id) {
+          return;  // duplicate admission of an already-advanced head
+        }
+        PendingSubmit head = std::move(t.queue.front());
+        t.queue.pop_front();
+        accept_ms.push_back(now - head.first_send_ms);
+        t.outstanding.emplace(
+            head.request_id,
+            Outstanding{head.expected, head.index, head.arrival_ms});
+        t.backoff_until = 0;
+        t.resend_at = now;  // next queued submit may go immediately
+        t.next_poll_ms = now + 4 * resend_ms;
+        return;
+      }
+      case gate::GateKind::kResult: {
+        const auto r = gate::ResultWire::parse(f.payload);
+        if (!r) {
+          audit.fail("bad-result-payload", "t" + std::to_string(ti),
+                     f.request_id, "unparseable ResultWire");
+          return;
+        }
+        if (r->status == gate::ResultWire::kPending) return;
+        // A result can answer the head submit directly when the
+        // kAccepted died on the wire and the job finished meanwhile.
+        if (!t.queue.empty() && t.queue.front().request_id == f.request_id) {
+          PendingSubmit head = std::move(t.queue.front());
+          t.queue.pop_front();
+          accept_ms.push_back(now - head.first_send_ms);
+          t.outstanding.emplace(
+              head.request_id,
+              Outstanding{head.expected, head.index, head.arrival_ms});
+          t.backoff_until = 0;
+          t.resend_at = now;
+        }
+        const auto oit = t.outstanding.find(f.request_id);
+        if (oit == t.outstanding.end()) {
+          // Exactly-once check: a result for a request we already
+          // reaped is a wire duplicate (same frame, same seq) — benign
+          // and counted.  A result for a request we never made would be
+          // a gateway bug.
+          if ((f.request_id >> 32) == ti &&
+              (f.request_id & 0xffffffffu) < t.submitted + 2) {
+            ++dup_results;
+          } else {
+            audit.fail("phantom-result", "t" + std::to_string(ti),
+                       f.request_id, "result for a request never made");
+          }
+          return;
+        }
+        const Outstanding o = oit->second;
+        t.outstanding.erase(oit);
+        // Per-owner order: the gateway stamps each tenant's completions
+        // with a dense seq in farm-delivery order, so seq == submission
+        // index is the farm's FIFO promise audited across the socket,
+        // the gateway, and the fleet.  (Arrival order at this client is
+        // NOT the invariant — the downlink legitimately reorders pushes;
+        // the seq is exactly what lets us see through that.)
+        if (r->completion_seq != o.index) {
+          audit.fail("order", "t" + std::to_string(ti), f.request_id,
+                     "completion_seq " + std::to_string(r->completion_seq) +
+                         " != submission index " + std::to_string(o.index));
+        }
+        if (r->status != gate::ResultWire::kDone) {
+          ++failed;
+          audit.fail("job-failed", "t" + std::to_string(ti), f.request_id,
+                     r->error);
+        } else if (r->words.empty() || r->words[0] != o.expected) {
+          audit.fail("corrupt", "t" + std::to_string(ti), f.request_id,
+                     "word " +
+                         (r->words.empty()
+                              ? std::string("<none>")
+                              : std::to_string(r->words[0])) +
+                         " want " + std::to_string(o.expected));
+        }
+        e2e_ms.push_back(now - o.arrival_ms);
+        ++t.completed;
+        ++completed;
+        return;
+      }
+      default:
+        return;  // kGateError etc: terminal refusals fail via timeout
+    }
+  };
+
+  while (completed < want) {
+    const double now = gate::steady_now_ms();
+    if (now >= deadline) break;
+
+    // 1. Drain the (impaired) downlink.
+    bool got = false;
+    while (auto bytes = link.poll_recv()) {
+      if (const auto f = gate::GateFrame::parse(*bytes)) {
+        handle_frame(*f);
+        got = true;
+      }
+    }
+
+    // 2. Open-loop arrivals that have come due.
+    while (opt.open_loop && arrivals_left > 0 && next_arrival <= now) {
+      u32 ti = pick_zipf(cdf, traffic_rng.unit());
+      // The picked tenant may have spent its budget; walk to the next
+      // one that hasn't (keeps total job count exact).
+      for (u32 step = 0; step < opt.tenants; ++step) {
+        const u32 cand = (ti + step) % opt.tenants;
+        if (tenants[cand].submitted < opt.jobs_per_tenant) {
+          ti = cand;
+          break;
+        }
+      }
+      make_submit(tenants[ti], ti, next_arrival);
+      --arrivals_left;
+      next_arrival += -std::log(1.0 - traffic_rng.unit()) * 1000.0 /
+                      std::max(opt.rate, 1e-6);
+    }
+
+    // 3. Advance every tenant's state machine: hello, head submit
+    // (re)sends, recovery polls.
+    for (u32 ti = 0; ti < opt.tenants; ++ti) {
+      TenantState& t = tenants[ti];
+      if (!t.hello_ok) {
+        if (now >= t.resend_at) {
+          link.send(gate::make_request(gate::GateKind::kHello, t.token, 1)
+                        .serialize());
+          t.resend_at = now + resend_ms;
+        }
+        continue;
+      }
+      if (!t.queue.empty() && now >= t.resend_at && now >= t.backoff_until) {
+        PendingSubmit& head = t.queue.front();
+        if (head.first_send_ms == 0) head.first_send_ms = now;
+        link.send(head.frame);
+        t.resend_at = now + resend_ms;
+      }
+      if (!t.outstanding.empty() && now >= t.next_poll_ms) {
+        // Lost result pushes are recovered by polling the oldest
+        // outstanding request (one per tick keeps poll traffic bounded).
+        u64 oldest = 0;
+        u32 oldest_index = ~0u;
+        for (const auto& [rid, o] : t.outstanding) {
+          if (o.index < oldest_index) {
+            oldest_index = o.index;
+            oldest = rid;
+          }
+        }
+        link.send(gate::make_request(gate::GateKind::kPoll, t.token, oldest)
+                      .serialize());
+        t.next_poll_ms = now + 4 * resend_ms;
+      }
+    }
+
+    if (!got) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  const double t1 = gate::steady_now_ms();
+  gw.stop();
+  farm.shutdown();
+
+  row.completed = completed;
+  row.failed = failed;
+  row.backoffs = backoffs;
+  row.dup_results = dup_results;
+  row.violations = audit.violations;
+  row.duration_s = (t1 - t0) / 1000.0;
+  row.rps = row.duration_s > 0 ? completed / row.duration_s : 0.0;
+  row.p50_ms = percentile(accept_ms, 0.50);
+  row.p95_ms = percentile(accept_ms, 0.95);
+  row.p99_ms = percentile(accept_ms, 0.99);
+  row.e2e_p50_ms = percentile(e2e_ms, 0.50);
+  row.e2e_p99_ms = percentile(e2e_ms, 0.99);
+  row.finished = completed == want;
+  row.audit_ok = row.finished && audit.violations == 0 && failed == 0;
+  return row;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "lload: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  return std::fclose(out) == 0 && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) return 1;
+  if (opt.tenants == 0 || opt.jobs_per_tenant == 0) {
+    std::fprintf(stderr, "lload: need at least one tenant and one job\n");
+    return 1;
+  }
+
+  // Phase list: one independent run per WAN profile.
+  std::vector<net::WanProfile> phases;
+  std::string rest = opt.wans;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string name = rest.substr(0, comma);
+    rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+    const auto p = net::wan_profile_by_name(name);
+    if (!p) {
+      std::fprintf(stderr, "lload: unknown WAN profile '%s' (have: %s)\n",
+                   name.c_str(), net::wan_profile_names());
+      return 1;
+    }
+    phases.push_back(*p);
+  }
+
+  bool all_ok = true;
+  std::string json = "[\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (!opt.quiet) {
+      std::fprintf(stderr, "lload: phase %s: %u tenants x %u jobs, %zu "
+                           "nodes, %s loop\n",
+                   phases[i].name.c_str(), opt.tenants, opt.jobs_per_tenant,
+                   opt.nodes, opt.open_loop ? "open" : "closed");
+    }
+    const PhaseRow row = run_phase(opt, phases[i]);
+    all_ok &= row.audit_ok;
+    std::printf("%s\n", row.to_json().c_str());
+    json += "  " + row.to_json();
+    json += i + 1 < phases.size() ? ",\n" : "\n";
+    if (!opt.quiet) {
+      std::fprintf(stderr,
+                   "lload: phase %s: %llu/%llu jobs, %.1f req/s, "
+                   "p99 %.2f ms, audit %s\n",
+                   phases[i].name.c_str(),
+                   static_cast<unsigned long long>(row.completed),
+                   static_cast<unsigned long long>(row.jobs), row.rps,
+                   row.p99_ms, row.audit_ok ? "clean" : "VIOLATED");
+    }
+  }
+  json += "]\n";
+  if (!opt.out.empty() && !write_file(opt.out, json)) return 2;
+  return all_ok ? 0 : 2;
+}
