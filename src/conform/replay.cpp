@@ -14,6 +14,7 @@ const char* leg_name(Leg leg) {
   switch (leg) {
     case Leg::kIuSlow: return "iu-slow";
     case Leg::kIuFast: return "iu-fast";
+    case Leg::kIuBlock: return "iu-block";
     case Leg::kPipeSlow: return "pipe-slow";
     case Leg::kPipeFast: return "pipe-fast";
   }
@@ -69,6 +70,33 @@ RunOutcome run_iu(const TestVector& v, bool fast) {
   return o;
 }
 
+// The block leg drives the observerless run() loop — the only entry point
+// that engages the translation engine — and reads the trap outcome from
+// the IntegerUnit's own bookkeeping (take_trap counts every trap and
+// latches the most recent tt, matching note_trap's last-trap-wins rule).
+RunOutcome run_iu_block(const TestVector& v) {
+  cpu::FlatMemory flat(kVecMemSize, kVecMemBase);
+  for (const auto& [a, w] : v.pre.mem) flat.write(a, 4, w);
+  for (const auto& [a, w] : v.code) flat.write(a, 4, w);
+
+  cpu::IntegerUnit iu(v.cfg.cpu_config(true, /*host_block_engine=*/true),
+                      flat);
+  iu.reset(v.pre.pc);
+  apply_state(v.pre, iu.state());
+
+  RunOutcome o;
+  iu.run(static_cast<u64>(v.steps));
+  o.trapped = iu.trap_count() != 0;
+  if (o.trapped) o.tt = iu.last_trap_tt();
+  o.cycles = iu.cycle_count();
+  o.got = capture_state(iu.state());
+  for (const auto& [a, want] : v.post.mem) {
+    (void)want;
+    o.got.mem[a] = flat.word_at(a);
+  }
+  return o;
+}
+
 RunOutcome run_pipe(const TestVector& v, bool fast) {
   mem::Sram sram(kVecMemBase, kVecMemSize);
   bus::AhbBus bus;
@@ -99,9 +127,12 @@ RunOutcome run_pipe(const TestVector& v, bool fast) {
 }  // namespace
 
 std::string replay_vector(const TestVector& v, Leg leg) {
-  const bool iu = leg == Leg::kIuSlow || leg == Leg::kIuFast;
+  const bool iu = leg == Leg::kIuSlow || leg == Leg::kIuFast ||
+                  leg == Leg::kIuBlock;
   const bool fast = leg == Leg::kIuFast || leg == Leg::kPipeFast;
-  const RunOutcome o = iu ? run_iu(v, fast) : run_pipe(v, fast);
+  const RunOutcome o = leg == Leg::kIuBlock ? run_iu_block(v)
+                       : iu                 ? run_iu(v, fast)
+                                            : run_pipe(v, fast);
 
   const std::string tag = v.name + " [" + leg_name(leg) + "] ";
   if (auto d = diff_states(o.got, v.post); !d.empty()) return tag + d;
@@ -120,7 +151,7 @@ std::string replay_vector(const TestVector& v, Leg leg) {
 }
 
 std::string replay_vector_all(const TestVector& v) {
-  for (const Leg leg : kAllLegs) {
+  for (const Leg leg : kAllLegs) {  // all five legs
     if (auto d = replay_vector(v, leg); !d.empty()) return d;
   }
   return "";

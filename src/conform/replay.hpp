@@ -1,10 +1,11 @@
-// Four-leg conformance replay.
+// Five-leg conformance replay.
 //
 // Every vector is run against both CPU models with the host fast paths on
-// and off:
+// and off, plus the block translation engine:
 //
 //   iu-slow    cpu::IntegerUnit, host_decode_cache off  (the reference)
 //   iu-fast    cpu::IntegerUnit, host_decode_cache on
+//   iu-block   cpu::IntegerUnit via run() with host_block_engine on
 //   pipe-slow  cpu::LeonPipeline, host_fast_paths off
 //   pipe-fast  cpu::LeonPipeline, host_fast_paths on
 //
@@ -22,10 +23,11 @@
 
 namespace la::conform {
 
-enum class Leg : u8 { kIuSlow = 0, kIuFast, kPipeSlow, kPipeFast };
+enum class Leg : u8 { kIuSlow = 0, kIuFast, kPipeSlow, kPipeFast, kIuBlock };
 
 inline constexpr Leg kAllLegs[] = {Leg::kIuSlow, Leg::kIuFast,
-                                   Leg::kPipeSlow, Leg::kPipeFast};
+                                   Leg::kIuBlock, Leg::kPipeSlow,
+                                   Leg::kPipeFast};
 
 /// Stable leg name ("iu-slow", ...), used in reports and `lvec --leg`.
 const char* leg_name(Leg leg);
@@ -37,7 +39,7 @@ bool leg_from_name(const std::string& name, Leg& out);
 /// divergence: "<case> [<leg>] <field>: <got> vs <want>".
 std::string replay_vector(const TestVector& v, Leg leg);
 
-/// Replay on all four legs; first failing leg's report wins.
+/// Replay on all five legs; first failing leg's report wins.
 std::string replay_vector_all(const TestVector& v);
 
 }  // namespace la::conform

@@ -48,6 +48,17 @@ struct CpuConfig {
   /// calling isa::decode() on every fetch.
   bool host_decode_cache = true;
 
+  /// Host-performance knob (no effect on simulated cycles or state):
+  /// translate basic blocks once into predecoded handler traces and run
+  /// them through the threaded dispatcher (src/cpu/block_engine.*).
+  /// Engages only on observerless run() calls — attaching an ExecObserver
+  /// or single-stepping always uses the per-step interpreter.  Any store
+  /// the core executes into a translated page invalidates that page's
+  /// blocks, and translations never outlive one run() call (so memory
+  /// rewritten between calls is always re-read).  Off reverts run() to
+  /// the per-step loops exactly as before.
+  bool host_block_engine = true;
+
   /// Deliberate semantic fault: SUBX ignores the carry-in.  Exists solely
   /// so the differential fuzzer can prove, end to end, that it detects and
   /// minimizes a real divergence (lfuzz --inject-bug; see docs/TESTING.md).

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/bits.hpp"
+#include "cpu/block_engine.hpp"
 
 namespace la::cpu {
 
@@ -22,6 +23,8 @@ IntegerUnit::IntegerUnit(const CpuConfig& cfg, MemoryPort& mem)
   assert(cfg.valid());
 }
 
+IntegerUnit::~IntegerUnit() = default;
+
 void IntegerUnit::reset(Addr entry) {
   st_ = CpuState(cfg_);
   st_.pc = entry;
@@ -32,9 +35,13 @@ void IntegerUnit::reset(Addr entry) {
   irq_level_ = 0;
   instret_ = 0;
   cycles_ = 0;
+  trap_count_ = 0;
+  last_tt_ = 0;
 }
 
 void IntegerUnit::take_trap(u8 tt) {
+  ++trap_count_;
+  last_tt_ = tt;
   if (!st_.psr.et && tt != tt_of(Trap::kReset)) {
     // Trap with traps disabled: the processor enters error mode and halts
     // (a real LEON asserts its error output; the FPX circuitry reports it).
@@ -539,8 +546,7 @@ void IntegerUnit::step_into(StepResult& res) {
   if (st_.error_mode) return;
 
   // External interrupt check (between instructions, before fetch).
-  if (st_.psr.et && irq_level_ != 0 &&
-      (irq_level_ == 15 || irq_level_ > st_.psr.pil)) {
+  if (irq_pending()) {
     const u8 tt = static_cast<u8>(0x10 + (irq_level_ & 0xf));
     take_trap(tt);
     res.trapped = true;
@@ -596,6 +602,15 @@ void IntegerUnit::step_into(StepResult& res) {
 
 u64 IntegerUnit::run(u64 max_steps, Addr halt_pc) {
   u64 n = 0;
+  if (obs_ == nullptr && cfg_.host_block_engine) {
+    // Basic-block translation tier: decode each block once, execute via
+    // threaded dispatch.  Bit-identical to the loops below (the engine
+    // re-checks the same between-instruction conditions and routes every
+    // irregular case back through step_into); engages only observerless,
+    // so tracing and single-stepping always see the per-step path.
+    if (!block_) block_ = std::make_unique<BlockEngine>();
+    return block_->run(*this, max_steps, halt_pc);
+  }
   if (obs_ == nullptr && cfg_.host_decode_cache) {
     // Hot loop: one StepResult reused across iterations; nothing outside
     // this frame observes it, so skipping the per-step materialization is

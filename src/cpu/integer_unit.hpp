@@ -10,6 +10,8 @@
 // datapath and is property-tested against this class.
 #pragma once
 
+#include <memory>
+
 #include "common/types.hpp"
 #include "cpu/config.hpp"
 #include "cpu/memory_port.hpp"
@@ -45,9 +47,12 @@ class ExecObserver {
   virtual void on_step(const StepResult& r) = 0;
 };
 
+class BlockEngine;
+
 class IntegerUnit {
  public:
   IntegerUnit(const CpuConfig& cfg, MemoryPort& mem);
+  ~IntegerUnit();  // out of line: BlockEngine is incomplete here
 
   CpuState& state() { return st_; }
   const CpuState& state() const { return st_; }
@@ -79,9 +84,21 @@ class IntegerUnit {
   u64 instret() const { return instret_; }
   Cycles cycle_count() const { return cycles_; }
 
+  /// Trap bookkeeping, identical in every execution mode (maintained by
+  /// take_trap itself): how many traps were taken since reset and the tt
+  /// of the most recent one.  Lets run()-driven harnesses (the iu-block
+  /// conformance leg, the SMC tests) observe traps without an observer.
+  u64 trap_count() const { return trap_count_; }
+  u8 last_trap_tt() const { return last_tt_; }
+
   void set_observer(ExecObserver* obs) { obs_ = obs; }
 
+  /// The block translation engine, if any run() call has engaged it
+  /// (nullptr otherwise).  Host-side statistics only.
+  const BlockEngine* block_engine() const { return block_.get(); }
+
  private:
+  friend class BlockEngine;  // drives execute()/take_trap() on our state
   // Trap entry per V8 §7: decrement CWP (unchecked), save pc/npc into the
   // new window's l1/l2, vector through TBR.  Trap with ET=0 => error mode.
   void take_trap(u8 tt);
@@ -104,6 +121,14 @@ class IntegerUnit {
   void set_icc_add(u32 a, u32 b, u32 res, bool carry_in);
   void set_icc_sub(u32 a, u32 b, u32 res, bool carry_in);
 
+  /// Deliverable external interrupt (the exact between-instructions test
+  /// step_into performs; the block dispatcher re-checks it before every
+  /// translated op).
+  bool irq_pending() const {
+    return st_.psr.et && irq_level_ != 0 &&
+           (irq_level_ == 15 || irq_level_ > st_.psr.pil);
+  }
+
   CpuConfig cfg_;
   MemoryPort& mem_;
   CpuState st_;
@@ -113,7 +138,13 @@ class IntegerUnit {
   u8 irq_level_ = 0;
   u64 instret_ = 0;
   Cycles cycles_ = 0;
+  u64 trap_count_ = 0;
+  u8 last_tt_ = 0;
   ExecObserver* obs_ = nullptr;
+
+  // Basic-block translation tier (host perf only; see CpuConfig knob).
+  // Created lazily by the first observerless run() with the knob on.
+  std::unique_ptr<BlockEngine> block_;
 
   // Set by execute() for control transfers: next npc after the delay slot.
   bool cti_taken_ = false;

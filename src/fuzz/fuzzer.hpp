@@ -44,6 +44,11 @@ struct FuzzConfig {
   /// default rotation already includes one fast-off configuration; this
   /// turns the whole campaign into a slow-path baseline for A/B runs.
   bool disable_fast_paths = false;
+  /// Force every rotation entry to run with the block translation engine
+  /// off.  The default rotation already includes one block-off
+  /// configuration (the slow entry); this pins the whole campaign to the
+  /// per-step interpreter for A/B runs against the block tier.
+  bool disable_block_engine = false;
   /// Progress lines to stderr.
   bool verbose = false;
 };
@@ -82,7 +87,8 @@ class Fuzzer {
   const std::vector<FuzzFailure>& failures() const { return failures_; }
 
   /// The pipeline-configuration rotation every campaign cycles through
-  /// (mirrors the equivalence property test's five configurations).
+  /// (the equivalence property test's cache/window configurations, plus
+  /// host-fast-paths-off and block-engine-off entries).
   static std::vector<cpu::PipelineConfig> config_rotation();
 
  private:

@@ -1,0 +1,62 @@
+#include "isa/handler_table.hpp"
+
+namespace la::isa {
+
+HandlerInfo handler_info(Mnemonic mn) {
+  HandlerInfo hi;
+  hi.ends_block = is_cti(mn);
+  switch (mn) {
+    case Mnemonic::kAnd: hi.kind = HandlerKind::kAnd; break;
+    case Mnemonic::kAndn: hi.kind = HandlerKind::kAndn; break;
+    case Mnemonic::kOr: hi.kind = HandlerKind::kOr; break;
+    case Mnemonic::kXor: hi.kind = HandlerKind::kXor; break;
+    case Mnemonic::kXnor: hi.kind = HandlerKind::kXnor; break;
+    case Mnemonic::kSll: hi.kind = HandlerKind::kSll; break;
+    case Mnemonic::kSrl: hi.kind = HandlerKind::kSrl; break;
+    case Mnemonic::kSra: hi.kind = HandlerKind::kSra; break;
+    case Mnemonic::kSethi: hi.kind = HandlerKind::kSethi; break;
+    case Mnemonic::kAdd: hi.kind = HandlerKind::kAdd; break;
+    case Mnemonic::kAddx: hi.kind = HandlerKind::kAddx; break;
+    case Mnemonic::kSub: hi.kind = HandlerKind::kSub; break;
+    case Mnemonic::kSubx: hi.kind = HandlerKind::kSubx; break;
+    case Mnemonic::kAndcc: hi.kind = HandlerKind::kAndcc; break;
+    case Mnemonic::kOrcc: hi.kind = HandlerKind::kOrcc; break;
+    case Mnemonic::kXorcc: hi.kind = HandlerKind::kXorcc; break;
+    case Mnemonic::kAddcc: hi.kind = HandlerKind::kAddcc; break;
+    case Mnemonic::kAddxcc: hi.kind = HandlerKind::kAddxcc; break;
+    case Mnemonic::kSubcc: hi.kind = HandlerKind::kSubcc; break;
+    case Mnemonic::kSubxcc: hi.kind = HandlerKind::kSubxcc; break;
+    default: hi.kind = HandlerKind::kGeneric; break;
+  }
+  return hi;
+}
+
+const char* handler_kind_name(HandlerKind k) {
+  switch (k) {
+    case HandlerKind::kAnd: return "and";
+    case HandlerKind::kAndn: return "andn";
+    case HandlerKind::kOr: return "or";
+    case HandlerKind::kXor: return "xor";
+    case HandlerKind::kXnor: return "xnor";
+    case HandlerKind::kSll: return "sll";
+    case HandlerKind::kSrl: return "srl";
+    case HandlerKind::kSra: return "sra";
+    case HandlerKind::kSethi: return "sethi";
+    case HandlerKind::kAdd: return "add";
+    case HandlerKind::kAddx: return "addx";
+    case HandlerKind::kSub: return "sub";
+    case HandlerKind::kSubx: return "subx";
+    case HandlerKind::kAndcc: return "andcc";
+    case HandlerKind::kOrcc: return "orcc";
+    case HandlerKind::kXorcc: return "xorcc";
+    case HandlerKind::kAddcc: return "addcc";
+    case HandlerKind::kAddxcc: return "addxcc";
+    case HandlerKind::kSubcc: return "subcc";
+    case HandlerKind::kSubxcc: return "subxcc";
+    case HandlerKind::kGeneric: return "generic";
+    case HandlerKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace la::isa

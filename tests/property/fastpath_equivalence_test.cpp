@@ -1,7 +1,9 @@
 // Property: the host fast paths are unobservable.  The same random
 // program on the same rig must leave LeonPipeline with bit-identical
 // architectural state, statistics (cycles included), cache statistics,
-// and memory with `host_fast_paths`/`host_decode_cache` on vs off.
+// and memory with `host_fast_paths`/`host_decode_cache` on vs off — and
+// leave IntegerUnit bit-identical across the slow / decode-cache /
+// block-engine three-way grid.
 //
 // This is the direct fast-vs-slow sibling of cpu_equivalence_test (which
 // checks the pipeline against the independent functional model); programs
@@ -15,6 +17,8 @@
 #include <vector>
 
 #include "bus/ahb.hpp"
+#include "cpu/flat_memory.hpp"
+#include "cpu/integer_unit.hpp"
 #include "cpu/leon_pipeline.hpp"
 #include "fuzz/differential.hpp"  // compare_full
 #include "fuzz/program_generator.hpp"
@@ -141,10 +145,86 @@ void check_seed(u64 seed, cpu::PipelineConfig base, int chunks) {
   }
 }
 
+// ---- IntegerUnit: slow / decode-cache / block-engine three-way grid ----
+
+/// One functional-model leg on flat memory, driven through run() (the only
+/// entry point that can engage the block engine).
+struct IuLeg {
+  IuLeg(const sasm::Image& img, bool decode_cache, bool block_engine)
+      : mem(kMemSize, kMemBase) {
+    mem.load(img.base, img.data);
+    cpu::CpuConfig cfg;
+    cfg.host_decode_cache = decode_cache;
+    cfg.host_block_engine = block_engine;
+    iu = std::make_unique<cpu::IntegerUnit>(cfg, mem);
+    iu->reset(img.entry);
+  }
+
+  cpu::FlatMemory mem;
+  std::unique_ptr<cpu::IntegerUnit> iu;
+};
+
+void check_iu_seed(u64 seed, int chunks) {
+  fuzz::GenOptions opts;
+  opts.mode = fuzz::ProgramMode::kCore;
+  opts.instructions = chunks;
+  fuzz::ProgramGenerator gen(seed);
+  const fuzz::ProgramSpec spec = gen.generate(opts);
+
+  sasm::Assembler as;
+  sasm::AsmResult ar = as.assemble(spec.render());
+  ASSERT_TRUE(ar.ok) << "seed " << seed << ": " << ar.error_text();
+  const sasm::Image& img = ar.image;
+  const Addr done = img.symbol(fuzz::kDoneSymbol);
+  const u64 budget = 4096 + 16u * (img.data.size() / 4);
+
+  IuLeg slow(img, /*decode_cache=*/false, /*block_engine=*/false);
+  IuLeg fast(img, /*decode_cache=*/true, /*block_engine=*/false);
+  IuLeg block(img, /*decode_cache=*/true, /*block_engine=*/true);
+
+  const u64 ns = slow.iu->run(budget, done);
+  const u64 nf = fast.iu->run(budget, done);
+  const u64 nb = block.iu->run(budget, done);
+
+  EXPECT_EQ(ns, nf) << "seed " << seed << ": slow/fast step counts differ";
+  EXPECT_EQ(ns, nb) << "seed " << seed << ": slow/block step counts differ";
+
+  const auto check_against_slow = [&](const char* which, const IuLeg& leg) {
+    const std::string d =
+        fuzz::compare_full(slow.iu->state(), leg.iu->state());
+    EXPECT_TRUE(d.empty()) << "seed " << seed << " slow/" << which
+                           << " state diverged: " << d << "\nprogram:\n"
+                           << spec.render();
+    EXPECT_EQ(slow.iu->cycle_count(), leg.iu->cycle_count())
+        << "seed " << seed << " slow/" << which << ": cycles differ";
+    EXPECT_EQ(slow.iu->instret(), leg.iu->instret())
+        << "seed " << seed << " slow/" << which << ": instret differs";
+    EXPECT_EQ(slow.iu->trap_count(), leg.iu->trap_count())
+        << "seed " << seed << " slow/" << which << ": trap counts differ";
+    // Memory: the whole image footprint, word by word.
+    for (Addr a = img.base; a + 4 <= img.end(); a += 4) {
+      ASSERT_EQ(slow.mem.word_at(a), leg.mem.word_at(a))
+          << "seed " << seed << " slow/" << which
+          << ": memory differs at 0x" << std::hex << a;
+    }
+  };
+  check_against_slow("fast", fast);
+  check_against_slow("block", block);
+}
+
 class FastPathEquivalence : public ::testing::TestWithParam<u64> {};
 
 TEST_P(FastPathEquivalence, DefaultConfig) {
   check_seed(GetParam(), cpu::PipelineConfig{}, 300);
+}
+
+TEST_P(FastPathEquivalence, IntegerUnitThreeWay) {
+  check_iu_seed(GetParam(), 300);
+}
+
+TEST_P(FastPathEquivalence, IntegerUnitThreeWayLong) {
+  // Longer programs exercise block chaining and re-translation harder.
+  check_iu_seed(GetParam() * 48271 + 5, 900);
 }
 
 TEST_P(FastPathEquivalence, TinyCaches) {

@@ -19,6 +19,11 @@
 //   lcheck --prom FILE             Prometheus text exposition: every
 //                                  non-comment line is `name[{labels}]
 //                                  value` with a legal metric name
+//   lcheck --bench-sim FILE        BENCH_sim.json trajectory rows: known
+//                                  model names, boolean fast_paths/
+//                                  block_engine, positive host_mips, and
+//                                  complete fast on/off (+ block on/off)
+//                                  pairings
 //
 // Exit codes: 0 all checks pass, 1 a check failed, 2 usage/IO error.
 #include <cctype>
@@ -565,11 +570,88 @@ int check_bench_ctrl(const std::string& file, const std::string& text) {
   return 0;
 }
 
+int check_bench_sim(const std::string& file, const std::string& text) {
+  int rc = 0;
+  auto doc = parse_or_complain(file, text, rc);
+  if (doc == nullptr) return rc;
+  if (!doc->is(JsonValue::kArray)) {
+    return complain(file, "top level is not an array of measurement rows");
+  }
+  if (doc->array.empty()) return complain(file, "no measurement rows");
+
+  static const std::set<std::string> kModels = {
+      "integer_unit", "leon_pipeline", "liquid_system",
+      "liquid_system_flight"};
+  // (model, fast_paths, block_engine) triples seen, for pairing checks.
+  std::set<std::string> seen;
+  std::size_t index = 0;
+  for (const auto& row : doc->array) {
+    const std::string at = "row[" + std::to_string(index++) + "]";
+    if (!row->is(JsonValue::kObject)) {
+      return complain(file, at + " not an object");
+    }
+    const JsonValue* model = row->get("model");
+    if (model == nullptr || !model->is(JsonValue::kString)) {
+      return complain(file, at + " lacks string 'model'");
+    }
+    if (kModels.count(model->string) == 0) {
+      return complain(file, at + " unknown model '" + model->string + "'");
+    }
+    const JsonValue* fast = row->get("fast_paths");
+    const JsonValue* block = row->get("block_engine");
+    if (fast == nullptr || !fast->is(JsonValue::kBool) || block == nullptr ||
+        !block->is(JsonValue::kBool)) {
+      return complain(file,
+                      at + " lacks boolean 'fast_paths'/'block_engine'");
+    }
+    if (block->boolean && model->string != "integer_unit") {
+      return complain(file, at + " block_engine=true on '" + model->string +
+                                "' (only the functional model has that tier)");
+    }
+    for (const char* key : {"host_mips", "cycles_per_sec", "secs"}) {
+      const JsonValue* v = row->get(key);
+      if (v == nullptr || !v->is(JsonValue::kNumber) || v->number <= 0) {
+        return complain(file, at + " lacks positive number '" + key + "'");
+      }
+    }
+    const JsonValue* instr = row->get("instructions");
+    if (instr == nullptr || !instr->is(JsonValue::kNumber) ||
+        instr->number < 0) {
+      return complain(file,
+                      at + " lacks non-negative number 'instructions'");
+    }
+    const std::string key = model->string +
+                            (fast->boolean ? "/fast" : "/slow") +
+                            (block->boolean ? "/block" : "");
+    if (!seen.insert(key).second) {
+      return complain(file, at + " duplicates " + key);
+    }
+  }
+
+  // Pairing: every model measured with the host fast paths both on and
+  // off, and the functional model's block tier paired with its block-off
+  // fast row.  (The flight-recorder variant exists only as a fast-path
+  // overhead row.)
+  for (const char* m : {"integer_unit", "leon_pipeline", "liquid_system"}) {
+    for (const char* leg : {"/slow", "/fast"}) {
+      if (seen.count(std::string(m) + leg) == 0) {
+        return complain(file, std::string("missing ") + m + leg + " row");
+      }
+    }
+  }
+  if (seen.count("integer_unit/fast/block") == 0) {
+    return complain(file, "missing integer_unit block_engine=true row");
+  }
+  std::printf("lcheck: %s: %zu measurement row(s), pairings complete\n",
+              file.c_str(), doc->array.size());
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: lcheck [--min-pids N] MODE FILE [MODE FILE ...]\n"
                "  modes: --json --chrome-trace --spans --flight --prom\n"
-               "         --bench-ctrl\n");
+               "         --bench-ctrl --bench-sim\n");
   return 2;
 }
 
@@ -589,7 +671,8 @@ int main(int argc, char** argv) {
       if (v == nullptr) return usage();
       min_pids = std::strtol(v, nullptr, 10);
     } else if (a == "--json" || a == "--chrome-trace" || a == "--spans" ||
-               a == "--flight" || a == "--prom" || a == "--bench-ctrl") {
+               a == "--flight" || a == "--prom" || a == "--bench-ctrl" ||
+               a == "--bench-sim") {
       const char* f = file_arg();
       if (f == nullptr) return usage();
       std::string text;
@@ -604,6 +687,7 @@ int main(int argc, char** argv) {
       else if (a == "--spans") one = check_spans(f, text);
       else if (a == "--flight") one = check_flight(f, text);
       else if (a == "--bench-ctrl") one = check_bench_ctrl(f, text);
+      else if (a == "--bench-sim") one = check_bench_sim(f, text);
       else one = check_prom(f, text);
       if (one != 0) rc = one;
     } else if (a == "--help" || a == "-h") {

@@ -10,8 +10,10 @@
 //   lvec verify --dir DIR
 //       regenerate each file with its recorded header parameters and fail
 //       on any byte difference (drift gate)
-//   lvec replay (--dir DIR | --file F) [--leg L] [--case NAME]
-//       run every vector on all four legs (or one), report divergences
+//   lvec replay (--dir DIR | --file F) [--leg L | --legs L1,L2,...]
+//               [--case NAME]
+//       run every vector on all five legs (or the named subset of
+//       iu-slow/iu-fast/iu-block/pipe-slow/pipe-fast), report divergences
 //   lvec coverage --dir DIR
 //       fail unless every implemented mnemonic has a parseable file with
 //       at least one vector
@@ -43,7 +45,10 @@ int usage() {
       stderr,
       "usage: lvec gen --out DIR [--seed N] [--cases N] [--only KEY]\n"
       "       lvec verify --dir DIR\n"
-      "       lvec replay (--dir DIR | --file F) [--leg L] [--case NAME]\n"
+      "       lvec replay (--dir DIR | --file F) [--leg L | --legs "
+      "L1,L2,...] [--case NAME]\n"
+      "                   legs: iu-slow iu-fast iu-block pipe-slow "
+      "pipe-fast\n"
       "       lvec coverage --dir DIR\n"
       "       lvec diff FILE_A FILE_B\n");
   return 2;
@@ -88,6 +93,7 @@ struct Options {
   std::string only;       // corpus key filter (gen)
   std::string file;       // single corpus file (replay)
   std::string leg;        // leg name filter (replay)
+  std::string legs;       // comma-separated leg subset (replay)
   std::string case_name;  // case name filter (replay)
   u64 seed = kDefaultSeed;
   int cases = kDefaultCases;
@@ -110,6 +116,8 @@ bool parse_options(int argc, char** argv, int first, Options& o) {
       if (!value(o.file)) return false;
     } else if (a == "--leg") {
       if (!value(o.leg)) return false;
+    } else if (a == "--legs") {
+      if (!value(o.legs)) return false;
     } else if (a == "--case") {
       if (!value(o.case_name)) return false;
     } else if (a == "--seed") {
@@ -216,48 +224,74 @@ int cmd_verify(const Options& o) {
 
 // ---- replay -------------------------------------------------------------
 
-int replay_corpus(const CorpusFile& f, const Options& o, int& ran,
-                  int& failed) {
-  Leg one = Leg::kIuSlow;
-  const bool single_leg = !o.leg.empty();
-  if (single_leg && !leg_from_name(o.leg, one)) {
-    std::fprintf(stderr, "lvec: unknown leg %s\n", o.leg.c_str());
+// Resolve --leg / --legs into the leg set to run (all five by default).
+int select_legs(const Options& o, std::vector<Leg>& out) {
+  if (!o.leg.empty() && !o.legs.empty()) {
+    std::fprintf(stderr, "lvec: --leg and --legs are mutually exclusive\n");
     return 2;
   }
-  for (const TestVector& v : f.vectors) {
-    if (!o.case_name.empty() && v.name != o.case_name) continue;
-    ++ran;
-    const std::string d =
-        single_leg ? replay_vector(v, one) : replay_vector_all(v);
-    if (!d.empty()) {
-      std::fprintf(stderr, "FAIL %s\n", d.c_str());
-      ++failed;
+  std::vector<std::string> names;
+  if (!o.leg.empty()) names.push_back(o.leg);
+  std::size_t pos = 0;
+  while (pos < o.legs.size()) {
+    const std::size_t comma = o.legs.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? o.legs.size() : comma;
+    if (end > pos) names.push_back(o.legs.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  if (names.empty()) {
+    out.assign(std::begin(kAllLegs), std::end(kAllLegs));
+    return 0;
+  }
+  for (const std::string& name : names) {
+    Leg l = Leg::kIuSlow;
+    if (!leg_from_name(name, l)) {
+      std::fprintf(stderr, "lvec: unknown leg %s\n", name.c_str());
+      return 2;
     }
+    out.push_back(l);
   }
   return 0;
 }
 
+void replay_corpus(const CorpusFile& f, const Options& o,
+                   const std::vector<Leg>& legs, int& ran, int& failed) {
+  for (const TestVector& v : f.vectors) {
+    if (!o.case_name.empty() && v.name != o.case_name) continue;
+    ++ran;
+    for (const Leg leg : legs) {
+      if (const std::string d = replay_vector(v, leg); !d.empty()) {
+        std::fprintf(stderr, "FAIL %s\n", d.c_str());
+        ++failed;
+        break;  // first failing leg's report wins, as replay_vector_all
+      }
+    }
+  }
+}
+
 int cmd_replay(const Options& o) {
   if (o.dir.empty() == o.file.empty()) return usage();  // exactly one
+  std::vector<Leg> legs;
+  if (int rc = select_legs(o, legs)) return rc;
   int ran = 0, failed = 0;
   if (!o.file.empty()) {
     CorpusFile f;
     if (!load_corpus(o.file, f)) return 2;
-    if (int rc = replay_corpus(f, o, ran, failed)) return rc;
+    replay_corpus(f, o, legs, ran, failed);
   } else {
     for (const isa::Mnemonic mn : corpus_mnemonics()) {
       const std::string path = corpus_path(o.dir, corpus_key(mn));
       CorpusFile f;
       if (!load_corpus(path, f)) return 2;
-      if (int rc = replay_corpus(f, o, ran, failed)) return rc;
+      replay_corpus(f, o, legs, ran, failed);
     }
   }
   if (ran == 0) {
     std::fprintf(stderr, "lvec: no case matched\n");
     return 2;
   }
-  std::printf("lvec: replayed %d case(s)%s, %d failure(s)\n", ran,
-              o.leg.empty() ? " on 4 legs" : "", failed);
+  std::printf("lvec: replayed %d case(s) on %zu leg(s), %d failure(s)\n",
+              ran, legs.size(), failed);
   return failed ? 1 : 0;
 }
 
